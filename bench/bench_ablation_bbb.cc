@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation A2: BBB capacity — the "lossy hardware" axis. Sweeps the
+ * table geometry (sets x ways) and reports how record completeness and
+ * final coverage degrade as the buffer shrinks, and how inference
+ * compensates.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace vp;
+    using namespace vp::bench;
+
+    std::printf("Ablation A2: BBB geometry (sets x ways) vs record "
+                "completeness and coverage\n");
+    std::printf("(Table 2 baseline: 512 sets x 4 ways)\n\n");
+
+    struct Geometry
+    {
+        std::uint32_t sets;
+        std::uint32_t ways;
+    };
+    const std::vector<Geometry> geos = {
+        {16, 2}, {64, 2}, {128, 4}, {512, 4}, {1024, 8}};
+
+    const std::vector<std::pair<std::string, std::string>> subset = {
+        {"134.perl", "A"}, {"175.vpr", "A"}, {"099.go", "A"},
+        {"255.vortex", "B"},
+    };
+
+    TablePrinter table;
+    table.addRow({"benchmark", "geometry", "hot spots", "avg br/record",
+                  "cov w/ inf", "cov w/o inf"});
+
+    for (const auto &[name, input] : subset) {
+        for (const Geometry &g : geos) {
+            workload::Workload w = workload::makeWorkload(name, input);
+            char geo[32];
+            std::snprintf(geo, sizeof(geo), "%ux%u", g.sets, g.ways);
+
+            double cov[2];
+            std::size_t records = 0;
+            double avg_branches = 0.0;
+            for (const bool inference : {true, false}) {
+                VpConfig cfg = VpConfig::variant(inference, true);
+                cfg.hsd.sets = g.sets;
+                cfg.hsd.ways = g.ways;
+                VacuumPacker packer(w, cfg);
+                const VpResult r = packer.run();
+                const auto stats = measureCoverage(w, r.packaged.program);
+                cov[inference] = stats.packageCoverage();
+                if (inference) {
+                    records = r.records.size();
+                    std::size_t total = 0;
+                    for (const auto &rec : r.records)
+                        total += rec.branches.size();
+                    avg_branches =
+                        records ? static_cast<double>(total) / records
+                                : 0.0;
+                }
+            }
+            table.addRow({rowLabel(w), geo, std::to_string(records),
+                          TablePrinter::num(avg_branches),
+                          TablePrinter::pct(cov[1]),
+                          TablePrinter::pct(cov[0])});
+            std::fflush(stdout);
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation A1: the MAX_BLOCKS heuristic-growth bound (Section 3.2.3;
+ * paper value 1). Sweeps 0/1/2/4/8 and reports coverage and code
+ * expansion on a representative workload subset.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace vp;
+    using namespace vp::bench;
+
+    std::printf("Ablation A1: heuristic growth bound (MAX_BLOCKS)\n");
+    std::printf("(paper uses 1; growth merges launch points by adopting "
+                "up to N predecessor blocks)\n\n");
+
+    const std::vector<unsigned> bounds = {0, 1, 2, 4, 8};
+    const std::vector<std::pair<std::string, std::string>> subset = {
+        {"134.perl", "A"}, {"175.vpr", "A"},   {"181.mcf", "A"},
+        {"130.li", "A"},   {"300.twolf", "A"},
+    };
+
+    TablePrinter table;
+    {
+        std::vector<std::string> header{"benchmark"};
+        for (unsigned n : bounds) {
+            header.push_back("cov N=" + std::to_string(n));
+            header.push_back("grow N=" + std::to_string(n));
+        }
+        table.addRow(header);
+    }
+
+    for (const auto &[name, input] : subset) {
+        workload::Workload w = workload::makeWorkload(name, input);
+        std::vector<std::string> row{rowLabel(w)};
+        for (unsigned n : bounds) {
+            VpConfig cfg = VpConfig::variant(true, true);
+            cfg.region.maxGrowthBlocks = n;
+            VacuumPacker packer(w, cfg);
+            const VpResult r = packer.run();
+            const auto stats = measureCoverage(w, r.packaged.program);
+            row.push_back(TablePrinter::pct(stats.packageCoverage()));
+            row.push_back(
+                TablePrinter::pct(r.packaged.expansion()));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    table.print();
+    std::printf("\n(cov = package coverage; grow = code expansion)\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation A7: package loop unrolling (a Section 5.4 "loop optimization"
+ * left as future work in the paper). Sweeps the unroll factor and
+ * reports speedup and code growth — quantifying how much headroom the
+ * package abstraction leaves beyond relayout + rescheduling.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+int
+main()
+{
+    using namespace vp;
+    using namespace vp::bench;
+
+    std::printf("Ablation A7: package loop unrolling factor\n");
+    std::printf("(factor 1 = the paper's configuration)\n\n");
+
+    const std::vector<unsigned> factors = {1, 2, 4};
+    const std::vector<std::pair<std::string, std::string>> subset = {
+        {"132.ijpeg", "A"}, {"164.gzip", "A"}, {"134.perl", "A"},
+        {"300.twolf", "A"}, {"mpeg2dec", "A"},
+    };
+
+    TablePrinter table;
+    table.addRow({"benchmark", "factor", "loops", "pkg insts", "speedup",
+                  "coverage"});
+
+    std::vector<GeoMean> sp(factors.size());
+
+    for (const auto &[name, input] : subset) {
+        workload::Workload w = workload::makeWorkload(name, input);
+        for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+            VpConfig cfg = VpConfig::variant(true, true);
+            cfg.opt.unrollFactor = factors[fi];
+            VacuumPacker packer(w, cfg);
+            const VpResult r = packer.run();
+
+            std::size_t pkg_insts = 0;
+            for (const auto &pkg : r.packaged.packages)
+                pkg_insts += r.packaged.program.func(pkg.func).numInsts();
+
+            const auto cov = measureCoverage(w, r.packaged.program);
+            const auto s =
+                measureSpeedup(w, r.packaged.program, cfg.machine);
+            sp[fi].add(s.speedup());
+            table.addRow({rowLabel(w), std::to_string(factors[fi]),
+                          std::to_string(r.optStats.loopsUnrolled),
+                          std::to_string(pkg_insts),
+                          TablePrinter::num(s.speedup(), 3),
+                          TablePrinter::pct(cov.packageCoverage())});
+            std::fflush(stdout);
+        }
+    }
+    for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+        table.addRow({"GEOMEAN", std::to_string(factors[fi]), "", "",
+                      TablePrinter::num(sp[fi].value(), 3), ""});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Regenerates Table 2 (the simulated EPIC machine model) and
+ * micro-benchmarks the simulation substrates with google-benchmark:
+ * engine-only execution, engine + Hot Spot Detector, engine + EPIC core,
+ * and the package list scheduler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "hsd/detector.hh"
+#include "opt/schedule.hh"
+#include "sim/core.hh"
+#include "tests/helpers.hh"
+
+namespace
+{
+
+using namespace vp;
+
+void
+printTable2()
+{
+    const sim::MachineConfig mc;
+    const hsd::HsdConfig hc;
+    TablePrinter t;
+    t.addRow({"Parameter", "Value", "Parameter", "Value"});
+    auto row = [&](const std::string &a, const std::string &b,
+                   const std::string &c, const std::string &d) {
+        t.addRow({a, b, c, d});
+    };
+    row("Instruction issue", std::to_string(mc.issueWidth) + " units",
+        "LD/ST buffer size (each)", std::to_string(mc.ldStBufEntries) +
+        " entry");
+    row("Integer ALU", std::to_string(mc.numIAlu) + " units",
+        "BBB associativity", std::to_string(hc.ways) + "-way");
+    row("Floating point unit", std::to_string(mc.numFp) + " units",
+        "Num BBB sets", std::to_string(hc.sets) + " set");
+    row("Memory unit", std::to_string(mc.numMem) + " units",
+        "Candidate branch threshold", std::to_string(hc.candidateThreshold));
+    row("Branch unit", std::to_string(mc.numBranch) + " units",
+        "Refresh timer interval", std::to_string(hc.refreshInterval) +
+        " br");
+    row("L1 data cache", std::to_string(mc.l1dBytes / 1024) + " KB",
+        "Clear timer interval", std::to_string(hc.clearInterval) + " br");
+    row("Unified L2 cache", std::to_string(mc.l2Bytes / 1024) + " KB",
+        "Hot spot detection cntr size", std::to_string(hc.hdcBits) +
+        " bits");
+    row("L1 instruction cache", std::to_string(mc.l1iBytes / 1024) + " KB",
+        "Hot spot detection cntr inc", std::to_string(hc.hdcInc));
+    row("RAS size", std::to_string(mc.rasEntries) + " entry",
+        "Hot spot detection cntr dec", std::to_string(hc.hdcDec));
+    row("BTB size", std::to_string(mc.btbEntries) + " entry",
+        "Exec and taken counter size", std::to_string(hc.counterBits) +
+        " bits");
+    row("Branch resolution", std::to_string(mc.branchResolution) +
+        " cycles", "Branch predictor",
+        std::to_string(mc.gshareHistoryBits) + "-bit history gshare");
+    std::printf("Table 2: simulated EPIC machine model\n\n");
+    t.print();
+    std::printf("\nSubstrate micro-benchmarks:\n");
+}
+
+void
+BM_EngineOnly(benchmark::State &state)
+{
+    test::TinyWorkload t = test::makeTiny();
+    for (auto _ : state) {
+        trace::ExecutionEngine engine(t.w.program, t.w);
+        const auto stats =
+            engine.run(static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(stats.dynInsts);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineOnly)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineWithHsd(benchmark::State &state)
+{
+    test::TinyWorkload t = test::makeTiny();
+    for (auto _ : state) {
+        trace::ExecutionEngine engine(t.w.program, t.w);
+        hsd::HotSpotDetector det((hsd::HsdConfig()));
+        engine.addSink(&det);
+        const auto stats =
+            engine.run(static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(stats.dynInsts);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineWithHsd)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineWithEpicCore(benchmark::State &state)
+{
+    test::TinyWorkload t = test::makeTiny();
+    for (auto _ : state) {
+        trace::ExecutionEngine engine(t.w.program, t.w);
+        sim::EpicCore core(t.w.program);
+        engine.addSink(&core);
+        const auto stats =
+            engine.run(static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(stats.dynInsts);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineWithEpicCore)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ListScheduler(benchmark::State &state)
+{
+    // A block with a realistic mix and chain structure.
+    workload::ProgramBuilder b("sched", 3);
+    const auto f = b.function("f", 24);
+    const auto b0 = b.block(f);
+    b.entry(f, b0);
+    b.compute(f, b0, static_cast<unsigned>(state.range(0)));
+    b.ret(f, b0);
+    const auto &bb = b.program().func(f).block(b0);
+    const sim::MachineConfig mc;
+    for (auto _ : state) {
+        const auto sched = opt::scheduleBlock(bb, mc);
+        benchmark::DoNotOptimize(sched.length);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ListScheduler)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_BbbAccess(benchmark::State &state)
+{
+    hsd::BranchBehaviorBuffer bbb((hsd::HsdConfig()));
+    Rng rng(3);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const ir::Addr pc = 0x1000 + (rng.below(64)) * 4;
+        benchmark::DoNotOptimize(bbb.access(pc, pc, (i++ & 3) != 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BbbAccess);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "bench/common.hh"
+
+#include <map>
+
+namespace vp::bench
+{
+
+const std::vector<Variant> &
+fourVariants()
+{
+    static const std::vector<Variant> variants = {
+        {"w/o inf, w/o link", false, false},
+        {"w/o inf, w/ link", false, true},
+        {"w/ inf, w/o link", true, false},
+        {"w/ inf, w/ link", true, true},
+    };
+    return variants;
+}
+
+PaperRef
+paperTable3(const std::string &label)
+{
+    static const std::map<std::string, PaperRef> table = {
+        {"099.go A", {37.4, 10.1}},      {"124.m88ksim A", {3.9, 2.5}},
+        {"130.li A", {17.4, 7.2}},       {"130.li B", {12.2, 7.2}},
+        {"130.li C", {17.4, 7.2}},       {"132.ijpeg A", {7.9, 4.2}},
+        {"132.ijpeg B", {7.6, 4.4}},     {"132.ijpeg C", {9.4, 5.7}},
+        {"134.perl A", {3.6, 1.4}},      {"134.perl B", {3.8, 1.4}},
+        {"134.perl C", {3.8, 1.3}},      {"164.gzip A", {9.2, 5.8}},
+        {"175.vpr A", {6.0, 2.7}},       {"181.mcf A", {23.9, 7.7}},
+        {"197.parser A", {19.7, 3.5}},   {"255.vortex A", {15.0, 3.0}},
+        {"255.vortex B", {15.7, 3.2}},   {"255.vortex C", {16.7, 3.1}},
+        {"300.twolf A", {7.2, 4.0}},     {"mpeg2dec A", {5.8, 3.6}},
+    };
+    auto it = table.find(label);
+    return it == table.end() ? PaperRef{} : it->second;
+}
+
+void
+forEachWorkload(const std::function<void(workload::Workload &)> &fn)
+{
+    for (const auto &spec : workload::allBenchmarks()) {
+        for (const auto &input : spec.inputs) {
+            workload::Workload w = spec.make(input);
+            fn(w);
+        }
+    }
+}
+
+std::string
+rowLabel(const workload::Workload &w)
+{
+    return w.name + " " + w.input;
+}
+
+} // namespace vp::bench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/: the Table 1
+ * workload roster, the four inference x linking configurations of
+ * Figures 8 and 10, and small formatting utilities.
+ */
+
+#ifndef VP_BENCH_COMMON_HH
+#define VP_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace vp::bench
+{
+
+/** One of the paper's four experimental configurations. */
+struct Variant
+{
+    std::string label;
+    bool inference = false;
+    bool linking = false;
+};
+
+/** The four bars of Figures 8 and 10, in the paper's order. */
+const std::vector<Variant> &fourVariants();
+
+/** Paper-reported reference values, where the paper gives them. */
+struct PaperRef
+{
+    /** Table 3 "% incr in size" per benchmark/input (negative: n/a). */
+    double exprIncr = -1.0;
+
+    /** Table 3 "% static inst selected". */
+    double selected = -1.0;
+};
+
+/** Paper Table 3 numbers for a benchmark/input label (e.g. "130.li B"). */
+PaperRef paperTable3(const std::string &label);
+
+/**
+ * Iterate the full Table 1 roster. The callback receives each workload
+ * by mutable reference (harnesses may trim budgets).
+ */
+void forEachWorkload(
+    const std::function<void(workload::Workload &)> &fn);
+
+/** Short "099 A"-style row label. */
+std::string rowLabel(const workload::Workload &w);
+
+} // namespace vp::bench
+
+#endif // VP_BENCH_COMMON_HH

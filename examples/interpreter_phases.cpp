@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The paper's motivating scenario end-to-end: a perl-like interpreter
+ * whose command-dispatch loop roots one package per phase (string,
+ * numeric, regex). Shows the Figure 7 machinery concretely — shared
+ * launch point, left-most precedence, inter-package links and their
+ * calling-context discipline — then compares against an HCO-style
+ * aggregate-profile baseline.
+ *
+ * Usage: interpreter_phases
+ */
+
+#include <cstdio>
+
+#include "opt/optimizer.hh"
+#include "region/identify.hh"
+#include "support/table.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+int
+main()
+{
+    using namespace vp;
+
+    workload::Workload w = workload::makeWorkload("134.perl", "A");
+    std::printf("== Interpreter phases: %s ==\n\n", w.label().c_str());
+    std::printf("The dispatch loop (perl_run) roots every phase's package;\n"
+                "phases 0/1/2 favor string/numeric/regex handlers.\n\n");
+
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+
+    // --- Package inventory (the Figure 7(b) view).
+    std::printf("-- packages --\n");
+    TablePrinter pkgs;
+    pkgs.addRow({"package", "root", "phase", "blocks", "insts", "entries",
+                 "links in", "links out"});
+    for (const auto &pkg : r.packaged.packages) {
+        const auto &fn = r.packaged.program.func(pkg.func);
+        pkgs.addRow({fn.name(), w.program.func(pkg.rootOrig).name(),
+                     std::to_string(pkg.regionIndex),
+                     std::to_string(fn.numBlocks()),
+                     std::to_string(fn.numInsts()),
+                     std::to_string(pkg.entryBlocks.size()),
+                     std::to_string(pkg.incomingLinks),
+                     std::to_string(pkg.outgoingLinks)});
+    }
+    pkgs.print();
+
+    // --- The links themselves (Figure 7(c-e)).
+    std::printf("\n-- inter-package links (branch side exits retargeted to "
+                "siblings) --\n");
+    for (const auto &pkg : r.packaged.packages) {
+        const auto &fn = r.packaged.program.func(pkg.func);
+        for (const auto &bb : fn.blocks()) {
+            if (!bb.endsInCondBr())
+                continue;
+            for (const bool taken : {true, false}) {
+                const ir::BlockRef t = taken ? bb.taken : bb.fall;
+                if (!t.valid() || t.func == pkg.func)
+                    continue;
+                if (!r.packaged.program.func(t.func).isPackage())
+                    continue;
+                std::printf("  %s:B%u --%s--> %s:B%u   (branch %llu, "
+                            "context depth %zu)\n",
+                            fn.name().c_str(), bb.id,
+                            taken ? "taken" : "fall",
+                            r.packaged.program.func(t.func).name().c_str(),
+                            t.block,
+                            static_cast<unsigned long long>(
+                                bb.terminator()->behavior),
+                            pkg.ctx.at(bb.id).size());
+            }
+        }
+    }
+
+    // --- Phase-sensitive vs aggregate (the Section 5.3 argument).
+    std::printf("\n-- phase-sensitive vs aggregate profile --\n");
+    const hsd::HotSpotRecord agg = aggregateRecord(r.records);
+    const auto agg_region =
+        region::identifyRegion(w.program, agg, packer.config().region);
+    auto agg_pp = package::buildPackages(w.program, {agg_region},
+                                         packer.config().package);
+    opt::optimizePackages(agg_pp.program, packer.config().opt,
+                          packer.config().machine);
+
+    const auto phase_cov = measureCoverage(w, r.packaged.program);
+    const auto agg_cov = measureCoverage(w, agg_pp.program);
+    const auto phase_sp =
+        measureSpeedup(w, r.packaged.program, packer.config().machine);
+    const auto agg_sp =
+        measureSpeedup(w, agg_pp.program, packer.config().machine);
+
+    TablePrinter cmp;
+    cmp.addRow({"", "packages", "coverage", "speedup"});
+    cmp.addRow({"phase-sensitive",
+                std::to_string(r.packaged.packages.size()),
+                TablePrinter::pct(phase_cov.packageCoverage()),
+                TablePrinter::num(phase_sp.speedup(), 3)});
+    cmp.addRow({"aggregate (HCO-style)",
+                std::to_string(agg_pp.packages.size()),
+                TablePrinter::pct(agg_cov.packageCoverage()),
+                TablePrinter::num(agg_sp.speedup(), 3)});
+    cmp.print();
+
+    std::printf("\nThe aggregate profile merges each phase's opposite "
+                "branch biases into\nambiguous mid-range fractions, so its "
+                "single package cannot assume a\ndirection where the "
+                "phase-specific packages can (Section 5.3).\n");
+
+    // Show one concrete example of a bias the aggregate destroys.
+    for (const auto &hb : agg.branches) {
+        double mn = 1.0, mx = 0.0;
+        bool in_all = true;
+        for (const auto &rec : r.records) {
+            const hsd::HotBranch *h = rec.find(hb.behavior);
+            if (!h) {
+                in_all = false;
+                break;
+            }
+            mn = std::min(mn, h->takenFraction());
+            mx = std::max(mx, h->takenFraction());
+        }
+        if (in_all && mx - mn > 0.7) {
+            std::printf("\nexample: branch %llu is %.0f%% taken in one "
+                        "phase, %.0f%% in another,\nbut the aggregate "
+                        "reports %.0f%% — useless for specialization.\n",
+                        static_cast<unsigned long long>(hb.behavior),
+                        100.0 * mx, 100.0 * mn,
+                        100.0 * hb.takenFraction());
+            break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Phase explorer: watch the Hot Spot Detector work in real time on a
+ * workload — a timeline of detections against the ground-truth phase
+ * schedule, the contents of each unique hot spot, and how software
+ * filtering collapses re-detections.
+ *
+ * Usage: phase_explorer [benchmark] [input]   (default: 181.mcf A)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "hsd/detector.hh"
+#include "hsd/filter.hh"
+#include "region/identify.hh"
+#include "support/table.hh"
+#include "trace/engine.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+
+/** Tracks ground-truth phase transitions during the profiling run. */
+class PhaseTimeline : public trace::InstSink
+{
+  public:
+    explicit PhaseTimeline(const trace::BranchOracle &oracle)
+        : oracle_(oracle)
+    {
+    }
+
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op != ir::Opcode::CondBr)
+            return;
+        const workload::PhaseId p = oracle_.currentPhase();
+        if (transitions_.empty() || transitions_.back().second != p)
+            transitions_.emplace_back(oracle_.branchCount(), p);
+    }
+
+    const std::vector<std::pair<std::uint64_t, workload::PhaseId>> &
+    transitions() const
+    {
+        return transitions_;
+    }
+
+  private:
+    const trace::BranchOracle &oracle_;
+    std::vector<std::pair<std::uint64_t, workload::PhaseId>> transitions_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vp;
+
+    const std::string bench = argc > 1 ? argv[1] : "181.mcf";
+    const std::string input = argc > 2 ? argv[2] : "A";
+    workload::Workload w = workload::makeWorkload(bench, input);
+
+    std::printf("== Phase explorer: %s ==\n\n", w.label().c_str());
+
+    trace::ExecutionEngine engine(w.program, w);
+    hsd::HotSpotDetector detector(hsd::HsdConfig{}, &engine.oracle());
+    PhaseTimeline timeline(engine.oracle());
+    engine.addSink(&detector);
+    engine.addSink(&timeline);
+    const trace::RunStats run = engine.run(w.maxDynInsts);
+
+    std::printf("profiled %llu instructions, %llu conditional branches\n\n",
+                static_cast<unsigned long long>(run.dynInsts),
+                static_cast<unsigned long long>(run.dynBranches));
+
+    std::printf("-- ground-truth phase timeline (retired-branch clock) --\n");
+    for (const auto &[at, phase] : timeline.transitions())
+        std::printf("  branch %8llu: phase %u begins\n",
+                    static_cast<unsigned long long>(at), phase);
+
+    std::printf("\n-- raw hardware detections --\n");
+    TablePrinter raw;
+    raw.addRow({"#", "detected at", "true phase", "branches", "max exec"});
+    for (std::size_t i = 0; i < detector.records().size(); ++i) {
+        const auto &rec = detector.records()[i];
+        raw.addRow({std::to_string(i),
+                    std::to_string(rec.detectedAtBranch),
+                    std::to_string(rec.truePhase),
+                    std::to_string(rec.branches.size()),
+                    std::to_string(rec.maxExec())});
+    }
+    raw.print();
+
+    const auto unique = hsd::filterRedundant(detector.records());
+    std::printf("\n-- after software redundancy filtering: %zu unique hot "
+                "spots --\n",
+                unique.size());
+
+    const auto index = region::branchIndex(w.program);
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+        const auto &rec = unique[i];
+        std::printf("\nhot spot %zu (true phase %u):\n", i, rec.truePhase);
+        TablePrinter t;
+        t.addRow({"branch", "location", "exec", "taken%", "bias"});
+        for (const auto &hb : rec.branches) {
+            auto it = index.find(hb.behavior);
+            std::string loc = "?";
+            if (it != index.end()) {
+                loc = w.program.func(it->second.func).name() + ":B" +
+                      std::to_string(it->second.block);
+            }
+            const double f = hb.takenFraction();
+            const char *bias = f >= 0.7   ? "taken"
+                               : f <= 0.3 ? "not-taken"
+                                          : "unbiased";
+            t.addRow({std::to_string(hb.behavior), loc,
+                      std::to_string(hb.exec),
+                      TablePrinter::num(100.0 * f), bias});
+        }
+        t.print();
+
+        const auto region =
+            region::identifyRegion(w.program, rec, region::RegionConfig{});
+        std::printf("  -> region: %zu hot blocks across %zu functions\n",
+                    region.numHotBlocks(), region.hotFuncs().size());
+    }
+    return 0;
+}

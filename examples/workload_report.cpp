@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Full per-workload analysis report: all four configurations, code
+ * expansion, coverage, speedup, pipeline statistics, and branch
+ * categorization — the library form of the bench/ tables, for one
+ * workload at a time.
+ *
+ * Usage: workload_report [benchmark] [input]   (default: 300.twolf A)
+ *        workload_report --all                 (every Table 1 workload)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "vp/report.hh"
+#include "workload/benchmarks.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vp;
+
+    if (argc > 1 && std::strcmp(argv[1], "--all") == 0) {
+        for (const auto &spec : workload::allBenchmarks()) {
+            for (const auto &input : spec.inputs) {
+                workload::Workload w = spec.make(input);
+                std::printf("%s\n", toText(analyzeWorkload(w)).c_str());
+                std::fflush(stdout);
+            }
+        }
+        return 0;
+    }
+
+    const std::string bench = argc > 1 ? argv[1] : "300.twolf";
+    const std::string input = argc > 2 ? argv[2] : "A";
+    workload::Workload w = workload::makeWorkload(bench, input);
+    std::printf("%s", toText(analyzeWorkload(w)).c_str());
+    return 0;
+}

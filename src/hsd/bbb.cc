@@ -1,0 +1,134 @@
+#include "hsd/bbb.hh"
+
+#include "ir/program.hh"
+#include "support/logging.hh"
+
+namespace vp::hsd
+{
+
+BranchBehaviorBuffer::BranchBehaviorBuffer(const HsdConfig &cfg) : cfg_(cfg)
+{
+    vp_assert(cfg_.sets > 0 && cfg_.ways > 0);
+    entries_.resize(static_cast<std::size_t>(cfg_.sets) * cfg_.ways);
+    for (auto &e : entries_) {
+        e.exec = SatCounter(cfg_.counterBits);
+        e.taken = SatCounter(cfg_.counterBits);
+    }
+}
+
+BranchBehaviorBuffer::Entry *
+BranchBehaviorBuffer::findOrAllocate(ir::Addr pc)
+{
+    const std::size_t set =
+        static_cast<std::size_t>((pc / ir::kInstBytes) % cfg_.sets);
+    Entry *base = &entries_[set * cfg_.ways];
+
+    Entry *invalid = nullptr;
+    Entry *weakest = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == pc)
+            return &e;
+        if (!e.valid) {
+            if (!invalid)
+                invalid = &e;
+        } else if (!e.candidate) {
+            // Victim preference: the least-executed non-candidate (ties
+            // broken by LRU). Accumulated execution protects an entry, so
+            // contended branches "begin profiling later" rather than
+            // thrashing each other forever.
+            if (!weakest ||
+                e.exec.value() < weakest->exec.value() ||
+                (e.exec.value() == weakest->exec.value() &&
+                 e.lastUse < weakest->lastUse)) {
+                weakest = &e;
+            }
+        }
+    }
+
+    // Miss: allocate an invalid way, else evict the weakest
+    // non-candidate. A set whose ways are all candidates refuses the
+    // newcomer — the Section 3.1 contention effect (a hot branch may
+    // start profiling late or never be tracked at all).
+    Entry *victim = invalid ? invalid : weakest;
+    if (!victim)
+        return nullptr;
+    victim->valid = true;
+    victim->candidate = false;
+    victim->tag = pc;
+    victim->behavior = 0;
+    victim->exec.reset();
+    victim->taken.reset();
+    return victim;
+}
+
+bool
+BranchBehaviorBuffer::access(ir::Addr pc, ir::BehaviorId behavior, bool taken)
+{
+    ++useClock_;
+    Entry *e = findOrAllocate(pc);
+    if (!e)
+        return false; // untracked: counts as non-candidate execution
+    e->lastUse = useClock_;
+    e->behavior = behavior;
+
+    // Counters freeze together at exec saturation so the taken fraction
+    // survives (Section 3.1).
+    if (!e->exec.saturated()) {
+        e->exec.add(1);
+        if (taken)
+            e->taken.add(1);
+    }
+
+    if (!e->candidate && e->exec.value() >= cfg_.candidateThreshold) {
+        e->candidate = true;
+        ++numCandidates_;
+    }
+    return e->candidate;
+}
+
+void
+BranchBehaviorBuffer::refreshNonCandidates()
+{
+    for (auto &e : entries_) {
+        if (e.valid && !e.candidate)
+            e.valid = false;
+    }
+}
+
+void
+BranchBehaviorBuffer::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    numCandidates_ = 0;
+}
+
+std::vector<HotBranch>
+BranchBehaviorBuffer::snapshotCandidates() const
+{
+    std::vector<HotBranch> out;
+    out.reserve(numCandidates_);
+    for (const auto &e : entries_) {
+        if (e.valid && e.candidate) {
+            HotBranch hb;
+            hb.pc = e.tag;
+            hb.behavior = e.behavior;
+            hb.exec = e.exec.value();
+            hb.taken = e.taken.value();
+            out.push_back(hb);
+        }
+    }
+    return out;
+}
+
+std::uint32_t
+BranchBehaviorBuffer::numValid() const
+{
+    std::uint32_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace vp::hsd

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Branch Behavior Buffer: a set-associative profiling table indexed by
+ * branch address, with per-entry saturating executed/taken counters and a
+ * candidate flag (Merten et al., ISCA 1999; parameters from Table 2).
+ */
+
+#ifndef VP_HSD_BBB_HH
+#define VP_HSD_BBB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hsd/record.hh"
+#include "ir/types.hh"
+#include "support/sat_counter.hh"
+
+namespace vp::hsd
+{
+
+/** Hardware configuration of the Hot Spot Detector (paper Table 2). */
+struct HsdConfig
+{
+    std::uint32_t sets = 512;             ///< Num BBB sets
+    std::uint32_t ways = 4;               ///< BBB associativity
+    unsigned counterBits = 9;             ///< Exec and taken counter size
+    std::uint32_t candidateThreshold = 16; ///< Candidate branch threshold
+    std::uint64_t refreshInterval = 8192;  ///< Refresh timer interval (br)
+    std::uint64_t clearInterval = 65526;   ///< Clear timer interval (br)
+    unsigned hdcBits = 13;                 ///< Hot spot detection cntr size
+    std::uint32_t hdcInc = 2;              ///< HDC increment (non-candidate)
+    std::uint32_t hdcDec = 1;              ///< HDC decrement (candidate)
+
+    // --- Detection-time signature history (Section 3.1 enhancement).
+    // Depth 0 reproduces the paper's evaluated configuration (record
+    // every detection, filter in software).
+
+    unsigned historyDepth = 0;         ///< signatures held; 0 = disabled
+    unsigned signatureBits = 128;      ///< signature width
+    double signatureSimilarity = 0.7;  ///< re-detection threshold
+};
+
+/**
+ * The BBB proper. Tracks executing branches; branches whose execution count
+ * crosses the candidate threshold within a refresh interval become
+ * *candidate branches* — the hot spot, should one be detected.
+ */
+class BranchBehaviorBuffer
+{
+  public:
+    explicit BranchBehaviorBuffer(const HsdConfig &cfg);
+
+    /**
+     * Record one dynamic execution of the branch at @p pc.
+     *
+     * @param behavior Static identity carried along for snapshotting.
+     * @param taken Resolved direction.
+     * @return true if the branch is (now) a candidate branch — the HDC
+     *         update direction.
+     */
+    bool access(ir::Addr pc, ir::BehaviorId behavior, bool taken);
+
+    /**
+     * Refresh-timer action: evict entries that failed to reach candidacy
+     * during the elapsed interval, so only consistently hot branches keep
+     * accumulating toward candidacy.
+     */
+    void refreshNonCandidates();
+
+    /** Clear-timer action: invalidate everything. */
+    void clear();
+
+    /** Snapshot all candidate branches (the hot spot contents). */
+    std::vector<HotBranch> snapshotCandidates() const;
+
+    std::uint32_t numCandidates() const { return numCandidates_; }
+
+    /** Total valid entries (for occupancy stats/tests). */
+    std::uint32_t numValid() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool candidate = false;
+        ir::Addr tag = ir::kInvalidAddr;
+        ir::BehaviorId behavior = 0;
+        SatCounter exec;
+        SatCounter taken;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *findOrAllocate(ir::Addr pc);
+
+    HsdConfig cfg_;
+    std::vector<Entry> entries_; // sets * ways, way-major within set
+    std::uint64_t useClock_ = 0;
+    std::uint32_t numCandidates_ = 0;
+};
+
+} // namespace vp::hsd
+
+#endif // VP_HSD_BBB_HH

@@ -1,0 +1,81 @@
+#include "hsd/detector.hh"
+
+namespace vp::hsd
+{
+
+HotSpotDetector::HotSpotDetector(const HsdConfig &cfg,
+                                 const trace::BranchOracle *oracle)
+    : cfg_(cfg), bbb_(cfg), hdc_(cfg.hdcBits),
+      history_(cfg.historyDepth, cfg.signatureSimilarity), oracle_(oracle),
+      refreshAt_(cfg.refreshInterval), clearAt_(cfg.clearInterval)
+{
+    hdc_.reset(hdc_.max());
+}
+
+void
+HotSpotDetector::onRetire(const trace::RetiredInst &ri)
+{
+    if (ri.inst->op != ir::Opcode::CondBr)
+        return;
+    ++branchesSeen_;
+
+    const bool candidate =
+        bbb_.access(ri.pc, ri.inst->behavior, ri.branchTaken);
+
+    if (candidate) {
+        if (hdc_.sub(cfg_.hdcDec)) {
+            detect();
+            return;
+        }
+    } else {
+        hdc_.add(cfg_.hdcInc);
+    }
+
+    if (branchesSeen_ >= refreshAt_) {
+        bbb_.refreshNonCandidates();
+        refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
+    }
+    if (branchesSeen_ >= clearAt_) {
+        bbb_.clear();
+        hdc_.reset(hdc_.max());
+        clearAt_ = branchesSeen_ + cfg_.clearInterval;
+    }
+}
+
+void
+HotSpotDetector::detect()
+{
+    HotSpotRecord rec;
+    rec.detectedAtBranch = branchesSeen_;
+    if (oracle_)
+        rec.truePhase = oracle_->currentPhase();
+    rec.branches = bbb_.snapshotCandidates();
+
+    // Detection-time filtering (Section 3.1): a hot spot whose signature
+    // matches a recently recorded one is not recorded again, saving the
+    // (comparatively expensive) transfer of the BBB contents.
+    if (history_.depth() > 0) {
+        const HotSpotSignature sig =
+            HotSpotSignature::of(rec.branches, cfg_.signatureBits);
+        if (!history_.isNovel(sig)) {
+            ++suppressed_;
+            bbb_.clear();
+            hdc_.reset(hdc_.max());
+            refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
+            clearAt_ = branchesSeen_ + cfg_.clearInterval;
+            return;
+        }
+        history_.insert(sig);
+    }
+    records_.push_back(std::move(rec));
+
+    // Restart monitoring so the next (possibly different) phase is
+    // detected afresh; re-detections of this same phase are removed by the
+    // software filter.
+    bbb_.clear();
+    hdc_.reset(hdc_.max());
+    refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
+    clearAt_ = branchesSeen_ + cfg_.clearInterval;
+}
+
+} // namespace vp::hsd

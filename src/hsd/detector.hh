@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Hot Spot Detector: BBB + Hot Spot Detection Counter + timers.
+ *
+ * Consumes the retired conditional-branch stream. The HDC is a saturating
+ * counter that starts at its maximum, moves down by hdcDec for every
+ * candidate-branch execution and up by hdcInc for every other branch; it
+ * reaching zero means candidate branches account for more than
+ * hdcInc/(hdcInc+hdcDec) of recent execution — a hot spot. On detection the
+ * candidate set is snapshotted as a HotSpotRecord and monitoring restarts,
+ * so a later, different phase produces a fresh record. Software filtering
+ * (HotSpotFilter) removes re-detections of the same phase.
+ */
+
+#ifndef VP_HSD_DETECTOR_HH
+#define VP_HSD_DETECTOR_HH
+
+#include <vector>
+
+#include "hsd/bbb.hh"
+#include "hsd/record.hh"
+#include "hsd/signature.hh"
+#include "support/sat_counter.hh"
+#include "trace/engine.hh"
+#include "trace/oracle.hh"
+
+namespace vp::hsd
+{
+
+/** The detector, attachable to an ExecutionEngine as a retire sink. */
+class HotSpotDetector : public trace::InstSink
+{
+  public:
+    /**
+     * @param oracle Optional: lets records carry the ground-truth phase at
+     *               detection time for validation; the optimization path
+     *               never reads it.
+     */
+    explicit HotSpotDetector(const HsdConfig &cfg,
+                             const trace::BranchOracle *oracle = nullptr);
+
+    void onRetire(const trace::RetiredInst &ri) override;
+
+    /** All hot spots detected so far, in detection order (unfiltered). */
+    const std::vector<HotSpotRecord> &records() const { return records_; }
+
+    /** Retired conditional branches seen. */
+    std::uint64_t branchesSeen() const { return branchesSeen_; }
+
+    /** Number of detections, including history-suppressed ones. */
+    std::size_t
+    detections() const
+    {
+        return records_.size() + suppressed_;
+    }
+
+    /** Detections the signature history kept from being recorded. */
+    std::size_t suppressedDetections() const { return suppressed_; }
+
+    const BranchBehaviorBuffer &bbb() const { return bbb_; }
+
+  private:
+    void detect();
+
+    HsdConfig cfg_;
+    BranchBehaviorBuffer bbb_;
+    SatCounter hdc_;
+    SignatureHistory history_;
+    std::size_t suppressed_ = 0;
+    const trace::BranchOracle *oracle_;
+
+    std::uint64_t branchesSeen_ = 0;
+    std::uint64_t refreshAt_ = 0;
+    std::uint64_t clearAt_ = 0;
+    std::vector<HotSpotRecord> records_;
+};
+
+} // namespace vp::hsd
+
+#endif // VP_HSD_DETECTOR_HH

@@ -1,0 +1,82 @@
+#include "hsd/filter.hh"
+
+#include <unordered_map>
+
+namespace vp::hsd
+{
+
+namespace
+{
+
+enum class Bias : std::uint8_t { Taken, NotTaken, None };
+
+Bias
+biasOf(const HotBranch &hb, const FilterConfig &cfg)
+{
+    const double f = hb.takenFraction();
+    if (f >= cfg.biasHigh)
+        return Bias::Taken;
+    if (f <= 1.0 - cfg.biasHigh)
+        return Bias::NotTaken;
+    return Bias::None;
+}
+
+} // namespace
+
+bool
+sameHotSpot(const HotSpotRecord &a, const HotSpotRecord &b,
+            const FilterConfig &cfg)
+{
+    if (a.branches.empty() || b.branches.empty())
+        return a.branches.empty() && b.branches.empty();
+
+    std::unordered_map<ir::BehaviorId, const HotBranch *> in_b;
+    in_b.reserve(b.branches.size());
+    for (const auto &hb : b.branches)
+        in_b[hb.behavior] = &hb;
+
+    // Criterion (a): branch-set difference in either direction.
+    std::size_t common = 0;
+    unsigned flips = 0;
+    for (const auto &ha : a.branches) {
+        auto it = in_b.find(ha.behavior);
+        if (it == in_b.end())
+            continue;
+        ++common;
+        // Criterion (b): common biased branch with opposite bias.
+        const Bias ba = biasOf(ha, cfg);
+        const Bias bb = biasOf(*it->second, cfg);
+        if (ba != Bias::None && bb != Bias::None && ba != bb)
+            ++flips;
+    }
+    const double missing_from_b =
+        1.0 - static_cast<double>(common) / a.branches.size();
+    const double missing_from_a =
+        1.0 - static_cast<double>(common) / b.branches.size();
+    if (missing_from_b >= cfg.missingFraction ||
+        missing_from_a >= cfg.missingFraction) {
+        return false;
+    }
+    return flips <= cfg.maxBiasFlips;
+}
+
+std::vector<HotSpotRecord>
+filterRedundant(const std::vector<HotSpotRecord> &records,
+                const FilterConfig &cfg)
+{
+    std::vector<HotSpotRecord> kept;
+    for (const auto &rec : records) {
+        bool redundant = false;
+        for (const auto &k : kept) {
+            if (sameHotSpot(rec, k, cfg)) {
+                redundant = true;
+                break;
+            }
+        }
+        if (!redundant)
+            kept.push_back(rec);
+    }
+    return kept;
+}
+
+} // namespace vp::hsd

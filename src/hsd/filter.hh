@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Software hot-spot redundancy filtering (Section 3.1).
+ *
+ * The paper assumes software filtering eliminates all redundant hot-spot
+ * detections. Two hot spots are *different* when
+ *   (a) 30% or more of one's branches are missing from the other (either
+ *       direction), or
+ *   (b) more than `maxBiasFlips` biased branches common to both flip their
+ *       bias (taken vs. not-taken) between them (default 0 tolerated —
+ *       a single flip already separates them, as in the paper).
+ * Anything not different from an already-kept hot spot is dropped.
+ */
+
+#ifndef VP_HSD_FILTER_HH
+#define VP_HSD_FILTER_HH
+
+#include <vector>
+
+#include "hsd/record.hh"
+
+namespace vp::hsd
+{
+
+/** Tunables for hot-spot similarity. */
+struct FilterConfig
+{
+    /** Branch-set difference threshold ("30% or more missing"). */
+    double missingFraction = 0.30;
+
+    /** A branch is biased when its taken fraction is >= biasHigh or
+     *  <= 1 - biasHigh. */
+    double biasHigh = 0.70;
+
+    /** Number of bias-flipping common branches tolerated before two hot
+     *  spots are declared different (paper default: 0). */
+    unsigned maxBiasFlips = 0;
+};
+
+/** @return true if records @p a and @p b are the *same* hot spot. */
+bool sameHotSpot(const HotSpotRecord &a, const HotSpotRecord &b,
+                 const FilterConfig &cfg = {});
+
+/**
+ * Keep only the first occurrence of each unique hot spot, comparing each
+ * record against every previously kept one.
+ */
+std::vector<HotSpotRecord> filterRedundant(
+    const std::vector<HotSpotRecord> &records, const FilterConfig &cfg = {});
+
+} // namespace vp::hsd
+
+#endif // VP_HSD_FILTER_HH

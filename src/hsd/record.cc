@@ -1,0 +1,27 @@
+#include "hsd/record.hh"
+
+#include <algorithm>
+
+namespace vp::hsd
+{
+
+const HotBranch *
+HotSpotRecord::find(ir::BehaviorId behavior) const
+{
+    for (const auto &hb : branches) {
+        if (hb.behavior == behavior)
+            return &hb;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+HotSpotRecord::maxExec() const
+{
+    std::uint32_t m = 0;
+    for (const auto &hb : branches)
+        m = std::max(m, hb.exec);
+    return m;
+}
+
+} // namespace vp::hsd

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hot spot records: what the hardware hands to software at a phase
+ * boundary (Section 3.1) — the set of hot branches with their executed and
+ * taken counts, nothing more. All region formation starts from this.
+ */
+
+#ifndef VP_HSD_RECORD_HH
+#define VP_HSD_RECORD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.hh"
+#include "workload/behavior.hh"
+
+namespace vp::hsd
+{
+
+/** One hot branch as captured by the BBB. */
+struct HotBranch
+{
+    ir::Addr pc = ir::kInvalidAddr;
+
+    /** Static identity of the branch (used to map back to the CFG; a real
+     *  system would do this with the pc and a symbolized binary). */
+    ir::BehaviorId behavior = 0;
+
+    std::uint32_t exec = 0;
+    std::uint32_t taken = 0;
+
+    /** Taken fraction; preserved even under counter saturation. */
+    double
+    takenFraction() const
+    {
+        return exec ? static_cast<double>(taken) / exec : 0.0;
+    }
+};
+
+/** One detected hot spot (candidate set snapshot at detection time). */
+struct HotSpotRecord
+{
+    /** Retired-branch clock at detection time. */
+    std::uint64_t detectedAtBranch = 0;
+
+    /** Ground-truth phase id at detection time (validation only — none of
+     *  the region-formation code may read this). */
+    workload::PhaseId truePhase = 0;
+
+    std::vector<HotBranch> branches;
+
+    /** @return the record's entry for @p behavior, or nullptr. */
+    const HotBranch *find(ir::BehaviorId behavior) const;
+
+    /** Largest executed count in the record. */
+    std::uint32_t maxExec() const;
+};
+
+} // namespace vp::hsd
+
+#endif // VP_HSD_RECORD_HH

@@ -1,0 +1,93 @@
+#include "hsd/signature.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace vp::hsd
+{
+
+HotSpotSignature::HotSpotSignature(unsigned bits)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+    vp_assert(bits >= 16 && bits <= 4096 && (bits & (bits - 1)) == 0,
+              "signature bits must be a power of two in [16, 4096]");
+}
+
+void
+HotSpotSignature::insert(ir::Addr pc, Bias bias)
+{
+    // Two independent XOR-fold hashes over (pc, bias), as cheap hardware
+    // would compute.
+    const std::uint64_t key =
+        pc ^ (static_cast<std::uint64_t>(bias) << 48);
+    const std::uint64_t h1 = splitmix64(key);
+    const std::uint64_t h2 = splitmix64(key ^ 0x9e3779b97f4a7c15ULL);
+    for (const std::uint64_t h : {h1, h2}) {
+        const unsigned bit = static_cast<unsigned>(h & (bits_ - 1));
+        words_[bit >> 6] |= 1ULL << (bit & 63);
+    }
+}
+
+HotSpotSignature
+HotSpotSignature::of(const std::vector<HotBranch> &branches, unsigned bits)
+{
+    HotSpotSignature sig(bits);
+    for (const HotBranch &hb : branches) {
+        const double f = hb.takenFraction();
+        const Bias bias = f >= 0.7   ? Bias::Taken
+                          : f <= 0.3 ? Bias::NotTaken
+                                     : Bias::None;
+        sig.insert(hb.pc, bias);
+    }
+    return sig;
+}
+
+double
+HotSpotSignature::similarity(const HotSpotSignature &other) const
+{
+    vp_assert(bits_ == other.bits_, "signature width mismatch");
+    unsigned inter = 0, uni = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        inter += static_cast<unsigned>(
+            __builtin_popcountll(words_[w] & other.words_[w]));
+        uni += static_cast<unsigned>(
+            __builtin_popcountll(words_[w] | other.words_[w]));
+    }
+    return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+unsigned
+HotSpotSignature::popcount() const
+{
+    unsigned n = 0;
+    for (const std::uint64_t w : words_)
+        n += static_cast<unsigned>(__builtin_popcountll(w));
+    return n;
+}
+
+SignatureHistory::SignatureHistory(unsigned depth, double threshold)
+    : depth_(depth), threshold_(threshold)
+{
+}
+
+bool
+SignatureHistory::isNovel(const HotSpotSignature &sig) const
+{
+    for (const auto &held : held_) {
+        if (held.similarity(sig) >= threshold_)
+            return false;
+    }
+    return true;
+}
+
+void
+SignatureHistory::insert(HotSpotSignature sig)
+{
+    if (depth_ == 0)
+        return;
+    if (held_.size() >= depth_)
+        held_.pop_front();
+    held_.push_back(std::move(sig));
+}
+
+} // namespace vp::hsd

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hot-spot signatures and the detection-time history filter.
+ *
+ * Section 3.1 sketches two hardware enhancements the paper's evaluation
+ * replaces with software filtering: a history of previously recorded hot
+ * spots, and "working set signatures [10] ... extended to hot spot
+ * signatures to allow inexpensive comparisons between a detected hot spot
+ * and a history of previously recorded hot spots". This module implements
+ * both: a Bloom-style bit-vector signature over the candidate branches'
+ * pcs, and a fixed-depth FIFO history that suppresses the recording of
+ * hot spots similar to recent ones — cutting the data transferred at
+ * detection time without losing unique phases.
+ */
+
+#ifndef VP_HSD_SIGNATURE_HH
+#define VP_HSD_SIGNATURE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hsd/record.hh"
+
+namespace vp::hsd
+{
+
+/**
+ * A hot-spot signature: a small bit vector into which each candidate
+ * branch hashes two positions (cheap hardware: two XOR-fold hashes).
+ * The hash covers the branch pc *and* its quantized bias (taken /
+ * not-taken / unbiased, read off the BBB's own counters), because phases
+ * are distinguished not only by which branches run but by which way they
+ * go — two phases over the same branch set with flipped biases must not
+ * look identical (the Section 3.1 similarity criteria include the
+ * bias-flip rule for exactly this reason). Similarity between hot spots
+ * is approximated by the Jaccard index of set bits.
+ */
+class HotSpotSignature
+{
+  public:
+    /** @param bits Signature width; a power of two, 16..4096. */
+    explicit HotSpotSignature(unsigned bits = 128);
+
+    /** Quantized branch bias, as hardware would read off the BBB. */
+    enum class Bias : std::uint8_t { Taken, NotTaken, None };
+
+    /** Hash one branch (pc + bias) into the signature. */
+    void insert(ir::Addr pc, Bias bias = Bias::None);
+
+    /** Build the signature of a candidate set. */
+    static HotSpotSignature of(const std::vector<HotBranch> &branches,
+                               unsigned bits = 128);
+
+    /** Jaccard similarity of set bits: |A and B| / |A or B| in [0, 1].
+     *  Two empty signatures count as identical. */
+    double similarity(const HotSpotSignature &other) const;
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    unsigned bits() const { return bits_; }
+
+  private:
+    unsigned bits_;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Fixed-depth FIFO of recent hot-spot signatures. A detection whose
+ * signature is similar to any held signature is suppressed (not
+ * recorded); novel detections are recorded and pushed, evicting the
+ * oldest when full.
+ */
+class SignatureHistory
+{
+  public:
+    /**
+     * @param depth Signatures held (0 disables the filter entirely).
+     * @param threshold Similarity at or above which a detection is
+     *        considered a re-detection.
+     */
+    SignatureHistory(unsigned depth, double threshold);
+
+    /** @return true if @p sig is unlike everything in the history. */
+    bool isNovel(const HotSpotSignature &sig) const;
+
+    /** Record @p sig, evicting the oldest entry when full. */
+    void insert(HotSpotSignature sig);
+
+    unsigned depth() const { return depth_; }
+    std::size_t size() const { return held_.size(); }
+
+  private:
+    unsigned depth_;
+    double threshold_;
+    std::deque<HotSpotSignature> held_;
+};
+
+} // namespace vp::hsd
+
+#endif // VP_HSD_SIGNATURE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Basic block representation.
+ *
+ * Per Section 3.2.1 of the paper, every block contains at most one branch or
+ * subroutine call, always the last instruction. Successors are explicit
+ * BlockRefs so that package exit links and launch points (which cross
+ * function boundaries) use the same machinery as ordinary arcs.
+ */
+
+#ifndef VP_IR_BASIC_BLOCK_HH
+#define VP_IR_BASIC_BLOCK_HH
+
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "ir/types.hh"
+
+namespace vp::ir
+{
+
+/** Role markers for blocks created during package construction. */
+enum class BlockKind : std::uint8_t
+{
+    Normal,   ///< ordinary code block
+    Exit,     ///< package exit block (dummy consumers + jump to original)
+    Prologue, ///< function prologue (first block of the original function)
+    Epilogue, ///< block ending in Ret
+    Selector, ///< dynamic launch selector (indirect jump to a package)
+};
+
+/**
+ * A basic block: straight-line instructions plus explicit successor arcs.
+ */
+struct BasicBlock
+{
+    BlockId id = kInvalidBlock;
+
+    /** Instructions; a terminator, if present, is last. */
+    std::vector<Instruction> insts;
+
+    /** Target when the terminator (CondBr/Jump) is taken. */
+    BlockRef taken = kNoBlockRef;
+
+    /**
+     * Sequential successor: CondBr fall-through, Call return-to block,
+     * or the implicit successor of a block with no terminator.
+     */
+    BlockRef fall = kNoBlockRef;
+
+    /** Callee function when the terminator is a Call. */
+    FuncId callee = kInvalidFunc;
+
+    BlockKind kind = BlockKind::Normal;
+
+    /** Start address in the flat code space; set by Program::layout(). */
+    Addr addr = kInvalidAddr;
+
+    /**
+     * Provenance: the block in the *original* program this block is a copy
+     * of (invalid for original blocks themselves and synthesized blocks).
+     */
+    BlockRef origin = kNoBlockRef;
+
+    /**
+     * For Exit blocks inside packages only: the return points of the
+     * calls that partial inlining elided between the package root and
+     * this exit, outermost first. When the exit transfers control back to
+     * original code, these frames are materialized onto the call stack so
+     * the original code's returns unwind correctly (the real system's
+     * exit-stub compensation code).
+     */
+    std::vector<BlockRef> exitFrames;
+
+    /**
+     * For Selector blocks only: the candidate package entries this
+     * dynamic launch point may dispatch to (the Section 3.3.4 "dynamic
+     * predictor" alternative to static linking). The execution engine
+     * picks among them at run time; `taken` holds the static fallback
+     * (the first candidate).
+     */
+    std::vector<BlockRef> selectorTargets;
+
+    /** @return the terminator instruction, or nullptr if none. */
+    const Instruction *
+    terminator() const
+    {
+        if (!insts.empty() && insts.back().isTerminator())
+            return &insts.back();
+        return nullptr;
+    }
+
+    Instruction *
+    terminator()
+    {
+        if (!insts.empty() && insts.back().isTerminator())
+            return &insts.back();
+        return nullptr;
+    }
+
+    bool endsInCondBr() const
+    {
+        const Instruction *t = terminator();
+        return t && t->op == Opcode::CondBr;
+    }
+
+    bool endsInCall() const
+    {
+        const Instruction *t = terminator();
+        return t && t->op == Opcode::Call;
+    }
+
+    bool endsInRet() const
+    {
+        const Instruction *t = terminator();
+        return t && t->op == Opcode::Ret;
+    }
+
+    std::size_t size() const { return insts.size(); }
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_BASIC_BLOCK_HH

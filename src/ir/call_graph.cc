@@ -1,0 +1,119 @@
+#include "ir/call_graph.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::ir
+{
+
+CallGraph::CallGraph(const Program &prog,
+                     const std::function<bool(FuncId, BlockId)> &include)
+{
+    build(prog, include);
+}
+
+CallGraph::CallGraph(const Program &prog)
+{
+    build(prog, [](FuncId, BlockId) { return true; });
+}
+
+void
+CallGraph::build(const Program &prog,
+                 const std::function<bool(FuncId, BlockId)> &include)
+{
+    numFuncs_ = prog.numFunctions();
+    callees_.assign(numFuncs_, {});
+    callers_.assign(numFuncs_, {});
+    std::vector<bool> present(numFuncs_, false);
+
+    for (const Function &fn : prog.functions()) {
+        for (const BasicBlock &bb : fn.blocks()) {
+            if (!include(fn.id(), bb.id))
+                continue;
+            present[fn.id()] = true;
+            if (bb.endsInCall() && bb.callee != kInvalidFunc) {
+                sites_.push_back({fn.id(), bb.id, bb.callee});
+                auto &ce = callees_[fn.id()];
+                if (std::find(ce.begin(), ce.end(), bb.callee) == ce.end())
+                    ce.push_back(bb.callee);
+                auto &cr = callers_[bb.callee];
+                if (std::find(cr.begin(), cr.end(), fn.id()) == cr.end())
+                    cr.push_back(fn.id());
+                present[bb.callee] = true;
+            }
+        }
+    }
+    for (FuncId f = 0; f < numFuncs_; ++f) {
+        if (present[f])
+            nodes_.push_back(f);
+    }
+    classifyBackEdges();
+}
+
+void
+CallGraph::classifyBackEdges()
+{
+    enum class Color : std::uint8_t { White, Gray, Black };
+    std::vector<Color> color(numFuncs_, Color::White);
+
+    auto dfs = [&](FuncId root) {
+        std::vector<std::pair<FuncId, std::size_t>> stack;
+        if (color[root] != Color::White)
+            return;
+        color[root] = Color::Gray;
+        stack.emplace_back(root, 0);
+        while (!stack.empty()) {
+            auto &[f, idx] = stack.back();
+            const auto &succs = callees_[f];
+            if (idx < succs.size()) {
+                const FuncId s = succs[idx++];
+                if (color[s] == Color::White) {
+                    color[s] = Color::Gray;
+                    stack.emplace_back(s, 0);
+                } else if (color[s] == Color::Gray) {
+                    backEdges_.emplace_back(f, s);
+                }
+            } else {
+                color[f] = Color::Black;
+                stack.pop_back();
+            }
+        }
+    };
+
+    // Prefer true roots (no callers) as DFS starting points, then sweep the
+    // rest so recursion cycles with no external entry are still classified.
+    for (FuncId f : nodes_) {
+        if (callers_[f].empty())
+            dfs(f);
+    }
+    for (FuncId f : nodes_)
+        dfs(f);
+}
+
+bool
+CallGraph::isBackEdge(FuncId caller, FuncId callee) const
+{
+    return std::find(backEdges_.begin(), backEdges_.end(),
+                     std::make_pair(caller, callee)) != backEdges_.end();
+}
+
+bool
+CallGraph::isSelfRecursive(FuncId f) const
+{
+    const auto &ce = callees_.at(f);
+    return std::find(ce.begin(), ce.end(), f) != ce.end();
+}
+
+std::vector<FuncId>
+CallGraph::forwardCallers(FuncId f) const
+{
+    std::vector<FuncId> out;
+    for (FuncId c : callers_.at(f)) {
+        if (!isBackEdge(c, f) && c != f)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace vp::ir

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Call graph over a program (optionally restricted to a block subset, as
+ * used for per-region call graphs in Section 3.2).
+ */
+
+#ifndef VP_IR_CALL_GRAPH_HH
+#define VP_IR_CALL_GRAPH_HH
+
+#include <functional>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace vp::ir
+{
+
+/** One call site: caller block -> callee function. */
+struct CallSite
+{
+    FuncId caller = kInvalidFunc;
+    BlockId block = kInvalidBlock;
+    FuncId callee = kInvalidFunc;
+
+    bool operator==(const CallSite &o) const = default;
+};
+
+/**
+ * Call graph with caller/callee adjacency and DFS back-edge classification
+ * (self-recursion and mutual recursion show up as call-graph back edges,
+ * which root-function selection must ignore per Section 3.3.2).
+ */
+class CallGraph
+{
+  public:
+    /**
+     * Build from @p prog considering only blocks for which @p include
+     * returns true (pass an always-true predicate for the full graph).
+     */
+    CallGraph(const Program &prog,
+              const std::function<bool(FuncId, BlockId)> &include);
+
+    /** Build over the whole program. */
+    explicit CallGraph(const Program &prog);
+
+    const std::vector<CallSite> &callSites() const { return sites_; }
+
+    /** Distinct callee functions of @p f (no duplicates). */
+    const std::vector<FuncId> &callees(FuncId f) const
+    {
+        return callees_.at(f);
+    }
+
+    /** Distinct caller functions of @p f (no duplicates). */
+    const std::vector<FuncId> &callers(FuncId f) const
+    {
+        return callers_.at(f);
+    }
+
+    /** Functions that contain at least one included block. */
+    const std::vector<FuncId> &nodes() const { return nodes_; }
+
+    /** @return true if the arc caller->callee is a DFS back edge. */
+    bool isBackEdge(FuncId caller, FuncId callee) const;
+
+    /** @return true if @p f calls itself (directly). */
+    bool isSelfRecursive(FuncId f) const;
+
+    /**
+     * Callers of @p f ignoring back-edge arcs — the caller count used for
+     * root-function selection.
+     */
+    std::vector<FuncId> forwardCallers(FuncId f) const;
+
+  private:
+    void build(const Program &prog,
+               const std::function<bool(FuncId, BlockId)> &include);
+    void classifyBackEdges();
+
+    std::size_t numFuncs_ = 0;
+    std::vector<CallSite> sites_;
+    std::vector<std::vector<FuncId>> callees_;
+    std::vector<std::vector<FuncId>> callers_;
+    std::vector<FuncId> nodes_;
+    std::vector<std::pair<FuncId, FuncId>> backEdges_;
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_CALL_GRAPH_HH

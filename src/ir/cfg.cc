@@ -1,0 +1,127 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+
+namespace vp::ir
+{
+
+std::vector<BlockId>
+intraSuccessors(const Function &fn, BlockId b)
+{
+    std::vector<BlockId> out;
+    for (const BlockRef &r : fn.successors(b)) {
+        if (r.func == fn.id())
+            out.push_back(r.block);
+    }
+    return out;
+}
+
+std::vector<std::vector<BlockId>>
+predecessors(const Function &fn)
+{
+    std::vector<std::vector<BlockId>> preds(fn.numBlocks());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        for (BlockId s : intraSuccessors(fn, b))
+            preds[s].push_back(b);
+    }
+    return preds;
+}
+
+namespace
+{
+
+enum class Color : std::uint8_t { White, Gray, Black };
+
+void
+dfsBackEdges(const Function &fn, BlockId root, std::vector<Color> &color,
+             std::vector<Arc> &back)
+{
+    // Iterative DFS with explicit stack of (block, next-successor-index).
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    if (color[root] != Color::White)
+        return;
+    color[root] = Color::Gray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+        auto &[b, idx] = stack.back();
+        const auto succs = intraSuccessors(fn, b);
+        if (idx < succs.size()) {
+            const BlockId s = succs[idx++];
+            if (color[s] == Color::White) {
+                color[s] = Color::Gray;
+                stack.emplace_back(s, 0);
+            } else if (color[s] == Color::Gray) {
+                back.emplace_back(b, s);
+            }
+        } else {
+            color[b] = Color::Black;
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Arc>
+backEdges(const Function &fn)
+{
+    std::vector<Color> color(fn.numBlocks(), Color::White);
+    std::vector<Arc> back;
+    if (fn.numBlocks() == 0)
+        return back;
+    dfsBackEdges(fn, fn.entry(), color, back);
+    // Classify arcs among blocks unreachable from the entry as well.
+    for (BlockId b = 0; b < fn.numBlocks(); ++b)
+        dfsBackEdges(fn, b, color, back);
+    return back;
+}
+
+std::vector<bool>
+reachableFrom(const Function &fn, BlockId from)
+{
+    std::vector<bool> seen(fn.numBlocks(), false);
+    std::vector<BlockId> work{from};
+    seen[from] = true;
+    while (!work.empty()) {
+        const BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : intraSuccessors(fn, b)) {
+            if (!seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<BlockId>
+reversePostOrder(const Function &fn)
+{
+    std::vector<BlockId> post;
+    std::vector<bool> seen(fn.numBlocks(), false);
+    // Iterative post-order DFS.
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    if (fn.numBlocks() == 0)
+        return post;
+    seen[fn.entry()] = true;
+    stack.emplace_back(fn.entry(), 0);
+    while (!stack.empty()) {
+        auto &[b, idx] = stack.back();
+        const auto succs = intraSuccessors(fn, b);
+        if (idx < succs.size()) {
+            const BlockId s = succs[idx++];
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+} // namespace vp::ir

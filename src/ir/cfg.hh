@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Intra-function CFG utilities: predecessors, DFS back edges, reachability,
+ * reverse post-order. Arcs that leave the function (package exit links)
+ * are treated as exits and ignored by these analyses.
+ */
+
+#ifndef VP_IR_CFG_HH
+#define VP_IR_CFG_HH
+
+#include <utility>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace vp::ir
+{
+
+/** An intra-function CFG arc (from block, to block). */
+using Arc = std::pair<BlockId, BlockId>;
+
+/** @return per-block list of intra-function predecessor block ids. */
+std::vector<std::vector<BlockId>> predecessors(const Function &fn);
+
+/**
+ * Back edges found by DFS from the entry block (Section 3.3.2 ignores back
+ * edges when selecting entry blocks and root functions). Blocks unreachable
+ * from the entry are additionally traversed as secondary roots so that every
+ * block is classified.
+ */
+std::vector<Arc> backEdges(const Function &fn);
+
+/** @return bitmap of blocks reachable from @p from via intra-function arcs. */
+std::vector<bool> reachableFrom(const Function &fn, BlockId from);
+
+/** @return block ids in reverse post-order from the entry. */
+std::vector<BlockId> reversePostOrder(const Function &fn);
+
+/** @return intra-function successor block ids of @p b. */
+std::vector<BlockId> intraSuccessors(const Function &fn, BlockId b);
+
+} // namespace vp::ir
+
+#endif // VP_IR_CFG_HH

@@ -1,0 +1,86 @@
+#include "ir/function.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::ir
+{
+
+void
+Function::setLayout(std::vector<BlockId> order)
+{
+    vp_assert(order.size() == blocks_.size(),
+              "layout size ", order.size(), " != blocks ", blocks_.size());
+    std::vector<bool> seen(blocks_.size(), false);
+    for (BlockId b : order) {
+        vp_assert(b < blocks_.size() && !seen[b], "bad layout entry ", b);
+        seen[b] = true;
+    }
+    layout_ = std::move(order);
+}
+
+std::size_t
+Function::numInsts() const
+{
+    // Pseudo (bookkeeping) instructions are not code; don't count them.
+    std::size_t n = 0;
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb.insts)
+            n += inst.pseudo ? 0 : 1;
+    }
+    return n;
+}
+
+std::vector<BlockId>
+Function::compact(const std::vector<bool> &keep)
+{
+    vp_assert(keep.size() == blocks_.size());
+    vp_assert(keep[entry_], "compacting away the entry block");
+
+    std::vector<BlockId> remap(blocks_.size(), kInvalidBlock);
+    std::vector<BasicBlock> kept;
+    for (BlockId b = 0; b < blocks_.size(); ++b) {
+        if (!keep[b])
+            continue;
+        remap[b] = static_cast<BlockId>(kept.size());
+        kept.push_back(std::move(blocks_[b]));
+        kept.back().id = remap[b];
+    }
+    blocks_ = std::move(kept);
+
+    auto fix = [&](BlockRef &r) {
+        if (r.valid() && r.func == id_) {
+            vp_assert(remap[r.block] != kInvalidBlock,
+                      "kept block references removed block");
+            r.block = remap[r.block];
+        }
+    };
+    for (BasicBlock &bb : blocks_) {
+        fix(bb.taken);
+        fix(bb.fall);
+    }
+    entry_ = remap[entry_];
+
+    std::vector<BlockId> new_layout;
+    for (BlockId b : layout_) {
+        if (remap[b] != kInvalidBlock)
+            new_layout.push_back(remap[b]);
+    }
+    layout_ = std::move(new_layout);
+    return remap;
+}
+
+std::vector<BlockRef>
+Function::successors(BlockId b) const
+{
+    const BasicBlock &bb = block(b);
+    std::vector<BlockRef> out;
+    if (bb.taken.valid())
+        out.push_back(bb.taken);
+    if (bb.fall.valid())
+        out.push_back(bb.fall);
+    return out;
+}
+
+} // namespace vp::ir

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Function representation: a CFG of basic blocks plus layout order.
+ */
+
+#ifndef VP_IR_FUNCTION_HH
+#define VP_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/types.hh"
+
+namespace vp::ir
+{
+
+/**
+ * A function: basic blocks indexed by BlockId, an entry block, and a
+ * layout order controlling address assignment (the relayout optimization
+ * permutes layoutOrder, never BlockIds).
+ */
+class Function
+{
+  public:
+    Function() = default;
+    Function(FuncId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Append a new empty block; @return its id. */
+    BlockId
+    addBlock(BlockKind kind = BlockKind::Normal)
+    {
+        const BlockId bid = static_cast<BlockId>(blocks_.size());
+        BasicBlock bb;
+        bb.id = bid;
+        bb.kind = kind;
+        blocks_.push_back(std::move(bb));
+        layout_.push_back(bid);
+        return bid;
+    }
+
+    BasicBlock &block(BlockId b) { return blocks_.at(b); }
+    const BasicBlock &block(BlockId b) const { return blocks_.at(b); }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId b) { entry_ = b; }
+
+    /** Number of virtual registers used (register ids are < regCount). */
+    RegId regCount() const { return regCount_; }
+    void setRegCount(RegId n) { regCount_ = n; }
+
+    /** True for synthesized package functions. */
+    bool isPackage() const { return isPackage_; }
+    void setIsPackage(bool p) { isPackage_ = p; }
+
+    /** Block layout order for address assignment. */
+    const std::vector<BlockId> &layout() const { return layout_; }
+
+    /** Replace the layout order; must be a permutation of all block ids. */
+    void setLayout(std::vector<BlockId> order);
+
+    /** Total instruction count across all blocks. */
+    std::size_t numInsts() const;
+
+    /** Iterate blocks in id order. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+
+    /** @return successor BlockRefs of @p b (0, 1, or 2 entries). */
+    std::vector<BlockRef> successors(BlockId b) const;
+
+    /**
+     * Remove all blocks for which @p keep is false, renumbering the
+     * survivors and fixing intra-function references and the layout
+     * order. The entry block must be kept. References from *other*
+     * functions into this one must be remapped by the caller.
+     *
+     * @return old-id -> new-id map (kInvalidBlock for removed blocks).
+     */
+    std::vector<BlockId> compact(const std::vector<bool> &keep);
+
+    void setId(FuncId id) { id_ = id; }
+
+  private:
+    FuncId id_ = kInvalidFunc;
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<BlockId> layout_;
+    BlockId entry_ = 0;
+    RegId regCount_ = 0;
+    bool isPackage_ = false;
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_FUNCTION_HH

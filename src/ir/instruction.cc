@@ -1,0 +1,48 @@
+#include "ir/instruction.hh"
+
+#include <sstream>
+
+namespace vp::ir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAlu: return "ialu";
+      case Opcode::FAlu: return "falu";
+      case Opcode::FMul: return "fmul";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::CondBr: return "br";
+      case Opcode::Jump: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    bool first = true;
+    for (RegId d : dsts) {
+        os << (first ? " r" : ",r") << d;
+        first = false;
+    }
+    if (!dsts.empty() && !srcs.empty())
+        os << " <-";
+    first = true;
+    for (RegId s : srcs) {
+        os << (first ? " r" : ",r") << s;
+        first = false;
+    }
+    if (behavior != 0)
+        os << " @" << behavior;
+    return os.str();
+}
+
+} // namespace vp::ir

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Instruction representation.
+ *
+ * The IR models what a post-link optimizer recovers from an executable:
+ * opcodes classified by functional-unit type, register operands, and for
+ * control/memory instructions a BehaviorId tying the copy back to the
+ * original static instruction (Section 2 of DESIGN.md).
+ */
+
+#ifndef VP_IR_INSTRUCTION_HH
+#define VP_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace vp::ir
+{
+
+/**
+ * Opcode classes. One per functional-unit type of the paper's EPIC model
+ * (Integer ALU, FP, Long-latency FP, Memory, Control) plus Nop.
+ */
+enum class Opcode : std::uint8_t
+{
+    IAlu,   ///< integer ALU op (1-cycle)
+    FAlu,   ///< floating-point ALU op
+    FMul,   ///< long-latency floating point (mul/div)
+    Load,   ///< memory load
+    Store,  ///< memory store
+    CondBr, ///< conditional branch: taken -> taken target, else fallthrough
+    Jump,   ///< unconditional branch
+    Call,   ///< subroutine call (terminator; returns to fallthrough)
+    Ret,    ///< subroutine return
+    Nop,    ///< no-op / filler
+};
+
+/** @return a short mnemonic for @p op. */
+const char *opcodeName(Opcode op);
+
+/** @return true for CondBr/Jump/Call/Ret. */
+constexpr bool
+isControl(Opcode op)
+{
+    return op == Opcode::CondBr || op == Opcode::Jump || op == Opcode::Call ||
+           op == Opcode::Ret;
+}
+
+/** @return true for Load/Store. */
+constexpr bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+/**
+ * One machine instruction.
+ *
+ * Register operands are virtual registers local to the owning function;
+ * partial inlining remaps callee registers into the caller's space.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+
+    /** Destination registers (at most one in practice). */
+    std::vector<RegId> dsts;
+
+    /** Source registers. */
+    std::vector<RegId> srcs;
+
+    /**
+     * Identity of the original static instruction for branches (oracle
+     * stream / link matching) and memory ops (address stream). Zero for
+     * plain compute instructions.
+     */
+    BehaviorId behavior = 0;
+
+    /**
+     * Optimizer bookkeeping instruction (e.g. the dummy live-range
+     * consumers in package exit blocks, Section 3.3.1). Pseudo
+     * instructions participate in data-flow analysis but are never
+     * executed and never counted as code.
+     */
+    bool pseudo = false;
+
+    /**
+     * For CondBr: the branch sense was inverted by the layout pass (the
+     * taken/fall targets were swapped so the hot successor falls
+     * through). The execution engine XORs the oracle outcome with this.
+     */
+    bool invertSense = false;
+
+    /**
+     * For CondBr in package code: taken probability recorded by the HSD
+     * for the original branch in this package's phase; negative when the
+     * branch was missing from the hot-spot record. Drives the
+     * profile-weight calculation of Section 5.4.
+     */
+    double profProb = -1.0;
+
+    bool isBranch() const { return op == Opcode::CondBr; }
+    bool isTerminator() const { return isControl(op); }
+
+    /** Render as "op d<-s,s" text. */
+    std::string toString() const;
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_INSTRUCTION_HH

@@ -1,0 +1,63 @@
+#include "ir/liveness.hh"
+
+#include "ir/cfg.hh"
+
+namespace vp::ir
+{
+
+Liveness::Liveness(const Function &fn)
+{
+    const std::size_t nb = fn.numBlocks();
+    const std::size_t nr = fn.regCount();
+    use_.assign(nb, BitSet(nr));
+    def_.assign(nb, BitSet(nr));
+    liveIn_.assign(nb, BitSet(nr));
+    liveOut_.assign(nb, BitSet(nr));
+
+    for (BlockId b = 0; b < nb; ++b) {
+        const BasicBlock &bb = fn.block(b);
+        for (const Instruction &inst : bb.insts) {
+            for (RegId s : inst.srcs) {
+                if (!def_[b].test(s))
+                    use_[b].set(s);
+            }
+            for (RegId d : inst.dsts)
+                def_[b].set(d);
+        }
+    }
+
+    // Backward fixpoint. Process blocks in reverse of reverse-post-order
+    // for fast convergence; fall back to full sweeps until stable.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = nb; i-- > 0;) {
+            const BlockId b = static_cast<BlockId>(i);
+            BitSet out(nr);
+            for (BlockId s : intraSuccessors(fn, b))
+                out.unionWith(liveIn_[s]);
+            BitSet in = out;
+            in.subtract(def_[b]);
+            in.unionWith(use_[b]);
+            if (!(out == liveOut_[b])) {
+                liveOut_[b] = std::move(out);
+                changed = true;
+            }
+            if (!(in == liveIn_[b])) {
+                liveIn_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::vector<RegId>
+Liveness::liveInRegs(BlockId b) const
+{
+    std::vector<RegId> regs;
+    liveIn_.at(b).forEach(
+        [&](std::size_t i) { regs.push_back(static_cast<RegId>(i)); });
+    return regs;
+}
+
+} // namespace vp::ir

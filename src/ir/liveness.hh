@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Classic backward live-variable analysis.
+ *
+ * Package construction (Section 3.3.1) needs, for every hot->cold arc, the
+ * set of registers live on entry to the cold target so the exit block can
+ * carry dummy consumers that keep data-flow analysis honest after the cold
+ * code is removed.
+ */
+
+#ifndef VP_IR_LIVENESS_HH
+#define VP_IR_LIVENESS_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+#include "support/bitset.hh"
+
+namespace vp::ir
+{
+
+/** Per-block live-in / live-out register sets for one function. */
+class Liveness
+{
+  public:
+    /** Run the fixpoint analysis over @p fn. */
+    explicit Liveness(const Function &fn);
+
+    const BitSet &liveIn(BlockId b) const { return liveIn_.at(b); }
+    const BitSet &liveOut(BlockId b) const { return liveOut_.at(b); }
+
+    /** Registers read by @p b before any redefinition (the "use" set). */
+    const BitSet &use(BlockId b) const { return use_.at(b); }
+
+    /** Registers written anywhere in @p b (the "def" set). */
+    const BitSet &def(BlockId b) const { return def_.at(b); }
+
+    /** Live registers as a sorted id list (for exit-block synthesis). */
+    std::vector<RegId> liveInRegs(BlockId b) const;
+
+  private:
+    std::vector<BitSet> use_, def_, liveIn_, liveOut_;
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_LIVENESS_HH

@@ -1,0 +1,67 @@
+#include "ir/print.hh"
+
+#include <sstream>
+
+namespace vp::ir
+{
+
+namespace
+{
+
+std::string
+refStr(const Program &prog, const Function &self, const BlockRef &r)
+{
+    if (!r.valid())
+        return "-";
+    std::ostringstream os;
+    if (r.func != self.id())
+        os << prog.func(r.func).name() << ":";
+    os << "B" << r.block;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toString(const Program &prog, const Function &fn)
+{
+    std::ostringstream os;
+    os << "func " << fn.name() << " (id " << fn.id() << ", entry B"
+       << fn.entry() << ", regs " << fn.regCount()
+       << (fn.isPackage() ? ", package" : "") << ")\n";
+    for (BlockId b : fn.layout()) {
+        const BasicBlock &bb = fn.block(b);
+        os << "  B" << b;
+        switch (bb.kind) {
+          case BlockKind::Exit: os << " [exit]"; break;
+          case BlockKind::Prologue: os << " [prologue]"; break;
+          case BlockKind::Epilogue: os << " [epilogue]"; break;
+          default: break;
+        }
+        if (bb.addr != kInvalidAddr)
+            os << " @0x" << std::hex << bb.addr << std::dec;
+        os << ":\n";
+        for (const Instruction &inst : bb.insts)
+            os << "    " << inst.toString() << "\n";
+        if (bb.endsInCall())
+            os << "    -> call " << prog.func(bb.callee).name()
+               << ", returns to " << refStr(prog, fn, bb.fall) << "\n";
+        else if (bb.taken.valid() || bb.fall.valid())
+            os << "    -> taken " << refStr(prog, fn, bb.taken) << ", fall "
+               << refStr(prog, fn, bb.fall) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+toString(const Program &prog)
+{
+    std::ostringstream os;
+    os << "program " << prog.name() << " (" << prog.numFunctions()
+       << " functions, " << prog.numInsts() << " insts)\n";
+    for (const Function &fn : prog.functions())
+        os << toString(prog, fn);
+    return os.str();
+}
+
+} // namespace vp::ir

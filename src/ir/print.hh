@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual dumping of the IR for debugging and golden tests.
+ */
+
+#ifndef VP_IR_PRINT_HH
+#define VP_IR_PRINT_HH
+
+#include <string>
+
+#include "ir/program.hh"
+
+namespace vp::ir
+{
+
+/** Render one function as multi-line text. */
+std::string toString(const Program &prog, const Function &fn);
+
+/** Render the whole program. */
+std::string toString(const Program &prog);
+
+} // namespace vp::ir
+
+#endif // VP_IR_PRINT_HH

@@ -1,0 +1,45 @@
+#include "ir/program.hh"
+
+#include "support/logging.hh"
+
+namespace vp::ir
+{
+
+FuncId
+Program::addFunction(Function fn)
+{
+    const FuncId fid = static_cast<FuncId>(functions_.size());
+    fn.setId(fid);
+    functions_.push_back(std::move(fn));
+    return fid;
+}
+
+void
+Program::layout()
+{
+    Addr cur = 0x1000; // skip a small null-guard page, like a real binary
+    for (auto &fn : functions_) {
+        for (BlockId b : fn.layout()) {
+            BasicBlock &bb = fn.block(b);
+            bb.addr = cur;
+            // Pseudo instructions (optimizer bookkeeping) occupy no code
+            // space in the deployed binary.
+            std::size_t real = 0;
+            for (const Instruction &inst : bb.insts)
+                real += inst.pseudo ? 0 : 1;
+            cur += static_cast<Addr>(real) * kInstBytes;
+        }
+    }
+    codeSize_ = cur - 0x1000;
+}
+
+std::size_t
+Program::numInsts() const
+{
+    std::size_t n = 0;
+    for (const auto &fn : functions_)
+        n += fn.numInsts();
+    return n;
+}
+
+} // namespace vp::ir

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Whole-program container with flat code-address assignment.
+ */
+
+#ifndef VP_IR_PROGRAM_HH
+#define VP_IR_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/types.hh"
+
+namespace vp::ir
+{
+
+/** Bytes per encoded instruction in the flat address space. */
+inline constexpr Addr kInstBytes = 4;
+
+/**
+ * A program: functions plus an entry function. Value semantics — package
+ * construction clones the whole program and mutates the clone.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Create a new empty function; @return its id. */
+    FuncId
+    addFunction(std::string fname)
+    {
+        const FuncId fid = static_cast<FuncId>(functions_.size());
+        functions_.emplace_back(fid, std::move(fname));
+        return fid;
+    }
+
+    /** Append an already-built function (e.g. a package); ids are fixed up. */
+    FuncId addFunction(Function fn);
+
+    Function &func(FuncId f) { return functions_.at(f); }
+    const Function &func(FuncId f) const { return functions_.at(f); }
+
+    std::size_t numFunctions() const { return functions_.size(); }
+    const std::vector<Function> &functions() const { return functions_; }
+    std::vector<Function> &functions() { return functions_; }
+
+    FuncId entryFunc() const { return entryFunc_; }
+    void setEntryFunc(FuncId f) { entryFunc_ = f; }
+
+    BasicBlock &block(BlockRef r) { return func(r.func).block(r.block); }
+    const BasicBlock &
+    block(BlockRef r) const
+    {
+        return func(r.func).block(r.block);
+    }
+
+    /**
+     * Assign flat addresses: functions in id order, blocks within each
+     * function in its layout order, kInstBytes per instruction. Must be
+     * re-run after any structural change before simulation.
+     */
+    void layout();
+
+    /** Total static instruction count. */
+    std::size_t numInsts() const;
+
+    /** Code size in bytes after layout(). */
+    Addr codeSize() const { return codeSize_; }
+
+  private:
+    std::string name_;
+    std::vector<Function> functions_;
+    FuncId entryFunc_ = 0;
+    Addr codeSize_ = 0;
+};
+
+} // namespace vp::ir
+
+#endif // VP_IR_PROGRAM_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental identifier types of the post-link program representation.
+ */
+
+#ifndef VP_IR_TYPES_HH
+#define VP_IR_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace vp::ir
+{
+
+/** Virtual register number (function-local numbering). */
+using RegId = std::uint16_t;
+
+/** Basic block index within its function. */
+using BlockId = std::uint32_t;
+
+/** Function index within its program. */
+using FuncId = std::uint32_t;
+
+/** Code address in the flat simulated address space (byte granular). */
+using Addr = std::uint64_t;
+
+/**
+ * Stable identity of an *original* static branch or memory instruction.
+ * Copies made during package construction preserve it, which is what lets
+ * the execution oracle replay identical outcome streams for original and
+ * packaged code, and what package linking uses to match branch instances.
+ */
+using BehaviorId = std::uint64_t;
+
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+inline constexpr FuncId kInvalidFunc = std::numeric_limits<FuncId>::max();
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** A (function, block) pair: the general control-transfer target. */
+struct BlockRef
+{
+    FuncId func = kInvalidFunc;
+    BlockId block = kInvalidBlock;
+
+    bool valid() const { return func != kInvalidFunc; }
+    bool operator==(const BlockRef &o) const = default;
+    auto operator<=>(const BlockRef &o) const = default;
+};
+
+inline constexpr BlockRef kNoBlockRef{};
+
+} // namespace vp::ir
+
+namespace std
+{
+
+template <>
+struct hash<vp::ir::BlockRef>
+{
+    size_t
+    operator()(const vp::ir::BlockRef &r) const noexcept
+    {
+        return hash<uint64_t>()((static_cast<uint64_t>(r.func) << 32) ^
+                                r.block);
+    }
+};
+
+} // namespace std
+
+#endif // VP_IR_TYPES_HH

@@ -1,0 +1,167 @@
+#include "ir/verify.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vp::ir
+{
+
+namespace
+{
+
+void
+checkRef(const Program &prog, const Function &fn, const BlockRef &r,
+         const char *what, BlockId b, std::vector<std::string> &errs)
+{
+    if (!r.valid())
+        return;
+    std::ostringstream os;
+    if (r.func >= prog.numFunctions()) {
+        os << fn.name() << ":B" << b << " " << what << " references bad "
+           << "function " << r.func;
+        errs.push_back(os.str());
+        return;
+    }
+    if (r.block >= prog.func(r.func).numBlocks()) {
+        os << fn.name() << ":B" << b << " " << what << " references bad "
+           << "block " << r.block << " of " << prog.func(r.func).name();
+        errs.push_back(os.str());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Program &prog, const Function &fn)
+{
+    std::vector<std::string> errs;
+    auto err = [&](BlockId b, const std::string &msg) {
+        std::ostringstream os;
+        os << fn.name() << ":B" << b << " " << msg;
+        errs.push_back(os.str());
+    };
+
+    if (fn.numBlocks() == 0) {
+        errs.push_back(fn.name() + " has no blocks");
+        return errs;
+    }
+    if (fn.entry() >= fn.numBlocks())
+        errs.push_back(fn.name() + " has invalid entry block");
+
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(b);
+        if (bb.id != b)
+            err(b, "stored id mismatch");
+
+        // At most one control instruction and it must be last.
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+            if (isControl(bb.insts[i].op) && i + 1 != bb.insts.size())
+                err(b, "control instruction not last");
+        }
+
+        const Instruction *term = bb.terminator();
+        if (term) {
+            switch (term->op) {
+              case Opcode::CondBr:
+                if (!bb.taken.valid())
+                    err(b, "CondBr without taken target");
+                if (!bb.fall.valid())
+                    err(b, "CondBr without fall-through");
+                if (term->behavior == 0)
+                    err(b, "CondBr without behavior id");
+                break;
+              case Opcode::Jump:
+                if (!bb.taken.valid())
+                    err(b, "Jump without target");
+                if (bb.fall.valid())
+                    err(b, "Jump with fall-through");
+                break;
+              case Opcode::Call:
+                if (bb.callee == kInvalidFunc)
+                    err(b, "Call without callee");
+                else if (bb.callee >= prog.numFunctions())
+                    err(b, "Call to invalid function");
+                if (!bb.fall.valid())
+                    err(b, "Call without return-to block");
+                if (bb.taken.valid())
+                    err(b, "Call with taken target");
+                break;
+              case Opcode::Ret:
+                if (bb.taken.valid() || bb.fall.valid())
+                    err(b, "Ret with successors");
+                break;
+              default:
+                break;
+            }
+        } else if (bb.insts.empty() && !bb.taken.valid() &&
+                   !bb.fall.valid()) {
+            // A fully empty, successor-less block is a dead husk left by
+            // block merging; it occupies no code space and is tolerated.
+        } else {
+            // Plain block: must fall through somewhere.
+            if (!bb.fall.valid())
+                err(b, "block without terminator or fall-through");
+            if (bb.taken.valid())
+                err(b, "non-branch block with taken target");
+        }
+        if (bb.callee != kInvalidFunc && !(term && term->op == Opcode::Call))
+            err(b, "callee set on non-call block");
+
+        checkRef(prog, fn, bb.taken, "taken", b, errs);
+        checkRef(prog, fn, bb.fall, "fall", b, errs);
+        for (const BlockRef &t : bb.selectorTargets)
+            checkRef(prog, fn, t, "selector target", b, errs);
+        if (!bb.selectorTargets.empty() &&
+            bb.kind != BlockKind::Selector) {
+            err(b, "selector targets on non-selector block");
+        }
+        if (bb.kind == BlockKind::Selector) {
+            if (bb.selectorTargets.empty())
+                err(b, "selector block without targets");
+            const Instruction *t = bb.terminator();
+            if (!t || t->op != Opcode::Jump)
+                err(b, "selector block must end in a jump");
+        }
+
+        for (const Instruction &inst : bb.insts) {
+            for (RegId r : inst.dsts) {
+                if (r >= fn.regCount())
+                    err(b, "dst register out of range");
+            }
+            for (RegId r : inst.srcs) {
+                if (r >= fn.regCount())
+                    err(b, "src register out of range");
+            }
+        }
+    }
+    return errs;
+}
+
+std::vector<std::string>
+verify(const Program &prog)
+{
+    std::vector<std::string> errs;
+    if (prog.entryFunc() >= prog.numFunctions())
+        errs.push_back("program entry function invalid");
+    for (const Function &fn : prog.functions()) {
+        auto fe = verify(prog, fn);
+        errs.insert(errs.end(), fe.begin(), fe.end());
+    }
+    return errs;
+}
+
+void
+verifyOrDie(const Program &prog, const char *when)
+{
+    const auto errs = verify(prog);
+    if (!errs.empty()) {
+        std::ostringstream os;
+        os << "IR verification failed (" << when << "):";
+        for (const auto &e : errs)
+            os << "\n  " << e;
+        vp_panic(os.str());
+    }
+}
+
+} // namespace vp::ir

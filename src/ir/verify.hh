@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structural IR verifier. Run after construction and after every
+ * transformation pass; a non-empty result is a pipeline bug.
+ */
+
+#ifndef VP_IR_VERIFY_HH
+#define VP_IR_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace vp::ir
+{
+
+/** @return human-readable violations found in @p fn (empty = valid). */
+std::vector<std::string> verify(const Program &prog, const Function &fn);
+
+/** @return violations found anywhere in @p prog (empty = valid). */
+std::vector<std::string> verify(const Program &prog);
+
+/** Abort with a panic listing violations if @p prog is malformed. */
+void verifyOrDie(const Program &prog, const char *when);
+
+} // namespace vp::ir
+
+#endif // VP_IR_VERIFY_HH

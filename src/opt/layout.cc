@@ -1,0 +1,141 @@
+#include "opt/layout.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+
+LayoutStats
+relayoutFunction(Function &fn, const FlowWeights &weights)
+{
+    LayoutStats stats;
+    const std::size_t nb = fn.numBlocks();
+
+    // Candidate fall-through arcs: (weight, from, to, via taken arc).
+    struct Cand
+    {
+        double weight;
+        BlockId from, to;
+        bool viaTaken;
+    };
+    std::vector<Cand> cands;
+    auto chainable = [&](BlockId b) {
+        const BasicBlock &bb = fn.block(b);
+        return bb.kind != BlockKind::Exit &&
+               !(bb.insts.empty() && !bb.taken.valid() && !bb.fall.valid());
+    };
+    for (BlockId b = 0; b < nb; ++b) {
+        if (!chainable(b))
+            continue;
+        const BasicBlock &bb = fn.block(b);
+        // A call's fall-through is a return point, still a layout arc.
+        if (bb.fall.valid() && bb.fall.func == fn.id() &&
+            chainable(bb.fall.block)) {
+            cands.push_back({weights.fall[b], b, bb.fall.block, false});
+        }
+        if (bb.taken.valid() && bb.taken.func == fn.id() &&
+            !bb.endsInCall() && chainable(bb.taken.block)) {
+            cands.push_back({weights.taken[b], b, bb.taken.block, true});
+        }
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand &a, const Cand &b) {
+                         return a.weight > b.weight;
+                     });
+
+    // Greedy chain merging (bottom-up positioning).
+    std::vector<BlockId> next(nb, kInvalidBlock), prev(nb, kInvalidBlock);
+    std::vector<BlockId> head(nb); // chain head, with path compression
+    for (BlockId b = 0; b < nb; ++b)
+        head[b] = b;
+    auto find_head = [&](BlockId b) {
+        while (head[b] != b)
+            b = head[b] = head[head[b]];
+        return b;
+    };
+    std::vector<bool> via_taken(nb, false);
+    for (const Cand &c : cands) {
+        if (next[c.from] != kInvalidBlock || prev[c.to] != kInvalidBlock)
+            continue;
+        if (find_head(c.from) == c.to)
+            continue; // would close a cycle
+        next[c.from] = c.to;
+        prev[c.to] = c.from;
+        via_taken[c.from] = c.viaTaken;
+        head[c.to] = find_head(c.from);
+    }
+
+    // Apply branch flips / jump removals where the chain successor is the
+    // taken target.
+    for (BlockId b = 0; b < nb; ++b) {
+        if (next[b] == kInvalidBlock || !via_taken[b])
+            continue;
+        BasicBlock &bb = fn.block(b);
+        Instruction *term = bb.terminator();
+        vp_assert(term, "taken chain arc from non-branch block");
+        if (term->op == Opcode::CondBr) {
+            std::swap(bb.taken, bb.fall);
+            term->invertSense = !term->invertSense;
+            if (term->profProb >= 0.0)
+                term->profProb = 1.0 - term->profProb;
+            ++stats.flippedBranches;
+        } else if (term->op == Opcode::Jump) {
+            bb.fall = bb.taken;
+            bb.taken = kNoBlockRef;
+            bb.insts.pop_back();
+            ++stats.jumpsRemoved;
+        }
+    }
+
+    // Order chains by head weight, heaviest first; exits and dead blocks
+    // sink to the end.
+    struct Chain
+    {
+        BlockId head;
+        double weight;
+    };
+    std::vector<Chain> chains;
+    for (BlockId b = 0; b < nb; ++b) {
+        if (chainable(b) && prev[b] == kInvalidBlock)
+            chains.push_back({b, weights.block[b]});
+    }
+    std::stable_sort(chains.begin(), chains.end(),
+                     [](const Chain &a, const Chain &b) {
+                         return a.weight > b.weight;
+                     });
+    stats.chains = chains.size();
+
+    std::vector<BlockId> order;
+    order.reserve(nb);
+    std::vector<bool> placed(nb, false);
+    // The function entry's chain leads (calls land there).
+    {
+        BlockId eh = fn.entry();
+        while (prev[eh] != kInvalidBlock)
+            eh = prev[eh];
+        for (BlockId b = eh; b != kInvalidBlock; b = next[b]) {
+            order.push_back(b);
+            placed[b] = true;
+        }
+    }
+    for (const Chain &c : chains) {
+        for (BlockId b = c.head; b != kInvalidBlock; b = next[b]) {
+            if (!placed[b]) {
+                order.push_back(b);
+                placed[b] = true;
+            }
+        }
+    }
+    for (BlockId b = 0; b < nb; ++b) {
+        if (!placed[b])
+            order.push_back(b); // exits and dead blocks, in id order
+    }
+    fn.setLayout(std::move(order));
+    return stats;
+}
+
+} // namespace vp::opt

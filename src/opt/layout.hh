@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Package relayout (Section 5.4): greedy bottom-up chain formation places
+ * each block's hottest successor as its fall-through, flipping branch
+ * senses and deleting now-redundant jumps; cold exit blocks sink to the
+ * end of the function.
+ */
+
+#ifndef VP_OPT_LAYOUT_HH
+#define VP_OPT_LAYOUT_HH
+
+#include <cstddef>
+
+#include "ir/function.hh"
+#include "opt/weights.hh"
+
+namespace vp::opt
+{
+
+/** What relayout did (for reporting and tests). */
+struct LayoutStats
+{
+    std::size_t chains = 0;
+    std::size_t flippedBranches = 0;
+    std::size_t jumpsRemoved = 0;
+};
+
+/**
+ * Reorder @p fn's layout so heavy arcs fall through.
+ *
+ * CondBr blocks whose chain successor is the taken target get their
+ * targets swapped and their sense inverted; Jump blocks whose chain
+ * successor is the target lose the jump entirely.
+ */
+LayoutStats relayoutFunction(ir::Function &fn, const FlowWeights &weights);
+
+} // namespace vp::opt
+
+#endif // VP_OPT_LAYOUT_HH

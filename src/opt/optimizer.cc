@@ -1,0 +1,121 @@
+#include "opt/optimizer.hh"
+
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+
+std::size_t
+mergeStraightline(Function &fn, const std::vector<bool> &extern_ref)
+{
+    std::size_t merged = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const auto preds = predecessors(fn);
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            BasicBlock &bb = fn.block(b);
+            if (bb.terminator() || !bb.fall.valid() ||
+                bb.fall.func != fn.id() || bb.kind == BlockKind::Exit) {
+                continue;
+            }
+            const BlockId c = bb.fall.block;
+            if (c == b || c == fn.entry() || extern_ref[c])
+                continue;
+            if (preds[c].size() != 1)
+                continue;
+            BasicBlock &cb = fn.block(c);
+            if (cb.kind == BlockKind::Exit)
+                continue;
+
+            // Fold c into b; c becomes a dead husk.
+            bb.insts.insert(bb.insts.end(),
+                            std::make_move_iterator(cb.insts.begin()),
+                            std::make_move_iterator(cb.insts.end()));
+            bb.taken = cb.taken;
+            bb.fall = cb.fall;
+            bb.callee = cb.callee;
+            cb.insts.clear();
+            cb.taken = kNoBlockRef;
+            cb.fall = kNoBlockRef;
+            cb.callee = kInvalidFunc;
+            ++merged;
+            changed = true;
+        }
+    }
+    return merged;
+}
+
+OptStats
+optimizePackages(Program &prog, const OptConfig &cfg,
+                 const sim::MachineConfig &mc)
+{
+    OptStats stats;
+
+    // Blocks referenced from outside their own function (launch targets,
+    // links, exit targets) must keep their identity.
+    std::vector<std::vector<bool>> extern_ref(prog.numFunctions());
+    for (const Function &fn : prog.functions())
+        extern_ref[fn.id()].assign(fn.numBlocks(), false);
+    for (const Function &fn : prog.functions()) {
+        for (const BasicBlock &bb : fn.blocks()) {
+            auto mark = [&](const BlockRef &r) {
+                if (r.valid() && r.func != fn.id())
+                    extern_ref[r.func][r.block] = true;
+            };
+            mark(bb.taken);
+            mark(bb.fall);
+            if (bb.endsInCall() && bb.callee != kInvalidFunc)
+                extern_ref[bb.callee][prog.func(bb.callee).entry()] = true;
+        }
+    }
+
+    for (Function &fn : prog.functions()) {
+        if (!fn.isPackage())
+            continue;
+        ++stats.functionsOptimized;
+
+        if (cfg.unrollFactor >= 2) {
+            const UnrollStats us = unrollLoops(fn, cfg.unrollFactor);
+            stats.loopsUnrolled += us.loopsUnrolled;
+        }
+
+        if (cfg.sinkCold) {
+            const SinkStats ss = sinkColdInstructions(fn);
+            stats.instsSunk += ss.sunk;
+            stats.deadRemoved += ss.removed;
+        }
+
+        if (cfg.merge)
+            stats.blocksMerged += mergeStraightline(fn, extern_ref[fn.id()]);
+
+        if (cfg.relayout) {
+            // Flow entries: externally referenced blocks + function entry.
+            std::vector<BlockId> entries{fn.entry()};
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                if (extern_ref[fn.id()][b] && b != fn.entry())
+                    entries.push_back(b);
+            }
+            const FlowWeights w = computeWeights(fn, entries);
+            const LayoutStats ls = relayoutFunction(fn, w);
+            stats.flippedBranches += ls.flippedBranches;
+            stats.jumpsRemoved += ls.jumpsRemoved;
+        }
+
+        if (cfg.reschedule) {
+            const ScheduleStats ss = scheduleFunction(fn, mc);
+            stats.blocksScheduled += ss.blocksScheduled;
+            stats.instsMoved += ss.instsMoved;
+        }
+    }
+
+    prog.layout();
+    verifyOrDie(prog, "package optimization");
+    return stats;
+}
+
+} // namespace vp::opt

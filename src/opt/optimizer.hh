@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Package optimization driver: straight-line block merging (cold-path
+ * removal widens block scope, Section 5.4), profile-weight derivation,
+ * relayout, and rescheduling, applied to every package function of a
+ * packaged program. Original code is left untouched.
+ */
+
+#ifndef VP_OPT_OPTIMIZER_HH
+#define VP_OPT_OPTIMIZER_HH
+
+#include "ir/program.hh"
+#include "opt/layout.hh"
+#include "opt/schedule.hh"
+#include "opt/sink.hh"
+#include "opt/unroll.hh"
+#include "sim/machine.hh"
+
+namespace vp::opt
+{
+
+/** Which passes to run. */
+struct OptConfig
+{
+    /** Unroll package loops by this factor (1 = off, the paper's
+     *  configuration; Section 5.4 lists loop optimizations as future
+     *  candidates). */
+    unsigned unrollFactor = 1;
+
+    bool sinkCold = true;   ///< move exit-only values into exit blocks
+    bool merge = true;      ///< coalesce single-entry fall-through chains
+    bool relayout = true;   ///< hot-path fall-through ordering
+    bool reschedule = true; ///< per-block EPIC list scheduling
+};
+
+/** Aggregate pass statistics. */
+struct OptStats
+{
+    std::size_t loopsUnrolled = 0;
+    std::size_t instsSunk = 0;
+    std::size_t deadRemoved = 0;
+    std::size_t blocksMerged = 0;
+    std::size_t flippedBranches = 0;
+    std::size_t jumpsRemoved = 0;
+    std::size_t blocksScheduled = 0;
+    std::size_t instsMoved = 0;
+    std::size_t functionsOptimized = 0;
+};
+
+/**
+ * Merge each block with its fall-through successor when that successor
+ * has exactly one predecessor, is not externally referenced, and neither
+ * side is an exit block. Emptied blocks remain as dead husks (zero code
+ * bytes after layout).
+ */
+std::size_t mergeStraightline(ir::Function &fn,
+                              const std::vector<bool> &extern_ref);
+
+/**
+ * Optimize all package functions of @p prog and re-run layout().
+ * @p prog must already be verified; it is re-verified afterwards.
+ */
+OptStats optimizePackages(ir::Program &prog, const OptConfig &cfg = {},
+                          const sim::MachineConfig &mc = {});
+
+} // namespace vp::opt
+
+#endif // VP_OPT_OPTIMIZER_HH

@@ -1,0 +1,193 @@
+#include "opt/schedule.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+using sim::FuClass;
+using sim::fuClassOf;
+
+std::vector<DepEdge>
+buildDeps(const BasicBlock &bb, const sim::MachineConfig &mc)
+{
+    std::vector<DepEdge> edges;
+    const std::size_t n = bb.insts.size();
+
+    // Last writer / readers per register (dense maps would need the reg
+    // count; small blocks make linear maps fine).
+    std::vector<std::pair<RegId, std::size_t>> last_def;
+    std::vector<std::pair<RegId, std::size_t>> last_uses;
+
+    auto find_def = [&](RegId r) -> const std::size_t * {
+        for (auto it = last_def.rbegin(); it != last_def.rend(); ++it) {
+            if (it->first == r)
+                return &it->second;
+        }
+        return nullptr;
+    };
+
+    std::size_t last_store = SIZE_MAX;
+    std::size_t last_mem = SIZE_MAX;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction &inst = bb.insts[i];
+
+        for (RegId s : inst.srcs) {
+            if (const std::size_t *d = find_def(s)) {
+                const Opcode producer = bb.insts[*d].op;
+                const unsigned lat = producer == Opcode::Load
+                                         ? mc.schedLoadLatency
+                                         : mc.latencyOf(producer);
+                edges.push_back({*d, i, DepKind::Raw, lat});
+            }
+        }
+        for (RegId d : inst.dsts) {
+            if (const std::size_t *pd = find_def(d)) {
+                edges.push_back({*pd, i, DepKind::Waw, 1});
+            }
+            for (const auto &[r, u] : last_uses) {
+                if (r == d && u != i)
+                    edges.push_back({u, i, DepKind::War, 0});
+            }
+        }
+
+        // Conservative memory ordering: stores order against everything
+        // memory; loads may pass loads.
+        if (inst.op == Opcode::Store) {
+            if (last_mem != SIZE_MAX)
+                edges.push_back({last_mem, i, DepKind::Mem, 1});
+            last_store = i;
+            last_mem = i;
+        } else if (inst.op == Opcode::Load) {
+            if (last_store != SIZE_MAX)
+                edges.push_back({last_store, i, DepKind::Mem, 1});
+            last_mem = i;
+        }
+
+        // The terminator is pinned after everything.
+        if (isControl(inst.op)) {
+            for (std::size_t j = 0; j < i; ++j)
+                edges.push_back({j, i, DepKind::Control, 0});
+        }
+
+        for (RegId s : inst.srcs)
+            last_uses.emplace_back(s, i);
+        for (RegId d : inst.dsts)
+            last_def.emplace_back(d, i);
+    }
+    return edges;
+}
+
+BlockSchedule
+scheduleBlock(const BasicBlock &bb, const sim::MachineConfig &mc)
+{
+    const std::size_t n = bb.insts.size();
+    BlockSchedule sched;
+    sched.cycle.assign(n, 0);
+
+    const auto edges = buildDeps(bb, mc);
+    std::vector<std::vector<std::size_t>> succ(n);
+    std::vector<unsigned> npreds(n, 0);
+    for (const DepEdge &e : edges) {
+        succ[e.from].push_back(e.to);
+        ++npreds[e.to];
+    }
+
+    // Critical-path priority: longest latency-weighted path to any sink.
+    std::vector<unsigned> prio(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        for (const DepEdge &e : edges) {
+            if (e.from == i)
+                prio[i] = std::max(prio[i], prio[e.to] + e.latency + 1);
+        }
+    }
+
+    // Ready list scheduling.
+    std::vector<unsigned> earliest(n, 0);
+    std::vector<bool> done(n, false);
+    std::size_t remaining = n;
+    unsigned cycle = 0;
+
+    while (remaining > 0) {
+        unsigned used_issue = 0;
+        unsigned used_fu[5] = {0, 0, 0, 0, 0};
+
+        // Collect ready instructions at this cycle.
+        std::vector<std::size_t> ready;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!done[i] && npreds[i] == 0 && earliest[i] <= cycle)
+                ready.push_back(i);
+        }
+        std::stable_sort(ready.begin(), ready.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return prio[a] > prio[b];
+                         });
+
+        bool issued_any = false;
+        for (std::size_t i : ready) {
+            const FuClass fc = fuClassOf(bb.insts[i].op);
+            const auto fi = static_cast<unsigned>(fc);
+            if (bb.insts[i].pseudo) {
+                // Pseudo ops consume no resources.
+            } else {
+                if (used_issue >= mc.issueWidth)
+                    continue;
+                if (used_fu[fi] >= mc.numUnits(fc))
+                    continue;
+                ++used_issue;
+                ++used_fu[fi];
+            }
+            done[i] = true;
+            sched.cycle[i] = cycle;
+            sched.order.push_back(i);
+            --remaining;
+            issued_any = true;
+            for (std::size_t s : succ[i])
+                --npreds[s];
+            for (const DepEdge &e : edges) {
+                if (e.from == i) {
+                    earliest[e.to] =
+                        std::max(earliest[e.to], cycle + e.latency);
+                }
+            }
+        }
+        if (remaining > 0) {
+            ++cycle;
+            vp_assert(cycle < 100000 || issued_any,
+                      "scheduler livelock in block ", bb.id);
+        }
+    }
+    sched.length = cycle + 1;
+    return sched;
+}
+
+ScheduleStats
+scheduleFunction(Function &fn, const sim::MachineConfig &mc)
+{
+    ScheduleStats stats;
+    for (BasicBlock &bb : fn.blocks()) {
+        if (bb.kind == BlockKind::Exit || bb.insts.size() < 2)
+            continue;
+        const BlockSchedule sched = scheduleBlock(bb, mc);
+        bool moved = false;
+        for (std::size_t i = 0; i < sched.order.size(); ++i)
+            moved |= (sched.order[i] != i);
+        if (!moved)
+            continue;
+        std::vector<Instruction> reordered;
+        reordered.reserve(bb.insts.size());
+        for (std::size_t i : sched.order)
+            reordered.push_back(std::move(bb.insts[i]));
+        for (std::size_t i = 0; i < sched.order.size(); ++i)
+            stats.instsMoved += (sched.order[i] != i) ? 1 : 0;
+        bb.insts = std::move(reordered);
+        ++stats.blocksScheduled;
+    }
+    return stats;
+}
+
+} // namespace vp::opt

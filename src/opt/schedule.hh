@@ -1,0 +1,72 @@
+/**
+ * @file
+ * EPIC list scheduler: per-block dependence-graph construction and
+ * latency-weighted list scheduling against the machine's issue width and
+ * functional-unit mix. This is the "rescheduling" half of the paper's
+ * Section 5.4 experiment.
+ */
+
+#ifndef VP_OPT_SCHEDULE_HH
+#define VP_OPT_SCHEDULE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/function.hh"
+#include "sim/machine.hh"
+
+namespace vp::opt
+{
+
+/** Dependence kinds tracked by the scheduler. */
+enum class DepKind : std::uint8_t { Raw, War, Waw, Mem, Control };
+
+/** One dependence edge between instruction indices within a block. */
+struct DepEdge
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+    DepKind kind = DepKind::Raw;
+
+    /** Cycles that must elapse between the two issues. */
+    unsigned latency = 0;
+};
+
+/** Build the intra-block dependence edges for @p bb. */
+std::vector<DepEdge> buildDeps(const ir::BasicBlock &bb,
+                               const sim::MachineConfig &mc);
+
+/** Result of scheduling one block. */
+struct BlockSchedule
+{
+    /** New instruction order (indices into the old order). */
+    std::vector<std::size_t> order;
+
+    /** Issue cycle assigned to each instruction (old indexing). */
+    std::vector<unsigned> cycle;
+
+    /** Schedule length in cycles. */
+    unsigned length = 0;
+};
+
+/**
+ * List-schedule @p bb's instructions: critical-path priority, resource
+ * constraints from @p mc, terminator pinned last.
+ */
+BlockSchedule scheduleBlock(const ir::BasicBlock &bb,
+                            const sim::MachineConfig &mc);
+
+/** Statistics from scheduling a whole function. */
+struct ScheduleStats
+{
+    std::size_t blocksScheduled = 0;
+    std::size_t instsMoved = 0;
+};
+
+/** Reorder instructions of every schedulable block of @p fn in place. */
+ScheduleStats scheduleFunction(ir::Function &fn,
+                               const sim::MachineConfig &mc);
+
+} // namespace vp::opt
+
+#endif // VP_OPT_SCHEDULE_HH

@@ -1,0 +1,174 @@
+#include "opt/sink.hh"
+
+#include <algorithm>
+
+#include "ir/liveness.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+
+namespace
+{
+
+bool
+sinkable(const Instruction &inst)
+{
+    if (inst.pseudo || inst.dsts.size() != 1)
+        return false;
+    switch (inst.op) {
+      case Opcode::IAlu:
+      case Opcode::FAlu:
+      case Opcode::FMul:
+      case Opcode::Load:
+        return true;
+      default:
+        return false; // stores and control have side effects
+    }
+}
+
+/** What the rest of the block does with register @p r after index @p i. */
+enum class LocalFate { Read, Redefined, Unused };
+
+LocalFate
+localFate(const BasicBlock &bb, std::size_t i, RegId r)
+{
+    for (std::size_t j = i + 1; j < bb.insts.size(); ++j) {
+        const Instruction &inst = bb.insts[j];
+        if (std::find(inst.srcs.begin(), inst.srcs.end(), r) !=
+            inst.srcs.end()) {
+            return LocalFate::Read;
+        }
+        if (std::find(inst.dsts.begin(), inst.dsts.end(), r) !=
+            inst.dsts.end()) {
+            return LocalFate::Redefined;
+        }
+    }
+    return LocalFate::Unused;
+}
+
+} // namespace
+
+SinkStats
+sinkColdInstructions(Function &fn)
+{
+    SinkStats stats;
+
+    // Sinking can expose more dead code; iterate to a (bounded) fixpoint.
+    for (unsigned round = 0; round < 8; ++round) {
+        const Liveness live(fn);
+        bool changed = false;
+
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            BasicBlock &bb = fn.block(b);
+            if (bb.kind == BlockKind::Exit)
+                continue;
+
+            // Successor classification. A cross-function successor (a
+            // package link) cannot be analyzed: be conservative and treat
+            // every register as live into it.
+            std::vector<BlockId> exit_succs;
+            bool opaque_succ = false;
+            bool hot_succ_live_any = false;
+            std::vector<BlockId> hot_succs;
+            for (const BlockRef &s : {bb.taken, bb.fall}) {
+                if (!s.valid())
+                    continue;
+                if (s.func != fn.id()) {
+                    opaque_succ = true;
+                } else if (fn.block(s.block).kind == BlockKind::Exit) {
+                    exit_succs.push_back(s.block);
+                } else {
+                    hot_succs.push_back(s.block);
+                }
+            }
+            (void)hot_succ_live_any;
+            if (opaque_succ)
+                continue;
+
+            // Collect decisions first; mutate afterwards (indices shift).
+            std::vector<std::size_t> to_remove;
+            std::vector<std::pair<std::size_t, std::vector<BlockId>>>
+                to_sink;
+
+            for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+                const Instruction &inst = bb.insts[i];
+                if (!sinkable(inst))
+                    continue;
+                const RegId r = inst.dsts[0];
+                const LocalFate fate = localFate(bb, i, r);
+                if (fate == LocalFate::Read)
+                    continue;
+                if (fate == LocalFate::Redefined) {
+                    // Shadowed before any use: locally dead.
+                    to_remove.push_back(i);
+                    continue;
+                }
+                // Value reaches the block end: where is it needed?
+                bool live_hot = false;
+                for (BlockId h : hot_succs)
+                    live_hot |= live.liveIn(h).test(r);
+                if (live_hot)
+                    continue;
+                std::vector<BlockId> targets;
+                for (BlockId e : exit_succs) {
+                    if (live.liveIn(e).test(r))
+                        targets.push_back(e);
+                }
+                if (targets.empty()) {
+                    // Consumed nowhere we can see. The paper's pass only
+                    // *moves* cold instructions; leave apparent dead code
+                    // alone (a real compiler would not have emitted it,
+                    // and removing it would overstate the optimization).
+                    continue;
+                }
+                to_sink.emplace_back(i, std::move(targets));
+            }
+
+            if (to_remove.empty() && to_sink.empty())
+                continue;
+            changed = true;
+
+            // Apply back-to-front so indices stay valid. Sunk
+            // instructions are inserted ahead of the exit's terminator;
+            // processing back-to-front per destination keeps the original
+            // relative order.
+            std::vector<std::pair<std::size_t, std::vector<BlockId>>> ops;
+            for (std::size_t i : to_remove)
+                ops.emplace_back(i, std::vector<BlockId>{});
+            for (auto &s : to_sink)
+                ops.push_back(std::move(s));
+            std::sort(ops.begin(), ops.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first > b.first;
+                      });
+
+            for (const auto &[idx, targets] : ops) {
+                Instruction inst = std::move(bb.insts[idx]);
+                bb.insts.erase(bb.insts.begin() +
+                               static_cast<std::ptrdiff_t>(idx));
+                if (targets.empty()) {
+                    ++stats.removed;
+                    continue;
+                }
+                ++stats.sunk;
+                for (BlockId e : targets) {
+                    BasicBlock &eb = fn.block(e);
+                    // Ahead of the exit's terminating jump.
+                    const auto pos =
+                        eb.terminator()
+                            ? eb.insts.end() - 1
+                            : eb.insts.end();
+                    eb.insts.insert(pos, inst);
+                }
+            }
+        }
+
+        if (!changed)
+            break;
+    }
+    return stats;
+}
+
+} // namespace vp::opt

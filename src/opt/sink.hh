@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cold-instruction sinking (Section 5.4): "further compaction of the code
+ * schedule may be achieved by a redundancy-elimination optimization that
+ * moves cold instructions (those whose results are not consumed within
+ * the hot package) to the side exit block."
+ *
+ * For a block ending in a branch with an exit-block successor, an
+ * instruction whose result is live only into that exit (not into the hot
+ * successor, not read later in its own block) executes uselessly on the
+ * hot path; it is moved into the exit block, where it runs only when the
+ * package is actually left. Only locally shadowed values (redefined
+ * before any read) are deleted outright; apparent whole-package dead
+ * code is left alone — the paper's pass moves instructions, it does not
+ * re-run dead-code elimination.
+ */
+
+#ifndef VP_OPT_SINK_HH
+#define VP_OPT_SINK_HH
+
+#include <cstddef>
+
+#include "ir/function.hh"
+
+namespace vp::opt
+{
+
+/** What the sinking pass did. */
+struct SinkStats
+{
+    /** Instructions moved from hot blocks into exit blocks. */
+    std::size_t sunk = 0;
+
+    /** Locally shadowed (redefined-before-read) instructions removed. */
+    std::size_t removed = 0;
+};
+
+/**
+ * Run cold sinking + DCE over one package function, in place.
+ *
+ * Only side-effect-free value producers are candidates (no stores, no
+ * control, no pseudo bookkeeping); loads may sink (their address streams
+ * carry no control dependence in this model).
+ */
+SinkStats sinkColdInstructions(ir::Function &fn);
+
+} // namespace vp::opt
+
+#endif // VP_OPT_SINK_HH

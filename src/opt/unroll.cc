@@ -1,0 +1,170 @@
+#include "opt/unroll.hh"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/cfg.hh"
+#include "support/logging.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** How a latch block reaches its header. */
+struct BackArc
+{
+    bool viaTaken = false; ///< the back edge is the taken arc
+    double loopProb = 0.0; ///< probability mass toward the back edge
+};
+
+/** Classify the latch->header arc; nullopt-like via `ok`. */
+struct LatchInfo
+{
+    bool ok = false;
+    BackArc arc;
+};
+
+LatchInfo
+classifyLatch(const Function &fn, BlockId latch, BlockId header)
+{
+    LatchInfo info;
+    const BasicBlock &lb = fn.block(latch);
+    const BlockRef href{fn.id(), header};
+    if (lb.endsInCondBr()) {
+        const double p = lb.terminator()->profProb;
+        if (p < 0.0)
+            return info; // no profile: don't speculate
+        if (lb.taken == href) {
+            info.arc = {true, p};
+        } else if (lb.fall == href) {
+            info.arc = {false, 1.0 - p};
+        } else {
+            return info;
+        }
+        info.ok = true;
+    } else if (lb.terminator() && lb.terminator()->op == Opcode::Jump &&
+               lb.taken == href) {
+        info.arc = {true, 1.0};
+        info.ok = true;
+    } else if (!lb.terminator() && lb.fall == href) {
+        info.arc = {false, 1.0};
+        info.ok = true;
+    }
+    return info;
+}
+
+} // namespace
+
+UnrollStats
+unrollLoops(Function &fn, unsigned factor, double min_prob,
+            std::size_t max_body_blocks, std::size_t max_growth_blocks)
+{
+    UnrollStats stats;
+    if (factor < 2)
+        return stats;
+
+    // Natural loops: group back edges by header; only single-latch loops.
+    const auto back = backEdges(fn);
+    std::map<BlockId, std::vector<BlockId>> by_header;
+    for (const auto &[latch, header] : back)
+        by_header[header].push_back(latch);
+
+    const auto preds = predecessors(fn);
+    std::size_t added = 0;
+
+    for (const auto &[header, latches] : by_header) {
+        if (latches.size() != 1)
+            continue;
+        const BlockId latch = latches.front();
+        const LatchInfo li = classifyLatch(fn, latch, header);
+        if (!li.ok || li.arc.loopProb < min_prob)
+            continue;
+
+        // Body: the backward closure of the latch, stopping at the
+        // header (the standard natural-loop membership).
+        std::unordered_set<BlockId> body{header, latch};
+        std::vector<BlockId> work{latch};
+        while (!work.empty()) {
+            const BlockId b = work.back();
+            work.pop_back();
+            if (b == header)
+                continue;
+            for (BlockId p : preds[b]) {
+                if (!body.count(p)) {
+                    body.insert(p);
+                    work.push_back(p);
+                }
+            }
+        }
+        if (body.size() > max_body_blocks)
+            continue;
+        const std::size_t growth = body.size() * (factor - 1);
+        if (added + growth > max_growth_blocks)
+            continue;
+
+        // Replicate the body factor-1 times. copies[k] maps original body
+        // block id -> the k-th copy's id.
+        std::vector<std::unordered_map<BlockId, BlockId>> copies(factor);
+        for (unsigned k = 1; k < factor; ++k) {
+            for (BlockId b : body) {
+                const BasicBlock &src = fn.block(b);
+                const BlockId n = fn.addBlock(src.kind);
+                BasicBlock &nb = fn.block(n);
+                // (addBlock may reallocate; re-read the source.)
+                const BasicBlock &src2 = fn.block(b);
+                nb.insts = src2.insts;
+                nb.taken = src2.taken;
+                nb.fall = src2.fall;
+                nb.callee = src2.callee;
+                nb.origin = src2.origin;
+                copies[k][b] = n;
+            }
+        }
+
+        // Wire each copy: intra-body arcs go to the same copy; the latch's
+        // back arc goes to the *next* copy's header (the last copy closes
+        // the loop at the original header). External arcs stay shared.
+        const BlockRef href{fn.id(), header};
+        auto redirect = [&](BlockRef &r, unsigned k) {
+            if (!r.valid() || r.func != fn.id())
+                return;
+            auto it = copies[k].find(r.block);
+            if (it != copies[k].end())
+                r = BlockRef{fn.id(), it->second};
+        };
+        for (unsigned k = 1; k < factor; ++k) {
+            for (BlockId b : body) {
+                BasicBlock &cb = fn.block(copies[k][b]);
+                // The back arc is handled below; first map everything
+                // into this copy.
+                redirect(cb.taken, k);
+                redirect(cb.fall, k);
+            }
+            // This copy's latch: thread to the next copy (or close).
+            BasicBlock &cl = fn.block(copies[k][latch]);
+            BlockRef &arc = li.arc.viaTaken ? cl.taken : cl.fall;
+            if (k + 1 < factor)
+                arc = BlockRef{fn.id(), copies[k + 1][header]};
+            else
+                arc = href;
+        }
+        // The original latch now continues into the first copy.
+        {
+            BasicBlock &ol = fn.block(latch);
+            BlockRef &arc = li.arc.viaTaken ? ol.taken : ol.fall;
+            arc = BlockRef{fn.id(), copies[1][header]};
+        }
+
+        added += growth;
+        stats.blocksAdded += growth;
+        ++stats.loopsUnrolled;
+    }
+    return stats;
+}
+
+} // namespace vp::opt

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Package loop unrolling — one of the "various classic, ILP, and loop
+ * optimizations [that] could also be applied" the paper's Section 5.4
+ * leaves on the table. Packages make this easy: cold paths are already
+ * exits, so loop bodies are compact and single-purpose.
+ *
+ * Natural loops (single back edge whose body is the backward closure of
+ * the latch) are replicated factor-1 times; the back edge threads the
+ * copies in sequence before returning to the original header, so after
+ * relayout only one in `factor` iterations pays a taken transfer, and
+ * straight-line merging gives the scheduler multi-iteration windows.
+ * Copies keep their BehaviorIds, so the execution oracle replays
+ * identically.
+ */
+
+#ifndef VP_OPT_UNROLL_HH
+#define VP_OPT_UNROLL_HH
+
+#include <cstddef>
+
+#include "ir/function.hh"
+
+namespace vp::opt
+{
+
+/** What unrolling did to one function. */
+struct UnrollStats
+{
+    std::size_t loopsUnrolled = 0;
+    std::size_t blocksAdded = 0;
+};
+
+/**
+ * Unroll the natural loops of @p fn by @p factor (>= 2; 1 is a no-op).
+ *
+ * Only loops whose latch branch is strongly looping (profProb toward the
+ * back edge >= @p min_prob) and whose body is at most @p max_body_blocks
+ * blocks are unrolled, and each function grows at most
+ * @p max_growth_blocks new blocks.
+ */
+UnrollStats unrollLoops(ir::Function &fn, unsigned factor,
+                        double min_prob = 0.75,
+                        std::size_t max_body_blocks = 24,
+                        std::size_t max_growth_blocks = 256);
+
+} // namespace vp::opt
+
+#endif // VP_OPT_UNROLL_HH

@@ -1,0 +1,88 @@
+#include "opt/weights.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/cfg.hh"
+
+namespace vp::opt
+{
+
+using namespace ir;
+
+FlowWeights
+computeWeights(const Function &fn, const std::vector<BlockId> &entries,
+               unsigned max_iters, double epsilon)
+{
+    const std::size_t nb = fn.numBlocks();
+    FlowWeights w;
+    w.block.assign(nb, 0.0);
+    w.taken.assign(nb, 0.0);
+    w.fall.assign(nb, 0.0);
+
+    std::vector<double> inject(nb, 0.0);
+    for (BlockId e : entries)
+        inject.at(e) = 1.0;
+
+    // Per-block split probability toward the taken arc.
+    std::vector<double> p_taken(nb, 0.0);
+    for (BlockId b = 0; b < nb; ++b) {
+        const BasicBlock &bb = fn.block(b);
+        if (bb.endsInCondBr()) {
+            const double p = bb.terminator()->profProb;
+            p_taken[b] = (p >= 0.0) ? p : 0.5;
+        } else if (bb.taken.valid()) {
+            p_taken[b] = 1.0; // unconditional jump
+        }
+    }
+
+    // Predecessor arcs: for each block, (pred id, pred's taken arc?).
+    std::vector<std::vector<std::pair<BlockId, bool>>> preds(nb);
+    for (BlockId p = 0; p < nb; ++p) {
+        const BasicBlock &pb = fn.block(p);
+        if (pb.taken.valid() && pb.taken.func == fn.id())
+            preds[pb.taken.block].emplace_back(p, true);
+        if (pb.fall.valid() && pb.fall.func == fn.id())
+            preds[pb.fall.block].emplace_back(p, false);
+    }
+
+    // Gauss-Seidel sweeps in reverse post-order: cyclic flow (loops with
+    // p_taken < 1) converges geometrically.
+    auto order = reversePostOrder(fn);
+    // Include blocks unreachable from the function entry (extra package
+    // entry blocks) so their flow is propagated too.
+    {
+        std::vector<bool> seen(nb, false);
+        for (BlockId b : order)
+            seen[b] = true;
+        for (BlockId b = 0; b < nb; ++b) {
+            if (!seen[b])
+                order.push_back(b);
+        }
+    }
+
+    for (unsigned it = 0; it < max_iters; ++it) {
+        double max_delta = 0.0;
+        for (BlockId b : order) {
+            double in = inject[b];
+            for (const auto &[p, via_taken] : preds[b])
+                in += via_taken ? w.taken[p] : w.fall[p];
+            max_delta = std::max(max_delta, std::abs(in - w.block[b]));
+            w.block[b] = in;
+            const BasicBlock &bb = fn.block(b);
+            if (bb.endsInCondBr()) {
+                w.taken[b] = in * p_taken[b];
+                w.fall[b] = in * (1.0 - p_taken[b]);
+            } else if (bb.taken.valid()) {
+                w.taken[b] = in;
+            } else if (bb.fall.valid()) {
+                w.fall[b] = in;
+            }
+        }
+        if (max_delta < epsilon)
+            break;
+    }
+    return w;
+}
+
+} // namespace vp::opt

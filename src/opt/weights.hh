@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Profile-weight derivation for packages (Section 5.4 / reference [4]):
+ * block and arc weights computed from per-block taken probabilities via
+ * iterative flow propagation from the package entry blocks.
+ */
+
+#ifndef VP_OPT_WEIGHTS_HH
+#define VP_OPT_WEIGHTS_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace vp::opt
+{
+
+/** Derived weights for one function. */
+struct FlowWeights
+{
+    /** Estimated execution weight per block. */
+    std::vector<double> block;
+
+    /** Weight of each block's taken / fall arc. */
+    std::vector<double> taken;
+    std::vector<double> fall;
+};
+
+/**
+ * Propagate flow from @p entries (each seeded with weight 1) through the
+ * function, splitting at branches per their profProb hints (0.5 when
+ * unknown). Cyclic flow converges geometrically; iteration stops at
+ * @p max_iters or when the largest change drops below @p epsilon.
+ */
+FlowWeights computeWeights(const ir::Function &fn,
+                           const std::vector<ir::BlockId> &entries,
+                           unsigned max_iters = 200, double epsilon = 1e-6);
+
+} // namespace vp::opt
+
+#endif // VP_OPT_WEIGHTS_HH

@@ -1,0 +1,196 @@
+#include "package/linker.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace vp::package
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Branch-instance lookup: origin block -> candidate blocks in a package. */
+std::unordered_map<BlockRef, std::vector<BlockId>>
+branchInstances(const Program &prog, const PackageInfo &pkg)
+{
+    std::unordered_map<BlockRef, std::vector<BlockId>> map;
+    const Function &P = prog.func(pkg.func);
+    for (const BasicBlock &bb : P.blocks()) {
+        if (bb.endsInCondBr() && bb.origin.valid())
+            map[bb.origin].push_back(bb.id);
+    }
+    return map;
+}
+
+/** @return true if @p target is an exit block of package @p pkg. */
+bool
+isExitArc(const Program &prog, const PackageInfo &pkg, const BlockRef &target)
+{
+    return target.valid() && target.func == pkg.func &&
+           prog.func(pkg.func).block(target.block).kind == BlockKind::Exit;
+}
+
+} // namespace
+
+double
+accumulatorRank(const std::vector<double> &ratios)
+{
+    double acc = 0.0, w = 1.0;
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        if (i == 0) {
+            acc = ratios[0];
+            w = ratios[0];
+        } else {
+            w *= ratios[i];
+            acc += w;
+        }
+    }
+    return acc;
+}
+
+GroupOrdering
+evaluateOrdering(const Program &prog,
+                 const std::vector<const PackageInfo *> &group,
+                 const std::vector<std::size_t> &order)
+{
+    const std::size_t n = group.size();
+    GroupOrdering result;
+    result.order = order;
+
+    // Precompute branch-instance indexes.
+    std::vector<std::unordered_map<BlockRef, std::vector<BlockId>>> idx;
+    idx.reserve(n);
+    for (const PackageInfo *p : group)
+        idx.push_back(branchInstances(prog, *p));
+
+    std::vector<std::size_t> incoming(n, 0); // indexed by ordering position
+
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        const std::size_t gi = order[pos];
+        const PackageInfo &pi = *group[gi];
+        const Function &Pi = prog.func(pi.func);
+
+        for (const BasicBlock &bb : Pi.blocks()) {
+            if (!bb.endsInCondBr() || !bb.origin.valid())
+                continue;
+            for (const bool taken_dir : {true, false}) {
+                const BlockRef t = taken_dir ? bb.taken : bb.fall;
+                if (!isExitArc(prog, pi, t))
+                    continue;
+                // First compatible package to the right, wrapping.
+                for (std::size_t step = 1; step < n; ++step) {
+                    const std::size_t pos_j = (pos + step) % n;
+                    const std::size_t gj = order[pos_j];
+                    const PackageInfo &pj = *group[gj];
+                    auto it = idx[gj].find(bb.origin);
+                    if (it == idx[gj].end())
+                        continue;
+                    const Function &Pj = prog.func(pj.func);
+                    bool linked = false;
+                    for (BlockId b2 : it->second) {
+                        // Identical calling context required.
+                        if (pj.ctx.at(b2) != pi.ctx.at(bb.id))
+                            continue;
+                        const BasicBlock &bj = Pj.block(b2);
+                        const BlockRef t2 = taken_dir ? bj.taken : bj.fall;
+                        // Compatible when that direction is hot (not an
+                        // exit) in the sibling: F links to T/U, T to F/U.
+                        if (!t2.valid() || isExitArc(prog, pj, t2))
+                            continue;
+                        Link link;
+                        link.fromPkg = gi;
+                        link.block = bb.id;
+                        link.takenDir = taken_dir;
+                        link.toPkg = gj;
+                        link.target = t2;
+                        result.links.push_back(link);
+                        ++incoming[pos_j];
+                        linked = true;
+                        break;
+                    }
+                    if (linked)
+                        break;
+                }
+            }
+        }
+    }
+
+    std::vector<double> ratios;
+    ratios.reserve(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        const PackageInfo &p = *group[order[pos]];
+        ratios.push_back(
+            p.numBranches
+                ? static_cast<double>(incoming[pos]) / p.numBranches
+                : 0.0);
+    }
+    result.rank = accumulatorRank(ratios);
+    return result;
+}
+
+GroupOrdering
+chooseOrdering(const Program &prog,
+               const std::vector<const PackageInfo *> &group,
+               const PackageConfig &cfg)
+{
+    const std::size_t n = group.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (n <= 1)
+        return evaluateOrdering(prog, group, order);
+
+    if (cfg.ordering == OrderingPolicy::Identity)
+        return evaluateOrdering(prog, group, order);
+
+    GroupOrdering best;
+    bool have_best = false;
+    const bool minimize = cfg.ordering == OrderingPolicy::WorstRank;
+
+    auto consider = [&](const std::vector<std::size_t> &o) {
+        GroupOrdering cand = evaluateOrdering(prog, group, o);
+        const bool better =
+            minimize ? cand.rank < best.rank : cand.rank > best.rank;
+        if (!have_best || better) {
+            best = std::move(cand);
+            have_best = true;
+        }
+    };
+
+    if (n <= cfg.maxPermutationPackages) {
+        std::vector<std::size_t> perm = order;
+        do {
+            consider(perm);
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    } else {
+        // Too many siblings for n!: evaluate all rotations instead.
+        for (std::size_t r = 0; r < n; ++r) {
+            std::vector<std::size_t> rot(n);
+            for (std::size_t i = 0; i < n; ++i)
+                rot[i] = (r + i) % n;
+            consider(rot);
+        }
+    }
+    return best;
+}
+
+void
+applyLinks(Program &prog, std::vector<PackageInfo *> &group,
+           const GroupOrdering &result)
+{
+    for (const Link &link : result.links) {
+        PackageInfo &from = *group[link.fromPkg];
+        BasicBlock &bb = prog.func(from.func).block(link.block);
+        if (link.takenDir)
+            bb.taken = link.target;
+        else
+            bb.fall = link.target;
+        ++from.outgoingLinks;
+        ++group[link.toPkg]->incomingLinks;
+    }
+}
+
+} // namespace vp::package

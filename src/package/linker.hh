@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Inter-package linking and ordering (Section 3.3.4).
+ *
+ * Packages sharing a root function compete for launch points; linking
+ * retargets a package's cold branch side-exits to the corresponding hot
+ * blocks of a sibling package so phase transitions can reach every package.
+ * Link legality requires the same original branch under an *identical*
+ * elided calling context; a side exit connects to the first compatible
+ * package to the right in the chosen ordering (wrapping around), and
+ * orderings are ranked by the paper's accumulator metric.
+ */
+
+#ifndef VP_PACKAGE_LINKER_HH
+#define VP_PACKAGE_LINKER_HH
+
+#include <vector>
+
+#include "package/packager.hh"
+
+namespace vp::package
+{
+
+/** One exit-to-sibling retarget decision. */
+struct Link
+{
+    std::size_t fromPkg = 0;  ///< index into the group
+    ir::BlockId block = ir::kInvalidBlock; ///< branch block in fromPkg
+    bool takenDir = false;    ///< which arc of the branch is retargeted
+    std::size_t toPkg = 0;    ///< index into the group
+    ir::BlockRef target;      ///< hot block reached in toPkg
+};
+
+/** Result of evaluating/choosing an ordering for one root group. */
+struct GroupOrdering
+{
+    /** Package order, as indices into the group (left-most first). */
+    std::vector<std::size_t> order;
+
+    /** The paper's accumulator rank (higher is better). */
+    double rank = 0.0;
+
+    std::vector<Link> links;
+};
+
+/**
+ * The paper's accumulator rank over per-position ratios
+ * (incoming links / package branches):
+ *   acc = r0; w = r0; for each subsequent r: w *= r; acc += w.
+ * The paper's worked example ranks (2/5, 2/5, 3/6) at 0.64.
+ */
+double accumulatorRank(const std::vector<double> &ratios);
+
+/**
+ * Evaluate one specific ordering: form links per the
+ * first-compatible-to-the-right rule and compute the rank.
+ */
+GroupOrdering evaluateOrdering(const ir::Program &prog,
+                               const std::vector<const PackageInfo *> &group,
+                               const std::vector<std::size_t> &order);
+
+/**
+ * Search orderings (exhaustively up to cfg.maxPermutationPackages, else
+ * rotations) and return the best one.
+ */
+GroupOrdering chooseOrdering(const ir::Program &prog,
+                             const std::vector<const PackageInfo *> &group,
+                             const PackageConfig &cfg);
+
+/** Apply @p result's links to the program and update link counters. */
+void applyLinks(ir::Program &prog, std::vector<PackageInfo *> &group,
+                const GroupOrdering &result);
+
+} // namespace vp::package
+
+#endif // VP_PACKAGE_LINKER_HH

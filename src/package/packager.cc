@@ -1,0 +1,431 @@
+#include "package/packager.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "ir/call_graph.hh"
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "package/linker.hh"
+#include "support/logging.hh"
+
+namespace vp::package
+{
+
+using namespace ir;
+using region::Temp;
+
+namespace
+{
+
+/**
+ * Copy a pruned function's blocks (optionally only those in @p keep) into
+ * package function @p pid, remapping registers by @p reg_off, self
+ * references to @p pid, and stamping every copied block with the elided
+ * calling context @p ctx.
+ *
+ * @return old block id -> new block id (kInvalidBlock where dropped).
+ */
+std::vector<BlockId>
+installPruned(Program &prog, FuncId pid, PackageInfo &info,
+              const PrunedFunc &pf, RegId reg_off,
+              const std::vector<BlockRef> &ctx,
+              const std::vector<bool> *keep = nullptr)
+{
+    Function &P = prog.func(pid);
+    std::vector<BlockId> map(pf.fn.numBlocks(), kInvalidBlock);
+
+    for (BlockId b = 0; b < pf.fn.numBlocks(); ++b) {
+        if (keep && !(*keep)[b])
+            continue;
+        const BasicBlock &sb = pf.fn.block(b);
+        const BlockId n = P.addBlock(sb.kind);
+        map[b] = n;
+        BasicBlock &nb = P.block(n);
+        nb.insts = sb.insts;
+        if (reg_off) {
+            for (Instruction &inst : nb.insts) {
+                for (RegId &r : inst.dsts)
+                    r = static_cast<RegId>(r + reg_off);
+                for (RegId &r : inst.srcs)
+                    r = static_cast<RegId>(r + reg_off);
+            }
+        }
+        nb.origin = sb.origin;
+        nb.callee = sb.callee;
+        nb.taken = sb.taken;
+        nb.fall = sb.fall;
+        if (sb.kind == BlockKind::Exit)
+            nb.exitFrames = ctx;
+        info.ctx.push_back(ctx);
+        vp_assert(info.ctx.size() == P.numBlocks(),
+                  "ctx table out of sync with package blocks");
+    }
+
+    // Remap self references now that ids are known.
+    for (BlockId b = 0; b < pf.fn.numBlocks(); ++b) {
+        if (map[b] == kInvalidBlock)
+            continue;
+        BasicBlock &nb = P.block(map[b]);
+        auto fix = [&](BlockRef &r) {
+            if (r.valid() && r.func == kSelfFunc) {
+                vp_assert(map[r.block] != kInvalidBlock,
+                          "copied block references dropped block");
+                r = BlockRef{pid, map[r.block]};
+            }
+        };
+        fix(nb.taken);
+        fix(nb.fall);
+    }
+    return map;
+}
+
+/** Build one package by partial inlining from @p root (Section 3.3.3). */
+PackageInfo
+buildOnePackage(Program &prog, const Program &orig, std::size_t region_index,
+                const std::unordered_map<FuncId, PrunedFunc> &pruned,
+                FuncId root, const PackageConfig &cfg)
+{
+    const PrunedFunc &pr = pruned.at(root);
+    const FuncId pid = prog.addFunction(
+        orig.func(root).name() + ".pkg" + std::to_string(region_index));
+    prog.func(pid).setIsPackage(true);
+    prog.func(pid).setRegCount(pr.fn.regCount());
+
+    PackageInfo info;
+    info.func = pid;
+    info.rootOrig = root;
+    info.regionIndex = region_index;
+
+    const auto root_map = installPruned(prog, pid, info, pr, 0, {});
+    for (BlockId e : pr.entryBlocks)
+        info.entryBlocks.push_back(root_map[e]);
+    prog.func(pid).setEntry(root_map[pr.fn.entry()]);
+
+    // Worklist-driven partial inlining: processing a call site may copy in
+    // new call sites (the callee's call-graph arcs merging into the
+    // root's, Section 3.3.3).
+    std::deque<BlockId> work;
+    for (const BasicBlock &bb : prog.func(pid).blocks()) {
+        if (bb.endsInCall())
+            work.push_back(bb.id);
+    }
+
+    std::unordered_map<FuncId, unsigned> copies;
+    while (!work.empty()) {
+        const BlockId k = work.front();
+        work.pop_front();
+        Function &P = prog.func(pid);
+        if (!P.block(k).endsInCall())
+            continue;
+        const FuncId callee = P.block(k).callee;
+
+        auto it = pruned.find(callee);
+        if (it == pruned.end() || !it->second.inlinable())
+            continue; // stays a call into original (or sibling-root) code
+        // A self-recursive root gets exactly one copy of itself
+        // (Section 3.3.2); other functions may be inlined at several
+        // sites up to the configured cap.
+        const unsigned cap =
+            (callee == root) ? 1 : cfg.maxInlineCopiesPerFunc;
+        if (copies[callee] >= cap)
+            continue;
+        if (info.ctx[k].size() >= cfg.maxCtxDepth)
+            continue;
+        const PrunedFunc &cal = it->second;
+        if (P.numBlocks() + cal.fn.numBlocks() > cfg.maxPackageBlocks)
+            continue;
+
+        // Only blocks reachable from the callee's prologue are inlined;
+        // disjoint segments are discarded to avoid side entrances.
+        const auto reach = reachableFrom(cal.fn, cal.fn.entry());
+
+        // The call being elided would have returned here (original code);
+        // exits from the inlined body must materialize this frame.
+        const BlockRef k_origin = P.block(k).origin;
+        vp_assert(k_origin.valid(), "call block without provenance");
+        const BlockRef elided_ret = orig.block(k_origin).fall;
+        std::vector<BlockRef> child_ctx = info.ctx[k];
+        child_ctx.push_back(elided_ret);
+
+        const RegId reg_off = P.regCount();
+        prog.func(pid).setRegCount(
+            static_cast<RegId>(reg_off + cal.fn.regCount()));
+
+        const auto cmap =
+            installPruned(prog, pid, info, cal, reg_off, child_ctx, &reach);
+
+        Function &P2 = prog.func(pid);
+        BasicBlock &kb = P2.block(k);
+        const BlockRef ret_to = kb.fall;
+        vp_assert(kb.insts.back().op == Opcode::Call);
+        kb.insts.pop_back(); // the call disappears
+        kb.callee = kInvalidFunc;
+        kb.fall = BlockRef{pid, cmap[cal.fn.entry()]};
+
+        for (BlockId b = 0; b < cal.fn.numBlocks(); ++b) {
+            if (cmap[b] == kInvalidBlock)
+                continue;
+            if (cal.fn.block(b).endsInRet()) {
+                // Inlined returns become edges to the call's return point.
+                BasicBlock &eb = P2.block(cmap[b]);
+                vp_assert(eb.insts.back().op == Opcode::Ret);
+                eb.insts.pop_back();
+                eb.fall = ret_to;
+            } else if (cal.fn.block(b).endsInCall()) {
+                work.push_back(cmap[b]);
+            }
+        }
+        ++copies[callee];
+    }
+
+    for (const BasicBlock &bb : prog.func(pid).blocks())
+        info.numBranches += bb.endsInCondBr() ? 1 : 0;
+    return info;
+}
+
+/** Remove package blocks unreachable from any external reference. */
+void
+compactPackages(Program &prog, std::vector<PackageInfo> &packages)
+{
+    for (PackageInfo &pkg : packages) {
+        Function &P = prog.func(pkg.func);
+
+        std::vector<bool> seed(P.numBlocks(), false);
+        seed[P.entry()] = true;
+        for (const Function &fn : prog.functions()) {
+            if (fn.id() == pkg.func)
+                continue;
+            for (const BasicBlock &bb : fn.blocks()) {
+                if (bb.taken.valid() && bb.taken.func == pkg.func)
+                    seed[bb.taken.block] = true;
+                if (bb.fall.valid() && bb.fall.func == pkg.func)
+                    seed[bb.fall.block] = true;
+            }
+        }
+
+        // Intra-package BFS from the seeds.
+        std::vector<bool> keep = seed;
+        std::vector<BlockId> stack;
+        for (BlockId b = 0; b < P.numBlocks(); ++b) {
+            if (keep[b])
+                stack.push_back(b);
+        }
+        while (!stack.empty()) {
+            const BlockId b = stack.back();
+            stack.pop_back();
+            for (BlockId s : intraSuccessors(P, b)) {
+                if (!keep[s]) {
+                    keep[s] = true;
+                    stack.push_back(s);
+                }
+            }
+        }
+        if (std::all_of(keep.begin(), keep.end(),
+                        [](bool k) { return k; })) {
+            continue;
+        }
+
+        const auto remap = P.compact(keep);
+
+        // Fix references into this package from everywhere else.
+        for (Function &fn : prog.functions()) {
+            if (fn.id() == pkg.func)
+                continue;
+            for (BasicBlock &bb : fn.blocks()) {
+                if (bb.taken.valid() && bb.taken.func == pkg.func)
+                    bb.taken.block = remap[bb.taken.block];
+                if (bb.fall.valid() && bb.fall.func == pkg.func)
+                    bb.fall.block = remap[bb.fall.block];
+            }
+        }
+
+        // Fix bookkeeping.
+        std::vector<BlockId> kept_entries;
+        for (BlockId e : pkg.entryBlocks) {
+            if (remap[e] != kInvalidBlock)
+                kept_entries.push_back(remap[e]);
+        }
+        pkg.entryBlocks = std::move(kept_entries);
+        std::vector<std::vector<BlockRef>> new_ctx(
+            prog.func(pkg.func).numBlocks());
+        for (BlockId old = 0; old < remap.size(); ++old) {
+            if (remap[old] != kInvalidBlock)
+                new_ctx[remap[old]] = std::move(pkg.ctx[old]);
+        }
+        pkg.ctx = std::move(new_ctx);
+        pkg.numBranches = 0;
+        for (const BasicBlock &bb : prog.func(pkg.func).blocks())
+            pkg.numBranches += bb.endsInCondBr() ? 1 : 0;
+    }
+}
+
+} // namespace
+
+std::vector<FuncId>
+selectRoots(const Program &prog, const region::Region &region,
+            const std::unordered_map<FuncId, PrunedFunc> &pruned)
+{
+    // Call graph restricted to the region's hot blocks.
+    CallGraph cg(prog, [&](FuncId f, BlockId b) {
+        return region.blockTemp({f, b}) == Temp::Hot;
+    });
+
+    std::vector<FuncId> roots;
+    for (FuncId f : region.hotFuncs()) {
+        const auto it = pruned.find(f);
+        if (it == pruned.end())
+            continue;
+        const bool no_forward_callers = cg.forwardCallers(f).empty();
+        const bool uninlinable = !it->second.inlinable();
+        const bool self_recursive = cg.isSelfRecursive(f);
+        if (no_forward_callers || uninlinable || self_recursive)
+            roots.push_back(f);
+    }
+    return roots;
+}
+
+PackagedProgram
+buildPackages(const Program &orig, const std::vector<region::Region> &regions,
+              const PackageConfig &cfg)
+{
+    PackagedProgram out;
+    out.program = orig; // value clone; the original is never mutated
+    out.originalInsts = orig.numInsts();
+
+    // --- Per region: prune, pick roots, inline packages.
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+        const region::Region &region = regions[ri];
+        std::unordered_map<FuncId, PrunedFunc> pruned;
+        for (FuncId f : region.hotFuncs())
+            pruned.emplace(f, pruneFunction(orig, region, f));
+        const auto roots = selectRoots(orig, region, pruned);
+        for (FuncId r : roots) {
+            out.packages.push_back(
+                buildOnePackage(out.program, orig, ri, pruned, r, cfg));
+        }
+    }
+
+    // --- Group packages by root function; order and link each group.
+    std::map<FuncId, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < out.packages.size(); ++i)
+        groups[out.packages[i].rootOrig].push_back(i);
+
+    FuncId selector_fn = kInvalidFunc;
+    for (auto &[root, members] : groups) {
+        (void)root;
+        std::vector<std::size_t> launch_order = members; // insertion order
+
+        if (cfg.linking && members.size() > 1) {
+            std::vector<const PackageInfo *> group;
+            for (std::size_t i : members)
+                group.push_back(&out.packages[i]);
+            const GroupOrdering chosen =
+                chooseOrdering(out.program, group, cfg);
+            std::vector<PackageInfo *> mut;
+            for (std::size_t i : members)
+                mut.push_back(&out.packages[i]);
+            applyLinks(out.program, mut, chosen);
+            out.numLinks += chosen.links.size();
+            for (std::size_t pos = 0; pos < chosen.order.size(); ++pos)
+                launch_order[pos] = members[chosen.order[pos]];
+        }
+
+        // --- Launch points. Collect, per entry origin, every candidate
+        // package entry in launch order; the left-most has precedence
+        // (Section 3.3.4), unless dynamic launch builds a selector over
+        // all of them.
+        std::map<BlockRef, std::vector<BlockRef>> claimed;
+        for (std::size_t i : launch_order) {
+            const PackageInfo &pkg = out.packages[i];
+            const Function &P = out.program.func(pkg.func);
+            for (BlockId e : pkg.entryBlocks) {
+                const BlockRef origin = P.block(e).origin;
+                if (origin.valid())
+                    claimed[origin].push_back(BlockRef{pkg.func, e});
+            }
+        }
+        for (const auto &[origin, candidates] : claimed) {
+            BlockRef tref = candidates.front(); // left-most precedence
+            if (cfg.dynamicLaunch && candidates.size() > 1) {
+                // One selector block per shared origin, in a dedicated
+                // (non-package) stub function.
+                if (selector_fn == kInvalidFunc) {
+                    selector_fn =
+                        out.program.addFunction("__launch_selectors");
+                    out.program.func(selector_fn).setRegCount(4);
+                }
+                Function &stub = out.program.func(selector_fn);
+                const BlockId sb = stub.addBlock(BlockKind::Selector);
+                BasicBlock &sel = stub.block(sb);
+                Instruction j;
+                j.op = Opcode::Jump;
+                sel.insts.push_back(std::move(j));
+                sel.taken = candidates.front(); // static fallback
+                sel.selectorTargets = candidates;
+                tref = BlockRef{selector_fn, sb};
+            }
+            // Branch/fall arcs in non-package code that reached the entry
+            // origin now launch into the package.
+            for (Function &fn : out.program.functions()) {
+                if (fn.isPackage())
+                    continue;
+                for (BasicBlock &bb : fn.blocks()) {
+                    if (bb.taken == origin) {
+                        bb.taken = tref;
+                        ++out.numLaunchPoints;
+                    }
+                    if (bb.fall == origin) {
+                        bb.fall = tref;
+                        ++out.numLaunchPoints;
+                    }
+                }
+            }
+            // Calls to a root whose prologue is packaged enter the
+            // package instead (this also lets recursion deeper than the
+            // inlined copy re-enter the package, Section 3.3.2). Calls
+            // need a function target, so the left-most package gets them
+            // even under dynamic launch.
+            const BlockRef call_target = candidates.front();
+            if (origin.block == out.program.func(origin.func).entry() &&
+                origin.func == out.packages[launch_order[0]].rootOrig) {
+                out.program.func(call_target.func)
+                    .setEntry(call_target.block);
+                for (Function &fn : out.program.functions()) {
+                    for (BasicBlock &bb : fn.blocks()) {
+                        if (bb.endsInCall() && bb.callee == origin.func) {
+                            bb.callee = call_target.func;
+                            ++out.numLaunchPoints;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Drop unreachable package blocks (e.g. exits replaced by links).
+    compactPackages(out.program, out.packages);
+
+    out.program.layout();
+    verifyOrDie(out.program, "package construction");
+
+    // --- Static accounting for Table 3.
+    std::unordered_set<BlockRef> selected;
+    for (const PackageInfo &pkg : out.packages) {
+        const Function &P = out.program.func(pkg.func);
+        out.addedInsts += P.numInsts();
+        for (const BasicBlock &bb : P.blocks()) {
+            if (bb.origin.valid())
+                selected.insert(bb.origin);
+        }
+    }
+    for (const BlockRef &r : selected) {
+        for (const Instruction &inst : orig.block(r).insts)
+            out.selectedOrigInsts += inst.pseudo ? 0 : 1;
+    }
+    return out;
+}
+
+} // namespace vp::package

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Package construction (Section 3.3): root-function and entry-block
+ * selection, partial inlining, launch-point patching, inter-package
+ * linking, and dead-block compaction. The top-level entry point is
+ * buildPackages().
+ */
+
+#ifndef VP_PACKAGE_PACKAGER_HH
+#define VP_PACKAGE_PACKAGER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+#include "package/pruned.hh"
+#include "region/region.hh"
+
+namespace vp::package
+{
+
+/** How to pick the package ordering within a root group. */
+enum class OrderingPolicy : std::uint8_t
+{
+    BestRank,  ///< the paper's rank-maximizing search
+    Identity,  ///< first-come order, no search
+    WorstRank, ///< adversarial: rank-minimizing (ablation baseline)
+};
+
+/** Tunables for package construction. */
+struct PackageConfig
+{
+    /** Form inter-package links (Section 3.3.4). Off = the "w/o linking"
+     *  bars of Figures 8/10. */
+    bool linking = true;
+
+    /** Ordering selection within a root group. */
+    OrderingPolicy ordering = OrderingPolicy::BestRank;
+
+    /**
+     * Deploy shared launch points as *dynamic selectors* instead of
+     * giving the left-most package static precedence (the Section 3.3.4
+     * alternative the paper mentions and rejects for needing a
+     * monitoring mechanism). A selector is an indirect jump whose target
+     * the execution engine adapts when the chosen package bounces
+     * straight back out.
+     */
+    bool dynamicLaunch = false;
+
+    /** Max times one function may be partially inlined into one package
+     *  (a function can appear at several call sites, as B does in the
+     *  paper's Figure 7). */
+    unsigned maxInlineCopiesPerFunc = 4;
+
+    /** Max elided-call depth of inlining. */
+    unsigned maxCtxDepth = 8;
+
+    /** Safety bound on package size, in blocks. */
+    std::size_t maxPackageBlocks = 4096;
+
+    /** Exhaustive ordering search is used for root groups up to this many
+     *  packages; larger groups fall back to rotations. */
+    unsigned maxPermutationPackages = 6;
+};
+
+/** One constructed package and its bookkeeping. */
+struct PackageInfo
+{
+    /** The package function inside the packaged program. */
+    ir::FuncId func = ir::kInvalidFunc;
+
+    /** The original root function it was grown from. */
+    ir::FuncId rootOrig = ir::kInvalidFunc;
+
+    /** Which region (phase) produced it. */
+    std::size_t regionIndex = 0;
+
+    /** Entry blocks (package-function block ids). */
+    std::vector<ir::BlockId> entryBlocks;
+
+    /**
+     * Per-block elided calling context: the original return points of the
+     * calls that inlining removed between the root and this block,
+     * outermost first. Linking requires exact context equality
+     * (Section 3.3.4's B1' vs B1'' rule).
+     */
+    std::vector<std::vector<ir::BlockRef>> ctx;
+
+    /** Number of conditional-branch blocks (rank denominator). */
+    std::size_t numBranches = 0;
+
+    /** Links formed into / out of this package. */
+    std::size_t incomingLinks = 0;
+    std::size_t outgoingLinks = 0;
+};
+
+/** Result of buildPackages(). */
+struct PackagedProgram
+{
+    /** Clone of the original program with packages appended, launch
+     *  points patched, links applied, and addresses re-laid-out. */
+    ir::Program program;
+
+    std::vector<PackageInfo> packages;
+
+    /** Static instructions of the original program. */
+    std::size_t originalInsts = 0;
+
+    /** Static instructions added by all package functions. */
+    std::size_t addedInsts = 0;
+
+    /** Distinct original instructions selected into at least one
+     *  package (Table 3's "% static inst selected" numerator). */
+    std::size_t selectedOrigInsts = 0;
+
+    std::size_t numLaunchPoints = 0;
+    std::size_t numLinks = 0;
+
+    /** Code growth fraction (Table 3's "% incr in size"). */
+    double
+    expansion() const
+    {
+        return originalInsts
+                   ? static_cast<double>(addedInsts) / originalInsts
+                   : 0.0;
+    }
+
+    /** Fraction of original static instructions selected. */
+    double
+    selectedFraction() const
+    {
+        return originalInsts
+                   ? static_cast<double>(selectedOrigInsts) / originalInsts
+                   : 0.0;
+    }
+
+    /** Average replication factor of selected instructions. Can dip
+     *  slightly below the copy count because partial inlining elides
+     *  call and return instructions. */
+    double
+    replicationFactor() const
+    {
+        return selectedOrigInsts
+                   ? static_cast<double>(addedInsts) / selectedOrigInsts
+                   : 0.0;
+    }
+};
+
+/**
+ * Choose root functions for @p region per Section 3.3.2: functions with no
+ * forward callers inside the region, functions whose pruned copy is not
+ * inlinable, and self-recursive functions.
+ */
+std::vector<ir::FuncId> selectRoots(
+    const ir::Program &prog, const region::Region &region,
+    const std::unordered_map<ir::FuncId, PrunedFunc> &pruned);
+
+/**
+ * Build, link and deploy packages for all @p regions over @p orig.
+ * The original program is never mutated.
+ */
+PackagedProgram buildPackages(const ir::Program &orig,
+                              const std::vector<region::Region> &regions,
+                              const PackageConfig &cfg = {});
+
+} // namespace vp::package
+
+#endif // VP_PACKAGE_PACKAGER_HH

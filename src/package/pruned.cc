@@ -1,0 +1,156 @@
+#include "package/pruned.hh"
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace vp::package
+{
+
+using namespace ir;
+using region::Temp;
+using region::ArcDir;
+
+PrunedFunc
+pruneFunction(const Program &prog, const region::Region &region, FuncId f)
+{
+    const Function &src = prog.func(f);
+    const region::FuncMarking &m = region.func(f);
+    Liveness live(src);
+
+    PrunedFunc out;
+    out.orig = f;
+    out.fn = Function(kSelfFunc, src.name() + ".hot");
+    out.fn.setRegCount(src.regCount());
+
+    // Copy hot blocks.
+    for (BlockId b = 0; b < src.numBlocks(); ++b) {
+        if (m.blockTemp[b] != Temp::Hot)
+            continue;
+        const BlockId c = out.fn.addBlock(src.block(b).kind);
+        BasicBlock &cb = out.fn.block(c);
+        cb.insts = src.block(b).insts;
+        cb.origin = BlockRef{f, b};
+        // Stamp the phase-specific taken probability onto the copy so the
+        // package optimizer can derive profile weights (Section 5.4).
+        if (cb.endsInCondBr())
+            cb.terminator()->profProb = m.takenProb[b];
+        out.copyOf[b] = c;
+    }
+    if (out.copyOf.empty())
+        return out;
+
+    out.hasPrologue = out.copyOf.count(src.entry()) > 0;
+    out.fn.setEntry(out.hasPrologue ? out.copyOf[src.entry()]
+                                    : out.fn.blocks().front().id);
+
+    // Exit blocks, deduplicated per original target.
+    std::unordered_map<BlockRef, BlockId> exits;
+    auto exit_to = [&](BlockRef target) -> BlockRef {
+        auto it = exits.find(target);
+        if (it != exits.end())
+            return BlockRef{kSelfFunc, it->second};
+        const BlockId e = out.fn.addBlock(BlockKind::Exit);
+        BasicBlock &eb = out.fn.block(e);
+        // Dummy consumers for every register live into the cold target
+        // keep data-flow analysis honest after the cold code is removed
+        // (Section 3.3.1). They are optimizer bookkeeping, never executed.
+        if (target.func == f) {
+            for (RegId r : live.liveInRegs(target.block)) {
+                Instruction c;
+                c.op = Opcode::Nop;
+                c.pseudo = true;
+                c.srcs = {r};
+                eb.insts.push_back(std::move(c));
+            }
+        }
+        Instruction j;
+        j.op = Opcode::Jump;
+        eb.insts.push_back(std::move(j));
+        eb.taken = target; // back into original code
+        exits.emplace(target, e);
+        return BlockRef{kSelfFunc, e};
+    };
+
+    // Keep an arc inside the copy only when the region marked it Hot and
+    // its target block is Hot; otherwise route it through an exit block.
+    auto resolve = [&](BlockId from, ArcDir dir,
+                       const BlockRef &target) -> BlockRef {
+        if (!target.valid())
+            return kNoBlockRef;
+        const bool internal =
+            target.func == f && out.copyOf.count(target.block) &&
+            region.arcTemp(BlockRef{f, from}, dir) == Temp::Hot;
+        if (internal)
+            return BlockRef{kSelfFunc, out.copyOf[target.block]};
+        return exit_to(target);
+    };
+
+    // Iterate in block-id order so exit-block creation order (and thus the
+    // copy's block numbering) is deterministic.
+    for (BlockId b = 0; b < src.numBlocks(); ++b) {
+        auto cit = out.copyOf.find(b);
+        if (cit == out.copyOf.end())
+            continue;
+        const BlockId c = cit->second;
+        const BasicBlock &ob = src.block(b);
+        // Resolve targets BEFORE taking a reference to the copy block:
+        // exit_to() may add blocks and reallocate the block vector.
+        if (ob.endsInCall()) {
+            // The call itself is kept (inlining may later elide it); only
+            // the return-to arc is subject to pruning.
+            const BlockRef nfall = resolve(b, ArcDir::Fall, ob.fall);
+            BasicBlock &cb = out.fn.block(c);
+            cb.callee = ob.callee;
+            cb.fall = nfall;
+        } else {
+            const BlockRef ntaken = resolve(b, ArcDir::Taken, ob.taken);
+            const BlockRef nfall = resolve(b, ArcDir::Fall, ob.fall);
+            BasicBlock &cb = out.fn.block(c);
+            cb.taken = ntaken;
+            cb.fall = nfall;
+        }
+    }
+
+    // Epilogue: any hot block that returns.
+    for (const auto &[b, c] : out.copyOf) {
+        if (src.block(b).endsInRet())
+            out.hasEpilogue = true;
+        (void)c;
+    }
+
+    // Path from prologue to an epilogue within the copy.
+    if (out.hasPrologue && out.hasEpilogue) {
+        const auto reach = reachableFrom(out.fn, out.fn.entry());
+        for (const auto &[b, c] : out.copyOf) {
+            if (src.block(b).endsInRet() && reach[c]) {
+                out.hasPath = true;
+                break;
+            }
+        }
+    }
+
+    // Entry blocks: no predecessors ignoring back edges, exits excluded.
+    const auto back = backEdges(out.fn);
+    auto is_back = [&](BlockId from, BlockId to) {
+        for (const auto &[bf, bt] : back) {
+            if (bf == from && bt == to)
+                return true;
+        }
+        return false;
+    };
+    std::vector<unsigned> fwd_preds(out.fn.numBlocks(), 0);
+    for (BlockId b = 0; b < out.fn.numBlocks(); ++b) {
+        for (BlockId s : intraSuccessors(out.fn, b)) {
+            if (!is_back(b, s))
+                ++fwd_preds[s];
+        }
+    }
+    for (BlockId b = 0; b < out.fn.numBlocks(); ++b) {
+        if (out.fn.block(b).kind != BlockKind::Exit && fwd_preds[b] == 0)
+            out.entryBlocks.push_back(b);
+    }
+    return out;
+}
+
+} // namespace vp::package

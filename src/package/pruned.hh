@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Function pruning (Section 3.3.1): per-region copies of marked functions
+ * reduced to their Hot blocks and arcs, with exit blocks carrying dummy
+ * live-range consumers along every hot->cold arc.
+ */
+
+#ifndef VP_PACKAGE_PRUNED_HH
+#define VP_PACKAGE_PRUNED_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/program.hh"
+#include "region/region.hh"
+
+namespace vp::package
+{
+
+/**
+ * Placeholder FuncId used inside pruned copies for references to the copy
+ * itself; the packager remaps it to the real package function id when the
+ * copy is installed.
+ */
+inline constexpr ir::FuncId kSelfFunc = ir::kInvalidFunc - 1;
+
+/**
+ * The pruned copy of one function for one region.
+ *
+ * Blocks are the function's Hot blocks plus synthesized exit blocks; the
+ * copy is a standalone Function whose cross-function references all point
+ * at *original* program code (exit targets, call sites). It is the unit
+ * the partial inliner composes packages from.
+ */
+struct PrunedFunc
+{
+    /** Original function this is a copy of. */
+    ir::FuncId orig = ir::kInvalidFunc;
+
+    /** The pruned body (id unset until installed in a program). */
+    ir::Function fn;
+
+    /** Original block id -> block id in fn (hot blocks only). */
+    std::unordered_map<ir::BlockId, ir::BlockId> copyOf;
+
+    /** The original function's entry block is hot (prologue present). */
+    bool hasPrologue = false;
+
+    /** Some hot block returns (epilogue present). */
+    bool hasEpilogue = false;
+
+    /** A path exists in the copy from prologue to an epilogue. */
+    bool hasPath = false;
+
+    /** Entry blocks (copy ids): no predecessors ignoring back edges,
+     *  exit blocks excluded (Section 3.3.2). */
+    std::vector<ir::BlockId> entryBlocks;
+
+    /** Inlinable per Section 3.3.3. */
+    bool inlinable() const { return hasPrologue && hasEpilogue && hasPath; }
+};
+
+/**
+ * Build the pruned copy of @p f under @p region's marking.
+ *
+ * Arc policy: an outgoing arc of a hot block is kept inside the copy when
+ * the region marked it Hot and its target block is Hot; every other arc
+ * (cold, unknown, or leading to a non-hot block) is routed through a fresh
+ * exit block that consumes the registers live into the original target and
+ * jumps back to original code. Exit blocks are deduplicated per target.
+ */
+PrunedFunc pruneFunction(const ir::Program &prog, const region::Region &region,
+                         ir::FuncId f);
+
+} // namespace vp::package
+
+#endif // VP_PACKAGE_PRUNED_HH

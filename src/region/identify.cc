@@ -1,0 +1,359 @@
+#include "region/identify.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "ir/cfg.hh"
+#include "support/logging.hh"
+
+namespace vp::region
+{
+
+using namespace ir;
+
+std::unordered_map<BehaviorId, BlockRef>
+branchIndex(const Program &prog)
+{
+    std::unordered_map<BehaviorId, BlockRef> index;
+    for (const Function &fn : prog.functions()) {
+        for (const BasicBlock &bb : fn.blocks()) {
+            if (bb.endsInCondBr())
+                index[bb.terminator()->behavior] = BlockRef{fn.id(), bb.id};
+        }
+    }
+    return index;
+}
+
+void
+seedFromRecord(Region &region, const Program &prog,
+               const hsd::HotSpotRecord &record, const RegionConfig &cfg)
+{
+    const auto index = branchIndex(prog);
+    for (const hsd::HotBranch &hb : record.branches) {
+        auto it = index.find(hb.behavior);
+        if (it == index.end())
+            continue; // stale record entry (e.g. aliased pc); tolerate
+        const BlockRef ref = it->second;
+        FuncMarking &m = region.func(ref.func);
+
+        m.blockTemp[ref.block] = Temp::Hot;
+        m.blockWeight[ref.block] = hb.exec;
+        m.fromHsd[ref.block] = true;
+        const double taken_frac = hb.takenFraction();
+        m.takenProb[ref.block] = taken_frac;
+
+        const double taken_w = hb.taken;
+        const double fall_w = static_cast<double>(hb.exec) - hb.taken;
+        m.takenWeight[ref.block] = taken_w;
+        m.fallWeight[ref.block] = fall_w;
+
+        auto temp_of = [&](double w, double frac) {
+            if (frac >= cfg.hotArcFraction || w > cfg.hotArcWeightThreshold)
+                return Temp::Hot;
+            return Temp::Cold;
+        };
+        m.takenTemp[ref.block] = temp_of(taken_w, taken_frac);
+        m.fallTemp[ref.block] = temp_of(fall_w, 1.0 - taken_frac);
+    }
+}
+
+namespace
+{
+
+/** Incoming arcs of each block as (pred block, which arc of pred). */
+std::vector<std::vector<std::pair<BlockId, ArcDir>>>
+incomingArcs(const Function &fn)
+{
+    std::vector<std::vector<std::pair<BlockId, ArcDir>>> in(fn.numBlocks());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(b);
+        if (bb.taken.valid() && bb.taken.func == fn.id())
+            in[bb.taken.block].emplace_back(b, ArcDir::Taken);
+        if (bb.fall.valid() && bb.fall.func == fn.id())
+            in[bb.fall.block].emplace_back(b, ArcDir::Fall);
+    }
+    return in;
+}
+
+/** Outgoing arcs of a block as (owning block, dir) pairs with targets. */
+struct OutArc
+{
+    ArcDir dir;
+    BlockRef target;
+};
+
+std::vector<OutArc>
+outgoingArcs(const Function &fn, BlockId b)
+{
+    std::vector<OutArc> out;
+    const BasicBlock &bb = fn.block(b);
+    if (bb.taken.valid())
+        out.push_back({ArcDir::Taken, bb.taken});
+    if (bb.fall.valid())
+        out.push_back({ArcDir::Fall, bb.fall});
+    return out;
+}
+
+} // namespace
+
+std::size_t
+inferTemperatures(Region &region, const Program &prog,
+                  const RegionConfig &cfg)
+{
+    std::size_t applications = 0;
+
+    // Precompute incoming-arc maps.
+    std::vector<std::vector<std::vector<std::pair<BlockId, ArcDir>>>> in;
+    in.reserve(prog.numFunctions());
+    for (const Function &fn : prog.functions())
+        in.push_back(incomingArcs(fn));
+
+    // When inference is off, temperatures may only be assigned to blocks
+    // without a conditional branch (Section 5.1).
+    auto may_infer_block = [&](const Function &fn, BlockId b) {
+        return cfg.inference || !fn.block(b).endsInCondBr();
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Function &fn : prog.functions()) {
+            const FuncId f = fn.id();
+            FuncMarking &m = region.func(f);
+            for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+                const BlockRef self{f, b};
+                const auto &inArcs = in[f][b];
+                const auto outArcs = outgoingArcs(fn, b);
+
+                auto in_temp = [&](const std::pair<BlockId, ArcDir> &a) {
+                    return region.arcTemp(BlockRef{f, a.first}, a.second);
+                };
+                auto out_temp = [&](const OutArc &a) {
+                    return region.arcTemp(self, a.dir);
+                };
+
+                // --- Statements 2-4: propagate arc temps to the block.
+                if (m.blockTemp[b] == Temp::Unknown &&
+                    may_infer_block(fn, b)) {
+                    const bool all_in_cold =
+                        !inArcs.empty() &&
+                        std::all_of(inArcs.begin(), inArcs.end(),
+                                    [&](const auto &a) {
+                                        return in_temp(a) == Temp::Cold;
+                                    });
+                    const bool all_out_cold =
+                        !outArcs.empty() &&
+                        std::all_of(outArcs.begin(), outArcs.end(),
+                                    [&](const auto &a) {
+                                        return out_temp(a) == Temp::Cold;
+                                    });
+                    const bool any_hot =
+                        std::any_of(inArcs.begin(), inArcs.end(),
+                                    [&](const auto &a) {
+                                        return in_temp(a) == Temp::Hot;
+                                    }) ||
+                        std::any_of(outArcs.begin(), outArcs.end(),
+                                    [&](const auto &a) {
+                                        return out_temp(a) == Temp::Hot;
+                                    });
+                    if (any_hot) {
+                        m.blockTemp[b] = Temp::Hot; // Statement 4
+                        changed = true;
+                        ++applications;
+                    } else if (all_in_cold || all_out_cold) {
+                        m.blockTemp[b] = Temp::Cold; // Statement 3
+                        changed = true;
+                        ++applications;
+                    }
+                }
+
+                // --- Statement 6: arcs of a Cold block become Cold.
+                if (m.blockTemp[b] == Temp::Cold) {
+                    for (const auto &a : outArcs) {
+                        if (region.arcTemp(self, a.dir) == Temp::Unknown) {
+                            region.setArcTemp(self, a.dir, Temp::Cold);
+                            changed = true;
+                            ++applications;
+                        }
+                    }
+                    for (const auto &a : inArcs) {
+                        const BlockRef from{f, a.first};
+                        if (region.arcTemp(from, a.second) == Temp::Unknown) {
+                            region.setArcTemp(from, a.second, Temp::Cold);
+                            changed = true;
+                            ++applications;
+                        }
+                    }
+                }
+
+                // --- Statement 7: the only non-Cold arc of a Hot block is
+                // Hot (flow must get in and out somehow). Only with
+                // inference on: it manufactures information the HSD never
+                // recorded.
+                if (m.blockTemp[b] == Temp::Hot && cfg.inference) {
+                    auto solve = [&](auto arcs, auto temp_fn, auto set_fn) {
+                        int unknown = -1;
+                        int idx = 0;
+                        for (const auto &a : arcs) {
+                            const Temp t = temp_fn(a);
+                            if (t == Temp::Hot)
+                                return; // already connected
+                            if (t == Temp::Unknown) {
+                                if (unknown >= 0)
+                                    return; // ambiguous
+                                unknown = idx;
+                            }
+                            ++idx;
+                        }
+                        if (unknown >= 0) {
+                            set_fn(arcs[static_cast<std::size_t>(unknown)]);
+                            changed = true;
+                            ++applications;
+                        }
+                    };
+                    solve(
+                        inArcs, in_temp,
+                        [&](const std::pair<BlockId, ArcDir> &a) {
+                            region.setArcTemp(BlockRef{f, a.first}, a.second,
+                                              Temp::Hot);
+                        });
+                    solve(outArcs, out_temp, [&](const OutArc &a) {
+                        region.setArcTemp(self, a.dir, Temp::Hot);
+                    });
+                }
+
+                // --- Statements 8-9: a Hot call block heats the callee's
+                // prologue.
+                if (m.blockTemp[b] == Temp::Hot && fn.block(b).endsInCall()) {
+                    const FuncId callee = fn.block(b).callee;
+                    const Function &cf = prog.func(callee);
+                    const BlockRef prologue{callee, cf.entry()};
+                    if (region.blockTemp(prologue) == Temp::Unknown &&
+                        may_infer_block(cf, cf.entry())) {
+                        region.setBlockTemp(prologue, Temp::Hot);
+                        changed = true;
+                        ++applications;
+                    }
+                }
+            }
+        }
+    }
+    return applications;
+}
+
+namespace
+{
+
+/** Entry blocks of the current selection: Hot blocks with no Hot
+ *  intra-function predecessor via a non-Cold arc. */
+std::vector<BlockId>
+selectionEntries(const Region &region, const Function &fn,
+                 const std::vector<std::vector<std::pair<BlockId, ArcDir>>>
+                     &in)
+{
+    std::vector<BlockId> entries;
+    const FuncMarking &m = region.func(fn.id());
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        if (m.blockTemp[b] != Temp::Hot)
+            continue;
+        bool hot_pred = false;
+        for (const auto &[p, dir] : in[b]) {
+            if (m.blockTemp[p] == Temp::Hot &&
+                region.arcTemp(BlockRef{fn.id(), p}, dir) != Temp::Cold) {
+                hot_pred = true;
+                break;
+            }
+        }
+        if (!hot_pred)
+            entries.push_back(b);
+    }
+    return entries;
+}
+
+} // namespace
+
+std::size_t
+growRegion(Region &region, const Program &prog, const RegionConfig &cfg)
+{
+    std::size_t added = 0;
+
+    // Step 1: adopt Unknown arcs between two Hot blocks (kills an exit at
+    // zero cost); Cold arcs between Hot blocks stay excluded.
+    for (const Function &fn : prog.functions()) {
+        const FuncId f = fn.id();
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (region.blockTemp({f, b}) != Temp::Hot)
+                continue;
+            const BasicBlock &bb = fn.block(b);
+            auto adopt = [&](const BlockRef &target, ArcDir dir) {
+                if (target.valid() &&
+                    region.blockTemp(target) == Temp::Hot &&
+                    region.arcTemp({f, b}, dir) == Temp::Unknown) {
+                    region.setArcTemp({f, b}, dir, Temp::Hot);
+                }
+            };
+            adopt(bb.taken, ArcDir::Taken);
+            adopt(bb.fall, ArcDir::Fall);
+        }
+    }
+
+    // Step 2: from each selection entry block, expand backward through
+    // Unknown predecessors (never through Cold arcs or blocks), committing
+    // a path only if it reconnects to another Hot block within
+    // maxGrowthBlocks additional blocks — merging launch points.
+    for (const Function &fn : prog.functions()) {
+        const FuncId f = fn.id();
+        const auto in = incomingArcs(fn);
+        const auto entries = selectionEntries(
+            region, fn,
+            in);
+        for (BlockId e : entries) {
+            // Depth-limited DFS backward. path holds Unknown blocks to
+            // adopt; arcs along the way are heated on commit.
+            std::vector<BlockId> path;
+            std::function<bool(BlockId, unsigned)> walk =
+                [&](BlockId cur, unsigned depth) -> bool {
+                for (const auto &[p, dir] : in[cur]) {
+                    const BlockRef pref{f, p};
+                    if (region.arcTemp(pref, dir) == Temp::Cold)
+                        continue;
+                    if (region.blockTemp(pref) == Temp::Cold)
+                        continue;
+                    if (region.blockTemp(pref) == Temp::Hot) {
+                        // Reconnected: commit the path.
+                        region.setArcTemp(pref, dir, Temp::Hot);
+                        for (BlockId pb : path)
+                            region.setBlockTemp({f, pb}, Temp::Hot);
+                        return true;
+                    }
+                    if (depth < cfg.maxGrowthBlocks) {
+                        path.push_back(p);
+                        if (walk(p, depth + 1)) {
+                            region.setArcTemp(pref, dir, Temp::Hot);
+                            return true;
+                        }
+                        path.pop_back();
+                    }
+                }
+                return false;
+            };
+            const std::size_t before = region.numHotBlocks();
+            walk(e, 0);
+            added += region.numHotBlocks() - before;
+        }
+    }
+    return added;
+}
+
+Region
+identifyRegion(const Program &prog, const hsd::HotSpotRecord &record,
+               const RegionConfig &cfg)
+{
+    Region region(prog);
+    seedFromRecord(region, prog, record, cfg);
+    inferTemperatures(region, prog, cfg);
+    growRegion(region, prog, cfg);
+    return region;
+}
+
+} // namespace vp::region

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hot-region identification (Section 3.2): seeding block/arc temperatures
+ * from a hot-spot record, the Figure 4 temperature-inference fixpoint, and
+ * the Section 3.2.3 heuristic growth.
+ */
+
+#ifndef VP_REGION_IDENTIFY_HH
+#define VP_REGION_IDENTIFY_HH
+
+#include <unordered_map>
+
+#include "hsd/record.hh"
+#include "ir/program.hh"
+#include "region/region.hh"
+
+namespace vp::region
+{
+
+/** Knobs for region identification. */
+struct RegionConfig
+{
+    /** An arc direction is Hot when it carries at least this fraction of
+     *  its branch's flow (Section 3.2.1: 25%). */
+    double hotArcFraction = 0.25;
+
+    /** ... or when its weight exceeds the HSD's hot-branch execution
+     *  threshold (the BBB candidate threshold, Table 2: 16). */
+    double hotArcWeightThreshold = 16.0;
+
+    /**
+     * Apply Figure 4 temperature inference to blocks that contain
+     * branches missing from the record. When false (the "w/o inference"
+     * bars of Figures 8/10), the recorded branch data is treated as
+     * complete: temperatures propagate only into branch-free blocks.
+     */
+    bool inference = true;
+
+    /** MAX_BLOCKS bound of heuristic predecessor growth (paper: 1). */
+    unsigned maxGrowthBlocks = 1;
+};
+
+/** Map each CondBr BehaviorId to the block whose terminator it is. */
+std::unordered_map<ir::BehaviorId, ir::BlockRef>
+branchIndex(const ir::Program &prog);
+
+/**
+ * Step 3.2.1: initialize temperatures, weights and taken probabilities
+ * from @p record.
+ */
+void seedFromRecord(Region &region, const ir::Program &prog,
+                    const hsd::HotSpotRecord &record,
+                    const RegionConfig &cfg);
+
+/**
+ * Step 3.2.2: run the Figure 4 inference rules to a fixpoint.
+ * @return number of rule applications performed.
+ */
+std::size_t inferTemperatures(Region &region, const ir::Program &prog,
+                              const RegionConfig &cfg);
+
+/**
+ * Step 3.2.3: heuristic growth — adopt Unknown arcs between Hot blocks,
+ * then expand entry blocks backward (bounded by maxGrowthBlocks) toward
+ * other Hot blocks to merge launch points.
+ * @return number of blocks added.
+ */
+std::size_t growRegion(Region &region, const ir::Program &prog,
+                       const RegionConfig &cfg);
+
+/** The whole Section 3.2 pipeline for one hot spot. */
+Region identifyRegion(const ir::Program &prog,
+                      const hsd::HotSpotRecord &record,
+                      const RegionConfig &cfg = {});
+
+} // namespace vp::region
+
+#endif // VP_REGION_IDENTIFY_HH

@@ -1,0 +1,104 @@
+#include "region/region.hh"
+
+#include "support/logging.hh"
+
+namespace vp::region
+{
+
+const char *
+tempName(Temp t)
+{
+    switch (t) {
+      case Temp::Unknown: return "unknown";
+      case Temp::Hot: return "hot";
+      case Temp::Cold: return "cold";
+    }
+    return "?";
+}
+
+void
+FuncMarking::resize(std::size_t nblocks)
+{
+    blockTemp.assign(nblocks, Temp::Unknown);
+    blockWeight.assign(nblocks, 0.0);
+    takenProb.assign(nblocks, -1.0);
+    fromHsd.assign(nblocks, false);
+    takenTemp.assign(nblocks, Temp::Unknown);
+    fallTemp.assign(nblocks, Temp::Unknown);
+    takenWeight.assign(nblocks, 0.0);
+    fallWeight.assign(nblocks, 0.0);
+}
+
+Region::Region(const ir::Program &prog)
+{
+    marks_.resize(prog.numFunctions());
+    for (const ir::Function &fn : prog.functions())
+        marks_[fn.id()].resize(fn.numBlocks());
+}
+
+Temp
+Region::arcTemp(ir::BlockRef from, ArcDir dir) const
+{
+    const FuncMarking &m = marks_.at(from.func);
+    return dir == ArcDir::Taken ? m.takenTemp.at(from.block)
+                                : m.fallTemp.at(from.block);
+}
+
+void
+Region::setArcTemp(ir::BlockRef from, ArcDir dir, Temp t)
+{
+    FuncMarking &m = marks_.at(from.func);
+    if (dir == ArcDir::Taken)
+        m.takenTemp.at(from.block) = t;
+    else
+        m.fallTemp.at(from.block) = t;
+}
+
+double
+Region::arcWeight(ir::BlockRef from, ArcDir dir) const
+{
+    const FuncMarking &m = marks_.at(from.func);
+    return dir == ArcDir::Taken ? m.takenWeight.at(from.block)
+                                : m.fallWeight.at(from.block);
+}
+
+std::vector<ir::BlockRef>
+Region::hotBlocks() const
+{
+    std::vector<ir::BlockRef> out;
+    for (ir::FuncId f = 0; f < marks_.size(); ++f) {
+        for (ir::BlockId b = 0; b < marks_[f].blockTemp.size(); ++b) {
+            if (marks_[f].blockTemp[b] == Temp::Hot)
+                out.push_back({f, b});
+        }
+    }
+    return out;
+}
+
+std::vector<ir::FuncId>
+Region::hotFuncs() const
+{
+    std::vector<ir::FuncId> out;
+    for (ir::FuncId f = 0; f < marks_.size(); ++f) {
+        for (Temp t : marks_[f].blockTemp) {
+            if (t == Temp::Hot) {
+                out.push_back(f);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+Region::numHotBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &m : marks_) {
+        for (Temp t : m.blockTemp)
+            n += (t == Temp::Hot) ? 1 : 0;
+    }
+    return n;
+}
+
+} // namespace vp::region

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hot-region marking over a program: per-block and per-arc temperatures,
+ * weights, and taken probabilities (Section 3.2).
+ */
+
+#ifndef VP_REGION_REGION_HH
+#define VP_REGION_REGION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace vp::region
+{
+
+/** Three-valued temperature lattice of Section 3.2.1. */
+enum class Temp : std::uint8_t { Unknown, Hot, Cold };
+
+const char *tempName(Temp t);
+
+/** Which outgoing arc of a block. */
+enum class ArcDir : std::uint8_t { Taken, Fall };
+
+/** Marking for one function's CFG. */
+struct FuncMarking
+{
+    /** Per-block temperature. */
+    std::vector<Temp> blockTemp;
+
+    /** Per-block estimated execution weight (exec count of its hot-spot
+     *  branch where known, else derived). */
+    std::vector<double> blockWeight;
+
+    /** Per-block taken probability of its terminator branch; negative if
+     *  unknown (branch missing from the hot-spot record). */
+    std::vector<double> takenProb;
+
+    /** Whether the block's branch appeared in the hot-spot record. */
+    std::vector<bool> fromHsd;
+
+    /** Per-block outgoing-arc temperatures/weights. */
+    std::vector<Temp> takenTemp, fallTemp;
+    std::vector<double> takenWeight, fallWeight;
+
+    void resize(std::size_t nblocks);
+};
+
+/**
+ * A region: one marked program snapshot for one hot spot. Value type;
+ * the packaging step consumes it.
+ */
+class Region
+{
+  public:
+    Region() = default;
+    explicit Region(const ir::Program &prog);
+
+    FuncMarking &func(ir::FuncId f) { return marks_.at(f); }
+    const FuncMarking &func(ir::FuncId f) const { return marks_.at(f); }
+
+    Temp
+    blockTemp(ir::BlockRef r) const
+    {
+        return marks_.at(r.func).blockTemp.at(r.block);
+    }
+
+    void
+    setBlockTemp(ir::BlockRef r, Temp t)
+    {
+        marks_.at(r.func).blockTemp.at(r.block) = t;
+    }
+
+    Temp arcTemp(ir::BlockRef from, ArcDir dir) const;
+    void setArcTemp(ir::BlockRef from, ArcDir dir, Temp t);
+    double arcWeight(ir::BlockRef from, ArcDir dir) const;
+
+    bool isHot(ir::BlockRef r) const { return blockTemp(r) == Temp::Hot; }
+
+    double
+    blockWeight(ir::BlockRef r) const
+    {
+        return marks_.at(r.func).blockWeight.at(r.block);
+    }
+
+    double
+    takenProb(ir::BlockRef r) const
+    {
+        return marks_.at(r.func).takenProb.at(r.block);
+    }
+
+    /** All Hot blocks, function-major order. */
+    std::vector<ir::BlockRef> hotBlocks() const;
+
+    /** Functions containing at least one Hot block. */
+    std::vector<ir::FuncId> hotFuncs() const;
+
+    /** Count of Hot blocks. */
+    std::size_t numHotBlocks() const;
+
+    /** Index of the hot-spot record this region was formed from. */
+    std::size_t hotSpotIndex = 0;
+
+  private:
+    std::vector<FuncMarking> marks_;
+};
+
+} // namespace vp::region
+
+#endif // VP_REGION_REGION_HH

@@ -1,0 +1,82 @@
+#include "sim/cache.hh"
+
+#include "support/logging.hh"
+
+namespace vp::sim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v && !(v & (v - 1));
+}
+
+} // namespace
+
+Cache::Cache(std::uint32_t bytes, unsigned assoc, std::uint32_t line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes)
+{
+    vp_assert(assoc >= 1 && line_bytes >= 4);
+    vp_assert(bytes >= assoc * line_bytes, "cache too small");
+    sets_ = bytes / (assoc * line_bytes);
+    vp_assert(isPow2(sets_), "cache sets must be a power of two (",
+              sets_, ")");
+    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    const std::uint64_t line_addr = addr / lineBytes_;
+    const std::uint64_t set = line_addr & (sets_ - 1);
+    const std::uint64_t tag = line_addr >> 1; // keep full id; cheap
+    Line *base = &lines_[set * assoc_];
+
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = clock_;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t line_addr = addr / lineBytes_;
+    const std::uint64_t set = line_addr & (sets_ - 1);
+    const std::uint64_t tag = line_addr >> 1;
+    const Line *base = &lines_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines_)
+        l.valid = false;
+    clock_ = accesses_ = misses_ = 0;
+}
+
+} // namespace vp::sim

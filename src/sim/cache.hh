@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set-associative LRU cache model used for L1I, L1D and the unified L2.
+ */
+
+#ifndef VP_SIM_CACHE_HH
+#define VP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vp::sim
+{
+
+/** A single cache level. Tags only; no data storage. */
+class Cache
+{
+  public:
+    /**
+     * @param bytes Total capacity.
+     * @param assoc Ways per set.
+     * @param line_bytes Line size.
+     */
+    Cache(std::uint32_t bytes, unsigned assoc, std::uint32_t line_bytes);
+
+    /** Access @p addr; allocate on miss. @return true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Probe without allocation or LRU update. */
+    bool probe(std::uint64_t addr) const;
+
+    void reset();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t sets_;
+    unsigned assoc_;
+    std::uint32_t lineBytes_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace vp::sim
+
+#endif // VP_SIM_CACHE_HH

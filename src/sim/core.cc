@@ -1,0 +1,246 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::sim
+{
+
+using namespace ir;
+
+EpicCore::EpicCore(const Program &prog, const MachineConfig &mc)
+    : mc_(mc),
+      l1i_(mc.l1iBytes, mc.l1Assoc, mc.lineBytes),
+      l1d_(mc.l1dBytes, mc.l1Assoc, mc.lineBytes),
+      l2_(mc.l2Bytes, mc.l2Assoc, mc.lineBytes),
+      gshare_(mc.gshareHistoryBits),
+      btb_(mc.btbEntries),
+      ras_(mc.rasEntries)
+{
+    regReady_.resize(prog.numFunctions());
+    for (const Function &fn : prog.functions())
+        regReady_[fn.id()].assign(fn.regCount(), 0);
+    loadBuf_.assign(mc.ldStBufEntries, 0);
+    storeBuf_.assign(mc.ldStBufEntries, 0);
+}
+
+void
+EpicCore::advanceTo(std::uint64_t c)
+{
+    if (c > cycle_) {
+        cycle_ = c;
+        slotsUsed_ = 0;
+        for (unsigned &u : fuUsed_)
+            u = 0;
+    }
+}
+
+unsigned
+EpicCore::loadLatency(std::uint64_t addr)
+{
+    if (l1d_.access(addr))
+        return mc_.latLoadL1;
+    ++st_.l1dMisses;
+    if (l2_.access(addr))
+        return mc_.latL2;
+    ++st_.l2Misses;
+    return mc_.latMemory;
+}
+
+unsigned
+EpicCore::fetchPenalty(Addr pc)
+{
+    const std::uint64_t line = pc / mc_.lineBytes;
+    if (line == lastFetchLine_)
+        return 0;
+    lastFetchLine_ = line;
+    if (l1i_.access(pc))
+        return 0;
+    ++st_.l1iMisses;
+    if (l2_.access(pc))
+        return mc_.latL2;
+    ++st_.l2Misses;
+    return mc_.latMemory;
+}
+
+void
+EpicCore::pollute(Addr wrong_pc)
+{
+    // The resolution window fetches roughly issueWidth instructions per
+    // cycle down the wrong path; touch the corresponding lines.
+    const unsigned lines = std::max<unsigned>(
+        1, mc_.branchResolution * mc_.issueWidth * 4 / mc_.lineBytes);
+    for (unsigned i = 0; i < lines; ++i) {
+        const Addr a = wrong_pc + static_cast<Addr>(i) * mc_.lineBytes;
+        if (!l1i_.access(a))
+            l2_.access(a);
+        ++st_.wrongPathFetches;
+    }
+    // The wrong-path line is what the fetch unit last saw.
+    lastFetchLine_ = (wrong_pc + (lines - 1) * mc_.lineBytes) /
+                     mc_.lineBytes;
+}
+
+void
+EpicCore::reserveBufferSlot(std::vector<std::uint64_t> &buf,
+                            std::uint64_t complete_at,
+                            std::uint64_t &stall_counter)
+{
+    // The oldest entry must have completed before a new one can enter.
+    auto oldest = std::min_element(buf.begin(), buf.end());
+    if (*oldest > cycle_) {
+        stall_counter += *oldest - cycle_;
+        advanceTo(*oldest);
+    }
+    *oldest = complete_at;
+}
+
+void
+EpicCore::onRetire(const trace::RetiredInst &ri)
+{
+    const Instruction &inst = *ri.inst;
+    ++st_.insts;
+
+    // --- Fetch: crossing into a new line may stall the front end.
+    const unsigned fpen = fetchPenalty(ri.pc);
+    if (fpen) {
+        st_.fetchStallCycles += fpen;
+        advanceTo(cycle_ + fpen);
+    }
+
+    // --- Source-operand interlock (full bypass: ready-cycle granularity).
+    std::uint64_t ready = cycle_;
+    auto &frs = regReady_[ri.block.func];
+    for (RegId s : inst.srcs)
+        ready = std::max(ready, frs[s]);
+    if (ready > cycle_) {
+        st_.dataStallCycles += ready - cycle_;
+        advanceTo(ready);
+    }
+
+    // --- Issue-slot and functional-unit contention.
+    const FuClass fc = fuClassOf(inst.op);
+    const auto fi = static_cast<unsigned>(fc);
+    while (slotsUsed_ >= mc_.issueWidth || fuUsed_[fi] >= mc_.numUnits(fc))
+        advanceTo(cycle_ + 1);
+    ++slotsUsed_;
+    ++fuUsed_[fi];
+
+    // --- Execute: result latency.
+    unsigned lat = mc_.latencyOf(inst.op);
+    if (inst.op == Opcode::Load) {
+        lat = loadLatency(ri.memAddr);
+        reserveBufferSlot(loadBuf_, cycle_ + lat, st_.ldStBufStallCycles);
+    } else if (inst.op == Opcode::Store) {
+        // Stores drain through the store buffer; the pipe only stalls
+        // when the buffer is full of incomplete stores.
+        unsigned store_done = mc_.latStore;
+        if (!l1d_.access(ri.memAddr)) {
+            ++st_.l1dMisses;
+            store_done = l2_.access(ri.memAddr) ? mc_.latL2
+                                                : mc_.latMemory;
+            if (store_done != mc_.latL2)
+                ++st_.l2Misses;
+        }
+        reserveBufferSlot(storeBuf_, cycle_ + store_done,
+                          st_.ldStBufStallCycles);
+    }
+    for (RegId d : inst.dsts)
+        frs[d] = cycle_ + lat;
+
+    // --- Control flow.
+    const bool sequential = (ri.nextPc == ri.pc + kInstBytes);
+    switch (inst.op) {
+      case Opcode::CondBr: {
+        ++st_.branches;
+        const bool predicted = gshare_.predict(ri.pc);
+        gshare_.update(ri.pc, ri.branchTaken);
+        bool redirect = false;
+        if (predicted != ri.branchTaken) {
+            ++st_.branchMispredicts;
+            // Wrong-path fetch: predicted-taken goes to the BTB target,
+            // predicted-not-taken runs sequentially past the branch.
+            const Addr btb_target = btb_.lookup(ri.pc);
+            const Addr wrong = predicted
+                                   ? (btb_target != kInvalidAddr
+                                          ? btb_target
+                                          : ri.pc + kInstBytes)
+                                   : ri.pc + kInstBytes;
+            pollute(wrong);
+            advanceTo(cycle_ + mc_.branchResolution);
+        } else if (ri.branchTaken) {
+            // Correct taken prediction still needs the target: BTB.
+            if (btb_.lookup(ri.pc) != ri.nextPc) {
+                ++st_.btbMisses;
+                advanceTo(cycle_ + 1);
+            }
+            redirect = true;
+        }
+        if (ri.branchTaken)
+            btb_.update(ri.pc, ri.nextPc);
+        if (redirect || predicted != ri.branchTaken) {
+            ++st_.takenTransfers;
+            advanceTo(cycle_ + 1); // fetch group ends at a taken transfer
+        }
+        break;
+      }
+      case Opcode::Jump: {
+        if (btb_.lookup(ri.pc) != ri.nextPc) {
+            ++st_.btbMisses;
+            advanceTo(cycle_ + 1);
+            btb_.update(ri.pc, ri.nextPc);
+        }
+        ++st_.takenTransfers;
+        advanceTo(cycle_ + 1);
+        break;
+      }
+      case Opcode::Call: {
+        if (ri.retAddr != kInvalidAddr)
+            ras_.push(ri.retAddr);
+        if (btb_.lookup(ri.pc) != ri.nextPc) {
+            ++st_.btbMisses;
+            advanceTo(cycle_ + 1);
+            btb_.update(ri.pc, ri.nextPc);
+        }
+        ++st_.takenTransfers;
+        advanceTo(cycle_ + 1);
+        break;
+      }
+      case Opcode::Ret: {
+        const Addr predicted = ras_.pop();
+        if (predicted != ri.nextPc && ri.nextPc != kInvalidAddr) {
+            ++st_.rasMispredicts;
+            if (predicted != kInvalidAddr)
+                pollute(predicted);
+            advanceTo(cycle_ + mc_.branchResolution);
+        }
+        ++st_.takenTransfers;
+        advanceTo(cycle_ + 1);
+        break;
+      }
+      default:
+        if (!sequential && ri.nextPc != kInvalidAddr) {
+            // A patched fall-through (launch point / package stitch): the
+            // rewriter emits an unconditional jump here.
+            if (btb_.lookup(ri.pc) != ri.nextPc) {
+                ++st_.btbMisses;
+                advanceTo(cycle_ + 1);
+                btb_.update(ri.pc, ri.nextPc);
+            }
+            ++st_.takenTransfers;
+            advanceTo(cycle_ + 1);
+        }
+        break;
+    }
+}
+
+CoreStats
+EpicCore::stats() const
+{
+    CoreStats out = st_;
+    out.cycles = cycle_ + 1;
+    return out;
+}
+
+} // namespace vp::sim

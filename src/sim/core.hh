@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace-driven in-order EPIC pipeline timing model.
+ *
+ * Consumes the retired-instruction stream from the execution engine and
+ * accounts, per Table 2's machine, for: issue-width and functional-unit
+ * contention, register-dependence interlocks with full bypassing,
+ * instruction-cache behavior, data-cache hierarchy latencies, direction
+ * (gshare) and target (BTB/RAS) prediction with a 7-cycle resolution
+ * penalty, and fetch-group breaks on taken control transfers.
+ */
+
+#ifndef VP_SIM_CORE_HH
+#define VP_SIM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/predictor.hh"
+#include "trace/engine.hh"
+
+namespace vp::sim
+{
+
+/** Cycle-level results of one simulated run. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t rasMispredicts = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t takenTransfers = 0;
+    std::uint64_t dataStallCycles = 0;
+    std::uint64_t fetchStallCycles = 0;
+    std::uint64_t ldStBufStallCycles = 0;
+    std::uint64_t wrongPathFetches = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(insts) / cycles : 0.0;
+    }
+};
+
+/** The pipeline model, attachable to an ExecutionEngine as a sink. */
+class EpicCore : public trace::InstSink
+{
+  public:
+    /**
+     * @param prog Program to be executed (sizes the per-function register
+     *             scoreboards).
+     */
+    EpicCore(const ir::Program &prog, const MachineConfig &mc = {});
+
+    void onRetire(const trace::RetiredInst &ri) override;
+
+    /** Finalize and fetch results (drains the last issue group). */
+    CoreStats stats() const;
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    /** Move time forward, resetting issue-group resources. */
+    void advanceTo(std::uint64_t c);
+
+    /** Data latency of a load at @p addr, walking the hierarchy. */
+    unsigned loadLatency(std::uint64_t addr);
+
+    /** Cycles to fetch the line holding @p pc. */
+    unsigned fetchPenalty(ir::Addr pc);
+
+    /** Model wrong-path fetches after a mispredict at @p wrong_pc: the
+     *  front end runs ahead for the resolution window, polluting the
+     *  instruction caches (the paper's emulator "fully accounts for ...
+     *  wrong path execution, cache utilization and pollution"). */
+    void pollute(ir::Addr wrong_pc);
+
+    /** Stall issue until a buffer slot frees, then record completion. */
+    void reserveBufferSlot(std::vector<std::uint64_t> &buf,
+                           std::uint64_t complete_at,
+                           std::uint64_t &stall_counter);
+
+    MachineConfig mc_;
+    Cache l1i_, l1d_, l2_;
+    Gshare gshare_;
+    Btb btb_;
+    Ras ras_;
+
+    std::uint64_t cycle_ = 0;
+    unsigned slotsUsed_ = 0;
+    unsigned fuUsed_[5] = {0, 0, 0, 0, 0};
+    std::uint64_t lastFetchLine_ = ~0ULL;
+
+    /** Per-function, per-register result-ready cycle. */
+    std::vector<std::vector<std::uint64_t>> regReady_;
+
+    /** Completion times of in-flight loads/stores (Table 2: 8 each). */
+    std::vector<std::uint64_t> loadBuf_, storeBuf_;
+
+    CoreStats st_;
+};
+
+} // namespace vp::sim
+
+#endif // VP_SIM_CORE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The simulated EPIC machine model (paper Table 2): issue width,
+ * functional-unit mix, latencies, predictors and memory hierarchy.
+ * Shared by the package scheduler (resource/latency model) and the
+ * cycle-level pipeline simulator.
+ */
+
+#ifndef VP_SIM_MACHINE_HH
+#define VP_SIM_MACHINE_HH
+
+#include <cstdint>
+
+#include "ir/instruction.hh"
+
+namespace vp::sim
+{
+
+/** Functional-unit classes of the 5-type EPIC model. */
+enum class FuClass : std::uint8_t { IAlu, Fp, Mem, Branch, None };
+
+/** @return the FU class executing @p op. Long-latency FP shares FP units. */
+constexpr FuClass
+fuClassOf(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::IAlu:
+        return FuClass::IAlu;
+      case ir::Opcode::FAlu:
+      case ir::Opcode::FMul:
+        return FuClass::Fp;
+      case ir::Opcode::Load:
+      case ir::Opcode::Store:
+        return FuClass::Mem;
+      case ir::Opcode::CondBr:
+      case ir::Opcode::Jump:
+      case ir::Opcode::Call:
+      case ir::Opcode::Ret:
+        return FuClass::Branch;
+      case ir::Opcode::Nop:
+        return FuClass::None;
+    }
+    return FuClass::None;
+}
+
+/** Machine parameters; defaults reproduce the paper's Table 2. */
+struct MachineConfig
+{
+    // Issue and functional units.
+    unsigned issueWidth = 8;  ///< Instruction issue
+    unsigned numIAlu = 5;     ///< Integer ALU units
+    unsigned numFp = 3;       ///< Floating point units
+    unsigned numMem = 3;      ///< Memory units
+    unsigned numBranch = 3;   ///< Branch units
+
+    // Operation latencies (cycles until the result is usable).
+    unsigned latIAlu = 1;
+    unsigned latFAlu = 3;
+    unsigned latFMul = 8;  ///< long-latency FP
+    unsigned latLoadL1 = 2;
+
+    /** Latency the list scheduler assumes for loads when spacing their
+     *  consumers (EPIC compilers hoist loads beyond the L1-hit latency
+     *  to tolerate misses). */
+    unsigned schedLoadLatency = 8;
+    unsigned latStore = 1;
+    unsigned latBranch = 1;
+
+    // Branch handling.
+    unsigned branchResolution = 7;   ///< mispredict penalty (Table 2)
+    unsigned gshareHistoryBits = 10; ///< 10-bit history gshare
+    unsigned btbEntries = 1024;
+    unsigned rasEntries = 32;
+
+    // Memory hierarchy (sizes straight from Table 2).
+    std::uint32_t l1dBytes = 64 * 1024;   ///< L1 data cache
+    std::uint32_t l1iBytes = 512 * 1024;  ///< L1 instruction cache
+    std::uint32_t l2Bytes = 64 * 1024;    ///< unified L2 cache
+    std::uint32_t lineBytes = 64;
+    unsigned l1Assoc = 4;
+    unsigned l2Assoc = 8;
+    unsigned latL2 = 10;     ///< L1 miss, L2 hit
+    unsigned latMemory = 80; ///< L2 miss
+
+    unsigned ldStBufEntries = 8; ///< LD/ST buffer size (each)
+
+    /** Number of FUs of @p c. */
+    unsigned
+    numUnits(FuClass c) const
+    {
+        switch (c) {
+          case FuClass::IAlu: return numIAlu;
+          case FuClass::Fp: return numFp;
+          case FuClass::Mem: return numMem;
+          case FuClass::Branch: return numBranch;
+          case FuClass::None: return issueWidth;
+        }
+        return issueWidth;
+    }
+
+    /** Best-case result latency of @p op (L1-hit assumption for loads). */
+    unsigned
+    latencyOf(ir::Opcode op) const
+    {
+        switch (op) {
+          case ir::Opcode::IAlu: return latIAlu;
+          case ir::Opcode::FAlu: return latFAlu;
+          case ir::Opcode::FMul: return latFMul;
+          case ir::Opcode::Load: return latLoadL1;
+          case ir::Opcode::Store: return latStore;
+          default: return latBranch;
+        }
+    }
+};
+
+} // namespace vp::sim
+
+#endif // VP_SIM_MACHINE_HH

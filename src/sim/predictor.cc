@@ -1,0 +1,95 @@
+#include "sim/predictor.hh"
+
+#include "ir/program.hh"
+#include "support/logging.hh"
+
+namespace vp::sim
+{
+
+Gshare::Gshare(unsigned history_bits)
+    : bits_(history_bits), mask_((1u << history_bits) - 1),
+      table_(1u << history_bits, 1) // weakly not-taken
+{
+    vp_assert(history_bits >= 1 && history_bits <= 20);
+}
+
+std::uint32_t
+Gshare::index(ir::Addr pc) const
+{
+    return (static_cast<std::uint32_t>(pc / ir::kInstBytes) ^ history_) &
+           mask_;
+}
+
+bool
+Gshare::predict(ir::Addr pc) const
+{
+    ++lookups_;
+    return table_[index(pc)] >= 2;
+}
+
+void
+Gshare::update(ir::Addr pc, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    const bool predicted = ctr >= 2; // post-update state, only for stats
+    (void)predicted;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+    correct_ += 0; // accuracy tracked by the core
+}
+
+Btb::Btb(unsigned entries) : entries_(entries)
+{
+    vp_assert(entries >= 1);
+}
+
+ir::Addr
+Btb::lookup(ir::Addr pc) const
+{
+    const Entry &e =
+        entries_[(pc / ir::kInstBytes) % entries_.size()];
+    if (e.valid && e.tag == pc)
+        return e.target;
+    return ir::kInvalidAddr;
+}
+
+void
+Btb::update(ir::Addr pc, ir::Addr target)
+{
+    Entry &e = entries_[(pc / ir::kInstBytes) % entries_.size()];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+}
+
+Ras::Ras(unsigned depth) : stack_(depth)
+{
+    vp_assert(depth >= 1);
+}
+
+void
+Ras::push(ir::Addr ret_addr)
+{
+    stack_[top_] = ret_addr;
+    top_ = (top_ + 1) % stack_.size();
+    if (count_ < stack_.size())
+        ++count_;
+}
+
+ir::Addr
+Ras::pop()
+{
+    if (count_ == 0)
+        return ir::kInvalidAddr;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --count_;
+    return stack_[top_];
+}
+
+} // namespace vp::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Branch direction predictor (gshare), branch target buffer, and return
+ * address stack, parameterized per Table 2.
+ */
+
+#ifndef VP_SIM_PREDICTOR_HH
+#define VP_SIM_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.hh"
+
+namespace vp::sim
+{
+
+/** Gshare: global history XOR pc indexing a table of 2-bit counters. */
+class Gshare
+{
+  public:
+    explicit Gshare(unsigned history_bits);
+
+    bool predict(ir::Addr pc) const;
+    void update(ir::Addr pc, bool taken);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t correct() const { return correct_; }
+
+  private:
+    std::uint32_t index(ir::Addr pc) const;
+
+    unsigned bits_;
+    std::uint32_t mask_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> table_; // 2-bit saturating counters
+    mutable std::uint64_t lookups_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/** Direct-mapped branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries);
+
+    /** @return predicted target for @p pc, or kInvalidAddr on miss. */
+    ir::Addr lookup(ir::Addr pc) const;
+    void update(ir::Addr pc, ir::Addr target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        ir::Addr tag = 0;
+        ir::Addr target = 0;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Fixed-depth return address stack (wraps on overflow, like hardware). */
+class Ras
+{
+  public:
+    explicit Ras(unsigned depth);
+
+    void push(ir::Addr ret_addr);
+
+    /** Pop the predicted return address (kInvalidAddr when empty). */
+    ir::Addr pop();
+
+    unsigned size() const { return count_; }
+
+  private:
+    std::vector<ir::Addr> stack_;
+    unsigned top_ = 0;   // next push slot
+    unsigned count_ = 0; // valid entries (capped at depth)
+};
+
+} // namespace vp::sim
+
+#endif // VP_SIM_PREDICTOR_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dynamically sized bitset for dataflow analyses (live-variable sets).
+ */
+
+#ifndef VP_SUPPORT_BITSET_HH
+#define VP_SUPPORT_BITSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace vp
+{
+
+/** A fixed-capacity bitset sized at construction time. */
+class BitSet
+{
+  public:
+    BitSet() = default;
+    explicit BitSet(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+    std::size_t size() const { return bits_; }
+
+    void
+    set(std::size_t i)
+    {
+        vp_assert(i < bits_);
+        words_[i >> 6] |= (1ULL << (i & 63));
+    }
+
+    void
+    clear(std::size_t i)
+    {
+        vp_assert(i < bits_);
+        words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        vp_assert(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    }
+
+    /** this |= other. @return true if this changed. */
+    bool
+    unionWith(const BitSet &other)
+    {
+        vp_assert(bits_ == other.bits_);
+        bool changed = false;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            const std::uint64_t nv = words_[w] | other.words_[w];
+            changed |= (nv != words_[w]);
+            words_[w] = nv;
+        }
+        return changed;
+    }
+
+    /** this &= ~other. */
+    void
+    subtract(const BitSet &other)
+    {
+        vp_assert(bits_ == other.bits_);
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            words_[w] &= ~other.words_[w];
+    }
+
+    bool
+    operator==(const BitSet &other) const
+    {
+        return bits_ == other.bits_ && words_ == other.words_;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Invoke @p fn for every set bit index, in increasing order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t v = words_[w];
+            while (v) {
+                const int b = __builtin_ctzll(v);
+                fn(w * 64 + static_cast<std::size_t>(b));
+                v &= v - 1;
+            }
+        }
+    }
+
+  private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_BITSET_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated: a library bug. Aborts.
+ * fatal()  -- the caller supplied an impossible configuration. Exits(1).
+ * vp_assert() -- cheap invariant check that survives NDEBUG builds.
+ */
+
+#ifndef VP_SUPPORT_LOGGING_HH
+#define VP_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vp
+{
+
+/** Print a panic message (library bug) and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print a fatal message (user error) and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace vp
+
+#define vp_panic(...) \
+    ::vp::panicImpl(__FILE__, __LINE__, ::vp::detail::concat(__VA_ARGS__))
+
+#define vp_fatal(...) \
+    ::vp::fatalImpl(__FILE__, __LINE__, ::vp::detail::concat(__VA_ARGS__))
+
+#define vp_warn(...) \
+    ::vp::warnImpl(__FILE__, __LINE__, ::vp::detail::concat(__VA_ARGS__))
+
+/**
+ * Invariant check that is active in all build types. Use for cheap
+ * structural checks whose failure means a library bug.
+ */
+#define vp_assert(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::vp::panicImpl(__FILE__, __LINE__,                               \
+                            ::vp::detail::concat("assertion failed: " #cond  \
+                                                 " ", ##__VA_ARGS__));        \
+        }                                                                     \
+    } while (0)
+
+#endif // VP_SUPPORT_LOGGING_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic random number utilities.
+ *
+ * All randomness in the library flows through these generators seeded by
+ * explicit 64-bit values; nothing reads wall-clock or global state, so every
+ * run of every experiment is bit-reproducible.
+ */
+
+#ifndef VP_SUPPORT_RNG_HH
+#define VP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace vp
+{
+
+/**
+ * SplitMix64 mixing function. Stateless: maps a 64-bit value to a
+ * well-scrambled 64-bit value. Used both as a stream seeder and as a
+ * counter-based RNG (hash of (stream id, index)).
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two seeds/ids into one stream id. */
+constexpr std::uint64_t
+seedCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/**
+ * Counter-based uniform draw in [0, 1). Deterministic function of
+ * (stream, index) — the backbone of the branch outcome oracle, which must
+ * replay identically for original and packaged code.
+ */
+constexpr double
+uniform01(std::uint64_t stream, std::uint64_t index)
+{
+    const std::uint64_t h = splitmix64(splitmix64(stream) ^ index);
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/**
+ * Small stateful generator (xorshift128+ style via repeated splitmix) for
+ * places where a sequential stream is more natural than counter-based
+ * draws (e.g. workload construction).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(splitmix64(seed ^ 0xabcdULL)) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ = splitmix64(state_);
+        return state_;
+    }
+
+    /** Uniform double in [0, 1). */
+    double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(below(
+                        static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_RNG_HH

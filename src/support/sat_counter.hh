@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating hardware-style counters.
+ *
+ * The Hot Spot Detector's per-branch execute/taken counters (9 bits in the
+ * paper's Table 2) and the Hot Spot Detection Counter (13 bits) saturate
+ * rather than wrap; at saturation the taken *fraction* of a branch is still
+ * preserved because both counters stop together (Section 3.1).
+ */
+
+#ifndef VP_SUPPORT_SAT_COUNTER_HH
+#define VP_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace vp
+{
+
+/** An unsigned saturating counter with a runtime-configurable bit width. */
+class SatCounter
+{
+  public:
+    /** @param bits Counter width in bits; 1..32. */
+    explicit SatCounter(unsigned bits = 8, std::uint32_t initial = 0)
+        : max_((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1)),
+          value_(initial > max_ ? max_ : initial)
+    {
+        vp_assert(bits >= 1 && bits <= 32, "bits=", bits);
+    }
+
+    /** Add @p n, clamping at the maximum. @return true if saturated. */
+    bool
+    add(std::uint32_t n = 1)
+    {
+        if (value_ >= max_ || n >= max_ - value_) {
+            value_ = max_;
+            return true;
+        }
+        value_ += n;
+        return false;
+    }
+
+    /** Subtract @p n, clamping at zero. @return true if it hit zero. */
+    bool
+    sub(std::uint32_t n = 1)
+    {
+        if (n >= value_) {
+            value_ = 0;
+            return true;
+        }
+        value_ -= n;
+        return false;
+    }
+
+    void reset(std::uint32_t v = 0) { value_ = v > max_ ? max_ : v; }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+    bool zero() const { return value_ == 0; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_SAT_COUNTER_HH

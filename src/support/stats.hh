@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small statistics accumulators used by the experiment harnesses.
+ */
+
+#ifndef VP_SUPPORT_STATS_HH
+#define VP_SUPPORT_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace vp
+{
+
+/** Running mean / min / max / count accumulator. */
+class Accumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        sum_ += x;
+        count_ += 1;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    std::uint64_t count_ = 0;
+};
+
+/** Geometric-mean accumulator (for speedups, as in the paper's averages). */
+class GeoMean
+{
+  public:
+    void
+    add(double x)
+    {
+        if (x > 0.0) {
+            logSum_ += std::log(x);
+            count_ += 1;
+        }
+    }
+
+    double value() const { return count_ ? std::exp(logSum_ / count_) : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double logSum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_STATS_HH

@@ -1,0 +1,63 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vp
+{
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    if (rows_.empty())
+        return;
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            std::fprintf(out, "%-*s", static_cast<int>(widths[i]) + 2,
+                         row[i].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+
+    print_row(rows_.front());
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (std::size_t r = 1; r < rows_.size(); ++r)
+        print_row(rows_[r]);
+}
+
+} // namespace vp

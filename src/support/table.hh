@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harnesses to emit
+ * rows in the shape of the paper's tables and figures.
+ */
+
+#ifndef VP_SUPPORT_TABLE_HH
+#define VP_SUPPORT_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vp
+{
+
+/**
+ * Collects rows of strings and prints them with per-column widths.
+ * First row added is treated as the header and underlined.
+ */
+class TablePrinter
+{
+  public:
+    /** Add one row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 1);
+
+    /** Convenience: format a percentage with @p prec decimals. */
+    static std::string pct(double fraction, int prec = 1);
+
+    /** Render the table to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Number of data rows (excluding the header). */
+    std::size_t rows() const { return rows_.empty() ? 0 : rows_.size() - 1; }
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_TABLE_HH

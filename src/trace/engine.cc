@@ -1,0 +1,182 @@
+#include "trace/engine.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace vp::trace
+{
+
+using namespace ir;
+
+ExecutionEngine::ExecutionEngine(const Program &prog,
+                                 const workload::Workload &w)
+    : prog_(prog), oracle_(w.behaviors, w.schedule)
+{
+}
+
+RunStats
+ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
+{
+    RunStats stats;
+    std::vector<BlockRef> call_stack;
+
+    // Dynamic launch selectors (BlockKind::Selector): per-selector choice
+    // index, advanced when the chosen package bounces straight back out
+    // (the "monitoring snippet feeding a dynamic predictor" of
+    // Section 3.3.4).
+    std::unordered_map<BlockRef, std::size_t> selector_choice;
+    BlockRef pending_selector = kNoBlockRef;
+    std::uint64_t selector_entry_insts = 0;
+    bool selector_saw_package = false;
+    constexpr std::uint64_t kBounceInsts = 64;
+
+    const FuncId entry_fn = prog_.entryFunc();
+    BlockRef cur{entry_fn, prog_.func(entry_fn).entry()};
+
+    // Safety net against cycles of empty blocks, which retire nothing and
+    // would otherwise never consume budget.
+    std::uint64_t steps = 0;
+    const std::uint64_t max_steps = max_insts * 4 + 1024;
+
+    bool done = false;
+    while (!done && stats.dynInsts < max_insts &&
+           stats.dynBranches < max_branches && steps < max_steps) {
+        ++steps;
+        const Function &fn = prog_.func(cur.func);
+        const BasicBlock &bb = fn.block(cur.block);
+        const bool in_package = fn.isPackage();
+
+        // Selector feedback: once control has entered a package after a
+        // selector jump and then left it again, judge the choice by how
+        // long it stayed; an immediate bounce rotates the selector.
+        if (pending_selector.valid()) {
+            if (in_package) {
+                selector_saw_package = true;
+            } else if (selector_saw_package) {
+                if (stats.dynInsts - selector_entry_insts < kBounceInsts)
+                    ++selector_choice[pending_selector];
+                pending_selector = kNoBlockRef;
+            }
+        }
+
+        // Exit blocks leaving a package materialize the call frames that
+        // partial inlining elided (compensation code of the exit stub).
+        if (bb.kind == BlockKind::Exit) {
+            for (const BlockRef &frame : bb.exitFrames)
+                call_stack.push_back(frame);
+        }
+
+        // Resolve this block's successor up front (there is at most one
+        // terminator and it is last, so no ordering hazard).
+        BlockRef next = kNoBlockRef;
+        bool taken = false;
+        const Instruction *term = bb.terminator();
+        if (term) {
+            switch (term->op) {
+              case Opcode::CondBr:
+                // The oracle speaks in original-branch direction; a
+                // layout-flipped copy inverts it (targets were swapped).
+                taken = oracle_.decideBranch(term->behavior) ^
+                        term->invertSense;
+                next = taken ? bb.taken : bb.fall;
+                break;
+              case Opcode::Jump:
+                if (bb.kind == BlockKind::Selector &&
+                    !bb.selectorTargets.empty()) {
+                    const std::size_t idx = selector_choice[cur] %
+                                            bb.selectorTargets.size();
+                    next = bb.selectorTargets[idx];
+                    pending_selector = cur;
+                    selector_entry_insts = stats.dynInsts;
+                    selector_saw_package = false;
+                } else {
+                    next = bb.taken;
+                }
+                break;
+              case Opcode::Call:
+                call_stack.push_back(bb.fall);
+                next = BlockRef{bb.callee, prog_.func(bb.callee).entry()};
+                break;
+              case Opcode::Ret:
+                if (call_stack.empty()) {
+                    done = true;
+                } else {
+                    next = call_stack.back();
+                    call_stack.pop_back();
+                }
+                break;
+              default:
+                vp_panic("unexpected terminator");
+            }
+        } else {
+            next = bb.fall;
+        }
+
+        const Addr next_block_addr =
+            next.valid() ? prog_.block(next).addr : kInvalidAddr;
+
+        // Retire the block's real instructions.
+        Addr pc = bb.addr;
+        std::size_t remaining_real = 0;
+        for (const Instruction &inst : bb.insts)
+            remaining_real += inst.pseudo ? 0 : 1;
+
+        for (const Instruction &inst : bb.insts) {
+            if (inst.pseudo)
+                continue;
+            --remaining_real;
+
+            RetiredInst ri;
+            ri.inst = &inst;
+            ri.pc = pc;
+            ri.block = cur;
+            ri.inPackage = in_package;
+            ri.nextPc = remaining_real ? pc + kInstBytes : next_block_addr;
+
+            switch (inst.op) {
+              case Opcode::CondBr:
+                ri.branchTaken = taken;
+                ++stats.dynBranches;
+                stats.takenBranches += taken ? 1 : 0;
+                break;
+              case Opcode::Call:
+                ++stats.dynCalls;
+                if (bb.fall.valid())
+                    ri.retAddr = prog_.block(bb.fall).addr;
+                break;
+              case Opcode::Load:
+              case Opcode::Store:
+                ri.memAddr = oracle_.memAddress(inst.behavior);
+                break;
+              default:
+                break;
+            }
+
+            ++stats.dynInsts;
+            stats.instsInPackages += in_package ? 1 : 0;
+            for (InstSink *s : sinks_)
+                s->onRetire(ri);
+
+            if (stats.dynInsts >= max_insts ||
+                stats.dynBranches >= max_branches) {
+                break;
+            }
+
+            pc += kInstBytes;
+        }
+
+        if (!done && stats.dynInsts < max_insts &&
+            stats.dynBranches < max_branches) {
+            if (!next.valid())
+                done = true;
+            else
+                cur = next;
+        }
+    }
+
+    stats.hitBudget = !done;
+    return stats;
+}
+
+} // namespace vp::trace

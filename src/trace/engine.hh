@@ -1,0 +1,119 @@
+/**
+ * @file
+ * CFG-walking execution engine.
+ *
+ * Runs a Program (original or packaged) against the branch oracle and
+ * streams retired instructions to registered sinks: the Hot Spot Detector
+ * during profiling runs, the EPIC pipeline simulator during timing runs,
+ * and the coverage/categorization collectors during evaluation runs.
+ */
+
+#ifndef VP_TRACE_ENGINE_HH
+#define VP_TRACE_ENGINE_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/program.hh"
+#include "trace/oracle.hh"
+#include "workload/workload.hh"
+
+namespace vp::trace
+{
+
+/** One retired instruction event. */
+struct RetiredInst
+{
+    const ir::Instruction *inst = nullptr;
+    ir::Addr pc = ir::kInvalidAddr;
+
+    /** Address of the next instruction to execute (control-flow target
+     *  for terminators, sequential pc otherwise). */
+    ir::Addr nextPc = ir::kInvalidAddr;
+
+    /** Block containing the instruction. */
+    ir::BlockRef block;
+
+    /** For CondBr: resolved direction. */
+    bool branchTaken = false;
+
+    /** For Load/Store: effective data address. */
+    std::uint64_t memAddr = 0;
+
+    /** For Call: code address execution will return to (RAS modeling). */
+    ir::Addr retAddr = ir::kInvalidAddr;
+
+    /** True if the block belongs to a package function. */
+    bool inPackage = false;
+};
+
+/** Consumer of the retired-instruction stream. */
+class InstSink
+{
+  public:
+    virtual ~InstSink() = default;
+    virtual void onRetire(const RetiredInst &ri) = 0;
+};
+
+/** Aggregate counts of one run. */
+struct RunStats
+{
+    std::uint64_t dynInsts = 0;
+    std::uint64_t dynBranches = 0; ///< conditional branches
+    std::uint64_t takenBranches = 0;
+    std::uint64_t dynCalls = 0;
+    std::uint64_t instsInPackages = 0;
+    bool hitBudget = false; ///< stopped on budget rather than program exit
+
+    double
+    packageCoverage() const
+    {
+        return dynInsts ? static_cast<double>(instsInPackages) / dynInsts
+                        : 0.0;
+    }
+};
+
+/**
+ * The engine. Layout() must have been run on the program (instruction
+ * addresses are consumed by the timing model).
+ */
+class ExecutionEngine
+{
+  public:
+    /**
+     * @param prog Program to execute — may differ from the workload's
+     *             original program (i.e. the packaged clone), but must use
+     *             the workload's behavior ids.
+     */
+    ExecutionEngine(const ir::Program &prog, const workload::Workload &w);
+
+    /** Register a retired-instruction consumer. */
+    void addSink(InstSink *sink) { sinks_.push_back(sink); }
+
+    /**
+     * Run from the program entry until the entry function returns,
+     * @p max_insts instructions retire, or @p max_branches conditional
+     * branches retire (whichever comes first).
+     *
+     * The branch bound expresses *logical* progress: packaging removes
+     * jumps/calls, so equal instruction budgets would let the packaged
+     * program get further through the program. Timing comparisons
+     * (Figure 10) run the baseline on an instruction budget and the
+     * packaged program to the same branch count.
+     */
+    RunStats run(std::uint64_t max_insts,
+                 std::uint64_t max_branches =
+                     std::numeric_limits<std::uint64_t>::max());
+
+    const BranchOracle &oracle() const { return oracle_; }
+
+  private:
+    const ir::Program &prog_;
+    BranchOracle oracle_;
+    std::vector<InstSink *> sinks_;
+};
+
+} // namespace vp::trace
+
+#endif // VP_TRACE_ENGINE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic branch-outcome and memory-address oracle.
+ *
+ * Outcomes are a pure function of (original branch identity, occurrence
+ * index, current phase). Because package construction preserves control-flow
+ * semantics and copies keep their BehaviorId, the original and the packaged
+ * program execute the same logical branch sequence and therefore receive
+ * identical outcome streams — the property that makes speedup comparisons
+ * (Figure 10) fair.
+ */
+
+#ifndef VP_TRACE_ORACLE_HH
+#define VP_TRACE_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/types.hh"
+#include "support/rng.hh"
+#include "workload/behavior.hh"
+
+namespace vp::trace
+{
+
+/** Stateful replay oracle over a workload's behavior models. */
+class BranchOracle
+{
+  public:
+    BranchOracle(const workload::BehaviorMap &behaviors,
+                 const workload::PhaseSchedule &schedule)
+        : behaviors_(behaviors), schedule_(schedule)
+    {
+    }
+
+    /**
+     * Decide the outcome of one dynamic execution of branch @p id.
+     * Advances the global retired-branch clock (which drives the phase
+     * schedule) and the branch's occurrence counter.
+     */
+    bool
+    decideBranch(ir::BehaviorId id)
+    {
+        const workload::PhaseId phase = schedule_.phaseAt(branchCount_);
+        ++branchCount_;
+        const std::uint64_t occ = occurrence_[id]++;
+        const double p = behaviors_.branch(id).probFor(phase);
+        return uniform01(id, occ) < p;
+    }
+
+    /** Next data address for memory instruction @p id. */
+    std::uint64_t
+    memAddress(ir::BehaviorId id)
+    {
+        const std::uint64_t occ = occurrence_[id]++;
+        return behaviors_.mem(id).addressAt(occ);
+    }
+
+    /** Phase currently in effect. */
+    workload::PhaseId
+    currentPhase() const
+    {
+        return schedule_.phaseAt(branchCount_);
+    }
+
+    /** Conditional branches retired so far. */
+    std::uint64_t branchCount() const { return branchCount_; }
+
+  private:
+    const workload::BehaviorMap &behaviors_;
+    const workload::PhaseSchedule &schedule_;
+    std::uint64_t branchCount_ = 0;
+    std::unordered_map<ir::BehaviorId, std::uint64_t> occurrence_;
+};
+
+} // namespace vp::trace
+
+#endif // VP_TRACE_ORACLE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Top-level configuration of the Vacuum Packing pipeline: one struct
+ * aggregating every stage's knobs, with the paper's four experimental
+ * variants (inference x linking) as named constructors.
+ */
+
+#ifndef VP_VP_CONFIG_HH
+#define VP_VP_CONFIG_HH
+
+#include "hsd/bbb.hh"
+#include "hsd/filter.hh"
+#include "opt/optimizer.hh"
+#include "package/packager.hh"
+#include "region/identify.hh"
+#include "sim/machine.hh"
+
+namespace vp
+{
+
+/** All pipeline knobs. Defaults reproduce the paper's configuration. */
+struct VpConfig
+{
+    hsd::HsdConfig hsd;
+    hsd::FilterConfig filter;
+    region::RegionConfig region;
+    package::PackageConfig package;
+    opt::OptConfig opt;
+    sim::MachineConfig machine;
+
+    /**
+     * Instruction budget for the profiling run; 0 means use the
+     * workload's own budget (the paper profiles the complete run).
+     */
+    std::uint64_t profileBudget = 0;
+
+    /** The paper's four Figure 8 / Figure 10 variants. */
+    static VpConfig
+    variant(bool inference, bool linking)
+    {
+        VpConfig cfg;
+        cfg.region.inference = inference;
+        cfg.package.linking = linking;
+        return cfg;
+    }
+};
+
+} // namespace vp
+
+#endif // VP_VP_CONFIG_HH

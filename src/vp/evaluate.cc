@@ -1,0 +1,168 @@
+#include "vp/evaluate.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vp
+{
+
+using namespace ir;
+
+trace::RunStats
+measureCoverage(const workload::Workload &w, const Program &packaged_prog)
+{
+    trace::ExecutionEngine engine(packaged_prog, w);
+    return engine.run(w.maxDynInsts);
+}
+
+SpeedupResult
+measureSpeedup(const workload::Workload &w, const Program &packaged_prog,
+               const sim::MachineConfig &mc)
+{
+    SpeedupResult out;
+    std::uint64_t branches = 0;
+    {
+        trace::ExecutionEngine engine(w.program, w);
+        sim::EpicCore core(w.program, mc);
+        engine.addSink(&core);
+        branches = engine.run(w.maxDynInsts).dynBranches;
+        out.baseline = core.stats();
+    }
+    {
+        // Equal *logical* work: run the packaged program to the same
+        // retired-branch count (it needs fewer instructions to get
+        // there, which is part of the win being measured).
+        trace::ExecutionEngine engine(packaged_prog, w);
+        sim::EpicCore core(packaged_prog, mc);
+        engine.addSink(&core);
+        engine.run(w.maxDynInsts * 2, branches);
+        out.packaged = core.stats();
+    }
+    return out;
+}
+
+const char *
+branchCategoryName(BranchCategory c)
+{
+    switch (c) {
+      case BranchCategory::UniqueBiased: return "Unique Biased";
+      case BranchCategory::UniqueNoBias: return "Unique No Bias";
+      case BranchCategory::MultiSame: return "Multi Same";
+      case BranchCategory::MultiLow: return "Multi Low";
+      case BranchCategory::MultiHigh: return "Multi High";
+      case BranchCategory::MultiNoBias: return "Multi No Bias";
+      case BranchCategory::NotDetected: return "Not Detected";
+      case BranchCategory::Count: break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Counts dynamic executions per static branch over a run. */
+class BranchCounter : public trace::InstSink
+{
+  public:
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op == Opcode::CondBr) {
+            ++counts_[ri.inst->behavior];
+            ++total_;
+        }
+    }
+
+    const std::unordered_map<BehaviorId, std::uint64_t> &
+    counts() const
+    {
+        return counts_;
+    }
+
+    std::uint64_t total() const { return total_; }
+
+  private:
+    std::unordered_map<BehaviorId, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace
+
+Categorization
+categorizeBranches(const workload::Workload &w,
+                   const std::vector<hsd::HotSpotRecord> &records,
+                   double bias_high)
+{
+    // Dynamic execution weight of every static branch over the full run.
+    trace::ExecutionEngine engine(w.program, w);
+    BranchCounter counter;
+    engine.addSink(&counter);
+    engine.run(w.maxDynInsts);
+
+    // Collect per-branch taken fractions across the phases that saw it.
+    std::unordered_map<BehaviorId, std::vector<double>> fractions;
+    for (const auto &rec : records) {
+        for (const auto &hb : rec.branches)
+            fractions[hb.behavior].push_back(hb.takenFraction());
+    }
+
+    auto biased = [&](double f) {
+        return f >= bias_high || f <= 1.0 - bias_high;
+    };
+
+    Categorization cat;
+    if (counter.total() == 0)
+        return cat;
+
+    for (const auto &[behavior, weight] : counter.counts()) {
+        BranchCategory c;
+        auto it = fractions.find(behavior);
+        if (it == fractions.end()) {
+            c = BranchCategory::NotDetected;
+        } else if (it->second.size() == 1) {
+            c = biased(it->second.front()) ? BranchCategory::UniqueBiased
+                                           : BranchCategory::UniqueNoBias;
+        } else {
+            const auto [mn, mx] = std::minmax_element(it->second.begin(),
+                                                      it->second.end());
+            const bool any_biased =
+                std::any_of(it->second.begin(), it->second.end(), biased);
+            const double swing = *mx - *mn;
+            if (!any_biased)
+                c = BranchCategory::MultiNoBias;
+            else if (swing > 0.7)
+                c = BranchCategory::MultiHigh;
+            else if (swing > 0.4)
+                c = BranchCategory::MultiLow;
+            else
+                c = BranchCategory::MultiSame;
+        }
+        cat.fraction[static_cast<std::size_t>(c)] +=
+            static_cast<double>(weight) / counter.total();
+    }
+    return cat;
+}
+
+hsd::HotSpotRecord
+aggregateRecord(const std::vector<hsd::HotSpotRecord> &records)
+{
+    hsd::HotSpotRecord agg;
+    std::unordered_map<BehaviorId, std::size_t> index;
+    for (const auto &rec : records) {
+        agg.detectedAtBranch =
+            std::max(agg.detectedAtBranch, rec.detectedAtBranch);
+        for (const auto &hb : rec.branches) {
+            auto it = index.find(hb.behavior);
+            if (it == index.end()) {
+                index.emplace(hb.behavior, agg.branches.size());
+                agg.branches.push_back(hb);
+            } else {
+                agg.branches[it->second].exec += hb.exec;
+                agg.branches[it->second].taken += hb.taken;
+            }
+        }
+    }
+    return agg;
+}
+
+} // namespace vp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment measurement helpers: package execution coverage (Figure 8),
+ * cycle-level speedup (Figure 10), dynamic branch categorization
+ * (Figure 9), and the aggregate-profile baseline used for ablation.
+ */
+
+#ifndef VP_VP_EVALUATE_HH
+#define VP_VP_EVALUATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "hsd/record.hh"
+#include "sim/core.hh"
+#include "trace/engine.hh"
+#include "vp/config.hh"
+#include "workload/workload.hh"
+
+namespace vp
+{
+
+/**
+ * Execute @p packaged_prog over @p w and report the fraction of dynamic
+ * instructions retired inside package functions (Figure 8's metric).
+ */
+trace::RunStats measureCoverage(const workload::Workload &w,
+                                const ir::Program &packaged_prog);
+
+/** Result of a pair of timing runs. */
+struct SpeedupResult
+{
+    sim::CoreStats baseline;
+    sim::CoreStats packaged;
+
+    double
+    speedup() const
+    {
+        return packaged.cycles
+                   ? static_cast<double>(baseline.cycles) / packaged.cycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Run the original and the packaged program through the EPIC core on
+ * identical oracle streams and compare cycles (Figure 10's metric).
+ */
+SpeedupResult measureSpeedup(const workload::Workload &w,
+                             const ir::Program &packaged_prog,
+                             const sim::MachineConfig &mc = {});
+
+/** Figure 9 categories, in the paper's stacking order. */
+enum class BranchCategory : std::uint8_t
+{
+    UniqueBiased,   ///< in one phase only, biased there
+    UniqueNoBias,   ///< in one phase only, unbiased
+    MultiSame,      ///< multiple phases, biased, swing <= 40%
+    MultiLow,       ///< multiple phases, bias swing in (40%, 70%]
+    MultiHigh,      ///< multiple phases, bias swing > 70%
+    MultiNoBias,    ///< multiple phases, never biased
+    NotDetected,    ///< never captured in any hot spot
+    Count
+};
+
+const char *branchCategoryName(BranchCategory c);
+
+/** Dynamic-branch fraction per category; entries sum to 1. */
+struct Categorization
+{
+    std::array<double, static_cast<std::size_t>(BranchCategory::Count)>
+        fraction{};
+
+    double
+    of(BranchCategory c) const
+    {
+        return fraction[static_cast<std::size_t>(c)];
+    }
+};
+
+/**
+ * Categorize every static branch by its appearance and bias across the
+ * filtered hot-spot records, weighting by dynamic execution counts
+ * measured over a full run of @p w.
+ *
+ * @param bias_high A branch is biased when taken-fraction >= bias_high or
+ *                  <= 1 - bias_high (the filter's notion of bias).
+ */
+Categorization categorizeBranches(
+    const workload::Workload &w,
+    const std::vector<hsd::HotSpotRecord> &records, double bias_high = 0.7);
+
+/**
+ * Ablation baseline: merge all records into a single aggregate profile
+ * (what a traditional whole-run profiler would deliver), losing all phase
+ * distinctions. Exec/taken counts are summed per branch.
+ */
+hsd::HotSpotRecord aggregateRecord(
+    const std::vector<hsd::HotSpotRecord> &records);
+
+} // namespace vp
+
+#endif // VP_VP_EVALUATE_HH

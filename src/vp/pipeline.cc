@@ -1,0 +1,44 @@
+#include "vp/pipeline.hh"
+
+#include "region/identify.hh"
+
+namespace vp
+{
+
+void
+VacuumPacker::profile(VpResult &result) const
+{
+    trace::ExecutionEngine engine(workload_.program, workload_);
+    hsd::HotSpotDetector detector(cfg_.hsd, &engine.oracle());
+    engine.addSink(&detector);
+
+    const std::uint64_t budget =
+        cfg_.profileBudget ? cfg_.profileBudget : workload_.maxDynInsts;
+    result.profileRun = engine.run(budget);
+    result.rawRecords = detector.records();
+    result.records = hsd::filterRedundant(result.rawRecords, cfg_.filter);
+}
+
+void
+VacuumPacker::identify(VpResult &result) const
+{
+    result.regions.clear();
+    result.regions.reserve(result.records.size());
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+        region::Region r = region::identifyRegion(
+            workload_.program, result.records[i], cfg_.region);
+        r.hotSpotIndex = i;
+        result.regions.push_back(std::move(r));
+    }
+}
+
+void
+VacuumPacker::construct(VpResult &result) const
+{
+    result.packaged = package::buildPackages(workload_.program,
+                                             result.regions, cfg_.package);
+    result.optStats = opt::optimizePackages(result.packaged.program,
+                                            cfg_.opt, cfg_.machine);
+}
+
+} // namespace vp

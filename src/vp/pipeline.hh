@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The VacuumPacker: the public end-to-end API tying the pipeline together
+ * — hardware profiling, hot-spot filtering, per-phase region
+ * identification, package construction/linking, and package optimization.
+ */
+
+#ifndef VP_VP_PIPELINE_HH
+#define VP_VP_PIPELINE_HH
+
+#include <vector>
+
+#include "hsd/detector.hh"
+#include "hsd/filter.hh"
+#include "opt/optimizer.hh"
+#include "package/packager.hh"
+#include "region/region.hh"
+#include "trace/engine.hh"
+#include "vp/config.hh"
+#include "workload/workload.hh"
+
+namespace vp
+{
+
+/** Everything the pipeline produced. */
+struct VpResult
+{
+    /** Hot spots as detected by the hardware, before filtering. */
+    std::vector<hsd::HotSpotRecord> rawRecords;
+
+    /** After software redundancy filtering — one record per phase. */
+    std::vector<hsd::HotSpotRecord> records;
+
+    /** One region per filtered record. */
+    std::vector<region::Region> regions;
+
+    /** The packaged program and package inventory. */
+    package::PackagedProgram packaged;
+
+    /** Optimization pass statistics. */
+    opt::OptStats optStats;
+
+    /** Statistics of the profiling run. */
+    trace::RunStats profileRun;
+};
+
+/**
+ * The pipeline driver. Typical use:
+ *
+ * @code
+ *   workload::Workload w = workload::makePerl("A");
+ *   VacuumPacker packer(w, VpConfig::variant(true, true));
+ *   VpResult r = packer.run();
+ *   // r.packaged.program is the optimized, deployable program.
+ * @endcode
+ */
+class VacuumPacker
+{
+  public:
+    VacuumPacker(const workload::Workload &w, VpConfig cfg = {})
+        : workload_(w), cfg_(std::move(cfg))
+    {
+    }
+
+    /** Step 1: profile the workload with the HSD and filter hot spots. */
+    void profile(VpResult &result) const;
+
+    /** Step 2: identify one region per filtered hot spot. */
+    void identify(VpResult &result) const;
+
+    /** Step 3: build, link and optimize packages. */
+    void construct(VpResult &result) const;
+
+    /** All three steps. */
+    VpResult
+    run() const
+    {
+        VpResult result;
+        profile(result);
+        identify(result);
+        construct(result);
+        return result;
+    }
+
+    const VpConfig &config() const { return cfg_; }
+
+  private:
+    const workload::Workload &workload_;
+    VpConfig cfg_;
+};
+
+} // namespace vp
+
+#endif // VP_VP_PIPELINE_HH

@@ -1,0 +1,112 @@
+#include "vp/report.hh"
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace vp
+{
+
+WorkloadReport
+analyzeWorkload(const workload::Workload &w, const VpConfig &base)
+{
+    WorkloadReport report;
+    report.label = w.label();
+    report.staticInsts = w.program.numInsts();
+    report.functions = w.program.numFunctions();
+    report.phases = w.schedule.numPhases();
+
+    const std::array<std::pair<bool, bool>, 4> variants = {
+        std::pair{false, false}, {false, true}, {true, false}, {true, true}};
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        VpConfig cfg = base;
+        cfg.region.inference = variants[v].first;
+        cfg.package.linking = variants[v].second;
+
+        VacuumPacker packer(w, cfg);
+        const VpResult r = packer.run();
+
+        ConfigReport &cr = report.configs[v];
+        cr.inference = variants[v].first;
+        cr.linking = variants[v].second;
+        cr.rawRecords = r.rawRecords.size();
+        cr.uniqueHotSpots = r.records.size();
+        cr.packages = r.packaged.packages.size();
+        cr.launchPoints = r.packaged.numLaunchPoints;
+        cr.links = r.packaged.numLinks;
+        cr.expansion = r.packaged.expansion();
+        cr.selectedFraction = r.packaged.selectedFraction();
+        cr.replication = r.packaged.replicationFactor();
+
+        const trace::RunStats cov = measureCoverage(w, r.packaged.program);
+        cr.coverage = cov.packageCoverage();
+
+        const SpeedupResult sp =
+            measureSpeedup(w, r.packaged.program, cfg.machine);
+        cr.baseline = sp.baseline;
+        cr.packaged = sp.packaged;
+        cr.speedup = sp.speedup();
+
+        if (v == variants.size() - 1) {
+            report.profiledInsts = r.profileRun.dynInsts;
+            report.profiledBranches = r.profileRun.dynBranches;
+            report.categorization = categorizeBranches(w, r.records);
+        }
+    }
+    return report;
+}
+
+std::string
+toText(const WorkloadReport &report)
+{
+    std::ostringstream os;
+    os << "== " << report.label << " ==\n";
+    os << "static: " << report.staticInsts << " insts / "
+       << report.functions << " functions; phases: " << report.phases
+       << "; profiled: " << report.profiledInsts << " insts ("
+       << report.profiledBranches << " branches)\n\n";
+
+    TablePrinter t;
+    t.addRow({"config", "hot spots", "pkgs", "links", "expansion",
+              "coverage", "speedup", "IPC base", "IPC pkg"});
+    for (const ConfigReport &cr : report.configs) {
+        std::string label = std::string(cr.inference ? "inf" : "noinf") +
+                            "+" + (cr.linking ? "link" : "nolink");
+        t.addRow({label,
+                  std::to_string(cr.uniqueHotSpots) + "/" +
+                      std::to_string(cr.rawRecords),
+                  std::to_string(cr.packages), std::to_string(cr.links),
+                  TablePrinter::pct(cr.expansion),
+                  TablePrinter::pct(cr.coverage),
+                  TablePrinter::num(cr.speedup, 3),
+                  TablePrinter::num(cr.baseline.ipc(), 2),
+                  TablePrinter::num(cr.packaged.ipc(), 2)});
+    }
+    // Render the table into the stream via a temporary buffer.
+    {
+        std::FILE *tmp = std::tmpfile();
+        if (tmp) {
+            t.print(tmp);
+            std::rewind(tmp);
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+                os.write(buf, static_cast<std::streamsize>(n));
+            std::fclose(tmp);
+        }
+    }
+
+    os << "\nbranch categorization (dynamic fractions):\n";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(BranchCategory::Count); ++c) {
+        const auto cat = static_cast<BranchCategory>(c);
+        if (report.categorization.of(cat) < 0.0005)
+            continue;
+        os << "  " << branchCategoryName(cat) << ": "
+           << TablePrinter::pct(report.categorization.of(cat)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * One-stop workload analysis: run the full pipeline under each of the
+ * paper's four configurations and collect every metric the evaluation
+ * section reports — profiling statistics, region/package inventory, code
+ * expansion, branch categorization, coverage and speedup — into a single
+ * report structure with a textual renderer. This is the library form of
+ * what the bench/ harnesses print as tables.
+ */
+
+#ifndef VP_VP_REPORT_HH
+#define VP_VP_REPORT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+
+namespace vp
+{
+
+/** Metrics of one (inference, linking) configuration. */
+struct ConfigReport
+{
+    bool inference = false;
+    bool linking = false;
+
+    std::size_t rawRecords = 0;
+    std::size_t uniqueHotSpots = 0;
+    std::size_t packages = 0;
+    std::size_t launchPoints = 0;
+    std::size_t links = 0;
+
+    double expansion = 0.0;        ///< Table 3: size growth fraction
+    double selectedFraction = 0.0; ///< Table 3: selected fraction
+    double replication = 0.0;
+
+    double coverage = 0.0; ///< Figure 8
+    double speedup = 0.0;  ///< Figure 10
+
+    sim::CoreStats baseline;
+    sim::CoreStats packaged;
+};
+
+/** Everything about one workload. */
+struct WorkloadReport
+{
+    std::string label;
+    std::size_t staticInsts = 0;
+    std::size_t functions = 0;
+    unsigned phases = 0;
+    std::uint64_t profiledInsts = 0;
+    std::uint64_t profiledBranches = 0;
+
+    /** Figure 9 categorization (full-run dynamic fractions). */
+    Categorization categorization;
+
+    /** The four Figure 8/10 configurations, paper order. */
+    std::array<ConfigReport, 4> configs;
+
+    /** The full (inference + linking) configuration. */
+    const ConfigReport &full() const { return configs[3]; }
+};
+
+/**
+ * Analyze @p w end to end. Deterministic; cost is roughly ten engine
+ * runs plus eight timing runs of the workload.
+ */
+WorkloadReport analyzeWorkload(const workload::Workload &w,
+                               const VpConfig &base = {});
+
+/** Render as human-readable multi-line text. */
+std::string toText(const WorkloadReport &report);
+
+} // namespace vp
+
+#endif // VP_VP_REPORT_HH

@@ -1,0 +1,40 @@
+#include "workload/behavior.hh"
+
+#include <algorithm>
+
+namespace vp::workload
+{
+
+PhaseSchedule::PhaseSchedule(std::vector<PhaseSegment> segments, bool cyclic)
+    : segments_(std::move(segments)), cyclic_(cyclic)
+{
+    vp_assert(!segments_.empty(), "empty phase schedule");
+    std::uint64_t acc = 0;
+    PhaseId max_phase = 0;
+    for (const auto &s : segments_) {
+        vp_assert(s.branches > 0, "zero-length phase segment");
+        acc += s.branches;
+        prefix_.push_back(acc);
+        max_phase = std::max(max_phase, s.phase);
+    }
+    total_ = acc;
+    numPhases_ = max_phase + 1;
+}
+
+PhaseId
+PhaseSchedule::phaseAt(std::uint64_t branch_count) const
+{
+    if (segments_.empty())
+        return 0;
+    std::uint64_t pos = branch_count;
+    if (pos >= total_) {
+        if (cyclic_)
+            pos %= total_;
+        else
+            return segments_.back().phase;
+    }
+    const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), pos);
+    return segments_[static_cast<std::size_t>(it - prefix_.begin())].phase;
+}
+
+} // namespace vp::workload

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Dynamic-behavior specification of a workload: the phase schedule and the
+ * per-branch / per-memory-instruction behavior models that drive the
+ * deterministic execution oracle.
+ *
+ * A workload's phases are segments of time (measured in retired conditional
+ * branches) during which each branch holds a phase-specific taken
+ * probability. This is the synthetic stand-in for the program/input pairs of
+ * the paper's Table 1: phase detection, region formation and package linking
+ * depend only on this structure.
+ */
+
+#ifndef VP_WORKLOAD_BEHAVIOR_HH
+#define VP_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.hh"
+#include "support/logging.hh"
+
+namespace vp::workload
+{
+
+/** Identifier of a logical program phase. */
+using PhaseId = std::uint32_t;
+
+/** One segment of the phase timeline. */
+struct PhaseSegment
+{
+    PhaseId phase = 0;
+
+    /** Segment length in retired conditional branches. */
+    std::uint64_t branches = 0;
+};
+
+/**
+ * The phase timeline: a sequence of segments, optionally repeated
+ * cyclically for the whole run (loop-structured programs like mpeg2dec
+ * revisit their phases; batch programs like gzip run each phase once).
+ */
+class PhaseSchedule
+{
+  public:
+    PhaseSchedule() = default;
+
+    /** @param cyclic Repeat the segment list forever if true. */
+    explicit PhaseSchedule(std::vector<PhaseSegment> segments,
+                           bool cyclic = false);
+
+    /** Phase in effect after @p branch_count retired branches. */
+    PhaseId phaseAt(std::uint64_t branch_count) const;
+
+    /** Number of distinct phase ids (max id + 1). */
+    PhaseId numPhases() const { return numPhases_; }
+
+    /** Total branches covered by one pass over the segments. */
+    std::uint64_t periodBranches() const { return total_; }
+
+    const std::vector<PhaseSegment> &segments() const { return segments_; }
+    bool cyclic() const { return cyclic_; }
+
+  private:
+    std::vector<PhaseSegment> segments_;
+    std::vector<std::uint64_t> prefix_; // prefix_[i] = end of segment i
+    std::uint64_t total_ = 0;
+    PhaseId numPhases_ = 1;
+    bool cyclic_ = false;
+};
+
+/**
+ * Per-phase behavior of one static conditional branch: the probability of
+ * it being taken while each phase is active.
+ */
+struct BranchBehavior
+{
+    /** Taken probability indexed by PhaseId; phases past the end reuse
+     *  the last entry. Empty means an even 0.5. */
+    std::vector<double> probByPhase;
+
+    double
+    probFor(PhaseId phase) const
+    {
+        if (probByPhase.empty())
+            return 0.5;
+        if (phase < probByPhase.size())
+            return probByPhase[phase];
+        return probByPhase.back();
+    }
+};
+
+/**
+ * Address-stream model of one static load/store: a strided sweep over a
+ * fixed footprint. Deterministic in the occurrence index, so data-cache
+ * behavior is identical for original and packaged runs.
+ */
+struct MemBehavior
+{
+    std::uint64_t base = 0;      ///< start address of the data object
+    std::uint64_t stride = 8;    ///< bytes advanced per access
+    std::uint64_t footprint = 64; ///< object size in bytes (wraps)
+
+    std::uint64_t
+    addressAt(std::uint64_t occurrence) const
+    {
+        const std::uint64_t steps =
+            footprint / (stride ? stride : 1);
+        if (steps <= 1)
+            return base;
+        return base + stride * (occurrence % steps);
+    }
+};
+
+/** All behavior models of a workload, keyed by BehaviorId. */
+class BehaviorMap
+{
+  public:
+    void
+    addBranch(ir::BehaviorId id, BranchBehavior b)
+    {
+        vp_assert(id != 0, "behavior id 0 is reserved");
+        branches_[id] = std::move(b);
+    }
+
+    void
+    addMem(ir::BehaviorId id, MemBehavior m)
+    {
+        vp_assert(id != 0, "behavior id 0 is reserved");
+        mems_[id] = m;
+    }
+
+    const BranchBehavior &
+    branch(ir::BehaviorId id) const
+    {
+        auto it = branches_.find(id);
+        vp_assert(it != branches_.end(), "unknown branch behavior ", id);
+        return it->second;
+    }
+
+    const MemBehavior &
+    mem(ir::BehaviorId id) const
+    {
+        auto it = mems_.find(id);
+        vp_assert(it != mems_.end(), "unknown mem behavior ", id);
+        return it->second;
+    }
+
+    bool hasBranch(ir::BehaviorId id) const { return branches_.count(id); }
+
+    std::size_t numBranches() const { return branches_.size(); }
+    std::size_t numMems() const { return mems_.size(); }
+
+    const std::unordered_map<ir::BehaviorId, BranchBehavior> &
+    branches() const
+    {
+        return branches_;
+    }
+
+  private:
+    std::unordered_map<ir::BehaviorId, BranchBehavior> branches_;
+    std::unordered_map<ir::BehaviorId, MemBehavior> mems_;
+};
+
+} // namespace vp::workload
+
+#endif // VP_WORKLOAD_BEHAVIOR_HH

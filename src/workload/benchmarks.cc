@@ -1,0 +1,1047 @@
+#include "workload/benchmarks.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "workload/builder.hh"
+
+namespace vp::workload
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** A guarded call inside a worker loop body. */
+struct GuardedCall
+{
+    FuncId callee;
+    std::vector<double> prob; ///< per-phase probability of making the call
+};
+
+/**
+ * A worker function: prologue -> loop{ diamonds, calls, guarded calls }
+ * -> epilogue. The universal building block for hot leaf/mid-level
+ * functions. Diamond arm biases are per phase, which is what gives each
+ * phase its own specialized package shape.
+ */
+struct WorkerSpec
+{
+    std::string name;
+    unsigned prologueInsts = 4;
+    unsigned blockInsts = 6;
+    std::vector<double> loopIters = {16.0}; ///< mean trips per phase
+    std::vector<std::vector<double>> diamonds;
+    std::vector<FuncId> callees;
+    std::vector<GuardedCall> guarded;
+    ComputeMix mix{};
+};
+
+FuncId
+makeWorker(ProgramBuilder &b, const WorkerSpec &s)
+{
+    const FuncId f = b.function(s.name, 28);
+    const BlockId pro = b.block(f);
+    b.entry(f, pro);
+    b.compute(f, pro, s.prologueInsts, s.mix);
+
+    const BlockId head = b.block(f);
+    b.fallthrough(f, pro, head);
+    BlockId cur = head;
+    b.compute(f, cur, s.blockInsts, s.mix);
+
+    for (const auto &d : s.diamonds) {
+        const BlockId t = b.block(f);
+        const BlockId fb = b.block(f);
+        const BlockId j = b.block(f);
+        b.condbr(f, cur, t, fb, d);
+        b.compute(f, t, s.blockInsts, s.mix);
+        b.jump(f, t, j);
+        b.compute(f, fb, s.blockInsts, s.mix);
+        b.fallthrough(f, fb, j);
+        cur = j;
+        b.compute(f, cur, s.blockInsts, s.mix);
+    }
+    for (FuncId c : s.callees) {
+        const BlockId nxt = b.block(f);
+        b.compute(f, cur, 2, s.mix);
+        b.call(f, cur, c, nxt);
+        cur = nxt;
+        b.compute(f, cur, 2, s.mix);
+    }
+    for (const auto &g : s.guarded) {
+        const BlockId cb = b.block(f);
+        const BlockId j = b.block(f);
+        b.condbr(f, cur, cb, j, g.prob);
+        b.compute(f, cb, 2, s.mix);
+        b.call(f, cb, g.callee, j);
+        cur = j;
+        b.compute(f, cur, 2, s.mix);
+    }
+
+    const BlockId epi = b.block(f);
+    std::vector<double> back;
+    for (double n : s.loopIters)
+        back.push_back((n - 1.0) / n);
+    b.condbr(f, cur, head, epi, back);
+    b.compute(f, epi, 2, s.mix);
+    b.ret(f, epi);
+    return f;
+}
+
+/**
+ * A dispatcher: the interpreter-style root loop. A cascade of dispatch
+ * branches selects a handler per iteration; per-phase path probabilities
+ * shift which handler dominates in which phase — the paper's perl
+ * command-loop pattern, and the natural shared-root for linking.
+ */
+struct DispatchSpec
+{
+    std::string name;
+    unsigned prologueInsts = 5;
+    unsigned blockInsts = 5;
+    std::vector<FuncId> handlers;
+    /** pathProb[i][phase]: P(dispatch i taken | reached). One entry per
+     *  handler except the last (which takes the remainder). */
+    std::vector<std::vector<double>> pathProb;
+    std::vector<double> loopIters = {400.0};
+    ComputeMix mix{};
+};
+
+FuncId
+makeDispatcher(ProgramBuilder &b, const DispatchSpec &s)
+{
+    vp_assert(s.handlers.size() >= 1);
+    vp_assert(s.pathProb.size() + 1 == s.handlers.size() ||
+              (s.handlers.size() == 1 && s.pathProb.empty()));
+
+    const FuncId f = b.function(s.name, 28);
+    const BlockId pro = b.block(f);
+    b.entry(f, pro);
+    b.compute(f, pro, s.prologueInsts, s.mix);
+
+    const BlockId head = b.block(f);
+    b.fallthrough(f, pro, head);
+    b.compute(f, head, s.blockInsts, s.mix);
+
+    const BlockId latch = b.block(f);
+
+    // Dispatch cascade.
+    BlockId decide = head;
+    for (std::size_t i = 0; i < s.handlers.size(); ++i) {
+        const bool last = (i + 1 == s.handlers.size());
+        const BlockId hcall = b.block(f);
+        b.compute(f, hcall, 2, s.mix);
+        b.call(f, hcall, s.handlers[i], latch);
+        if (last) {
+            if (decide != head)
+                b.compute(f, decide, s.blockInsts, s.mix);
+            if (s.handlers.size() == 1) {
+                b.fallthrough(f, decide, hcall);
+            } else {
+                // The previous cascade branch falls through here.
+                b.fallthrough(f, decide, hcall);
+            }
+        } else {
+            const BlockId next_decide = b.block(f);
+            if (decide != head)
+                b.compute(f, decide, s.blockInsts, s.mix);
+            b.condbr(f, decide, hcall, next_decide, s.pathProb[i]);
+            decide = next_decide;
+        }
+    }
+
+    b.compute(f, latch, s.blockInsts, s.mix);
+    const BlockId epi = b.block(f);
+    std::vector<double> back;
+    for (double n : s.loopIters)
+        back.push_back((n - 1.0) / n);
+    b.condbr(f, latch, head, epi, back);
+    b.compute(f, epi, 2, s.mix);
+    b.ret(f, epi);
+    return f;
+}
+
+/**
+ * Cold library: rarely executed utility functions that give the program a
+ * realistic static-code body (error handling, initialization, printing —
+ * the bulk of any real binary that the packages must *not* pick up).
+ *
+ * @return a driver function that calls each cold function once.
+ */
+FuncId
+makeColdLibrary(ProgramBuilder &b, const std::string &prefix,
+                unsigned num_funcs, unsigned blocks_per, unsigned insts_per)
+{
+    std::vector<FuncId> funcs;
+    for (unsigned i = 0; i < num_funcs; ++i) {
+        const FuncId f =
+            b.function(prefix + "_cold" + std::to_string(i), 20);
+        const BlockId pro = b.block(f);
+        b.entry(f, pro);
+        b.compute(f, pro, insts_per);
+        BlockId cur = pro;
+        for (unsigned k = 1; k + 1 < blocks_per; k += 2) {
+            const BlockId t = b.block(f);
+            const BlockId j = b.block(f);
+            b.condbr(f, cur, t, j, {0.5});
+            b.compute(f, t, insts_per);
+            b.jump(f, t, j);
+            b.compute(f, j, insts_per);
+            cur = j;
+        }
+        const BlockId epi = b.block(f);
+        b.fallthrough(f, cur, epi);
+        b.compute(f, epi, 2);
+        b.ret(f, epi);
+        funcs.push_back(f);
+    }
+    const FuncId drv = b.function(prefix + "_cold_init", 16);
+    BlockId cur = b.block(drv);
+    b.entry(drv, cur);
+    b.compute(drv, cur, 3);
+    for (FuncId f : funcs) {
+        const BlockId nxt = b.block(drv);
+        b.call(drv, cur, f, nxt);
+        cur = nxt;
+    }
+    b.compute(drv, cur, 2);
+    b.ret(drv, cur);
+    return drv;
+}
+
+/**
+ * Standard main: entry -> (guard p=~0.003 -> cold init) -> outer loop
+ * calling @p drivers in sequence -> ret. The outer back edge is near-sure
+ * so the budget, not program exit, ends the run (the schedule decides
+ * what the phases do inside).
+ */
+void
+makeMain(ProgramBuilder &b, const std::vector<FuncId> &drivers,
+         FuncId cold_init, double cold_prob = 0.003)
+{
+    const FuncId m = b.function("main", 16);
+    const BlockId pro = b.block(m);
+    b.entry(m, pro);
+    b.compute(m, pro, 4);
+
+    BlockId cur;
+    if (cold_init != kInvalidFunc) {
+        const BlockId cb = b.block(m);
+        const BlockId j = b.block(m);
+        b.condbr(m, pro, cb, j, {cold_prob});
+        b.call(m, cb, cold_init, j);
+        cur = j;
+        b.compute(m, cur, 2);
+    } else {
+        cur = pro;
+    }
+
+    const BlockId head = b.block(m);
+    b.fallthrough(m, cur, head);
+    b.compute(m, head, 3);
+    BlockId seq = head;
+    for (FuncId d : drivers) {
+        const BlockId nxt = b.block(m);
+        b.call(m, seq, d, nxt);
+        seq = nxt;
+    }
+    b.compute(m, seq, 2);
+    const BlockId epi = b.block(m);
+    b.condbr(m, seq, head, epi, {0.9995});
+    b.compute(m, epi, 2);
+    b.ret(m, epi);
+    b.entryFunc(m);
+}
+
+/**
+ * A BBB conflict farm: @p segments small hot functions whose one hot
+ * branch each lands at pcs exactly 2048 bytes apart (512 sets x 4-byte
+ * instructions), so they all collide in one BBB set. The first
+ * (segments - 1) functions are called every driver iteration: they fill
+ * the set's 4 ways and reach candidacy. The last one is invoked behind a
+ * per-phase guard probability (@p rare_prob, still hundreds of
+ * executions per refresh window — hot by any measure) but by the time it
+ * shows up the set's ways are all candidates, so it is never tracked:
+ * exactly the Section 3.1 contention effect ("begin profiling later...
+ * in the worst case, prevent the branch from being tracked at all") that
+ * temperature inference (Figure 4) repairs. Alignment is enforced by
+ * interleaving cold padding functions (the cold library code that sits
+ * between hot functions in any real binary's address space).
+ *
+ * Each hot function is exactly 24 instructions with its branch at offset
+ * 6; each pad is exactly 488, so consecutive hot branches differ by
+ * (24 + 488) * 4 = 2048 bytes.
+ *
+ * @return a driver function that loops over the hot functions with
+ *         per-phase trip counts @p loop_iters.
+ */
+FuncId
+makeConflictFarm(ProgramBuilder &b, const std::string &name,
+                 unsigned segments, std::vector<double> loop_iters,
+                 const std::vector<std::vector<double>> &seg_probs,
+                 std::vector<double> rare_prob, const ComputeMix &mix = {})
+{
+    vp_assert(segments >= 2);
+    std::vector<FuncId> hots;
+    for (unsigned i = 0; i < segments; ++i) {
+        const FuncId h =
+            b.function(name + "_h" + std::to_string(i), 20);
+        const BlockId pro = b.block(h);
+        const BlockId t = b.block(h);
+        const BlockId fb = b.block(h);
+        const BlockId epi = b.block(h);
+        b.entry(h, pro);
+        // Sizes pinned: pro 6+1, t 4+1, fb 5, epi 6+1 = 24 instructions,
+        // branch at instruction offset 6 from the function start.
+        b.compute(h, pro, 6, mix);
+        const auto probs = i < seg_probs.size() ? seg_probs[i]
+                                                : std::vector<double>{0.6};
+        b.condbr(h, pro, t, fb, probs);
+        b.compute(h, t, 4, mix);
+        b.jump(h, t, epi);
+        b.compute(h, fb, 5, mix);
+        b.fallthrough(h, fb, epi);
+        b.compute(h, epi, 6, mix);
+        b.ret(h, epi);
+        hots.push_back(h);
+
+        if (i + 1 < segments) {
+            // Cold padding: models the cold code between hot functions.
+            const FuncId pad =
+                b.function(name + "_pad" + std::to_string(i), 8);
+            const BlockId pb = b.block(pad);
+            b.entry(pad, pb);
+            b.compute(pad, pb, 487, mix);
+            b.ret(pad, pb);
+        }
+    }
+
+    // Driver: loop calling the steady hot functions in sequence, then
+    // the rare one behind its guard.
+    const FuncId f = b.function(name, 24);
+    const BlockId pro = b.block(f);
+    b.entry(f, pro);
+    b.compute(f, pro, 5, mix);
+    const BlockId head = b.block(f);
+    b.fallthrough(f, pro, head);
+    b.compute(f, head, 4, mix);
+    BlockId cur = head;
+    for (std::size_t i = 0; i + 1 < hots.size(); ++i) {
+        const BlockId nxt = b.block(f);
+        b.call(f, cur, hots[i], nxt);
+        cur = nxt;
+        b.compute(f, cur, 2, mix);
+    }
+    {
+        const BlockId guarded = b.block(f);
+        const BlockId join = b.block(f);
+        b.condbr(f, cur, guarded, join, std::move(rare_prob));
+        b.compute(f, guarded, 2, mix);
+        b.call(f, guarded, hots.back(), join);
+        cur = join;
+        b.compute(f, cur, 2, mix);
+    }
+    const BlockId epi = b.block(f);
+    std::vector<double> back;
+    for (double n : loop_iters)
+        back.push_back((n - 1.0) / n);
+    b.condbr(f, cur, head, epi, back);
+    b.compute(f, epi, 2, mix);
+    b.ret(f, epi);
+    return f;
+}
+
+PhaseSchedule
+cyclic(std::initializer_list<PhaseSegment> segs)
+{
+    return PhaseSchedule(std::vector<PhaseSegment>(segs), true);
+}
+
+PhaseSchedule
+sequential(std::initializer_list<PhaseSegment> segs)
+{
+    return PhaseSchedule(std::vector<PhaseSegment>(segs), false);
+}
+
+} // namespace
+
+// ===========================================================================
+// 134.perl — the paper's flagship shared-root example: one command
+// dispatch loop roots string, numeric and regex phases.
+// ===========================================================================
+
+Workload
+makePerl(const std::string &input)
+{
+    ProgramBuilder b("134.perl." + input, 0x134'0001);
+
+    // Leaf utilities.
+    const FuncId alloc = makeWorker(b, {
+        .name = "perl_alloc",
+        .loopIters = {3.0, 2.0, 2.5},
+        .diamonds = {{0.8, 0.7, 0.75}},
+    });
+    const FuncId str_op = makeWorker(b, {
+        .name = "perl_str_op",
+        .loopIters = {9.0, 2.0, 4.0},
+        .diamonds = {{0.96, 0.04, 0.5}, {0.01, 0.5, 0.4}},
+        .guarded = {{alloc, {0.5, 0.02, 0.3}}},
+    });
+    const FuncId num_op = makeWorker(b, {
+        .name = "perl_num_op",
+        .loopIters = {2.0, 7.0, 3.0},
+        .diamonds = {{0.03, 0.95, 0.5}, {0.6, 0.02, 0.45}},
+        .guarded = {{alloc, {0.02, 0.25, 0.04}}},
+    });
+    const FuncId rx_op = makeWorker(b, {
+        .name = "perl_regex_op",
+        .loopIters = {1.5, 1.5, 8.0},
+        .diamonds = {{0.5, 0.5, 0.96}, {0.5, 0.5, 0.01}},
+    });
+
+    const FuncId run = makeDispatcher(b, {
+        .name = "perl_run",
+        .handlers = {str_op, num_op, rx_op},
+        // Phase 0: strings dominate; 1: numerics; 2: regex.
+        .pathProb = {{0.96, 0.02, 0.02}, {0.60, 0.97, 0.02}},
+        .loopIters = {500.0, 500.0, 500.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "perl", 150, 7, 11);
+    makeMain(b, {run}, cold);
+
+    PhaseSchedule sched;
+    std::uint64_t budget;
+    if (input == "A") {
+        sched = cyclic({{0, 60'000}, {1, 60'000}, {2, 50'000}});
+        budget = 2'000'000;
+    } else if (input == "B") {
+        sched = sequential({{0, 45'000}, {1, 45'000}});
+        budget = 600'000;
+    } else { // "C"
+        sched = sequential({{1, 40'000}});
+        budget = 350'000;
+    }
+    return b.finish("134.perl", input, sched, budget);
+}
+
+// ===========================================================================
+// 124.m88ksim — two binary-loading phases with the same launch point,
+// then a simulation phase (Section 5.1's linking example).
+// ===========================================================================
+
+Workload
+makeM88ksim(const std::string &input)
+{
+    ProgramBuilder b("124.m88ksim." + input, 0x124'0001);
+
+    const FuncId reloc = makeWorker(b, {
+        .name = "m88k_reloc",
+        .loopIters = {4.0, 4.0, 1.5},
+        .diamonds = {{0.85, 0.15, 0.5}},
+    });
+    // The loader: phase 0 loads text (branches biased one way), phase 1
+    // loads data (the same branches biased the other way). Both phases
+    // root here, at the same launch point.
+    const FuncId loader = makeWorker(b, {
+        .name = "m88k_loader",
+        // Stay resident through phases 0-1; exit quickly once phase 2
+        // (simulation) begins.
+        .loopIters = {50'000.0, 50'000.0, 2.0},
+        .diamonds = {{0.97, 0.02, 0.5}, {0.03, 0.97, 0.5},
+                     {0.75, 0.70, 0.5}},
+        .guarded = {{reloc, {0.4, 0.35, 0.02}}},
+    });
+
+    const FuncId alu = makeWorker(b, {
+        .name = "m88k_alu_model",
+        .loopIters = {2.0, 2.0, 5.0},
+        .diamonds = {{0.5, 0.5, 0.8}},
+    });
+    const FuncId simloop = makeWorker(b, {
+        .name = "m88k_sim_loop",
+        .loopIters = {2.0, 2.0, 80'000.0},
+        .diamonds = {{0.5, 0.5, 0.95}, {0.5, 0.5, 0.3}},
+        .callees = {alu},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "m88k", 100, 6, 11);
+    makeMain(b, {loader, simloop}, cold);
+
+    (void)input; // single input in Table 1
+    const PhaseSchedule sched =
+        sequential({{0, 45'000}, {1, 45'000}, {2, 60'000}});
+    return b.finish("124.m88ksim", input, sched, 1'200'000);
+}
+
+// ===========================================================================
+// 130.li — the weak-caller pattern: several barely-warm callers invoke a
+// hot callee; only one caller is detected, the callee is inlined into it
+// and cannot root its own package, so ~10% of execution is missed.
+// ===========================================================================
+
+Workload
+makeLi(const std::string &input)
+{
+    ProgramBuilder b("130.li." + input, 0x130'0001);
+
+    const FuncId eval_core = makeWorker(b, {
+        .name = "li_eval_core",
+        .loopIters = {12.0, 3.0},
+        .diamonds = {{0.88, 0.3}, {0.002, 0.6}},
+    });
+
+    // One hot caller...
+    const FuncId apply_hot = makeWorker(b, {
+        .name = "li_apply_main",
+        .loopIters = {6.0, 2.0},
+        .diamonds = {{0.8, 0.5}},
+        .callees = {eval_core},
+    });
+    // ...and three weak callers that together carry ~10% of execution but
+    // whose own branches stay under the BBB candidate threshold (their
+    // per-branch rate is kept low by spreading work over many branches
+    // and few loop trips).
+    std::vector<FuncId> weak;
+    for (int i = 0; i < 3; ++i) {
+        weak.push_back(makeWorker(b, {
+            .name = "li_apply_weak" + std::to_string(i),
+            .loopIters = {1.15, 1.1},
+            .diamonds = {{0.55, 0.5}, {0.45, 0.5}, {0.5, 0.5}},
+            .callees = {eval_core},
+        }));
+    }
+
+    const FuncId gc = makeWorker(b, {
+        .name = "li_gc_sweep",
+        .loopIters = {2.0, 20.0},
+        .diamonds = {{0.5, 0.96}, {0.5, 0.005}},
+    });
+
+    const FuncId read_loop = makeDispatcher(b, {
+        .name = "li_read_eval",
+        .handlers = {apply_hot, weak[0], weak[1], weak[2], gc},
+        .pathProb = {{0.88, 0.03},   // hot apply path
+                     {0.25, 0.02},   // weak applies split the remainder
+                     {0.33, 0.02},
+                     {0.50, 0.02}},  // remainder: gc (dominates phase 1)
+        .loopIters = {400.0, 400.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "li", 32, 6, 10);
+    makeMain(b, {read_loop}, cold);
+
+    PhaseSchedule sched;
+    std::uint64_t budget;
+    if (input == "A") {
+        sched = cyclic({{0, 70'000}, {1, 45'000}});
+        budget = 1'200'000;
+    } else if (input == "B") { // 6 queens: almost pure eval
+        sched = sequential({{0, 60'000}});
+        budget = 400'000;
+    } else { // "C" reduced ref
+        sched = cyclic({{0, 80'000}, {1, 40'000}});
+        budget = 2'000'000;
+    }
+    return b.finish("130.li", input, sched, budget);
+}
+
+// ===========================================================================
+// 132.ijpeg — tight loop nests, two alternating phases (DCT vs huffman),
+// low code expansion.
+// ===========================================================================
+
+Workload
+makeIjpeg(const std::string &input)
+{
+    ProgramBuilder b("132.ijpeg." + input, 0x132'0001);
+
+    ComputeMix fp_mix;
+    fp_mix.falu = 0.30;
+    fp_mix.fmul = 0.10;
+    fp_mix.load = 0.22;
+    fp_mix.store = 0.10;
+
+    const FuncId dct_inner = makeWorker(b, {
+        .name = "jpeg_dct_row",
+        .blockInsts = 10,
+        .loopIters = {8.0, 2.0},
+        .diamonds = {{0.95, 0.5}},
+        .mix = fp_mix,
+    });
+    const FuncId dct = makeWorker(b, {
+        .name = "jpeg_fdct",
+        .loopIters = {8.0, 1.5},
+        .diamonds = {{0.9, 0.04}},
+        .callees = {dct_inner},
+        .mix = fp_mix,
+    });
+    const FuncId emit_bits = makeWorker(b, {
+        .name = "jpeg_emit_bits",
+        .blockInsts = 4,
+        .loopIters = {2.0, 6.0},
+        .diamonds = {{0.4, 0.85}},
+    });
+    const FuncId huff = makeWorker(b, {
+        .name = "jpeg_encode_one_block",
+        .loopIters = {1.5, 10.0},
+        .diamonds = {{0.5, 0.95}, {0.5, 0.01}},
+        .callees = {emit_bits},
+    });
+
+    const FuncId compress = makeDispatcher(b, {
+        .name = "jpeg_compress_mcu",
+        .handlers = {dct, huff},
+        .pathProb = {{0.97, 0.02}},
+        .loopIters = {600.0, 600.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "jpeg", 58, 6, 11);
+    makeMain(b, {compress}, cold);
+
+    PhaseSchedule sched;
+    std::uint64_t budget;
+    if (input == "A") {
+        sched = cyclic({{0, 70'000}, {1, 70'000}});
+        budget = 2'000'000;
+    } else if (input == "B") { // custom faces: small image
+        sched = cyclic({{0, 35'000}, {1, 30'000}});
+        budget = 1'400'000;
+    } else { // "C" custom scenery
+        sched = cyclic({{0, 60'000}, {1, 45'000}});
+        budget = 2'600'000;
+    }
+    return b.finish("132.ijpeg", input, sched, budget);
+}
+
+// ===========================================================================
+// 099.go — wide branch working set over many evaluation functions,
+// three game phases.
+// ===========================================================================
+
+Workload
+makeGo(const std::string &input)
+{
+    ProgramBuilder b("099.go." + input, 0x099'0001);
+
+    std::vector<FuncId> patterns;
+    for (int i = 0; i < 4; ++i) {
+        patterns.push_back(makeWorker(b, {
+            .name = "go_pattern" + std::to_string(i),
+            .blockInsts = 5,
+            .loopIters = {3.0 + i, 2.0 + i, 4.0},
+            .diamonds = {{0.7 + 0.05 * i, 0.3, 0.5},
+                         {0.2, 0.8 - 0.05 * i, 0.5}},
+        }));
+    }
+    const FuncId tactics = makeWorker(b, {
+        .name = "go_tactics",
+        .loopIters = {3.0, 8.0, 5.0},
+        .diamonds = {{0.04, 0.93, 0.5}, {0.6, 0.01, 0.5}},
+        .callees = {patterns[2], patterns[3]},
+    });
+    const FuncId life = makeWorker(b, {
+        .name = "go_life_death",
+        .loopIters = {2.0, 4.0, 9.0},
+        .diamonds = {{0.5, 0.5, 0.95}, {0.5, 0.5, 0.01}},
+        .callees = {patterns[3]},
+    });
+    const FuncId influence = makeWorker(b, {
+        .name = "go_influence",
+        .loopIters = {7.0, 3.0, 2.0},
+        .diamonds = {{0.94, 0.04, 0.5}},
+        .callees = {patterns[0], patterns[1]},
+    });
+
+    const FuncId genmove = makeDispatcher(b, {
+        .name = "go_genmove",
+        .handlers = {influence, tactics, life},
+        .pathProb = {{0.93, 0.03, 0.02}, {0.55, 0.94, 0.03}},
+        .loopIters = {350.0, 350.0, 350.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "go", 36, 7, 12);
+    makeMain(b, {genmove}, cold);
+
+    (void)input;
+    const PhaseSchedule sched =
+        sequential({{0, 110'000}, {1, 110'000}, {2, 120'000}});
+    return b.finish("099.go", input, sched, 3'000'000);
+}
+
+// ===========================================================================
+// 164.gzip — deflate: literal-heavy and match-heavy stretches alternate.
+// ===========================================================================
+
+Workload
+makeGzip(const std::string &input)
+{
+    ProgramBuilder b("164.gzip." + input, 0x164'0001);
+
+    const FuncId longest_match = makeWorker(b, {
+        .name = "gzip_longest_match",
+        .blockInsts = 7,
+        .loopIters = {2.5, 14.0},
+        .diamonds = {{0.04, 0.92}, {0.5, 0.3}},
+    });
+    const FuncId send_bits = makeWorker(b, {
+        .name = "gzip_send_bits",
+        .blockInsts = 4,
+        .loopIters = {3.0, 2.0},
+        .diamonds = {{0.75, 0.6}},
+    });
+    const FuncId deflate = makeDispatcher(b, {
+        .name = "gzip_deflate",
+        .handlers = {send_bits, longest_match},
+        // Phase 0: mostly literals; phase 1: matches dominate.
+        .pathProb = {{0.96, 0.03}},
+        .loopIters = {800.0, 800.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "gzip", 26, 6, 12);
+    makeMain(b, {deflate}, cold);
+
+    (void)input;
+    const PhaseSchedule sched = cyclic({{0, 80'000}, {1, 80'000}});
+    return b.finish("164.gzip", input, sched, 2'000'000);
+}
+
+// ===========================================================================
+// 175.vpr — placement then routing; the placement loop is a BBB conflict
+// farm, so inference visibly recovers coverage (Section 5.1).
+// ===========================================================================
+
+Workload
+makeVpr(const std::string &input)
+{
+    ProgramBuilder b("175.vpr." + input, 0x175'0001);
+
+    // Placement: 5 hot branches in one BBB set (only 4 trackable).
+    const FuncId place = makeConflictFarm(
+        b, "vpr_try_swap", 5,
+        /*loop iters*/ {30'000.0, 1.5},
+        {{0.8, 0.5}, {0.3, 0.5}, {0.7, 0.5}, {0.4, 0.5}, {0.6, 0.5}},
+        /*rare guard*/ {0.35, 0.1});
+
+    const FuncId route_seg = makeWorker(b, {
+        .name = "vpr_route_segment",
+        .loopIters = {1.5, 9.0},
+        .diamonds = {{0.5, 0.9}, {0.5, 0.03}},
+    });
+    const FuncId route = makeWorker(b, {
+        .name = "vpr_route_net",
+        .loopIters = {1.5, 40'000.0},
+        .diamonds = {{0.5, 0.75}},
+        .callees = {route_seg},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "vpr", 40, 6, 11);
+    makeMain(b, {place, route}, cold);
+
+    (void)input;
+    const PhaseSchedule sched = sequential({{0, 70'000}, {1, 90'000}});
+    return b.finish("175.vpr", input, sched, 2'800'000);
+}
+
+// ===========================================================================
+// 181.mcf — network simplex: shared-root phases with big data footprint;
+// large linking gains.
+// ===========================================================================
+
+Workload
+makeMcf(const std::string &input)
+{
+    ProgramBuilder b("181.mcf." + input, 0x181'0001);
+
+    ComputeMix big_mix;
+    big_mix.load = 0.35;
+    big_mix.store = 0.10;
+    big_mix.footprint = 1 << 18;
+    big_mix.stride = 96; // pointer-chasing-like: poor spatial locality
+
+    const FuncId refresh = makeWorker(b, {
+        .name = "mcf_refresh_potential",
+        .loopIters = {8.0, 2.0, 3.0},
+        .diamonds = {{0.94, 0.04, 0.5}},
+        .mix = big_mix,
+    });
+    const FuncId price = makeWorker(b, {
+        .name = "mcf_price_out",
+        .loopIters = {2.0, 9.0, 3.0},
+        .diamonds = {{0.03, 0.95, 0.5}, {0.6, 0.01, 0.5}},
+        .mix = big_mix,
+    });
+    const FuncId flow = makeWorker(b, {
+        .name = "mcf_primal_bea",
+        .loopIters = {2.0, 2.0, 10.0},
+        .diamonds = {{0.5, 0.5, 0.95}, {0.5, 0.45, 0.01}},
+        .mix = big_mix,
+    });
+
+    // All three phases root in the simplex loop: same launch point, three
+    // packages, reachable only through links.
+    const FuncId simplex = makeDispatcher(b, {
+        .name = "mcf_simplex",
+        .handlers = {refresh, price, flow},
+        .pathProb = {{0.95, 0.02, 0.02}, {0.70, 0.96, 0.02}},
+        .loopIters = {450.0, 450.0, 450.0},
+        .mix = big_mix,
+    });
+
+    const FuncId cold = makeColdLibrary(b, "mcf", 32, 6, 10);
+    makeMain(b, {simplex}, cold);
+
+    (void)input;
+    const PhaseSchedule sched =
+        cyclic({{0, 45'000}, {1, 45'000}, {2, 45'000}});
+    return b.finish("181.mcf", input, sched, 2'000'000);
+}
+
+// ===========================================================================
+// 197.parser — parse vs dictionary phases sharing the sentence loop.
+// ===========================================================================
+
+Workload
+makeParser(const std::string &input)
+{
+    ProgramBuilder b("197.parser." + input, 0x197'0001);
+
+    const FuncId hash = makeWorker(b, {
+        .name = "parser_hash_lookup",
+        .blockInsts = 4,
+        .loopIters = {2.0, 5.0},
+        .diamonds = {{0.4, 0.9}},
+    });
+    const FuncId match = makeWorker(b, {
+        .name = "parser_match_links",
+        .loopIters = {10.0, 2.0},
+        .diamonds = {{0.94, 0.04}, {0.03, 0.6}},
+        .guarded = {{hash, {0.02, 0.7}}},
+    });
+    const FuncId prune = makeWorker(b, {
+        .name = "parser_prune",
+        .loopIters = {6.0, 8.0},
+        .diamonds = {{0.93, 0.015}, {0.015, 0.92}},
+    });
+
+    const FuncId sentence = makeDispatcher(b, {
+        .name = "parser_sentence",
+        .handlers = {match, prune},
+        .pathProb = {{0.96, 0.03}},
+        .loopIters = {500.0, 500.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "parser", 60, 6, 11);
+    makeMain(b, {sentence}, cold);
+
+    (void)input;
+    const PhaseSchedule sched = cyclic({{0, 70'000}, {1, 60'000}});
+    return b.finish("197.parser", input, sched, 1'200'000);
+}
+
+// ===========================================================================
+// 255.vortex — OO database: three transaction phases over deep call
+// chains; the most replication-heavy benchmark of Table 3.
+// ===========================================================================
+
+Workload
+makeVortex(const std::string &input)
+{
+    ProgramBuilder b("255.vortex." + input, 0x255'0001);
+
+    const FuncId mem = makeWorker(b, {
+        .name = "vortex_mem_get",
+        .blockInsts = 4,
+        .loopIters = {2.0, 2.0, 2.0},
+        .diamonds = {{0.7, 0.65, 0.72}},
+    });
+    const FuncId chunk = makeWorker(b, {
+        .name = "vortex_chunk",
+        .loopIters = {2.0, 2.0, 2.0},
+        .diamonds = {{0.75, 0.4, 0.6}},
+        .callees = {mem},
+    });
+    const FuncId index_op = makeWorker(b, {
+        .name = "vortex_tree_walk",
+        .loopIters = {2.0, 3.0, 2.0},
+        .diamonds = {{0.6, 0.88, 0.002}, {0.4, 0.002, 0.7}},
+        .callees = {chunk},
+    });
+    const FuncId insert = makeWorker(b, {
+        .name = "vortex_obj_insert",
+        .loopIters = {5.0, 1.5, 2.0},
+        .diamonds = {{0.9, 0.5, 0.04}},
+        .callees = {index_op, chunk},
+    });
+    const FuncId lookup = makeWorker(b, {
+        .name = "vortex_obj_lookup",
+        .loopIters = {1.5, 5.0, 2.0},
+        .diamonds = {{0.04, 0.9, 0.5}},
+        .callees = {index_op},
+    });
+    const FuncId del = makeWorker(b, {
+        .name = "vortex_obj_delete",
+        .loopIters = {1.5, 1.5, 5.0},
+        .diamonds = {{0.5, 0.45, 0.9}},
+        .callees = {index_op, mem},
+    });
+
+    const FuncId txn = makeDispatcher(b, {
+        .name = "vortex_txn_loop",
+        .handlers = {insert, lookup, del},
+        .pathProb = {{0.94, 0.02, 0.02}, {0.55, 0.95, 0.02}},
+        .loopIters = {450.0, 450.0, 450.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "vortex", 80, 7, 11);
+    makeMain(b, {txn}, cold);
+
+    PhaseSchedule sched;
+    std::uint64_t budget;
+    if (input == "A") {
+        sched = cyclic({{0, 45'000}, {1, 45'000}, {2, 40'000}});
+        budget = 2'200'000;
+    } else if (input == "B") {
+        sched = cyclic({{0, 50'000}, {1, 55'000}, {2, 45'000}});
+        budget = 2'600'000;
+    } else { // "C"
+        sched = cyclic({{0, 45'000}, {1, 55'000}, {2, 45'000}});
+        budget = 2'400'000;
+    }
+    return b.finish("255.vortex", input, sched, budget);
+}
+
+// ===========================================================================
+// 300.twolf — placement: conflict pressure plus shared launch points.
+// ===========================================================================
+
+Workload
+makeTwolf(const std::string &input)
+{
+    ProgramBuilder b("300.twolf." + input, 0x300'0001);
+
+    const FuncId farm = makeConflictFarm(
+        b, "twolf_new_dbox", 5,
+        /*loop iters*/ {25.0, 3.0},
+        {{0.8, 0.15}, {0.2, 0.8}, {0.75, 0.25}, {0.3, 0.75}, {0.6, 0.5}},
+        /*rare guard*/ {0.3, 0.3});
+
+    const FuncId penalty = makeWorker(b, {
+        .name = "twolf_penalty",
+        .loopIters = {3.0, 8.0},
+        .diamonds = {{0.04, 0.92}, {0.55, 0.01}},
+    });
+
+    // Both phases root in the accept/reject loop: shared launch point.
+    const FuncId uloop = makeDispatcher(b, {
+        .name = "twolf_uloop",
+        .handlers = {farm, penalty},
+        .pathProb = {{0.96, 0.04}},
+        .loopIters = {300.0, 300.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "twolf", 30, 6, 11);
+    makeMain(b, {uloop}, cold);
+
+    (void)input;
+    const PhaseSchedule sched = cyclic({{0, 55'000}, {1, 45'000}});
+    return b.finish("300.twolf", input, sched, 2'800'000);
+}
+
+// ===========================================================================
+// mpeg2dec — cyclic I/P/B frame phases.
+// ===========================================================================
+
+Workload
+makeMpeg2dec(const std::string &input)
+{
+    ProgramBuilder b("mpeg2dec." + input, 0xdec'0001);
+
+    ComputeMix fp_mix;
+    fp_mix.falu = 0.25;
+    fp_mix.fmul = 0.08;
+
+    const FuncId idct = makeWorker(b, {
+        .name = "mpeg_idct_col",
+        .blockInsts = 9,
+        .loopIters = {10.0, 3.0, 2.0},
+        .diamonds = {{0.94, 0.5, 0.04}},
+        .mix = fp_mix,
+    });
+    const FuncId mc = makeWorker(b, {
+        .name = "mpeg_motion_comp",
+        .loopIters = {1.5, 9.0, 12.0},
+        .diamonds = {{0.5, 0.93, 0.95}, {0.5, 0.01, 0.6}},
+    });
+    const FuncId vlc = makeWorker(b, {
+        .name = "mpeg_vlc_decode",
+        .blockInsts = 4,
+        .loopIters = {5.0, 4.0, 3.0},
+        .diamonds = {{0.7, 0.6, 0.55}},
+    });
+
+    const FuncId frame = makeDispatcher(b, {
+        .name = "mpeg_decode_frame",
+        .handlers = {idct, mc, vlc},
+        // I frames: idct; P: a broad mix; B: motion compensation.
+        .pathProb = {{0.97, 0.35, 0.02}, {0.40, 0.55, 0.97}},
+        .loopIters = {400.0, 400.0, 400.0},
+    });
+
+    const FuncId cold = makeColdLibrary(b, "mpeg", 55, 6, 10);
+    makeMain(b, {frame}, cold);
+
+    (void)input;
+    const PhaseSchedule sched =
+        cyclic({{0, 35'000}, {1, 40'000}, {2, 40'000}});
+    return b.finish("mpeg2dec", input, sched, 2'000'000);
+}
+
+// ===========================================================================
+// Registry
+// ===========================================================================
+
+const std::vector<BenchmarkSpec> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkSpec> specs = {
+        {"099.go", {"A"}, &makeGo},
+        {"124.m88ksim", {"A"}, &makeM88ksim},
+        {"130.li", {"A", "B", "C"}, &makeLi},
+        {"132.ijpeg", {"A", "B", "C"}, &makeIjpeg},
+        {"134.perl", {"A", "B", "C"}, &makePerl},
+        {"164.gzip", {"A"}, &makeGzip},
+        {"175.vpr", {"A"}, &makeVpr},
+        {"181.mcf", {"A"}, &makeMcf},
+        {"197.parser", {"A"}, &makeParser},
+        {"255.vortex", {"A", "B", "C"}, &makeVortex},
+        {"300.twolf", {"A"}, &makeTwolf},
+        {"mpeg2dec", {"A"}, &makeMpeg2dec},
+    };
+    return specs;
+}
+
+std::vector<Workload>
+makeAllWorkloads()
+{
+    std::vector<Workload> out;
+    for (const auto &spec : allBenchmarks()) {
+        for (const auto &input : spec.inputs)
+            out.push_back(spec.make(input));
+    }
+    return out;
+}
+
+Workload
+makeWorkload(const std::string &name, const std::string &input)
+{
+    for (const auto &spec : allBenchmarks()) {
+        if (spec.name == name)
+            return spec.make(input);
+    }
+    vp_fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace vp::workload

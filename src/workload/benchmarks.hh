@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic benchmark programs standing in for the paper's Table 1.
+ *
+ * Each generator builds a program whose *phase structure* reproduces what
+ * the paper reports for that benchmark: working-set size, phase count and
+ * periodicity, shared launch points, weak-caller patterns, BBB-conflict
+ * pressure, and instruction mix. Dynamic instruction counts are scaled
+ * down ~100x from the paper's (documented per workload in EXPERIMENTS.md).
+ */
+
+#ifndef VP_WORKLOAD_BENCHMARKS_HH
+#define VP_WORKLOAD_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace vp::workload
+{
+
+/** 099.go — game playing: many functions, wide branch working set. */
+Workload makeGo(const std::string &input = "A");
+
+/** 124.m88ksim — CPU simulator: two binary-loading phases sharing one
+ *  launch point (the paper's linking show-case), then simulation. */
+Workload makeM88ksim(const std::string &input = "A");
+
+/** 130.li — lisp interpreter: weak callers around a hot callee cost
+ *  ~10% coverage (Section 5.1's closing remark). */
+Workload makeLi(const std::string &input = "A");
+
+/** 132.ijpeg — image compression: tight loop nests, few phases. */
+Workload makeIjpeg(const std::string &input = "A");
+
+/** 134.perl — interpreter: command dispatch loop as the shared root of
+ *  string/numeric/regex phases (the paper's Section 3.3.4 example). */
+Workload makePerl(const std::string &input = "A");
+
+/** 164.gzip — compression: sequential deflate/inflate phases. */
+Workload makeGzip(const std::string &input = "A");
+
+/** 175.vpr — place & route: BBB set-conflict pressure makes inference
+ *  visibly matter (Section 5.1). */
+Workload makeVpr(const std::string &input = "A");
+
+/** 181.mcf — network simplex: pointer chasing, large data footprint,
+ *  phases sharing launch points (big linking gains). */
+Workload makeMcf(const std::string &input = "A");
+
+/** 197.parser — link parser: parse/lookup phases sharing a root
+ *  (+8% from linking in the paper). */
+Workload makeParser(const std::string &input = "A");
+
+/** 255.vortex — OO database: deep call chains across three transaction
+ *  phases; highest replication in Table 3. */
+Workload makeVortex(const std::string &input = "A");
+
+/** 300.twolf — standard-cell placement: conflict pressure plus shared
+ *  launch points (both inference and linking help). */
+Workload makeTwolf(const std::string &input = "A");
+
+/** mpeg2dec — video decoding: cyclic I/P/B-frame phases. */
+Workload makeMpeg2dec(const std::string &input = "A");
+
+/** One Table 1 row: a benchmark and its input labels. */
+struct BenchmarkSpec
+{
+    std::string name;
+    std::vector<std::string> inputs;
+    Workload (*make)(const std::string &input);
+};
+
+/** The full Table 1 roster (12 generators, 20 benchmark/input pairs). */
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/** Build every benchmark/input combination, in Table 1 order. */
+std::vector<Workload> makeAllWorkloads();
+
+/** Build one workload by name/input; fatal on unknown names. */
+Workload makeWorkload(const std::string &name, const std::string &input);
+
+} // namespace vp::workload
+
+#endif // VP_WORKLOAD_BENCHMARKS_HH

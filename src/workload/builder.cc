@@ -1,0 +1,223 @@
+#include "workload/builder.hh"
+
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace vp::workload
+{
+
+using namespace ir;
+
+ProgramBuilder::ProgramBuilder(std::string program_name, std::uint64_t seed)
+    : prog_(std::move(program_name)), rng_(seed)
+{
+}
+
+FuncId
+ProgramBuilder::function(const std::string &name, RegId num_regs)
+{
+    const FuncId f = prog_.addFunction(name);
+    prog_.func(f).setRegCount(num_regs);
+    return f;
+}
+
+BlockId
+ProgramBuilder::block(FuncId f)
+{
+    return prog_.func(f).addBlock();
+}
+
+void
+ProgramBuilder::compute(FuncId f, BlockId b, unsigned n,
+                        const ComputeMix &mix)
+{
+    Function &fn = prog_.func(f);
+    BasicBlock &bb = fn.block(b);
+    vp_assert(!bb.terminator(), "compute after terminator in block ", b);
+    const RegId nr = fn.regCount();
+    vp_assert(nr >= 4, "function needs at least 4 registers");
+
+    // Track defined-but-unread registers (function-wide) so generated
+    // values are mostly consumed, the way compiler output (already
+    // dead-code-eliminated) looks. The chain probability controls how
+    // eagerly consumers follow producers (i.e. the ILP of the block).
+    std::vector<RegId> &unread = unread_[f];
+
+    auto pick_src = [&]() -> RegId {
+        if (!unread.empty() && rng_.chance(mix.chain + 0.35)) {
+            const std::size_t i = unread.size() == 1
+                                      ? 0
+                                      : rng_.below(unread.size());
+            // The chain probability decides whether we consume the most
+            // recent value (serial) or an older one (parallel).
+            const std::size_t pick =
+                rng_.chance(mix.chain) ? unread.size() - 1 : i;
+            const RegId r = unread[pick];
+            unread.erase(unread.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+            return r;
+        }
+        return static_cast<RegId>(rng_.below(nr));
+    };
+    auto pick_dst = [&]() -> RegId {
+        const RegId d = static_cast<RegId>(rng_.below(nr));
+        unread.push_back(d);
+        return d;
+    };
+
+    for (unsigned i = 0; i < n; ++i) {
+        const double r = rng_.real();
+        Instruction inst;
+        if (r < mix.falu) {
+            inst.op = Opcode::FAlu;
+            inst.dsts = {pick_dst()};
+            inst.srcs = {pick_src(), pick_src()};
+        } else if (r < mix.falu + mix.fmul) {
+            inst.op = Opcode::FMul;
+            inst.dsts = {pick_dst()};
+            inst.srcs = {pick_src(), pick_src()};
+        } else if (r < mix.falu + mix.fmul + mix.load) {
+            inst.op = Opcode::Load;
+            inst.srcs = {pick_src()};
+            inst.dsts = {pick_dst()};
+            inst.behavior = freshId();
+            MemBehavior mb;
+            mb.base = nextDataBase_;
+            mb.stride = mix.stride;
+            mb.footprint = mix.footprint;
+            nextDataBase_ += mix.footprint + 64;
+            behaviors_.addMem(inst.behavior, mb);
+        } else if (r < mix.falu + mix.fmul + mix.load + mix.store) {
+            inst.op = Opcode::Store;
+            inst.srcs = {pick_src(), pick_src()};
+            inst.behavior = freshId();
+            MemBehavior mb;
+            mb.base = nextDataBase_;
+            mb.stride = mix.stride;
+            mb.footprint = mix.footprint;
+            nextDataBase_ += mix.footprint + 64;
+            behaviors_.addMem(inst.behavior, mb);
+        } else {
+            inst.op = Opcode::IAlu;
+            inst.dsts = {pick_dst()};
+            inst.srcs = {pick_src(), pick_src()};
+        }
+        bb.insts.push_back(std::move(inst));
+    }
+}
+
+BehaviorId
+ProgramBuilder::condbrRef(FuncId f, BlockId b, BlockRef taken, BlockRef fall,
+                          std::vector<double> probs)
+{
+    Function &fn = prog_.func(f);
+    BasicBlock &bb = fn.block(b);
+    vp_assert(!bb.terminator(), "double terminator in block ", b);
+
+    Instruction inst;
+    inst.op = Opcode::CondBr;
+    inst.srcs = {static_cast<RegId>(rng_.below(fn.regCount()))};
+    inst.behavior = freshId();
+    bb.insts.push_back(std::move(inst));
+    bb.taken = taken;
+    bb.fall = fall;
+
+    BranchBehavior beh;
+    beh.probByPhase = std::move(probs);
+    behaviors_.addBranch(bb.insts.back().behavior, std::move(beh));
+    return bb.insts.back().behavior;
+}
+
+BehaviorId
+ProgramBuilder::condbr(FuncId f, BlockId b, BlockId taken, BlockId fall,
+                       std::vector<double> probs)
+{
+    return condbrRef(f, b, BlockRef{f, taken}, BlockRef{f, fall},
+                     std::move(probs));
+}
+
+void
+ProgramBuilder::jump(FuncId f, BlockId b, BlockId target)
+{
+    BasicBlock &bb = prog_.func(f).block(b);
+    vp_assert(!bb.terminator(), "double terminator in block ", b);
+    Instruction inst;
+    inst.op = Opcode::Jump;
+    bb.insts.push_back(std::move(inst));
+    bb.taken = BlockRef{f, target};
+}
+
+void
+ProgramBuilder::call(FuncId f, BlockId b, FuncId callee, BlockId ret_to)
+{
+    Function &fn = prog_.func(f);
+    BasicBlock &bb = fn.block(b);
+    vp_assert(!bb.terminator(), "double terminator in block ", b);
+    Instruction inst;
+    inst.op = Opcode::Call;
+    inst.srcs = {static_cast<RegId>(rng_.below(fn.regCount()))};
+    inst.dsts = {static_cast<RegId>(rng_.below(fn.regCount()))};
+    bb.insts.push_back(std::move(inst));
+    bb.callee = callee;
+    bb.fall = BlockRef{f, ret_to};
+}
+
+void
+ProgramBuilder::ret(FuncId f, BlockId b)
+{
+    Function &fn = prog_.func(f);
+    BasicBlock &bb = fn.block(b);
+    vp_assert(!bb.terminator(), "double terminator in block ", b);
+    Instruction inst;
+    inst.op = Opcode::Ret;
+    inst.srcs = {static_cast<RegId>(rng_.below(fn.regCount()))};
+    bb.insts.push_back(std::move(inst));
+    bb.kind = BlockKind::Epilogue;
+}
+
+void
+ProgramBuilder::fallthrough(FuncId f, BlockId b, BlockId next)
+{
+    BasicBlock &bb = prog_.func(f).block(b);
+    vp_assert(!bb.terminator(), "fallthrough on terminated block ", b);
+    bb.fall = BlockRef{f, next};
+}
+
+void
+ProgramBuilder::entry(FuncId f, BlockId b)
+{
+    prog_.func(f).setEntry(b);
+    prog_.func(f).block(b).kind = BlockKind::Prologue;
+}
+
+BehaviorId
+ProgramBuilder::loopBranch(FuncId f, BlockId body, BlockId exit_to,
+                           std::vector<double> iters_by_phase)
+{
+    std::vector<double> probs;
+    probs.reserve(iters_by_phase.size());
+    for (double n : iters_by_phase) {
+        vp_assert(n >= 1.0, "loop iteration count must be >= 1");
+        probs.push_back((n - 1.0) / n);
+    }
+    return condbr(f, body, body, exit_to, std::move(probs));
+}
+
+Workload
+ProgramBuilder::finish(std::string bench_name, std::string input_name,
+                       PhaseSchedule schedule, std::uint64_t max_dyn_insts)
+{
+    prog_.layout();
+    ir::verifyOrDie(prog_, "workload construction");
+
+    Workload w;
+    w.name = std::move(bench_name);
+    w.input = std::move(input_name);
+    w.program = std::move(prog_);
+    w.schedule = std::move(schedule);
+    w.behaviors = std::move(behaviors_);
+    w.maxDynInsts = max_dyn_insts;
+    return w;
+}
+
+} // namespace vp::workload

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fluent construction DSL for synthetic workload programs.
+ *
+ * The builder owns the program and the behavior map and hands out
+ * BehaviorIds, so generators read as structural descriptions: "a dispatch
+ * loop whose branch is taken with p=.9 in phase 0 and p=.1 in phase 1".
+ */
+
+#ifndef VP_WORKLOAD_BUILDER_HH
+#define VP_WORKLOAD_BUILDER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.hh"
+#include "support/rng.hh"
+#include "workload/workload.hh"
+
+namespace vp::workload
+{
+
+/** Instruction-mix knobs for filler compute code. */
+struct ComputeMix
+{
+    /** Probability that an operand chains on a recently produced value
+     *  (controls ILP; real optimized code on wide EPIC machines sits
+     *  well below fully-serial). */
+    double chain = 0.30;
+
+    double falu = 0.10;  ///< fraction of FP ALU ops
+    double fmul = 0.03;  ///< fraction of long-latency FP ops
+    double load = 0.25;  ///< fraction of loads
+    double store = 0.12; ///< fraction of stores
+    // remainder is integer ALU
+
+    /** Data footprint for memory ops created under this mix. */
+    std::uint64_t footprint = 1 << 14;
+    std::uint64_t stride = 8;
+};
+
+/**
+ * Builds one Program plus its BehaviorMap.
+ *
+ * All block/branch creation goes through this class so every conditional
+ * branch gets a fresh BehaviorId and registered behavior, and filler
+ * compute code gets plausible register dependence chains.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(std::string program_name, std::uint64_t seed);
+
+    /** Start a new function with @p num_regs virtual registers. */
+    ir::FuncId function(const std::string &name, ir::RegId num_regs = 24);
+
+    /** Create a new block in @p f. */
+    ir::BlockId block(ir::FuncId f);
+
+    /**
+     * Append @p n filler compute instructions to (@p f, @p b) following
+     * @p mix, with dependence chains over the function's registers.
+     */
+    void compute(ir::FuncId f, ir::BlockId b, unsigned n,
+                 const ComputeMix &mix = {});
+
+    /**
+     * Terminate (@p f, @p b) with a conditional branch whose per-phase
+     * taken probabilities are @p probs. @return the branch's BehaviorId.
+     */
+    ir::BehaviorId condbr(ir::FuncId f, ir::BlockId b, ir::BlockId taken,
+                          ir::BlockId fall, std::vector<double> probs);
+
+    /** Same, but with explicit cross-function targets. */
+    ir::BehaviorId condbrRef(ir::FuncId f, ir::BlockId b, ir::BlockRef taken,
+                             ir::BlockRef fall, std::vector<double> probs);
+
+    /** Terminate with an unconditional jump to @p target. */
+    void jump(ir::FuncId f, ir::BlockId b, ir::BlockId target);
+
+    /** Terminate with a call to @p callee returning to @p ret_to. */
+    void call(ir::FuncId f, ir::BlockId b, ir::FuncId callee,
+              ir::BlockId ret_to);
+
+    /** Terminate with a return. */
+    void ret(ir::FuncId f, ir::BlockId b);
+
+    /** Make @p b fall through to @p next without a terminator. */
+    void fallthrough(ir::FuncId f, ir::BlockId b, ir::BlockId next);
+
+    /** Set the entry block of @p f. */
+    void entry(ir::FuncId f, ir::BlockId b);
+
+    /** Set the program's entry function. */
+    void entryFunc(ir::FuncId f) { prog_.setEntryFunc(f); }
+
+    /**
+     * Convenience: a counted loop — header block branching back to itself
+     * with probability (n-1)/n per phase list entry. @return header block.
+     */
+    ir::BehaviorId loopBranch(ir::FuncId f, ir::BlockId body,
+                              ir::BlockId exit_to,
+                              std::vector<double> iters_by_phase);
+
+    ir::Program &program() { return prog_; }
+    BehaviorMap &behaviors() { return behaviors_; }
+
+    /**
+     * Finish: run layout + verification and move the pieces into a
+     * Workload with the given schedule and budget.
+     */
+    Workload finish(std::string bench_name, std::string input_name,
+                    PhaseSchedule schedule, std::uint64_t max_dyn_insts);
+
+  private:
+    ir::BehaviorId freshId() { return nextBehavior_++; }
+
+    ir::Program prog_;
+    BehaviorMap behaviors_;
+    ir::BehaviorId nextBehavior_ = 1;
+    Rng rng_;
+    std::uint64_t nextDataBase_ = 0x10'0000;
+
+    /** Per-function pool of defined-but-unread registers, so generated
+     *  values are consumed across block boundaries (compiler output is
+     *  already dead-code-free; the workloads should look the same). */
+    std::unordered_map<ir::FuncId, std::vector<ir::RegId>> unread_;
+};
+
+} // namespace vp::workload
+
+#endif // VP_WORKLOAD_BUILDER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A complete workload: program + dynamic behavior + run budget.
+ */
+
+#ifndef VP_WORKLOAD_WORKLOAD_HH
+#define VP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hh"
+#include "workload/behavior.hh"
+
+namespace vp::workload
+{
+
+/**
+ * One benchmark/input pair, the unit of Table 1. Owns the program, the
+ * phase schedule, the behavior models, and the dynamic-instruction budget
+ * (scaled down from the paper's counts; see EXPERIMENTS.md).
+ */
+struct Workload
+{
+    std::string name;  ///< benchmark name, e.g. "134.perl"
+    std::string input; ///< input label, e.g. "A"
+
+    ir::Program program;
+    PhaseSchedule schedule;
+    BehaviorMap behaviors;
+
+    /** Stop the run after this many retired instructions. */
+    std::uint64_t maxDynInsts = 1'000'000;
+
+    std::string label() const { return name + " " + input; }
+};
+
+} // namespace vp::workload
+
+#endif // VP_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for CFG utilities (predecessors, back edges, reachability,
+ * RPO), the call graph, and live-variable analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/call_graph.hh"
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "tests/helpers.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+
+// ---------------------------------------------------------------- CFG utils
+
+class DiamondCfg : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        d_ = test::makeDiamondLoop();
+    }
+
+    test::DiamondLoop d_;
+    const Function &fn() { return d_.w.program.func(d_.f); }
+};
+
+TEST_F(DiamondCfg, Predecessors)
+{
+    const auto preds = predecessors(fn());
+    EXPECT_TRUE(preds[d_.b0].empty());
+    // b1 <- b0 (fall) and b4 (back edge)
+    ASSERT_EQ(preds[d_.b1].size(), 2u);
+    // b4 <- b2 and b3
+    EXPECT_EQ(preds[d_.b4].size(), 2u);
+    EXPECT_EQ(preds[d_.b5].size(), 1u);
+}
+
+TEST_F(DiamondCfg, BackEdgeIsLatchToHeader)
+{
+    const auto back = backEdges(fn());
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].first, d_.b4);
+    EXPECT_EQ(back[0].second, d_.b1);
+}
+
+TEST_F(DiamondCfg, ReachabilityFromEntry)
+{
+    const auto reach = reachableFrom(fn(), d_.b0);
+    for (BlockId b = 0; b < fn().numBlocks(); ++b)
+        EXPECT_TRUE(reach[b]) << "block " << b;
+}
+
+TEST_F(DiamondCfg, ReachabilityFromArm)
+{
+    const auto reach = reachableFrom(fn(), d_.b2);
+    EXPECT_FALSE(reach[d_.b0]);
+    EXPECT_TRUE(reach[d_.b4]);
+    EXPECT_TRUE(reach[d_.b1]); // via back edge
+    EXPECT_TRUE(reach[d_.b5]);
+}
+
+TEST_F(DiamondCfg, ReversePostOrderStartsAtEntry)
+{
+    const auto order = reversePostOrder(fn());
+    ASSERT_EQ(order.size(), fn().numBlocks());
+    EXPECT_EQ(order.front(), d_.b0);
+    // Header must precede both arms.
+    auto pos = [&](BlockId b) {
+        return std::find(order.begin(), order.end(), b) - order.begin();
+    };
+    EXPECT_LT(pos(d_.b1), pos(d_.b2));
+    EXPECT_LT(pos(d_.b1), pos(d_.b3));
+    EXPECT_LT(pos(d_.b4), pos(d_.b5));
+}
+
+TEST(CfgTest, IntraSuccessorsIgnoresCrossFunctionArcs)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    const FuncId g = prog.addFunction("g");
+    prog.func(f).setRegCount(2);
+    prog.func(g).setRegCount(2);
+    const BlockId b = prog.func(f).addBlock();
+    Instruction j;
+    j.op = Opcode::Jump;
+    prog.func(f).block(b).insts.push_back(j);
+    prog.func(f).block(b).taken = BlockRef{g, 0};
+    prog.func(g).addBlock();
+    EXPECT_TRUE(intraSuccessors(prog.func(f), b).empty());
+}
+
+// --------------------------------------------------------------- call graph
+
+TEST(CallGraphTest, TinyWorkloadStructure)
+{
+    test::TinyWorkload t = test::makeTiny();
+    CallGraph cg(t.w.program);
+
+    const auto &loop_callees = cg.callees(t.loop);
+    EXPECT_EQ(loop_callees.size(), 2u);
+    EXPECT_EQ(cg.callers(t.alpha), std::vector<FuncId>{t.loop});
+    EXPECT_EQ(cg.callers(t.loop), std::vector<FuncId>{t.main});
+    EXPECT_TRUE(cg.callers(t.main).empty());
+    EXPECT_FALSE(cg.isSelfRecursive(t.loop));
+}
+
+TEST(CallGraphTest, RestrictedToSubsetOfBlocks)
+{
+    test::TinyWorkload t = test::makeTiny();
+    // Exclude all of loop's blocks: its call sites disappear.
+    CallGraph cg(t.w.program, [&](FuncId f, BlockId) { return f != t.loop; });
+    EXPECT_TRUE(cg.callers(t.alpha).empty());
+    EXPECT_TRUE(cg.callers(t.beta).empty());
+}
+
+TEST(CallGraphTest, SelfRecursionIsBackEdge)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("rec");
+    Function &fn = prog.func(f);
+    fn.setRegCount(4);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock();
+    Instruction c;
+    c.op = Opcode::Call;
+    c.srcs = {0};
+    fn.block(b0).insts.push_back(c);
+    fn.block(b0).callee = f;
+    fn.block(b0).fall = BlockRef{f, b1};
+    Instruction r;
+    r.op = Opcode::Ret;
+    fn.block(b1).insts.push_back(r);
+
+    CallGraph cg(prog);
+    EXPECT_TRUE(cg.isSelfRecursive(f));
+    EXPECT_TRUE(cg.isBackEdge(f, f));
+    EXPECT_TRUE(cg.forwardCallers(f).empty());
+}
+
+TEST(CallGraphTest, MutualRecursionClassified)
+{
+    Program prog("p");
+    const FuncId a = prog.addFunction("a");
+    const FuncId b = prog.addFunction("b");
+    for (FuncId f : {a, b}) {
+        Function &fn = prog.func(f);
+        fn.setRegCount(4);
+        const BlockId b0 = fn.addBlock();
+        const BlockId b1 = fn.addBlock();
+        Instruction c;
+        c.op = Opcode::Call;
+        c.srcs = {0};
+        fn.block(b0).insts.push_back(c);
+        fn.block(b0).callee = (f == a) ? b : a;
+        fn.block(b0).fall = BlockRef{f, b1};
+        Instruction r;
+        r.op = Opcode::Ret;
+        fn.block(b1).insts.push_back(r);
+    }
+    CallGraph cg(prog);
+    // Exactly one of the two arcs is a back edge.
+    EXPECT_NE(cg.isBackEdge(a, b), cg.isBackEdge(b, a));
+}
+
+TEST(CallGraphTest, CallSitesEnumerated)
+{
+    test::TinyWorkload t = test::makeTiny();
+    CallGraph cg(t.w.program);
+    std::size_t to_alpha = 0;
+    for (const CallSite &cs : cg.callSites()) {
+        if (cs.callee == t.alpha) {
+            EXPECT_EQ(cs.caller, t.loop);
+            ++to_alpha;
+        }
+    }
+    EXPECT_EQ(to_alpha, 1u);
+}
+
+// ----------------------------------------------------------------- liveness
+
+TEST(LivenessTest, StraightLineUseDef)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    Function &fn = prog.func(f);
+    fn.setRegCount(4);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock();
+    // b0: r0 = r1 + r2 ; fall b1
+    Instruction i0;
+    i0.op = Opcode::IAlu;
+    i0.dsts = {0};
+    i0.srcs = {1, 2};
+    fn.block(b0).insts.push_back(i0);
+    fn.block(b0).fall = BlockRef{f, b1};
+    // b1: ret r0
+    Instruction r;
+    r.op = Opcode::Ret;
+    r.srcs = {0};
+    fn.block(b1).insts.push_back(r);
+
+    Liveness live(fn);
+    EXPECT_TRUE(live.liveIn(b0).test(1));
+    EXPECT_TRUE(live.liveIn(b0).test(2));
+    EXPECT_FALSE(live.liveIn(b0).test(0)); // defined before any use
+    EXPECT_TRUE(live.liveOut(b0).test(0));
+    EXPECT_TRUE(live.liveIn(b1).test(0));
+}
+
+TEST(LivenessTest, DefKillsUpstreamLiveness)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    Function &fn = prog.func(f);
+    fn.setRegCount(3);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock();
+    // b0: r1 = r0 ; fall b1    (r1 defined here)
+    Instruction i0;
+    i0.op = Opcode::IAlu;
+    i0.dsts = {1};
+    i0.srcs = {0, 0};
+    fn.block(b0).insts.push_back(i0);
+    fn.block(b0).fall = BlockRef{f, b1};
+    // b1: use r1, then ret
+    Instruction i1;
+    i1.op = Opcode::IAlu;
+    i1.dsts = {2};
+    i1.srcs = {1, 1};
+    fn.block(b1).insts.push_back(i1);
+    Instruction r;
+    r.op = Opcode::Ret;
+    fn.block(b1).insts.push_back(r);
+
+    Liveness live(fn);
+    EXPECT_FALSE(live.liveIn(b0).test(1)); // killed by b0's def
+    EXPECT_TRUE(live.liveIn(b1).test(1));
+}
+
+TEST(LivenessTest, LoopCarriesLiveness)
+{
+    test::DiamondLoop d = test::makeDiamondLoop();
+    const Function &fn = d.w.program.func(d.f);
+    Liveness live(fn);
+    // The latch branches on a register; its source must be live somewhere
+    // around the loop.
+    const Instruction *latch = fn.block(d.b4).terminator();
+    ASSERT_NE(latch, nullptr);
+    EXPECT_TRUE(live.liveIn(d.b4).count() > 0 ||
+                live.liveOut(d.b1).count() > 0);
+    // liveInRegs returns a sorted list matching the bitset.
+    const auto regs = live.liveInRegs(d.b4);
+    EXPECT_EQ(regs.size(), live.liveIn(d.b4).count());
+    EXPECT_TRUE(std::is_sorted(regs.begin(), regs.end()));
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for dynamic launch-point selectors — the Section 3.3.4
+ * alternative to static links ("dynamically modify the launch point
+ * branch to point to the expected best package... a monitoring code
+ * snippet along the exit path to feed a dynamic predictor"): selector
+ * construction, engine adaptation, semantic preservation, and its
+ * coverage effect relative to static left-most launching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "package/packager.hh"
+#include "hsd/detector.hh"
+#include "hsd/filter.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+#include "sim/core.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::package;
+
+/** Profile the tiny two-phase workload and build one region per unique
+ *  hot spot — two phase-specialized packages sharing the loop root. */
+std::vector<region::Region>
+tinyRegions(const test::TinyWorkload &t)
+{
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    hsd::HotSpotDetector det((hsd::HsdConfig()), &engine.oracle());
+    engine.addSink(&det);
+    engine.run(600'000);
+    const auto recs = hsd::filterRedundant(det.records());
+    std::vector<region::Region> regions;
+    for (const auto &rec : recs)
+        regions.push_back(region::identifyRegion(t.w.program, rec, {}));
+    return regions;
+}
+
+TEST(DynLaunch, BuildsSelectorsForSharedOrigins)
+{
+    test::TinyWorkload t = test::makeTiny();
+    const auto regions = tinyRegions(t);
+    PackageConfig cfg;
+    cfg.linking = false;
+    cfg.dynamicLaunch = true;
+    const PackagedProgram pp = buildPackages(t.w.program, regions, cfg);
+    EXPECT_TRUE(verify(pp.program).empty());
+
+    // A selector stub function exists, holding Selector blocks whose
+    // targets are package entry blocks.
+    const Function *stub = nullptr;
+    for (const auto &fn : pp.program.functions()) {
+        if (fn.name() == "__launch_selectors")
+            stub = &fn;
+    }
+    ASSERT_NE(stub, nullptr);
+    EXPECT_FALSE(stub->isPackage());
+    std::size_t selectors = 0;
+    for (const auto &bb : stub->blocks()) {
+        if (bb.kind != BlockKind::Selector)
+            continue;
+        ++selectors;
+        EXPECT_GE(bb.selectorTargets.size(), 2u);
+        for (const BlockRef &tgt : bb.selectorTargets)
+            EXPECT_TRUE(pp.program.func(tgt.func).isPackage());
+        // Static fallback is the first candidate.
+        EXPECT_EQ(bb.taken, bb.selectorTargets.front());
+    }
+    EXPECT_GE(selectors, 1u);
+}
+
+TEST(DynLaunch, NoSelectorsWhenDisabledOrUnshared)
+{
+    test::TinyWorkload t = test::makeTiny();
+    const auto regions = tinyRegions(t);
+    PackageConfig cfg; // dynamicLaunch = false
+    const PackagedProgram pp = buildPackages(t.w.program, regions, cfg);
+    for (const auto &fn : pp.program.functions())
+        EXPECT_NE(fn.name(), "__launch_selectors");
+}
+
+TEST(DynLaunch, PreservesLogicalBranchStream)
+{
+    test::TinyWorkload t = test::makeTiny(42, 300'000);
+    const auto regions = tinyRegions(t);
+    PackageConfig cfg;
+    cfg.linking = false;
+    cfg.dynamicLaunch = true;
+    const PackagedProgram pp = buildPackages(t.w.program, regions, cfg);
+
+    trace::ExecutionEngine orig(t.w.program, t.w);
+    const auto so = orig.run(t.w.maxDynInsts);
+    trace::ExecutionEngine packed(pp.program, t.w);
+    const auto sp = packed.run(t.w.maxDynInsts * 2, so.dynBranches);
+    EXPECT_EQ(so.dynBranches, sp.dynBranches);
+    EXPECT_EQ(so.takenBranches, sp.takenBranches);
+}
+
+TEST(DynLaunch, AdaptationBeatsStaticLeftmostWithoutLinks)
+{
+    // gzip's literal/match phases share the deflate loop's launch point;
+    // without links, static left-most deployment strands one phase's
+    // package (~50-60% coverage). The selector learns to route each
+    // phase to its own package.
+    workload::Workload w = workload::makeWorkload("164.gzip", "A");
+    w.maxDynInsts = 800'000;
+
+    auto coverage = [&](bool dynamic) {
+        VpConfig cfg = VpConfig::variant(true, false); // no links
+        cfg.package.dynamicLaunch = dynamic;
+        VacuumPacker packer(w, cfg);
+        const VpResult r = packer.run();
+        return measureCoverage(w, r.packaged.program).packageCoverage();
+    };
+    const double stat = coverage(false);
+    const double dyn = coverage(true);
+    EXPECT_GT(dyn, stat + 0.1);
+    EXPECT_GT(dyn, 0.8);
+}
+
+TEST(DynLaunch, WorksOnRealWorkloadEndToEnd)
+{
+    workload::Workload w = workload::makeWorkload("124.m88ksim", "A");
+    VpConfig cfg = VpConfig::variant(true, false); // no links
+    cfg.package.dynamicLaunch = true;
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    EXPECT_TRUE(verify(r.packaged.program).empty());
+
+    const auto cov = measureCoverage(w, r.packaged.program);
+    // m88ksim's loader phases share one launch point; without links the
+    // static deployment strands one of them (~60% coverage). The
+    // selector recovers most of it.
+    EXPECT_GT(cov.packageCoverage(), 0.8);
+}
+
+TEST(DynLaunch, SelectorJumpChargesIndirectBranchCosts)
+{
+    // The selector is real deployed code: its jump retires and the
+    // timing model sees a (BTB-predicted) indirect transfer.
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    const auto regions = tinyRegions(t);
+    PackageConfig cfg;
+    cfg.linking = false;
+    cfg.dynamicLaunch = true;
+    const PackagedProgram pp = buildPackages(t.w.program, regions, cfg);
+
+    trace::ExecutionEngine e(pp.program, t.w);
+    sim::EpicCore core(pp.program);
+    e.addSink(&core);
+    e.run(t.w.maxDynInsts);
+    EXPECT_GT(core.stats().takenTransfers, 0u);
+    EXPECT_GT(core.stats().insts, 0u);
+}
+
+} // namespace

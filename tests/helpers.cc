@@ -1,0 +1,242 @@
+#include "tests/helpers.hh"
+
+namespace vp::test
+{
+
+using namespace ir;
+using namespace workload;
+
+TinyWorkload
+makeTiny(std::uint64_t seed, std::uint64_t budget)
+{
+    TinyWorkload t;
+    ProgramBuilder b("tiny", seed);
+
+    auto worker = [&](const std::string &name,
+                      std::vector<double> iters_by_phase,
+                      std::vector<double> d1, std::vector<double> d2) {
+        const FuncId f = b.function(name, 20);
+        const BlockId pro = b.block(f);
+        b.entry(f, pro);
+        b.compute(f, pro, 3);
+        const BlockId head = b.block(f);
+        b.fallthrough(f, pro, head);
+        b.compute(f, head, 4);
+        const BlockId t1 = b.block(f), f1 = b.block(f), j1 = b.block(f);
+        b.condbr(f, head, t1, f1, std::move(d1));
+        b.compute(f, t1, 4);
+        b.jump(f, t1, j1);
+        b.compute(f, f1, 4);
+        b.fallthrough(f, f1, j1);
+        b.compute(f, j1, 4);
+        const BlockId t2 = b.block(f), f2 = b.block(f), j2 = b.block(f);
+        b.condbr(f, j1, t2, f2, std::move(d2));
+        b.compute(f, t2, 3);
+        b.jump(f, t2, j2);
+        b.compute(f, f2, 3);
+        b.fallthrough(f, f2, j2);
+        b.compute(f, j2, 3);
+        const BlockId epi = b.block(f);
+        std::vector<double> back;
+        for (double n : iters_by_phase)
+            back.push_back((n - 1.0) / n);
+        b.condbr(f, j2, head, epi, std::move(back));
+        b.compute(f, epi, 2);
+        b.ret(f, epi);
+        return f;
+    };
+
+    t.alpha = worker("alpha", {8.0, 2.0}, {0.85, 0.3}, {0.2, 0.6});
+    t.beta = worker("beta", {2.0, 8.0}, {0.4, 0.9}, {0.5, 0.15});
+
+    // Dispatcher.
+    t.loop = b.function("loop", 20);
+    {
+        const FuncId f = t.loop;
+        const BlockId pro = b.block(f);
+        b.entry(f, pro);
+        b.compute(f, pro, 3);
+        const BlockId head = b.block(f);
+        b.fallthrough(f, pro, head);
+        b.compute(f, head, 3);
+        const BlockId ca = b.block(f), cb = b.block(f);
+        const BlockId latch = b.block(f);
+        t.dispatchBr = b.condbr(f, head, ca, cb, {0.9, 0.1});
+        b.compute(f, ca, 2);
+        b.call(f, ca, t.alpha, latch);
+        b.compute(f, cb, 2);
+        b.call(f, cb, t.beta, latch);
+        b.compute(f, latch, 3);
+        const BlockId epi = b.block(f);
+        b.condbr(f, latch, head, epi, {0.996, 0.996});
+        b.compute(f, epi, 2);
+        b.ret(f, epi);
+    }
+
+    // Main.
+    t.main = b.function("main", 16);
+    {
+        const FuncId f = t.main;
+        const BlockId pro = b.block(f);
+        b.entry(f, pro);
+        b.compute(f, pro, 3);
+        const BlockId head = b.block(f);
+        b.fallthrough(f, pro, head);
+        b.compute(f, head, 2);
+        const BlockId after = b.block(f);
+        b.call(f, head, t.loop, after);
+        const BlockId epi = b.block(f);
+        b.condbr(f, after, head, epi, {0.999, 0.999});
+        b.compute(f, epi, 1);
+        b.ret(f, epi);
+        b.entryFunc(f);
+    }
+
+    t.w = b.finish("tiny", "A",
+                   PhaseSchedule({{0, 20'000}, {1, 20'000}}, true), budget);
+    return t;
+}
+
+DiamondLoop
+makeDiamondLoop(std::vector<double> cond_probs,
+                std::vector<double> latch_iters, std::uint64_t budget)
+{
+    DiamondLoop d;
+    ProgramBuilder b("diamond", 7);
+    d.f = b.function("dmain", 16);
+    d.b0 = b.block(d.f);
+    d.b1 = b.block(d.f);
+    d.b2 = b.block(d.f);
+    d.b3 = b.block(d.f);
+    d.b4 = b.block(d.f);
+    d.b5 = b.block(d.f);
+    b.entry(d.f, d.b0);
+    b.compute(d.f, d.b0, 3);
+    b.fallthrough(d.f, d.b0, d.b1);
+    b.compute(d.f, d.b1, 3);
+    d.condBr = b.condbr(d.f, d.b1, d.b2, d.b3, std::move(cond_probs));
+    b.compute(d.f, d.b2, 3);
+    b.jump(d.f, d.b2, d.b4);
+    b.compute(d.f, d.b3, 3);
+    b.fallthrough(d.f, d.b3, d.b4);
+    b.compute(d.f, d.b4, 3);
+    std::vector<double> back;
+    for (double n : latch_iters)
+        back.push_back((n - 1.0) / n);
+    d.latchBr = b.condbr(d.f, d.b4, d.b1, d.b5, std::move(back));
+    b.compute(d.f, d.b5, 2);
+    b.ret(d.f, d.b5);
+    b.entryFunc(d.f);
+
+    d.w = b.finish("diamond", "A",
+                   workload::PhaseSchedule({{0, 1'000'000}}, false), budget);
+    return d;
+}
+
+/**
+ * Reconstruction of the paper's Figure 3 example.
+ *
+ * Function A:
+ *   A1 (entry) -> A2
+ *   A2: condbr  taken->A7 (cold path), fall->A3      [in BBB: 400/4]
+ *   A3: -> A4
+ *   A4: condbr  taken->A5, fall->A6                  [in BBB: 400/200]
+ *   A5: call B, returns to A8
+ *   A6: jump A8
+ *   A7: jump A8                                       (cold)
+ *   A8: -> A9
+ *   A9: condbr  taken->A2 (loop), fall->A10          [in BBB: 396/392]
+ *   A10: ret                                          (cold)
+ *
+ * Function B:
+ *   B1 (entry) -> B2
+ *   B2: condbr  taken->B5, fall->B4                   (missing from BBB)
+ *   B4: condbr  taken->B6, fall->B5                  [in BBB: 350/340]
+ *   B5: ret                                           (cold path)
+ *   B6: ret                                           (hot epilogue)
+ */
+Figure3
+makeFigure3()
+{
+    Figure3 fig;
+    workload::ProgramBuilder b("figure3", 11);
+
+    fig.B = b.function("B", 12);
+    fig.b1 = b.block(fig.B);
+    fig.b2 = b.block(fig.B);
+    fig.b4 = b.block(fig.B);
+    fig.b5 = b.block(fig.B);
+    fig.b6 = b.block(fig.B);
+    b.entry(fig.B, fig.b1);
+    b.compute(fig.B, fig.b1, 2);
+    b.fallthrough(fig.B, fig.b1, fig.b2);
+    b.compute(fig.B, fig.b2, 2);
+    fig.brB2 = b.condbr(fig.B, fig.b2, fig.b5, fig.b4, {0.03});
+    b.compute(fig.B, fig.b4, 2);
+    fig.brB4 = b.condbr(fig.B, fig.b4, fig.b6, fig.b5, {0.97});
+    b.compute(fig.B, fig.b5, 2);
+    b.ret(fig.B, fig.b5);
+    b.compute(fig.B, fig.b6, 2);
+    b.ret(fig.B, fig.b6);
+
+    fig.A = b.function("A", 12);
+    fig.a1 = b.block(fig.A);
+    fig.a2 = b.block(fig.A);
+    fig.a3 = b.block(fig.A);
+    fig.a4 = b.block(fig.A);
+    fig.a5 = b.block(fig.A);
+    fig.a6 = b.block(fig.A);
+    fig.a7 = b.block(fig.A);
+    fig.a8 = b.block(fig.A);
+    fig.a9 = b.block(fig.A);
+    fig.a10 = b.block(fig.A);
+    b.entry(fig.A, fig.a1);
+    b.compute(fig.A, fig.a1, 2);
+    b.fallthrough(fig.A, fig.a1, fig.a2);
+    b.compute(fig.A, fig.a2, 2);
+    fig.brA2 = b.condbr(fig.A, fig.a2, fig.a7, fig.a3, {0.01});
+    b.compute(fig.A, fig.a3, 2);
+    b.fallthrough(fig.A, fig.a3, fig.a4);
+    b.compute(fig.A, fig.a4, 2);
+    fig.brA4 = b.condbr(fig.A, fig.a4, fig.a5, fig.a6, {0.5});
+    b.compute(fig.A, fig.a5, 2);
+    b.call(fig.A, fig.a5, fig.B, fig.a8);
+    b.compute(fig.A, fig.a6, 2);
+    b.jump(fig.A, fig.a6, fig.a8);
+    b.compute(fig.A, fig.a7, 2);
+    b.jump(fig.A, fig.a7, fig.a8);
+    b.compute(fig.A, fig.a8, 2);
+    b.fallthrough(fig.A, fig.a8, fig.a9);
+    b.compute(fig.A, fig.a9, 2);
+    fig.brA9 = b.condbr(fig.A, fig.a9, fig.a2, fig.a10, {0.99});
+    b.compute(fig.A, fig.a10, 2);
+    b.ret(fig.A, fig.a10);
+    b.entryFunc(fig.A);
+
+    fig.w = b.finish("figure3", "A",
+                     workload::PhaseSchedule({{0, 1'000'000}}, false),
+                     200'000);
+    return fig;
+}
+
+/** The 4-entry BBB snapshot of Figure 3(a): A2, A4, A9, B4. */
+hsd::HotSpotRecord
+figure3Record(const Figure3 &fig)
+{
+    hsd::HotSpotRecord rec;
+    auto add = [&](BehaviorId id, std::uint32_t exec, std::uint32_t taken) {
+        hsd::HotBranch hb;
+        hb.behavior = id;
+        hb.exec = exec;
+        hb.taken = taken;
+        rec.branches.push_back(hb);
+    };
+    add(fig.brA2, 400, 4);   // strongly not-taken
+    add(fig.brA4, 400, 200); // unbiased
+    add(fig.brA9, 396, 392); // strongly taken
+    add(fig.brB4, 350, 340); // strongly taken
+    return rec;
+}
+
+
+} // namespace vp::test

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: tiny hand-built workloads with
+ * known structure.
+ */
+
+#ifndef VP_TESTS_HELPERS_HH
+#define VP_TESTS_HELPERS_HH
+
+#include "hsd/record.hh"
+#include "workload/builder.hh"
+#include "workload/workload.hh"
+
+namespace vp::test
+{
+
+/**
+ * A minimal two-phase workload: main calls a dispatcher `loop` that
+ * alternates between two workers, `alpha` (hot in phase 0) and `beta`
+ * (hot in phase 1).
+ *
+ *   main -> loop { if (d) alpha() else beta(); } back-edge
+ *   alpha: small loop, 2 diamonds
+ *   beta:  small loop, 2 diamonds
+ */
+struct TinyWorkload
+{
+    workload::Workload w;
+    ir::FuncId main = 0, loop = 0, alpha = 0, beta = 0;
+    ir::BehaviorId dispatchBr = 0;
+};
+
+/** Build the tiny two-phase workload (see above). */
+TinyWorkload makeTiny(std::uint64_t seed = 42,
+                      std::uint64_t budget = 400'000);
+
+/**
+ * A single-function diamond + loop workload for structural unit tests:
+ *
+ *   B0 (entry) -> B1 cond -> {B2 taken, B3 fall} -> B4 latch -> B1 | B5 ret
+ */
+struct DiamondLoop
+{
+    workload::Workload w;
+    ir::FuncId f = 0;
+    ir::BlockId b0 = 0, b1 = 0, b2 = 0, b3 = 0, b4 = 0, b5 = 0;
+    ir::BehaviorId condBr = 0, latchBr = 0;
+};
+
+/**
+ * @param cond_probs Per-phase taken probability of the diamond branch.
+ * @param latch_iters Per-phase mean loop trip counts.
+ */
+DiamondLoop makeDiamondLoop(std::vector<double> cond_probs = {0.8},
+                            std::vector<double> latch_iters = {50.0},
+                            std::uint64_t budget = 100'000);
+
+/**
+ * Reconstruction of the paper's Figure 3 example (functions A and B; see
+ * helpers.cc for the exact CFG). Shared by the region- and
+ * package-construction tests.
+ */
+struct Figure3
+{
+    workload::Workload w;
+    ir::FuncId A = 0, B = 0;
+    ir::BlockId a1, a2, a3, a4, a5, a6, a7, a8, a9, a10;
+    ir::BlockId b1, b2, b4, b5, b6;
+    ir::BehaviorId brA2 = 0, brA4 = 0, brA9 = 0, brB2 = 0, brB4 = 0;
+};
+
+Figure3 makeFigure3();
+
+/** The 4-entry BBB snapshot of Figure 3(a): A2, A4, A9, B4. */
+hsd::HotSpotRecord figure3Record(const Figure3 &fig);
+
+} // namespace vp::test
+
+#endif // VP_TESTS_HELPERS_HH

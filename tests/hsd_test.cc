@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the Hot Spot Detector substrate: BBB candidacy/contention/
+ * saturation, HDC-driven detection, timers, record snapshots, and the
+ * software redundancy filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hsd/bbb.hh"
+#include "hsd/detector.hh"
+#include "hsd/filter.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::hsd;
+
+HsdConfig
+smallCfg()
+{
+    HsdConfig cfg;
+    cfg.sets = 4;
+    cfg.ways = 2;
+    return cfg;
+}
+
+// --------------------------------------------------------------------- BBB
+
+TEST(Bbb, BranchBecomesCandidateAtThreshold)
+{
+    BranchBehaviorBuffer bbb(smallCfg()); // threshold 16
+    for (int i = 0; i < 15; ++i)
+        EXPECT_FALSE(bbb.access(0x1000, 1, true));
+    EXPECT_TRUE(bbb.access(0x1000, 1, true)); // 16th execution
+    EXPECT_EQ(bbb.numCandidates(), 1u);
+}
+
+TEST(Bbb, SnapshotContainsCountsAndIdentity)
+{
+    BranchBehaviorBuffer bbb(smallCfg());
+    for (int i = 0; i < 20; ++i)
+        bbb.access(0x1000, 42, i % 2 == 0); // 10 taken of 20
+    const auto snap = bbb.snapshotCandidates();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].pc, 0x1000u);
+    EXPECT_EQ(snap[0].behavior, 42u);
+    EXPECT_EQ(snap[0].exec, 20u);
+    EXPECT_EQ(snap[0].taken, 10u);
+    EXPECT_DOUBLE_EQ(snap[0].takenFraction(), 0.5);
+}
+
+TEST(Bbb, CountersFreezeTogetherAtSaturation)
+{
+    HsdConfig cfg = smallCfg();
+    cfg.counterBits = 4;        // max 15
+    cfg.candidateThreshold = 8; // below the saturation point
+    BranchBehaviorBuffer bbb(cfg);
+    for (int i = 0; i < 100; ++i)
+        bbb.access(0x1000, 1, true); // always taken
+    const auto snap = bbb.snapshotCandidates();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].exec, 15u);
+    EXPECT_EQ(snap[0].taken, 15u);
+    // Taken fraction preserved at saturation (Section 3.1).
+    EXPECT_DOUBLE_EQ(snap[0].takenFraction(), 1.0);
+}
+
+TEST(Bbb, SetContentionDropsExtraBranch)
+{
+    // 4 sets * 4-byte insts: pcs 2048 bytes apart share a set. 2 ways.
+    HsdConfig cfg = smallCfg(); // 4 sets, 2 ways
+    BranchBehaviorBuffer bbb(cfg);
+    const ir::Addr base = 0x1000;
+    const ir::Addr step = 4 * cfg.sets; // same set index
+    // Make two branches candidates.
+    for (int i = 0; i < 20; ++i) {
+        bbb.access(base, 1, true);
+        bbb.access(base + step, 2, true);
+    }
+    EXPECT_EQ(bbb.numCandidates(), 2u);
+    // A third hot branch in the same set cannot be tracked: all ways are
+    // candidates (the Section 3.1 contention effect).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(bbb.access(base + 2 * step, 3, true));
+    EXPECT_EQ(bbb.numCandidates(), 2u);
+}
+
+TEST(Bbb, NonCandidateIsEvictedByLru)
+{
+    HsdConfig cfg = smallCfg(); // 2 ways
+    BranchBehaviorBuffer bbb(cfg);
+    const ir::Addr step = 4 * cfg.sets;
+    bbb.access(0x1000, 1, true);           // way 0, not candidate
+    bbb.access(0x1000 + step, 2, true);    // way 1, not candidate
+    // Third branch evicts the LRU non-candidate (behavior 1).
+    bbb.access(0x1000 + 2 * step, 3, true);
+    EXPECT_EQ(bbb.numValid(), 2u);
+    // Behavior 1 must re-allocate from scratch (counts reset).
+    for (int i = 0; i < 15; ++i)
+        bbb.access(0x1000, 1, true);
+    EXPECT_EQ(bbb.numCandidates(), 0u); // restarted at 0, now at 15 < 16
+}
+
+TEST(Bbb, RefreshEvictsOnlyNonCandidates)
+{
+    BranchBehaviorBuffer bbb(smallCfg());
+    for (int i = 0; i < 20; ++i)
+        bbb.access(0x1000, 1, true); // candidate
+    bbb.access(0x2000, 2, true);     // tepid
+    EXPECT_EQ(bbb.numValid(), 2u);
+    bbb.refreshNonCandidates();
+    EXPECT_EQ(bbb.numValid(), 1u);
+    EXPECT_EQ(bbb.numCandidates(), 1u);
+}
+
+TEST(Bbb, ClearDropsEverything)
+{
+    BranchBehaviorBuffer bbb(smallCfg());
+    for (int i = 0; i < 20; ++i)
+        bbb.access(0x1000, 1, true);
+    bbb.clear();
+    EXPECT_EQ(bbb.numValid(), 0u);
+    EXPECT_EQ(bbb.numCandidates(), 0u);
+    EXPECT_TRUE(bbb.snapshotCandidates().empty());
+}
+
+// ---------------------------------------------------------------- detector
+
+TEST(Detector, DetectsSteadyHotLoop)
+{
+    test::TinyWorkload t = test::makeTiny();
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    HotSpotDetector det(HsdConfig{}, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(200'000);
+    EXPECT_GE(det.detections(), 1u);
+    EXPECT_GT(det.branchesSeen(), 10'000u);
+    // Each record holds at least a handful of branches with counts.
+    for (const auto &rec : det.records()) {
+        EXPECT_FALSE(rec.branches.empty());
+        for (const auto &hb : rec.branches) {
+            EXPECT_GE(hb.exec, 16u); // candidates crossed the threshold
+            EXPECT_LE(hb.taken, hb.exec);
+        }
+    }
+}
+
+TEST(Detector, DetectsBothPhases)
+{
+    test::TinyWorkload t = test::makeTiny(42, 800'000);
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    HotSpotDetector det(HsdConfig{}, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(800'000);
+    bool saw0 = false, saw1 = false;
+    for (const auto &rec : det.records()) {
+        saw0 |= (rec.truePhase == 0);
+        saw1 |= (rec.truePhase == 1);
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw1);
+}
+
+TEST(Detector, NoDetectionWithoutHotCode)
+{
+    // A workload whose every branch executes rarely: a long chain of
+    // distinct cold branches.
+    workload::ProgramBuilder b("cold", 3);
+    const auto f = b.function("m", 8);
+    const auto head = b.block(f);
+    b.entry(f, head);
+    b.compute(f, head, 2);
+    // 600 distinct branches in a chain; loop over the chain only twice
+    // per full program run, so per-branch counts stay below candidacy
+    // within a refresh interval.
+    ir::BlockId cur = head;
+    std::vector<ir::BlockId> chain;
+    for (int i = 0; i < 600; ++i) {
+        const auto t1 = b.block(f);
+        const auto j = b.block(f);
+        b.condbr(f, cur, t1, j, {0.02});
+        b.compute(f, t1, 1);
+        b.jump(f, t1, j);
+        b.compute(f, j, 1);
+        cur = j;
+    }
+    const auto epi = b.block(f);
+    b.condbr(f, cur, head, epi, {0.5});
+    b.ret(f, epi);
+    b.entryFunc(f);
+    auto w = b.finish("cold", "A",
+                      workload::PhaseSchedule({{0, 1'000'000}}, false),
+                      30'000);
+
+    trace::ExecutionEngine engine(w.program, w);
+    HotSpotDetector det(HsdConfig{}, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(30'000);
+    EXPECT_EQ(det.detections(), 0u);
+}
+
+TEST(Detector, RestartsAfterDetection)
+{
+    test::TinyWorkload t = test::makeTiny(42, 600'000);
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    HotSpotDetector det(HsdConfig{}, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(600'000);
+    // The same phase keeps getting re-detected (software filters later).
+    EXPECT_GE(det.detections(), 3u);
+    // Detections are strictly ordered in time.
+    for (std::size_t i = 1; i < det.records().size(); ++i) {
+        EXPECT_GT(det.records()[i].detectedAtBranch,
+                  det.records()[i - 1].detectedAtBranch);
+    }
+}
+
+// ------------------------------------------------------------------ filter
+
+HotSpotRecord
+record(std::vector<HotBranch> branches)
+{
+    HotSpotRecord r;
+    r.branches = std::move(branches);
+    return r;
+}
+
+HotBranch
+hb(ir::BehaviorId id, std::uint32_t exec, std::uint32_t taken)
+{
+    HotBranch h;
+    h.behavior = id;
+    h.pc = 0x1000 + id * 4;
+    h.exec = exec;
+    h.taken = taken;
+    return h;
+}
+
+TEST(Filter, IdenticalRecordsAreSame)
+{
+    const auto a = record({hb(1, 100, 90), hb(2, 100, 10), hb(3, 50, 25)});
+    EXPECT_TRUE(sameHotSpot(a, a));
+}
+
+TEST(Filter, ThirtyPercentMissingMakesDifferent)
+{
+    // 10 branches vs the same with 3 missing (30%).
+    std::vector<HotBranch> as, bs;
+    for (ir::BehaviorId i = 1; i <= 10; ++i) {
+        as.push_back(hb(i, 100, 50));
+        if (i <= 7)
+            bs.push_back(hb(i, 100, 50));
+    }
+    EXPECT_FALSE(sameHotSpot(record(as), record(bs)));
+    // 2 missing (20%) stays the same hot spot.
+    bs.push_back(hb(8, 100, 50));
+    EXPECT_TRUE(sameHotSpot(record(as), record(bs)));
+}
+
+TEST(Filter, MissingIsSymmetric)
+{
+    std::vector<HotBranch> as, bs;
+    for (ir::BehaviorId i = 1; i <= 7; ++i)
+        as.push_back(hb(i, 100, 50));
+    for (ir::BehaviorId i = 1; i <= 10; ++i)
+        bs.push_back(hb(i, 100, 50));
+    // B has 30% not in A.
+    EXPECT_FALSE(sameHotSpot(record(as), record(bs)));
+    EXPECT_FALSE(sameHotSpot(record(bs), record(as)));
+}
+
+TEST(Filter, SingleBiasFlipMakesDifferent)
+{
+    const auto a = record({hb(1, 100, 90), hb(2, 100, 50), hb(3, 100, 20)});
+    const auto b = record({hb(1, 100, 10), hb(2, 100, 50), hb(3, 100, 20)});
+    // Branch 1 flips from taken-biased to not-taken-biased.
+    EXPECT_FALSE(sameHotSpot(a, b));
+}
+
+TEST(Filter, UnbiasedSwingIsTolerated)
+{
+    // Branch 2 moves 0.5 -> 0.65: never biased, so not a flip.
+    const auto a = record({hb(1, 100, 90), hb(2, 100, 50)});
+    const auto b = record({hb(1, 100, 95), hb(2, 100, 65)});
+    EXPECT_TRUE(sameHotSpot(a, b));
+}
+
+TEST(Filter, MaxBiasFlipsConfigurable)
+{
+    const auto a = record({hb(1, 100, 90), hb(2, 100, 90), hb(3, 100, 50)});
+    const auto b = record({hb(1, 100, 10), hb(2, 100, 90), hb(3, 100, 50)});
+    FilterConfig cfg;
+    cfg.maxBiasFlips = 1;
+    EXPECT_TRUE(sameHotSpot(a, b, cfg));
+    cfg.maxBiasFlips = 0;
+    EXPECT_FALSE(sameHotSpot(a, b, cfg));
+}
+
+TEST(Filter, FilterRedundantKeepsFirstOfEachPhase)
+{
+    const auto p0 = record({hb(1, 100, 90), hb(2, 100, 10)});
+    const auto p0_again = record({hb(1, 100, 85), hb(2, 100, 12)});
+    const auto p1 = record({hb(1, 100, 5), hb(2, 100, 95)});
+    const auto kept = filterRedundant({p0, p0_again, p1, p0_again});
+    EXPECT_EQ(kept.size(), 2u);
+    EXPECT_DOUBLE_EQ(kept[0].branches[0].takenFraction(), 0.9);
+    EXPECT_DOUBLE_EQ(kept[1].branches[0].takenFraction(), 0.05);
+}
+
+TEST(Filter, EmptyRecordsMatchOnlyEachOther)
+{
+    const auto empty = record({});
+    const auto full = record({hb(1, 100, 50)});
+    EXPECT_TRUE(sameHotSpot(empty, empty));
+    EXPECT_FALSE(sameHotSpot(empty, full));
+    EXPECT_FALSE(sameHotSpot(full, empty));
+}
+
+TEST(Filter, EndToEndFilteringCollapsesRedetections)
+{
+    test::TinyWorkload t = test::makeTiny(42, 800'000);
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    HotSpotDetector det(HsdConfig{}, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(800'000);
+    const auto kept = filterRedundant(det.records());
+    EXPECT_LT(kept.size(), det.records().size());
+    EXPECT_GE(kept.size(), 2u); // two distinct phases survive
+    EXPECT_LE(kept.size(), 6u); // but not every re-detection
+}
+
+TEST(RecordTest, FindAndMaxExec)
+{
+    const auto r = record({hb(1, 100, 90), hb(2, 300, 10)});
+    ASSERT_NE(r.find(2), nullptr);
+    EXPECT_EQ(r.find(2)->exec, 300u);
+    EXPECT_EQ(r.find(9), nullptr);
+    EXPECT_EQ(r.maxExec(), 300u);
+}
+
+} // namespace

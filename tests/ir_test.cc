@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the IR: block/function/program invariants, layout
+ * address assignment, the verifier, compaction, and printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/print.hh"
+#include "ir/program.hh"
+#include "ir/verify.hh"
+#include "tests/helpers.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+
+Instruction
+ialu()
+{
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {0};
+    i.srcs = {1, 2};
+    return i;
+}
+
+Instruction
+condbr(BehaviorId id)
+{
+    Instruction i;
+    i.op = Opcode::CondBr;
+    i.srcs = {0};
+    i.behavior = id;
+    return i;
+}
+
+TEST(Instruction, OpcodePredicates)
+{
+    EXPECT_TRUE(isControl(Opcode::CondBr));
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Call));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::IAlu));
+    EXPECT_TRUE(isMemory(Opcode::Load));
+    EXPECT_TRUE(isMemory(Opcode::Store));
+    EXPECT_FALSE(isMemory(Opcode::FMul));
+}
+
+TEST(Instruction, ToStringShowsOperands)
+{
+    Instruction i = ialu();
+    const std::string s = i.toString();
+    EXPECT_NE(s.find("ialu"), std::string::npos);
+    EXPECT_NE(s.find("r0"), std::string::npos);
+}
+
+TEST(BasicBlockTest, TerminatorDetection)
+{
+    BasicBlock bb;
+    EXPECT_EQ(bb.terminator(), nullptr);
+    bb.insts.push_back(ialu());
+    EXPECT_EQ(bb.terminator(), nullptr);
+    bb.insts.push_back(condbr(1));
+    ASSERT_NE(bb.terminator(), nullptr);
+    EXPECT_TRUE(bb.endsInCondBr());
+    EXPECT_FALSE(bb.endsInCall());
+    EXPECT_FALSE(bb.endsInRet());
+}
+
+TEST(FunctionTest, AddBlockAssignsSequentialIds)
+{
+    Function fn(0, "f");
+    EXPECT_EQ(fn.addBlock(), 0u);
+    EXPECT_EQ(fn.addBlock(), 1u);
+    EXPECT_EQ(fn.addBlock(), 2u);
+    EXPECT_EQ(fn.numBlocks(), 3u);
+    EXPECT_EQ(fn.layout().size(), 3u);
+}
+
+TEST(FunctionTest, NumInstsExcludesPseudo)
+{
+    Function fn(0, "f");
+    const BlockId b = fn.addBlock();
+    fn.setRegCount(4);
+    fn.block(b).insts.push_back(ialu());
+    Instruction p;
+    p.op = Opcode::Nop;
+    p.pseudo = true;
+    fn.block(b).insts.push_back(p);
+    EXPECT_EQ(fn.numInsts(), 1u);
+}
+
+TEST(ProgramTest, LayoutAssignsDisjointAddresses)
+{
+    test::DiamondLoop d = test::makeDiamondLoop();
+    Program &prog = d.w.program;
+    const Function &fn = prog.func(d.f);
+    Addr prev_end = 0;
+    for (BlockId b : fn.layout()) {
+        const BasicBlock &bb = fn.block(b);
+        EXPECT_NE(bb.addr, kInvalidAddr);
+        EXPECT_GE(bb.addr, prev_end);
+        prev_end = bb.addr + bb.insts.size() * kInstBytes;
+    }
+    EXPECT_EQ(prog.codeSize(), prog.numInsts() * kInstBytes);
+}
+
+TEST(ProgramTest, LayoutSkipsPseudoInsts)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b0 = prog.func(f).addBlock();
+    const BlockId b1 = prog.func(f).addBlock();
+    Instruction p;
+    p.op = Opcode::Nop;
+    p.pseudo = true;
+    p.srcs = {1};
+    prog.func(f).block(b0).insts.push_back(p);
+    prog.func(f).block(b0).insts.push_back(ialu());
+    prog.func(f).block(b0).fall = BlockRef{f, b1};
+    Instruction r;
+    r.op = Opcode::Ret;
+    prog.func(f).block(b1).insts.push_back(r);
+    prog.layout();
+    // b0 holds exactly one real instruction -> b1 starts 4 bytes later.
+    EXPECT_EQ(prog.func(f).block(b1).addr,
+              prog.func(f).block(b0).addr + kInstBytes);
+}
+
+TEST(VerifyTest, AcceptsWellFormedWorkloads)
+{
+    test::TinyWorkload t = test::makeTiny();
+    EXPECT_TRUE(verify(t.w.program).empty());
+}
+
+TEST(VerifyTest, RejectsCondBrWithoutTargets)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b = prog.func(f).addBlock();
+    prog.func(f).block(b).insts.push_back(condbr(1));
+    const auto errs = verify(prog);
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(VerifyTest, RejectsControlNotLast)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b = prog.func(f).addBlock();
+    Instruction r;
+    r.op = Opcode::Ret;
+    prog.func(f).block(b).insts.push_back(r);
+    prog.func(f).block(b).insts.push_back(ialu());
+    const auto errs = verify(prog);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("not last"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsOutOfRangeRegister)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(2);
+    const BlockId b = prog.func(f).addBlock();
+    prog.func(f).block(b).insts.push_back(ialu()); // uses r1, r2
+    Instruction r;
+    r.op = Opcode::Ret;
+    prog.func(f).block(b).insts.push_back(r);
+    const auto errs = verify(prog);
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(VerifyTest, RejectsDanglingBlockRef)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b = prog.func(f).addBlock();
+    Instruction j;
+    j.op = Opcode::Jump;
+    prog.func(f).block(b).insts.push_back(j);
+    prog.func(f).block(b).taken = BlockRef{f, 57};
+    const auto errs = verify(prog);
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(VerifyTest, RejectsCallWithoutCallee)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b = prog.func(f).addBlock();
+    const BlockId c = prog.func(f).addBlock();
+    Instruction call;
+    call.op = Opcode::Call;
+    prog.func(f).block(b).insts.push_back(call);
+    prog.func(f).block(b).fall = BlockRef{f, c};
+    Instruction r;
+    r.op = Opcode::Ret;
+    prog.func(f).block(c).insts.push_back(r);
+    const auto errs = verify(prog);
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(VerifyTest, AcceptsDeadHuskBlock)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(4);
+    const BlockId b = prog.func(f).addBlock();
+    Instruction r;
+    r.op = Opcode::Ret;
+    prog.func(f).block(b).insts.push_back(r);
+    prog.func(f).addBlock(); // empty husk: no insts, no successors
+    EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(CompactTest, RemapsArcsAndLayout)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    Function &fn = prog.func(f);
+    fn.setRegCount(4);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock(); // to be removed
+    const BlockId b2 = fn.addBlock();
+    Instruction j;
+    j.op = Opcode::Jump;
+    fn.block(b0).insts.push_back(j);
+    fn.block(b0).taken = BlockRef{f, b2};
+    fn.block(b1).fall = BlockRef{f, b2};
+    Instruction r;
+    r.op = Opcode::Ret;
+    fn.block(b2).insts.push_back(r);
+
+    std::vector<bool> keep{true, false, true};
+    const auto remap = fn.compact(keep);
+    EXPECT_EQ(remap[b0], 0u);
+    EXPECT_EQ(remap[b1], kInvalidBlock);
+    EXPECT_EQ(remap[b2], 1u);
+    EXPECT_EQ(fn.numBlocks(), 2u);
+    EXPECT_EQ(fn.block(0).taken.block, 1u);
+    EXPECT_EQ(fn.layout().size(), 2u);
+    EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(PrintTest, DumpsAllFunctions)
+{
+    test::TinyWorkload t = test::makeTiny();
+    const std::string s = toString(t.w.program);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+    EXPECT_NE(s.find("main"), std::string::npos);
+    EXPECT_NE(s.find("-> taken"), std::string::npos);
+}
+
+TEST(BlockRefTest, HashAndEquality)
+{
+    const BlockRef a{1, 2}, b{1, 2}, c{1, 3};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(std::hash<BlockRef>()(a), std::hash<BlockRef>()(b));
+    EXPECT_FALSE(kNoBlockRef.valid());
+    EXPECT_TRUE(a.valid());
+}
+
+} // namespace

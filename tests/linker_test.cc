@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Package linking and ordering tests (Section 3.3.4): the accumulator
+ * rank (the paper's 0.64 example), F<->T/U compatibility, identical
+ * calling-context enforcement (the B1' vs B1'' rule), left-most launch
+ * precedence, and reachability of sibling packages through links.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "package/linker.hh"
+#include "package/packager.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::package;
+using region::Region;
+using region::RegionConfig;
+
+// ------------------------------------------------------------ rank formula
+
+TEST(Rank, PaperExampleIsPointSixFour)
+{
+    // Figure 7(c): ratios 2/5, 2/5, 3/6 -> 0.4 + 0.16 + 0.08 = 0.64.
+    EXPECT_NEAR(accumulatorRank({2.0 / 5, 2.0 / 5, 3.0 / 6}), 0.64, 1e-12);
+}
+
+TEST(Rank, SinglePackage)
+{
+    EXPECT_DOUBLE_EQ(accumulatorRank({0.5}), 0.5);
+    EXPECT_DOUBLE_EQ(accumulatorRank({}), 0.0);
+}
+
+TEST(Rank, OrderMatters)
+{
+    // Front-loading the high ratio wins.
+    EXPECT_GT(accumulatorRank({0.9, 0.1}), accumulatorRank({0.1, 0.9}));
+}
+
+TEST(Rank, ZeroRatioKillsDownstreamContributions)
+{
+    EXPECT_DOUBLE_EQ(accumulatorRank({0.5, 0.0, 0.9}), 0.5);
+}
+
+// -------------------------------------------- two-phase shared-root linking
+
+/**
+ * A root dispatcher with a phase-flipping branch: phase 0 takes the x
+ * path, phase 1 the y path. Both phases root at `root`, producing two
+ * packages with the same single launch point — exactly the situation
+ * linking exists for.
+ */
+struct SharedRoot
+{
+    workload::Workload w;
+    FuncId root = 0;
+    BehaviorId dBr = 0, xBr = 0, yBr = 0, latchBr = 0;
+};
+
+SharedRoot
+makeSharedRoot()
+{
+    SharedRoot s;
+    workload::ProgramBuilder b("shared", 21);
+    s.root = b.function("root", 16);
+    const FuncId f = s.root;
+    const BlockId pro = b.block(f), head = b.block(f), x = b.block(f),
+                  x2 = b.block(f), y = b.block(f), y2 = b.block(f),
+                  join = b.block(f), epi = b.block(f);
+    b.entry(f, pro);
+    b.compute(f, pro, 2);
+    b.fallthrough(f, pro, head);
+    b.compute(f, head, 3);
+    s.dBr = b.condbr(f, head, x, y, {0.98, 0.02});
+    b.compute(f, x, 3);
+    s.xBr = b.condbr(f, x, x2, join, {0.6, 0.5});
+    b.compute(f, x2, 3);
+    b.jump(f, x2, join);
+    b.compute(f, y, 3);
+    s.yBr = b.condbr(f, y, y2, join, {0.5, 0.6});
+    b.compute(f, y2, 3);
+    b.jump(f, y2, join);
+    b.compute(f, join, 3);
+    s.latchBr = b.condbr(f, join, head, epi, {1.0, 1.0}); // runs to budget
+    b.compute(f, epi, 1);
+    b.ret(f, epi);
+    b.entryFunc(f);
+    s.w = b.finish("shared", "A",
+                   workload::PhaseSchedule({{0, 25'000}, {1, 25'000}}, true),
+                   600'000);
+    return s;
+}
+
+/** Hand-crafted per-phase records (what the HSD would deliver). */
+std::vector<Region>
+sharedRootRegions(const SharedRoot &s)
+{
+    auto rec = [&](double d_taken, bool x_hot) {
+        hsd::HotSpotRecord r;
+        auto add = [&](BehaviorId id, std::uint32_t exec,
+                       std::uint32_t taken) {
+            hsd::HotBranch hb;
+            hb.behavior = id;
+            hb.exec = exec;
+            hb.taken = taken;
+            r.branches.push_back(hb);
+        };
+        add(s.dBr, 500, static_cast<std::uint32_t>(500 * d_taken));
+        if (x_hot)
+            add(s.xBr, 475, 285);
+        else
+            add(s.yBr, 475, 285);
+        add(s.latchBr, 500, 500);
+        return r;
+    };
+    std::vector<Region> regions;
+    const auto &prog = s.w.program;
+    regions.push_back(region::identifyRegion(prog, rec(0.98, true),
+                                             RegionConfig{}));
+    regions.push_back(region::identifyRegion(prog, rec(0.02, false),
+                                             RegionConfig{}));
+    return regions;
+}
+
+TEST(Linking, TwoPackagesShareOneLaunchPoint)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    const PackagedProgram pp = buildPackages(s.w.program, regions);
+    ASSERT_EQ(pp.packages.size(), 2u);
+    EXPECT_EQ(pp.packages[0].rootOrig, s.root);
+    EXPECT_EQ(pp.packages[1].rootOrig, s.root);
+    EXPECT_TRUE(verify(pp.program).empty());
+    // Links exist in both directions (each package's dispatch exit leads
+    // to the other package's hot side).
+    EXPECT_GE(pp.numLinks, 2u);
+    EXPECT_GE(pp.packages[0].incomingLinks + pp.packages[1].incomingLinks,
+              2u);
+}
+
+TEST(Linking, LinkTargetsLandInSiblingHotBlocks)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    const PackagedProgram pp = buildPackages(s.w.program, regions);
+    for (const auto &pkg : pp.packages) {
+        const Function &P = pp.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (!bb.endsInCondBr())
+                continue;
+            for (const BlockRef &t : {bb.taken, bb.fall}) {
+                if (!t.valid() || t.func == pkg.func)
+                    continue;
+                // Cross-function branch arc == a link. It must land in a
+                // sibling package (not original code) on a non-exit
+                // block.
+                const Function &target_fn = pp.program.func(t.func);
+                EXPECT_TRUE(target_fn.isPackage());
+                EXPECT_NE(target_fn.block(t.block).kind, BlockKind::Exit);
+            }
+        }
+    }
+}
+
+TEST(Linking, ContextsMatchAcrossLinks)
+{
+    // Run on a real multi-phase workload with inlining (perl) and check
+    // the B1'/B1'' rule: every link connects blocks with identical
+    // elided-call contexts.
+    workload::Workload w = workload::makeWorkload("134.perl", "A");
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    VpResult r = packer.run();
+
+    // Index: package func -> PackageInfo.
+    std::unordered_map<FuncId, const PackageInfo *> by_func;
+    for (const auto &pkg : r.packaged.packages)
+        by_func[pkg.func] = &pkg;
+
+    std::size_t links_checked = 0;
+    for (const auto &pkg : r.packaged.packages) {
+        const Function &P = r.packaged.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (!bb.endsInCondBr())
+                continue;
+            for (const BlockRef &t : {bb.taken, bb.fall}) {
+                if (!t.valid() || t.func == pkg.func ||
+                    !by_func.count(t.func)) {
+                    continue;
+                }
+                const PackageInfo &to = *by_func.at(t.func);
+                ASSERT_LT(t.block, to.ctx.size());
+                EXPECT_EQ(pkg.ctx.at(bb.id), to.ctx.at(t.block))
+                    << "link with mismatched calling context";
+                ++links_checked;
+            }
+        }
+    }
+    EXPECT_GT(links_checked, 0u);
+}
+
+TEST(Linking, DisabledLeavesSiblingUnreachable)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    PackageConfig no_link;
+    no_link.linking = false;
+    const PackagedProgram without =
+        buildPackages(s.w.program, regions, no_link);
+    const PackagedProgram with = buildPackages(s.w.program, regions);
+
+    EXPECT_EQ(without.numLinks, 0u);
+    // Coverage with linking must beat coverage without: the second
+    // phase's package is only reachable through links.
+    trace::ExecutionEngine e1(without.program, s.w);
+    const auto cov_without = e1.run(s.w.maxDynInsts);
+    trace::ExecutionEngine e2(with.program, s.w);
+    const auto cov_with = e2.run(s.w.maxDynInsts);
+    EXPECT_GT(cov_with.packageCoverage(),
+              cov_without.packageCoverage() + 0.02);
+}
+
+TEST(Linking, LogicalStreamPreservedWithAndWithoutLinks)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    for (bool linking : {false, true}) {
+        PackageConfig cfg;
+        cfg.linking = linking;
+        const PackagedProgram pp =
+            buildPackages(s.w.program, regions, cfg);
+
+        trace::ExecutionEngine orig(s.w.program, s.w);
+        trace::ExecutionEngine packed(pp.program, s.w);
+        const auto so = orig.run(s.w.maxDynInsts);
+        // Equal logical work: bound the packaged run by branch count.
+        const auto sp = packed.run(s.w.maxDynInsts * 2, so.dynBranches);
+        EXPECT_EQ(so.dynBranches, sp.dynBranches) << "linking=" << linking;
+        EXPECT_EQ(so.takenBranches, sp.takenBranches)
+            << "linking=" << linking; // no relayout here: no flips
+    }
+}
+
+TEST(Ordering, EvaluateReportsLinksAndRank)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    // Build unlinked packages, then drive the linker API directly.
+    PackageConfig cfg;
+    cfg.linking = false;
+    PackagedProgram pp = buildPackages(s.w.program, regions, cfg);
+    ASSERT_EQ(pp.packages.size(), 2u);
+    std::vector<const PackageInfo *> group{&pp.packages[0],
+                                           &pp.packages[1]};
+    const GroupOrdering best = chooseOrdering(pp.program, group, cfg);
+    EXPECT_EQ(best.order.size(), 2u);
+    EXPECT_GT(best.rank, 0.0);
+    EXPECT_FALSE(best.links.empty());
+    for (const auto &link : best.links) {
+        EXPECT_NE(link.fromPkg, link.toPkg);
+        EXPECT_TRUE(link.target.valid());
+    }
+}
+
+TEST(Ordering, BestRankIsAtLeastIdentityRank)
+{
+    SharedRoot s = makeSharedRoot();
+    const auto regions = sharedRootRegions(s);
+    PackageConfig cfg;
+    cfg.linking = false;
+    PackagedProgram pp = buildPackages(s.w.program, regions, cfg);
+    std::vector<const PackageInfo *> group{&pp.packages[0],
+                                           &pp.packages[1]};
+    const GroupOrdering best = chooseOrdering(pp.program, group, cfg);
+    const GroupOrdering identity =
+        evaluateOrdering(pp.program, group, {0, 1});
+    EXPECT_GE(best.rank, identity.rank);
+}
+
+} // namespace

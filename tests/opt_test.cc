@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Optimizer tests: profile-weight propagation, relayout (chaining, branch
+ * flips, jump removal), straight-line merging, and the EPIC list
+ * scheduler (dependences, resources, terminator pinning) — plus the
+ * semantic-preservation property of the whole pass stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "opt/optimizer.hh"
+#include "package/packager.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::opt;
+
+// ----------------------------------------------------------------- weights
+
+TEST(Weights, DiamondSplitsByProbability)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.7}, {1.0});
+    Function &fn = d.w.program.func(d.f);
+    // Stamp the profile hint the way pruning would.
+    fn.block(d.b1).terminator()->profProb = 0.7;
+    fn.block(d.b4).terminator()->profProb = 0.0; // no looping
+
+    const FlowWeights w = computeWeights(fn, {d.b0});
+    EXPECT_NEAR(w.block[d.b1], 1.0, 1e-9);
+    EXPECT_NEAR(w.taken[d.b1], 0.7, 1e-9);
+    EXPECT_NEAR(w.fall[d.b1], 0.3, 1e-9);
+    EXPECT_NEAR(w.block[d.b2], 0.7, 1e-9);
+    EXPECT_NEAR(w.block[d.b3], 0.3, 1e-9);
+    EXPECT_NEAR(w.block[d.b4], 1.0, 1e-9);
+    EXPECT_NEAR(w.block[d.b5], 1.0, 1e-9);
+}
+
+TEST(Weights, LoopAmplifiesGeometrically)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.5}, {10.0});
+    Function &fn = d.w.program.func(d.f);
+    fn.block(d.b1).terminator()->profProb = 0.5;
+    fn.block(d.b4).terminator()->profProb = 0.9; // mean 10 trips
+
+    const FlowWeights w = computeWeights(fn, {d.b0}, 2000, 1e-9);
+    // Header weight converges to 1/(1-0.9) = 10.
+    EXPECT_NEAR(w.block[d.b1], 10.0, 0.05);
+    EXPECT_NEAR(w.block[d.b5], 1.0, 0.01); // exactly one exit
+}
+
+TEST(Weights, UnknownBranchDefaultsToEvenSplit)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.9}, {1.0});
+    Function &fn = d.w.program.func(d.f);
+    fn.block(d.b4).terminator()->profProb = 0.0;
+    // b1's profProb stays -1 (unknown).
+    const FlowWeights w = computeWeights(fn, {d.b0});
+    EXPECT_NEAR(w.block[d.b2], 0.5, 1e-9);
+    EXPECT_NEAR(w.block[d.b3], 0.5, 1e-9);
+}
+
+TEST(Weights, MultipleEntriesInjectIndependently)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.5}, {1.0});
+    Function &fn = d.w.program.func(d.f);
+    fn.block(d.b1).terminator()->profProb = 0.5;
+    fn.block(d.b4).terminator()->profProb = 0.0;
+    const FlowWeights w = computeWeights(fn, {d.b0, d.b2});
+    EXPECT_NEAR(w.block[d.b4], 1.0 + 1.0, 1e-9); // both entries reach b4
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(Layout, HotTakenSuccessorBecomesFallthrough)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.9}, {1.0});
+    Function &fn = d.w.program.func(d.f);
+    fn.block(d.b1).terminator()->profProb = 0.9; // taken side (b2) hot
+    fn.block(d.b4).terminator()->profProb = 0.0;
+
+    const FlowWeights w = computeWeights(fn, {d.b0});
+    const LayoutStats ls = relayoutFunction(fn, w);
+    EXPECT_GE(ls.flippedBranches, 1u);
+    // b1 now falls through to b2 and its sense is inverted.
+    EXPECT_EQ(fn.block(d.b1).fall, (BlockRef{d.f, d.b2}));
+    EXPECT_EQ(fn.block(d.b1).taken, (BlockRef{d.f, d.b3}));
+    EXPECT_TRUE(fn.block(d.b1).terminator()->invertSense);
+    EXPECT_NEAR(fn.block(d.b1).terminator()->profProb, 0.1, 1e-9);
+    // In layout order, b2 directly follows b1.
+    const auto &order = fn.layout();
+    const auto pos = [&](BlockId b) {
+        return std::find(order.begin(), order.end(), b) - order.begin();
+    };
+    EXPECT_EQ(pos(d.b2), pos(d.b1) + 1);
+}
+
+TEST(Layout, JumpToChainSuccessorIsRemoved)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.9}, {1.0});
+    Function &fn = d.w.program.func(d.f);
+    fn.block(d.b1).terminator()->profProb = 0.9;
+    fn.block(d.b4).terminator()->profProb = 0.0;
+    const std::size_t before = fn.numInsts();
+
+    const FlowWeights w = computeWeights(fn, {d.b0});
+    const LayoutStats ls = relayoutFunction(fn, w);
+    // b2 ends in "jump b4"; when b4 is laid out right after b2 the jump
+    // disappears.
+    EXPECT_GE(ls.jumpsRemoved, 1u);
+    EXPECT_EQ(fn.numInsts(), before - ls.jumpsRemoved);
+    EXPECT_FALSE(fn.block(d.b2).terminator());
+    EXPECT_EQ(fn.block(d.b2).fall, (BlockRef{d.f, d.b4}));
+}
+
+TEST(Layout, FlippedExecutionIsEquivalent)
+{
+    // Run before/after relayout: logical behavior identical.
+    test::DiamondLoop d1 = test::makeDiamondLoop({0.9}, {20.0}, 50'000);
+    test::DiamondLoop d2 = test::makeDiamondLoop({0.9}, {20.0}, 50'000);
+    Function &fn = d2.w.program.func(d2.f);
+    fn.block(d2.b1).terminator()->profProb = 0.9;
+    fn.block(d2.b4).terminator()->profProb = 0.95;
+    const FlowWeights w = computeWeights(fn, {d2.b0});
+    relayoutFunction(fn, w);
+    d2.w.program.layout();
+    ASSERT_TRUE(verify(d2.w.program).empty());
+
+    trace::ExecutionEngine e1(d1.w.program, d1.w);
+    trace::ExecutionEngine e2(d2.w.program, d2.w);
+    const auto s1 = e1.run(50'000);
+    const auto s2 = e2.run(50'000);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    // Jump removal may shave unconditional jumps; branch behavior aside,
+    // the run must visit the same number of conditional branches and
+    // produce a *lower or equal* taken-transfer count.
+    EXPECT_LE(s2.takenBranches, s1.takenBranches);
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(Merge, FoldsSingleEntryFallthroughChains)
+{
+    // b0 -> b1 (single pred, fallthrough, no terminator on b0).
+    Program prog("m");
+    const FuncId f = prog.addFunction("f");
+    Function &fn = prog.func(f);
+    fn.setRegCount(4);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock();
+    const BlockId b2 = fn.addBlock();
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {0};
+    i.srcs = {1, 2};
+    fn.block(b0).insts.push_back(i);
+    fn.block(b0).fall = BlockRef{f, b1};
+    fn.block(b1).insts.push_back(i);
+    fn.block(b1).fall = BlockRef{f, b2};
+    Instruction r;
+    r.op = Opcode::Ret;
+    fn.block(b2).insts.push_back(r);
+
+    std::vector<bool> ext(fn.numBlocks(), false);
+    const std::size_t merged = mergeStraightline(fn, ext);
+    // Iterative merging folds the whole chain, ret included.
+    EXPECT_EQ(merged, 2u);
+    EXPECT_EQ(fn.block(b0).insts.size(), 3u); // both IAlus + the ret
+    EXPECT_TRUE(fn.block(b0).endsInRet());
+    EXPECT_TRUE(fn.block(b1).insts.empty());  // dead husk
+    EXPECT_TRUE(fn.block(b2).insts.empty());  // dead husk
+    EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(Merge, RespectsExternalReferences)
+{
+    Program prog("m");
+    const FuncId f = prog.addFunction("f");
+    Function &fn = prog.func(f);
+    fn.setRegCount(4);
+    const BlockId b0 = fn.addBlock();
+    const BlockId b1 = fn.addBlock();
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {0};
+    i.srcs = {1, 1};
+    fn.block(b0).insts.push_back(i);
+    fn.block(b0).fall = BlockRef{f, b1};
+    Instruction r;
+    r.op = Opcode::Ret;
+    fn.block(b1).insts.push_back(r);
+
+    std::vector<bool> ext(fn.numBlocks(), false);
+    ext[b1] = true; // e.g. a link target
+    EXPECT_EQ(mergeStraightline(fn, ext), 0u);
+}
+
+TEST(Merge, NeverFoldsMultiPredBlocks)
+{
+    test::DiamondLoop d = test::makeDiamondLoop();
+    Function &fn = d.w.program.func(d.f);
+    std::vector<bool> ext(fn.numBlocks(), false);
+    // b4 has two preds (b2, b3): b3 must not swallow it.
+    mergeStraightline(fn, ext);
+    EXPECT_FALSE(fn.block(d.b4).insts.empty());
+}
+
+// --------------------------------------------------------------- scheduler
+
+BasicBlock
+makeBlock(std::vector<Instruction> insts)
+{
+    BasicBlock bb;
+    bb.id = 0;
+    bb.insts = std::move(insts);
+    return bb;
+}
+
+Instruction
+op(Opcode o, std::vector<RegId> d, std::vector<RegId> s)
+{
+    Instruction i;
+    i.op = o;
+    i.dsts = std::move(d);
+    i.srcs = std::move(s);
+    return i;
+}
+
+TEST(Schedule, RawDependenceKeepsOrder)
+{
+    const BasicBlock bb = makeBlock({
+        op(Opcode::IAlu, {1}, {0, 0}),
+        op(Opcode::IAlu, {2}, {1, 1}), // RAW on r1
+    });
+    const auto deps = buildDeps(bb, sim::MachineConfig{});
+    bool raw = false;
+    for (const auto &e : deps)
+        raw |= (e.from == 0 && e.to == 1 && e.kind == DepKind::Raw);
+    EXPECT_TRUE(raw);
+
+    const auto sched = scheduleBlock(bb, sim::MachineConfig{});
+    EXPECT_LT(sched.cycle[0], sched.cycle[1]);
+}
+
+TEST(Schedule, IndependentOpsShareACycle)
+{
+    const BasicBlock bb = makeBlock({
+        op(Opcode::IAlu, {1}, {0, 0}),
+        op(Opcode::IAlu, {2}, {0, 0}),
+        op(Opcode::IAlu, {3}, {0, 0}),
+    });
+    const auto sched = scheduleBlock(bb, sim::MachineConfig{});
+    EXPECT_EQ(sched.length, 1u);
+}
+
+TEST(Schedule, FuLimitsForceExtraCycles)
+{
+    // 6 independent integer ops vs 5 IALU units -> 2 cycles.
+    std::vector<Instruction> insts;
+    for (RegId r = 1; r <= 6; ++r)
+        insts.push_back(op(Opcode::IAlu, {r}, {0, 0}));
+    const auto sched = scheduleBlock(makeBlock(std::move(insts)),
+                                     sim::MachineConfig{});
+    EXPECT_EQ(sched.length, 2u);
+}
+
+TEST(Schedule, IssueWidthCapsParallelism)
+{
+    // 9 independent ops across unit types vs width 8 -> 2 cycles.
+    std::vector<Instruction> insts;
+    for (RegId r = 1; r <= 5; ++r)
+        insts.push_back(op(Opcode::IAlu, {r}, {0, 0}));
+    for (RegId r = 6; r <= 8; ++r)
+        insts.push_back(op(Opcode::FAlu, {r}, {0, 0}));
+    insts.push_back(op(Opcode::Load, {9}, {0}));
+    const auto sched = scheduleBlock(makeBlock(std::move(insts)),
+                                     sim::MachineConfig{});
+    EXPECT_EQ(sched.length, 2u);
+}
+
+TEST(Schedule, TerminatorStaysLast)
+{
+    std::vector<Instruction> insts;
+    for (RegId r = 1; r <= 4; ++r)
+        insts.push_back(op(Opcode::IAlu, {r}, {0, 0}));
+    Instruction br = op(Opcode::CondBr, {}, {1});
+    br.behavior = 99;
+    insts.push_back(br);
+    insts.push_back(op(Opcode::Nop, {}, {}));
+    // (verifier would reject this; pure scheduler-level exercise)
+    BasicBlock bb = makeBlock(std::move(insts));
+    bb.insts.pop_back(); // keep terminator last after all
+    const auto sched = scheduleBlock(bb, sim::MachineConfig{});
+    EXPECT_EQ(sched.order.back(), bb.insts.size() - 1);
+}
+
+TEST(Schedule, StoreLoadOrderingPreserved)
+{
+    const BasicBlock bb = makeBlock({
+        op(Opcode::Store, {}, {0, 1}),
+        op(Opcode::Load, {2}, {0}),
+    });
+    const auto sched = scheduleBlock(bb, sim::MachineConfig{});
+    // Load may not hoist above the store.
+    EXPECT_EQ(sched.order.front(), 0u);
+}
+
+TEST(Schedule, LoadsMayReorderFreely)
+{
+    const BasicBlock bb = makeBlock({
+        op(Opcode::Load, {1}, {0}),
+        op(Opcode::Load, {2}, {0}),
+    });
+    const auto sched = scheduleBlock(bb, sim::MachineConfig{});
+    EXPECT_EQ(sched.length, 1u); // both in one cycle: no dependence
+}
+
+TEST(Schedule, CriticalPathGetsPriority)
+{
+    // A long FMul chain plus filler: chain head must issue in cycle 0.
+    std::vector<Instruction> insts;
+    insts.push_back(op(Opcode::FMul, {1}, {0, 0}));  // chain head
+    insts.push_back(op(Opcode::FMul, {2}, {1, 1}));  // chain
+    insts.push_back(op(Opcode::IAlu, {3}, {0, 0}));  // filler
+    const auto sched = scheduleBlock(makeBlock(std::move(insts)),
+                                     sim::MachineConfig{});
+    EXPECT_EQ(sched.cycle[0], 0u);
+    const sim::MachineConfig mc;
+    EXPECT_GE(sched.cycle[1], mc.latFMul);
+}
+
+TEST(Schedule, FunctionLevelReorderingPreservesExecution)
+{
+    test::TinyWorkload t1 = test::makeTiny(42, 60'000);
+    test::TinyWorkload t2 = test::makeTiny(42, 60'000);
+    for (auto &fn : t2.w.program.functions())
+        scheduleFunction(fn, sim::MachineConfig{});
+    t2.w.program.layout();
+    ASSERT_TRUE(verify(t2.w.program).empty());
+
+    trace::ExecutionEngine e1(t1.w.program, t1.w);
+    trace::ExecutionEngine e2(t2.w.program, t2.w);
+    const auto s1 = e1.run(60'000);
+    const auto s2 = e2.run(60'000);
+    EXPECT_EQ(s1.dynInsts, s2.dynInsts);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    EXPECT_EQ(s1.takenBranches, s2.takenBranches);
+}
+
+// ----------------------------------------------------------- whole pass set
+
+TEST(Optimizer, FullStackPreservesLogicalStreamOnPackages)
+{
+    test::TinyWorkload t = test::makeTiny(42, 300'000);
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = t.dispatchBr;
+    hb.exec = 400;
+    hb.taken = 380;
+    rec.branches.push_back(hb);
+    const auto region =
+        region::identifyRegion(t.w.program, rec, region::RegionConfig{});
+    package::PackagedProgram pp =
+        package::buildPackages(t.w.program, {region});
+
+    trace::ExecutionEngine before(pp.program, t.w);
+    const auto sb = before.run(t.w.maxDynInsts);
+
+    const OptStats stats = optimizePackages(pp.program);
+    EXPECT_GE(stats.functionsOptimized, 1u);
+
+    // Equal logical work: bound the post-optimization run by the same
+    // branch count (optimization shrinks the instruction stream).
+    trace::ExecutionEngine after(pp.program, t.w);
+    const auto sa = after.run(t.w.maxDynInsts * 2, sb.dynBranches);
+    EXPECT_EQ(sb.dynBranches, sa.dynBranches);
+    // Sinking/merging/jump removal can only shrink the hot path.
+    EXPECT_LE(sa.dynInsts, sb.dynInsts);
+    EXPECT_NEAR(sa.packageCoverage(), sb.packageCoverage(), 0.05);
+}
+
+TEST(Optimizer, OnlyTouchesPackageFunctions)
+{
+    test::TinyWorkload t = test::makeTiny();
+    const std::size_t alpha_insts = t.w.program.func(t.alpha).numInsts();
+    optimizePackages(t.w.program); // no packages anywhere
+    EXPECT_EQ(t.w.program.func(t.alpha).numInsts(), alpha_insts);
+}
+
+} // namespace

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Package-construction tests: function pruning with exit blocks
+ * (Section 3.3.1), root/entry selection (3.3.2), partial inlining with
+ * elided-frame contexts (3.3.3), launch-point patching, compaction, and
+ * the key semantic property — a packaged program replays the exact same
+ * logical branch stream as the original.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "package/packager.hh"
+#include "package/pruned.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::package;
+using vp::test::Figure3;
+using vp::test::makeFigure3;
+using vp::test::figure3Record;
+using region::Region;
+using region::RegionConfig;
+using region::Temp;
+
+class Fig3Package : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fig_ = makeFigure3();
+        region_ = region::identifyRegion(fig_.w.program,
+                                         figure3Record(fig_),
+                                         RegionConfig{});
+    }
+
+    Figure3 fig_;
+    Region region_;
+};
+
+// ----------------------------------------------------------------- pruning
+
+TEST_F(Fig3Package, PrunedCopyKeepsOnlyHotBlocks)
+{
+    const PrunedFunc pf = pruneFunction(fig_.w.program, region_, fig_.A);
+    // Hot in A: A2..A6, A8, A9 = 7 blocks. A1, A7, A10 excluded.
+    std::size_t normal = 0, exits = 0;
+    for (const auto &bb : pf.fn.blocks()) {
+        if (bb.kind == BlockKind::Exit)
+            ++exits;
+        else
+            ++normal;
+    }
+    EXPECT_EQ(normal, 7u);
+    // Two exits: A2 taken -> A7 and A9 fall -> A10.
+    EXPECT_EQ(exits, 2u);
+    EXPECT_TRUE(pf.copyOf.count(fig_.a2));
+    EXPECT_FALSE(pf.copyOf.count(fig_.a7));
+    EXPECT_FALSE(pf.copyOf.count(fig_.a1));
+}
+
+TEST_F(Fig3Package, ExitBlocksJumpBackToOriginalCode)
+{
+    const PrunedFunc pf = pruneFunction(fig_.w.program, region_, fig_.A);
+    for (const auto &bb : pf.fn.blocks()) {
+        if (bb.kind != BlockKind::Exit)
+            continue;
+        ASSERT_TRUE(bb.terminator());
+        EXPECT_EQ(bb.terminator()->op, Opcode::Jump);
+        // Exit targets live in the original function A.
+        EXPECT_EQ(bb.taken.func, fig_.A);
+        EXPECT_TRUE(bb.taken.block == fig_.a7 || bb.taken.block == fig_.a10);
+    }
+}
+
+TEST_F(Fig3Package, ExitBlocksCarryDummyLiveConsumers)
+{
+    const PrunedFunc pf = pruneFunction(fig_.w.program, region_, fig_.A);
+    bool found_pseudo = false;
+    for (const auto &bb : pf.fn.blocks()) {
+        if (bb.kind != BlockKind::Exit)
+            continue;
+        for (const auto &inst : bb.insts) {
+            if (inst.pseudo) {
+                found_pseudo = true;
+                EXPECT_FALSE(inst.srcs.empty()); // consumes something
+                EXPECT_TRUE(inst.dsts.empty());  // defines nothing
+            }
+        }
+    }
+    // The cold targets read registers, so dummy consumers must exist.
+    EXPECT_TRUE(found_pseudo);
+}
+
+TEST_F(Fig3Package, PrunedArcPolicyFollowsTemperatures)
+{
+    const PrunedFunc pf = pruneFunction(fig_.w.program, region_, fig_.A);
+    // A2's copy: fall (hot) stays internal, taken (cold) goes to an exit.
+    const BlockId a2c = pf.copyOf.at(fig_.a2);
+    const BasicBlock &bb = pf.fn.block(a2c);
+    ASSERT_TRUE(bb.taken.valid());
+    EXPECT_EQ(bb.taken.func, kSelfFunc);
+    EXPECT_EQ(pf.fn.block(bb.taken.block).kind, BlockKind::Exit);
+    EXPECT_EQ(bb.fall.func, kSelfFunc);
+    EXPECT_EQ(bb.fall.block, pf.copyOf.at(fig_.a3));
+}
+
+TEST_F(Fig3Package, InlinabilityFlags)
+{
+    const PrunedFunc pa = pruneFunction(fig_.w.program, region_, fig_.A);
+    const PrunedFunc pb = pruneFunction(fig_.w.program, region_, fig_.B);
+    // A lacks its prologue (A1 cold): not inlinable, roots its package.
+    EXPECT_FALSE(pa.hasPrologue);
+    EXPECT_FALSE(pa.inlinable());
+    // B has prologue B1, epilogue B6, and the B1->B2->B4->B6 path.
+    EXPECT_TRUE(pb.hasPrologue);
+    EXPECT_TRUE(pb.hasEpilogue);
+    EXPECT_TRUE(pb.hasPath);
+    EXPECT_TRUE(pb.inlinable());
+}
+
+TEST_F(Fig3Package, EntryBlocksIgnoreBackEdges)
+{
+    const PrunedFunc pa = pruneFunction(fig_.w.program, region_, fig_.A);
+    // A2 heads the loop: its only in-arc inside the copy is the back
+    // edge from A9, so it is the unique entry block.
+    ASSERT_EQ(pa.entryBlocks.size(), 1u);
+    EXPECT_EQ(pa.entryBlocks[0], pa.copyOf.at(fig_.a2));
+}
+
+// ------------------------------------------------------------------- roots
+
+TEST_F(Fig3Package, RootSelection)
+{
+    std::unordered_map<FuncId, PrunedFunc> pruned;
+    for (FuncId f : region_.hotFuncs())
+        pruned.emplace(f, pruneFunction(fig_.w.program, region_, f));
+    const auto roots = selectRoots(fig_.w.program, region_, pruned);
+    // A: no callers in region AND uninlinable -> root.
+    // B: called from hot A5, inlinable -> not a root.
+    EXPECT_EQ(roots, std::vector<FuncId>{fig_.A});
+}
+
+TEST(Roots, SelfRecursiveFunctionIsRoot)
+{
+    // r: hot self-recursive function with prologue/epilogue/path.
+    workload::ProgramBuilder b("rec", 5);
+    const FuncId r = b.function("r", 12);
+    const BlockId p = b.block(r), c = b.block(r), k = b.block(r),
+                  j = b.block(r), e = b.block(r);
+    b.entry(r, p);
+    b.compute(r, p, 2);
+    b.fallthrough(r, p, c);
+    b.compute(r, c, 2);
+    const BehaviorId br = b.condbr(r, c, k, j, {0.45});
+    b.compute(r, k, 2);
+    b.call(r, k, r, j);
+    b.compute(r, j, 2);
+    b.fallthrough(r, j, e);
+    b.compute(r, e, 1);
+    b.ret(r, e);
+    // main calls r in a loop.
+    const FuncId m = b.function("main", 8);
+    const BlockId m0 = b.block(m), m1 = b.block(m), m2 = b.block(m);
+    b.entry(m, m0);
+    b.compute(m, m0, 1);
+    b.call(m, m0, r, m1);
+    b.compute(m, m1, 1);
+    const BehaviorId lbr = b.condbr(m, m1, m0, m2, {0.995});
+    b.ret(m, m2);
+    b.entryFunc(m);
+    auto w = b.finish("rec", "A",
+                      workload::PhaseSchedule({{0, 1'000'000}}, false),
+                      200'000);
+
+    hsd::HotSpotRecord rec;
+    for (auto [id, exec, taken] :
+         {std::tuple{br, 400u, 180u}, std::tuple{lbr, 200u, 199u}}) {
+        hsd::HotBranch hb;
+        hb.behavior = id;
+        hb.exec = exec;
+        hb.taken = taken;
+        rec.branches.push_back(hb);
+    }
+    const Region reg = region::identifyRegion(w.program, rec, RegionConfig{});
+    std::unordered_map<FuncId, PrunedFunc> pruned;
+    for (FuncId f : reg.hotFuncs())
+        pruned.emplace(f, pruneFunction(w.program, reg, f));
+    const auto roots = selectRoots(w.program, reg, pruned);
+    // Both main (no callers) and r (self-recursive) are roots.
+    EXPECT_NE(std::find(roots.begin(), roots.end(), r), roots.end());
+    EXPECT_NE(std::find(roots.begin(), roots.end(), m), roots.end());
+
+    // Build packages: the self-recursive root inlines one copy of itself
+    // and deeper recursion re-enters the package.
+    const PackagedProgram pp = buildPackages(w.program, {reg});
+    EXPECT_TRUE(verify(pp.program).empty());
+    bool recursive_pkg_calls_pkg = false;
+    for (const auto &pkg : pp.packages) {
+        if (pkg.rootOrig != r)
+            continue;
+        const Function &P = pp.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (bb.endsInCall() &&
+                pp.program.func(bb.callee).isPackage()) {
+                recursive_pkg_calls_pkg = true;
+            }
+        }
+    }
+    EXPECT_TRUE(recursive_pkg_calls_pkg);
+}
+
+// ----------------------------------------------------------------- package
+
+TEST_F(Fig3Package, BInlinedIntoAPackage)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    ASSERT_EQ(pp.packages.size(), 1u);
+    const PackageInfo &pkg = pp.packages[0];
+    EXPECT_EQ(pkg.rootOrig, fig_.A);
+    const Function &P = pp.program.func(pkg.func);
+    EXPECT_TRUE(P.isPackage());
+
+    // The call at A5 was elided: no block in the package calls B.
+    for (const auto &bb : P.blocks()) {
+        if (bb.endsInCall()) {
+            EXPECT_NE(bb.callee, fig_.B);
+        }
+    }
+    // B's hot body blocks appear by origin.
+    bool has_b4 = false;
+    for (const auto &bb : P.blocks())
+        has_b4 |= (bb.origin == BlockRef{fig_.B, fig_.b4});
+    EXPECT_TRUE(has_b4);
+}
+
+TEST_F(Fig3Package, InlinedExitsCarryElidedFrame)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    const PackageInfo &pkg = pp.packages[0];
+    const Function &P = pp.program.func(pkg.func);
+    // Exits that came from B's body must materialize the elided return
+    // to A8 (the original return point of the call at A5).
+    bool found = false;
+    for (const auto &bb : P.blocks()) {
+        if (bb.kind != BlockKind::Exit || bb.exitFrames.empty())
+            continue;
+        found = true;
+        ASSERT_EQ(bb.exitFrames.size(), 1u);
+        EXPECT_EQ(bb.exitFrames[0], (BlockRef{fig_.A, fig_.a8}));
+        // And the exit target is inside original B.
+        EXPECT_EQ(bb.taken.func, fig_.B);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(Fig3Package, LaunchPointPatchesOriginalArc)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    const PackageInfo &pkg = pp.packages[0];
+    // A1's fall-through used to reach A2; it now launches the package.
+    const BasicBlock &a1 = pp.program.func(fig_.A).block(fig_.a1);
+    EXPECT_EQ(a1.fall.func, pkg.func);
+    EXPECT_GE(pp.numLaunchPoints, 1u);
+    // The back edge from the ORIGINAL A9 also launches.
+    const BasicBlock &a9 = pp.program.func(fig_.A).block(fig_.a9);
+    EXPECT_EQ(a9.taken.func, pkg.func);
+}
+
+TEST_F(Fig3Package, OriginalCodeOtherwiseUntouched)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    // Cold original code is intact (HCO-style: left off to the side).
+    const Function &a = pp.program.func(fig_.A);
+    EXPECT_EQ(a.block(fig_.a7).insts.size(),
+              fig_.w.program.func(fig_.A).block(fig_.a7).insts.size());
+    EXPECT_EQ(a.block(fig_.a10).insts.size(),
+              fig_.w.program.func(fig_.A).block(fig_.a10).insts.size());
+    // And the original A5 still calls the original B.
+    EXPECT_EQ(a.block(fig_.a5).callee, fig_.B);
+}
+
+TEST_F(Fig3Package, StaticAccountingIsSane)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    EXPECT_EQ(pp.originalInsts, fig_.w.program.numInsts());
+    EXPECT_GT(pp.addedInsts, 0u);
+    EXPECT_GT(pp.selectedOrigInsts, 0u);
+    EXPECT_LE(pp.selectedOrigInsts, pp.originalInsts);
+    EXPECT_GE(pp.replicationFactor(), 1.0);
+    EXPECT_GT(pp.expansion(), 0.0);
+}
+
+TEST_F(Fig3Package, PackagedProgramVerifies)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    EXPECT_TRUE(verify(pp.program).empty());
+}
+
+// The defining semantic property: the packaged program replays exactly
+// the same logical branch stream as the original.
+class StreamDigest : public trace::InstSink
+{
+  public:
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op != Opcode::CondBr)
+            return;
+        // Undo any layout flip to recover the logical direction.
+        const bool logical = ri.branchTaken ^ ri.inst->invertSense;
+        digest = splitmix64(digest ^ ri.inst->behavior) + (logical ? 1 : 0);
+        ++count;
+    }
+
+    std::uint64_t digest = 0x12345;
+    std::uint64_t count = 0;
+};
+
+TEST_F(Fig3Package, PackagedExecutionPreservesLogicalBranchStream)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+
+    StreamDigest orig, packed;
+    {
+        trace::ExecutionEngine e(fig_.w.program, fig_.w);
+        e.addSink(&orig);
+        e.run(fig_.w.maxDynInsts);
+    }
+    {
+        trace::ExecutionEngine e(pp.program, fig_.w);
+        e.addSink(&packed);
+        e.run(fig_.w.maxDynInsts);
+    }
+    EXPECT_EQ(orig.count, packed.count);
+    EXPECT_EQ(orig.digest, packed.digest);
+}
+
+TEST_F(Fig3Package, PackagedExecutionSpendsTimeInPackage)
+{
+    const PackagedProgram pp = buildPackages(fig_.w.program, {region_});
+    trace::ExecutionEngine e(pp.program, fig_.w);
+    const auto stats = e.run(fig_.w.maxDynInsts);
+    // Single-phase, single hot loop: coverage should be very high.
+    EXPECT_GT(stats.packageCoverage(), 0.85);
+}
+
+// -------------------------------------------------------------- compaction
+
+TEST(Compaction, DropsUnreachablePackageBlocks)
+{
+    // Build a program, then check no package block is unreachable from
+    // external references (the compaction postcondition).
+    test::TinyWorkload t = test::makeTiny();
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = t.dispatchBr;
+    hb.exec = 400;
+    hb.taken = 380;
+    rec.branches.push_back(hb);
+    const Region reg =
+        region::identifyRegion(t.w.program, rec, RegionConfig{});
+    const PackagedProgram pp = buildPackages(t.w.program, {reg});
+    for (const auto &pkg : pp.packages) {
+        const Function &P = pp.program.func(pkg.func);
+        // Seeds: entry + external refs.
+        std::vector<bool> seed(P.numBlocks(), false);
+        seed[P.entry()] = true;
+        for (const auto &fn : pp.program.functions()) {
+            if (fn.id() == pkg.func)
+                continue;
+            for (const auto &bb : fn.blocks()) {
+                if (bb.taken.valid() && bb.taken.func == pkg.func)
+                    seed[bb.taken.block] = true;
+                if (bb.fall.valid() && bb.fall.func == pkg.func)
+                    seed[bb.fall.block] = true;
+            }
+        }
+        std::vector<BlockId> work;
+        std::vector<bool> reach = seed;
+        for (BlockId b = 0; b < P.numBlocks(); ++b) {
+            if (reach[b])
+                work.push_back(b);
+        }
+        while (!work.empty()) {
+            const BlockId b = work.back();
+            work.pop_back();
+            for (BlockId s : intraSuccessors(P, b)) {
+                if (!reach[s]) {
+                    reach[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+        for (BlockId b = 0; b < P.numBlocks(); ++b)
+            EXPECT_TRUE(reach[b]) << "unreachable package block " << b;
+    }
+}
+
+} // namespace

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * End-to-end pipeline tests: for every Table 1 workload and every
+ * inference/linking variant, the packaged program must verify, preserve
+ * the logical branch stream, and produce sane coverage/expansion; plus
+ * tests for the evaluation helpers (categorization, aggregate profile,
+ * speedup measurement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "support/rng.hh"
+#include "tests/helpers.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+
+struct PipelineCase
+{
+    std::string name;
+    std::string input;
+};
+
+std::vector<PipelineCase>
+allCases()
+{
+    std::vector<PipelineCase> cases;
+    for (const auto &spec : workload::allBenchmarks()) {
+        for (const auto &input : spec.inputs)
+            cases.push_back({spec.name, input});
+    }
+    return cases;
+}
+
+/**
+ * Rolling digest of the logical (pre-flip) conditional-branch stream,
+ * with per-branch history so two runs of different lengths can be
+ * compared on their common prefix (packaging removes calls/jumps, so the
+ * packaged run fits more branches into the same instruction budget).
+ */
+class StreamDigest : public trace::InstSink
+{
+  public:
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op != Opcode::CondBr)
+            return;
+        const bool logical = ri.branchTaken ^ ri.inst->invertSense;
+        digest = splitmix64(digest ^ ri.inst->behavior) + (logical ? 1 : 0);
+        history.push_back(digest);
+    }
+
+    std::uint64_t
+    digestAt(std::size_t branches) const
+    {
+        return branches ? history.at(branches - 1) : 0xfeed;
+    }
+
+    std::size_t count() const { return history.size(); }
+
+    std::uint64_t digest = 0xfeed;
+    std::vector<std::uint64_t> history;
+};
+
+class PipelineAllBenchmarks : public ::testing::TestWithParam<PipelineCase>
+{
+  protected:
+    workload::Workload
+    load() const
+    {
+        workload::Workload w =
+            workload::makeWorkload(GetParam().name, GetParam().input);
+        // Trimmed budget keeps the parameterized sweep fast while still
+        // spanning several phases.
+        w.maxDynInsts = std::min<std::uint64_t>(w.maxDynInsts, 500'000);
+        return w;
+    }
+};
+
+TEST_P(PipelineAllBenchmarks, FullConfigProducesValidPackagedProgram)
+{
+    const workload::Workload w = load();
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+
+    EXPECT_TRUE(verify(r.packaged.program).empty());
+    EXPECT_GE(r.records.size(), 1u) << "no hot spots detected";
+    EXPECT_EQ(r.regions.size(), r.records.size());
+    EXPECT_GE(r.packaged.packages.size(), 1u);
+    // Filtering must have removed something (phases repeat).
+    EXPECT_LE(r.records.size(), r.rawRecords.size());
+}
+
+TEST_P(PipelineAllBenchmarks, PackagedRunPreservesLogicalBranchStream)
+{
+    const workload::Workload w = load();
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+
+    StreamDigest orig, packed;
+    {
+        trace::ExecutionEngine e(w.program, w);
+        e.addSink(&orig);
+        e.run(w.maxDynInsts);
+    }
+    {
+        trace::ExecutionEngine e(r.packaged.program, w);
+        e.addSink(&packed);
+        e.run(w.maxDynInsts);
+    }
+    // Packaging elides calls/rets/jumps, so the packaged run retires at
+    // least as many branches within the same instruction budget; the
+    // common prefix must be bit-identical.
+    EXPECT_GE(packed.count(), orig.count());
+    const std::size_t common = std::min(orig.count(), packed.count());
+    ASSERT_GT(common, 1'000u);
+    EXPECT_EQ(orig.digestAt(common), packed.digestAt(common));
+}
+
+TEST_P(PipelineAllBenchmarks, AllFourVariantsAreValidAndOrdered)
+{
+    const workload::Workload w = load();
+    double cov[2][2];
+    for (const bool inference : {false, true}) {
+        for (const bool linking : {false, true}) {
+            VacuumPacker packer(w, VpConfig::variant(inference, linking));
+            const VpResult r = packer.run();
+            EXPECT_TRUE(verify(r.packaged.program).empty())
+                << "inference=" << inference << " linking=" << linking;
+            const auto stats = measureCoverage(w, r.packaged.program);
+            cov[inference][linking] = stats.packageCoverage();
+        }
+    }
+    // Linking can only add reachability; allow a small tolerance for
+    // second-order effects of different orderings.
+    EXPECT_GE(cov[1][1], cov[1][0] - 0.03);
+    EXPECT_GE(cov[0][1], cov[0][0] - 0.03);
+}
+
+TEST_P(PipelineAllBenchmarks, ExpansionAccountingIsConsistent)
+{
+    const workload::Workload w = load();
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+    const auto &pp = r.packaged;
+    EXPECT_EQ(pp.originalInsts, w.program.numInsts());
+    EXPECT_GT(pp.addedInsts, 0u);
+    EXPECT_LE(pp.selectedFraction(), 1.0);
+    // Inlining elides call/ret instructions, so a package can carry
+    // slightly fewer instructions than its selected origins.
+    EXPECT_GE(pp.replicationFactor(), 0.85);
+    // Packaged program contains everything.
+    EXPECT_GE(pp.program.numInsts(), pp.originalInsts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, PipelineAllBenchmarks, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<PipelineCase> &info) {
+        std::string n = info.param.name + "_" + info.param.input;
+        for (char &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+// ------------------------------------------------------------- evaluation
+
+TEST(Evaluate, CategorizationFractionsSumToOne)
+{
+    workload::Workload w = workload::makeWorkload("134.perl", "A");
+    w.maxDynInsts = 500'000;
+    VacuumPacker packer(w, VpConfig{});
+    VpResult r;
+    packer.profile(r);
+    const Categorization cat = categorizeBranches(w, r.records);
+    double sum = 0;
+    for (double f : cat.fraction)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Evaluate, MultiPhaseBranchesDetected)
+{
+    workload::Workload w = workload::makeWorkload("134.perl", "A");
+    VacuumPacker packer(w, VpConfig{});
+    VpResult r;
+    packer.profile(r);
+    ASSERT_GE(r.records.size(), 2u);
+    const Categorization cat = categorizeBranches(w, r.records);
+    const double multi = cat.of(BranchCategory::MultiSame) +
+                         cat.of(BranchCategory::MultiLow) +
+                         cat.of(BranchCategory::MultiHigh) +
+                         cat.of(BranchCategory::MultiNoBias);
+    // perl's dispatch loop executes in every phase.
+    EXPECT_GT(multi, 0.1);
+    // And its dispatch branch swings hard between phases.
+    EXPECT_GT(cat.of(BranchCategory::MultiHigh) +
+                  cat.of(BranchCategory::MultiLow),
+              0.0);
+}
+
+TEST(Evaluate, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(branchCategoryName(BranchCategory::UniqueBiased),
+                 "Unique Biased");
+    EXPECT_STREQ(branchCategoryName(BranchCategory::MultiHigh),
+                 "Multi High");
+    EXPECT_STREQ(branchCategoryName(BranchCategory::NotDetected),
+                 "Not Detected");
+}
+
+TEST(Evaluate, AggregateRecordSumsCounts)
+{
+    hsd::HotSpotRecord a, b;
+    hsd::HotBranch h1;
+    h1.behavior = 1;
+    h1.exec = 100;
+    h1.taken = 90;
+    hsd::HotBranch h2;
+    h2.behavior = 2;
+    h2.exec = 50;
+    h2.taken = 5;
+    a.branches = {h1, h2};
+    hsd::HotBranch h1b = h1;
+    h1b.exec = 200;
+    h1b.taken = 20;
+    b.branches = {h1b};
+
+    const hsd::HotSpotRecord agg = aggregateRecord({a, b});
+    ASSERT_EQ(agg.branches.size(), 2u);
+    const hsd::HotBranch *m = agg.find(1);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->exec, 300u);
+    EXPECT_EQ(m->taken, 110u);
+    // The aggregate hides the phase swing: 110/300 looks mildly biased
+    // while the phases were 90% and 10% — the paper's Section 5.3 point.
+    EXPECT_NEAR(m->takenFraction(), 0.366, 0.01);
+}
+
+TEST(Evaluate, SpeedupMeasurementRunsBothSides)
+{
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    VacuumPacker packer(t.w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+    const SpeedupResult sp = measureSpeedup(t.w, r.packaged.program);
+    EXPECT_GT(sp.baseline.cycles, 0u);
+    EXPECT_GT(sp.packaged.cycles, 0u);
+    EXPECT_GT(sp.speedup(), 0.5);
+    EXPECT_LT(sp.speedup(), 2.0);
+    EXPECT_EQ(sp.baseline.insts >= sp.packaged.insts, true)
+        << "packaging may only remove instructions (calls/rets/jumps)";
+}
+
+TEST(Evaluate, AggregateBaselineProducesPackages)
+{
+    // The HCO-style ablation: one region from the merged profile.
+    workload::Workload w = workload::makeWorkload("197.parser", "A");
+    w.maxDynInsts = 400'000;
+    VacuumPacker packer(w, VpConfig{});
+    VpResult r;
+    packer.profile(r);
+    ASSERT_GE(r.records.size(), 1u);
+    const hsd::HotSpotRecord agg = aggregateRecord(r.records);
+    const auto region =
+        region::identifyRegion(w.program, agg, packer.config().region);
+    const auto pp = package::buildPackages(w.program, {region},
+                                           packer.config().package);
+    EXPECT_TRUE(verify(pp.program).empty());
+    EXPECT_GE(pp.packages.size(), 1u);
+    const auto cov = measureCoverage(w, pp.program);
+    EXPECT_GT(cov.packageCoverage(), 0.2);
+}
+
+TEST(VpConfigTest, VariantsSetTheRightKnobs)
+{
+    const VpConfig v00 = VpConfig::variant(false, false);
+    EXPECT_FALSE(v00.region.inference);
+    EXPECT_FALSE(v00.package.linking);
+    const VpConfig v10 = VpConfig::variant(true, false);
+    EXPECT_TRUE(v10.region.inference);
+    EXPECT_FALSE(v10.package.linking);
+    const VpConfig v11 = VpConfig::variant(true, true);
+    EXPECT_TRUE(v11.region.inference);
+    EXPECT_TRUE(v11.package.linking);
+}
+
+TEST(PipelineSteps, CanBeRunIncrementally)
+{
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    VacuumPacker packer(t.w, VpConfig{});
+    VpResult r;
+    packer.profile(r);
+    EXPECT_FALSE(r.records.empty());
+    EXPECT_TRUE(r.regions.empty());
+    packer.identify(r);
+    EXPECT_EQ(r.regions.size(), r.records.size());
+    EXPECT_TRUE(r.packaged.packages.empty());
+    packer.construct(r);
+    EXPECT_FALSE(r.packaged.packages.empty());
+}
+
+} // namespace

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Property-style invariant sweeps. Where the other test files verify
+ * specific behaviors, these run broad structural checks over every
+ * Table 1 workload, every pipeline configuration, and randomized inputs:
+ * package well-formedness, exit-stub discipline, provenance consistency,
+ * scheduler legality, flow conservation, and detector count sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hsd/detector.hh"
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "opt/schedule.hh"
+#include "opt/weights.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+
+// ======================================================================
+// Whole-pipeline structural invariants, over workloads x configurations.
+// ======================================================================
+
+struct SweepCase
+{
+    std::string name;
+    std::string input;
+    bool inference;
+    bool linking;
+};
+
+std::vector<SweepCase>
+sweepCases()
+{
+    // Every benchmark under the full configuration, plus a few
+    // representative benchmarks under all four configurations.
+    std::vector<SweepCase> cases;
+    for (const auto &spec : workload::allBenchmarks())
+        cases.push_back({spec.name, spec.inputs.front(), true, true});
+    for (const char *name : {"134.perl", "124.m88ksim", "175.vpr"}) {
+        for (bool inf : {false, true}) {
+            for (bool link : {false, true}) {
+                if (inf && link)
+                    continue; // already covered above
+                cases.push_back({name, "A", inf, link});
+            }
+        }
+    }
+    return cases;
+}
+
+class PackageInvariants : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        w_ = workload::makeWorkload(GetParam().name, GetParam().input);
+        w_.maxDynInsts = std::min<std::uint64_t>(w_.maxDynInsts, 600'000);
+        VacuumPacker packer(
+            w_, VpConfig::variant(GetParam().inference, GetParam().linking));
+        r_ = packer.run();
+    }
+
+    workload::Workload w_;
+    VpResult r_;
+};
+
+TEST_P(PackageInvariants, ExitBlocksJumpOnlyIntoOriginalCode)
+{
+    for (const auto &pkg : r_.packaged.packages) {
+        const Function &P = r_.packaged.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (bb.kind != BlockKind::Exit)
+                continue;
+            ASSERT_TRUE(bb.terminator());
+            EXPECT_EQ(bb.terminator()->op, Opcode::Jump);
+            ASSERT_TRUE(bb.taken.valid());
+            EXPECT_FALSE(
+                r_.packaged.program.func(bb.taken.func).isPackage())
+                << "exit must land in original code";
+        }
+    }
+}
+
+TEST_P(PackageInvariants, ExitFramesReferenceOriginalCode)
+{
+    for (const auto &pkg : r_.packaged.packages) {
+        const Function &P = r_.packaged.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            for (const BlockRef &frame : bb.exitFrames) {
+                ASSERT_TRUE(frame.valid());
+                EXPECT_FALSE(
+                    r_.packaged.program.func(frame.func).isPackage());
+            }
+            if (bb.kind != BlockKind::Exit) {
+                EXPECT_TRUE(bb.exitFrames.empty());
+            }
+        }
+    }
+}
+
+TEST_P(PackageInvariants, CopiedBranchesKeepOriginalIdentity)
+{
+    const auto index = region::branchIndex(w_.program);
+    for (const auto &pkg : r_.packaged.packages) {
+        const Function &P = r_.packaged.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (!bb.endsInCondBr())
+                continue;
+            EXPECT_TRUE(index.count(bb.terminator()->behavior))
+                << "package branch without an original counterpart";
+        }
+    }
+}
+
+TEST_P(PackageInvariants, BlockProvenancePointsAtOriginalBlocks)
+{
+    for (const auto &pkg : r_.packaged.packages) {
+        const Function &P = r_.packaged.program.func(pkg.func);
+        for (const auto &bb : P.blocks()) {
+            if (!bb.origin.valid())
+                continue;
+            ASSERT_LT(bb.origin.func, w_.program.numFunctions());
+            ASSERT_LT(bb.origin.block,
+                      w_.program.func(bb.origin.func).numBlocks());
+            EXPECT_FALSE(w_.program.func(bb.origin.func).isPackage());
+        }
+    }
+}
+
+TEST_P(PackageInvariants, CtxTablesAlignWithBlocks)
+{
+    for (const auto &pkg : r_.packaged.packages) {
+        const Function &P = r_.packaged.program.func(pkg.func);
+        EXPECT_EQ(pkg.ctx.size(), P.numBlocks());
+        for (BlockId e : pkg.entryBlocks) {
+            ASSERT_LT(e, P.numBlocks());
+            EXPECT_TRUE(pkg.ctx.at(e).empty())
+                << "entry blocks belong to the root: empty context";
+        }
+    }
+}
+
+TEST_P(PackageInvariants, LaunchTargetsAreEntryBlocks)
+{
+    // Every arc from original code into a package lands on one of that
+    // package's entry blocks (or its function entry, for patched calls).
+    std::unordered_map<FuncId, const package::PackageInfo *> by_func;
+    for (const auto &pkg : r_.packaged.packages)
+        by_func[pkg.func] = &pkg;
+
+    for (const Function &fn : r_.packaged.program.functions()) {
+        if (fn.isPackage())
+            continue;
+        for (const BasicBlock &bb : fn.blocks()) {
+            for (const BlockRef &t : {bb.taken, bb.fall}) {
+                if (!t.valid() || !by_func.count(t.func))
+                    continue;
+                const auto &pkg = *by_func.at(t.func);
+                const bool is_entry =
+                    std::find(pkg.entryBlocks.begin(), pkg.entryBlocks.end(),
+                              t.block) != pkg.entryBlocks.end();
+                const bool is_func_entry =
+                    t.block ==
+                    r_.packaged.program.func(t.func).entry();
+                EXPECT_TRUE(is_entry || is_func_entry)
+                    << fn.name() << ":B" << bb.id << " launches into a "
+                    << "non-entry package block";
+            }
+        }
+    }
+}
+
+TEST_P(PackageInvariants, PackagedProgramAlwaysVerifies)
+{
+    EXPECT_TRUE(verify(r_.packaged.program).empty());
+}
+
+TEST_P(PackageInvariants, RootsAreDistinctPerRegion)
+{
+    // A region produces at most one package per root function.
+    std::set<std::pair<std::size_t, FuncId>> seen;
+    for (const auto &pkg : r_.packaged.packages) {
+        const auto key = std::make_pair(pkg.regionIndex, pkg.rootOrig);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "duplicate package for region " << pkg.regionIndex;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackageInvariants, ::testing::ValuesIn(sweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        std::string n = info.param.name + "_" + info.param.input + "_" +
+                        (info.param.inference ? "inf" : "noinf") + "_" +
+                        (info.param.linking ? "link" : "nolink");
+        for (char &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+// ======================================================================
+// Detector count sanity across hardware configurations.
+// ======================================================================
+
+struct HsdCase
+{
+    unsigned counterBits;
+    std::uint32_t candidateThreshold;
+    std::uint64_t refreshInterval;
+};
+
+class DetectorSweep : public ::testing::TestWithParam<HsdCase>
+{
+};
+
+TEST_P(DetectorSweep, RecordsRespectHardwareLimits)
+{
+    test::TinyWorkload t = test::makeTiny(42, 300'000);
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    hsd::HsdConfig cfg;
+    cfg.counterBits = GetParam().counterBits;
+    cfg.candidateThreshold = GetParam().candidateThreshold;
+    cfg.refreshInterval = GetParam().refreshInterval;
+    hsd::HotSpotDetector det(cfg, &engine.oracle());
+    engine.addSink(&det);
+    engine.run(300'000);
+
+    const std::uint32_t sat = (1u << cfg.counterBits) - 1;
+    for (const auto &rec : det.records()) {
+        for (const auto &hb : rec.branches) {
+            EXPECT_GE(hb.exec, cfg.candidateThreshold);
+            EXPECT_LE(hb.exec, sat);
+            EXPECT_LE(hb.taken, hb.exec);
+        }
+        // A hot spot fits in the BBB.
+        EXPECT_LE(rec.branches.size(),
+                  static_cast<std::size_t>(cfg.sets) * cfg.ways);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hardware, DetectorSweep,
+    ::testing::Values(HsdCase{9, 16, 8192},    // Table 2
+                      HsdCase{7, 16, 8192},    // narrow counters
+                      HsdCase{9, 4, 8192},     // eager candidacy
+                      HsdCase{9, 64, 8192},    // reluctant candidacy
+                      HsdCase{9, 16, 1024},    // fast refresh
+                      HsdCase{12, 16, 32768}), // wide and slow
+    [](const ::testing::TestParamInfo<HsdCase> &info) {
+        return "bits" + std::to_string(info.param.counterBits) + "_thr" +
+               std::to_string(info.param.candidateThreshold) + "_ref" +
+               std::to_string(info.param.refreshInterval);
+    });
+
+// ======================================================================
+// Scheduler legality on randomized blocks.
+// ======================================================================
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SchedulerFuzz, SchedulesAreAlwaysLegal)
+{
+    // Build a random block via the workload builder (realistic mixes).
+    workload::ProgramBuilder b("fuzz", GetParam());
+    const FuncId f = b.function("f", 24);
+    const BlockId b0 = b.block(f);
+    b.entry(f, b0);
+    Rng rng(GetParam());
+    workload::ComputeMix mix;
+    mix.chain = 0.2 + 0.6 * rng.real();
+    mix.load = 0.35 * rng.real();
+    mix.store = 0.2 * rng.real();
+    mix.falu = 0.3 * rng.real();
+    b.compute(f, b0, 8 + static_cast<unsigned>(rng.below(60)), mix);
+    b.ret(f, b0);
+
+    const BasicBlock &bb = b.program().func(f).block(b0);
+    const sim::MachineConfig mc;
+    const auto deps = opt::buildDeps(bb, mc);
+    const auto sched = opt::scheduleBlock(bb, mc);
+
+    // Every instruction scheduled exactly once.
+    ASSERT_EQ(sched.order.size(), bb.insts.size());
+    std::vector<bool> seen(bb.insts.size(), false);
+    for (std::size_t i : sched.order) {
+        ASSERT_LT(i, bb.insts.size());
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+
+    // Dependence latencies respected.
+    for (const auto &e : deps) {
+        if (e.latency == 0) {
+            // Order-only edge: issue cycle may tie but the position in
+            // the final order must respect it.
+            const auto pos = [&](std::size_t x) {
+                return std::find(sched.order.begin(), sched.order.end(),
+                                 x) -
+                       sched.order.begin();
+            };
+            EXPECT_LT(pos(e.from), pos(e.to));
+        } else {
+            EXPECT_GE(sched.cycle[e.to], sched.cycle[e.from] + e.latency);
+        }
+        continue;
+    }
+
+    // Per-cycle resource limits.
+    std::unordered_map<unsigned, unsigned> issue;
+    std::unordered_map<unsigned, std::array<unsigned, 5>> fus;
+    for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+        if (bb.insts[i].pseudo)
+            continue;
+        ++issue[sched.cycle[i]];
+        ++fus[sched.cycle[i]]
+             [static_cast<unsigned>(sim::fuClassOf(bb.insts[i].op))];
+    }
+    for (const auto &[cyc, n] : issue)
+        EXPECT_LE(n, mc.issueWidth) << "cycle " << cyc;
+    for (const auto &[cyc, per] : fus) {
+        EXPECT_LE(per[0], mc.numIAlu);
+        EXPECT_LE(per[1], mc.numFp);
+        EXPECT_LE(per[2], mc.numMem);
+        EXPECT_LE(per[3], mc.numBranch);
+    }
+
+    // Terminator last.
+    EXPECT_EQ(sched.order.back(), bb.insts.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// ======================================================================
+// Flow-weight conservation.
+// ======================================================================
+
+class WeightsFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WeightsFuzz, FlowIsConservedAtEveryBlock)
+{
+    // Random diamond+loop shapes via the tiny workload's worker
+    // structure; check incoming flow equals block weight equals outgoing
+    // flow (for blocks with successors).
+    test::TinyWorkload t = test::makeTiny(GetParam(), 10'000);
+    const Function &fn = t.w.program.func(t.alpha);
+
+    // Stamp arbitrary but valid probabilities.
+    Rng rng(GetParam());
+    Function copy = fn;
+    for (auto &bb : copy.blocks()) {
+        if (bb.endsInCondBr())
+            bb.terminator()->profProb = 0.05 + 0.9 * rng.real();
+    }
+    const opt::FlowWeights w =
+        opt::computeWeights(copy, {copy.entry()}, 5000, 1e-10);
+
+    const auto preds = predecessors(copy);
+    for (BlockId b = 0; b < copy.numBlocks(); ++b) {
+        double in = (b == copy.entry()) ? 1.0 : 0.0;
+        for (BlockId p : preds[b]) {
+            const BasicBlock &pb = copy.block(p);
+            if (pb.taken.valid() && pb.taken.func == copy.id() &&
+                pb.taken.block == b) {
+                in += w.taken[p];
+            }
+            if (pb.fall.valid() && pb.fall.func == copy.id() &&
+                pb.fall.block == b) {
+                in += w.fall[p];
+            }
+        }
+        EXPECT_NEAR(in, w.block[b], 1e-5) << "block " << b;
+        const double out = w.taken[b] + w.fall[b];
+        if (copy.block(b).taken.valid() || copy.block(b).fall.valid()) {
+            EXPECT_NEAR(out, w.block[b], 1e-5) << "block " << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightsFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace

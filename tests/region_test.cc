@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Region-identification tests: the paper's Figure 3 walk-through
+ * (functions A and B with a 4-entry BBB record), each Figure 4 inference
+ * statement in isolation, heuristic growth, and the no-inference mode of
+ * Section 5.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hsd/record.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "workload/builder.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::region;
+using vp::test::Figure3;
+using vp::test::makeFigure3;
+using vp::test::figure3Record;
+
+class Figure3Test : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fig_ = makeFigure3();
+        rec_ = figure3Record(fig_);
+    }
+
+    Temp
+    tempOf(FuncId f, BlockId b, const Region &r) const
+    {
+        return r.blockTemp({f, b});
+    }
+
+    Figure3 fig_;
+    hsd::HotSpotRecord rec_;
+};
+
+TEST_F(Figure3Test, SeedMarksRecordedBranchBlocksHot)
+{
+    Region r(fig_.w.program);
+    RegionConfig cfg;
+    seedFromRecord(r, fig_.w.program, rec_, cfg);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a2, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a4, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a9, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.B, fig_.b4, r), Temp::Hot);
+    // Everything else starts Unknown.
+    EXPECT_EQ(tempOf(fig_.A, fig_.a3, r), Temp::Unknown);
+    EXPECT_EQ(tempOf(fig_.B, fig_.b2, r), Temp::Unknown);
+}
+
+TEST_F(Figure3Test, SeedAssignsWeightsAndProbabilities)
+{
+    Region r(fig_.w.program);
+    RegionConfig cfg;
+    seedFromRecord(r, fig_.w.program, rec_, cfg);
+    EXPECT_DOUBLE_EQ(r.blockWeight({fig_.A, fig_.a2}), 400.0);
+    EXPECT_DOUBLE_EQ(r.takenProb({fig_.A, fig_.a2}), 0.01);
+    EXPECT_DOUBLE_EQ(r.takenProb({fig_.A, fig_.a4}), 0.5);
+}
+
+TEST_F(Figure3Test, SeedArcTemperatures)
+{
+    Region r(fig_.w.program);
+    RegionConfig cfg;
+    seedFromRecord(r, fig_.w.program, rec_, cfg);
+    // A2: taken (to A7) carries 1% -> Cold; fall (to A3) 99% -> Hot.
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a2}, ArcDir::Taken), Temp::Cold);
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a2}, ArcDir::Fall), Temp::Hot);
+    // A4: both directions 50% -> Hot.
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a4}, ArcDir::Taken), Temp::Hot);
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a4}, ArcDir::Fall), Temp::Hot);
+    // A9: fall to A10 carries 4 executions (1%) -> Cold.
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a9}, ArcDir::Fall), Temp::Cold);
+    EXPECT_EQ(r.arcTemp({fig_.A, fig_.a9}, ArcDir::Taken), Temp::Hot);
+}
+
+TEST_F(Figure3Test, InferenceReproducesPaperWalkthrough)
+{
+    const Region r =
+        identifyRegion(fig_.w.program, rec_, RegionConfig{});
+
+    // Paper: "Since the flow from A2 to A7 is Cold, block A7 must be
+    // Cold (Statement 3)."
+    EXPECT_EQ(tempOf(fig_.A, fig_.a7, r), Temp::Cold);
+    // Paper: "The flow from A9 to A10 is similarly identified as Cold."
+    EXPECT_EQ(tempOf(fig_.A, fig_.a10, r), Temp::Cold);
+    // Paper: "the flow to A3 is Hot. The temperature of this flow is
+    // propagated to block A3 by Statement 4."
+    EXPECT_EQ(tempOf(fig_.A, fig_.a3, r), Temp::Hot);
+    // Paper: "The fact that B4 is Hot implies that B2 and B6 are Hot
+    // (Statements 7 and 4)."
+    EXPECT_EQ(tempOf(fig_.B, fig_.b2, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.B, fig_.b6, r), Temp::Hot);
+    // The hot region spans the unbiased diamond and the loop body.
+    EXPECT_EQ(tempOf(fig_.A, fig_.a4, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a5, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a6, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.A, fig_.a8, r), Temp::Hot);
+    // The callee's prologue heats through the hot call (Statement 9).
+    EXPECT_EQ(tempOf(fig_.B, fig_.b1, r), Temp::Hot);
+    // The region spans both functions, as in Figure 1(b).
+    const auto funcs = r.hotFuncs();
+    EXPECT_EQ(funcs.size(), 2u);
+}
+
+TEST_F(Figure3Test, WithoutInferenceBranchBlocksStayUnknown)
+{
+    RegionConfig cfg;
+    cfg.inference = false;
+    cfg.maxGrowthBlocks = 0; // isolate inference from heuristic growth
+    const Region r = identifyRegion(fig_.w.program, rec_, cfg);
+    // B2 contains a branch missing from the BBB: without inference its
+    // temperature may not be inferred (the record is trusted as
+    // complete).
+    EXPECT_NE(tempOf(fig_.B, fig_.b2, r), Temp::Hot);
+    // Branch-free blocks still receive temperatures.
+    EXPECT_EQ(tempOf(fig_.A, fig_.a3, r), Temp::Hot);
+    EXPECT_EQ(tempOf(fig_.B, fig_.b1, r), Temp::Hot);
+}
+
+TEST_F(Figure3Test, GrowthCanRescueWhatInferenceMayNot)
+{
+    // With inference off but growth on (the paper's actual w/o-inference
+    // configuration keeps "the remainder of the formation algorithm in
+    // full"), B2 is recovered by backward entry expansion: B4 is a
+    // selection entry and B2 bridges it to hot B1.
+    RegionConfig cfg;
+    cfg.inference = false;
+    const Region r = identifyRegion(fig_.w.program, rec_, cfg);
+    EXPECT_EQ(tempOf(fig_.B, fig_.b2, r), Temp::Hot);
+}
+
+TEST_F(Figure3Test, RegionQueriesAreConsistent)
+{
+    const Region r =
+        identifyRegion(fig_.w.program, rec_, RegionConfig{});
+    const auto hot = r.hotBlocks();
+    EXPECT_EQ(hot.size(), r.numHotBlocks());
+    for (const auto &ref : hot)
+        EXPECT_TRUE(r.isHot(ref));
+}
+
+// ----------------------------------------------- individual inference rules
+
+/** Two blocks joined by one arc, built by hand for rule micro-tests. */
+struct MicroCfg
+{
+    workload::Workload w;
+    FuncId f = 0;
+};
+
+TEST(InferenceRules, Statement3AllInArcsCold)
+{
+    // c1 --cold--> x ; x must become Cold.
+    workload::ProgramBuilder b("s3", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId c1 = b.block(f), x = b.block(f), y = b.block(f);
+    b.entry(f, c1);
+    b.compute(f, c1, 1);
+    const BehaviorId br = b.condbr(f, c1, x, y, {0.0});
+    b.compute(f, x, 1);
+    b.ret(f, x);
+    b.compute(f, y, 1);
+    b.ret(f, y);
+    auto w = b.finish("s3", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = br;
+    hb.exec = 400;
+    hb.taken = 0; // never taken: arc to x Cold, arc to y Hot
+    rec.branches.push_back(hb);
+
+    const Region r = identifyRegion(w.program, rec, RegionConfig{});
+    EXPECT_EQ(r.blockTemp({f, x}), Temp::Cold);  // Statement 3
+    EXPECT_EQ(r.blockTemp({f, y}), Temp::Hot);   // Statement 4
+}
+
+TEST(InferenceRules, Statement6ColdBlockFreezesItsArcs)
+{
+    // cold block's outgoing arc becomes Cold, making its successor Cold
+    // too (cascading 3 -> 6 -> 3).
+    workload::ProgramBuilder b("s6", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId c1 = b.block(f), x = b.block(f), x2 = b.block(f),
+                  y = b.block(f);
+    b.entry(f, c1);
+    b.compute(f, c1, 1);
+    const BehaviorId br = b.condbr(f, c1, x, y, {0.0});
+    b.compute(f, x, 1);
+    b.fallthrough(f, x, x2);
+    b.compute(f, x2, 1);
+    b.ret(f, x2);
+    b.compute(f, y, 1);
+    b.ret(f, y);
+    auto w = b.finish("s6", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = br;
+    hb.exec = 400;
+    hb.taken = 0;
+    rec.branches.push_back(hb);
+
+    const Region r = identifyRegion(w.program, rec, RegionConfig{});
+    EXPECT_EQ(r.blockTemp({f, x}), Temp::Cold);
+    EXPECT_EQ(r.arcTemp({f, x}, ArcDir::Fall), Temp::Cold); // Statement 6
+    EXPECT_EQ(r.blockTemp({f, x2}), Temp::Cold);            // cascaded
+}
+
+TEST(InferenceRules, Statement7SolvesTheOnlyUnknownArc)
+{
+    // h (hot, in record) <- via fall from u (unknown, branch-free
+    // pred)... handled by growth; the pure Statement 7 case is a hot
+    // block whose other in-arc is Cold:
+    //   c --cold--> h,  u --unknown--> h  =>  u->h becomes Hot.
+    workload::ProgramBuilder b("s7", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId c1 = b.block(f), u = b.block(f), h = b.block(f),
+                  z = b.block(f);
+    b.entry(f, c1);
+    b.compute(f, c1, 1);
+    // c1's branch: taken->h with 0 weight (cold), fall->u.
+    const BehaviorId br1 = b.condbr(f, c1, h, u, {0.0});
+    b.compute(f, u, 1);
+    b.jump(f, u, h);
+    b.compute(f, h, 1);
+    const BehaviorId br2 = b.condbr(f, h, z, z, {0.5});
+    b.compute(f, z, 1);
+    b.ret(f, z);
+    auto w = b.finish("s7", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb1;
+    hb1.behavior = br1;
+    hb1.exec = 400;
+    hb1.taken = 0;
+    rec.branches.push_back(hb1);
+    hsd::HotBranch hb2;
+    hb2.behavior = br2;
+    hb2.exec = 400;
+    hb2.taken = 200;
+    rec.branches.push_back(hb2);
+
+    const Region r = identifyRegion(w.program, rec, RegionConfig{});
+    // h is hot with in-arcs {c1->h Cold, u->h Unknown}: Statement 7 heats
+    // u->h, and Statement 4 then heats u.
+    EXPECT_EQ(r.arcTemp({f, u}, ArcDir::Taken), Temp::Hot);
+    EXPECT_EQ(r.blockTemp({f, u}), Temp::Hot);
+}
+
+TEST(InferenceRules, Statement9HeatsCalleePrologue)
+{
+    test::TinyWorkload t = test::makeTiny();
+    // Record: only loop's dispatch branch + alpha's first diamond.
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = t.dispatchBr;
+    hb.exec = 400;
+    hb.taken = 380; // alpha path hot
+    rec.branches.push_back(hb);
+
+    const Region r = identifyRegion(t.w.program, rec, RegionConfig{});
+    // The call block to alpha is hot (taken arc), so alpha's prologue
+    // must be inferred Hot even though no alpha branch was recorded.
+    const auto &alpha = t.w.program.func(t.alpha);
+    EXPECT_EQ(r.blockTemp({t.alpha, alpha.entry()}), Temp::Hot);
+}
+
+// ------------------------------------------------------------------ growth
+
+TEST(Growth, AdoptsUnknownArcBetweenHotBlocks)
+{
+    // Two recorded-hot blocks connected by an arc the HSD knows nothing
+    // about: the arc joins the region.
+    workload::ProgramBuilder b("g1", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId h1 = b.block(f), h2 = b.block(f), z = b.block(f);
+    b.entry(f, h1);
+    b.compute(f, h1, 1);
+    const BehaviorId br1 = b.condbr(f, h1, h2, h2, {0.5});
+    b.compute(f, h2, 1);
+    const BehaviorId br2 = b.condbr(f, h2, z, z, {0.5});
+    b.compute(f, z, 1);
+    b.ret(f, z);
+    auto w = b.finish("g1", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    for (BehaviorId id : {br1, br2}) {
+        hsd::HotBranch hb;
+        hb.behavior = id;
+        hb.exec = 100;
+        hb.taken = 50;
+        rec.branches.push_back(hb);
+    }
+    const Region r = identifyRegion(w.program, rec, RegionConfig{});
+    EXPECT_EQ(r.blockTemp({f, h1}), Temp::Hot);
+    EXPECT_EQ(r.blockTemp({f, h2}), Temp::Hot);
+}
+
+TEST(Growth, BackwardExpansionMergesEntries)
+{
+    // A structure where Figure 4 inference genuinely cannot classify u
+    // (every rule is blocked by a second Unknown), but one backward
+    // growth step from the selection entry h2 reconnects it to hot w:
+    //
+    //   h1 (rec, taken 99%) -> w              (w hot via Statement 4)
+    //   w:  unrecorded branch -> {u, v}       (two Unknown outs: S7 mute)
+    //   u:  unrecorded branch -> {h2, cex}
+    //   v:  jump -> h2                        (second Unknown into h2)
+    //   h2 (rec, unbiased)  -> {z, z}
+    workload::ProgramBuilder b("g2", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId h1 = b.block(f), w_ = b.block(f), u = b.block(f),
+                  v = b.block(f), h2 = b.block(f), z = b.block(f),
+                  cex = b.block(f);
+    b.entry(f, h1);
+    b.compute(f, h1, 1);
+    const BehaviorId br1 = b.condbr(f, h1, w_, cex, {0.99});
+    b.compute(f, w_, 1);
+    b.condbr(f, w_, u, v, {0.5}); // NOT in record
+    b.compute(f, u, 1);
+    b.condbr(f, u, h2, cex, {0.9}); // NOT in record
+    b.compute(f, v, 1);
+    b.jump(f, v, h2);
+    b.compute(f, h2, 1);
+    const BehaviorId br2 = b.condbr(f, h2, z, z, {0.7});
+    b.compute(f, z, 1);
+    b.ret(f, z);
+    b.compute(f, cex, 1);
+    b.ret(f, cex);
+    auto w = b.finish("g2", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    for (BehaviorId id : {br1, br2}) {
+        hsd::HotBranch hb;
+        hb.behavior = id;
+        hb.exec = 400;
+        hb.taken = (id == br1) ? 396 : 200;
+        rec.branches.push_back(hb);
+    }
+
+    RegionConfig cfg;
+    cfg.maxGrowthBlocks = 1;
+    const Region r = identifyRegion(w.program, rec, cfg);
+    // h2 is a selection entry; growth walks back through u (one block)
+    // and reconnects to hot w, adopting u.
+    EXPECT_EQ(r.blockTemp({f, u}), Temp::Hot);
+
+    // With growth bound 0, u stays out.
+    RegionConfig cfg0;
+    cfg0.maxGrowthBlocks = 0;
+    const Region r0 = identifyRegion(w.program, rec, cfg0);
+    EXPECT_NE(r0.blockTemp({f, u}), Temp::Hot);
+}
+
+TEST(Growth, NeverCrossesColdArcsOrBlocks)
+{
+    // entry-block expansion must not adopt a predecessor whose arc is
+    // Cold.
+    workload::ProgramBuilder b("g3", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId h1 = b.block(f), u = b.block(f), h2 = b.block(f),
+                  z = b.block(f);
+    b.entry(f, h1);
+    b.compute(f, h1, 1);
+    // h1 -> u is COLD (taken weight 0), h1 -> z hot.
+    const BehaviorId br1 = b.condbr(f, h1, u, z, {0.0});
+    b.compute(f, u, 1);
+    b.jump(f, u, h2);
+    b.compute(f, z, 1);
+    b.ret(f, z);
+    b.compute(f, h2, 1);
+    const BehaviorId br2 = b.condbr(f, h2, h2, z, {0.7});
+    auto w = b.finish("g3", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb1;
+    hb1.behavior = br1;
+    hb1.exec = 400;
+    hb1.taken = 0;
+    rec.branches.push_back(hb1);
+    hsd::HotBranch hb2;
+    hb2.behavior = br2;
+    hb2.exec = 300;
+    hb2.taken = 210;
+    rec.branches.push_back(hb2);
+
+    const Region r = identifyRegion(w.program, rec, RegionConfig{});
+    // u's only in-arc is Cold: u must not be grown into the region (it
+    // is in fact inferred Cold by Statement 3).
+    EXPECT_NE(r.blockTemp({f, u}), Temp::Hot);
+}
+
+// ------------------------------------------------------------- arc seeding
+
+TEST(ArcSeeding, WeightThresholdMakesLowFractionArcHot)
+{
+    // A 10%-fraction direction is below the 25% rule but its absolute
+    // weight exceeds the execution threshold -> Hot (Section 3.2.1).
+    workload::ProgramBuilder b("a1", 1);
+    const FuncId f = b.function("f", 8);
+    const BlockId h = b.block(f), x = b.block(f), y = b.block(f);
+    b.entry(f, h);
+    b.compute(f, h, 1);
+    const BehaviorId br = b.condbr(f, h, x, y, {0.1});
+    b.compute(f, x, 1);
+    b.ret(f, x);
+    b.compute(f, y, 1);
+    b.ret(f, y);
+    auto w = b.finish("a1", "A", workload::PhaseSchedule({{0, 100}}, false),
+                      100);
+
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = br;
+    hb.exec = 500;
+    hb.taken = 50; // 10% but weight 50 > 16
+    rec.branches.push_back(hb);
+
+    Region r(w.program);
+    RegionConfig cfg;
+    seedFromRecord(r, w.program, rec, cfg);
+    EXPECT_EQ(r.arcTemp({f, h}, ArcDir::Taken), Temp::Hot);
+
+    // With a tiny branch the same fraction is Cold.
+    hsd::HotSpotRecord rec2;
+    hsd::HotBranch hb2;
+    hb2.behavior = br;
+    hb2.exec = 60;
+    hb2.taken = 6; // 10%, weight 6 < 16
+    rec2.branches.push_back(hb2);
+    Region r2(w.program);
+    seedFromRecord(r2, w.program, rec2, cfg);
+    EXPECT_EQ(r2.arcTemp({f, h}, ArcDir::Taken), Temp::Cold);
+}
+
+TEST(ArcSeeding, StaleRecordEntriesAreTolerated)
+{
+    test::TinyWorkload t = test::makeTiny();
+    hsd::HotSpotRecord rec;
+    hsd::HotBranch hb;
+    hb.behavior = 0xdeadbeef; // no such branch
+    hb.exec = 100;
+    hb.taken = 50;
+    rec.branches.push_back(hb);
+    const Region r = identifyRegion(t.w.program, rec, RegionConfig{});
+    EXPECT_EQ(r.numHotBlocks(), 0u);
+}
+
+TEST(BranchIndexTest, MapsEveryCondBr)
+{
+    test::TinyWorkload t = test::makeTiny();
+    const auto index = branchIndex(t.w.program);
+    std::size_t branches = 0;
+    for (const auto &fn : t.w.program.functions()) {
+        for (const auto &bb : fn.blocks()) {
+            if (bb.endsInCondBr()) {
+                ++branches;
+                auto it = index.find(bb.terminator()->behavior);
+                ASSERT_NE(it, index.end());
+                EXPECT_EQ(it->second, (BlockRef{fn.id(), bb.id}));
+            }
+        }
+    }
+    EXPECT_EQ(index.size(), branches);
+}
+
+} // namespace

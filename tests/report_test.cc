@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the workload-report API: the analysis is complete,
+ * self-consistent with the underlying measurements, deterministic, and
+ * renders every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hh"
+#include "vp/report.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+
+TEST(Report, CoversAllFourConfigurations)
+{
+    test::TinyWorkload t = test::makeTiny(42, 300'000);
+    const WorkloadReport r = analyzeWorkload(t.w);
+    EXPECT_EQ(r.label, "tiny A");
+    EXPECT_FALSE(r.configs[0].inference);
+    EXPECT_FALSE(r.configs[0].linking);
+    EXPECT_TRUE(r.configs[3].inference);
+    EXPECT_TRUE(r.configs[3].linking);
+    for (const auto &cr : r.configs) {
+        EXPECT_GE(cr.rawRecords, cr.uniqueHotSpots);
+        EXPECT_GT(cr.packages, 0u);
+        EXPECT_GT(cr.coverage, 0.0);
+        EXPECT_LE(cr.coverage, 1.0);
+        EXPECT_GT(cr.speedup, 0.5);
+        EXPECT_GT(cr.baseline.cycles, 0u);
+        EXPECT_GT(cr.packaged.cycles, 0u);
+    }
+}
+
+TEST(Report, FullConfigAccessor)
+{
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    const WorkloadReport r = analyzeWorkload(t.w);
+    EXPECT_TRUE(r.full().inference);
+    EXPECT_TRUE(r.full().linking);
+}
+
+TEST(Report, CategorizationSumsToOne)
+{
+    test::TinyWorkload t = test::makeTiny(42, 300'000);
+    const WorkloadReport r = analyzeWorkload(t.w);
+    double sum = 0;
+    for (double f : r.categorization.fraction)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Report, Deterministic)
+{
+    test::TinyWorkload t1 = test::makeTiny(42, 200'000);
+    test::TinyWorkload t2 = test::makeTiny(42, 200'000);
+    const WorkloadReport a = analyzeWorkload(t1.w);
+    const WorkloadReport b = analyzeWorkload(t2.w);
+    for (std::size_t i = 0; i < a.configs.size(); ++i) {
+        EXPECT_EQ(a.configs[i].packages, b.configs[i].packages);
+        EXPECT_DOUBLE_EQ(a.configs[i].coverage, b.configs[i].coverage);
+        EXPECT_EQ(a.configs[i].baseline.cycles,
+                  b.configs[i].baseline.cycles);
+    }
+}
+
+TEST(Report, TextRendersEveryConfig)
+{
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    const std::string text = toText(analyzeWorkload(t.w));
+    EXPECT_NE(text.find("tiny A"), std::string::npos);
+    EXPECT_NE(text.find("noinf+nolink"), std::string::npos);
+    EXPECT_NE(text.find("inf+link"), std::string::npos);
+    EXPECT_NE(text.find("coverage"), std::string::npos);
+    EXPECT_NE(text.find("speedup"), std::string::npos);
+    EXPECT_NE(text.find("branch categorization"), std::string::npos);
+}
+
+TEST(Report, RespectsBaseConfigOverrides)
+{
+    test::TinyWorkload t = test::makeTiny(42, 200'000);
+    VpConfig base;
+    base.hsd.historyDepth = 2; // suppress re-recordings in all variants
+    const WorkloadReport with = analyzeWorkload(t.w, base);
+    const WorkloadReport without = analyzeWorkload(t.w);
+    EXPECT_LT(with.full().rawRecords, without.full().rawRecords);
+}
+
+} // namespace

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Timing-model tests: cache hit/miss/LRU behavior, gshare learning, BTB,
+ * RAS, and directed EpicCore properties (dependence stalls, issue width,
+ * mispredict penalties, I-cache effects).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/core.hh"
+#include "sim/machine.hh"
+#include "opt/schedule.hh"
+#include "sim/predictor.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::sim;
+
+// ------------------------------------------------------------------- cache
+
+TEST(CacheTest, HitAfterMiss)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f)); // same 64B line
+    EXPECT_FALSE(c.access(0x140)); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 2-way, 8 sets of 64B lines: addresses 0, 1024, 2048 share set 0.
+    Cache c(1024, 2, 64);
+    c.access(0);
+    c.access(1024);
+    c.access(0);      // 0 is MRU
+    c.access(2048);   // evicts 1024 (LRU)
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(1024));
+    EXPECT_TRUE(c.probe(2048));
+}
+
+TEST(CacheTest, ProbeDoesNotAllocate)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(CacheTest, ResetClears)
+{
+    Cache c(1024, 2, 64);
+    c.access(0x40);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(CacheTest, Table2Geometry)
+{
+    const MachineConfig mc;
+    Cache l1d(mc.l1dBytes, mc.l1Assoc, mc.lineBytes);
+    EXPECT_EQ(l1d.numSets(), 64u * 1024 / (4 * 64));
+}
+
+// -------------------------------------------------------------- predictors
+
+TEST(GshareTest, LearnsStrongBias)
+{
+    Gshare g(10);
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 50; ++i)
+        g.update(pc, true);
+    EXPECT_TRUE(g.predict(pc));
+}
+
+TEST(GshareTest, TracksAlternation)
+{
+    // With global history, a strict alternation becomes predictable.
+    Gshare g(10);
+    const Addr pc = 0x4000;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool actual = (i % 2) == 0;
+        correct += (g.predict(pc) == actual) ? 1 : 0;
+        g.update(pc, actual);
+    }
+    // After warmup the pattern should be learned nearly perfectly.
+    EXPECT_GT(correct, 300);
+}
+
+TEST(BtbTest, StoresAndEvicts)
+{
+    Btb btb(16);
+    EXPECT_EQ(btb.lookup(0x100), kInvalidAddr);
+    btb.update(0x100, 0x2000);
+    EXPECT_EQ(btb.lookup(0x100), 0x2000u);
+    // Aliasing pc (same index, 16 entries * 4B) evicts.
+    btb.update(0x100 + 16 * 4, 0x3000);
+    EXPECT_EQ(btb.lookup(0x100), kInvalidAddr);
+}
+
+TEST(RasTest, LifoOrder)
+{
+    Ras ras(4);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), kInvalidAddr);
+}
+
+TEST(RasTest, OverflowWrapsLikeHardware)
+{
+    Ras ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // overwrites 0x1
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    EXPECT_EQ(ras.pop(), kInvalidAddr);
+}
+
+// -------------------------------------------------------------------- core
+
+/** Drive the core directly with a synthetic retired stream. */
+struct CoreDriver
+{
+    explicit CoreDriver(const Program &prog, MachineConfig mc = {})
+        : core(prog, mc)
+    {
+    }
+
+    void
+    retire(const Instruction &inst, Addr pc, Addr next_pc, BlockRef block,
+           std::uint64_t mem = 0, bool taken = false)
+    {
+        trace::RetiredInst ri;
+        ri.inst = &inst;
+        ri.pc = pc;
+        ri.nextPc = next_pc;
+        ri.block = block;
+        ri.memAddr = mem;
+        ri.branchTaken = taken;
+        core.onRetire(ri);
+    }
+
+    EpicCore core;
+};
+
+Program
+oneFuncProgram(RegId regs = 16)
+{
+    Program prog("p");
+    const FuncId f = prog.addFunction("f");
+    prog.func(f).setRegCount(regs);
+    prog.func(f).addBlock();
+    return prog;
+}
+
+TEST(CoreTest, IndependentOpsPackIntoOneCycle)
+{
+    Program prog = oneFuncProgram();
+    CoreDriver d(prog);
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {1};
+    i.srcs = {0, 0};
+    Addr pc = 0x1000;
+    for (int k = 0; k < 5; ++k) {
+        i.dsts = {static_cast<RegId>(1 + k)};
+        d.retire(i, pc, pc + 4, {0, 0});
+        pc += 4;
+    }
+    // One issue group, plus the compulsory I-fetch miss up front.
+    const MachineConfig mc;
+    EXPECT_EQ(d.core.stats().cycles, 1u + mc.latMemory);
+    EXPECT_EQ(d.core.stats().fetchStallCycles, mc.latMemory);
+}
+
+TEST(CoreTest, RawChainStallsOneCyclePerOp)
+{
+    Program prog = oneFuncProgram();
+    CoreDriver d(prog);
+    Addr pc = 0x1000;
+    Instruction i;
+    i.op = Opcode::IAlu;
+    for (int k = 1; k <= 4; ++k) {
+        i.dsts = {static_cast<RegId>(k + 1)};
+        i.srcs = {static_cast<RegId>(k), static_cast<RegId>(k)};
+        d.retire(i, pc, pc + 4, {0, 0});
+        pc += 4;
+    }
+    // Serial chain: one op per cycle (after the compulsory fetch miss).
+    const MachineConfig mc;
+    EXPECT_EQ(d.core.stats().cycles, 4u + mc.latMemory);
+    EXPECT_GT(d.core.stats().dataStallCycles, 0u);
+}
+
+TEST(CoreTest, FMulLatencyDelaysConsumer)
+{
+    Program prog = oneFuncProgram();
+    const MachineConfig mc;
+    CoreDriver d(prog, mc);
+    Instruction m;
+    m.op = Opcode::FMul;
+    m.dsts = {1};
+    m.srcs = {0, 0};
+    d.retire(m, 0x1000, 0x1004, {0, 0});
+    Instruction u;
+    u.op = Opcode::IAlu;
+    u.dsts = {2};
+    u.srcs = {1, 1};
+    d.retire(u, 0x1004, 0x1008, {0, 0});
+    EXPECT_GE(d.core.stats().cycles, mc.latFMul + 1);
+}
+
+TEST(CoreTest, MispredictCostsResolutionPenalty)
+{
+    Program prog = oneFuncProgram();
+    const MachineConfig mc;
+
+    // Alternate in an unpredictable-ish way first, then compare against a
+    // perfectly biased stream of the same length.
+    auto run = [&](double taken_prob) {
+        CoreDriver d(prog, mc);
+        Instruction br;
+        br.op = Opcode::CondBr;
+        br.srcs = {0};
+        br.behavior = 1;
+        Rng rng(7);
+        // Fixed pc and targets (both in one warm line) so prediction is
+        // the only variable between runs.
+        for (int k = 0; k < 400; ++k) {
+            const bool taken = rng.chance(taken_prob);
+            d.retire(br, 0x1000, taken ? 0x1040 : 0x1044, {0, 0}, 0,
+                     taken);
+        }
+        return d.core.stats();
+    };
+    const CoreStats biased = run(1.0);
+    const CoreStats random = run(0.5);
+    EXPECT_GT(random.branchMispredicts, biased.branchMispredicts + 50);
+    EXPECT_GT(random.cycles, biased.cycles);
+}
+
+TEST(CoreTest, RasPredictsMatchingReturns)
+{
+    Program prog = oneFuncProgram();
+    CoreDriver d(prog);
+    Instruction call;
+    call.op = Opcode::Call;
+    Instruction ret;
+    ret.op = Opcode::Ret;
+
+    trace::RetiredInst ri;
+    ri.inst = &call;
+    ri.pc = 0x1000;
+    ri.nextPc = 0x5000;
+    ri.retAddr = 0x1004;
+    ri.block = {0, 0};
+    d.core.onRetire(ri);
+
+    ri.inst = &ret;
+    ri.pc = 0x5000;
+    ri.nextPc = 0x1004; // matches the RAS
+    ri.retAddr = kInvalidAddr;
+    d.core.onRetire(ri);
+    EXPECT_EQ(d.core.stats().rasMispredicts, 0u);
+
+    // A second return with nothing on the stack mispredicts.
+    ri.pc = 0x1004;
+    ri.nextPc = 0x9000;
+    d.core.onRetire(ri);
+    EXPECT_EQ(d.core.stats().rasMispredicts, 1u);
+}
+
+TEST(CoreTest, ColdICacheLinesStallFetch)
+{
+    Program prog = oneFuncProgram();
+    CoreDriver d(prog);
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {1};
+    i.srcs = {0, 0};
+    // Touch 8 distinct lines: 8 compulsory misses.
+    for (int k = 0; k < 8; ++k)
+        d.retire(i, 0x1000 + k * 64, 0x1000 + k * 64 + 4, {0, 0});
+    EXPECT_EQ(d.core.stats().l1iMisses, 8u);
+    EXPECT_GT(d.core.stats().fetchStallCycles, 0u);
+}
+
+TEST(CoreTest, LoadMissesWalkHierarchy)
+{
+    Program prog = oneFuncProgram();
+    const MachineConfig mc;
+    CoreDriver d(prog, mc);
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.dsts = {1};
+    ld.srcs = {0};
+    ld.behavior = 1;
+    // Two loads to the same line: first misses L1+L2, second hits L1.
+    d.retire(ld, 0x1000, 0x1004, {0, 0}, 0x8000);
+    d.retire(ld, 0x1004, 0x1008, {0, 0}, 0x8008);
+    EXPECT_EQ(d.core.stats().l1dMisses, 1u);
+    // Two L2 misses: the compulsory instruction fetch plus the data line.
+    EXPECT_EQ(d.core.stats().l2Misses, 2u);
+}
+
+// ------------------------------------------------- end-to-end timing runs
+
+TEST(CoreEndToEnd, CyclesScaleWithInstructions)
+{
+    test::TinyWorkload t = test::makeTiny(42, 100'000);
+    trace::ExecutionEngine engine(t.w.program, t.w);
+    EpicCore core(t.w.program);
+    engine.addSink(&core);
+    const auto run = engine.run(100'000);
+    const auto st = core.stats();
+    EXPECT_EQ(st.insts, run.dynInsts);
+    // An 8-wide in-order core on branchy code: IPC in a sane band.
+    EXPECT_GT(st.ipc(), 0.2);
+    EXPECT_LT(st.ipc(), 8.0);
+    EXPECT_GT(st.branches, 0u);
+}
+
+TEST(CoreEndToEnd, DeterministicCycles)
+{
+    test::TinyWorkload t = test::makeTiny(42, 80'000);
+    auto run_once = [&]() {
+        test::TinyWorkload w = test::makeTiny(42, 80'000);
+        trace::ExecutionEngine engine(w.w.program, w.w);
+        EpicCore core(w.w.program);
+        engine.addSink(&core);
+        engine.run(80'000);
+        return core.stats().cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CoreEndToEnd, ScheduledCodeIsNotSlower)
+{
+    // Rescheduling packages may only help an in-order pipe (same
+    // instruction multiset, dependence-aware order).
+    test::TinyWorkload t1 = test::makeTiny(42, 150'000);
+    test::TinyWorkload t2 = test::makeTiny(42, 150'000);
+    for (auto &fn : t2.w.program.functions())
+        vp::opt::scheduleFunction(fn, MachineConfig{});
+    t2.w.program.layout();
+
+    auto cycles = [](test::TinyWorkload &t) {
+        trace::ExecutionEngine engine(t.w.program, t.w);
+        EpicCore core(t.w.program);
+        engine.addSink(&core);
+        engine.run(150'000);
+        return core.stats().cycles;
+    };
+    const auto c1 = cycles(t1);
+    const auto c2 = cycles(t2);
+    // Allow a tiny tolerance: scheduling is per-block greedy.
+    EXPECT_LE(c2, c1 + c1 / 50);
+}
+
+TEST(CoreTest, LoadBufferFullStallsIssue)
+{
+    Program prog = oneFuncProgram();
+    MachineConfig mc;
+    mc.ldStBufEntries = 2; // tiny buffer to force occupancy stalls
+    CoreDriver d(prog, mc);
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.dsts = {1};
+    ld.srcs = {0};
+    ld.behavior = 1;
+    // Independent loads to distinct cold lines: every one misses to
+    // memory (~80 cycles); with 2 buffer slots the third must wait.
+    Addr pc = 0x1000;
+    for (int k = 0; k < 6; ++k) {
+        ld.dsts = {static_cast<RegId>(1 + k)};
+        d.retire(ld, pc, pc + 4, {0, 0}, 0x100000 + k * 4096);
+        pc += 4;
+    }
+    EXPECT_GT(d.core.stats().ldStBufStallCycles, 0u);
+}
+
+TEST(CoreTest, LargeBufferDoesNotStall)
+{
+    Program prog = oneFuncProgram();
+    const MachineConfig mc; // 8 entries
+    CoreDriver d(prog, mc);
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.srcs = {0};
+    ld.behavior = 1;
+    Addr pc = 0x1000;
+    for (int k = 0; k < 6; ++k) {
+        ld.dsts = {static_cast<RegId>(1 + k)};
+        d.retire(ld, pc, pc + 4, {0, 0}, 0x100000 + k * 4096);
+        pc += 4;
+    }
+    EXPECT_EQ(d.core.stats().ldStBufStallCycles, 0u);
+}
+
+TEST(CoreTest, MispredictsPolluteTheInstructionCache)
+{
+    Program prog = oneFuncProgram();
+    const MachineConfig mc;
+    CoreDriver d(prog, mc);
+    Instruction br;
+    br.op = Opcode::CondBr;
+    br.srcs = {0};
+    br.behavior = 1;
+    // An unpredictable branch: every mispredict triggers wrong-path
+    // fetches.
+    Rng rng(11);
+    for (int k = 0; k < 200; ++k) {
+        const bool taken = rng.chance(0.5);
+        d.retire(br, 0x1000, taken ? 0x1040 : 0x1044, {0, 0}, 0, taken);
+    }
+    const auto st = d.core.stats();
+    EXPECT_GT(st.branchMispredicts, 20u);
+    EXPECT_GT(st.wrongPathFetches, st.branchMispredicts);
+}
+
+TEST(MachineConfigTest, Table2Defaults)
+{
+    const MachineConfig mc;
+    EXPECT_EQ(mc.issueWidth, 8u);
+    EXPECT_EQ(mc.numIAlu, 5u);
+    EXPECT_EQ(mc.numFp, 3u);
+    EXPECT_EQ(mc.numMem, 3u);
+    EXPECT_EQ(mc.numBranch, 3u);
+    EXPECT_EQ(mc.branchResolution, 7u);
+    EXPECT_EQ(mc.gshareHistoryBits, 10u);
+    EXPECT_EQ(mc.btbEntries, 1024u);
+    EXPECT_EQ(mc.rasEntries, 32u);
+    EXPECT_EQ(mc.l1dBytes, 64u * 1024);
+    EXPECT_EQ(mc.l1iBytes, 512u * 1024);
+    EXPECT_EQ(mc.l2Bytes, 64u * 1024);
+    EXPECT_EQ(mc.ldStBufEntries, 8u);
+}
+
+TEST(FuClassTest, MappingMatchesPaperUnits)
+{
+    EXPECT_EQ(fuClassOf(Opcode::IAlu), FuClass::IAlu);
+    EXPECT_EQ(fuClassOf(Opcode::FAlu), FuClass::Fp);
+    EXPECT_EQ(fuClassOf(Opcode::FMul), FuClass::Fp);
+    EXPECT_EQ(fuClassOf(Opcode::Load), FuClass::Mem);
+    EXPECT_EQ(fuClassOf(Opcode::Store), FuClass::Mem);
+    EXPECT_EQ(fuClassOf(Opcode::CondBr), FuClass::Branch);
+    EXPECT_EQ(fuClassOf(Opcode::Ret), FuClass::Branch);
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for cold-instruction sinking and dead-code removal (the
+ * Section 5.4 redundancy elimination): directed transformations on
+ * hand-built package shapes, and preservation of logical execution on
+ * real packages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "opt/optimizer.hh"
+#include "opt/sink.hh"
+#include "package/packager.hh"
+#include "region/identify.hh"
+#include "tests/helpers.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+#include "trace/engine.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::opt;
+
+Instruction
+ialu(RegId dst, RegId s1, RegId s2)
+{
+    Instruction i;
+    i.op = Opcode::IAlu;
+    i.dsts = {dst};
+    i.srcs = {s1, s2};
+    return i;
+}
+
+/**
+ * A minimal package shape:
+ *   B0: r3 = r0+r1 (exit-only); r4 = r0+r0 (hot use); br -> exit B2 / B1
+ *   B1: r5 = r4+r4 ; ret
+ *   B2: [exit] pseudo-consume r3 ; jump -> B1 of a dummy original func
+ */
+struct Shape
+{
+    Program prog;
+    FuncId pkg = 0, orig = 0;
+    BlockId b0 = 0, b1 = 0, b2 = 0;
+};
+
+Shape
+makeShape()
+{
+    Shape s;
+    s.prog = Program("sink");
+    s.orig = s.prog.addFunction("orig");
+    s.prog.func(s.orig).setRegCount(8);
+    const BlockId ob = s.prog.func(s.orig).addBlock();
+    Instruction oret;
+    oret.op = Opcode::Ret;
+    s.prog.func(s.orig).block(ob).insts.push_back(oret);
+
+    s.pkg = s.prog.addFunction("pkg");
+    Function &P = s.prog.func(s.pkg);
+    P.setIsPackage(true);
+    P.setRegCount(8);
+    s.b0 = P.addBlock();
+    s.b1 = P.addBlock();
+    s.b2 = P.addBlock(BlockKind::Exit);
+
+    P.block(s.b0).insts.push_back(ialu(3, 0, 1)); // exit-only value
+    P.block(s.b0).insts.push_back(ialu(4, 0, 0)); // hot value
+    Instruction br;
+    br.op = Opcode::CondBr;
+    br.srcs = {4};
+    br.behavior = 7;
+    P.block(s.b0).insts.push_back(br);
+    P.block(s.b0).taken = BlockRef{s.pkg, s.b2};
+    P.block(s.b0).fall = BlockRef{s.pkg, s.b1};
+
+    P.block(s.b1).insts.push_back(ialu(5, 4, 4));
+    Instruction r;
+    r.op = Opcode::Ret;
+    r.srcs = {5};
+    P.block(s.b1).insts.push_back(r);
+
+    Instruction consume;
+    consume.op = Opcode::Nop;
+    consume.pseudo = true;
+    consume.srcs = {3};
+    P.block(s.b2).insts.push_back(consume);
+    Instruction j;
+    j.op = Opcode::Jump;
+    P.block(s.b2).insts.push_back(j);
+    P.block(s.b2).taken = BlockRef{s.orig, ob};
+
+    s.prog.layout();
+    return s;
+}
+
+TEST(Sink, ExitOnlyValueMovesIntoExitBlock)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    const SinkStats stats = sinkColdInstructions(P);
+    EXPECT_EQ(stats.sunk, 1u);
+    EXPECT_EQ(stats.removed, 0u);
+
+    // r3's producer left the hot block...
+    for (const auto &inst : P.block(s.b0).insts) {
+        if (!inst.dsts.empty()) {
+            EXPECT_NE(inst.dsts[0], 3);
+        }
+    }
+    // ...and now sits in the exit, ahead of the jump.
+    bool found = false;
+    const auto &exit_insts = P.block(s.b2).insts;
+    for (std::size_t i = 0; i + 1 < exit_insts.size(); ++i) {
+        if (!exit_insts[i].pseudo && !exit_insts[i].dsts.empty() &&
+            exit_insts[i].dsts[0] == 3) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(exit_insts.back().op, Opcode::Jump);
+    EXPECT_TRUE(verify(s.prog).empty());
+}
+
+TEST(Sink, HotValueStaysPut)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    sinkColdInstructions(P);
+    bool r4_still_in_b0 = false;
+    for (const auto &inst : P.block(s.b0).insts) {
+        if (!inst.dsts.empty() && inst.dsts[0] == 4)
+            r4_still_in_b0 = true;
+    }
+    EXPECT_TRUE(r4_still_in_b0);
+}
+
+TEST(Sink, ApparentDeadValueIsLeftAlone)
+{
+    // The pass moves cold instructions; it is not a dead-code
+    // eliminator. A value nobody consumes stays where it was.
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    P.block(s.b0).insts.insert(P.block(s.b0).insts.begin(), ialu(6, 0, 0));
+    const SinkStats stats = sinkColdInstructions(P);
+    EXPECT_EQ(stats.removed, 0u);
+    bool still_there = false;
+    for (const auto &inst : P.block(s.b0).insts) {
+        if (!inst.dsts.empty() && inst.dsts[0] == 6)
+            still_there = true;
+    }
+    EXPECT_TRUE(still_there);
+}
+
+TEST(Sink, LocallyShadowedValueIsRemoved)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    // r4 = ... appears twice; the first def is dead (no read between).
+    P.block(s.b0).insts.insert(P.block(s.b0).insts.begin(), ialu(4, 1, 1));
+    const SinkStats stats = sinkColdInstructions(P);
+    EXPECT_GE(stats.removed, 1u);
+}
+
+TEST(Sink, ValueReadLaterInBlockStays)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    // Make r3 feed the branch: no longer exit-only.
+    P.block(s.b0).insts[2].srcs = {3};
+    const SinkStats stats = sinkColdInstructions(P);
+    EXPECT_EQ(stats.sunk, 0u);
+}
+
+TEST(Sink, StoresNeverMove)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    Instruction st;
+    st.op = Opcode::Store;
+    st.srcs = {0, 1};
+    st.behavior = 99;
+    P.block(s.b0).insts.insert(P.block(s.b0).insts.begin(), st);
+    const std::size_t before = P.block(s.b0).insts.size();
+    sinkColdInstructions(P);
+    // The store is still there (one sunk IAlu left, so size-1).
+    bool store_present = false;
+    for (const auto &inst : P.block(s.b0).insts)
+        store_present |= (inst.op == Opcode::Store);
+    EXPECT_TRUE(store_present);
+    EXPECT_EQ(P.block(s.b0).insts.size(), before - 1);
+}
+
+TEST(Sink, CrossFunctionSuccessorBlocksSinking)
+{
+    Shape s = makeShape();
+    Function &P = s.prog.func(s.pkg);
+    // Turn the exit arc into a package link (cross-function, non-exit):
+    // the pass must refuse to reason about liveness there.
+    P.block(s.b0).taken = BlockRef{s.orig, 0};
+    const SinkStats stats = sinkColdInstructions(P);
+    EXPECT_EQ(stats.sunk, 0u);
+    EXPECT_EQ(stats.removed, 0u);
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(SinkEndToEnd, ShrinksHotPathAndPreservesStream)
+{
+    workload::Workload w = workload::makeWorkload("134.perl", "A");
+    w.maxDynInsts = 600'000;
+
+    auto build = [&](bool sink) {
+        VpConfig cfg = VpConfig::variant(true, true);
+        cfg.opt.sinkCold = sink;
+        VacuumPacker packer(w, cfg);
+        return packer.run();
+    };
+    const VpResult without = build(false);
+    const VpResult with = build(true);
+    EXPECT_GT(with.optStats.instsSunk + with.optStats.deadRemoved, 0u);
+    EXPECT_TRUE(verify(with.packaged.program).empty());
+
+    // Equal logical work: the sunk version must retire no more insts.
+    trace::ExecutionEngine e1(without.packaged.program, w);
+    const auto s1 = e1.run(w.maxDynInsts);
+    trace::ExecutionEngine e2(with.packaged.program, w);
+    const auto s2 = e2.run(w.maxDynInsts * 2, s1.dynBranches);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    EXPECT_LE(s2.dynInsts, s1.dynInsts);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the support module: saturating counters, bitsets,
+ * deterministic RNG, statistics accumulators, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitset.hh"
+#include "support/rng.hh"
+#include "support/sat_counter.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace vp;
+
+// ---------------------------------------------------------------- SatCounter
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    SatCounter c(4, 3);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(c.max(), 15u);
+}
+
+TEST(SatCounter, InitialValueClampsToMax)
+{
+    SatCounter c(3, 100);
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, AddSaturatesAtMax)
+{
+    SatCounter c(3); // max 7
+    for (int i = 0; i < 6; ++i)
+        EXPECT_FALSE(c.add());
+    EXPECT_EQ(c.value(), 6u);
+    EXPECT_TRUE(c.add()); // reaches 7
+    EXPECT_TRUE(c.saturated());
+    EXPECT_TRUE(c.add()); // stays 7
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(SatCounter, SubSaturatesAtZero)
+{
+    SatCounter c(4, 2);
+    EXPECT_FALSE(c.sub());
+    EXPECT_TRUE(c.sub()); // hits zero
+    EXPECT_TRUE(c.zero());
+    EXPECT_TRUE(c.sub()); // stays zero
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, AddLargeStepClamps)
+{
+    SatCounter c(4);
+    c.add(1000);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+TEST(SatCounter, SubLargeStepClamps)
+{
+    SatCounter c(4, 10);
+    c.sub(1000);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, NineBitCounterMatchesTable2)
+{
+    SatCounter c(9);
+    EXPECT_EQ(c.max(), 511u);
+}
+
+TEST(SatCounter, ThirteenBitCounterMatchesTable2)
+{
+    SatCounter c(13);
+    EXPECT_EQ(c.max(), 8191u);
+}
+
+TEST(SatCounter, ResetClamps)
+{
+    SatCounter c(4);
+    c.reset(99);
+    EXPECT_EQ(c.value(), 15u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+// ------------------------------------------------------------------- BitSet
+
+TEST(BitSet, SetTestClear)
+{
+    BitSet b(130);
+    EXPECT_FALSE(b.test(0));
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(65));
+    b.clear(64);
+    EXPECT_FALSE(b.test(64));
+}
+
+TEST(BitSet, CountAndForEach)
+{
+    BitSet b(200);
+    const std::vector<std::size_t> bits{1, 63, 64, 127, 199};
+    for (auto i : bits)
+        b.set(i);
+    EXPECT_EQ(b.count(), bits.size());
+    std::vector<std::size_t> seen;
+    b.forEach([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, bits);
+}
+
+TEST(BitSet, UnionWithReportsChange)
+{
+    BitSet a(100), b(100);
+    b.set(42);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b)); // already included
+    EXPECT_TRUE(a.test(42));
+}
+
+TEST(BitSet, Subtract)
+{
+    BitSet a(70), b(70);
+    a.set(3);
+    a.set(69);
+    b.set(3);
+    a.subtract(b);
+    EXPECT_FALSE(a.test(3));
+    EXPECT_TRUE(a.test(69));
+}
+
+TEST(BitSet, Equality)
+{
+    BitSet a(64), b(64);
+    EXPECT_EQ(a, b);
+    a.set(5);
+    EXPECT_FALSE(a == b);
+    b.set(5);
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.real();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        lo |= (v == 3);
+        hi |= (v == 5);
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Uniform01, PureFunctionOfStreamAndIndex)
+{
+    EXPECT_EQ(uniform01(5, 17), uniform01(5, 17));
+    EXPECT_NE(uniform01(5, 17), uniform01(5, 18));
+    EXPECT_NE(uniform01(5, 17), uniform01(6, 17));
+}
+
+TEST(Uniform01, RoughlyUniform)
+{
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += uniform01(99, static_cast<std::uint64_t>(i));
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+// -------------------------------------------------------------------- Stats
+
+TEST(Accumulator, MeanMinMax)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.add(3.0);
+    a.add(8.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(GeoMean, MultiplicativeAverage)
+{
+    GeoMean g;
+    g.add(2.0);
+    g.add(8.0);
+    EXPECT_NEAR(g.value(), 4.0, 1e-12);
+}
+
+TEST(GeoMean, IgnoresNonPositive)
+{
+    GeoMean g;
+    g.add(4.0);
+    g.add(0.0);
+    g.add(-3.0);
+    EXPECT_NEAR(g.value(), 4.0, 1e-12);
+    EXPECT_EQ(g.count(), 1u);
+}
+
+// ------------------------------------------------------------- TablePrinter
+
+TEST(TablePrinter, FormatsNumbers)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::pct(0.815, 1), "81.5%");
+}
+
+TEST(TablePrinter, CountsDataRows)
+{
+    TablePrinter t;
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"h1", "h2"});
+    EXPECT_EQ(t.rows(), 0u); // header only
+    t.addRow({"a", "b"});
+    t.addRow({"c", "d"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the execution substrate: the deterministic branch oracle and
+ * the CFG-walking engine (call stack, budget, pseudo skipping, exit-frame
+ * materialization, retired-event fields).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+#include "trace/oracle.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::trace;
+
+// ------------------------------------------------------------------ oracle
+
+TEST(Oracle, DeterministicReplay)
+{
+    test::TinyWorkload t = test::makeTiny();
+    BranchOracle a(t.w.behaviors, t.w.schedule);
+    BranchOracle b(t.w.behaviors, t.w.schedule);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(a.decideBranch(t.dispatchBr), b.decideBranch(t.dispatchBr));
+}
+
+TEST(Oracle, PhaseFollowsSchedule)
+{
+    test::TinyWorkload t = test::makeTiny();
+    BranchOracle o(t.w.behaviors, t.w.schedule);
+    EXPECT_EQ(o.currentPhase(), 0u);
+    for (int i = 0; i < 20'000; ++i)
+        o.decideBranch(t.dispatchBr);
+    EXPECT_EQ(o.currentPhase(), 1u); // schedule: 20k/20k cyclic
+    for (int i = 0; i < 20'000; ++i)
+        o.decideBranch(t.dispatchBr);
+    EXPECT_EQ(o.currentPhase(), 0u);
+}
+
+TEST(Oracle, BiasTracksPhase)
+{
+    test::TinyWorkload t = test::makeTiny();
+    BranchOracle o(t.w.behaviors, t.w.schedule);
+    int taken0 = 0;
+    for (int i = 0; i < 10'000; ++i)
+        taken0 += o.decideBranch(t.dispatchBr) ? 1 : 0;
+    // Phase 0: p=.9
+    EXPECT_NEAR(taken0 / 10'000.0, 0.9, 0.03);
+    for (int i = 0; i < 10'000; ++i)
+        o.decideBranch(t.dispatchBr);
+    int taken1 = 0;
+    for (int i = 0; i < 10'000; ++i)
+        taken1 += o.decideBranch(t.dispatchBr) ? 1 : 0;
+    // Phase 1: p=.1
+    EXPECT_NEAR(taken1 / 10'000.0, 0.1, 0.03);
+}
+
+TEST(Oracle, MemAddressesAreDeterministic)
+{
+    workload::BehaviorMap map;
+    workload::MemBehavior mb;
+    mb.base = 0x1000;
+    mb.stride = 16;
+    mb.footprint = 64;
+    map.addMem(5, mb);
+    workload::PhaseSchedule sched({{0, 100}}, false);
+    BranchOracle o1(map, sched), o2(map, sched);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(o1.memAddress(5), o2.memAddress(5));
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(Engine, RunsToBudget)
+{
+    test::TinyWorkload t = test::makeTiny();
+    ExecutionEngine engine(t.w.program, t.w);
+    const RunStats stats = engine.run(50'000);
+    EXPECT_EQ(stats.dynInsts, 50'000u);
+    EXPECT_TRUE(stats.hitBudget);
+    EXPECT_GT(stats.dynBranches, 1'000u);
+    EXPECT_GT(stats.dynCalls, 100u);
+}
+
+TEST(Engine, IdenticalRunsProduceIdenticalStats)
+{
+    test::TinyWorkload t = test::makeTiny();
+    ExecutionEngine e1(t.w.program, t.w);
+    ExecutionEngine e2(t.w.program, t.w);
+    const RunStats s1 = e1.run(80'000);
+    const RunStats s2 = e2.run(80'000);
+    EXPECT_EQ(s1.dynInsts, s2.dynInsts);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    EXPECT_EQ(s1.takenBranches, s2.takenBranches);
+    EXPECT_EQ(s1.dynCalls, s2.dynCalls);
+}
+
+TEST(Engine, ProgramExitOnEntryFunctionReturn)
+{
+    // Single function that immediately returns.
+    workload::ProgramBuilder b("exit", 1);
+    const auto f = b.function("m", 8);
+    const auto b0 = b.block(f);
+    b.entry(f, b0);
+    b.compute(f, b0, 5);
+    b.ret(f, b0);
+    b.entryFunc(f);
+    workload::Workload w =
+        b.finish("exit", "A", workload::PhaseSchedule({{0, 10}}, false), 100);
+
+    ExecutionEngine engine(w.program, w);
+    const RunStats stats = engine.run(1'000);
+    EXPECT_EQ(stats.dynInsts, 6u); // 5 compute + ret
+    EXPECT_FALSE(stats.hitBudget);
+}
+
+/** Sink recording the retired stream. */
+class Recorder : public InstSink
+{
+  public:
+    void onRetire(const RetiredInst &ri) override { events.push_back(ri); }
+    std::vector<RetiredInst> events;
+};
+
+TEST(Engine, RetiredEventFieldsAreConsistent)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.7}, {5.0}, 500);
+    ExecutionEngine engine(d.w.program, d.w);
+    Recorder rec;
+    engine.addSink(&rec);
+    engine.run(500);
+    ASSERT_FALSE(rec.events.empty());
+    for (std::size_t i = 0; i + 1 < rec.events.size(); ++i) {
+        // The next event's pc is the previous event's nextPc.
+        EXPECT_EQ(rec.events[i].nextPc, rec.events[i + 1].pc);
+        EXPECT_NE(rec.events[i].pc, kInvalidAddr);
+    }
+}
+
+TEST(Engine, PseudoInstructionsNeverRetire)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.7}, {5.0}, 2000);
+    // Inject a pseudo instruction into the hot diamond arm.
+    Instruction p;
+    p.op = Opcode::Nop;
+    p.pseudo = true;
+    p.srcs = {0};
+    auto &bb = d.w.program.func(d.f).block(d.b2);
+    bb.insts.insert(bb.insts.begin(), p);
+    d.w.program.layout();
+
+    ExecutionEngine engine(d.w.program, d.w);
+    Recorder rec;
+    engine.addSink(&rec);
+    engine.run(2000);
+    for (const auto &e : rec.events)
+        EXPECT_FALSE(e.inst->pseudo);
+}
+
+TEST(Engine, ExitFramesAreMaterialized)
+{
+    // g is "inlined" away: a package-like function pf contains an exit
+    // block with one frame pointing at main's post-call block; the exit
+    // jumps into the middle of g, and g's ret must come back via the
+    // materialized frame.
+    workload::ProgramBuilder b("frames", 3);
+    // g: g0 -> ret
+    const auto g = b.function("g", 8);
+    const auto g0 = b.block(g);
+    b.entry(g, g0);
+    b.compute(g, g0, 3);
+    b.ret(g, g0);
+    // main: m0 launches (jumps) into the package; m1 is the original
+    // return point of the call to g that the package elided.
+    const auto m = b.function("main", 8);
+    const auto m0 = b.block(m);
+    const auto m1 = b.block(m);
+    b.entry(m, m0);
+    b.compute(m, m0, 2);
+    b.jump(m, m0, m0); // placeholder; retargeted cross-function below
+    b.compute(m, m1, 2);
+    b.ret(m, m1);
+    b.entryFunc(m);
+    // pf: p0 (exit kind) jumps into g with one elided frame -> m... no:
+    // frame must be the return point of the elided call to g, i.e. a
+    // block in main... we use m1 as the elided return point.
+    const auto pf = b.function("pkg", 8);
+    const auto p0 = b.block(pf);
+    b.entry(pf, p0);
+    b.compute(pf, p0, 1);
+    b.jump(pf, p0, p0); // placeholder; rewritten below
+
+    ir::Program &prog = b.program();
+    prog.func(m).block(m0).taken = ir::BlockRef{pf, 0}; // the launch point
+    prog.func(pf).setIsPackage(true);
+    auto &pb = prog.func(pf).block(p0);
+    pb.kind = ir::BlockKind::Exit;
+    pb.exitFrames = {ir::BlockRef{m, m1}};
+    pb.taken = ir::BlockRef{g, g0};
+
+    workload::Workload w = b.finish(
+        "frames", "A", workload::PhaseSchedule({{0, 10}}, false), 100);
+
+    // Expected retirement: m0 (2+jump launch), p0 (1+jump exit, pushes the
+    // elided frame), g0 (3+ret -> pops the materialized frame to m1),
+    // m1 (2+ret -> program exit).
+    ExecutionEngine engine(w.program, w);
+    Recorder rec;
+    engine.addSink(&rec);
+    const RunStats stats = engine.run(1'000);
+    EXPECT_FALSE(stats.hitBudget);
+    EXPECT_EQ(stats.dynInsts, 3u + 2u + 4u + 3u);
+    // The last retired instruction must be m1's ret.
+    ASSERT_FALSE(rec.events.empty());
+    EXPECT_EQ(rec.events.back().block, (ir::BlockRef{m, m1}));
+    EXPECT_EQ(rec.events.back().inst->op, Opcode::Ret);
+}
+
+TEST(Engine, PackageCoverageCountsPackageBlocks)
+{
+    test::TinyWorkload t = test::makeTiny();
+    // Mark alpha as a package: its retired instructions count as covered.
+    t.w.program.func(t.alpha).setIsPackage(true);
+    ExecutionEngine engine(t.w.program, t.w);
+    const RunStats stats = engine.run(50'000);
+    EXPECT_GT(stats.instsInPackages, 0u);
+    EXPECT_LT(stats.instsInPackages, stats.dynInsts);
+    EXPECT_GT(stats.packageCoverage(), 0.2); // alpha dominates phase 0
+}
+
+TEST(Engine, InvertSenseFlipsArchitecturalDirection)
+{
+    test::DiamondLoop d = test::makeDiamondLoop({0.9}, {10.0}, 5'000);
+    ExecutionEngine e1(d.w.program, d.w);
+    const RunStats s1 = e1.run(5'000);
+
+    // Flip the diamond branch: swap targets + invert.
+    auto &bb = d.w.program.func(d.f).block(d.b1);
+    std::swap(bb.taken, bb.fall);
+    bb.terminator()->invertSense = true;
+    d.w.program.layout();
+
+    ExecutionEngine e2(d.w.program, d.w);
+    const RunStats s2 = e2.run(5'000);
+    // Logical execution identical: same instruction count.
+    EXPECT_EQ(s1.dynInsts, s2.dynInsts);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    // Architectural taken counts complement each other on that branch;
+    // totals must differ (the branch is strongly biased).
+    EXPECT_NE(s1.takenBranches, s2.takenBranches);
+}
+
+} // namespace

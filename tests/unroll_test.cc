@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for package loop unrolling: structural correctness on directed
+ * shapes (single-block and multi-block loops, threading of the back
+ * edge, shared exits), eligibility rules (profile strength, multi-latch
+ * loops, growth caps), and semantic preservation on real packages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/verify.hh"
+#include "opt/unroll.hh"
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::opt;
+
+/** hdr -> body -> latch -(p)-> hdr | exit-ret; a 3-block natural loop. */
+struct Loop3
+{
+    workload::Workload w;
+    FuncId f = 0;
+    BlockId pre = 0, hdr = 0, body = 0, latch = 0, out = 0;
+};
+
+Loop3
+makeLoop3(double latch_prob = 0.9)
+{
+    Loop3 l;
+    workload::ProgramBuilder b("unroll", 3);
+    l.f = b.function("f", 16);
+    l.pre = b.block(l.f);
+    l.hdr = b.block(l.f);
+    l.body = b.block(l.f);
+    l.latch = b.block(l.f);
+    l.out = b.block(l.f);
+    b.entry(l.f, l.pre);
+    b.compute(l.f, l.pre, 2);
+    b.fallthrough(l.f, l.pre, l.hdr);
+    b.compute(l.f, l.hdr, 3);
+    b.fallthrough(l.f, l.hdr, l.body);
+    b.compute(l.f, l.body, 3);
+    b.fallthrough(l.f, l.body, l.latch);
+    b.compute(l.f, l.latch, 2);
+    b.condbr(l.f, l.latch, l.hdr, l.out, {latch_prob});
+    b.compute(l.f, l.out, 1);
+    b.ret(l.f, l.out);
+    b.entryFunc(l.f);
+    l.w = b.finish("unroll", "A",
+                   workload::PhaseSchedule({{0, 1'000'000}}, false),
+                   100'000);
+    // Stamp the profile the way pruning would.
+    l.w.program.func(l.f).block(l.latch).terminator()->profProb =
+        latch_prob;
+    return l;
+}
+
+TEST(Unroll, FactorTwoDuplicatesTheBody)
+{
+    Loop3 l = makeLoop3();
+    Function &fn = l.w.program.func(l.f);
+    const std::size_t before = fn.numBlocks();
+    const UnrollStats st = unrollLoops(fn, 2);
+    EXPECT_EQ(st.loopsUnrolled, 1u);
+    EXPECT_EQ(st.blocksAdded, 3u); // hdr + body + latch copied once
+    EXPECT_EQ(fn.numBlocks(), before + 3);
+    l.w.program.layout();
+    EXPECT_TRUE(verify(l.w.program).empty());
+
+    // The original latch's back edge now enters the copy, and the copy's
+    // latch closes at the original header.
+    const BlockRef orig_back = fn.block(l.latch).taken;
+    EXPECT_NE(orig_back.block, l.hdr);
+    const auto back = backEdges(fn);
+    ASSERT_EQ(back.size(), 1u); // still one loop, twice the period
+    EXPECT_EQ(back[0].second, l.hdr);
+}
+
+TEST(Unroll, FactorFourAddsThreeCopies)
+{
+    Loop3 l = makeLoop3();
+    Function &fn = l.w.program.func(l.f);
+    const UnrollStats st = unrollLoops(fn, 4);
+    EXPECT_EQ(st.blocksAdded, 9u);
+    l.w.program.layout();
+    EXPECT_TRUE(verify(l.w.program).empty());
+}
+
+TEST(Unroll, PreservesExecutionExactly)
+{
+    Loop3 l1 = makeLoop3();
+    Loop3 l2 = makeLoop3();
+    unrollLoops(l2.w.program.func(l2.f), 3);
+    l2.w.program.layout();
+    ASSERT_TRUE(verify(l2.w.program).empty());
+
+    trace::ExecutionEngine e1(l1.w.program, l1.w);
+    trace::ExecutionEngine e2(l2.w.program, l2.w);
+    const auto s1 = e1.run(100'000);
+    const auto s2 = e2.run(100'000);
+    // Unrolling changes neither the instruction count nor the branch
+    // outcomes (same BehaviorIds, same oracle stream).
+    EXPECT_EQ(s1.dynInsts, s2.dynInsts);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+    EXPECT_EQ(s1.takenBranches, s2.takenBranches);
+}
+
+TEST(Unroll, WeakLatchIsNotUnrolled)
+{
+    Loop3 l = makeLoop3(0.5); // loops only half the time
+    const UnrollStats st = unrollLoops(l.w.program.func(l.f), 2);
+    EXPECT_EQ(st.loopsUnrolled, 0u);
+}
+
+TEST(Unroll, MissingProfileIsNotSpeculated)
+{
+    Loop3 l = makeLoop3();
+    l.w.program.func(l.f).block(l.latch).terminator()->profProb = -1.0;
+    const UnrollStats st = unrollLoops(l.w.program.func(l.f), 2);
+    EXPECT_EQ(st.loopsUnrolled, 0u);
+}
+
+TEST(Unroll, GrowthCapRespected)
+{
+    Loop3 l = makeLoop3();
+    const UnrollStats st =
+        unrollLoops(l.w.program.func(l.f), 2, 0.75, 24, /*max growth*/ 2);
+    EXPECT_EQ(st.loopsUnrolled, 0u); // would need 3 new blocks
+}
+
+TEST(Unroll, FactorOneIsANoop)
+{
+    Loop3 l = makeLoop3();
+    const std::size_t before = l.w.program.func(l.f).numBlocks();
+    const UnrollStats st = unrollLoops(l.w.program.func(l.f), 1);
+    EXPECT_EQ(st.loopsUnrolled, 0u);
+    EXPECT_EQ(l.w.program.func(l.f).numBlocks(), before);
+}
+
+TEST(Unroll, MultiLatchLoopsAreSkipped)
+{
+    // Two back edges to one header (a continue statement).
+    workload::ProgramBuilder b("ml", 3);
+    const FuncId f = b.function("f", 12);
+    const BlockId pre = b.block(f), hdr = b.block(f), mid = b.block(f),
+                  latch = b.block(f), out = b.block(f);
+    b.entry(f, pre);
+    b.compute(f, pre, 1);
+    b.fallthrough(f, pre, hdr);
+    b.compute(f, hdr, 2);
+    b.condbr(f, hdr, mid, mid, {0.5});
+    b.compute(f, mid, 2);
+    const BehaviorId cont = b.condbr(f, mid, hdr, latch, {0.3}); // continue
+    b.compute(f, latch, 2);
+    b.condbr(f, latch, hdr, out, {0.85});
+    b.compute(f, out, 1);
+    b.ret(f, out);
+    b.entryFunc(f);
+    auto w = b.finish("ml", "A",
+                      workload::PhaseSchedule({{0, 1'000'000}}, false),
+                      10'000);
+    (void)cont;
+    Function &fn = w.program.func(f);
+    for (auto &bb : fn.blocks()) {
+        if (bb.endsInCondBr())
+            bb.terminator()->profProb = 0.85;
+    }
+    const UnrollStats st = unrollLoops(fn, 2);
+    EXPECT_EQ(st.loopsUnrolled, 0u);
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(UnrollEndToEnd, PackagesStayCorrectAndNoSlower)
+{
+    workload::Workload w = workload::makeWorkload("132.ijpeg", "A");
+    w.maxDynInsts = 800'000;
+
+    auto run = [&](unsigned factor) {
+        VpConfig cfg = VpConfig::variant(true, true);
+        cfg.opt.unrollFactor = factor;
+        VacuumPacker packer(w, cfg);
+        const VpResult r = packer.run();
+        EXPECT_TRUE(verify(r.packaged.program).empty());
+        return measureSpeedup(w, r.packaged.program, cfg.machine)
+            .speedup();
+    };
+    const double base = run(1);
+    const double unrolled = run(4);
+    // Unrolling must not break anything; on this loop-heavy workload it
+    // should not lose more than noise.
+    EXPECT_GT(unrolled, base - 0.02);
+}
+
+TEST(UnrollEndToEnd, StreamPreservedOnRealPackage)
+{
+    workload::Workload w = workload::makeWorkload("164.gzip", "A");
+    w.maxDynInsts = 500'000;
+    VpConfig cfg = VpConfig::variant(true, true);
+    cfg.opt.unrollFactor = 3;
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    EXPECT_GT(r.optStats.loopsUnrolled, 0u);
+
+    trace::ExecutionEngine e1(w.program, w);
+    const auto s1 = e1.run(w.maxDynInsts);
+    trace::ExecutionEngine e2(r.packaged.program, w);
+    const auto s2 = e2.run(w.maxDynInsts * 2, s1.dynBranches);
+    EXPECT_EQ(s1.dynBranches, s2.dynBranches);
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the workload substrate: phase schedules, behavior models, the
+ * program builder, and structural properties of all Table 1 benchmark
+ * generators (parameterized over the full roster).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verify.hh"
+#include "workload/benchmarks.hh"
+#include "workload/builder.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::workload;
+
+// ----------------------------------------------------------- PhaseSchedule
+
+TEST(PhaseSchedule, SequentialHoldsLastPhase)
+{
+    PhaseSchedule s({{0, 100}, {1, 50}}, false);
+    EXPECT_EQ(s.phaseAt(0), 0u);
+    EXPECT_EQ(s.phaseAt(99), 0u);
+    EXPECT_EQ(s.phaseAt(100), 1u);
+    EXPECT_EQ(s.phaseAt(149), 1u);
+    EXPECT_EQ(s.phaseAt(150), 1u);     // past the end: stays
+    EXPECT_EQ(s.phaseAt(1000000), 1u);
+}
+
+TEST(PhaseSchedule, CyclicWrapsAround)
+{
+    PhaseSchedule s({{0, 100}, {1, 50}}, true);
+    EXPECT_EQ(s.phaseAt(150), 0u); // wrapped
+    EXPECT_EQ(s.phaseAt(249), 0u);
+    EXPECT_EQ(s.phaseAt(250), 1u);
+    EXPECT_EQ(s.periodBranches(), 150u);
+}
+
+TEST(PhaseSchedule, NumPhasesIsMaxIdPlusOne)
+{
+    PhaseSchedule s({{2, 10}, {0, 10}}, false);
+    EXPECT_EQ(s.numPhases(), 3u);
+}
+
+TEST(PhaseSchedule, ExactBoundaries)
+{
+    PhaseSchedule s({{0, 1}, {1, 1}, {2, 1}}, true);
+    EXPECT_EQ(s.phaseAt(0), 0u);
+    EXPECT_EQ(s.phaseAt(1), 1u);
+    EXPECT_EQ(s.phaseAt(2), 2u);
+    EXPECT_EQ(s.phaseAt(3), 0u);
+}
+
+// ---------------------------------------------------------- BranchBehavior
+
+TEST(BranchBehavior, ReusesLastEntryPastEnd)
+{
+    BranchBehavior b;
+    b.probByPhase = {0.9, 0.1};
+    EXPECT_DOUBLE_EQ(b.probFor(0), 0.9);
+    EXPECT_DOUBLE_EQ(b.probFor(1), 0.1);
+    EXPECT_DOUBLE_EQ(b.probFor(7), 0.1);
+}
+
+TEST(BranchBehavior, EmptyDefaultsToHalf)
+{
+    BranchBehavior b;
+    EXPECT_DOUBLE_EQ(b.probFor(0), 0.5);
+}
+
+TEST(MemBehavior, StridedSweepWraps)
+{
+    MemBehavior m;
+    m.base = 1000;
+    m.stride = 8;
+    m.footprint = 32; // 4 steps
+    EXPECT_EQ(m.addressAt(0), 1000u);
+    EXPECT_EQ(m.addressAt(1), 1008u);
+    EXPECT_EQ(m.addressAt(3), 1024u);
+    EXPECT_EQ(m.addressAt(4), 1000u); // wrapped
+}
+
+TEST(MemBehavior, DegenerateFootprintStaysAtBase)
+{
+    MemBehavior m;
+    m.base = 64;
+    m.stride = 8;
+    m.footprint = 8;
+    EXPECT_EQ(m.addressAt(0), 64u);
+    EXPECT_EQ(m.addressAt(9), 64u);
+}
+
+TEST(BehaviorMap, RegistersAndLooksUp)
+{
+    BehaviorMap map;
+    BranchBehavior bb;
+    bb.probByPhase = {0.3};
+    map.addBranch(7, bb);
+    EXPECT_TRUE(map.hasBranch(7));
+    EXPECT_FALSE(map.hasBranch(8));
+    EXPECT_DOUBLE_EQ(map.branch(7).probFor(0), 0.3);
+}
+
+// ------------------------------------------------------------------ builder
+
+TEST(ProgramBuilder, CondBrRegistersBehavior)
+{
+    ProgramBuilder b("t", 1);
+    const auto f = b.function("f", 8);
+    const auto b0 = b.block(f);
+    const auto b1 = b.block(f);
+    const auto b2 = b.block(f);
+    b.entry(f, b0);
+    const auto id = b.condbr(f, b0, b1, b2, {0.75});
+    b.ret(f, b1);
+    b.ret(f, b2);
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(b.behaviors().hasBranch(id));
+    EXPECT_DOUBLE_EQ(b.behaviors().branch(id).probFor(0), 0.75);
+}
+
+TEST(ProgramBuilder, ComputeRegistersMemBehaviors)
+{
+    ProgramBuilder b("t", 1);
+    const auto f = b.function("f", 8);
+    const auto b0 = b.block(f);
+    b.entry(f, b0);
+    ComputeMix mix;
+    mix.load = 1.0; // force all loads
+    mix.falu = mix.fmul = mix.store = 0.0;
+    b.compute(f, b0, 10, mix);
+    b.ret(f, b0);
+    EXPECT_EQ(b.behaviors().numMems(), 10u);
+    for (const auto &inst : b.program().func(f).block(b0).insts) {
+        if (inst.op == ir::Opcode::Load) {
+            EXPECT_NE(inst.behavior, 0u);
+        }
+    }
+}
+
+TEST(ProgramBuilder, LoopBranchConvertsIters)
+{
+    ProgramBuilder b("t", 1);
+    const auto f = b.function("f", 8);
+    const auto b0 = b.block(f);
+    const auto b1 = b.block(f);
+    b.entry(f, b0);
+    const auto id = b.loopBranch(f, b0, b1, {10.0, 2.0});
+    b.ret(f, b1);
+    EXPECT_DOUBLE_EQ(b.behaviors().branch(id).probFor(0), 0.9);
+    EXPECT_DOUBLE_EQ(b.behaviors().branch(id).probFor(1), 0.5);
+}
+
+TEST(ProgramBuilder, FinishVerifiesAndLaysOut)
+{
+    ProgramBuilder b("t", 1);
+    const auto f = b.function("f", 8);
+    const auto b0 = b.block(f);
+    b.entry(f, b0);
+    b.compute(f, b0, 4);
+    b.ret(f, b0);
+    b.entryFunc(f);
+    Workload w = b.finish("t", "A", PhaseSchedule({{0, 100}}, false), 1000);
+    EXPECT_EQ(w.program.func(f).block(b0).addr, 0x1000u);
+    EXPECT_EQ(w.maxDynInsts, 1000u);
+}
+
+// --------------------------------------------------- all Table 1 workloads
+
+struct BenchCase
+{
+    std::string name;
+    std::string input;
+};
+
+class AllBenchmarks : public ::testing::TestWithParam<BenchCase>
+{
+};
+
+TEST_P(AllBenchmarks, BuildsValidProgram)
+{
+    const Workload w = makeWorkload(GetParam().name, GetParam().input);
+    EXPECT_EQ(w.name, GetParam().name);
+    EXPECT_TRUE(ir::verify(w.program).empty());
+    EXPECT_GE(w.program.numFunctions(), 5u);
+    EXPECT_GE(w.program.numInsts(), 500u);
+    EXPECT_GT(w.maxDynInsts, 100'000u);
+}
+
+TEST_P(AllBenchmarks, EveryCondBrHasRegisteredBehavior)
+{
+    const Workload w = makeWorkload(GetParam().name, GetParam().input);
+    for (const auto &fn : w.program.functions()) {
+        for (const auto &bb : fn.blocks()) {
+            if (bb.endsInCondBr()) {
+                EXPECT_TRUE(
+                    w.behaviors.hasBranch(bb.terminator()->behavior))
+                    << fn.name() << ":B" << bb.id;
+            }
+        }
+    }
+}
+
+TEST_P(AllBenchmarks, DeterministicConstruction)
+{
+    const Workload a = makeWorkload(GetParam().name, GetParam().input);
+    const Workload b = makeWorkload(GetParam().name, GetParam().input);
+    EXPECT_EQ(a.program.numInsts(), b.program.numInsts());
+    EXPECT_EQ(a.program.numFunctions(), b.program.numFunctions());
+    EXPECT_EQ(a.behaviors.numBranches(), b.behaviors.numBranches());
+}
+
+TEST_P(AllBenchmarks, HasMultiplePhasesOrLongSchedule)
+{
+    const Workload w = makeWorkload(GetParam().name, GetParam().input);
+    EXPECT_GE(w.schedule.numPhases(), 1u);
+    EXPECT_GE(w.schedule.periodBranches(), 40'000u);
+}
+
+std::vector<BenchCase>
+allCases()
+{
+    std::vector<BenchCase> cases;
+    for (const auto &spec : allBenchmarks()) {
+        for (const auto &input : spec.inputs)
+            cases.push_back({spec.name, input});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, AllBenchmarks, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<BenchCase> &info) {
+        std::string n = info.param.name + "_" + info.param.input;
+        for (char &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(Registry, Has20Combos)
+{
+    // Table 3 lists 20 benchmark/input rows (li, ijpeg, perl and vortex
+    // have three inputs each).
+    std::size_t combos = 0;
+    for (const auto &spec : allBenchmarks())
+        combos += spec.inputs.size();
+    EXPECT_EQ(combos, 20u);
+    EXPECT_EQ(allBenchmarks().size(), 12u);
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nonexistent", "A"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Registry, ConflictFarmBranchesCollideInOneBbbSet)
+{
+    // The vpr placement farm promises 2048-byte branch spacing.
+    const Workload w = makeVpr("A");
+    std::vector<ir::Addr> pcs;
+    for (const auto &fn : w.program.functions()) {
+        if (fn.name().rfind("vpr_try_swap_h", 0) == 0) {
+            for (const auto &bb : fn.blocks()) {
+                if (bb.endsInCondBr()) {
+                    // pc of the branch = block addr + 6 insts.
+                    pcs.push_back(bb.addr +
+                                  (bb.insts.size() - 1) * ir::kInstBytes);
+                }
+            }
+        }
+    }
+    ASSERT_GE(pcs.size(), 5u);
+    const auto set_of = [](ir::Addr pc) { return (pc / 4) % 512; };
+    for (std::size_t i = 1; i < pcs.size(); ++i)
+        EXPECT_EQ(set_of(pcs[i]), set_of(pcs[0]));
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * vpack — the command-line driver for the Vacuum Packing pipeline.
+ *
+ *   vpack list                              list the Table 1 workloads
+ *   vpack run <bench> [input] [options]     run the pipeline, print results
+ *   vpack report <bench> [input]            full four-configuration report
+ *   vpack dump <bench> [input] [options]    dump the packaged program IR
+ *
+ * Options (run/dump):
+ *   --no-inference         disable Figure 4 temperature inference
+ *   --no-linking           disable inter-package linking
+ *   --dynamic-launch       deploy shared launch points as selectors
+ *   --unroll=N             unroll package loops by N
+ *   --bbb=SETSxWAYS        override the BBB geometry (e.g. --bbb=128x4)
+ *   --history=N            detection-time signature history depth
+ *   --max-blocks=N         heuristic growth bound (paper: 1)
+ *   --budget=N             dynamic instruction budget
+ *   --packages-only        (dump) print only package functions
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ir/print.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "vp/report.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vpack list\n"
+                 "       vpack run    <bench> [input] [options]\n"
+                 "       vpack report <bench> [input]\n"
+                 "       vpack dump   <bench> [input] [options]\n"
+                 "options: --no-inference --no-linking --dynamic-launch\n"
+                 "         --unroll=N --bbb=SETSxWAYS --history=N\n"
+                 "         --max-blocks=N --budget=N --packages-only\n");
+    return 2;
+}
+
+struct Options
+{
+    VpConfig cfg;
+    std::uint64_t budget = 0; // 0 = workload default
+    bool packagesOnly = false;
+};
+
+bool
+parseOptions(int argc, char **argv, int first, Options &opt)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto starts = [&](const char *p) {
+            return a.rfind(p, 0) == 0;
+        };
+        if (a == "--no-inference") {
+            opt.cfg.region.inference = false;
+        } else if (a == "--no-linking") {
+            opt.cfg.package.linking = false;
+        } else if (a == "--dynamic-launch") {
+            opt.cfg.package.dynamicLaunch = true;
+        } else if (a == "--packages-only") {
+            opt.packagesOnly = true;
+        } else if (starts("--unroll=")) {
+            opt.cfg.opt.unrollFactor =
+                static_cast<unsigned>(std::atoi(a.c_str() + 9));
+        } else if (starts("--history=")) {
+            opt.cfg.hsd.historyDepth =
+                static_cast<unsigned>(std::atoi(a.c_str() + 10));
+        } else if (starts("--max-blocks=")) {
+            opt.cfg.region.maxGrowthBlocks =
+                static_cast<unsigned>(std::atoi(a.c_str() + 13));
+        } else if (starts("--budget=")) {
+            opt.budget = std::strtoull(a.c_str() + 9, nullptr, 10);
+        } else if (starts("--bbb=")) {
+            unsigned sets = 0, ways = 0;
+            if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
+                sets == 0 || ways == 0) {
+                std::fprintf(stderr, "vpack: bad --bbb value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+            opt.cfg.hsd.sets = sets;
+            opt.cfg.hsd.ways = ways;
+        } else {
+            std::fprintf(stderr, "vpack: unknown option '%s'\n",
+                         a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdList()
+{
+    std::printf("%-14s %-8s %s\n", "benchmark", "inputs", "description");
+    for (const auto &spec : workload::allBenchmarks()) {
+        std::string inputs;
+        for (const auto &i : spec.inputs)
+            inputs += i + " ";
+        const workload::Workload w = spec.make(spec.inputs.front());
+        std::printf("%-14s %-8s %zu insts, %zu funcs, %u phases\n",
+                    spec.name.c_str(), inputs.c_str(),
+                    w.program.numInsts(), w.program.numFunctions(),
+                    w.schedule.numPhases());
+    }
+    return 0;
+}
+
+int
+cmdRun(const workload::Workload &w_in, const Options &opt)
+{
+    workload::Workload w = w_in;
+    if (opt.budget)
+        w.maxDynInsts = opt.budget;
+
+    VacuumPacker packer(w, opt.cfg);
+    const VpResult r = packer.run();
+
+    std::printf("%s: %zu hot spots (%zu raw), %zu packages, "
+                "%zu launch points, %zu links\n",
+                w.label().c_str(), r.records.size(), r.rawRecords.size(),
+                r.packaged.packages.size(), r.packaged.numLaunchPoints,
+                r.packaged.numLinks);
+    std::printf("expansion: +%.1f%% (%.1f%% selected, x%.2f replication)\n",
+                100.0 * r.packaged.expansion(),
+                100.0 * r.packaged.selectedFraction(),
+                r.packaged.replicationFactor());
+
+    const auto cov = measureCoverage(w, r.packaged.program);
+    const auto sp =
+        measureSpeedup(w, r.packaged.program, opt.cfg.machine);
+    std::printf("coverage: %.1f%%   speedup: %.3fx   (IPC %.2f -> %.2f)\n",
+                100.0 * cov.packageCoverage(), sp.speedup(),
+                sp.baseline.ipc(), sp.packaged.ipc());
+    return 0;
+}
+
+int
+cmdReport(const workload::Workload &w)
+{
+    std::printf("%s", toText(analyzeWorkload(w)).c_str());
+    return 0;
+}
+
+int
+cmdDump(const workload::Workload &w, const Options &opt)
+{
+    VacuumPacker packer(w, opt.cfg);
+    const VpResult r = packer.run();
+    if (opt.packagesOnly) {
+        for (const auto &pkg : r.packaged.packages) {
+            std::printf("%s", toString(r.packaged.program,
+                                       r.packaged.program.func(pkg.func))
+                                  .c_str());
+        }
+    } else {
+        std::printf("%s", toString(r.packaged.program).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (argc < 3)
+        return usage();
+
+    const std::string bench = argv[2];
+    std::string input = "A";
+    int opt_start = 3;
+    if (argc > 3 && argv[3][0] != '-') {
+        input = argv[3];
+        opt_start = 4;
+    }
+
+    Options opt;
+    if (!parseOptions(argc, argv, opt_start, opt))
+        return 2;
+
+    const vp::workload::Workload w =
+        vp::workload::makeWorkload(bench, input);
+    if (cmd == "run")
+        return cmdRun(w, opt);
+    if (cmd == "report")
+        return cmdReport(w);
+    if (cmd == "dump")
+        return cmdDump(w, opt);
+    return usage();
+}
