@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bbb.dir/bench_ablation_bbb.cc.o"
+  "CMakeFiles/bench_ablation_bbb.dir/bench_ablation_bbb.cc.o.d"
+  "bench_ablation_bbb"
+  "bench_ablation_bbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

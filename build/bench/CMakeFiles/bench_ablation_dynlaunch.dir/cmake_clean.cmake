@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynlaunch.dir/bench_ablation_dynlaunch.cc.o"
+  "CMakeFiles/bench_ablation_dynlaunch.dir/bench_ablation_dynlaunch.cc.o.d"
+  "bench_ablation_dynlaunch"
+  "bench_ablation_dynlaunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynlaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

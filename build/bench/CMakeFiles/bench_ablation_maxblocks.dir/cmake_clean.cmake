@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxblocks.dir/bench_ablation_maxblocks.cc.o"
+  "CMakeFiles/bench_ablation_maxblocks.dir/bench_ablation_maxblocks.cc.o.d"
+  "bench_ablation_maxblocks"
+  "bench_ablation_maxblocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxblocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

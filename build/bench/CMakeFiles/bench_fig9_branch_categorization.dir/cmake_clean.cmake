@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_branch_categorization.dir/bench_fig9_branch_categorization.cc.o"
+  "CMakeFiles/bench_fig9_branch_categorization.dir/bench_fig9_branch_categorization.cc.o.d"
+  "bench_fig9_branch_categorization"
+  "bench_fig9_branch_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_branch_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_phases.dir/interpreter_phases.cpp.o"
+  "CMakeFiles/interpreter_phases.dir/interpreter_phases.cpp.o.d"
+  "interpreter_phases"
+  "interpreter_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

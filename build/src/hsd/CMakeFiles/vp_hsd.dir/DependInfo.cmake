@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsd/bbb.cc" "src/hsd/CMakeFiles/vp_hsd.dir/bbb.cc.o" "gcc" "src/hsd/CMakeFiles/vp_hsd.dir/bbb.cc.o.d"
+  "/root/repo/src/hsd/detector.cc" "src/hsd/CMakeFiles/vp_hsd.dir/detector.cc.o" "gcc" "src/hsd/CMakeFiles/vp_hsd.dir/detector.cc.o.d"
+  "/root/repo/src/hsd/filter.cc" "src/hsd/CMakeFiles/vp_hsd.dir/filter.cc.o" "gcc" "src/hsd/CMakeFiles/vp_hsd.dir/filter.cc.o.d"
+  "/root/repo/src/hsd/record.cc" "src/hsd/CMakeFiles/vp_hsd.dir/record.cc.o" "gcc" "src/hsd/CMakeFiles/vp_hsd.dir/record.cc.o.d"
+  "/root/repo/src/hsd/signature.cc" "src/hsd/CMakeFiles/vp_hsd.dir/signature.cc.o" "gcc" "src/hsd/CMakeFiles/vp_hsd.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_hsd.dir/bbb.cc.o"
+  "CMakeFiles/vp_hsd.dir/bbb.cc.o.d"
+  "CMakeFiles/vp_hsd.dir/detector.cc.o"
+  "CMakeFiles/vp_hsd.dir/detector.cc.o.d"
+  "CMakeFiles/vp_hsd.dir/filter.cc.o"
+  "CMakeFiles/vp_hsd.dir/filter.cc.o.d"
+  "CMakeFiles/vp_hsd.dir/record.cc.o"
+  "CMakeFiles/vp_hsd.dir/record.cc.o.d"
+  "CMakeFiles/vp_hsd.dir/signature.cc.o"
+  "CMakeFiles/vp_hsd.dir/signature.cc.o.d"
+  "libvp_hsd.a"
+  "libvp_hsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_hsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/call_graph.cc" "src/ir/CMakeFiles/vp_ir.dir/call_graph.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/call_graph.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/ir/CMakeFiles/vp_ir.dir/cfg.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/vp_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/ir/CMakeFiles/vp_ir.dir/instruction.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/instruction.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/vp_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/ir/print.cc" "src/ir/CMakeFiles/vp_ir.dir/print.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/print.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/vp_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/program.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/ir/CMakeFiles/vp_ir.dir/verify.cc.o" "gcc" "src/ir/CMakeFiles/vp_ir.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

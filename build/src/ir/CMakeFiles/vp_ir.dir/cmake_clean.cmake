@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_ir.dir/call_graph.cc.o"
+  "CMakeFiles/vp_ir.dir/call_graph.cc.o.d"
+  "CMakeFiles/vp_ir.dir/cfg.cc.o"
+  "CMakeFiles/vp_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/vp_ir.dir/function.cc.o"
+  "CMakeFiles/vp_ir.dir/function.cc.o.d"
+  "CMakeFiles/vp_ir.dir/instruction.cc.o"
+  "CMakeFiles/vp_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/vp_ir.dir/liveness.cc.o"
+  "CMakeFiles/vp_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/vp_ir.dir/print.cc.o"
+  "CMakeFiles/vp_ir.dir/print.cc.o.d"
+  "CMakeFiles/vp_ir.dir/program.cc.o"
+  "CMakeFiles/vp_ir.dir/program.cc.o.d"
+  "CMakeFiles/vp_ir.dir/verify.cc.o"
+  "CMakeFiles/vp_ir.dir/verify.cc.o.d"
+  "libvp_ir.a"
+  "libvp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

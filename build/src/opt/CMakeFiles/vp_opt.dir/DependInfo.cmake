@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/layout.cc" "src/opt/CMakeFiles/vp_opt.dir/layout.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/layout.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/vp_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/schedule.cc" "src/opt/CMakeFiles/vp_opt.dir/schedule.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/schedule.cc.o.d"
+  "/root/repo/src/opt/sink.cc" "src/opt/CMakeFiles/vp_opt.dir/sink.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/sink.cc.o.d"
+  "/root/repo/src/opt/unroll.cc" "src/opt/CMakeFiles/vp_opt.dir/unroll.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/unroll.cc.o.d"
+  "/root/repo/src/opt/weights.cc" "src/opt/CMakeFiles/vp_opt.dir/weights.cc.o" "gcc" "src/opt/CMakeFiles/vp_opt.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_opt.dir/layout.cc.o"
+  "CMakeFiles/vp_opt.dir/layout.cc.o.d"
+  "CMakeFiles/vp_opt.dir/optimizer.cc.o"
+  "CMakeFiles/vp_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/vp_opt.dir/schedule.cc.o"
+  "CMakeFiles/vp_opt.dir/schedule.cc.o.d"
+  "CMakeFiles/vp_opt.dir/sink.cc.o"
+  "CMakeFiles/vp_opt.dir/sink.cc.o.d"
+  "CMakeFiles/vp_opt.dir/unroll.cc.o"
+  "CMakeFiles/vp_opt.dir/unroll.cc.o.d"
+  "CMakeFiles/vp_opt.dir/weights.cc.o"
+  "CMakeFiles/vp_opt.dir/weights.cc.o.d"
+  "libvp_opt.a"
+  "libvp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/package/linker.cc" "src/package/CMakeFiles/vp_package.dir/linker.cc.o" "gcc" "src/package/CMakeFiles/vp_package.dir/linker.cc.o.d"
+  "/root/repo/src/package/packager.cc" "src/package/CMakeFiles/vp_package.dir/packager.cc.o" "gcc" "src/package/CMakeFiles/vp_package.dir/packager.cc.o.d"
+  "/root/repo/src/package/pruned.cc" "src/package/CMakeFiles/vp_package.dir/pruned.cc.o" "gcc" "src/package/CMakeFiles/vp_package.dir/pruned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/vp_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsd/CMakeFiles/vp_hsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_package.dir/linker.cc.o"
+  "CMakeFiles/vp_package.dir/linker.cc.o.d"
+  "CMakeFiles/vp_package.dir/packager.cc.o"
+  "CMakeFiles/vp_package.dir/packager.cc.o.d"
+  "CMakeFiles/vp_package.dir/pruned.cc.o"
+  "CMakeFiles/vp_package.dir/pruned.cc.o.d"
+  "libvp_package.a"
+  "libvp_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_region.dir/identify.cc.o"
+  "CMakeFiles/vp_region.dir/identify.cc.o.d"
+  "CMakeFiles/vp_region.dir/region.cc.o"
+  "CMakeFiles/vp_region.dir/region.cc.o.d"
+  "libvp_region.a"
+  "libvp_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

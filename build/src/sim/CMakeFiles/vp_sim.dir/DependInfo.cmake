@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/vp_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/vp_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/predictor.cc" "src/sim/CMakeFiles/vp_sim.dir/predictor.cc.o" "gcc" "src/sim/CMakeFiles/vp_sim.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

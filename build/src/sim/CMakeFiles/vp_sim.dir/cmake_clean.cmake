@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_sim.dir/cache.cc.o"
+  "CMakeFiles/vp_sim.dir/cache.cc.o.d"
+  "CMakeFiles/vp_sim.dir/core.cc.o"
+  "CMakeFiles/vp_sim.dir/core.cc.o.d"
+  "CMakeFiles/vp_sim.dir/predictor.cc.o"
+  "CMakeFiles/vp_sim.dir/predictor.cc.o.d"
+  "libvp_sim.a"
+  "libvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

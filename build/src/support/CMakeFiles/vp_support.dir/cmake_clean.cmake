@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_support.dir/logging.cc.o"
+  "CMakeFiles/vp_support.dir/logging.cc.o.d"
+  "CMakeFiles/vp_support.dir/table.cc.o"
+  "CMakeFiles/vp_support.dir/table.cc.o.d"
+  "libvp_support.a"
+  "libvp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_trace.dir/engine.cc.o"
+  "CMakeFiles/vp_trace.dir/engine.cc.o.d"
+  "libvp_trace.a"
+  "libvp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/evaluate.cc.o"
+  "CMakeFiles/vp_core.dir/evaluate.cc.o.d"
+  "CMakeFiles/vp_core.dir/pipeline.cc.o"
+  "CMakeFiles/vp_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/vp_core.dir/report.cc.o"
+  "CMakeFiles/vp_core.dir/report.cc.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

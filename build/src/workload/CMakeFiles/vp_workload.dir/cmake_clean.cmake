@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_workload.dir/behavior.cc.o"
+  "CMakeFiles/vp_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/vp_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/vp_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/vp_workload.dir/builder.cc.o"
+  "CMakeFiles/vp_workload.dir/builder.cc.o.d"
+  "libvp_workload.a"
+  "libvp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

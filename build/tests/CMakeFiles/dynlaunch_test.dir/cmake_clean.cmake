@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynlaunch_test.dir/dynlaunch_test.cc.o"
+  "CMakeFiles/dynlaunch_test.dir/dynlaunch_test.cc.o.d"
+  "dynlaunch_test"
+  "dynlaunch_test.pdb"
+  "dynlaunch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynlaunch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsd_test.dir/hsd_test.cc.o"
+  "CMakeFiles/hsd_test.dir/hsd_test.cc.o.d"
+  "hsd_test"
+  "hsd_test.pdb"
+  "hsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_test_helpers.dir/helpers.cc.o"
+  "CMakeFiles/vp_test_helpers.dir/helpers.cc.o.d"
+  "libvp_test_helpers.a"
+  "libvp_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpack.dir/vpack.cc.o"
+  "CMakeFiles/vpack.dir/vpack.cc.o.d"
+  "vpack"
+  "vpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
