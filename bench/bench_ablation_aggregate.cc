@@ -11,11 +11,29 @@
 #include "bench/common.hh"
 #include "region/identify.hh"
 
+namespace
+{
+
+struct Row
+{
+    double phaseCov = 0.0;
+    double aggCov = 0.0;
+    double phaseSpeedup = 0.0;
+    double aggSpeedup = 0.0;
+    std::size_t phasePkgs = 0;
+    std::size_t aggPkgs = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A4: phase-sensitive packaging vs. aggregate "
                 "profile (HCO-style)\n\n");
@@ -26,36 +44,47 @@ main()
 
     GeoMean sp_phase, sp_agg;
 
-    forEachWorkload([&](workload::Workload &w) {
-        VacuumPacker packer(w, VpConfig::variant(true, true));
-        VpResult r = packer.run();
-        const auto phase_cov = measureCoverage(w, r.packaged.program);
-        const auto phase_sp = measureSpeedup(w, r.packaged.program,
-                                             packer.config().machine);
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            VacuumPacker packer(w, VpConfig::variant(true, true));
+            VpResult r = packer.run();
+            const auto phase_cov = measureCoverage(w, r.packaged.program);
+            const auto phase_sp = measureSpeedup(w, r.packaged.program,
+                                                 packer.config().machine);
 
-        // Aggregate baseline: one merged record, one region.
-        const hsd::HotSpotRecord agg = aggregateRecord(r.records);
-        const auto agg_region = region::identifyRegion(
-            w.program, agg, packer.config().region);
-        auto agg_pp = package::buildPackages(w.program, {agg_region},
-                                             packer.config().package);
-        opt::optimizePackages(agg_pp.program, packer.config().opt,
-                              packer.config().machine);
-        const auto agg_cov = measureCoverage(w, agg_pp.program);
-        const auto agg_sp =
-            measureSpeedup(w, agg_pp.program, packer.config().machine);
+            // Aggregate baseline: one merged record, one region.
+            const hsd::HotSpotRecord agg = aggregateRecord(r.records);
+            const auto agg_region = region::identifyRegion(
+                w.program, agg, packer.config().region);
+            auto agg_pp = package::buildPackages(w.program, {agg_region},
+                                                 packer.config().package);
+            opt::optimizePackages(agg_pp.program, packer.config().opt,
+                                  packer.config().machine);
+            const auto agg_cov = measureCoverage(w, agg_pp.program);
+            const auto agg_sp =
+                measureSpeedup(w, agg_pp.program, packer.config().machine);
 
-        sp_phase.add(phase_sp.speedup());
-        sp_agg.add(agg_sp.speedup());
-        table.addRow({rowLabel(w),
-                      TablePrinter::pct(phase_cov.packageCoverage()),
-                      TablePrinter::pct(agg_cov.packageCoverage()),
-                      TablePrinter::num(phase_sp.speedup(), 3),
-                      TablePrinter::num(agg_sp.speedup(), 3),
-                      std::to_string(r.packaged.packages.size()),
-                      std::to_string(agg_pp.packages.size())});
-        std::fflush(stdout);
-    });
+            Row row;
+            row.phaseCov = phase_cov.packageCoverage();
+            row.aggCov = agg_cov.packageCoverage();
+            row.phaseSpeedup = phase_sp.speedup();
+            row.aggSpeedup = agg_sp.speedup();
+            row.phasePkgs = r.packaged.packages.size();
+            row.aggPkgs = agg_pp.packages.size();
+            return row;
+        },
+        [&](const workload::Workload &w, const Row &row) {
+            sp_phase.add(row.phaseSpeedup);
+            sp_agg.add(row.aggSpeedup);
+            table.addRow({rowLabel(w), TablePrinter::pct(row.phaseCov),
+                          TablePrinter::pct(row.aggCov),
+                          TablePrinter::num(row.phaseSpeedup, 3),
+                          TablePrinter::num(row.aggSpeedup, 3),
+                          std::to_string(row.phasePkgs),
+                          std::to_string(row.aggPkgs)});
+            std::fflush(stdout);
+        });
 
     table.addRow({"geomean", "", "", TablePrinter::num(sp_phase.value(), 3),
                   TablePrinter::num(sp_agg.value(), 3), "", ""});

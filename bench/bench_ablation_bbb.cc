@@ -10,21 +10,45 @@
 
 #include "bench/common.hh"
 
+namespace
+{
+
+struct Geometry
+{
+    std::uint32_t sets;
+    std::uint32_t ways;
+};
+
+struct Item
+{
+    std::string name;
+    std::string input;
+    Geometry geo;
+};
+
+struct Row
+{
+    std::size_t records = 0;
+    double avgBranches = 0.0;
+    double covWith = 0.0;
+    double covWithout = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A2: BBB geometry (sets x ways) vs record "
                 "completeness and coverage\n");
     std::printf("(Table 2 baseline: 512 sets x 4 ways)\n\n");
 
-    struct Geometry
-    {
-        std::uint32_t sets;
-        std::uint32_t ways;
-    };
     const std::vector<Geometry> geos = {
         {16, 2}, {64, 2}, {128, 4}, {512, 4}, {1024, 8}};
 
@@ -33,44 +57,56 @@ main()
         {"255.vortex", "B"},
     };
 
+    std::vector<Item> items;
+    for (const auto &[name, input] : subset)
+        for (const Geometry &g : geos)
+            items.push_back({name, input, g});
+
     TablePrinter table;
     table.addRow({"benchmark", "geometry", "hot spots", "avg br/record",
                   "cov w/ inf", "cov w/o inf"});
 
-    for (const auto &[name, input] : subset) {
-        for (const Geometry &g : geos) {
-            workload::Workload w = workload::makeWorkload(name, input);
-            char geo[32];
-            std::snprintf(geo, sizeof(geo), "%ux%u", g.sets, g.ways);
-
+    forEachItem(
+        threads, items,
+        [](const Item &item) {
+            workload::Workload w =
+                workload::makeWorkload(item.name, item.input);
+            Row row;
             double cov[2];
-            std::size_t records = 0;
-            double avg_branches = 0.0;
             for (const bool inference : {true, false}) {
                 VpConfig cfg = VpConfig::variant(inference, true);
-                cfg.hsd.sets = g.sets;
-                cfg.hsd.ways = g.ways;
+                cfg.hsd.sets = item.geo.sets;
+                cfg.hsd.ways = item.geo.ways;
                 VacuumPacker packer(w, cfg);
                 const VpResult r = packer.run();
                 const auto stats = measureCoverage(w, r.packaged.program);
                 cov[inference] = stats.packageCoverage();
                 if (inference) {
-                    records = r.records.size();
+                    row.records = r.records.size();
                     std::size_t total = 0;
                     for (const auto &rec : r.records)
                         total += rec.branches.size();
-                    avg_branches =
-                        records ? static_cast<double>(total) / records
-                                : 0.0;
+                    row.avgBranches =
+                        row.records
+                            ? static_cast<double>(total) / row.records
+                            : 0.0;
                 }
             }
-            table.addRow({rowLabel(w), geo, std::to_string(records),
-                          TablePrinter::num(avg_branches),
-                          TablePrinter::pct(cov[1]),
-                          TablePrinter::pct(cov[0])});
+            row.covWith = cov[1];
+            row.covWithout = cov[0];
+            return row;
+        },
+        [&](const Item &item, const Row &row) {
+            char geo[32];
+            std::snprintf(geo, sizeof(geo), "%ux%u", item.geo.sets,
+                          item.geo.ways);
+            table.addRow({item.name + " " + item.input, geo,
+                          std::to_string(row.records),
+                          TablePrinter::num(row.avgBranches),
+                          TablePrinter::pct(row.covWith),
+                          TablePrinter::pct(row.covWithout)});
             std::fflush(stdout);
-        }
-    }
+        });
     table.print();
     return 0;
 }

@@ -12,21 +12,44 @@
 
 #include "bench/common.hh"
 
+namespace
+{
+
+struct Mode
+{
+    const char *label;
+    bool linking;
+    bool dynamic;
+};
+
+struct Item
+{
+    std::string name;
+    std::string input;
+    Mode mode;
+    std::size_t modeIndex;
+};
+
+struct Row
+{
+    double coverage = 0.0;
+    double speedup = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
 
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
+
     std::printf("Ablation A6: static links vs dynamic launch selectors\n");
     std::printf("(the paper's Section 3.3.4 design alternative)\n\n");
 
-    struct Mode
-    {
-        const char *label;
-        bool linking;
-        bool dynamic;
-    };
     const std::vector<Mode> modes = {
         {"static, no links", false, false},
         {"links only (paper)", true, false},
@@ -38,30 +61,42 @@ main()
         {"197.parser", "A"},  {"164.gzip", "A"}, {"mpeg2dec", "A"},
     };
 
+    std::vector<Item> items;
+    for (const auto &[name, input] : subset)
+        for (std::size_t m = 0; m < modes.size(); ++m)
+            items.push_back({name, input, modes[m], m});
+
     TablePrinter table;
     table.addRow({"benchmark", "deployment", "coverage", "speedup"});
 
     std::vector<GeoMean> sp(modes.size());
     std::vector<Accumulator> cov(modes.size());
 
-    for (const auto &[name, input] : subset) {
-        workload::Workload w = workload::makeWorkload(name, input);
-        for (std::size_t m = 0; m < modes.size(); ++m) {
-            VpConfig cfg = VpConfig::variant(true, modes[m].linking);
-            cfg.package.dynamicLaunch = modes[m].dynamic;
+    forEachItem(
+        threads, items,
+        [](const Item &item) {
+            workload::Workload w =
+                workload::makeWorkload(item.name, item.input);
+            VpConfig cfg = VpConfig::variant(true, item.mode.linking);
+            cfg.package.dynamicLaunch = item.mode.dynamic;
             VacuumPacker packer(w, cfg);
             const VpResult r = packer.run();
             const auto c = measureCoverage(w, r.packaged.program);
             const auto s =
                 measureSpeedup(w, r.packaged.program, cfg.machine);
-            cov[m].add(c.packageCoverage());
-            sp[m].add(s.speedup());
-            table.addRow({rowLabel(w), modes[m].label,
-                          TablePrinter::pct(c.packageCoverage()),
-                          TablePrinter::num(s.speedup(), 3)});
+            Row row;
+            row.coverage = c.packageCoverage();
+            row.speedup = s.speedup();
+            return row;
+        },
+        [&](const Item &item, const Row &row) {
+            cov[item.modeIndex].add(row.coverage);
+            sp[item.modeIndex].add(row.speedup);
+            table.addRow({item.name + " " + item.input, item.mode.label,
+                          TablePrinter::pct(row.coverage),
+                          TablePrinter::num(row.speedup, 3)});
             std::fflush(stdout);
-        }
-    }
+        });
     for (std::size_t m = 0; m < modes.size(); ++m) {
         table.addRow({"MEAN", modes[m].label,
                       TablePrinter::pct(cov[m].mean()),

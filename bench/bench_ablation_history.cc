@@ -12,11 +12,34 @@
 #include "bench/common.hh"
 #include "hsd/detector.hh"
 
+namespace
+{
+
+struct Item
+{
+    std::string name;
+    std::string input;
+    unsigned depth;
+};
+
+struct Row
+{
+    std::size_t recorded = 0;
+    std::size_t suppressed = 0;
+    std::size_t unique = 0;
+    double coverage = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A5: detection-time signature history depth\n");
     std::printf("(depth 0 = paper configuration: record everything, filter "
@@ -28,38 +51,45 @@ main()
         {"255.vortex", "B"}, {"164.gzip", "A"},
     };
 
+    std::vector<Item> items;
+    for (const auto &[name, input] : subset)
+        for (unsigned depth : depths)
+            items.push_back({name, input, depth});
+
     TablePrinter table;
     table.addRow({"benchmark", "depth", "recorded", "suppressed", "unique",
                   "coverage"});
 
-    for (const auto &[name, input] : subset) {
-        workload::Workload w = workload::makeWorkload(name, input);
-        for (unsigned depth : depths) {
+    forEachItem(
+        threads, items,
+        [](const Item &item) {
+            workload::Workload w =
+                workload::makeWorkload(item.name, item.input);
             VpConfig cfg = VpConfig::variant(true, true);
-            cfg.hsd.historyDepth = depth;
+            cfg.hsd.historyDepth = item.depth;
             VacuumPacker packer(w, cfg);
             VpResult r;
             packer.profile(r);
-
-            // Recompute suppression stats with a dedicated detector run
-            // for reporting (profile() hides the detector).
-            trace::ExecutionEngine engine(w.program, w);
-            hsd::HotSpotDetector det(cfg.hsd, &engine.oracle());
-            engine.addSink(&det);
-            engine.run(w.maxDynInsts);
-
             packer.identify(r);
             packer.construct(r);
             const auto cov = measureCoverage(w, r.packaged.program);
-
-            table.addRow({rowLabel(w), std::to_string(depth),
-                          std::to_string(det.records().size()),
-                          std::to_string(det.suppressedDetections()),
-                          std::to_string(r.records.size()),
-                          TablePrinter::pct(cov.packageCoverage())});
+            Row row;
+            // The pipeline now surfaces the detector counters directly.
+            row.recorded = r.hsdStats.recorded;
+            row.suppressed = r.hsdStats.suppressed;
+            row.unique = r.records.size();
+            row.coverage = cov.packageCoverage();
+            return row;
+        },
+        [&](const Item &item, const Row &row) {
+            table.addRow({item.name + " " + item.input,
+                          std::to_string(item.depth),
+                          std::to_string(row.recorded),
+                          std::to_string(row.suppressed),
+                          std::to_string(row.unique),
+                          TablePrinter::pct(row.coverage)});
             std::fflush(stdout);
-        }
-    }
+        });
     table.print();
     std::printf("\n(recording cost drops with depth while unique phases and "
                 "coverage should hold)\n");

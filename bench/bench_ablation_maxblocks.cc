@@ -10,10 +10,13 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A1: heuristic growth bound (MAX_BLOCKS)\n");
     std::printf("(paper uses 1; growth merges launch points by adopting "
@@ -35,22 +38,29 @@ main()
         table.addRow(header);
     }
 
-    for (const auto &[name, input] : subset) {
-        workload::Workload w = workload::makeWorkload(name, input);
-        std::vector<std::string> row{rowLabel(w)};
-        for (unsigned n : bounds) {
-            VpConfig cfg = VpConfig::variant(true, true);
-            cfg.region.maxGrowthBlocks = n;
-            VacuumPacker packer(w, cfg);
-            const VpResult r = packer.run();
-            const auto stats = measureCoverage(w, r.packaged.program);
-            row.push_back(TablePrinter::pct(stats.packageCoverage()));
-            row.push_back(
-                TablePrinter::pct(r.packaged.expansion()));
-        }
-        table.addRow(row);
-        std::fflush(stdout);
-    }
+    // One item per benchmark row; the bound sweep runs inside compute.
+    forEachItem(
+        threads, subset,
+        [&](const std::pair<std::string, std::string> &bm) {
+            workload::Workload w =
+                workload::makeWorkload(bm.first, bm.second);
+            std::vector<std::string> row{rowLabel(w)};
+            for (unsigned n : bounds) {
+                VpConfig cfg = VpConfig::variant(true, true);
+                cfg.region.maxGrowthBlocks = n;
+                VacuumPacker packer(w, cfg);
+                const VpResult r = packer.run();
+                const auto stats = measureCoverage(w, r.packaged.program);
+                row.push_back(TablePrinter::pct(stats.packageCoverage()));
+                row.push_back(TablePrinter::pct(r.packaged.expansion()));
+            }
+            return row;
+        },
+        [&](const std::pair<std::string, std::string> &,
+            const std::vector<std::string> &row) {
+            table.addRow(row);
+            std::fflush(stdout);
+        });
     table.print();
     std::printf("\n(cov = package coverage; grow = code expansion)\n");
     return 0;

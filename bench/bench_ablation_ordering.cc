@@ -10,12 +10,35 @@
 
 #include "bench/common.hh"
 
+namespace
+{
+
+struct Item
+{
+    std::string name;
+    std::string input;
+    vp::package::OrderingPolicy policy;
+    std::string label;
+};
+
+struct Row
+{
+    std::size_t links = 0;
+    double coverage = 0.0;
+    double speedup = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
     using package::OrderingPolicy;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A3: package ordering policy\n");
     std::printf("(rank search vs first-come vs adversarial worst-rank)\n\n");
@@ -30,26 +53,39 @@ main()
         {"124.m88ksim", "A"}, {"300.twolf", "A"}, {"mpeg2dec", "A"},
     };
 
+    std::vector<Item> items;
+    for (const auto &[name, input] : subset)
+        for (const auto &[policy, label] : policies)
+            items.push_back({name, input, policy, label});
+
     TablePrinter table;
     table.addRow({"benchmark", "policy", "links", "coverage", "speedup"});
 
-    for (const auto &[name, input] : subset) {
-        workload::Workload w = workload::makeWorkload(name, input);
-        for (const auto &[policy, label] : policies) {
+    forEachItem(
+        threads, items,
+        [](const Item &item) {
+            workload::Workload w =
+                workload::makeWorkload(item.name, item.input);
             VpConfig cfg = VpConfig::variant(true, true);
-            cfg.package.ordering = policy;
+            cfg.package.ordering = item.policy;
             VacuumPacker packer(w, cfg);
             const VpResult r = packer.run();
             const auto stats = measureCoverage(w, r.packaged.program);
             const SpeedupResult sp =
                 measureSpeedup(w, r.packaged.program, cfg.machine);
-            table.addRow({rowLabel(w), label,
-                          std::to_string(r.packaged.numLinks),
-                          TablePrinter::pct(stats.packageCoverage()),
-                          TablePrinter::num(sp.speedup(), 3)});
+            Row row;
+            row.links = r.packaged.numLinks;
+            row.coverage = stats.packageCoverage();
+            row.speedup = sp.speedup();
+            return row;
+        },
+        [&](const Item &item, const Row &row) {
+            table.addRow({item.name + " " + item.input, item.label,
+                          std::to_string(row.links),
+                          TablePrinter::pct(row.coverage),
+                          TablePrinter::num(row.speedup, 3)});
             std::fflush(stdout);
-        }
-    }
+        });
     table.print();
     return 0;
 }

@@ -10,11 +10,35 @@
 
 #include "bench/common.hh"
 
+namespace
+{
+
+struct Item
+{
+    std::string name;
+    std::string input;
+    unsigned factor;
+    std::size_t factorIndex;
+};
+
+struct Row
+{
+    std::size_t loopsUnrolled = 0;
+    std::size_t pkgInsts = 0;
+    double speedup = 0.0;
+    double coverage = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Ablation A7: package loop unrolling factor\n");
     std::printf("(factor 1 = the paper's configuration)\n\n");
@@ -25,36 +49,50 @@ main()
         {"300.twolf", "A"}, {"mpeg2dec", "A"},
     };
 
+    std::vector<Item> items;
+    for (const auto &[name, input] : subset)
+        for (std::size_t fi = 0; fi < factors.size(); ++fi)
+            items.push_back({name, input, factors[fi], fi});
+
     TablePrinter table;
     table.addRow({"benchmark", "factor", "loops", "pkg insts", "speedup",
                   "coverage"});
 
     std::vector<GeoMean> sp(factors.size());
 
-    for (const auto &[name, input] : subset) {
-        workload::Workload w = workload::makeWorkload(name, input);
-        for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+    forEachItem(
+        threads, items,
+        [](const Item &item) {
+            workload::Workload w =
+                workload::makeWorkload(item.name, item.input);
             VpConfig cfg = VpConfig::variant(true, true);
-            cfg.opt.unrollFactor = factors[fi];
+            cfg.opt.unrollFactor = item.factor;
             VacuumPacker packer(w, cfg);
             const VpResult r = packer.run();
 
-            std::size_t pkg_insts = 0;
+            Row row;
+            row.loopsUnrolled = r.optStats.loopsUnrolled;
             for (const auto &pkg : r.packaged.packages)
-                pkg_insts += r.packaged.program.func(pkg.func).numInsts();
+                row.pkgInsts +=
+                    r.packaged.program.func(pkg.func).numInsts();
 
             const auto cov = measureCoverage(w, r.packaged.program);
             const auto s =
                 measureSpeedup(w, r.packaged.program, cfg.machine);
-            sp[fi].add(s.speedup());
-            table.addRow({rowLabel(w), std::to_string(factors[fi]),
-                          std::to_string(r.optStats.loopsUnrolled),
-                          std::to_string(pkg_insts),
-                          TablePrinter::num(s.speedup(), 3),
-                          TablePrinter::pct(cov.packageCoverage())});
+            row.speedup = s.speedup();
+            row.coverage = cov.packageCoverage();
+            return row;
+        },
+        [&](const Item &item, const Row &row) {
+            sp[item.factorIndex].add(row.speedup);
+            table.addRow({item.name + " " + item.input,
+                          std::to_string(item.factor),
+                          std::to_string(row.loopsUnrolled),
+                          std::to_string(row.pkgInsts),
+                          TablePrinter::num(row.speedup, 3),
+                          TablePrinter::pct(row.coverage)});
             std::fflush(stdout);
-        }
-    }
+        });
     for (std::size_t fi = 0; fi < factors.size(); ++fi) {
         table.addRow({"GEOMEAN", std::to_string(factors[fi]), "", "",
                       TablePrinter::num(sp[fi].value(), 3), ""});

@@ -13,10 +13,13 @@
 #include "support/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Figure 10: speedup from basic rescheduling of packages\n");
     std::printf("(speedup > 1.0 means the packaged program is faster)\n\n");
@@ -29,21 +32,30 @@ main()
 
     std::vector<GeoMean> avg(fourVariants().size());
 
-    forEachWorkload([&](workload::Workload &w) {
-        std::vector<std::string> row{rowLabel(w)};
-        for (std::size_t vi = 0; vi < fourVariants().size(); ++vi) {
-            const Variant &v = fourVariants()[vi];
-            VacuumPacker packer(
-                w, VpConfig::variant(v.inference, v.linking));
-            const VpResult r = packer.run();
-            const SpeedupResult sp = measureSpeedup(
-                w, r.packaged.program, packer.config().machine);
-            avg[vi].add(sp.speedup());
-            row.push_back(TablePrinter::num(sp.speedup(), 3));
-        }
-        table.addRow(row);
-        std::fflush(stdout);
-    });
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            std::vector<double> speedups;
+            for (const Variant &v : fourVariants()) {
+                VacuumPacker packer(
+                    w, VpConfig::variant(v.inference, v.linking));
+                const VpResult r = packer.run();
+                const SpeedupResult sp = measureSpeedup(
+                    w, r.packaged.program, packer.config().machine);
+                speedups.push_back(sp.speedup());
+            }
+            return speedups;
+        },
+        [&](const workload::Workload &w,
+            const std::vector<double> &speedups) {
+            std::vector<std::string> row{rowLabel(w)};
+            for (std::size_t vi = 0; vi < speedups.size(); ++vi) {
+                avg[vi].add(speedups[vi]);
+                row.push_back(TablePrinter::num(speedups[vi], 3));
+            }
+            table.addRow(row);
+            std::fflush(stdout);
+        });
 
     std::vector<std::string> avg_row{"geomean"};
     for (const auto &a : avg)

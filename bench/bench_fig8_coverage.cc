@@ -10,10 +10,13 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Figure 8: percent of dynamic instructions from within "
                 "packages\n");
@@ -27,22 +30,29 @@ main()
 
     std::vector<Accumulator> avg(fourVariants().size());
 
-    forEachWorkload([&](workload::Workload &w) {
-        std::vector<std::string> row{rowLabel(w)};
-        for (std::size_t vi = 0; vi < fourVariants().size(); ++vi) {
-            const Variant &v = fourVariants()[vi];
-            VacuumPacker packer(
-                w, VpConfig::variant(v.inference, v.linking));
-            const VpResult r = packer.run();
-            const trace::RunStats stats =
-                measureCoverage(w, r.packaged.program);
-            const double cov = stats.packageCoverage();
-            avg[vi].add(cov);
-            row.push_back(TablePrinter::pct(cov));
-        }
-        table.addRow(row);
-        std::fflush(stdout);
-    });
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            std::vector<double> covs;
+            for (const Variant &v : fourVariants()) {
+                VacuumPacker packer(
+                    w, VpConfig::variant(v.inference, v.linking));
+                const VpResult r = packer.run();
+                const trace::RunStats stats =
+                    measureCoverage(w, r.packaged.program);
+                covs.push_back(stats.packageCoverage());
+            }
+            return covs;
+        },
+        [&](const workload::Workload &w, const std::vector<double> &covs) {
+            std::vector<std::string> row{rowLabel(w)};
+            for (std::size_t vi = 0; vi < covs.size(); ++vi) {
+                avg[vi].add(covs[vi]);
+                row.push_back(TablePrinter::pct(covs[vi]));
+            }
+            table.addRow(row);
+            std::fflush(stdout);
+        });
 
     std::vector<std::string> avg_row{"average"};
     for (const auto &a : avg)

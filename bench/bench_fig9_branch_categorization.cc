@@ -13,15 +13,18 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
 
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
+
     std::printf("Figure 9: categorization of hot spot branch behavior\n");
     std::printf("(dynamic-branch fractions; columns sum to 100%%)\n\n");
 
-    const auto cats = {
+    const std::vector<BranchCategory> cats = {
         BranchCategory::UniqueBiased, BranchCategory::UniqueNoBias,
         BranchCategory::MultiSame,    BranchCategory::MultiLow,
         BranchCategory::MultiHigh,    BranchCategory::MultiNoBias,
@@ -38,20 +41,24 @@ main()
 
     std::vector<Accumulator> avg(cats.size());
 
-    forEachWorkload([&](workload::Workload &w) {
-        VacuumPacker packer(w, VpConfig{});
-        VpResult r;
-        packer.profile(r);
-        const Categorization cat = categorizeBranches(w, r.records);
-        std::vector<std::string> row{rowLabel(w)};
-        std::size_t i = 0;
-        for (auto c : cats) {
-            avg[i++].add(cat.of(c));
-            row.push_back(TablePrinter::pct(cat.of(c)));
-        }
-        table.addRow(row);
-        std::fflush(stdout);
-    });
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            VacuumPacker packer(w, VpConfig{});
+            VpResult r;
+            packer.profile(r);
+            return categorizeBranches(w, r.records);
+        },
+        [&](const workload::Workload &w, const Categorization &cat) {
+            std::vector<std::string> row{rowLabel(w)};
+            std::size_t i = 0;
+            for (auto c : cats) {
+                avg[i++].add(cat.of(c));
+                row.push_back(TablePrinter::pct(cat.of(c)));
+            }
+            table.addRow(row);
+            std::fflush(stdout);
+        });
 
     std::vector<std::string> avg_row{"average"};
     for (const auto &a : avg)

@@ -25,13 +25,23 @@ const std::map<std::string, double> kPaperInsts = {
     {"300.twolf A", 167},   {"mpeg2dec A", 99},
 };
 
+struct Row
+{
+    std::uint64_t profiledInsts = 0;
+    std::size_t rawRecords = 0;
+    std::size_t uniqueRecords = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Table 1: benchmarks and inputs\n");
     std::printf("(dynamic counts scaled ~100-1000x down from the paper's "
@@ -41,25 +51,34 @@ main()
     table.addRow({"benchmark", "paper # inst", "ours # inst", "static inst",
                   "functions", "phases", "hot spots", "unique"});
 
-    forEachWorkload([&](workload::Workload &w) {
-        VacuumPacker packer(w, VpConfig{});
-        VpResult r;
-        packer.profile(r);
-        auto it = kPaperInsts.find(rowLabel(w));
-        char paper[32];
-        std::snprintf(paper, sizeof(paper), "%.0fM",
-                      it == kPaperInsts.end() ? 0.0 : it->second);
-        char ours[32];
-        std::snprintf(ours, sizeof(ours), "%.1fM",
-                      static_cast<double>(r.profileRun.dynInsts) / 1e6);
-        table.addRow({rowLabel(w), paper, ours,
-                      std::to_string(w.program.numInsts()),
-                      std::to_string(w.program.numFunctions()),
-                      std::to_string(w.schedule.numPhases()),
-                      std::to_string(r.rawRecords.size()),
-                      std::to_string(r.records.size())});
-        std::fflush(stdout);
-    });
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            VacuumPacker packer(w, VpConfig{});
+            VpResult r;
+            packer.profile(r);
+            Row row;
+            row.profiledInsts = r.profileRun.dynInsts;
+            row.rawRecords = r.rawRecords.size();
+            row.uniqueRecords = r.records.size();
+            return row;
+        },
+        [&](const workload::Workload &w, const Row &r) {
+            auto it = kPaperInsts.find(rowLabel(w));
+            char paper[32];
+            std::snprintf(paper, sizeof(paper), "%.0fM",
+                          it == kPaperInsts.end() ? 0.0 : it->second);
+            char ours[32];
+            std::snprintf(ours, sizeof(ours), "%.1fM",
+                          static_cast<double>(r.profiledInsts) / 1e6);
+            table.addRow({rowLabel(w), paper, ours,
+                          std::to_string(w.program.numInsts()),
+                          std::to_string(w.program.numFunctions()),
+                          std::to_string(w.schedule.numPhases()),
+                          std::to_string(r.rawRecords),
+                          std::to_string(r.uniqueRecords)});
+            std::fflush(stdout);
+        });
     table.print();
     return 0;
 }

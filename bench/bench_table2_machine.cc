@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/common.hh"
 #include "hsd/detector.hh"
@@ -150,8 +152,19 @@ BENCHMARK(BM_BbbAccess);
 int
 main(int argc, char **argv)
 {
+    // Substrate micro-benchmarks time single-threaded hot loops, so the
+    // harness-wide --threads flag is accepted (uniform invocation across
+    // bench_*) but only stripped here: running timing loops concurrently
+    // would perturb the very numbers being measured.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) != 0)
+            args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+
     printTable2();
-    benchmark::Initialize(&argc, argv);
+    benchmark::Initialize(&filtered_argc, args.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

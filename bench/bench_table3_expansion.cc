@@ -11,11 +11,26 @@
 
 #include "bench/common.hh"
 
+namespace
+{
+
+struct Row
+{
+    double expansion = 0.0;
+    double selected = 0.0;
+    double replication = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vp;
     using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
 
     std::printf("Table 3: code expansion (full configuration)\n\n");
 
@@ -25,22 +40,30 @@ main()
 
     Accumulator incr, sel, repl;
 
-    forEachWorkload([&](workload::Workload &w) {
-        VacuumPacker packer(w, VpConfig::variant(true, true));
-        const VpResult r = packer.run();
-        const auto &pp = r.packaged;
-        const PaperRef ref = paperTable3(rowLabel(w));
-        incr.add(pp.expansion() * 100.0);
-        sel.add(pp.selectedFraction() * 100.0);
-        repl.add(pp.replicationFactor());
-        table.addRow({rowLabel(w),
-                      TablePrinter::num(pp.expansion() * 100.0),
-                      TablePrinter::num(ref.exprIncr),
-                      TablePrinter::num(pp.selectedFraction() * 100.0),
-                      TablePrinter::num(ref.selected),
-                      TablePrinter::num(pp.replicationFactor(), 2)});
-        std::fflush(stdout);
-    });
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            VacuumPacker packer(w, VpConfig::variant(true, true));
+            const VpResult r = packer.run();
+            Row row;
+            row.expansion = r.packaged.expansion();
+            row.selected = r.packaged.selectedFraction();
+            row.replication = r.packaged.replicationFactor();
+            return row;
+        },
+        [&](const workload::Workload &w, const Row &r) {
+            const PaperRef ref = paperTable3(rowLabel(w));
+            incr.add(r.expansion * 100.0);
+            sel.add(r.selected * 100.0);
+            repl.add(r.replication);
+            table.addRow({rowLabel(w),
+                          TablePrinter::num(r.expansion * 100.0),
+                          TablePrinter::num(ref.exprIncr),
+                          TablePrinter::num(r.selected * 100.0),
+                          TablePrinter::num(ref.selected),
+                          TablePrinter::num(r.replication, 2)});
+            std::fflush(stdout);
+        });
 
     table.addRow({"average", TablePrinter::num(incr.mean()), "12.0",
                   TablePrinter::num(sel.mean()), "4.5",

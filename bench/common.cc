@@ -1,6 +1,15 @@
 #include "bench/common.hh"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
 #include <map>
+#include <mutex>
+
+#include "trace/engine.hh"
 
 namespace vp::bench
 {
@@ -36,6 +45,81 @@ paperTable3(const std::string &label)
     return it == table.end() ? PaperRef{} : it->second;
 }
 
+unsigned
+benchThreads(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            const long n = std::strtol(argv[i] + 10, nullptr, 10);
+            if (n >= 1)
+                return static_cast<unsigned>(n);
+            std::fprintf(stderr, "bench: bad --threads value '%s'\n",
+                         argv[i]);
+        }
+    }
+    if (const char *env = std::getenv("VP_BENCH_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        std::fprintf(stderr, "bench: bad VP_BENCH_THREADS value '%s'\n",
+                     env);
+    }
+    return ThreadPool::defaultThreads();
+}
+
+void
+runOrdered(unsigned threads, std::size_t n,
+           const std::function<void(std::size_t)> &compute,
+           const std::function<void(std::size_t)> &emit)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            compute(i);
+            emit(i);
+        }
+        return;
+    }
+
+    ThreadPool pool(
+        static_cast<unsigned>(std::min<std::size_t>(threads, n)));
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<char> done(n, 0);
+    std::vector<char> failed(n, 0);
+    std::exception_ptr err;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+            try {
+                compute(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                failed[i] = 1;
+                if (!err)
+                    err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                done[i] = 1;
+            }
+            cv.notify_all();
+        });
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        bool ok;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return done[i] != 0; });
+            ok = failed[i] == 0;
+        }
+        if (ok)
+            emit(i);
+    }
+    pool.wait();
+    if (err)
+        std::rethrow_exception(err);
+}
+
 void
 forEachWorkload(const std::function<void(workload::Workload &)> &fn)
 {
@@ -45,6 +129,31 @@ forEachWorkload(const std::function<void(workload::Workload &)> &fn)
             fn(w);
         }
     }
+}
+
+HarnessTimer::HarnessTimer(unsigned threads)
+    : threads_(threads),
+      t0_(std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      insts0_(trace::totalSimulatedInsts())
+{
+}
+
+HarnessTimer::~HarnessTimer()
+{
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count() -
+        t0_;
+    const double minsts =
+        (trace::totalSimulatedInsts() - insts0_) / 1e6;
+    std::fprintf(stderr,
+                 "[bench] %u thread%s, %.2fs wall, %.1fM simulated insts "
+                 "(%.1f Minst/s)\n",
+                 threads_, threads_ == 1 ? "" : "s", wall, minsts,
+                 wall > 0.0 ? minsts / wall : 0.0);
 }
 
 std::string

@@ -2,18 +2,30 @@
  * @file
  * Shared helpers for the experiment harnesses in bench/: the Table 1
  * workload roster, the four inference x linking configurations of
- * Figures 8 and 10, and small formatting utilities.
+ * Figures 8 and 10, the parallel compute/emit harness, and small
+ * formatting utilities.
+ *
+ * Parallel model: each driver splits per-row work into a *compute*
+ * callback (thread-safe, returns a result value) and an *emit* callback
+ * (runs on the calling thread, serially, in input order — table rows,
+ * accumulators, printing). Tables are therefore byte-identical for any
+ * thread count; only wall-clock changes. Thread count comes from
+ * `--threads=N` or the VP_BENCH_THREADS environment variable, default
+ * hardware concurrency.
  */
 
 #ifndef VP_BENCH_COMMON_HH
 #define VP_BENCH_COMMON_HH
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "vp/evaluate.hh"
 #include "vp/pipeline.hh"
 #include "workload/benchmarks.hh"
@@ -46,11 +58,87 @@ struct PaperRef
 PaperRef paperTable3(const std::string &label);
 
 /**
- * Iterate the full Table 1 roster. The callback receives each workload
- * by mutable reference (harnesses may trim budgets).
+ * Worker thread count for the harness: `--threads=N` on the command
+ * line, else VP_BENCH_THREADS, else hardware concurrency. Unrelated
+ * argv entries are ignored.
+ */
+unsigned benchThreads(int argc = 0, char **argv = nullptr);
+
+/**
+ * Run compute(0..n-1) on @p threads workers and emit(i) serially, on
+ * the calling thread, in index order, streaming as results complete.
+ * threads <= 1 degenerates to a strictly serial loop. Rethrows the
+ * first compute exception after draining (its emit is skipped).
+ */
+void runOrdered(unsigned threads, std::size_t n,
+                const std::function<void(std::size_t)> &compute,
+                const std::function<void(std::size_t)> &emit);
+
+/**
+ * Iterate the full Table 1 roster serially. The callback receives each
+ * workload by mutable reference (harnesses may trim budgets).
  */
 void forEachWorkload(
     const std::function<void(workload::Workload &)> &fn);
+
+/**
+ * Parallel roster sweep: compute(w) runs on the pool (thread-safe,
+ * returns the row's result), emit(w, result) runs serially in Table 1
+ * order. Output is byte-identical for every thread count.
+ */
+template <typename Compute, typename Emit>
+void
+forEachWorkload(unsigned threads, Compute compute, Emit emit)
+{
+    std::vector<workload::Workload> ws = workload::makeAllWorkloads();
+    using R = std::decay_t<decltype(compute(ws[0]))>;
+    std::vector<std::optional<R>> results(ws.size());
+    runOrdered(
+        threads, ws.size(),
+        [&](std::size_t i) { results[i].emplace(compute(ws[i])); },
+        [&](std::size_t i) {
+            emit(ws[i], *results[i]);
+            results[i].reset();
+        });
+}
+
+/**
+ * Parallel sweep over an explicit item list (ablation subsets, config
+ * sweeps): compute(item) on the pool, emit(item, result) serially in
+ * list order.
+ */
+template <typename Item, typename Compute, typename Emit>
+void
+forEachItem(unsigned threads, const std::vector<Item> &items,
+            Compute compute, Emit emit)
+{
+    using R = std::decay_t<decltype(compute(items[0]))>;
+    std::vector<std::optional<R>> results(items.size());
+    runOrdered(
+        threads, items.size(),
+        [&](std::size_t i) { results[i].emplace(compute(items[i])); },
+        [&](std::size_t i) {
+            emit(items[i], *results[i]);
+            results[i].reset();
+        });
+}
+
+/**
+ * Scope-timed harness summary: on destruction prints wall clock,
+ * thread count and simulated-instruction throughput to *stderr* (so
+ * stdout tables stay byte-comparable across thread counts).
+ */
+class HarnessTimer
+{
+  public:
+    explicit HarnessTimer(unsigned threads);
+    ~HarnessTimer();
+
+  private:
+    unsigned threads_;
+    double t0_;
+    std::uint64_t insts0_;
+};
 
 /** Short "099 A"-style row label. */
 std::string rowLabel(const workload::Workload &w);

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/vp_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/vp_support.dir/logging.cc.o.d"
   "/root/repo/src/support/table.cc" "src/support/CMakeFiles/vp_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/vp_support.dir/table.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/vp_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/vp_support.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vp_support.dir/logging.cc.o.d"
   "CMakeFiles/vp_support.dir/table.cc.o"
   "CMakeFiles/vp_support.dir/table.cc.o.d"
+  "CMakeFiles/vp_support.dir/thread_pool.cc.o"
+  "CMakeFiles/vp_support.dir/thread_pool.cc.o.d"
   "libvp_support.a"
   "libvp_support.pdb"
 )

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/vp/evaluate.cc" "src/vp/CMakeFiles/vp_core.dir/evaluate.cc.o" "gcc" "src/vp/CMakeFiles/vp_core.dir/evaluate.cc.o.d"
   "/root/repo/src/vp/pipeline.cc" "src/vp/CMakeFiles/vp_core.dir/pipeline.cc.o" "gcc" "src/vp/CMakeFiles/vp_core.dir/pipeline.cc.o.d"
   "/root/repo/src/vp/report.cc" "src/vp/CMakeFiles/vp_core.dir/report.cc.o" "gcc" "src/vp/CMakeFiles/vp_core.dir/report.cc.o.d"
+  "/root/repo/src/vp/run_cache.cc" "src/vp/CMakeFiles/vp_core.dir/run_cache.cc.o" "gcc" "src/vp/CMakeFiles/vp_core.dir/run_cache.cc.o.d"
   )
 
 # Targets to which this target links.

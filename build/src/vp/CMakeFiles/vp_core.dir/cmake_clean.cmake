@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vp_core.dir/pipeline.cc.o.d"
   "CMakeFiles/vp_core.dir/report.cc.o"
   "CMakeFiles/vp_core.dir/report.cc.o.d"
+  "CMakeFiles/vp_core.dir/run_cache.cc.o"
+  "CMakeFiles/vp_core.dir/run_cache.cc.o.d"
   "libvp_core.a"
   "libvp_core.pdb"
 )

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vp/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/vp_test_helpers.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/vp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/vp_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/vp_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsd/CMakeFiles/vp_hsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

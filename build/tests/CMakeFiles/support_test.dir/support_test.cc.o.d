@@ -295,8 +295,8 @@ tests/CMakeFiles/support_test.dir/support_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/support/bitset.hh /root/repo/src/support/logging.hh \
  /root/repo/src/support/rng.hh /root/repo/src/support/sat_counter.hh \
- /root/repo/src/support/stats.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/support/saturating.hh /root/repo/src/support/stats.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -24,3 +24,4 @@ include("/root/repo/build/tests/edge_test[1]_include.cmake")
 include("/root/repo/build/tests/unroll_test[1]_include.cmake")
 include("/root/repo/build/tests/report_test[1]_include.cmake")
 include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")

@@ -35,11 +35,18 @@ HotSpotDetector::onRetire(const trace::RetiredInst &ri)
         bbb_.refreshNonCandidates();
         refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
     }
-    if (branchesSeen_ >= clearAt_) {
-        bbb_.clear();
-        hdc_.reset(hdc_.max());
-        clearAt_ = branchesSeen_ + cfg_.clearInterval;
-    }
+    if (branchesSeen_ >= clearAt_)
+        restartMonitoring();
+}
+
+void
+HotSpotDetector::restartMonitoring()
+{
+    bbb_.clear();
+    hdc_.reset(hdc_.max());
+    refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
+    clearAt_ = branchesSeen_ + cfg_.clearInterval;
+    ++restarts_;
 }
 
 void
@@ -59,10 +66,7 @@ HotSpotDetector::detect()
             HotSpotSignature::of(rec.branches, cfg_.signatureBits);
         if (!history_.isNovel(sig)) {
             ++suppressed_;
-            bbb_.clear();
-            hdc_.reset(hdc_.max());
-            refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
-            clearAt_ = branchesSeen_ + cfg_.clearInterval;
+            restartMonitoring();
             return;
         }
         history_.insert(sig);
@@ -72,10 +76,7 @@ HotSpotDetector::detect()
     // Restart monitoring so the next (possibly different) phase is
     // detected afresh; re-detections of this same phase are removed by the
     // software filter.
-    bbb_.clear();
-    hdc_.reset(hdc_.max());
-    refreshAt_ = branchesSeen_ + cfg_.refreshInterval;
-    clearAt_ = branchesSeen_ + cfg_.clearInterval;
+    restartMonitoring();
 }
 
 } // namespace vp::hsd

@@ -27,6 +27,18 @@
 namespace vp::hsd
 {
 
+/** Observable profiling-run counters of one detector. */
+struct HsdStats
+{
+    std::uint64_t branchesSeen = 0; ///< retired conditional branches
+    std::size_t recorded = 0;       ///< hot spots recorded (unfiltered)
+    std::size_t suppressed = 0;     ///< detections the history filtered
+    std::size_t monitorRestarts = 0; ///< clear-timer + detection restarts
+
+    /** Detections, including history-suppressed ones. */
+    std::size_t detections() const { return recorded + suppressed; }
+};
+
 /** The detector, attachable to an ExecutionEngine as a retire sink. */
 class HotSpotDetector : public trace::InstSink
 {
@@ -57,16 +69,33 @@ class HotSpotDetector : public trace::InstSink
     /** Detections the signature history kept from being recorded. */
     std::size_t suppressedDetections() const { return suppressed_; }
 
+    /** Profiling-run counter snapshot. */
+    HsdStats
+    stats() const
+    {
+        HsdStats s;
+        s.branchesSeen = branchesSeen_;
+        s.recorded = records_.size();
+        s.suppressed = suppressed_;
+        s.monitorRestarts = restarts_;
+        return s;
+    }
+
     const BranchBehaviorBuffer &bbb() const { return bbb_; }
 
   private:
     void detect();
+
+    /** BBB clear + HDC reset + timer re-arm: start a fresh monitoring
+     *  interval (after a detection, a suppression, or the clear timer). */
+    void restartMonitoring();
 
     HsdConfig cfg_;
     BranchBehaviorBuffer bbb_;
     SatCounter hdc_;
     SignatureHistory history_;
     std::size_t suppressed_ = 0;
+    std::size_t restarts_ = 0;
     const trace::BranchOracle *oracle_;
 
     std::uint64_t branchesSeen_ = 0;

@@ -82,6 +82,10 @@ optimizePackages(Program &prog, const OptConfig &cfg,
         if (cfg.unrollFactor >= 2) {
             const UnrollStats us = unrollLoops(fn, cfg.unrollFactor);
             stats.loopsUnrolled += us.loopsUnrolled;
+            // Unrolling appends body copies; nothing outside the function
+            // can reference them, but the mask must cover the new ids or
+            // the merge/relayout passes below index past its end.
+            extern_ref[fn.id()].resize(fn.numBlocks(), false);
         }
 
         if (cfg.sinkCold) {

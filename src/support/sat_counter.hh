@@ -30,10 +30,16 @@ class SatCounter
         vp_assert(bits >= 1 && bits <= 32, "bits=", bits);
     }
 
-    /** Add @p n, clamping at the maximum. @return true if saturated. */
+    /**
+     * Add @p n, clamping at the maximum. @return true if saturated.
+     * n == 0 is a state-preserving no-op and never reports saturation,
+     * so a disabled increment (hdcInc == 0) cannot fire edge events.
+     */
     bool
     add(std::uint32_t n = 1)
     {
+        if (n == 0)
+            return false;
         if (value_ >= max_ || n >= max_ - value_) {
             value_ = max_;
             return true;
@@ -42,10 +48,17 @@ class SatCounter
         return false;
     }
 
-    /** Subtract @p n, clamping at zero. @return true if it hit zero. */
+    /**
+     * Subtract @p n, clamping at zero. @return true if it hit zero.
+     * n == 0 is a state-preserving no-op and never reports zero, so a
+     * disabled decrement (hdcDec == 0) cannot fire the detector on
+     * every candidate branch.
+     */
     bool
     sub(std::uint32_t n = 1)
     {
+        if (n == 0)
+            return false;
         if (n >= value_) {
             value_ = 0;
             return true;

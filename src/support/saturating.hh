@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Saturating unsigned arithmetic.
+ *
+ * Budget expressions like `max_insts * 4 + 1024` silently wrap when a
+ * caller passes "run to completion" (UINT64_MAX) as the budget, turning an
+ * effectively unlimited run into a tiny one. These helpers clamp at the
+ * numeric maximum instead.
+ */
+
+#ifndef VP_SUPPORT_SATURATING_HH
+#define VP_SUPPORT_SATURATING_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vp
+{
+
+/** @return a + b, clamped at UINT64_MAX. */
+constexpr std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    const std::uint64_t s = a + b;
+    return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+/** @return a * b, clamped at UINT64_MAX. */
+constexpr std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > std::numeric_limits<std::uint64_t>::max() / b)
+        return std::numeric_limits<std::uint64_t>::max();
+    return a * b;
+}
+
+} // namespace vp
+
+#endif // VP_SUPPORT_SATURATING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * Backs the parallel evaluation harness: benchmark drivers fan workloads
+ * out across the pool and the report analyzer fans out the four
+ * experimental variants. Tasks are plain closures; parallelFor() hands
+ * out item indices so callers can write results into pre-sized slots and
+ * keep deterministic, input-order output regardless of completion order.
+ */
+
+#ifndef VP_SUPPORT_THREAD_POOL_HH
+#define VP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vp
+{
+
+/** A fixed-size pool of worker threads with a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means defaultThreads(). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins workers; blocks until queued tasks finish. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Tasks must not enqueue into a pool they are
+     *  themselves draining via wait(). */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has completed. Rethrows the first
+     * exception any task raised since the last wait().
+     */
+    void wait();
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across the
+     * workers, and block until all complete. Index order of *execution*
+     * is unspecified; callers index into pre-sized result arrays for
+     * deterministic ordering. Rethrows the first task exception.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Hardware concurrency, at least 1. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cvTask_;  ///< signals workers: work or stop
+    std::condition_variable cvDone_;  ///< signals waiters: a task finished
+    std::size_t pending_ = 0;         ///< queued + running tasks
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_THREAD_POOL_HH

@@ -1,13 +1,29 @@
 #include "trace/engine.hh"
 
+#include <atomic>
 #include <unordered_map>
 
 #include "support/logging.hh"
+#include "support/saturating.hh"
 
 namespace vp::trace
 {
 
 using namespace ir;
+
+namespace
+{
+
+/** Process-wide retired-instruction tally across every engine run. */
+std::atomic<std::uint64_t> g_total_insts{0};
+
+} // namespace
+
+std::uint64_t
+totalSimulatedInsts()
+{
+    return g_total_insts.load(std::memory_order_relaxed);
+}
 
 ExecutionEngine::ExecutionEngine(const Program &prog,
                                  const workload::Workload &w)
@@ -35,9 +51,11 @@ ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
     BlockRef cur{entry_fn, prog_.func(entry_fn).entry()};
 
     // Safety net against cycles of empty blocks, which retire nothing and
-    // would otherwise never consume budget.
+    // would otherwise never consume budget. Saturating: a "run to
+    // completion" budget near UINT64_MAX must not wrap to a tiny step
+    // count.
     std::uint64_t steps = 0;
-    const std::uint64_t max_steps = max_insts * 4 + 1024;
+    const std::uint64_t max_steps = satAdd(satMul(max_insts, 4), 1024);
 
     bool done = false;
     while (!done && stats.dynInsts < max_insts &&
@@ -176,6 +194,7 @@ ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
     }
 
     stats.hitBudget = !done;
+    g_total_insts.fetch_add(stats.dynInsts, std::memory_order_relaxed);
     return stats;
 }
 

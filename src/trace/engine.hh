@@ -22,6 +22,13 @@
 namespace vp::trace
 {
 
+/**
+ * Total instructions retired by every ExecutionEngine in this process so
+ * far (monotonic, thread-safe). The bench harness samples it around a
+ * run to report simulation throughput.
+ */
+std::uint64_t totalSimulatedInsts();
+
 /** One retired instruction event. */
 struct RetiredInst
 {

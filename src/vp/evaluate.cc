@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "support/saturating.hh"
+#include "vp/run_cache.hh"
+
 namespace vp
 {
 
@@ -20,22 +23,21 @@ measureSpeedup(const workload::Workload &w, const Program &packaged_prog,
                const sim::MachineConfig &mc)
 {
     SpeedupResult out;
-    std::uint64_t branches = 0;
-    {
-        trace::ExecutionEngine engine(w.program, w);
-        sim::EpicCore core(w.program, mc);
-        engine.addSink(&core);
-        branches = engine.run(w.maxDynInsts).dynBranches;
-        out.baseline = core.stats();
-    }
+    // The baseline leg depends only on (workload, machine), not on the
+    // packaged program, so it is simulated once per workload and shared
+    // across the four experimental variants.
+    const auto baseline = RunCache::instance().baselineTiming(w, mc);
+    out.baseline = baseline->core;
+    const std::uint64_t branches = baseline->run.dynBranches;
     {
         // Equal *logical* work: run the packaged program to the same
         // retired-branch count (it needs fewer instructions to get
-        // there, which is part of the win being measured).
+        // there, which is part of the win being measured). Saturating:
+        // a "run to completion" budget must not wrap.
         trace::ExecutionEngine engine(packaged_prog, w);
         sim::EpicCore core(packaged_prog, mc);
         engine.addSink(&core);
-        engine.run(w.maxDynInsts * 2, branches);
+        engine.run(satMul(w.maxDynInsts, 2), branches);
         out.packaged = core.stats();
     }
     return out;
@@ -57,47 +59,14 @@ branchCategoryName(BranchCategory c)
     return "?";
 }
 
-namespace
-{
-
-/** Counts dynamic executions per static branch over a run. */
-class BranchCounter : public trace::InstSink
-{
-  public:
-    void
-    onRetire(const trace::RetiredInst &ri) override
-    {
-        if (ri.inst->op == Opcode::CondBr) {
-            ++counts_[ri.inst->behavior];
-            ++total_;
-        }
-    }
-
-    const std::unordered_map<BehaviorId, std::uint64_t> &
-    counts() const
-    {
-        return counts_;
-    }
-
-    std::uint64_t total() const { return total_; }
-
-  private:
-    std::unordered_map<BehaviorId, std::uint64_t> counts_;
-    std::uint64_t total_ = 0;
-};
-
-} // namespace
-
 Categorization
 categorizeBranches(const workload::Workload &w,
                    const std::vector<hsd::HotSpotRecord> &records,
                    double bias_high)
 {
-    // Dynamic execution weight of every static branch over the full run.
-    trace::ExecutionEngine engine(w.program, w);
-    BranchCounter counter;
-    engine.addSink(&counter);
-    engine.run(w.maxDynInsts);
+    // Dynamic execution weight of every static branch over the full run;
+    // memoized, since the counting pass is identical for every variant.
+    const auto counter = RunCache::instance().branchProfile(w);
 
     // Collect per-branch taken fractions across the phases that saw it.
     std::unordered_map<BehaviorId, std::vector<double>> fractions;
@@ -111,10 +80,10 @@ categorizeBranches(const workload::Workload &w,
     };
 
     Categorization cat;
-    if (counter.total() == 0)
+    if (counter->total == 0)
         return cat;
 
-    for (const auto &[behavior, weight] : counter.counts()) {
+    for (const auto &[behavior, weight] : counter->counts) {
         BranchCategory c;
         auto it = fractions.find(behavior);
         if (it == fractions.end()) {
@@ -138,7 +107,7 @@ categorizeBranches(const workload::Workload &w,
                 c = BranchCategory::MultiSame;
         }
         cat.fraction[static_cast<std::size_t>(c)] +=
-            static_cast<double>(weight) / counter.total();
+            static_cast<double>(weight) / counter->total;
     }
     return cat;
 }

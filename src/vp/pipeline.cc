@@ -16,6 +16,7 @@ VacuumPacker::profile(VpResult &result) const
         cfg_.profileBudget ? cfg_.profileBudget : workload_.maxDynInsts;
     result.profileRun = engine.run(budget);
     result.rawRecords = detector.records();
+    result.hsdStats = detector.stats();
     result.records = hsd::filterRedundant(result.rawRecords, cfg_.filter);
 }
 

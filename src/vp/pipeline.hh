@@ -42,6 +42,11 @@ struct VpResult
 
     /** Statistics of the profiling run. */
     trace::RunStats profileRun;
+
+    /** Detector-side counters of the profiling run (suppressed
+     *  detections, monitor restarts — the hardware-observable side of
+     *  phase detection). */
+    hsd::HsdStats hsdStats;
 };
 
 /**

@@ -1,31 +1,63 @@
 #include "vp/report.hh"
 
+#include <chrono>
+#include <mutex>
 #include <sstream>
 
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 
 namespace vp
 {
 
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
 WorkloadReport
-analyzeWorkload(const workload::Workload &w, const VpConfig &base)
+analyzeWorkload(const workload::Workload &w, const VpConfig &base,
+                unsigned threads)
 {
     WorkloadReport report;
     report.label = w.label();
     report.staticInsts = w.program.numInsts();
     report.functions = w.program.numFunctions();
     report.phases = w.schedule.numPhases();
+    report.stages = {{"pipeline", 0.0, 0},
+                     {"coverage", 0.0, 0},
+                     {"timing", 0.0, 0},
+                     {"categorize", 0.0, 0}};
 
     const std::array<std::pair<bool, bool>, 4> variants = {
         std::pair{false, false}, {false, true}, {true, false}, {true, true}};
 
-    for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::mutex mu; // guards report.stages and the v==3 extras
+
+    auto addStage = [&](std::size_t idx, double seconds,
+                        std::uint64_t insts) {
+        std::lock_guard<std::mutex> lock(mu);
+        report.stages[idx].seconds += seconds;
+        report.stages[idx].insts += insts;
+    };
+
+    auto runVariant = [&](std::size_t v) {
         VpConfig cfg = base;
         cfg.region.inference = variants[v].first;
         cfg.package.linking = variants[v].second;
 
+        auto t0 = std::chrono::steady_clock::now();
         VacuumPacker packer(w, cfg);
         const VpResult r = packer.run();
+        addStage(0, secondsSince(t0), r.profileRun.dynInsts);
 
         ConfigReport &cr = report.configs[v];
         cr.inference = variants[v].first;
@@ -39,33 +71,56 @@ analyzeWorkload(const workload::Workload &w, const VpConfig &base)
         cr.selectedFraction = r.packaged.selectedFraction();
         cr.replication = r.packaged.replicationFactor();
 
+        t0 = std::chrono::steady_clock::now();
         const trace::RunStats cov = measureCoverage(w, r.packaged.program);
         cr.coverage = cov.packageCoverage();
+        addStage(1, secondsSince(t0), cov.dynInsts);
 
+        t0 = std::chrono::steady_clock::now();
         const SpeedupResult sp =
             measureSpeedup(w, r.packaged.program, cfg.machine);
         cr.baseline = sp.baseline;
         cr.packaged = sp.packaged;
         cr.speedup = sp.speedup();
+        addStage(2, secondsSince(t0),
+                 sp.baseline.insts + sp.packaged.insts);
 
         if (v == variants.size() - 1) {
+            t0 = std::chrono::steady_clock::now();
+            const Categorization cat = categorizeBranches(w, r.records);
+            const double cat_s = secondsSince(t0);
+            std::lock_guard<std::mutex> lock(mu);
             report.profiledInsts = r.profileRun.dynInsts;
             report.profiledBranches = r.profileRun.dynBranches;
-            report.categorization = categorizeBranches(w, r.records);
+            report.hsd = r.hsdStats;
+            report.categorization = cat;
+            report.stages[3].seconds += cat_s;
+            report.stages[3].insts += r.profileRun.dynInsts;
         }
+    };
+
+    if (threads > 1) {
+        ThreadPool pool(std::min<unsigned>(threads, variants.size()));
+        pool.parallelFor(variants.size(), runVariant);
+    } else {
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            runVariant(v);
     }
     return report;
 }
 
 std::string
-toText(const WorkloadReport &report)
+toText(const WorkloadReport &report, bool with_timing)
 {
     std::ostringstream os;
     os << "== " << report.label << " ==\n";
     os << "static: " << report.staticInsts << " insts / "
        << report.functions << " functions; phases: " << report.phases
        << "; profiled: " << report.profiledInsts << " insts ("
-       << report.profiledBranches << " branches)\n\n";
+       << report.profiledBranches << " branches)\n";
+    os << "detector: " << report.hsd.detections() << " detections ("
+       << report.hsd.suppressed << " suppressed by history), "
+       << report.hsd.monitorRestarts << " monitor restarts\n\n";
 
     TablePrinter t;
     t.addRow({"config", "hot spots", "pkgs", "links", "expansion",
@@ -105,6 +160,18 @@ toText(const WorkloadReport &report)
             continue;
         os << "  " << branchCategoryName(cat) << ": "
            << TablePrinter::pct(report.categorization.of(cat)) << "\n";
+    }
+
+    if (with_timing && !report.stages.empty()) {
+        os << "\nstage costs (wall clock, all variants):\n";
+        for (const StageCost &s : report.stages) {
+            char line[128];
+            std::snprintf(line, sizeof(line),
+                          "  %-10s %8.3fs  %9.2fM insts  %8.1f Minst/s\n",
+                          s.name.c_str(), s.seconds, s.insts / 1e6,
+                          s.minstPerSec());
+            os << line;
+        }
     }
     return os.str();
 }

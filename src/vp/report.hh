@@ -12,6 +12,7 @@
 #define VP_VP_REPORT_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,21 @@
 
 namespace vp
 {
+
+/** Wall-clock and simulated-instruction cost of one analysis stage. */
+struct StageCost
+{
+    std::string name;
+    double seconds = 0.0;      ///< wall time spent in the stage
+    std::uint64_t insts = 0;   ///< dynamic instructions the stage covered
+
+    /** Simulation throughput in million instructions per second. */
+    double
+    minstPerSec() const
+    {
+        return seconds > 0.0 ? insts / seconds / 1e6 : 0.0;
+    }
+};
 
 /** Metrics of one (inference, linking) configuration. */
 struct ConfigReport
@@ -60,19 +76,38 @@ struct WorkloadReport
     /** The four Figure 8/10 configurations, paper order. */
     std::array<ConfigReport, 4> configs;
 
+    /** Detector counters of the full configuration's profiling run. */
+    hsd::HsdStats hsd;
+
+    /** Per-stage wall-clock / throughput, summed over all variants.
+     *  Not compared between runs (timing is nondeterministic); toText()
+     *  only renders it on request. */
+    std::vector<StageCost> stages;
+
     /** The full (inference + linking) configuration. */
     const ConfigReport &full() const { return configs[3]; }
 };
 
 /**
- * Analyze @p w end to end. Deterministic; cost is roughly ten engine
- * runs plus eight timing runs of the workload.
+ * Analyze @p w end to end. Deterministic in every result field except
+ * the `stages` wall-clock numbers; the baseline timing leg and the
+ * categorization counting run come from the process-wide RunCache.
+ *
+ * @param threads When > 1, the four variants are analyzed concurrently
+ *                on a thread pool (results are identical to serial).
  */
 WorkloadReport analyzeWorkload(const workload::Workload &w,
-                               const VpConfig &base = {});
+                               const VpConfig &base = {},
+                               unsigned threads = 1);
 
-/** Render as human-readable multi-line text. */
-std::string toText(const WorkloadReport &report);
+/**
+ * Render as human-readable multi-line text.
+ *
+ * @param with_timing Append the per-stage wall-clock/throughput table
+ *                    (off by default so outputs stay byte-comparable
+ *                    across runs and thread counts).
+ */
+std::string toText(const WorkloadReport &report, bool with_timing = false);
 
 } // namespace vp
 

@@ -1,0 +1,245 @@
+#include "vp/run_cache.hh"
+
+#include <cstring>
+
+namespace vp
+{
+
+namespace
+{
+
+/** 64-bit FNV-1a accumulator. */
+class Fnv
+{
+  public:
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *c = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= c[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/** Counts dynamic executions per static branch over a run. */
+class BranchCounter : public trace::InstSink
+{
+  public:
+    explicit BranchCounter(BranchProfile &out) : out_(out) {}
+
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op == ir::Opcode::CondBr) {
+            ++out_.counts[ri.inst->behavior];
+            ++out_.total;
+        }
+    }
+
+  private:
+    BranchProfile &out_;
+};
+
+} // namespace
+
+RunCache &
+RunCache::instance()
+{
+    static RunCache cache;
+    return cache;
+}
+
+std::uint64_t
+RunCache::fingerprint(const workload::Workload &w)
+{
+    Fnv h;
+    h.str(w.name);
+    h.str(w.input);
+    h.u64(w.maxDynInsts);
+
+    // Program structure: every arc, opcode and behavior id that the
+    // engine consults. Layout order matters only for addresses, which
+    // baseline runs of the *original* program never change, but it is
+    // cheap and makes the fingerprint robust to future reuse.
+    const ir::Program &p = w.program;
+    h.u64(p.numFunctions());
+    h.u64(p.entryFunc());
+    for (const ir::Function &fn : p.functions()) {
+        h.u64(fn.entry());
+        h.u64(fn.numBlocks());
+        for (const ir::BasicBlock &bb : fn.blocks()) {
+            h.u64(static_cast<std::uint64_t>(bb.kind));
+            h.u64((std::uint64_t(bb.taken.func) << 32) | bb.taken.block);
+            h.u64((std::uint64_t(bb.fall.func) << 32) | bb.fall.block);
+            h.u64(bb.callee);
+            for (const ir::Instruction &inst : bb.insts) {
+                h.u64((std::uint64_t(static_cast<unsigned>(inst.op))
+                       << 33) |
+                      (std::uint64_t(inst.pseudo) << 32) | inst.behavior);
+            }
+        }
+        for (ir::BlockId b : fn.layout())
+            h.u64(b);
+    }
+
+    // Behavior models live in unordered maps: combine per-entry hashes
+    // commutatively so iteration order cannot leak into the key.
+    std::uint64_t branches_h = 0;
+    for (const auto &[id, b] : w.behaviors.branches()) {
+        Fnv e;
+        e.u64(id);
+        for (double prob : b.probByPhase)
+            e.f64(prob);
+        branches_h += e.value();
+    }
+    h.u64(branches_h);
+    h.u64(w.behaviors.numMems());
+
+    const workload::PhaseSchedule &sched = w.schedule;
+    h.u64(sched.cyclic() ? 1 : 0);
+    for (const workload::PhaseSegment &seg : sched.segments()) {
+        h.u64(seg.phase);
+        h.u64(seg.branches);
+    }
+    return h.value();
+}
+
+std::uint64_t
+RunCache::machineHash(const sim::MachineConfig &mc)
+{
+    Fnv h;
+    h.u64(mc.issueWidth);
+    h.u64(mc.numIAlu);
+    h.u64(mc.numFp);
+    h.u64(mc.numMem);
+    h.u64(mc.numBranch);
+    h.u64(mc.latIAlu);
+    h.u64(mc.latFAlu);
+    h.u64(mc.latFMul);
+    h.u64(mc.latLoadL1);
+    h.u64(mc.schedLoadLatency);
+    h.u64(mc.latStore);
+    h.u64(mc.latBranch);
+    h.u64(mc.branchResolution);
+    h.u64(mc.gshareHistoryBits);
+    h.u64(mc.btbEntries);
+    h.u64(mc.rasEntries);
+    h.u64(mc.l1dBytes);
+    h.u64(mc.l1iBytes);
+    h.u64(mc.l2Bytes);
+    h.u64(mc.lineBytes);
+    h.u64(mc.l1Assoc);
+    h.u64(mc.l2Assoc);
+    h.u64(mc.latL2);
+    h.u64(mc.latMemory);
+    h.u64(mc.ldStBufEntries);
+    return h.value();
+}
+
+template <typename V, typename Compute>
+std::shared_ptr<const V>
+RunCache::getOrCompute(
+    std::unordered_map<std::uint64_t, std::shared_ptr<Slot<V>>> &map,
+    std::uint64_t key, Compute &&compute)
+{
+    std::shared_ptr<Slot<V>> slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &entry = map[key];
+        if (!entry)
+            entry = std::make_shared<Slot<V>>();
+        slot = entry;
+    }
+    bool computed = false;
+    std::call_once(slot->once, [&] {
+        slot->value = compute();
+        computed = true;
+    });
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (computed)
+            ++misses_;
+        else
+            ++hits_;
+    }
+    return slot->value;
+}
+
+std::shared_ptr<const BaselineTiming>
+RunCache::baselineTiming(const workload::Workload &w,
+                         const sim::MachineConfig &mc)
+{
+    Fnv key;
+    key.u64(fingerprint(w));
+    key.u64(machineHash(mc));
+    return getOrCompute(timing_, key.value(), [&] {
+        auto out = std::make_shared<BaselineTiming>();
+        trace::ExecutionEngine engine(w.program, w);
+        sim::EpicCore core(w.program, mc);
+        engine.addSink(&core);
+        out->run = engine.run(w.maxDynInsts);
+        out->core = core.stats();
+        return out;
+    });
+}
+
+std::shared_ptr<const BranchProfile>
+RunCache::branchProfile(const workload::Workload &w)
+{
+    return getOrCompute(profile_, fingerprint(w), [&] {
+        auto out = std::make_shared<BranchProfile>();
+        trace::ExecutionEngine engine(w.program, w);
+        BranchCounter counter(*out);
+        engine.addSink(&counter);
+        engine.run(w.maxDynInsts);
+        return out;
+    });
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    timing_.clear();
+    profile_.clear();
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+RunCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+} // namespace vp

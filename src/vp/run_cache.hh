@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Memoized baseline simulation runs.
+ *
+ * Every figure/table harness re-simulates the *original* program of a
+ * workload several times: measureSpeedup() runs the baseline timing leg
+ * once per variant (four times per workload in the Figure 8/10 sweeps)
+ * and categorizeBranches() runs a fifth, counting-only pass. All of
+ * those runs are pure functions of (workload, machine config), so the
+ * cache keys them by a content fingerprint of the workload — program
+ * structure, behavior models, phase schedule, run budget — plus the
+ * machine-config hash, and simulates each key exactly once per process.
+ *
+ * Thread-safe: concurrent requests for the same key block on a
+ * per-entry once-flag while one thread simulates; the parallel bench
+ * harness relies on this.
+ */
+
+#ifndef VP_VP_RUN_CACHE_HH
+#define VP_VP_RUN_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/core.hh"
+#include "trace/engine.hh"
+#include "workload/workload.hh"
+
+namespace vp
+{
+
+/** Baseline timing leg: original program through the EPIC core. */
+struct BaselineTiming
+{
+    sim::CoreStats core;  ///< cycle-level results
+    trace::RunStats run;  ///< engine-side counts (dynBranches keys the
+                          ///< packaged leg's equal-logical-work bound)
+};
+
+/** Counting-only pass: dynamic executions per static branch. */
+struct BranchProfile
+{
+    std::unordered_map<ir::BehaviorId, std::uint64_t> counts;
+    std::uint64_t total = 0; ///< all dynamic conditional branches
+};
+
+/** Process-wide memo of baseline runs. */
+class RunCache
+{
+  public:
+    static RunCache &instance();
+
+    /**
+     * Timing run of @p w's original program on @p mc, simulated at most
+     * once per (workload fingerprint, machine hash). The returned object
+     * is shared and immutable.
+     */
+    std::shared_ptr<const BaselineTiming>
+    baselineTiming(const workload::Workload &w,
+                   const sim::MachineConfig &mc);
+
+    /** Per-branch execution counts over a full run of @p w's original
+     *  program, simulated at most once per workload fingerprint. */
+    std::shared_ptr<const BranchProfile>
+    branchProfile(const workload::Workload &w);
+
+    /** Drop every entry (test isolation; counters are kept). */
+    void clear();
+
+    /** Requests served from an already-simulated entry. */
+    std::uint64_t hits() const;
+
+    /** Requests that triggered a simulation. */
+    std::uint64_t misses() const;
+
+    /**
+     * Content fingerprint of a workload: name, input, budget, program
+     * structure (blocks, arcs, opcodes, behavior ids), behavior models
+     * and phase schedule. Workloads that simulate differently hash
+     * differently (modulo 64-bit collisions).
+     */
+    static std::uint64_t fingerprint(const workload::Workload &w);
+
+    /** Hash of every MachineConfig field. */
+    static std::uint64_t machineHash(const sim::MachineConfig &mc);
+
+  private:
+    RunCache() = default;
+
+    template <typename V> struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const V> value;
+    };
+
+    template <typename V, typename Compute>
+    std::shared_ptr<const V>
+    getOrCompute(std::unordered_map<std::uint64_t,
+                                    std::shared_ptr<Slot<V>>> &map,
+                 std::uint64_t key, Compute &&compute);
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Slot<BaselineTiming>>>
+        timing_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Slot<BranchProfile>>>
+        profile_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace vp
+
+#endif // VP_VP_RUN_CACHE_HH

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the parallel evaluation harness: the worker thread pool, the
+ * memoized baseline-run cache, the ordered compute/emit driver, and the
+ * end-to-end guarantee the bench tables rely on — a parallel roster
+ * sweep emits byte-identical rows to the serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "support/thread_pool.hh"
+#include "tests/helpers.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "vp/run_cache.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ZeroRequestsDefaultThreads)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    pool.parallelFor(visits.size(), [&](std::size_t i) {
+        visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoOp)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "called for n=0"; });
+    pool.wait();
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The pool stays usable after an exception has been consumed.
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+}
+
+// ------------------------------------------------------------------ RunCache
+
+TEST(RunCache, BaselineTimingHitsAfterFirstMiss)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const test::TinyWorkload t = test::makeTiny(42, 60'000);
+    const sim::MachineConfig mc;
+
+    const std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+    const auto first = cache.baselineTiming(t.w, mc);
+    EXPECT_EQ(cache.hits(), h0);
+    EXPECT_EQ(cache.misses(), m0 + 1);
+
+    const auto second = cache.baselineTiming(t.w, mc);
+    EXPECT_EQ(cache.hits(), h0 + 1);
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    EXPECT_EQ(first.get(), second.get()); // shared, not re-simulated
+    EXPECT_GT(first->run.dynInsts, 0u);
+    EXPECT_GT(first->core.cycles, 0u);
+}
+
+TEST(RunCache, MachineConfigIsPartOfTheKey)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const test::TinyWorkload t = test::makeTiny(42, 60'000);
+
+    sim::MachineConfig narrow;
+    narrow.issueWidth = 1;
+    const auto wide_run = cache.baselineTiming(t.w, sim::MachineConfig());
+    const std::uint64_t m0 = cache.misses();
+    const auto narrow_run = cache.baselineTiming(t.w, narrow);
+    EXPECT_EQ(cache.misses(), m0 + 1) << "distinct machine must re-simulate";
+    EXPECT_NE(wide_run.get(), narrow_run.get());
+    EXPECT_GT(narrow_run->core.cycles, wide_run->core.cycles);
+}
+
+TEST(RunCache, BranchProfileHitsAfterFirstMiss)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const test::TinyWorkload t = test::makeTiny(42, 60'000);
+
+    const std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+    const auto first = cache.branchProfile(t.w);
+    const auto second = cache.branchProfile(t.w);
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    EXPECT_EQ(cache.hits(), h0 + 1);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_GT(first->total, 0u);
+    EXPECT_FALSE(first->counts.empty());
+}
+
+TEST(RunCache, FingerprintSeparatesWorkloadsSharingAName)
+{
+    // Same builder, same name/input — different seed and budget. A cache
+    // keyed on names alone would alias these.
+    const test::TinyWorkload a = test::makeTiny(42, 60'000);
+    const test::TinyWorkload b = test::makeTiny(43, 60'000);
+    const test::TinyWorkload c = test::makeTiny(42, 70'000);
+    EXPECT_NE(RunCache::fingerprint(a.w), RunCache::fingerprint(b.w));
+    EXPECT_NE(RunCache::fingerprint(a.w), RunCache::fingerprint(c.w));
+
+    const test::TinyWorkload a2 = test::makeTiny(42, 60'000);
+    EXPECT_EQ(RunCache::fingerprint(a.w), RunCache::fingerprint(a2.w));
+}
+
+TEST(RunCache, ClearForcesResimulation)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const test::TinyWorkload t = test::makeTiny(42, 60'000);
+    const sim::MachineConfig mc;
+
+    const auto first = cache.baselineTiming(t.w, mc);
+    cache.clear();
+    const std::uint64_t m0 = cache.misses();
+    const auto second = cache.baselineTiming(t.w, mc);
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    // Identical inputs: the recomputed entry carries identical results.
+    EXPECT_EQ(first->run.dynInsts, second->run.dynInsts);
+    EXPECT_EQ(first->core.cycles, second->core.cycles);
+}
+
+TEST(RunCache, ConcurrentRequestsSimulateOnce)
+{
+    auto &cache = RunCache::instance();
+    cache.clear();
+    const test::TinyWorkload t = test::makeTiny(42, 60'000);
+    const sim::MachineConfig mc;
+
+    const std::uint64_t m0 = cache.misses();
+    ThreadPool pool(4);
+    std::vector<std::shared_ptr<const BaselineTiming>> got(8);
+    pool.parallelFor(got.size(), [&](std::size_t i) {
+        got[i] = cache.baselineTiming(t.w, mc);
+    });
+    EXPECT_EQ(cache.misses(), m0 + 1) << "one simulation for 8 requests";
+    for (const auto &p : got)
+        EXPECT_EQ(p.get(), got[0].get());
+}
+
+// ----------------------------------------------------------------- ordering
+
+TEST(RunOrdered, EmitsInIndexOrderDespiteCompletionOrder)
+{
+    // Early indices sleep longest, so completion order is roughly
+    // reversed; emission order must stay 0..n-1.
+    const std::size_t n = 12;
+    std::vector<std::size_t> emitted;
+    bench::runOrdered(
+        4, n,
+        [&](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2 * (n - i)));
+        },
+        [&](std::size_t i) { emitted.push_back(i); });
+    ASSERT_EQ(emitted.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(RunOrdered, ComputeExceptionSkipsItsEmitAndRethrows)
+{
+    std::vector<std::size_t> emitted;
+    EXPECT_THROW(
+        bench::runOrdered(
+            3, 5,
+            [&](std::size_t i) {
+                if (i == 2)
+                    throw std::runtime_error("item 2 failed");
+            },
+            [&](std::size_t i) { emitted.push_back(i); }),
+        std::runtime_error);
+    EXPECT_EQ(emitted, (std::vector<std::size_t>{0, 1, 3, 4}));
+}
+
+TEST(RunOrdered, SerialPathMatchesParallelPath)
+{
+    auto run = [](unsigned threads) {
+        std::vector<int> out;
+        bench::runOrdered(
+            threads, 20, [](std::size_t) {},
+            [&](std::size_t i) { out.push_back(static_cast<int>(i) * 3); });
+        return out;
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+// -------------------------------------------------------------- determinism
+
+/** One bench-style row: full pipeline + coverage + speedup, formatted. */
+std::string
+benchRow(workload::Workload &w)
+{
+    w.maxDynInsts = 120'000; // trimmed budget keeps the sweep fast
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+    const auto cov = measureCoverage(w, r.packaged.program);
+    const auto sp = measureSpeedup(w, r.packaged.program,
+                                   packer.config().machine);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s cov=%.6f sp=%.6f pkgs=%zu det=%zu",
+                  bench::rowLabel(w).c_str(), cov.packageCoverage(),
+                  sp.speedup(), r.packaged.packages.size(),
+                  r.records.size());
+    return std::string(buf);
+}
+
+TEST(Determinism, ParallelRosterSweepMatchesSerial)
+{
+    // The acceptance bar for the harness: identical emitted rows, in
+    // identical order, for any thread count. The cache is cleared before
+    // each pass so the parallel leg actually simulates concurrently.
+    auto sweep = [](unsigned threads) {
+        RunCache::instance().clear();
+        std::vector<std::string> rows;
+        bench::forEachWorkload(
+            threads, [](workload::Workload &w) { return benchRow(w); },
+            [&](const workload::Workload &, const std::string &row) {
+                rows.push_back(row);
+            });
+        return rows;
+    };
+
+    const std::vector<std::string> serial = sweep(1);
+    const std::vector<std::string> parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), workload::makeAllWorkloads().size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "row " << i;
+}
+
+TEST(Determinism, ForEachItemPreservesListOrder)
+{
+    struct Item
+    {
+        int id;
+    };
+    const std::vector<Item> items = {{5}, {1}, {9}, {3}};
+    std::vector<int> seen;
+    bench::forEachItem(
+        3, items, [](const Item &it) { return it.id * 10; },
+        [&](const Item &it, int r) {
+            EXPECT_EQ(r, it.id * 10);
+            seen.push_back(it.id);
+        });
+    EXPECT_EQ(seen, (std::vector<int>{5, 1, 9, 3}));
+}
+
+} // namespace

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "support/bitset.hh"
 #include "support/rng.hh"
 #include "support/sat_counter.hh"
+#include "support/saturating.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -88,6 +92,66 @@ TEST(SatCounter, ResetClamps)
     EXPECT_EQ(c.value(), 15u);
     c.reset();
     EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, AddZeroIsStatePreservingNoOp)
+{
+    // A disabled increment (hdcInc == 0) must neither move the counter
+    // nor report saturation — even when already saturated.
+    SatCounter c(4, 5);
+    EXPECT_FALSE(c.add(0));
+    EXPECT_EQ(c.value(), 5u);
+
+    SatCounter at_max(4, 15);
+    ASSERT_TRUE(at_max.saturated());
+    EXPECT_FALSE(at_max.add(0));
+    EXPECT_EQ(at_max.value(), 15u);
+}
+
+TEST(SatCounter, SubZeroIsStatePreservingNoOp)
+{
+    // A disabled decrement (hdcDec == 0) must neither move the counter
+    // nor report zero — even when the counter already sits at zero.
+    SatCounter c(4, 5);
+    EXPECT_FALSE(c.sub(0));
+    EXPECT_EQ(c.value(), 5u);
+
+    SatCounter at_zero(4, 0);
+    ASSERT_TRUE(at_zero.zero());
+    EXPECT_FALSE(at_zero.sub(0));
+    EXPECT_EQ(at_zero.value(), 0u);
+}
+
+// ------------------------------------------------------- saturating helpers
+
+TEST(Saturating, AddClampsAtMax)
+{
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(satAdd(2, 3), 5u);
+    EXPECT_EQ(satAdd(top, 0), top);
+    EXPECT_EQ(satAdd(top, 1), top);
+    EXPECT_EQ(satAdd(top - 1, 1), top);
+    EXPECT_EQ(satAdd(top, top), top);
+}
+
+TEST(Saturating, MulClampsAtMax)
+{
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(satMul(6, 7), 42u);
+    EXPECT_EQ(satMul(0, top), 0u);
+    EXPECT_EQ(satMul(top, 0), 0u);
+    EXPECT_EQ(satMul(top, 1), top);
+    EXPECT_EQ(satMul(top, 2), top);
+    EXPECT_EQ(satMul(1u << 31, 1ull << 34), top);
+}
+
+TEST(Saturating, BudgetExpressionDoesNotWrap)
+{
+    // The engine's step budget, max_insts * 4 + 1024, at the
+    // run-to-completion sentinel.
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(satAdd(satMul(top, 4), 1024), top);
+    EXPECT_EQ(satAdd(satMul(100, 4), 1024), 1424u);
 }
 
 // ------------------------------------------------------------------- BitSet

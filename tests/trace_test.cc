@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "tests/helpers.hh"
 #include "trace/engine.hh"
 #include "trace/oracle.hh"
@@ -116,6 +119,28 @@ TEST(Engine, ProgramExitOnEntryFunctionReturn)
     ExecutionEngine engine(w.program, w);
     const RunStats stats = engine.run(1'000);
     EXPECT_EQ(stats.dynInsts, 6u); // 5 compute + ret
+    EXPECT_FALSE(stats.hitBudget);
+}
+
+TEST(Engine, RunToCompletionBudgetDoesNotWrap)
+{
+    // Regression: run(UINT64_MAX) used to compute its internal step
+    // budget as max_insts * 4 + 1024, which wraps to 1020 and turns a
+    // run-to-completion request into a near-empty run.
+    workload::ProgramBuilder b("exit", 1);
+    const auto f = b.function("m", 8);
+    const auto b0 = b.block(f);
+    b.entry(f, b0);
+    b.compute(f, b0, 5);
+    b.ret(f, b0);
+    b.entryFunc(f);
+    workload::Workload w =
+        b.finish("exit", "A", workload::PhaseSchedule({{0, 10}}, false), 100);
+
+    ExecutionEngine engine(w.program, w);
+    const RunStats stats =
+        engine.run(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(stats.dynInsts, 6u); // ran to program exit, not a step cap
     EXPECT_FALSE(stats.hitBudget);
 }
 

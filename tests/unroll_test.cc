@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "ir/cfg.hh"
 #include "ir/verify.hh"
 #include "opt/unroll.hh"
@@ -199,6 +201,38 @@ TEST(UnrollEndToEnd, PackagesStayCorrectAndNoSlower)
     // Unrolling must not break anything; on this loop-heavy workload it
     // should not lose more than noise.
     EXPECT_GT(unrolled, base - 0.02);
+}
+
+TEST(UnrollEndToEnd, OptimizedPackagesAreRunToRunDeterministic)
+{
+    // Regression: optimizePackages() sized its externally-referenced
+    // mask before unrolling appended body copies, so merge/relayout
+    // indexed past the end of a vector<bool> and read heap garbage —
+    // unrolled packages differed from run to run (ASLR-dependent).
+    // Within one process the garbage can still differ between
+    // invocations, so two full pipeline runs must agree block for block.
+    auto dump = [] {
+        workload::Workload w = workload::makeWorkload("164.gzip", "A");
+        w.maxDynInsts = 500'000;
+        VpConfig cfg = VpConfig::variant(true, true);
+        cfg.opt.unrollFactor = 2;
+        VacuumPacker packer(w, cfg);
+        const VpResult r = packer.run();
+        std::string text;
+        for (const auto &fn : r.packaged.program.functions()) {
+            if (!fn.isPackage())
+                continue;
+            text += fn.name() + ":";
+            for (const auto &bb : fn.blocks()) {
+                text += " [";
+                for (const auto &inst : bb.insts)
+                    text += std::to_string(static_cast<int>(inst.op)) + ",";
+                text += "]";
+            }
+        }
+        return text;
+    };
+    EXPECT_EQ(dump(), dump());
 }
 
 TEST(UnrollEndToEnd, StreamPreservedOnRealPackage)

@@ -4,7 +4,7 @@
  *
  *   vpack list                              list the Table 1 workloads
  *   vpack run <bench> [input] [options]     run the pipeline, print results
- *   vpack report <bench> [input]            full four-configuration report
+ *   vpack report <bench> [input] [options]  full four-configuration report
  *   vpack dump <bench> [input] [options]    dump the packaged program IR
  *
  * Options (run/dump):
@@ -17,6 +17,9 @@
  *   --max-blocks=N         heuristic growth bound (paper: 1)
  *   --budget=N             dynamic instruction budget
  *   --packages-only        (dump) print only package functions
+ *   --threads=N            (report) analyze the four variants on N
+ *                          worker threads (results are identical)
+ *   --timing               (report) append per-stage wall-clock costs
  */
 
 #include <cstdio>
@@ -46,7 +49,8 @@ usage()
                  "       vpack dump   <bench> [input] [options]\n"
                  "options: --no-inference --no-linking --dynamic-launch\n"
                  "         --unroll=N --bbb=SETSxWAYS --history=N\n"
-                 "         --max-blocks=N --budget=N --packages-only\n");
+                 "         --max-blocks=N --budget=N --packages-only\n"
+                 "         --threads=N --timing\n");
     return 2;
 }
 
@@ -55,6 +59,8 @@ struct Options
     VpConfig cfg;
     std::uint64_t budget = 0; // 0 = workload default
     bool packagesOnly = false;
+    unsigned threads = 1;
+    bool timing = false;
 };
 
 bool
@@ -73,6 +79,16 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             opt.cfg.package.dynamicLaunch = true;
         } else if (a == "--packages-only") {
             opt.packagesOnly = true;
+        } else if (a == "--timing") {
+            opt.timing = true;
+        } else if (starts("--threads=")) {
+            const long n = std::atol(a.c_str() + 10);
+            if (n < 1) {
+                std::fprintf(stderr, "vpack: bad --threads value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+            opt.threads = static_cast<unsigned>(n);
         } else if (starts("--unroll=")) {
             opt.cfg.opt.unrollFactor =
                 static_cast<unsigned>(std::atoi(a.c_str() + 9));
@@ -150,9 +166,15 @@ cmdRun(const workload::Workload &w_in, const Options &opt)
 }
 
 int
-cmdReport(const workload::Workload &w)
+cmdReport(const workload::Workload &w_in, const Options &opt)
 {
-    std::printf("%s", toText(analyzeWorkload(w)).c_str());
+    workload::Workload w = w_in;
+    if (opt.budget)
+        w.maxDynInsts = opt.budget;
+    std::printf("%s",
+                toText(analyzeWorkload(w, opt.cfg, opt.threads),
+                       opt.timing)
+                    .c_str());
     return 0;
 }
 
@@ -203,7 +225,7 @@ main(int argc, char **argv)
     if (cmd == "run")
         return cmdRun(w, opt);
     if (cmd == "report")
-        return cmdReport(w);
+        return cmdReport(w, opt);
     if (cmd == "dump")
         return cmdDump(w, opt);
     return usage();
