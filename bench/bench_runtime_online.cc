@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Online repackaging harness: one RuntimeController run per workload —
+ * detection, background synthesis, hot-swap install, caching, eviction
+ * all inside a single execution — compared against the offline
+ * (inference + linking) pipeline's coverage on the same workload. The
+ * acceptance bar for the runtime is reaching >= 80% of the offline
+ * coverage in that single online pass.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "runtime/controller.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vp;
+    using namespace vp::bench;
+
+    const unsigned threads = benchThreads(argc, argv);
+    HarnessTimer timer(threads);
+
+    std::printf("Online repackaging: single-run coverage vs the offline "
+                "inf+link pipeline\n");
+    std::printf("(online includes detection + compile latency + cache "
+                "churn; offline packs\nfrom a completed profile run)\n\n");
+
+    struct Row
+    {
+        runtime::RuntimeStats online;
+        double offline = 0.0;
+    };
+
+    TablePrinter table;
+    table.addRow({"benchmark", "online", "offline", "of offline", "builds",
+                  "hits", "installs", "displace", "evict"});
+
+    Accumulator online_avg, offline_avg, frac_avg;
+
+    forEachWorkload(
+        threads,
+        [](workload::Workload &w) {
+            Row row;
+
+            runtime::RuntimeConfig rcfg;
+            rcfg.vp = VpConfig::variant(true, true);
+            // The controller serializes installs at quantum boundaries;
+            // background workers only hide compile wall-clock, so one is
+            // enough here (results are identical for any count).
+            rcfg.workers = 1;
+            runtime::RuntimeController controller(w, rcfg);
+            row.online = controller.run();
+
+            VacuumPacker packer(w, VpConfig::variant(true, true));
+            const VpResult r = packer.run();
+            row.offline =
+                measureCoverage(w, r.packaged.program).packageCoverage();
+            return row;
+        },
+        [&](const workload::Workload &w, const Row &row) {
+            const double online = row.online.packageCoverage();
+            const double frac =
+                row.offline > 0.0 ? online / row.offline : 0.0;
+            online_avg.add(online);
+            offline_avg.add(row.offline);
+            frac_avg.add(frac);
+            table.addRow({rowLabel(w), TablePrinter::pct(online),
+                          TablePrinter::pct(row.offline),
+                          TablePrinter::pct(frac),
+                          std::to_string(row.online.builds),
+                          std::to_string(row.online.cacheHits),
+                          std::to_string(row.online.installs),
+                          std::to_string(row.online.displacements),
+                          std::to_string(row.online.evictions)});
+            std::fflush(stdout);
+        });
+
+    table.addRow({"average", TablePrinter::pct(online_avg.mean()),
+                  TablePrinter::pct(offline_avg.mean()),
+                  TablePrinter::pct(frac_avg.mean()), "", "", "", "", ""});
+    table.print();
+    return 0;
+}

@@ -72,6 +72,8 @@ HotSpotDetector::detect()
         history_.insert(sig);
     }
     records_.push_back(std::move(rec));
+    if (onRecord_)
+        onRecord_(records_.back());
 
     // Restart monitoring so the next (possibly different) phase is
     // detected afresh; re-detections of this same phase are removed by the

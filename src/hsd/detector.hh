@@ -15,6 +15,7 @@
 #ifndef VP_HSD_DETECTOR_HH
 #define VP_HSD_DETECTOR_HH
 
+#include <functional>
 #include <vector>
 
 #include "hsd/bbb.hh"
@@ -52,6 +53,17 @@ class HotSpotDetector : public trace::InstSink
                              const trace::BranchOracle *oracle = nullptr);
 
     void onRetire(const trace::RetiredInst &ri) override;
+
+    /**
+     * Push-style snapshot delivery: invoked synchronously from within
+     * onRetire() the moment a hot spot is recorded (after history
+     * suppression), with a reference to the freshly stored record. This
+     * is the hardware "phase detected" interrupt the online runtime
+     * consumes instead of polling records(); the offline pipeline keeps
+     * polling. The callback must not re-enter the detector.
+     */
+    using SnapshotCallback = std::function<void(const HotSpotRecord &)>;
+    void setSnapshotCallback(SnapshotCallback cb) { onRecord_ = std::move(cb); }
 
     /** All hot spots detected so far, in detection order (unfiltered). */
     const std::vector<HotSpotRecord> &records() const { return records_; }
@@ -102,6 +114,7 @@ class HotSpotDetector : public trace::InstSink
     std::uint64_t refreshAt_ = 0;
     std::uint64_t clearAt_ = 0;
     std::vector<HotSpotRecord> records_;
+    SnapshotCallback onRecord_;
 };
 
 } // namespace vp::hsd

@@ -1,0 +1,93 @@
+#include "runtime/bundle.hh"
+
+#include <limits>
+
+#include "vp/stages.hh"
+
+namespace vp::runtime
+{
+
+hsd::HotSpotRecord
+canonicalizeRecord(const hsd::HotSpotRecord &record)
+{
+    hsd::HotSpotRecord out;
+    out.detectedAtBranch = record.detectedAtBranch;
+    out.truePhase = record.truePhase;
+    for (const hsd::HotBranch &hb : record.branches) {
+        hsd::HotBranch *prev = nullptr;
+        for (hsd::HotBranch &seen : out.branches) {
+            if (seen.behavior == hb.behavior) {
+                prev = &seen;
+                break;
+            }
+        }
+        if (!prev) {
+            out.branches.push_back(hb);
+            continue;
+        }
+        const auto sat = [](std::uint64_t v) {
+            const std::uint64_t cap =
+                std::numeric_limits<std::uint32_t>::max();
+            return static_cast<std::uint32_t>(v < cap ? v : cap);
+        };
+        prev->exec = sat(std::uint64_t{prev->exec} + hb.exec);
+        prev->taken = sat(std::uint64_t{prev->taken} + hb.taken);
+    }
+    return out;
+}
+
+std::uint64_t
+phaseKey(const hsd::HotSpotRecord &record, double bias_high)
+{
+    // Sum of per-pair FNV hashes, deduplicated first: commutative (BBB
+    // snapshot order cannot leak in) and idempotent per (behavior, bias)
+    // pair (several package copies of one original branch collapse).
+    std::uint64_t acc = 0;
+    std::vector<std::uint64_t> seen;
+    seen.reserve(record.branches.size());
+    for (const hsd::HotBranch &hb : record.branches) {
+        const double f = hb.takenFraction();
+        const std::uint64_t bias =
+            f >= bias_high ? 2 : (f <= 1.0 - bias_high ? 1 : 0);
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        auto mix = [&h](std::uint64_t v) {
+            for (unsigned i = 0; i < 8; ++i) {
+                h ^= (v >> (8 * i)) & 0xff;
+                h *= 0x100000001b3ull;
+            }
+        };
+        mix(hb.behavior);
+        mix(bias);
+        bool dup = false;
+        for (std::uint64_t s : seen)
+            dup |= (s == h);
+        if (!dup) {
+            seen.push_back(h);
+            acc += h;
+        }
+    }
+    return acc;
+}
+
+PackageBundle
+synthesizeBundle(const ir::Program &pristine,
+                 const hsd::HotSpotRecord &record, const VpConfig &cfg)
+{
+    VpConfig c = cfg;
+    c.package.dynamicLaunch = false;
+
+    PackageBundle bundle;
+    bundle.record = record;
+    bundle.key = phaseKey(record, c.filter.biasHigh);
+
+    std::vector<region::Region> regions =
+        identifyRegions(pristine, {record}, c.region);
+    ConstructResult built = constructPackages(pristine, regions, c);
+
+    bundle.region = std::move(regions.front());
+    bundle.packaged = std::move(built.packaged);
+    bundle.optStats = built.optStats;
+    return bundle;
+}
+
+} // namespace vp::runtime

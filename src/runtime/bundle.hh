@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The unit of background work of the online runtime: one hot-spot record
+ * turned into a fully optimized *package bundle* — a scratch packaged
+ * program built against the pristine original, ready for the LivePatcher
+ * to splice into the running program.
+ */
+
+#ifndef VP_RUNTIME_BUNDLE_HH
+#define VP_RUNTIME_BUNDLE_HH
+
+#include <cstdint>
+
+#include "hsd/record.hh"
+#include "opt/optimizer.hh"
+#include "package/packager.hh"
+#include "region/region.hh"
+#include "vp/config.hh"
+
+namespace vp::runtime
+{
+
+/** Everything one synthesis job produced. */
+struct PackageBundle
+{
+    /** The record that triggered synthesis; the cache's match identity
+     *  (compared by hsd::sameHotSpot, which keys on stable behavior ids,
+     *  so pre- and post-install detections of the same phase match even
+     *  though their pcs differ). */
+    hsd::HotSpotRecord record;
+
+    /** Stable display/logging key of the phase (behavior + bias hash). */
+    std::uint64_t key = 0;
+
+    /** The identified region (diagnostics; the packages embody it). */
+    region::Region region;
+
+    /** Pristine-original clone with this phase's packages appended,
+     *  launch points patched and optimization applied. Package functions
+     *  occupy FuncIds [pristine.numFunctions(), ...). */
+    package::PackagedProgram packaged;
+
+    opt::OptStats optStats;
+
+    /** Added static instructions — the cache weight. */
+    std::size_t weight() const { return packaged.addedInsts; }
+
+    /** True when the region yielded no packages (nothing to install). */
+    bool empty() const { return packaged.packages.empty(); }
+};
+
+/**
+ * Merge a record's entries per behavior id: exec/taken counts sum
+ * (saturating), the first pc is kept. In original code every behavior
+ * occupies one pc and this is the identity; once a phase's packages are
+ * installed the BBB captures the same behavior at the original pc *and*
+ * every package-copy pc, and the raw record carries one entry each.
+ * sameHotSpot() sizes records by entry count, so an uncanonicalized
+ * re-detection looks ~replication-factor bigger than its pre-install
+ * twin and misses the cache. The runtime canonicalizes every incoming
+ * record before matching or synthesis.
+ */
+hsd::HotSpotRecord canonicalizeRecord(const hsd::HotSpotRecord &record);
+
+/**
+ * Stable phase key of a record: order-independent hash of the candidate
+ * branches' behavior ids and quantized biases (taken / not-taken /
+ * unbiased at @p bias_high). Unlike the hardware HotSpotSignature it
+ * ignores pcs, so a phase hashes identically whether it was detected in
+ * original code or inside its own installed package copies.
+ */
+std::uint64_t phaseKey(const hsd::HotSpotRecord &record,
+                       double bias_high = 0.7);
+
+/**
+ * Synthesize one bundle: identify the region for @p record over
+ * @p pristine and construct + optimize its packages, via the same
+ * vp::identifyRegions / vp::constructPackages stages the offline
+ * pipeline uses. Pure function of its arguments — safe to run on any
+ * worker thread, bit-identical results on all of them.
+ * cfg.package.dynamicLaunch is forced off (selector stubs are not
+ * spliceable).
+ */
+PackageBundle synthesizeBundle(const ir::Program &pristine,
+                               const hsd::HotSpotRecord &record,
+                               const VpConfig &cfg);
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_BUNDLE_HH

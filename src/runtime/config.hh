@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration of the online vacuum-packing runtime.
+ */
+
+#ifndef VP_RUNTIME_CONFIG_HH
+#define VP_RUNTIME_CONFIG_HH
+
+#include <cstdint>
+
+#include "vp/config.hh"
+
+namespace vp::runtime
+{
+
+/** All knobs of the online repackaging loop. */
+struct RuntimeConfig
+{
+    /**
+     * Stage knobs shared with the offline pipeline (HSD geometry, region
+     * inference, package linking, optimization passes, machine model).
+     * hsd.historyDepth defaults to 0, which the runtime relies on:
+     * re-detections of an installed phase must reach the controller so
+     * they register as package-cache hits instead of being swallowed at
+     * detection time. package.dynamicLaunch is ignored (forced off) —
+     * selector stubs are an offline deployment shape.
+     */
+    VpConfig vp;
+
+    /**
+     * Execution quantum in retired instructions. The engine runs this
+     * many instructions, then the controller drains detector snapshots,
+     * installs finished packages and evicts — so every structural change
+     * to the live program lands at a deterministic instruction count,
+     * regardless of background-worker timing.
+     */
+    std::uint64_t quantumInsts = 10'000;
+
+    /** Online run budget; 0 means the workload's own budget. */
+    std::uint64_t budget = 0;
+
+    /** Background synthesis worker threads (results are identical for
+     *  every count; only wall-clock changes). */
+    unsigned workers = 1;
+
+    /**
+     * Package-cache capacity: total *added* static instructions of all
+     * installed bundles. Exceeding it evicts least-recently-used bundles
+     * (deopt back to original code).
+     */
+    std::size_t cacheCapacityInsts = 65'536;
+
+    /**
+     * Deterministic compile-latency model: a synthesis job submitted at
+     * quantum q installs at quantum
+     *   q + baseCompileQuanta + record.branches / hotBranchesPerQuantum.
+     * The cost is a pure function of the record, so the install point is
+     * identical whether one worker or sixteen computed the bundle; the
+     * controller blocks at the install quantum if the worker has not
+     * caught up yet (wall-clock only).
+     */
+    unsigned baseCompileQuanta = 1;
+    std::size_t hotBranchesPerQuantum = 64;
+
+    /**
+     * A resident bundle is *active* while its packages retired at least
+     * this fraction of the last quantum's instructions. A cache hit on
+     * an active bundle is served as-is; a hit on a resident-but-cold
+     * bundle means its packages are not covering the current hot set, so
+     * the detection falls through to a rebuild that replaces it.
+     */
+    double activeRetireFraction = 0.10;
+
+    /**
+     * Cache-match slack. The offline redundancy filter answers "is this
+     * phase different enough to deserve its own packages?" with the
+     * paper's strict thresholds; the cache answers "is existing coverage
+     * adequate right now?", for which near-variant re-detections of an
+     * installed phase (whose candidate sets wobble quantum to quantum)
+     * should hit, not rebuild. These loosen hsd::FilterConfig for cache
+     * and in-flight matching only; synthesis still uses vp.filter. The
+     * active-bundle check above is the safety net when slack matches two
+     * genuinely different phases: the wrong-but-matched bundle stops
+     * retiring and the next detection rebuilds.
+     */
+    double cacheMissingFraction = 0.5;
+    unsigned cacheMaxBiasFlips = 4;
+
+    /** Re-verify the live program after every install/deopt. */
+    bool verifyAfterPatch = true;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_CONFIG_HH

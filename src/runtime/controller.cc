@@ -1,0 +1,382 @@
+#include "runtime/controller.hh"
+
+#include <algorithm>
+
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace vp::runtime
+{
+
+namespace
+{
+
+hsd::FilterConfig
+cacheMatchConfig(const RuntimeConfig &cfg)
+{
+    hsd::FilterConfig m = cfg.vp.filter;
+    m.missingFraction = cfg.cacheMissingFraction;
+    m.maxBiasFlips = cfg.cacheMaxBiasFlips;
+    return m;
+}
+
+} // namespace
+
+RuntimeController::RuntimeController(const workload::Workload &w,
+                                     const RuntimeConfig &cfg)
+    : workload_(w), cfg_(cfg), cacheMatch_(cacheMatchConfig(cfg)),
+      pristine_(w.program), live_(w.program), engine_(live_, w),
+      detector_(cfg_.vp.hsd, &engine_.oracle()),
+      patcher_(live_, pristine_),
+      cache_(cfg_.cacheCapacityInsts, cacheMatch_), pool_(cfg_.workers)
+{
+    engine_.addSink(&detector_);
+    engine_.addSink(&usage_);
+    detector_.setSnapshotCallback(
+        [this](const hsd::HotSpotRecord &rec) { pending_.push_back(rec); });
+}
+
+RuntimeStats
+RuntimeController::run()
+{
+    vp_assert(!ran_, "RuntimeController is single-shot");
+    ran_ = true;
+
+    const std::uint64_t budget =
+        cfg_.budget ? cfg_.budget : workload_.maxDynInsts;
+    const std::uint64_t quantum =
+        cfg_.quantumInsts ? cfg_.quantumInsts : budget;
+
+    engine_.reset();
+    while (!engine_.finished() && engine_.stats().dynInsts < budget) {
+        const std::uint64_t before = engine_.stats().dynInsts;
+        engine_.resume(std::min<std::uint64_t>(quantum, budget - before));
+        vp_assert(engine_.finished() || engine_.stats().dynInsts > before,
+                  "engine made no progress within a quantum");
+        ++quantum_;
+        boundary();
+    }
+
+    // The program is over; synthesis still in flight is abandoned (its
+    // jobs stay counted in builds but never install).
+    pool_.wait();
+
+    stats_.run = engine_.stats();
+    stats_.hsd = detector_.stats();
+    stats_.quanta = quantum_;
+    stats_.residentWeight = cache_.weight();
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        const CacheEntry &e = cache_.entry(i);
+        stats_.bundles[e.bundleIndex].residentAtEnd = e.resident;
+    }
+    return stats_;
+}
+
+void
+RuntimeController::boundary()
+{
+    sweepZombies();
+    refreshRecency();
+    drainDetections();
+    completeReadyJobs();
+    processActivations();
+    evictOverCapacity();
+    stats_.peakResidentWeight =
+        std::max(stats_.peakResidentWeight, cache_.weight());
+}
+
+void
+RuntimeController::sweepZombies()
+{
+    bool swept = false;
+    for (auto it = zombies_.begin(); it != zombies_.end();) {
+        if (engineReferences(*it)) {
+            ++it;
+            continue;
+        }
+        patcher_.tombstone(*it);
+        it = zombies_.erase(it);
+        swept = true;
+    }
+    if (swept && cfg_.verifyAfterPatch)
+        ir::verifyOrDie(live_, "runtime tombstone");
+}
+
+void
+RuntimeController::refreshRecency()
+{
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        CacheEntry &e = cache_.entry(i);
+        std::uint64_t sum = 0;
+        for (ir::FuncId f : e.allFuncs) {
+            auto it = usage_.counts.find(f);
+            if (it != usage_.counts.end())
+                sum += it->second;
+        }
+        BundleStats &bs = stats_.bundles[e.bundleIndex];
+        e.lastDeltaRetires = sum - bs.instsRetired;
+        if (sum > bs.instsRetired) {
+            bs.instsRetired = sum;
+            cache_.touch(i, quantum_);
+        }
+    }
+}
+
+void
+RuntimeController::drainDetections()
+{
+    std::vector<hsd::HotSpotRecord> batch;
+    batch.swap(pending_);
+    for (const hsd::HotSpotRecord &raw : batch) {
+        ++stats_.detections;
+        const hsd::HotSpotRecord rec = canonicalizeRecord(raw);
+
+        const std::size_t hit = cache_.find(rec);
+        if (hit != PackageCache::npos) {
+            CacheEntry &e = cache_.entry(hit);
+            if (!e.resident || e.bundle.empty() || activeNow(e)) {
+                ++stats_.cacheHits;
+                cache_.touch(hit, quantum_);
+                ++stats_.bundles[e.bundleIndex].cacheHits;
+                // A dormant phase just turned hot again: re-splice it
+                // (the cached bundle makes the rebuild unnecessary).
+                if (!e.resident && !e.bundle.empty() &&
+                    std::find(pendingActivations_.begin(),
+                              pendingActivations_.end(),
+                              e.id) == pendingActivations_.end()) {
+                    pendingActivations_.push_back(e.id);
+                }
+                continue;
+            }
+            // Resident but cold: its packages are not covering the hot
+            // set that just fired. Fall through and rebuild — the fresh
+            // bundle replaces it at completion.
+            ++stats_.staleHits;
+        }
+
+        const bool in_flight =
+            std::any_of(jobs_.begin(), jobs_.end(), [&](const Job &j) {
+                return hsd::sameHotSpot(j.record, rec, cacheMatch_);
+            });
+        if (in_flight) {
+            ++stats_.inFlightHits;
+            continue;
+        }
+
+        submitJob(rec);
+    }
+}
+
+void
+RuntimeController::submitJob(const hsd::HotSpotRecord &rec)
+{
+    ++stats_.builds;
+
+    Job job;
+    job.record = rec;
+    job.submitQuantum = quantum_;
+    std::uint64_t latency = cfg_.baseCompileQuanta;
+    if (cfg_.hotBranchesPerQuantum)
+        latency += rec.branches.size() / cfg_.hotBranchesPerQuantum;
+    job.readyQuantum = quantum_ + latency;
+    job.result = std::make_shared<PackageBundle>();
+    job.done = std::make_shared<std::atomic<bool>>(false);
+
+    pool_.submit([result = job.result, done = job.done, record = rec,
+                  pristine = &pristine_, vcfg = cfg_.vp]() {
+        *result = synthesizeBundle(*pristine, record, vcfg);
+        done->store(true, std::memory_order_release);
+    });
+
+    jobs_.push_back(std::move(job));
+}
+
+void
+RuntimeController::completeReadyJobs()
+{
+    // In submit order: a long job holds later, shorter ones back, so the
+    // install sequence is a pure function of the detection sequence.
+    while (!jobs_.empty() && jobs_.front().readyQuantum <= quantum_) {
+        Job job = std::move(jobs_.front());
+        jobs_.pop_front();
+        if (!job.done->load(std::memory_order_acquire))
+            pool_.wait(); // wall-clock catch-up; results already fixed
+        completeJob(job);
+    }
+}
+
+void
+RuntimeController::completeJob(const Job &job)
+{
+    const PackageBundle &bundle = *job.result;
+    if (bundle.empty())
+        ++stats_.emptyBuilds; // cached anyway: re-detections hit, not rebuild
+    const std::size_t twin = cache_.find(bundle.record);
+    if (twin != PackageCache::npos) {
+        // The job was submitted through a stale hit (or the matching
+        // entry appeared while it compiled). If the twin turned active
+        // again its coverage is adequate — drop the rebuild; otherwise
+        // the fresh bundle replaces it outright.
+        if (activeNow(cache_.entry(twin))) {
+            ++stats_.duplicateBuilds;
+            return;
+        }
+        CacheEntry gone = cache_.remove(twin);
+        if (gone.resident) {
+            patcher_.unpatch(gone.installed);
+            if (engineReferences(gone.installed.funcs))
+                ++stats_.lazyDeopts;
+            zombies_.push_back(gone.installed.funcs);
+            ++stats_.displacements;
+        }
+        stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+    }
+
+    BundleStats bs;
+    bs.key = bundle.key;
+    bs.packages = bundle.packaged.packages.size();
+    bs.weight = bundle.weight();
+    bs.submittedQuantum = job.submitQuantum;
+    stats_.bundles.push_back(bs);
+
+    CacheEntry e;
+    e.bundle = *job.result;
+    e.lastUsedQuantum = quantum_;
+    e.bundleIndex = stats_.bundles.size() - 1;
+    const std::size_t idx = cache_.add(std::move(e));
+    if (!bundle.empty())
+        pendingActivations_.push_back(cache_.entry(idx).id);
+}
+
+void
+RuntimeController::processActivations()
+{
+    while (!pendingActivations_.empty()) {
+        const std::uint64_t id = pendingActivations_.front();
+        pendingActivations_.pop_front();
+        activate(id);
+    }
+}
+
+void
+RuntimeController::activate(std::uint64_t entry_id)
+{
+    const std::size_t idx = cache_.findById(entry_id);
+    if (idx == PackageCache::npos)
+        return; // evicted while queued
+    if (cache_.entry(idx).resident)
+        return;
+
+    // The bundle being activated is the freshest evidence of what is hot
+    // right now: it displaces whatever resident bundle holds its launch
+    // arcs. (Near-variant wobble does not reach this point — the loose
+    // cache match absorbs it as a hit on the active bundle.)
+    const std::vector<Patch> wants =
+        patcher_.launchPointsOf(cache_.entry(idx).bundle);
+    std::vector<std::size_t> owners;
+    for (const Patch &p : wants) {
+        if (!patcher_.diverted(p))
+            continue;
+        for (std::size_t j = 0; j < cache_.size(); ++j) {
+            const CacheEntry &o = cache_.entry(j);
+            if (!o.resident || j == idx)
+                continue;
+            const bool owns = std::any_of(
+                o.installed.patches.begin(), o.installed.patches.end(),
+                [&](const Patch &op) {
+                    return op.at == p.at && op.field == p.field;
+                });
+            if (owns) {
+                if (std::find(owners.begin(), owners.end(), j) ==
+                    owners.end()) {
+                    owners.push_back(j);
+                }
+                break;
+            }
+        }
+    }
+    for (std::size_t j : owners)
+        displace(j);
+
+    CacheEntry &e = cache_.entry(idx);
+    e.installed = patcher_.install(e.bundle);
+    if (cfg_.verifyAfterPatch)
+        ir::verifyOrDie(live_, "runtime install");
+    e.resident = true;
+    e.lastInstalledQuantum = quantum_;
+    e.allFuncs.insert(e.allFuncs.end(), e.installed.funcs.begin(),
+                      e.installed.funcs.end());
+    cache_.touch(idx, quantum_);
+
+    BundleStats &bs = stats_.bundles[e.bundleIndex];
+    bs.weight = e.installed.weight;
+    bs.launchPoints = e.installed.launchPoints;
+    bs.contendedLaunchPoints = e.installed.contendedLaunchPoints;
+    if (bs.installedQuantum == BundleStats::kNever) {
+        bs.installedQuantum = quantum_;
+        ++stats_.installs;
+        stats_.compileLatencyQuanta += quantum_ - bs.submittedQuantum;
+    } else {
+        ++bs.reinstalls;
+        ++stats_.reinstalls;
+    }
+}
+
+void
+RuntimeController::displace(std::size_t idx)
+{
+    CacheEntry &e = cache_.entry(idx);
+    patcher_.unpatch(e.installed);
+    if (engineReferences(e.installed.funcs))
+        ++stats_.lazyDeopts; // tombstoned later, once the engine drains
+    zombies_.push_back(e.installed.funcs);
+    e.resident = false;
+    e.installed = InstalledBundle{};
+    ++stats_.displacements;
+}
+
+void
+RuntimeController::evictOverCapacity()
+{
+    while (cache_.overCapacity()) {
+        // Entries (re)installed this very quantum get a one-boundary
+        // grace so an install is not undone by the eviction scan that
+        // immediately follows it.
+        const auto grace = [&](const CacheEntry &e) {
+            return e.lastInstalledQuantum == quantum_;
+        };
+        const std::size_t v = cache_.victim(grace);
+        if (v == PackageCache::npos) {
+            ++stats_.deferredEvictions;
+            break;
+        }
+        CacheEntry e = cache_.remove(v);
+        patcher_.unpatch(e.installed);
+        if (engineReferences(e.installed.funcs))
+            ++stats_.lazyDeopts;
+        zombies_.push_back(e.installed.funcs);
+        if (cfg_.verifyAfterPatch)
+            ir::verifyOrDie(live_, "runtime evict");
+        ++stats_.evictions;
+        stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
+    }
+}
+
+bool
+RuntimeController::engineReferences(const std::vector<ir::FuncId> &funcs) const
+{
+    return std::any_of(funcs.begin(), funcs.end(), [&](ir::FuncId f) {
+        return engine_.referencesFunction(f);
+    });
+}
+
+bool
+RuntimeController::activeNow(const CacheEntry &e) const
+{
+    return e.resident &&
+           static_cast<double>(e.lastDeltaRetires) >=
+               cfg_.activeRetireFraction *
+                   static_cast<double>(cfg_.quantumInsts);
+}
+
+} // namespace vp::runtime

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The online repackaging controller (the tentpole of the runtime).
+ *
+ * One RuntimeController::run() co-drives the ExecutionEngine and the
+ * HotSpotDetector over a *live* clone of the workload's program, in
+ * fixed instruction-count quanta. Detector snapshots fire synchronously
+ * during a quantum and are queued; at each quantum boundary the
+ * controller, on its own thread:
+ *
+ *   1. refreshes package-cache recency from the packaged-instruction
+ *      usage observed during the quantum,
+ *   2. drains queued detections — each is a cache hit (phase already
+ *      installed), an in-flight hit (synthesis already queued), or a new
+ *      synthesis job handed to the background ThreadPool,
+ *   3. installs finished bundles in job-submit order via LivePatcher,
+ *   4. evicts least-recently-used bundles while over the weight
+ *      capacity (deopting them back to original code), deferring any
+ *      bundle the suspended engine still references.
+ *
+ * Determinism: a job submitted at quantum q installs at quantum
+ * q + latency(record), where the latency model is a pure function of the
+ * record (RuntimeConfig). If the worker has not finished by then the
+ * controller blocks — worker count changes wall-clock only, never
+ * results. Every mutation of the live program happens on the controller
+ * thread between quanta, under the engine's safe re-entry contract.
+ */
+
+#ifndef VP_RUNTIME_CONTROLLER_HH
+#define VP_RUNTIME_CONTROLLER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hsd/detector.hh"
+#include "runtime/bundle.hh"
+#include "runtime/config.hh"
+#include "runtime/package_cache.hh"
+#include "runtime/patcher.hh"
+#include "runtime/stats.hh"
+#include "support/thread_pool.hh"
+#include "trace/engine.hh"
+#include "workload/workload.hh"
+
+namespace vp::runtime
+{
+
+/** The controller. Single-shot: construct, run() once, read stats. */
+class RuntimeController
+{
+  public:
+    /** @p w must outlive the controller (the pristine program is the
+     *  synthesis input and the deopt baseline). */
+    RuntimeController(const workload::Workload &w, const RuntimeConfig &cfg);
+
+    /** Execute the workload online; @return the run's counters. */
+    RuntimeStats run();
+
+    /** The live (patched) program — inspectable after run(). */
+    const ir::Program &liveProgram() const { return live_; }
+
+    const RuntimeStats &stats() const { return stats_; }
+
+  private:
+    /** Per-func packaged-instruction counter (cache recency signal). */
+    struct UsageSink : trace::InstSink
+    {
+        std::unordered_map<ir::FuncId, std::uint64_t> counts;
+
+        void
+        onRetire(const trace::RetiredInst &ri) override
+        {
+            if (ri.inPackage)
+                ++counts[ri.block.func];
+        }
+    };
+
+    /** One background synthesis job. */
+    struct Job
+    {
+        hsd::HotSpotRecord record;
+        std::uint64_t submitQuantum = 0;
+        std::uint64_t readyQuantum = 0; ///< deterministic install point
+        std::shared_ptr<PackageBundle> result;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void boundary();
+    void sweepZombies();
+    void refreshRecency();
+    void drainDetections();
+    void submitJob(const hsd::HotSpotRecord &rec);
+    void completeReadyJobs();
+    void completeJob(const Job &job);
+    void processActivations();
+    void activate(std::uint64_t entry_id);
+    void displace(std::size_t idx);
+    void evictOverCapacity();
+    bool engineReferences(const std::vector<ir::FuncId> &funcs) const;
+
+    /** True while @p e is resident and retired a meaningful share of the
+     *  last quantum inside its packages. */
+    bool activeNow(const CacheEntry &e) const;
+
+    const workload::Workload &workload_;
+    RuntimeConfig cfg_;
+    hsd::FilterConfig cacheMatch_; ///< vp.filter + cache slack
+
+    const ir::Program &pristine_; ///< workload_.program
+    ir::Program live_;            ///< mutated clone the engine executes
+
+    trace::ExecutionEngine engine_;
+    hsd::HotSpotDetector detector_;
+    UsageSink usage_;
+    LivePatcher patcher_;
+    PackageCache cache_;
+    ThreadPool pool_;
+
+    std::vector<hsd::HotSpotRecord> pending_; ///< snapshots this quantum
+    std::deque<Job> jobs_;                    ///< submit-order FIFO
+
+    /** Cache-entry ids awaiting (re)install, in request order. */
+    std::deque<std::uint64_t> pendingActivations_;
+
+    /** Unpatched (lazy-deopt) function groups awaiting tombstoning once
+     *  the engine has drained out of them. */
+    std::vector<std::vector<ir::FuncId>> zombies_;
+
+    std::uint64_t quantum_ = 0;
+    bool ran_ = false;
+    RuntimeStats stats_;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_CONTROLLER_HH

@@ -1,0 +1,75 @@
+#include "runtime/package_cache.hh"
+
+namespace vp::runtime
+{
+
+std::size_t
+PackageCache::find(const hsd::HotSpotRecord &record) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (hsd::sameHotSpot(entries_[i].bundle.record, record, match_))
+            return i;
+    }
+    return npos;
+}
+
+std::size_t
+PackageCache::findById(std::uint64_t id) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].id == id)
+            return i;
+    }
+    return npos;
+}
+
+std::size_t
+PackageCache::add(CacheEntry e)
+{
+    e.id = nextId_++;
+    entries_.push_back(std::move(e));
+    return entries_.size() - 1;
+}
+
+void
+PackageCache::touch(std::size_t i, std::uint64_t q)
+{
+    if (q > entries_.at(i).lastUsedQuantum)
+        entries_.at(i).lastUsedQuantum = q;
+}
+
+CacheEntry
+PackageCache::remove(std::size_t i)
+{
+    CacheEntry e = std::move(entries_.at(i));
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return e;
+}
+
+std::size_t
+PackageCache::weight() const
+{
+    std::size_t w = 0;
+    for (const CacheEntry &e : entries_) {
+        if (e.resident)
+            w += e.installed.weight;
+    }
+    return w;
+}
+
+std::size_t
+PackageCache::victim(const std::function<bool(const CacheEntry &)> &busy) const
+{
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].resident || busy(entries_[i]))
+            continue;
+        if (best == npos ||
+            entries_[i].lastUsedQuantum < entries_[best].lastUsedQuantum) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace vp::runtime

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cache of synthesized package bundles, keyed by hot-spot identity.
+ *
+ * Lookup is hsd::sameHotSpot() against each entry's triggering record —
+ * the software redundancy filter's similarity rules double as the cache
+ * match predicate, and because they key on stable behavior ids a phase
+ * re-detected *inside* its own installed packages still hits (the
+ * controller canonicalizes records first; see canonicalizeRecord()).
+ *
+ * An entry is *resident* (packages spliced into the live program) or
+ * *dormant* (synthesized, but deopted — typically displaced by a newer
+ * phase that needed its launch arcs). Dormant entries keep their
+ * PackageBundle so a recurring phase re-installs without a rebuild.
+ * Capacity eviction is LRU over the resident weight (added static
+ * instructions), the online stand-in for a finite code-cache budget;
+ * dormant entries hold no code space and are never capacity-evicted.
+ *
+ * All operations are deterministic: entries are scanned in insert order,
+ * recency is measured in execution quanta (never wall clock), and ties
+ * fall to the oldest entry.
+ */
+
+#ifndef VP_RUNTIME_PACKAGE_CACHE_HH
+#define VP_RUNTIME_PACKAGE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hsd/filter.hh"
+#include "hsd/record.hh"
+#include "runtime/bundle.hh"
+#include "runtime/patcher.hh"
+
+namespace vp::runtime
+{
+
+/** One cached bundle. Its match identity is bundle.record. */
+struct CacheEntry
+{
+    /** Stable handle (survives other entries' eviction). */
+    std::uint64_t id = 0;
+
+    /** The synthesis result; kept while dormant for cheap re-install. */
+    PackageBundle bundle;
+
+    /** True while the packages are spliced into the live program. */
+    bool resident = false;
+
+    /** Live-program bookkeeping needed to deopt; valid while resident. */
+    InstalledBundle installed;
+
+    /** Quantum of the last detection hit or package execution. */
+    std::uint64_t lastUsedQuantum = 0;
+
+    /** Packaged insts this entry retired during the last quantum (the
+     *  displacement policy's activity signal). */
+    std::uint64_t lastDeltaRetires = 0;
+
+    /** Quantum of the most recent (re)install; grace period against
+     *  evicting a bundle the same boundary that activated it. */
+    std::uint64_t lastInstalledQuantum = 0;
+
+    /** Every live-program FuncId this entry ever spliced, across all
+     *  residencies (FuncIds are never reused, so usage totals sum over
+     *  this list; a displaced residency's tail retires still count). */
+    std::vector<ir::FuncId> allFuncs;
+
+    /** Index into RuntimeStats::bundles for lifecycle reporting. */
+    std::size_t bundleIndex = 0;
+};
+
+/** The bundle cache. */
+class PackageCache
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** @param capacity_insts Resident-weight budget; 0 means unbounded. */
+    PackageCache(std::size_t capacity_insts, hsd::FilterConfig match)
+        : capacity_(capacity_insts), match_(match)
+    {}
+
+    /** @return index of the entry matching @p record, or npos. Scans in
+     *  insert order so the oldest matching entry wins. */
+    std::size_t find(const hsd::HotSpotRecord &record) const;
+
+    /** @return index of the entry with handle @p id, or npos. */
+    std::size_t findById(std::uint64_t id) const;
+
+    /** Append @p e, assigning its id; @return its index. */
+    std::size_t add(CacheEntry e);
+
+    /** Refresh recency: entry @p i was used at quantum @p q. */
+    void touch(std::size_t i, std::uint64_t q);
+
+    /** Remove and return entry @p i (caller deopts it if resident). */
+    CacheEntry remove(std::size_t i);
+
+    /** Sum of resident weights. */
+    std::size_t weight() const;
+
+    /** True while weight() exceeds the capacity (and one is set). */
+    bool overCapacity() const
+    {
+        return capacity_ != 0 && weight() > capacity_;
+    }
+
+    /**
+     * Pick the eviction victim: least recently used *resident* entry for
+     * which @p busy is false; insert order breaks recency ties. @return
+     * npos when every resident entry is busy (the caller defers eviction
+     * a quantum).
+     */
+    std::size_t
+    victim(const std::function<bool(const CacheEntry &)> &busy) const;
+
+    std::size_t size() const { return entries_.size(); }
+    const CacheEntry &entry(std::size_t i) const { return entries_.at(i); }
+    CacheEntry &entry(std::size_t i) { return entries_.at(i); }
+
+  private:
+    std::vector<CacheEntry> entries_;
+    std::size_t capacity_;
+    hsd::FilterConfig match_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_PACKAGE_CACHE_HH

@@ -1,0 +1,232 @@
+#include "runtime/patcher.hh"
+
+#include "support/logging.hh"
+
+namespace vp::runtime
+{
+
+using namespace ir;
+
+LivePatcher::LivePatcher(Program &live, const Program &pristine)
+    : live_(live), pristine_(pristine)
+{
+    vp_assert(live_.numFunctions() >= pristine_.numFunctions(),
+              "live program lost functions");
+}
+
+InstalledBundle
+LivePatcher::install(const PackageBundle &bundle)
+{
+    const Program &scratch = bundle.packaged.program;
+    const FuncId base = static_cast<FuncId>(pristine_.numFunctions());
+    const FuncId live_base = static_cast<FuncId>(live_.numFunctions());
+    vp_assert(scratch.numFunctions() >= base,
+              "bundle built against a different original");
+
+    // Scratch FuncIds >= base are this bundle's package functions; they
+    // land at live_base + offset. Ids < base are original code, identical
+    // in both programs.
+    const auto remap_func = [&](FuncId f) {
+        return f >= base ? static_cast<FuncId>(live_base + (f - base)) : f;
+    };
+    const auto remap_ref = [&](BlockRef r) {
+        if (r.valid())
+            r.func = remap_func(r.func);
+        return r;
+    };
+
+    InstalledBundle ib;
+    ib.weight = bundle.weight();
+
+    // --- Splice the package functions.
+    for (FuncId f = base; f < scratch.numFunctions(); ++f) {
+        Function fn = scratch.func(f); // value copy
+        for (BasicBlock &bb : fn.blocks()) {
+            bb.taken = remap_ref(bb.taken);
+            bb.fall = remap_ref(bb.fall);
+            if (bb.callee != kInvalidFunc)
+                bb.callee = remap_func(bb.callee);
+            // Exit frames are original return points; selector stubs are
+            // rejected at synthesis time (dynamicLaunch forced off).
+            for (const BlockRef &frame : bb.exitFrames) {
+                vp_assert(frame.func < base,
+                          "exit frame into package code");
+            }
+            vp_assert(bb.selectorTargets.empty(),
+                      "selector block in an online bundle");
+        }
+        ib.funcs.push_back(live_.addFunction(std::move(fn)));
+    }
+
+    // --- Apply the launch-point diff: every arc/callee the offline
+    // packager redirected in the scratch original code, re-applied to the
+    // live original code. First-installed precedence: an arc the live
+    // program already redirected away from pristine belongs to a resident
+    // bundle and is left alone.
+    for (FuncId f = 0; f < base; ++f) {
+        const Function &sfn = scratch.func(f);
+        const Function &pfn = pristine_.func(f);
+        vp_assert(sfn.numBlocks() == pfn.numBlocks(),
+                  "packager changed original block structure");
+        for (BlockId b = 0; b < sfn.numBlocks(); ++b) {
+            const BasicBlock &sb = sfn.block(b);
+            const BasicBlock &pb = pfn.block(b);
+            BasicBlock &lb = live_.func(f).block(b);
+
+            if (sb.taken != pb.taken) {
+                if (lb.taken == pb.taken) {
+                    Patch p;
+                    p.at = BlockRef{f, b};
+                    p.field = Patch::Field::Taken;
+                    p.oldRef = pb.taken;
+                    p.newRef = remap_ref(sb.taken);
+                    lb.taken = p.newRef;
+                    ib.patches.push_back(p);
+                    ++ib.launchPoints;
+                } else {
+                    ++ib.contendedLaunchPoints;
+                }
+            }
+            if (sb.fall != pb.fall) {
+                if (lb.fall == pb.fall) {
+                    Patch p;
+                    p.at = BlockRef{f, b};
+                    p.field = Patch::Field::Fall;
+                    p.oldRef = pb.fall;
+                    p.newRef = remap_ref(sb.fall);
+                    lb.fall = p.newRef;
+                    ib.patches.push_back(p);
+                    ++ib.launchPoints;
+                } else {
+                    ++ib.contendedLaunchPoints;
+                }
+            }
+            if (sb.callee != pb.callee) {
+                if (lb.callee == pb.callee) {
+                    Patch p;
+                    p.at = BlockRef{f, b};
+                    p.field = Patch::Field::Callee;
+                    p.oldCallee = pb.callee;
+                    p.newCallee = remap_func(sb.callee);
+                    lb.callee = p.newCallee;
+                    ib.patches.push_back(p);
+                    ++ib.launchPoints;
+                } else {
+                    ++ib.contendedLaunchPoints;
+                }
+            }
+        }
+    }
+
+    live_.layout();
+    return ib;
+}
+
+std::vector<Patch>
+LivePatcher::launchPointsOf(const PackageBundle &bundle) const
+{
+    const Program &scratch = bundle.packaged.program;
+    const FuncId base = static_cast<FuncId>(pristine_.numFunctions());
+    std::vector<Patch> out;
+    for (FuncId f = 0; f < base; ++f) {
+        const Function &sfn = scratch.func(f);
+        const Function &pfn = pristine_.func(f);
+        for (BlockId b = 0; b < sfn.numBlocks(); ++b) {
+            const BasicBlock &sb = sfn.block(b);
+            const BasicBlock &pb = pfn.block(b);
+            if (sb.taken != pb.taken) {
+                Patch p;
+                p.at = BlockRef{f, b};
+                p.field = Patch::Field::Taken;
+                p.oldRef = pb.taken;
+                p.newRef = sb.taken;
+                out.push_back(p);
+            }
+            if (sb.fall != pb.fall) {
+                Patch p;
+                p.at = BlockRef{f, b};
+                p.field = Patch::Field::Fall;
+                p.oldRef = pb.fall;
+                p.newRef = sb.fall;
+                out.push_back(p);
+            }
+            if (sb.callee != pb.callee) {
+                Patch p;
+                p.at = BlockRef{f, b};
+                p.field = Patch::Field::Callee;
+                p.oldCallee = pb.callee;
+                p.newCallee = sb.callee;
+                out.push_back(p);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+LivePatcher::diverted(const Patch &p) const
+{
+    const BasicBlock &lb = live_.block(p.at);
+    switch (p.field) {
+      case Patch::Field::Taken:
+        return lb.taken != p.oldRef;
+      case Patch::Field::Fall:
+        return lb.fall != p.oldRef;
+      case Patch::Field::Callee:
+        return lb.callee != p.oldCallee;
+    }
+    return false;
+}
+
+void
+LivePatcher::unpatch(const InstalledBundle &ib)
+{
+    // Restore the launch points. Arc ownership guarantees nobody
+    // re-patched these arcs while the bundle was resident.
+    for (const Patch &p : ib.patches) {
+        BasicBlock &lb = live_.block(p.at);
+        switch (p.field) {
+          case Patch::Field::Taken:
+            vp_assert(lb.taken == p.newRef, "launch point stolen");
+            lb.taken = p.oldRef;
+            break;
+          case Patch::Field::Fall:
+            vp_assert(lb.fall == p.newRef, "launch point stolen");
+            lb.fall = p.oldRef;
+            break;
+          case Patch::Field::Callee:
+            vp_assert(lb.callee == p.newCallee, "launch point stolen");
+            lb.callee = p.oldCallee;
+            break;
+        }
+    }
+}
+
+void
+LivePatcher::tombstone(const std::vector<ir::FuncId> &funcs)
+{
+    // Dead husks (empty, successor-less blocks) keep every FuncId/BlockId
+    // valid for the suspended engine and occupy zero code bytes after
+    // layout(). A real system would return the code space to its
+    // allocator here.
+    for (FuncId f : funcs) {
+        for (BasicBlock &bb : live_.func(f).blocks()) {
+            bb.insts.clear();
+            bb.taken = kNoBlockRef;
+            bb.fall = kNoBlockRef;
+            bb.callee = kInvalidFunc;
+            bb.exitFrames.clear();
+            bb.selectorTargets.clear();
+        }
+    }
+    live_.layout();
+}
+
+void
+LivePatcher::deopt(const InstalledBundle &ib)
+{
+    unpatch(ib);
+    tombstone(ib.funcs);
+}
+
+} // namespace vp::runtime

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Splicing package bundles into a *live* program and deopting them back
+ * out. The LivePatcher runs on the controller thread between execution
+ * quanta; the suspended ExecutionEngine's safe re-entry contract (see
+ * trace/engine.hh) is what its mutations are restricted to: append
+ * functions, retarget arcs, tombstone (never remove) blocks.
+ */
+
+#ifndef VP_RUNTIME_PATCHER_HH
+#define VP_RUNTIME_PATCHER_HH
+
+#include <vector>
+
+#include "ir/program.hh"
+#include "runtime/bundle.hh"
+
+namespace vp::runtime
+{
+
+/** One reversible edit to a block of the live program's original code. */
+struct Patch
+{
+    enum class Field : std::uint8_t { Taken, Fall, Callee };
+
+    ir::BlockRef at;   ///< original-code block that was edited
+    Field field = Field::Taken;
+
+    /** For Taken/Fall: previous (pristine) and new target. */
+    ir::BlockRef oldRef, newRef;
+
+    /** For Callee: previous and new callee function. */
+    ir::FuncId oldCallee = ir::kInvalidFunc;
+    ir::FuncId newCallee = ir::kInvalidFunc;
+};
+
+/** Bookkeeping of one bundle resident in the live program. */
+struct InstalledBundle
+{
+    /** Live-program FuncIds of the spliced package functions,
+     *  ascending. */
+    std::vector<ir::FuncId> funcs;
+
+    /** Launch-point edits applied, in deterministic scan order. */
+    std::vector<Patch> patches;
+
+    /** Added static instructions (cache weight). */
+    std::size_t weight = 0;
+
+    /** Launch points actually claimed (patches applied). */
+    std::size_t launchPoints = 0;
+
+    /** Launch points skipped because another resident bundle already
+     *  owned the arc (first-installed precedence, the online analogue of
+     *  Section 3.3.4's left-most rule). */
+    std::size_t contendedLaunchPoints = 0;
+};
+
+/**
+ * The patcher. Holds the live program (mutated in place) and the
+ * pristine original it started as (the diff baseline and deopt target).
+ */
+class LivePatcher
+{
+  public:
+    /** @p live must currently be a structural clone of @p pristine plus
+     *  previously installed bundles. Both must outlive the patcher. */
+    LivePatcher(ir::Program &live, const ir::Program &pristine);
+
+    /**
+     * Install @p bundle: append its package functions to the live
+     * program (remapping scratch FuncIds) and apply its launch-point
+     * edits. An arc another resident bundle already redirected is left
+     * alone (first-installed precedence). Re-runs layout(). Original
+     * functions keep every address (functions are laid out in id order),
+     * so a suspended engine and the BBB's pc tags stay coherent.
+     */
+    InstalledBundle install(const PackageBundle &bundle);
+
+    /**
+     * The launch points @p bundle would claim: one Patch per arc/callee
+     * its scratch program redirected away from pristine, with old values
+     * filled in. newRef/newCallee hold the *scratch* targets (they are
+     * only remapped at install time) — callers use this to test arcs for
+     * contention against resident bundles, not to apply edits.
+     */
+    std::vector<Patch> launchPointsOf(const PackageBundle &bundle) const;
+
+    /** True if the live program's @p p arc no longer holds its pristine
+     *  value (some resident bundle owns it). */
+    bool diverted(const Patch &p) const;
+
+    /**
+     * Restore every arc @p ib patched to its pristine value. Safe at any
+     * quantum boundary, even while the engine is executing inside the
+     * bundle (arcs are re-read at block entry; the engine drains out
+     * through the package's exits). The functions stay spliced until
+     * tombstone().
+     */
+    void unpatch(const InstalledBundle &ib);
+
+    /**
+     * Tombstone the functions @p funcs: blocks emptied into the dead
+     * husks the verifier tolerates — FuncIds/BlockIds stay valid for the
+     * suspended engine, code bytes return to zero. The caller must
+     * ensure the engine no longer references them (lazy deopt: unpatch()
+     * immediately, sweep with tombstone() once drained). Re-runs
+     * layout().
+     */
+    void tombstone(const std::vector<ir::FuncId> &funcs);
+
+    /** unpatch() + tombstone() in one step — for callers that know the
+     *  engine is outside the bundle. */
+    void deopt(const InstalledBundle &ib);
+
+  private:
+    ir::Program &live_;
+    const ir::Program &pristine_;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_PATCHER_HH

@@ -1,0 +1,83 @@
+#include "runtime/stats.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace vp::runtime
+{
+
+std::string
+toText(const RuntimeStats &s, const std::string &label)
+{
+    std::ostringstream os;
+    char line[256];
+
+    os << "== " << label << " (online) ==\n";
+    std::snprintf(line, sizeof(line),
+                  "run: %" PRIu64 " insts (%" PRIu64 " branches), %" PRIu64
+                  " quanta, %s\n",
+                  s.run.dynInsts, s.run.dynBranches, s.quanta,
+                  s.run.hitBudget ? "budget hit" : "ran to completion");
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "detector: %zu detections delivered (%zu recorded, %zu "
+                  "suppressed), %zu monitor restarts\n",
+                  s.detections, s.hsd.recorded, s.hsd.suppressed,
+                  s.hsd.monitorRestarts);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "compile: %zu builds (%zu empty, %zu duplicate), %zu "
+                  "installs, avg queue latency %.1f quanta\n",
+                  s.builds, s.emptyBuilds, s.duplicateBuilds, s.installs,
+                  s.avgCompileLatency());
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "cache: %zu hits (%zu stale), %zu in-flight hits, "
+                  "%zu reinstalls, %zu displacements (%zu lazy), "
+                  "%zu evictions (%zu deferred)\n",
+                  s.cacheHits, s.staleHits, s.inFlightHits, s.reinstalls,
+                  s.displacements, s.lazyDeopts, s.evictions,
+                  s.deferredEvictions);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "resident: %zu insts at end (peak %zu)\n",
+                  s.residentWeight, s.peakResidentWeight);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "coverage: %.1f%% of %" PRIu64
+                  " insts retired in packages\n",
+                  100.0 * s.packageCoverage(), s.run.dynInsts);
+    os << line;
+
+    for (const BundleStats &b : s.bundles) {
+        std::snprintf(line, sizeof(line),
+                      "  bundle %016" PRIx64 ": %zu pkgs, %zu insts, "
+                      "%zu launch points (%zu contended), submitted q%"
+                      PRIu64,
+                      b.key, b.packages, b.weight, b.launchPoints,
+                      b.contendedLaunchPoints, b.submittedQuantum);
+        os << line;
+        if (b.installedQuantum == BundleStats::kNever)
+            std::snprintf(line, sizeof(line), ", never installed");
+        else
+            std::snprintf(line, sizeof(line), ", installed q%" PRIu64,
+                          b.installedQuantum);
+        os << line;
+        if (b.evicted())
+            std::snprintf(line, sizeof(line), ", evicted q%" PRIu64,
+                          b.evictedQuantum);
+        else
+            std::snprintf(line, sizeof(line), ", %s",
+                          b.residentAtEnd ? "resident" : "dormant");
+        os << line;
+        std::snprintf(line, sizeof(line),
+                      "; %" PRIu64 " insts retired, %zu hits, "
+                      "%zu reinstalls\n",
+                      b.instsRetired, b.cacheHits, b.reinstalls);
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace vp::runtime

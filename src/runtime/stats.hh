@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Observable counters of one online repackaging run, plus a renderer
+ * whose output is byte-identical for every worker-thread count (no
+ * wall-clock, no pointer values — deterministic fields only).
+ */
+
+#ifndef VP_RUNTIME_STATS_HH
+#define VP_RUNTIME_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hsd/detector.hh"
+#include "trace/engine.hh"
+
+namespace vp::runtime
+{
+
+/** Lifecycle record of one installed package bundle. */
+struct BundleStats
+{
+    /** Stable phase key (behavior + bias hash of the triggering record;
+     *  see phaseKey()). */
+    std::uint64_t key = 0;
+
+    std::size_t packages = 0; ///< packages in the bundle
+    std::size_t weight = 0;   ///< added static instructions
+
+    std::uint64_t submittedQuantum = 0;
+
+    /** First-install quantum; kNever if the bundle never activated. */
+    std::uint64_t installedQuantum = kNever;
+
+    /** Launch points claimed / lost to an earlier resident bundle. */
+    std::size_t launchPoints = 0;
+    std::size_t contendedLaunchPoints = 0;
+
+    /** Quantum of eviction; kNever while still installed. */
+    std::uint64_t evictedQuantum = kNever;
+
+    /** Dynamic instructions retired inside this bundle's packages,
+     *  summed over all residencies. */
+    std::uint64_t instsRetired = 0;
+
+    /** Detections served by this bundle without a rebuild. */
+    std::size_t cacheHits = 0;
+
+    /** Times the bundle was re-spliced after a displacement. */
+    std::size_t reinstalls = 0;
+
+    /** True if the bundle's packages were live when the run ended. */
+    bool residentAtEnd = false;
+
+    static constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+
+    bool evicted() const { return evictedQuantum != kNever; }
+};
+
+/** Aggregate counters of one RuntimeController::run(). */
+struct RuntimeStats
+{
+    trace::RunStats run;  ///< the single online execution
+    hsd::HsdStats hsd;    ///< detector-side counters of the same run
+
+    std::uint64_t quanta = 0; ///< execution quanta completed
+
+    std::size_t detections = 0;       ///< records delivered to controller
+    std::size_t builds = 0;           ///< synthesis jobs submitted
+    std::size_t emptyBuilds = 0;      ///< jobs that produced no packages
+    std::size_t duplicateBuilds = 0;  ///< finished jobs beaten by a twin
+    std::size_t installs = 0;         ///< bundles patched into the run
+    std::size_t cacheHits = 0;        ///< detections served from cache
+    std::size_t staleHits = 0;        ///< hits on cold bundles -> rebuild
+    std::size_t inFlightHits = 0;     ///< detections matching a queued job
+    std::size_t reinstalls = 0;       ///< dormant bundles re-spliced
+    std::size_t displacements = 0;    ///< bundles deopted by a newer phase
+    std::size_t evictions = 0;        ///< bundles deopted on capacity
+    std::size_t deferredEvictions = 0; ///< evictions blocked by live refs
+
+    /** Deopts whose functions were still engine-referenced at unpatch
+     *  time: arcs restored immediately, tombstoning deferred until the
+     *  engine drained out (lazy deopt). */
+    std::size_t lazyDeopts = 0;
+
+    /** Sum over installed bundles of (install - submit) quanta. */
+    std::uint64_t compileLatencyQuanta = 0;
+
+    /** Installed bundle weight at end of run / its peak. */
+    std::size_t residentWeight = 0;
+    std::size_t peakResidentWeight = 0;
+
+    /** Per-bundle lifecycles, in install order. */
+    std::vector<BundleStats> bundles;
+
+    /** Fraction of dynamic instructions retired inside packages —
+     *  the online counterpart of Figure 8's coverage. */
+    double packageCoverage() const { return run.packageCoverage(); }
+
+    /** Mean quanta between job submission and install. */
+    double
+    avgCompileLatency() const
+    {
+        return installs ? static_cast<double>(compileLatencyQuanta) /
+                              static_cast<double>(installs)
+                        : 0.0;
+    }
+};
+
+/** Render @p stats as multi-line text under a workload @p label. */
+std::string toText(const RuntimeStats &stats, const std::string &label);
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_STATS_HH

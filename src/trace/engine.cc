@@ -1,7 +1,6 @@
 #include "trace/engine.hh"
 
 #include <atomic>
-#include <unordered_map>
 
 #include "support/logging.hh"
 #include "support/saturating.hh"
@@ -17,6 +16,8 @@ namespace
 /** Process-wide retired-instruction tally across every engine run. */
 std::atomic<std::uint64_t> g_total_insts{0};
 
+constexpr std::uint64_t kBounceInsts = 64;
+
 } // namespace
 
 std::uint64_t
@@ -29,134 +30,196 @@ ExecutionEngine::ExecutionEngine(const Program &prog,
                                  const workload::Workload &w)
     : prog_(prog), oracle_(w.behaviors, w.schedule)
 {
+    resetWalk();
+}
+
+void
+ExecutionEngine::resetWalk()
+{
+    cumulative_ = RunStats{};
+    callStack_.clear();
+    selectorChoice_.clear();
+    pendingSelector_ = kNoBlockRef;
+    selectorEntryInsts_ = 0;
+    selectorSawPackage_ = false;
+    done_ = false;
+    blockActive_ = false;
+    next_ = kNoBlockRef;
+    taken_ = false;
+    instIdx_ = 0;
+    remainingReal_ = 0;
+    pc_ = kInvalidAddr;
+
+    const FuncId entry_fn = prog_.entryFunc();
+    cur_ = BlockRef{entry_fn, prog_.func(entry_fn).entry()};
+}
+
+void
+ExecutionEngine::reset()
+{
+    resetWalk();
+    oracle_.reset();
 }
 
 RunStats
 ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
 {
-    RunStats stats;
-    std::vector<BlockRef> call_stack;
+    resetWalk();
+    stepTo(max_insts, max_branches);
+    return cumulative_;
+}
 
-    // Dynamic launch selectors (BlockKind::Selector): per-selector choice
-    // index, advanced when the chosen package bounces straight back out
-    // (the "monitoring snippet feeding a dynamic predictor" of
-    // Section 3.3.4).
-    std::unordered_map<BlockRef, std::size_t> selector_choice;
-    BlockRef pending_selector = kNoBlockRef;
-    std::uint64_t selector_entry_insts = 0;
-    bool selector_saw_package = false;
-    constexpr std::uint64_t kBounceInsts = 64;
+const RunStats &
+ExecutionEngine::resume(std::uint64_t more_insts, std::uint64_t more_branches)
+{
+    stepTo(satAdd(cumulative_.dynInsts, more_insts),
+           satAdd(cumulative_.dynBranches, more_branches));
+    return cumulative_;
+}
 
-    const FuncId entry_fn = prog_.entryFunc();
-    BlockRef cur{entry_fn, prog_.func(entry_fn).entry()};
+bool
+ExecutionEngine::referencesFunction(FuncId f) const
+{
+    if (done_)
+        return false;
+    if (cur_.valid() && cur_.func == f)
+        return true;
+    if (blockActive_ && next_.valid() && next_.func == f)
+        return true;
+    if (pendingSelector_.valid() && pendingSelector_.func == f)
+        return true;
+    for (const BlockRef &frame : callStack_) {
+        if (frame.func == f)
+            return true;
+    }
+    return false;
+}
+
+void
+ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
+{
+    RunStats &stats = cumulative_;
+    const std::uint64_t before = stats.dynInsts;
 
     // Safety net against cycles of empty blocks, which retire nothing and
     // would otherwise never consume budget. Saturating: a "run to
     // completion" budget near UINT64_MAX must not wrap to a tiny step
-    // count.
+    // count. Re-armed per stepTo over the instructions it may retire.
     std::uint64_t steps = 0;
-    const std::uint64_t max_steps = satAdd(satMul(max_insts, 4), 1024);
+    const std::uint64_t span =
+        max_insts > before ? max_insts - before : 0;
+    const std::uint64_t max_steps = satAdd(satMul(span, 4), 1024);
 
-    bool done = false;
-    while (!done && stats.dynInsts < max_insts &&
+    while (!done_ && stats.dynInsts < max_insts &&
            stats.dynBranches < max_branches && steps < max_steps) {
         ++steps;
-        const Function &fn = prog_.func(cur.func);
-        const BasicBlock &bb = fn.block(cur.block);
+        const Function &fn = prog_.func(cur_.func);
+        const BasicBlock &bb = fn.block(cur_.block);
         const bool in_package = fn.isPackage();
 
-        // Selector feedback: once control has entered a package after a
-        // selector jump and then left it again, judge the choice by how
-        // long it stayed; an immediate bounce rotates the selector.
-        if (pending_selector.valid()) {
-            if (in_package) {
-                selector_saw_package = true;
-            } else if (selector_saw_package) {
-                if (stats.dynInsts - selector_entry_insts < kBounceInsts)
-                    ++selector_choice[pending_selector];
-                pending_selector = kNoBlockRef;
-            }
-        }
-
-        // Exit blocks leaving a package materialize the call frames that
-        // partial inlining elided (compensation code of the exit stub).
-        if (bb.kind == BlockKind::Exit) {
-            for (const BlockRef &frame : bb.exitFrames)
-                call_stack.push_back(frame);
-        }
-
-        // Resolve this block's successor up front (there is at most one
-        // terminator and it is last, so no ordering hazard).
-        BlockRef next = kNoBlockRef;
-        bool taken = false;
-        const Instruction *term = bb.terminator();
-        if (term) {
-            switch (term->op) {
-              case Opcode::CondBr:
-                // The oracle speaks in original-branch direction; a
-                // layout-flipped copy inverts it (targets were swapped).
-                taken = oracle_.decideBranch(term->behavior) ^
-                        term->invertSense;
-                next = taken ? bb.taken : bb.fall;
-                break;
-              case Opcode::Jump:
-                if (bb.kind == BlockKind::Selector &&
-                    !bb.selectorTargets.empty()) {
-                    const std::size_t idx = selector_choice[cur] %
-                                            bb.selectorTargets.size();
-                    next = bb.selectorTargets[idx];
-                    pending_selector = cur;
-                    selector_entry_insts = stats.dynInsts;
-                    selector_saw_package = false;
-                } else {
-                    next = bb.taken;
+        if (!blockActive_) {
+            // Selector feedback: once control has entered a package after
+            // a selector jump and then left it again, judge the choice by
+            // how long it stayed; an immediate bounce rotates the
+            // selector.
+            if (pendingSelector_.valid()) {
+                if (in_package) {
+                    selectorSawPackage_ = true;
+                } else if (selectorSawPackage_) {
+                    if (stats.dynInsts - selectorEntryInsts_ < kBounceInsts)
+                        ++selectorChoice_[pendingSelector_];
+                    pendingSelector_ = kNoBlockRef;
                 }
-                break;
-              case Opcode::Call:
-                call_stack.push_back(bb.fall);
-                next = BlockRef{bb.callee, prog_.func(bb.callee).entry()};
-                break;
-              case Opcode::Ret:
-                if (call_stack.empty()) {
-                    done = true;
-                } else {
-                    next = call_stack.back();
-                    call_stack.pop_back();
-                }
-                break;
-              default:
-                vp_panic("unexpected terminator");
             }
-        } else {
-            next = bb.fall;
+
+            // Exit blocks leaving a package materialize the call frames
+            // that partial inlining elided (compensation code of the exit
+            // stub).
+            if (bb.kind == BlockKind::Exit) {
+                for (const BlockRef &frame : bb.exitFrames)
+                    callStack_.push_back(frame);
+            }
+
+            // Resolve this block's successor up front (there is at most
+            // one terminator and it is last, so no ordering hazard).
+            next_ = kNoBlockRef;
+            taken_ = false;
+            const Instruction *term = bb.terminator();
+            if (term) {
+                switch (term->op) {
+                  case Opcode::CondBr:
+                    // The oracle speaks in original-branch direction; a
+                    // layout-flipped copy inverts it (targets were
+                    // swapped).
+                    taken_ = oracle_.decideBranch(term->behavior) ^
+                             term->invertSense;
+                    next_ = taken_ ? bb.taken : bb.fall;
+                    break;
+                  case Opcode::Jump:
+                    if (bb.kind == BlockKind::Selector &&
+                        !bb.selectorTargets.empty()) {
+                        const std::size_t idx = selectorChoice_[cur_] %
+                                                bb.selectorTargets.size();
+                        next_ = bb.selectorTargets[idx];
+                        pendingSelector_ = cur_;
+                        selectorEntryInsts_ = stats.dynInsts;
+                        selectorSawPackage_ = false;
+                    } else {
+                        next_ = bb.taken;
+                    }
+                    break;
+                  case Opcode::Call:
+                    callStack_.push_back(bb.fall);
+                    next_ =
+                        BlockRef{bb.callee, prog_.func(bb.callee).entry()};
+                    break;
+                  case Opcode::Ret:
+                    if (callStack_.empty()) {
+                        done_ = true;
+                    } else {
+                        next_ = callStack_.back();
+                        callStack_.pop_back();
+                    }
+                    break;
+                  default:
+                    vp_panic("unexpected terminator");
+                }
+            } else {
+                next_ = bb.fall;
+            }
+
+            pc_ = bb.addr;
+            remainingReal_ = 0;
+            for (const Instruction &inst : bb.insts)
+                remainingReal_ += inst.pseudo ? 0 : 1;
+            instIdx_ = 0;
+            blockActive_ = true;
         }
 
         const Addr next_block_addr =
-            next.valid() ? prog_.block(next).addr : kInvalidAddr;
+            next_.valid() ? prog_.block(next_).addr : kInvalidAddr;
 
-        // Retire the block's real instructions.
-        Addr pc = bb.addr;
-        std::size_t remaining_real = 0;
-        for (const Instruction &inst : bb.insts)
-            remaining_real += inst.pseudo ? 0 : 1;
-
-        for (const Instruction &inst : bb.insts) {
+        // Retire the block's real instructions (continuing mid-block
+        // after a budget suspension).
+        bool budget_hit = false;
+        for (; instIdx_ < bb.insts.size(); ++instIdx_) {
+            const Instruction &inst = bb.insts[instIdx_];
             if (inst.pseudo)
                 continue;
-            --remaining_real;
+            --remainingReal_;
 
             RetiredInst ri;
             ri.inst = &inst;
-            ri.pc = pc;
-            ri.block = cur;
+            ri.pc = pc_;
+            ri.block = cur_;
             ri.inPackage = in_package;
-            ri.nextPc = remaining_real ? pc + kInstBytes : next_block_addr;
+            ri.nextPc = remainingReal_ ? pc_ + kInstBytes : next_block_addr;
 
             switch (inst.op) {
               case Opcode::CondBr:
-                ri.branchTaken = taken;
+                ri.branchTaken = taken_;
                 ++stats.dynBranches;
-                stats.takenBranches += taken ? 1 : 0;
+                stats.takenBranches += taken_ ? 1 : 0;
                 break;
               case Opcode::Call:
                 ++stats.dynCalls;
@@ -176,26 +239,31 @@ ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
             for (InstSink *s : sinks_)
                 s->onRetire(ri);
 
+            pc_ += kInstBytes;
             if (stats.dynInsts >= max_insts ||
                 stats.dynBranches >= max_branches) {
+                ++instIdx_;
+                budget_hit = true;
                 break;
             }
-
-            pc += kInstBytes;
         }
 
-        if (!done && stats.dynInsts < max_insts &&
-            stats.dynBranches < max_branches) {
-            if (!next.valid())
-                done = true;
-            else
-                cur = next;
+        if (!budget_hit) {
+            // The block fully retired: commit the transfer. done_ was
+            // already set at resolution time for a final Ret.
+            if (!done_) {
+                if (!next_.valid())
+                    done_ = true;
+                else
+                    cur_ = next_;
+            }
+            blockActive_ = false;
         }
     }
 
-    stats.hitBudget = !done;
-    g_total_insts.fetch_add(stats.dynInsts, std::memory_order_relaxed);
-    return stats;
+    stats.hitBudget = !done_;
+    g_total_insts.fetch_add(stats.dynInsts - before,
+                            std::memory_order_relaxed);
 }
 
 } // namespace vp::trace

@@ -6,6 +6,25 @@
  * streams retired instructions to registered sinks: the Hot Spot Detector
  * during profiling runs, the EPIC pipeline simulator during timing runs,
  * and the coverage/categorization collectors during evaluation runs.
+ *
+ * The engine is *resumable*: the walk state (current block, call stack,
+ * selector feedback, mid-block position) lives in the engine, so the
+ * online runtime can execute in fixed instruction-count quanta via
+ * resume() and mutate the program between quanta (install or deopt
+ * packages). Safe re-entry contract for such mutations:
+ *
+ *  - functions may only be *appended*; existing FuncIds/BlockIds must
+ *    stay valid (tombstoning a function empties its blocks but keeps
+ *    them);
+ *  - arcs (taken/fall/callee) of existing blocks may be retargeted;
+ *    the engine re-reads them at every block entry, so a patch takes
+ *    effect the next time the patched block executes;
+ *  - the successor of the block the engine is currently inside was
+ *    resolved at block entry and is *not* re-read — mutations must not
+ *    invalidate already-resolved BlockRefs (appending and retargeting
+ *    never do; removal would, and is therefore forbidden);
+ *  - callers must not remove or reorder blocks of any function the
+ *    engine still references (see referencesFunction()).
  */
 
 #ifndef VP_TRACE_ENGINE_HH
@@ -13,6 +32,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/program.hh"
@@ -108,17 +128,83 @@ class ExecutionEngine
      * program get further through the program. Timing comparisons
      * (Figure 10) run the baseline on an instruction budget and the
      * packaged program to the same branch count.
+     *
+     * Resets the walk state (entry block, empty call stack, zeroed
+     * stats) but continues the oracle's outcome stream, exactly as
+     * constructing a fresh engine over the same oracle would not.
      */
     RunStats run(std::uint64_t max_insts,
                  std::uint64_t max_branches =
                      std::numeric_limits<std::uint64_t>::max());
 
+    // --- Quantum stepping (online runtime). -----------------------------
+
+    /** Re-arm at the program entry: walk state, cumulative stats, *and*
+     *  the oracle's outcome stream. */
+    void reset();
+
+    /**
+     * Resume the walk where it stopped and retire up to @p more_insts
+     * further instructions (and at most @p more_branches further
+     * conditional branches). Stats accumulate across resume() calls; the
+     * returned reference reflects the whole walk since the last reset.
+     * A budget may land mid-block; the next resume() continues with the
+     * same resolved successor.
+     */
+    const RunStats &resume(std::uint64_t more_insts,
+                           std::uint64_t more_branches =
+                               std::numeric_limits<std::uint64_t>::max());
+
+    /** True once the entry function has returned. */
+    bool finished() const { return done_; }
+
+    /** Cumulative stats since the last reset()/run(). */
+    const RunStats &stats() const { return cumulative_; }
+
+    /**
+     * True if the suspended walk still references function @p f: the
+     * current block, the resolved successor, a pending call frame, or a
+     * pending selector. While true, @p f must not be tombstoned.
+     */
+    bool referencesFunction(ir::FuncId f) const;
+
     const BranchOracle &oracle() const { return oracle_; }
 
   private:
+    /** Reset walk state only (oracle untouched) — what run() does. */
+    void resetWalk();
+
+    /** Drive the walk until a cumulative budget is hit or the program
+     *  exits. */
+    void stepTo(std::uint64_t max_insts, std::uint64_t max_branches);
+
     const ir::Program &prog_;
     BranchOracle oracle_;
     std::vector<InstSink *> sinks_;
+
+    // --- Persistent walk state (valid between resume() calls).
+    RunStats cumulative_;
+    ir::BlockRef cur_;
+    std::vector<ir::BlockRef> callStack_;
+    bool done_ = false;
+
+    /** True while positioned inside cur_ with next_/taken_ resolved and
+     *  instIdx_ the next instruction to consider. */
+    bool blockActive_ = false;
+    ir::BlockRef next_;
+    bool taken_ = false;
+    std::size_t instIdx_ = 0;
+    std::size_t remainingReal_ = 0;
+    ir::Addr pc_ = ir::kInvalidAddr;
+
+    // Dynamic launch selectors (BlockKind::Selector): per-selector choice
+    // index, advanced when the chosen package bounces straight back out
+    // (the "monitoring snippet feeding a dynamic predictor" of
+    // Section 3.3.4).
+    std::unordered_map<ir::BlockRef, std::size_t> selectorChoice_;
+    ir::BlockRef pendingSelector_;
+    std::uint64_t selectorEntryInsts_ = 0;
+    bool selectorSawPackage_ = false;
 };
 
 } // namespace vp::trace

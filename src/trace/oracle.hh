@@ -66,6 +66,15 @@ class BranchOracle
     /** Conditional branches retired so far. */
     std::uint64_t branchCount() const { return branchCount_; }
 
+    /** Rewind the outcome stream to the beginning of time (used by
+     *  ExecutionEngine::reset(); replays identically afterwards). */
+    void
+    reset()
+    {
+        branchCount_ = 0;
+        occurrence_.clear();
+    }
+
   private:
     const workload::BehaviorMap &behaviors_;
     const workload::PhaseSchedule &schedule_;

@@ -1,6 +1,6 @@
 #include "vp/pipeline.hh"
 
-#include "region/identify.hh"
+#include "vp/stages.hh"
 
 namespace vp
 {
@@ -23,23 +23,17 @@ VacuumPacker::profile(VpResult &result) const
 void
 VacuumPacker::identify(VpResult &result) const
 {
-    result.regions.clear();
-    result.regions.reserve(result.records.size());
-    for (std::size_t i = 0; i < result.records.size(); ++i) {
-        region::Region r = region::identifyRegion(
-            workload_.program, result.records[i], cfg_.region);
-        r.hotSpotIndex = i;
-        result.regions.push_back(std::move(r));
-    }
+    result.regions =
+        identifyRegions(workload_.program, result.records, cfg_.region);
 }
 
 void
 VacuumPacker::construct(VpResult &result) const
 {
-    result.packaged = package::buildPackages(workload_.program,
-                                             result.regions, cfg_.package);
-    result.optStats = opt::optimizePackages(result.packaged.program,
-                                            cfg_.opt, cfg_.machine);
+    ConstructResult c =
+        constructPackages(workload_.program, result.regions, cfg_);
+    result.packaged = std::move(c.packaged);
+    result.optStats = c.optStats;
 }
 
 } // namespace vp

@@ -1,11 +1,13 @@
 #include "vp/report.hh"
 
 #include <chrono>
+#include <cinttypes>
 #include <mutex>
 #include <sstream>
 
 #include "support/table.hh"
 #include "support/thread_pool.hh"
+#include "vp/run_cache.hh"
 
 namespace vp
 {
@@ -99,6 +101,11 @@ analyzeWorkload(const workload::Workload &w, const VpConfig &base,
         }
     };
 
+    const RunCache &rc = RunCache::instance();
+    const std::uint64_t hits0 = rc.hits();
+    const std::uint64_t misses0 = rc.misses();
+    const std::uint64_t evictions0 = rc.evictions();
+
     if (threads > 1) {
         ThreadPool pool(std::min<unsigned>(threads, variants.size()));
         pool.parallelFor(variants.size(), runVariant);
@@ -106,6 +113,10 @@ analyzeWorkload(const workload::Workload &w, const VpConfig &base,
         for (std::size_t v = 0; v < variants.size(); ++v)
             runVariant(v);
     }
+
+    report.runCacheHits = rc.hits() - hits0;
+    report.runCacheMisses = rc.misses() - misses0;
+    report.runCacheEvictions = rc.evictions() - evictions0;
     return report;
 }
 
@@ -172,6 +183,13 @@ toText(const WorkloadReport &report, bool with_timing)
                           s.minstPerSec());
             os << line;
         }
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "run cache: %" PRIu64 " hits, %" PRIu64
+                      " misses, %" PRIu64 " evictions\n",
+                      report.runCacheHits, report.runCacheMisses,
+                      report.runCacheEvictions);
+        os << line;
     }
     return os.str();
 }

@@ -84,6 +84,14 @@ struct WorkloadReport
      *  only renders it on request. */
     std::vector<StageCost> stages;
 
+    /** RunCache activity during this analysis (deltas of the
+     *  process-wide counters: baseline runs reused vs simulated vs
+     *  dropped). Rendered with the timing section only, because the
+     *  split depends on what ran earlier in the process. */
+    std::uint64_t runCacheHits = 0;
+    std::uint64_t runCacheMisses = 0;
+    std::uint64_t runCacheEvictions = 0;
+
     /** The full (inference + linking) configuration. */
     const ConfigReport &full() const { return configs[3]; }
 };

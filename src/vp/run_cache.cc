@@ -224,6 +224,7 @@ void
 RunCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    evictions_ += timing_.size() + profile_.size();
     timing_.clear();
     profile_.clear();
 }
@@ -240,6 +241,13 @@ RunCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
+}
+
+std::uint64_t
+RunCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
 }
 
 } // namespace vp

@@ -66,7 +66,8 @@ class RunCache
     std::shared_ptr<const BranchProfile>
     branchProfile(const workload::Workload &w);
 
-    /** Drop every entry (test isolation; counters are kept). */
+    /** Drop every entry (test isolation; hit/miss counters are kept and
+     *  the dropped entries are added to evictions()). */
     void clear();
 
     /** Requests served from an already-simulated entry. */
@@ -74,6 +75,9 @@ class RunCache
 
     /** Requests that triggered a simulation. */
     std::uint64_t misses() const;
+
+    /** Entries dropped by clear() over the process lifetime. */
+    std::uint64_t evictions() const;
 
     /**
      * Content fingerprint of a workload: name, input, budget, program
@@ -108,6 +112,7 @@ class RunCache
         profile_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace vp

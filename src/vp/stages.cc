@@ -1,0 +1,35 @@
+#include "vp/stages.hh"
+
+#include "region/identify.hh"
+
+namespace vp
+{
+
+std::vector<region::Region>
+identifyRegions(const ir::Program &prog,
+                const std::vector<hsd::HotSpotRecord> &records,
+                const region::RegionConfig &cfg)
+{
+    std::vector<region::Region> regions;
+    regions.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        region::Region r = region::identifyRegion(prog, records[i], cfg);
+        r.hotSpotIndex = i;
+        regions.push_back(std::move(r));
+    }
+    return regions;
+}
+
+ConstructResult
+constructPackages(const ir::Program &orig,
+                  const std::vector<region::Region> &regions,
+                  const VpConfig &cfg)
+{
+    ConstructResult out;
+    out.packaged = package::buildPackages(orig, regions, cfg.package);
+    out.optStats =
+        opt::optimizePackages(out.packaged.program, cfg.opt, cfg.machine);
+    return out;
+}
+
+} // namespace vp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The pipeline's identify / construct / optimize stages as free
+ * functions over a program, shared by the offline VacuumPacker and the
+ * online repackaging runtime (src/runtime). Both callers hand the same
+ * code the same inputs — hot-spot records and a pristine program — so
+ * a package synthesized mid-run is bit-identical to one synthesized
+ * offline from the same record.
+ */
+
+#ifndef VP_VP_STAGES_HH
+#define VP_VP_STAGES_HH
+
+#include <vector>
+
+#include "hsd/record.hh"
+#include "opt/optimizer.hh"
+#include "package/packager.hh"
+#include "region/region.hh"
+#include "vp/config.hh"
+
+namespace vp
+{
+
+/**
+ * Identify stage: one region per record over @p prog (Section 3.2).
+ * Each region's hotSpotIndex is its position in @p records.
+ */
+std::vector<region::Region>
+identifyRegions(const ir::Program &prog,
+                const std::vector<hsd::HotSpotRecord> &records,
+                const region::RegionConfig &cfg);
+
+/** What construct + optimize produced. */
+struct ConstructResult
+{
+    package::PackagedProgram packaged;
+    opt::OptStats optStats;
+};
+
+/**
+ * Construct + optimize stage: build, link, deploy and optimize packages
+ * for @p regions over @p orig (Section 3.3 + Section 5.4). @p orig is
+ * never mutated; the result holds the packaged clone.
+ */
+ConstructResult
+constructPackages(const ir::Program &orig,
+                  const std::vector<region::Region> &regions,
+                  const VpConfig &cfg);
+
+} // namespace vp
+
+#endif // VP_VP_STAGES_HH

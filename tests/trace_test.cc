@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -278,6 +279,44 @@ TEST(Engine, InvertSenseFlipsArchitecturalDirection)
     // Architectural taken counts complement each other on that branch;
     // totals must differ (the branch is strongly biased).
     EXPECT_NE(s1.takenBranches, s2.takenBranches);
+}
+
+TEST(Engine, QuantumSteppingMatchesSingleRun)
+{
+    test::TinyWorkload t = test::makeTiny();
+    ExecutionEngine whole(t.w.program, t.w);
+    const RunStats one = whole.run(100'000);
+
+    // The same walk in uneven quanta (budgets land mid-block) must
+    // retire the identical stream — same totals, same stopping point.
+    ExecutionEngine stepped(t.w.program, t.w);
+    stepped.reset();
+    const std::uint64_t quanta[] = {1, 7, 100, 3'333, 50'000, 100'000};
+    std::size_t qi = 0;
+    while (!stepped.finished() && stepped.stats().dynInsts < 100'000) {
+        const std::uint64_t left = 100'000 - stepped.stats().dynInsts;
+        const std::uint64_t q = std::min(quanta[qi % 6], left);
+        ++qi;
+        stepped.resume(q);
+    }
+    EXPECT_EQ(stepped.stats().dynInsts, one.dynInsts);
+    EXPECT_EQ(stepped.stats().dynBranches, one.dynBranches);
+    EXPECT_EQ(stepped.stats().takenBranches, one.takenBranches);
+    EXPECT_EQ(stepped.stats().dynCalls, one.dynCalls);
+    EXPECT_EQ(stepped.finished(), !one.hitBudget);
+}
+
+TEST(Engine, ResetReplaysIdentically)
+{
+    test::TinyWorkload t = test::makeTiny();
+    ExecutionEngine engine(t.w.program, t.w);
+    engine.reset();
+    engine.resume(40'000);
+    const RunStats first = engine.stats();
+    engine.reset(); // re-arms the oracle too
+    engine.resume(40'000);
+    EXPECT_EQ(engine.stats().dynInsts, first.dynInsts);
+    EXPECT_EQ(engine.stats().takenBranches, first.takenBranches);
 }
 
 } // namespace

@@ -6,6 +6,8 @@
  *   vpack run <bench> [input] [options]     run the pipeline, print results
  *   vpack report <bench> [input] [options]  full four-configuration report
  *   vpack dump <bench> [input] [options]    dump the packaged program IR
+ *   vpack runtime <bench> [input] [options] run online: detect, package
+ *                                           and hot-swap in one execution
  *
  * Options (run/dump):
  *   --no-inference         disable Figure 4 temperature inference
@@ -19,7 +21,14 @@
  *   --packages-only        (dump) print only package functions
  *   --threads=N            (report) analyze the four variants on N
  *                          worker threads (results are identical)
+ *                          (runtime) background synthesis workers
  *   --timing               (report) append per-stage wall-clock costs
+ *
+ * Options (runtime):
+ *   --quantum=N            execution quantum in instructions
+ *   --cache-capacity=N     package-cache weight budget (added insts)
+ *   --compare              append the offline {inference, linking}
+ *                          pipeline's coverage on the same workload
  */
 
 #include <cstdio>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "ir/print.hh"
+#include "runtime/controller.hh"
 #include "vp/evaluate.hh"
 #include "vp/pipeline.hh"
 #include "vp/report.hh"
@@ -44,13 +54,15 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: vpack list\n"
-                 "       vpack run    <bench> [input] [options]\n"
-                 "       vpack report <bench> [input]\n"
-                 "       vpack dump   <bench> [input] [options]\n"
+                 "       vpack run     <bench> [input] [options]\n"
+                 "       vpack report  <bench> [input]\n"
+                 "       vpack dump    <bench> [input] [options]\n"
+                 "       vpack runtime <bench> [input] [options]\n"
                  "options: --no-inference --no-linking --dynamic-launch\n"
                  "         --unroll=N --bbb=SETSxWAYS --history=N\n"
                  "         --max-blocks=N --budget=N --packages-only\n"
-                 "         --threads=N --timing\n");
+                 "         --threads=N --timing\n"
+                 "         --quantum=N --cache-capacity=N --compare\n");
     return 2;
 }
 
@@ -61,6 +73,10 @@ struct Options
     bool packagesOnly = false;
     unsigned threads = 1;
     bool timing = false;
+
+    // runtime subcommand
+    runtime::RuntimeConfig rt;
+    bool compare = false;
 };
 
 bool
@@ -100,6 +116,26 @@ parseOptions(int argc, char **argv, int first, Options &opt)
                 static_cast<unsigned>(std::atoi(a.c_str() + 13));
         } else if (starts("--budget=")) {
             opt.budget = std::strtoull(a.c_str() + 9, nullptr, 10);
+        } else if (starts("--quantum=")) {
+            char *end = nullptr;
+            opt.rt.quantumInsts = std::strtoull(a.c_str() + 10, &end, 10);
+            if (end == a.c_str() + 10 || *end != '\0') {
+                std::fprintf(stderr, "vpack: bad --quantum value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (starts("--cache-capacity=")) {
+            char *end = nullptr;
+            opt.rt.cacheCapacityInsts = static_cast<std::size_t>(
+                std::strtoull(a.c_str() + 17, &end, 10));
+            if (end == a.c_str() + 17 || *end != '\0') {
+                std::fprintf(stderr,
+                             "vpack: bad --cache-capacity value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (a == "--compare") {
+            opt.compare = true;
         } else if (starts("--bbb=")) {
             unsigned sets = 0, ways = 0;
             if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
@@ -179,6 +215,37 @@ cmdReport(const workload::Workload &w_in, const Options &opt)
 }
 
 int
+cmdRuntime(const workload::Workload &w_in, const Options &opt)
+{
+    workload::Workload w = w_in;
+    if (opt.budget)
+        w.maxDynInsts = opt.budget;
+
+    runtime::RuntimeConfig rt = opt.rt;
+    rt.vp = opt.cfg;
+    rt.workers = opt.threads;
+
+    runtime::RuntimeController controller(w, rt);
+    const runtime::RuntimeStats stats = controller.run();
+    std::printf("%s", toText(stats, w.label()).c_str());
+
+    if (opt.compare) {
+        // Offline reference: same knobs, full profile-then-repackage.
+        VacuumPacker packer(w, opt.cfg);
+        const VpResult r = packer.run();
+        const auto cov = measureCoverage(w, r.packaged.program);
+        std::printf("offline coverage: %.1f%% (online reached %.1f%% of "
+                    "it)\n",
+                    100.0 * cov.packageCoverage(),
+                    cov.packageCoverage() > 0.0
+                        ? 100.0 * stats.packageCoverage() /
+                              cov.packageCoverage()
+                        : 0.0);
+    }
+    return 0;
+}
+
+int
 cmdDump(const workload::Workload &w, const Options &opt)
 {
     VacuumPacker packer(w, opt.cfg);
@@ -228,5 +295,7 @@ main(int argc, char **argv)
         return cmdReport(w, opt);
     if (cmd == "dump")
         return cmdDump(w, opt);
+    if (cmd == "runtime")
+        return cmdRuntime(w, opt);
     return usage();
 }
