@@ -151,17 +151,25 @@ verify(const Program &prog)
     return errs;
 }
 
+Status
+verifyProgram(const Program &prog, const char *when)
+{
+    const auto errs = verify(prog);
+    if (errs.empty())
+        return Status::ok();
+    std::ostringstream os;
+    os << "IR verification failed (" << when << "):";
+    for (const auto &e : errs)
+        os << "\n  " << e;
+    return Status::error(os.str());
+}
+
 void
 verifyOrDie(const Program &prog, const char *when)
 {
-    const auto errs = verify(prog);
-    if (!errs.empty()) {
-        std::ostringstream os;
-        os << "IR verification failed (" << when << "):";
-        for (const auto &e : errs)
-            os << "\n  " << e;
-        vp_panic(os.str());
-    }
+    const Status st = verifyProgram(prog, when);
+    if (!st)
+        vp_panic(st.message());
 }
 
 } // namespace vp::ir

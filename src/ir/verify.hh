@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ir/program.hh"
+#include "support/status.hh"
 
 namespace vp::ir
 {
@@ -20,6 +21,14 @@ std::vector<std::string> verify(const Program &prog, const Function &fn);
 
 /** @return violations found anywhere in @p prog (empty = valid). */
 std::vector<std::string> verify(const Program &prog);
+
+/**
+ * Recoverable verification: ok, or an error Status listing every
+ * violation prefixed with @p when. The entry point for callers that can
+ * skip or roll back the offending artifact (the online runtime, the
+ * guarded pipeline stages).
+ */
+Status verifyProgram(const Program &prog, const char *when);
 
 /** Abort with a panic listing violations if @p prog is malformed. */
 void verifyOrDie(const Program &prog, const char *when);

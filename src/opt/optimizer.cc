@@ -50,9 +50,9 @@ mergeStraightline(Function &fn, const std::vector<bool> &extern_ref)
     return merged;
 }
 
-OptStats
-optimizePackages(Program &prog, const OptConfig &cfg,
-                 const sim::MachineConfig &mc)
+Expected<OptStats>
+tryOptimizePackages(Program &prog, const OptConfig &cfg,
+                    const sim::MachineConfig &mc)
 {
     OptStats stats;
 
@@ -118,8 +118,19 @@ optimizePackages(Program &prog, const OptConfig &cfg,
     }
 
     prog.layout();
-    verifyOrDie(prog, "package optimization");
+    if (Status st = verifyProgram(prog, "package optimization"); !st)
+        return st;
     return stats;
+}
+
+OptStats
+optimizePackages(Program &prog, const OptConfig &cfg,
+                 const sim::MachineConfig &mc)
+{
+    Expected<OptStats> opt = tryOptimizePackages(prog, cfg, mc);
+    if (!opt)
+        vp_panic(opt.status().message());
+    return opt.value();
 }
 
 } // namespace vp::opt

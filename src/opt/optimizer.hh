@@ -15,6 +15,7 @@
 #include "opt/sink.hh"
 #include "opt/unroll.hh"
 #include "sim/machine.hh"
+#include "support/status.hh"
 
 namespace vp::opt
 {
@@ -59,7 +60,17 @@ std::size_t mergeStraightline(ir::Function &fn,
 /**
  * Optimize all package functions of @p prog and re-run layout().
  * @p prog must already be verified; it is re-verified afterwards.
+ * Recoverable entry point: a pass that leaves the program malformed
+ * returns an error Status instead of aborting. NOTE: on error @p prog
+ * has already been mutated by the failing pass — callers must discard
+ * it (every caller optimizes a scratch clone, never the original).
  */
+Expected<OptStats> tryOptimizePackages(ir::Program &prog,
+                                       const OptConfig &cfg = {},
+                                       const sim::MachineConfig &mc = {});
+
+/** tryOptimizePackages() for callers with no recovery path: panics on
+ *  error. */
 OptStats optimizePackages(ir::Program &prog, const OptConfig &cfg = {},
                           const sim::MachineConfig &mc = {});
 

@@ -177,10 +177,28 @@ chooseOrdering(const Program &prog,
     return best;
 }
 
-void
+Status
 applyLinks(Program &prog, std::vector<PackageInfo *> &group,
            const GroupOrdering &result)
 {
+    // Validate every link before applying any: a malformed ordering must
+    // not leave the program half-linked.
+    for (const Link &link : result.links) {
+        if (link.fromPkg >= group.size() || link.toPkg >= group.size()) {
+            return Status::error("link references package outside group");
+        }
+        const PackageInfo &from = *group[link.fromPkg];
+        const PackageInfo &to = *group[link.toPkg];
+        if (link.block >= prog.func(from.func).numBlocks())
+            return Status::error("link source block out of range");
+        if (!prog.func(from.func).block(link.block).endsInCondBr())
+            return Status::error("link source is not a branch block");
+        if (!link.target.valid() || link.target.func != to.func ||
+            link.target.block >= prog.func(to.func).numBlocks()) {
+            return Status::error(
+                "link target is not a block of the target package");
+        }
+    }
     for (const Link &link : result.links) {
         PackageInfo &from = *group[link.fromPkg];
         BasicBlock &bb = prog.func(from.func).block(link.block);
@@ -191,6 +209,7 @@ applyLinks(Program &prog, std::vector<PackageInfo *> &group,
         ++from.outgoingLinks;
         ++group[link.toPkg]->incomingLinks;
     }
+    return Status::ok();
 }
 
 } // namespace vp::package

@@ -67,9 +67,15 @@ GroupOrdering chooseOrdering(const ir::Program &prog,
                              const std::vector<const PackageInfo *> &group,
                              const PackageConfig &cfg);
 
-/** Apply @p result's links to the program and update link counters. */
-void applyLinks(ir::Program &prog, std::vector<PackageInfo *> &group,
-                const GroupOrdering &result);
+/**
+ * Apply @p result's links to the program and update link counters.
+ * Recoverable: every link is validated (indices in range, source arc a
+ * real branch block of the source package, target a real block of the
+ * target package) *before* any is applied, so a malformed ordering
+ * returns an error and leaves the program untouched.
+ */
+Status applyLinks(ir::Program &prog, std::vector<PackageInfo *> &group,
+                  const GroupOrdering &result);
 
 } // namespace vp::package
 

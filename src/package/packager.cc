@@ -287,9 +287,10 @@ selectRoots(const Program &prog, const region::Region &region,
     return roots;
 }
 
-PackagedProgram
-buildPackages(const Program &orig, const std::vector<region::Region> &regions,
-              const PackageConfig &cfg)
+Expected<PackagedProgram>
+tryBuildPackages(const Program &orig,
+                 const std::vector<region::Region> &regions,
+                 const PackageConfig &cfg)
 {
     PackagedProgram out;
     out.program = orig; // value clone; the original is never mutated
@@ -327,7 +328,8 @@ buildPackages(const Program &orig, const std::vector<region::Region> &regions,
             std::vector<PackageInfo *> mut;
             for (std::size_t i : members)
                 mut.push_back(&out.packages[i]);
-            applyLinks(out.program, mut, chosen);
+            if (Status st = applyLinks(out.program, mut, chosen); !st)
+                return st;
             out.numLinks += chosen.links.size();
             for (std::size_t pos = 0; pos < chosen.order.size(); ++pos)
                 launch_order[pos] = members[chosen.order[pos]];
@@ -409,7 +411,8 @@ buildPackages(const Program &orig, const std::vector<region::Region> &regions,
     compactPackages(out.program, out.packages);
 
     out.program.layout();
-    verifyOrDie(out.program, "package construction");
+    if (Status st = verifyProgram(out.program, "package construction"); !st)
+        return st;
 
     // --- Static accounting for Table 3.
     std::unordered_set<BlockRef> selected;
@@ -426,6 +429,16 @@ buildPackages(const Program &orig, const std::vector<region::Region> &regions,
             out.selectedOrigInsts += inst.pseudo ? 0 : 1;
     }
     return out;
+}
+
+PackagedProgram
+buildPackages(const Program &orig, const std::vector<region::Region> &regions,
+              const PackageConfig &cfg)
+{
+    Expected<PackagedProgram> built = tryBuildPackages(orig, regions, cfg);
+    if (!built)
+        vp_panic(built.status().message());
+    return std::move(built.value());
 }
 
 } // namespace vp::package

@@ -16,6 +16,7 @@
 #include "ir/program.hh"
 #include "package/pruned.hh"
 #include "region/region.hh"
+#include "support/status.hh"
 
 namespace vp::package
 {
@@ -158,8 +159,18 @@ std::vector<ir::FuncId> selectRoots(
 
 /**
  * Build, link and deploy packages for all @p regions over @p orig.
- * The original program is never mutated.
+ * The original program is never mutated. Recoverable entry point: a
+ * construction whose result fails verification (or whose links are
+ * inconsistent) returns an error instead of aborting, so callers can
+ * skip the offending phase and keep running.
  */
+Expected<PackagedProgram>
+tryBuildPackages(const ir::Program &orig,
+                 const std::vector<region::Region> &regions,
+                 const PackageConfig &cfg = {});
+
+/** tryBuildPackages() for callers with no recovery path: panics on
+ *  error (the seed pipeline's abort-on-malformed contract). */
 PackagedProgram buildPackages(const ir::Program &orig,
                               const std::vector<region::Region> &regions,
                               const PackageConfig &cfg = {});

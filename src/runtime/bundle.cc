@@ -69,9 +69,9 @@ phaseKey(const hsd::HotSpotRecord &record, double bias_high)
     return acc;
 }
 
-PackageBundle
-synthesizeBundle(const ir::Program &pristine,
-                 const hsd::HotSpotRecord &record, const VpConfig &cfg)
+Expected<PackageBundle>
+trySynthesizeBundle(const ir::Program &pristine,
+                    const hsd::HotSpotRecord &record, const VpConfig &cfg)
 {
     VpConfig c = cfg;
     c.package.dynamicLaunch = false;
@@ -82,12 +82,26 @@ synthesizeBundle(const ir::Program &pristine,
 
     std::vector<region::Region> regions =
         identifyRegions(pristine, {record}, c.region);
-    ConstructResult built = constructPackages(pristine, regions, c);
+    Expected<ConstructResult> built =
+        tryConstructPackages(pristine, regions, c);
+    if (!built)
+        return built.status();
 
     bundle.region = std::move(regions.front());
-    bundle.packaged = std::move(built.packaged);
-    bundle.optStats = built.optStats;
+    bundle.packaged = std::move(built->packaged);
+    bundle.optStats = built->optStats;
     return bundle;
+}
+
+PackageBundle
+synthesizeBundle(const ir::Program &pristine,
+                 const hsd::HotSpotRecord &record, const VpConfig &cfg)
+{
+    Expected<PackageBundle> bundle =
+        trySynthesizeBundle(pristine, record, cfg);
+    if (!bundle)
+        vp_panic(bundle.status().message());
+    return std::move(bundle.value());
 }
 
 } // namespace vp::runtime

@@ -15,6 +15,7 @@
 #include "opt/optimizer.hh"
 #include "package/packager.hh"
 #include "region/region.hh"
+#include "support/status.hh"
 #include "vp/config.hh"
 
 namespace vp::runtime
@@ -79,8 +80,16 @@ std::uint64_t phaseKey(const hsd::HotSpotRecord &record,
  * pipeline uses. Pure function of its arguments — safe to run on any
  * worker thread, bit-identical results on all of them.
  * cfg.package.dynamicLaunch is forced off (selector stubs are not
- * spliceable).
+ * spliceable). Recoverable entry point: a record whose packages cannot
+ * be constructed or optimized returns an error Status (the runtime
+ * skips and quarantines the phase instead of dying mid-run).
  */
+Expected<PackageBundle> trySynthesizeBundle(const ir::Program &pristine,
+                                            const hsd::HotSpotRecord &record,
+                                            const VpConfig &cfg);
+
+/** trySynthesizeBundle() for callers with no recovery path: panics on
+ *  error. */
 PackageBundle synthesizeBundle(const ir::Program &pristine,
                                const hsd::HotSpotRecord &record,
                                const VpConfig &cfg);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "support/fault.hh"
 #include "vp/config.hh"
 
 namespace vp::runtime
@@ -88,6 +89,41 @@ struct RuntimeConfig
 
     /** Re-verify the live program after every install/deopt. */
     bool verifyAfterPatch = true;
+
+    /** Gate every bundle through the PackageVerifier before the
+     *  LivePatcher may install it; a rejected bundle is quarantined and
+     *  the original code keeps running. On a healthy pipeline the gate
+     *  never fires, so enabling it does not change results. */
+    bool verifyBeforeInstall = true;
+
+    /** Deterministic fault injection (all-zero rates = off). */
+    fault::FaultConfig fault;
+
+    /**
+     * Post-install health watchdog. Predicted behavior of an installed
+     * bundle is that its packages retire at least activeRetireFraction
+     * of each quantum; a bundle that stays below that for
+     * watchdogColdQuanta consecutive quanta (after a grace period for
+     * the phase to come around) is deopted through the undo log and its
+     * phase quarantined. Off by default: a fault-free run is then
+     * byte-identical to the unguarded runtime.
+     */
+    bool watchdog = false;
+
+    /** Quanta after (re)install before health is judged. */
+    std::uint64_t watchdogGraceQuanta = 2;
+
+    /** Consecutive cold quanta that trigger an auto-deopt. */
+    std::uint64_t watchdogColdQuanta = 8;
+
+    /**
+     * Quarantine backoff: a phase's n-th offense (failed build, verifier
+     * reject, watchdog deopt) blocks its re-synthesis for
+     * min(quarantineBaseQuanta << n, quarantineMaxQuanta) quanta.
+     * Detections of a quarantined phase are skipped and counted.
+     */
+    std::uint64_t quarantineBaseQuanta = 16;
+    std::uint64_t quarantineMaxQuanta = 1024;
 };
 
 } // namespace vp::runtime

@@ -28,7 +28,8 @@ RuntimeController::RuntimeController(const workload::Workload &w,
       pristine_(w.program), live_(w.program), engine_(live_, w),
       detector_(cfg_.vp.hsd, &engine_.oracle()),
       patcher_(live_, pristine_),
-      cache_(cfg_.cacheCapacityInsts, cacheMatch_), pool_(cfg_.workers)
+      cache_(cfg_.cacheCapacityInsts, cacheMatch_), verifier_(pristine_),
+      inject_(cfg_.fault), pool_(cfg_.workers)
 {
     engine_.addSink(&detector_);
     engine_.addSink(&usage_);
@@ -69,6 +70,22 @@ RuntimeController::run()
         const CacheEntry &e = cache_.entry(i);
         stats_.bundles[e.bundleIndex].residentAtEnd = e.resident;
     }
+    stats_.faults = inject_.stats();
+    stats_.quarantinedAtEnd = cache_.quarantineCount();
+    const ThreadPool::ErrorStats perr = pool_.errorStats();
+    stats_.poolTaskErrors = perr.taskErrors;
+    stats_.poolDroppedErrors = perr.droppedErrors;
+
+    // Retire every live edit so the patcher destructs with a drained
+    // undo log. The spliced functions stay — the run is over, no engine
+    // will enter them — and the stats above were collected first, so
+    // nothing observable changes.
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        CacheEntry &e = cache_.entry(i);
+        if (e.resident)
+            patcher_.unpatch(e.installed);
+    }
+    stats_.redundantRestores = patcher_.redundantRestores();
     return stats_;
 }
 
@@ -77,6 +94,7 @@ RuntimeController::boundary()
 {
     sweepZombies();
     refreshRecency();
+    watchdog();
     drainDetections();
     completeReadyJobs();
     processActivations();
@@ -98,8 +116,82 @@ RuntimeController::sweepZombies()
         it = zombies_.erase(it);
         swept = true;
     }
-    if (swept && cfg_.verifyAfterPatch)
-        ir::verifyOrDie(live_, "runtime tombstone");
+    if (swept && cfg_.verifyAfterPatch) {
+        if (Status st = ir::verifyProgram(live_, "runtime tombstone"); !st) {
+            vp_warn(st.message());
+            ++stats_.liveVerifyFailures;
+        }
+    }
+}
+
+void
+RuntimeController::watchdog()
+{
+    if (!cfg_.watchdog)
+        return;
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        CacheEntry &e = cache_.entry(i);
+        if (!e.resident)
+            continue;
+        if (quantum_ - e.lastInstalledQuantum <= cfg_.watchdogGraceQuanta)
+            continue;
+        if (activeNow(e)) {
+            // Predicted coverage materialized: the phase is healthy;
+            // forgive its quarantine history.
+            e.coldQuanta = 0;
+            if (!e.provedHealthy) {
+                e.provedHealthy = true;
+                cache_.absolve(e.bundle.record);
+            }
+            continue;
+        }
+        if (++e.coldQuanta < cfg_.watchdogColdQuanta)
+            continue;
+        // The bundle never (or no longer) covers what is actually
+        // running — possibly synthesized from a corrupted profile. Deopt
+        // it through the undo log and quarantine the phase; the cached
+        // bundle stays dormant for a backed-off retry.
+        e.coldQuanta = 0;
+        patcher_.unpatch(e.installed);
+        if (engineReferences(e.installed.funcs))
+            ++stats_.lazyDeopts;
+        zombies_.push_back(e.installed.funcs);
+        e.resident = false;
+        e.installed = InstalledBundle{};
+        cache_.quarantine(e.bundle.record, quantum_,
+                          cfg_.quarantineBaseQuanta,
+                          cfg_.quarantineMaxQuanta);
+        ++stats_.quarantines;
+        ++stats_.watchdogDeopts;
+        ++stats_.bundles[e.bundleIndex].watchdogDeopts;
+    }
+}
+
+void
+RuntimeController::corruptRecord(hsd::HotSpotRecord &rec)
+{
+    using fault::Kind;
+    std::vector<hsd::HotBranch> &br = rec.branches;
+    // fire() is drawn for every record regardless of whether the record
+    // is big enough to mutate, so the decision stream depends only on
+    // the (deterministic) detection sequence.
+    if (inject_.fire(Kind::DropBranch) && br.size() > 1) {
+        br.erase(br.begin() + static_cast<std::ptrdiff_t>(
+                                  inject_.draw(Kind::DropBranch, br.size())));
+    }
+    if (inject_.fire(Kind::Saturate) && !br.empty()) {
+        // Both counters pegged at the 9-bit hardware cap: the branch
+        // looks maximally hot and always taken.
+        hsd::HotBranch &b = br[inject_.draw(Kind::Saturate, br.size())];
+        b.exec = 0x1FF;
+        b.taken = 0x1FF;
+    }
+    if (inject_.fire(Kind::Alias) && br.size() > 1) {
+        // Counter tag collision: one branch's counts land under its
+        // neighbor's static identity.
+        const std::size_t i = inject_.draw(Kind::Alias, br.size() - 1);
+        br[i].behavior = br[i + 1].behavior;
+    }
 }
 
 void
@@ -127,9 +219,18 @@ RuntimeController::drainDetections()
 {
     std::vector<hsd::HotSpotRecord> batch;
     batch.swap(pending_);
-    for (const hsd::HotSpotRecord &raw : batch) {
+    for (hsd::HotSpotRecord &raw : batch) {
         ++stats_.detections;
+        if (inject_.enabled())
+            corruptRecord(raw);
         const hsd::HotSpotRecord rec = canonicalizeRecord(raw);
+
+        if (cache_.quarantined(rec, quantum_)) {
+            // The phase is serving a backoff after an offense; skip the
+            // detection rather than rebuild what just misbehaved.
+            ++stats_.quarantineSkips;
+            continue;
+        }
 
         const std::size_t hit = cache_.find(rec);
         if (hit != PackageCache::npos) {
@@ -178,13 +279,36 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec)
     std::uint64_t latency = cfg_.baseCompileQuanta;
     if (cfg_.hotBranchesPerQuantum)
         latency += rec.branches.size() / cfg_.hotBranchesPerQuantum;
+    if (inject_.fire(fault::Kind::SynthDelay))
+        latency += 1 + inject_.draw(fault::Kind::SynthDelay, 4);
     job.readyQuantum = quantum_ + latency;
-    job.result = std::make_shared<PackageBundle>();
+    job.result = std::make_shared<JobResult>();
     job.done = std::make_shared<std::atomic<bool>>(false);
 
+    // The failure decision is drawn here, on the controller thread, so a
+    // fixed seed fails the same jobs for every worker count.
+    const bool inject_fail = inject_.fire(fault::Kind::SynthFail);
+
     pool_.submit([result = job.result, done = job.done, record = rec,
-                  pristine = &pristine_, vcfg = cfg_.vp]() {
-        *result = synthesizeBundle(*pristine, record, vcfg);
+                  pristine = &pristine_, vcfg = cfg_.vp, inject_fail]() {
+        if (inject_fail) {
+            result->status = Status::error("injected synthesis fault");
+        } else {
+            try {
+                Expected<PackageBundle> b =
+                    trySynthesizeBundle(*pristine, record, vcfg);
+                if (b)
+                    result->bundle = std::move(b.value());
+                else
+                    result->status = b.status();
+            } catch (const std::exception &e) {
+                result->status = Status::error(
+                    std::string("synthesis threw: ") + e.what());
+            } catch (...) {
+                result->status =
+                    Status::error("synthesis threw a non-std exception");
+            }
+        }
         done->store(true, std::memory_order_release);
     });
 
@@ -208,7 +332,20 @@ RuntimeController::completeReadyJobs()
 void
 RuntimeController::completeJob(const Job &job)
 {
-    const PackageBundle &bundle = *job.result;
+    if (!job.result->status.isOk()) {
+        // Synthesis failed (malformed artifact, worker exception, or an
+        // injected fault): skip the phase and quarantine it. Original
+        // code keeps running — degradation costs coverage, never uptime.
+        vp_warn("synthesis failed, phase quarantined: ",
+                job.result->status.message());
+        ++stats_.failedBuilds;
+        cache_.quarantine(job.record, quantum_, cfg_.quarantineBaseQuanta,
+                          cfg_.quarantineMaxQuanta);
+        ++stats_.quarantines;
+        return;
+    }
+
+    const PackageBundle &bundle = job.result->bundle;
     if (bundle.empty())
         ++stats_.emptyBuilds; // cached anyway: re-detections hit, not rebuild
     const std::size_t twin = cache_.find(bundle.record);
@@ -240,7 +377,7 @@ RuntimeController::completeJob(const Job &job)
     stats_.bundles.push_back(bs);
 
     CacheEntry e;
-    e.bundle = *job.result;
+    e.bundle = job.result->bundle;
     e.lastUsedQuantum = quantum_;
     e.bundleIndex = stats_.bundles.size() - 1;
     const std::size_t idx = cache_.add(std::move(e));
@@ -266,6 +403,32 @@ RuntimeController::activate(std::uint64_t entry_id)
         return; // evicted while queued
     if (cache_.entry(idx).resident)
         return;
+
+    // Install gate: no bundle reaches the LivePatcher without passing
+    // structural admission. Injected verdict flips are fail-safe — they
+    // only ever turn an accept into a (spurious) reject, so a genuinely
+    // malformed bundle can never be waved through.
+    if (cfg_.verifyBeforeInstall) {
+        Status gate = verifier_.verify(cache_.entry(idx).bundle);
+        bool injected = false;
+        if (gate.isOk() && inject_.fire(fault::Kind::VerifyFlip)) {
+            gate = Status::error("injected verifier flip");
+            injected = true;
+        }
+        if (!gate) {
+            if (!injected)
+                vp_warn("install gate: ", gate.message());
+            CacheEntry gone = cache_.remove(idx);
+            ++stats_.verifierRejects;
+            stats_.bundles[gone.bundleIndex].rejected = true;
+            stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+            cache_.quarantine(gone.bundle.record, quantum_,
+                              cfg_.quarantineBaseQuanta,
+                              cfg_.quarantineMaxQuanta);
+            ++stats_.quarantines;
+            return;
+        }
+    }
 
     // The bundle being activated is the freshest evidence of what is hot
     // right now: it displaces whatever resident bundle holds its launch
@@ -300,9 +463,28 @@ RuntimeController::activate(std::uint64_t entry_id)
 
     CacheEntry &e = cache_.entry(idx);
     e.installed = patcher_.install(e.bundle);
-    if (cfg_.verifyAfterPatch)
-        ir::verifyOrDie(live_, "runtime install");
+    if (cfg_.verifyAfterPatch) {
+        if (Status st = ir::verifyProgram(live_, "runtime install"); !st) {
+            // The splice broke the live program: roll it back through
+            // the undo log, quarantine the phase, keep running on
+            // original code.
+            vp_warn("install rolled back: ", st.message());
+            patcher_.unpatch(e.installed);
+            zombies_.push_back(e.installed.funcs);
+            ++stats_.installRollbacks;
+            cache_.quarantine(e.bundle.record, quantum_,
+                              cfg_.quarantineBaseQuanta,
+                              cfg_.quarantineMaxQuanta);
+            ++stats_.quarantines;
+            stats_.bundles[e.bundleIndex].rejected = true;
+            stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
+            cache_.remove(idx);
+            return;
+        }
+    }
     e.resident = true;
+    e.coldQuanta = 0;
+    e.provedHealthy = false;
     e.lastInstalledQuantum = quantum_;
     e.allFuncs.insert(e.allFuncs.end(), e.installed.funcs.begin(),
                       e.installed.funcs.end());
@@ -355,8 +537,13 @@ RuntimeController::evictOverCapacity()
         if (engineReferences(e.installed.funcs))
             ++stats_.lazyDeopts;
         zombies_.push_back(e.installed.funcs);
-        if (cfg_.verifyAfterPatch)
-            ir::verifyOrDie(live_, "runtime evict");
+        if (cfg_.verifyAfterPatch) {
+            if (Status st = ir::verifyProgram(live_, "runtime evict");
+                !st) {
+                vp_warn(st.message());
+                ++stats_.liveVerifyFailures;
+            }
+        }
         ++stats_.evictions;
         stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
     }

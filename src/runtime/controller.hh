@@ -42,6 +42,8 @@
 #include "runtime/package_cache.hh"
 #include "runtime/patcher.hh"
 #include "runtime/stats.hh"
+#include "runtime/verifier.hh"
+#include "support/fault.hh"
 #include "support/thread_pool.hh"
 #include "trace/engine.hh"
 #include "workload/workload.hh"
@@ -63,6 +65,11 @@ class RuntimeController
     /** The live (patched) program — inspectable after run(). */
     const ir::Program &liveProgram() const { return live_; }
 
+    /** Attach a retired-instruction observer to the underlying engine.
+     *  Must be called before run(); tests use this to compare the
+     *  logical instruction stream against an unpatched reference run. */
+    void addSink(trace::InstSink *sink) { engine_.addSink(sink); }
+
     const RuntimeStats &stats() const { return stats_; }
 
   private:
@@ -79,19 +86,31 @@ class RuntimeController
         }
     };
 
+    /** What a synthesis worker hands back: a bundle, or the error that
+     *  prevented one. Workers catch *every* failure into status so the
+     *  pool's rethrow path never fires for runtime jobs — one bad phase
+     *  must cost coverage, not the run. */
+    struct JobResult
+    {
+        PackageBundle bundle;
+        Status status; ///< ok = bundle valid
+    };
+
     /** One background synthesis job. */
     struct Job
     {
         hsd::HotSpotRecord record;
         std::uint64_t submitQuantum = 0;
         std::uint64_t readyQuantum = 0; ///< deterministic install point
-        std::shared_ptr<PackageBundle> result;
+        std::shared_ptr<JobResult> result;
         std::shared_ptr<std::atomic<bool>> done;
     };
 
     void boundary();
     void sweepZombies();
     void refreshRecency();
+    void watchdog();
+    void corruptRecord(hsd::HotSpotRecord &rec);
     void drainDetections();
     void submitJob(const hsd::HotSpotRecord &rec);
     void completeReadyJobs();
@@ -118,6 +137,13 @@ class RuntimeController
     UsageSink usage_;
     LivePatcher patcher_;
     PackageCache cache_;
+    PackageVerifier verifier_;
+
+    /** Fault decisions are all made here, on the controller thread, in
+     *  deterministic event order — a fixed seed injects the identical
+     *  sequence for every worker count. */
+    fault::FaultInjector inject_;
+
     ThreadPool pool_;
 
     std::vector<hsd::HotSpotRecord> pending_; ///< snapshots this quantum

@@ -1,5 +1,7 @@
 #include "runtime/package_cache.hh"
 
+#include <algorithm>
+
 namespace vp::runtime
 {
 
@@ -55,6 +57,58 @@ PackageCache::weight() const
             w += e.installed.weight;
     }
     return w;
+}
+
+bool
+PackageCache::quarantined(const hsd::HotSpotRecord &record,
+                          std::uint64_t q) const
+{
+    for (const QuarantineEntry &e : quarantine_) {
+        if (q < e.untilQuantum &&
+            hsd::sameHotSpot(e.record, record, match_)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+PackageCache::quarantine(const hsd::HotSpotRecord &record, std::uint64_t q,
+                         std::uint64_t base_quanta, std::uint64_t cap_quanta)
+{
+    QuarantineEntry *hit = nullptr;
+    for (QuarantineEntry &e : quarantine_) {
+        if (hsd::sameHotSpot(e.record, record, match_)) {
+            hit = &e;
+            break;
+        }
+    }
+    if (!hit) {
+        quarantine_.push_back(QuarantineEntry{record, 0, 0});
+        hit = &quarantine_.back();
+    }
+    // Capped exponential backoff; the shift saturates well before the
+    // cap could overflow.
+    std::uint64_t backoff = cap_quanta;
+    if (hit->offenses < 63) {
+        backoff = std::min<std::uint64_t>(cap_quanta,
+                                          base_quanta << hit->offenses);
+    }
+    ++hit->offenses;
+    hit->untilQuantum = std::max<std::uint64_t>(hit->untilQuantum,
+                                                q + backoff);
+    return hit->offenses;
+}
+
+void
+PackageCache::absolve(const hsd::HotSpotRecord &record)
+{
+    for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+        if (hsd::sameHotSpot(it->record, record, match_))
+            it = quarantine_.erase(it);
+        else
+            ++it;
+    }
 }
 
 std::size_t

@@ -70,6 +70,27 @@ struct CacheEntry
 
     /** Index into RuntimeStats::bundles for lifecycle reporting. */
     std::size_t bundleIndex = 0;
+
+    /** Consecutive quanta the watchdog saw this resident entry cold. */
+    std::uint64_t coldQuanta = 0;
+
+    /** The entry retired actively at least once since its last install
+     *  (watchdog absolves the phase's quarantine history on this). */
+    bool provedHealthy = false;
+};
+
+/** Quarantine record of one misbehaving phase. */
+struct QuarantineEntry
+{
+    /** Match identity (same predicate as cache lookup). */
+    hsd::HotSpotRecord record;
+
+    /** Offenses so far (failed builds, verifier rejects, watchdog
+     *  deopts); drives the exponential backoff. */
+    std::size_t offenses = 0;
+
+    /** Re-synthesis is blocked until this quantum. */
+    std::uint64_t untilQuantum = 0;
 };
 
 /** The bundle cache. */
@@ -121,8 +142,33 @@ class PackageCache
     const CacheEntry &entry(std::size_t i) const { return entries_.at(i); }
     CacheEntry &entry(std::size_t i) { return entries_.at(i); }
 
+    /**
+     * True while @p record matches a quarantine entry whose backoff has
+     * not expired at quantum @p q. Expired entries stay on the list (the
+     * offense history survives, so a relapsing phase backs off longer),
+     * but no longer block.
+     */
+    bool quarantined(const hsd::HotSpotRecord &record,
+                     std::uint64_t q) const;
+
+    /**
+     * Register an offense of @p record's phase at quantum @p q: its
+     * re-synthesis is blocked for min(base << offenses, cap) quanta.
+     * @return the phase's total offense count.
+     */
+    std::size_t quarantine(const hsd::HotSpotRecord &record,
+                           std::uint64_t q, std::uint64_t base_quanta,
+                           std::uint64_t cap_quanta);
+
+    /** Erase @p record's quarantine history (the phase proved healthy). */
+    void absolve(const hsd::HotSpotRecord &record);
+
+    /** Phases currently on the quarantine list. */
+    std::size_t quarantineCount() const { return quarantine_.size(); }
+
   private:
     std::vector<CacheEntry> entries_;
+    std::vector<QuarantineEntry> quarantine_;
     std::size_t capacity_;
     hsd::FilterConfig match_;
     std::uint64_t nextId_ = 0;

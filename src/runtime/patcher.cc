@@ -14,6 +14,13 @@ LivePatcher::LivePatcher(Program &live, const Program &pristine)
               "live program lost functions");
 }
 
+LivePatcher::~LivePatcher()
+{
+    vp_assert(undoLog_.empty(),
+              "patcher destroyed with live edits: ", undoLog_.size(),
+              " arcs never restored");
+}
+
 InstalledBundle
 LivePatcher::install(const PackageBundle &bundle)
 {
@@ -81,6 +88,7 @@ LivePatcher::install(const PackageBundle &bundle)
                     p.oldRef = pb.taken;
                     p.newRef = remap_ref(sb.taken);
                     lb.taken = p.newRef;
+                    undoLog_.emplace(keyOf(p), p);
                     ib.patches.push_back(p);
                     ++ib.launchPoints;
                 } else {
@@ -95,6 +103,7 @@ LivePatcher::install(const PackageBundle &bundle)
                     p.oldRef = pb.fall;
                     p.newRef = remap_ref(sb.fall);
                     lb.fall = p.newRef;
+                    undoLog_.emplace(keyOf(p), p);
                     ib.patches.push_back(p);
                     ++ib.launchPoints;
                 } else {
@@ -109,6 +118,7 @@ LivePatcher::install(const PackageBundle &bundle)
                     p.oldCallee = pb.callee;
                     p.newCallee = remap_func(sb.callee);
                     lb.callee = p.newCallee;
+                    undoLog_.emplace(keyOf(p), p);
                     ib.patches.push_back(p);
                     ++ib.launchPoints;
                 } else {
@@ -182,8 +192,14 @@ void
 LivePatcher::unpatch(const InstalledBundle &ib)
 {
     // Restore the launch points. Arc ownership guarantees nobody
-    // re-patched these arcs while the bundle was resident.
+    // re-patched these arcs while the bundle was resident; the undo log
+    // makes a second unpatch of the same bundle a counted no-op.
     for (const Patch &p : ib.patches) {
+        const auto it = undoLog_.find(keyOf(p));
+        if (it == undoLog_.end()) {
+            ++redundantRestores_;
+            continue;
+        }
         BasicBlock &lb = live_.block(p.at);
         switch (p.field) {
           case Patch::Field::Taken:
@@ -199,6 +215,7 @@ LivePatcher::unpatch(const InstalledBundle &ib)
             lb.callee = p.oldCallee;
             break;
         }
+        undoLog_.erase(it);
     }
 }
 

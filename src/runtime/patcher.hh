@@ -10,6 +10,8 @@
 #ifndef VP_RUNTIME_PATCHER_HH
 #define VP_RUNTIME_PATCHER_HH
 
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "ir/program.hh"
@@ -67,6 +69,14 @@ class LivePatcher
      *  previously installed bundles. Both must outlive the patcher. */
     LivePatcher(ir::Program &live, const ir::Program &pristine);
 
+    /** Asserts the undo log is drained: every patch ever installed was
+     *  restored. An owner that destroys the patcher with edits still
+     *  live has leaked package arcs into the program. */
+    ~LivePatcher();
+
+    LivePatcher(const LivePatcher &) = delete;
+    LivePatcher &operator=(const LivePatcher &) = delete;
+
     /**
      * Install @p bundle: append its package functions to the live
      * program (remapping scratch FuncIds) and apply its launch-point
@@ -96,8 +106,22 @@ class LivePatcher
      * bundle (arcs are re-read at block entry; the engine drains out
      * through the package's exits). The functions stay spliced until
      * tombstone().
+     *
+     * Idempotent: each edit is tracked in an undo log keyed by
+     * (block, field), and a patch whose log entry is gone was already
+     * restored — it is skipped and counted, never applied twice. A
+     * watchdog deopt racing a cache displacement of the same bundle thus
+     * cannot bounce an arc back to a stale target.
      */
     void unpatch(const InstalledBundle &ib);
+
+    /** Live edits not yet restored. Zero once every resident bundle has
+     *  been unpatched. */
+    std::size_t undoLogSize() const { return undoLog_.size(); }
+
+    /** unpatch() calls that found an edit already restored (double-deopt
+     *  attempts absorbed by idempotency). */
+    std::size_t redundantRestores() const { return redundantRestores_; }
 
     /**
      * Tombstone the functions @p funcs: blocks emptied into the dead
@@ -114,8 +138,24 @@ class LivePatcher
     void deopt(const InstalledBundle &ib);
 
   private:
+    /** Undo-log key: one editable arc/callee slot of the live program. */
+    using EditKey = std::tuple<ir::FuncId, ir::BlockId, Patch::Field>;
+
+    static EditKey
+    keyOf(const Patch &p)
+    {
+        return {p.at.func, p.at.block, p.field};
+    }
+
     ir::Program &live_;
     const ir::Program &pristine_;
+
+    /** Every live edit, keyed by its slot. install() adds entries,
+     *  unpatch() removes them; a slot absent on unpatch was already
+     *  restored. */
+    std::map<EditKey, Patch> undoLog_;
+
+    std::size_t redundantRestores_ = 0;
 };
 
 } // namespace vp::runtime

@@ -49,6 +49,30 @@ toText(const RuntimeStats &s, const std::string &label)
                   " insts retired in packages\n",
                   100.0 * s.packageCoverage(), s.run.dynInsts);
     os << line;
+    std::snprintf(line, sizeof(line),
+                  "robustness: %zu failed builds, %zu verifier rejects, "
+                  "%zu install rollbacks, %zu watchdog deopts, "
+                  "%zu redundant restores, %zu worker errors (%zu dropped)\n",
+                  s.failedBuilds, s.verifierRejects, s.installRollbacks,
+                  s.watchdogDeopts, s.redundantRestores, s.poolTaskErrors,
+                  s.poolDroppedErrors);
+    os << line;
+    if (s.liveVerifyFailures) {
+        std::snprintf(line, sizeof(line),
+                      "live verify failures: %zu\n", s.liveVerifyFailures);
+        os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "quarantine: %zu offenses, %zu skipped detections, "
+                  "%zu phases listed at end; %" PRIu64
+                  " faults injected (drop %" PRIu64 ", sat %" PRIu64
+                  ", alias %" PRIu64 ", synth-fail %" PRIu64
+                  ", synth-delay %" PRIu64 ", verify-flip %" PRIu64 ")\n",
+                  s.quarantines, s.quarantineSkips, s.quarantinedAtEnd,
+                  s.faults.total(), s.faults.fired[0], s.faults.fired[1],
+                  s.faults.fired[2], s.faults.fired[3], s.faults.fired[4],
+                  s.faults.fired[5]);
+    os << line;
 
     for (const BundleStats &b : s.bundles) {
         std::snprintf(line, sizeof(line),
@@ -58,7 +82,9 @@ toText(const RuntimeStats &s, const std::string &label)
                       b.key, b.packages, b.weight, b.launchPoints,
                       b.contendedLaunchPoints, b.submittedQuantum);
         os << line;
-        if (b.installedQuantum == BundleStats::kNever)
+        if (b.rejected)
+            std::snprintf(line, sizeof(line), ", rejected at gate");
+        else if (b.installedQuantum == BundleStats::kNever)
             std::snprintf(line, sizeof(line), ", never installed");
         else
             std::snprintf(line, sizeof(line), ", installed q%" PRIu64,
@@ -76,6 +102,13 @@ toText(const RuntimeStats &s, const std::string &label)
                       "%zu reinstalls\n",
                       b.instsRetired, b.cacheHits, b.reinstalls);
         os << line;
+        if (b.watchdogDeopts) {
+            std::snprintf(line, sizeof(line),
+                          "    watchdog deopted %zu time%s\n",
+                          b.watchdogDeopts,
+                          b.watchdogDeopts == 1 ? "" : "s");
+            os << line;
+        }
     }
     return os.str();
 }

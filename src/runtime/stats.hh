@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hsd/detector.hh"
+#include "support/fault.hh"
 #include "trace/engine.hh"
 
 namespace vp::runtime
@@ -54,6 +55,12 @@ struct BundleStats
     /** True if the bundle's packages were live when the run ended. */
     bool residentAtEnd = false;
 
+    /** Rejected by the install gate (never spliced; phase quarantined). */
+    bool rejected = false;
+
+    /** Auto-deopted by the health watchdog at least once. */
+    std::size_t watchdogDeopts = 0;
+
     static constexpr std::uint64_t kNever =
         std::numeric_limits<std::uint64_t>::max();
 
@@ -88,6 +95,48 @@ struct RuntimeStats
 
     /** Sum over installed bundles of (install - submit) quanta. */
     std::uint64_t compileLatencyQuanta = 0;
+
+    // --- Robustness counters (all zero on a fault-free run with the
+    // watchdog off).
+
+    /** Synthesis jobs that completed with an error (real or injected);
+     *  the phase was skipped and quarantined, never installed. */
+    std::size_t failedBuilds = 0;
+
+    /** Bundles the install gate rejected (structural violations or an
+     *  injected verifier flip); original code kept running. */
+    std::size_t verifierRejects = 0;
+
+    /** Installs undone because the live program failed verification
+     *  right after the splice (rolled back via the undo log). */
+    std::size_t installRollbacks = 0;
+
+    /** Live-program verification failures after a tombstone/evict
+     *  restore (diagnostic; rendered only when nonzero). */
+    std::size_t liveVerifyFailures = 0;
+
+    /** Resident bundles the health watchdog deopted for staying cold. */
+    std::size_t watchdogDeopts = 0;
+
+    /** Offense registrations on the quarantine list. */
+    std::size_t quarantines = 0;
+
+    /** Detections skipped because their phase was quarantined. */
+    std::size_t quarantineSkips = 0;
+
+    /** Phases still on the quarantine list at end of run. */
+    std::size_t quarantinedAtEnd = 0;
+
+    /** Double-deopt attempts the patcher's undo log absorbed. */
+    std::size_t redundantRestores = 0;
+
+    /** Worker-task errors observed by the thread pool (first rethrown,
+     *  rest logged and counted as dropped). */
+    std::size_t poolTaskErrors = 0;
+    std::size_t poolDroppedErrors = 0;
+
+    /** Injections fired, per fault::Kind. */
+    fault::FaultStats faults;
 
     /** Installed bundle weight at end of run / its peak. */
     std::size_t residentWeight = 0;

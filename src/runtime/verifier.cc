@@ -1,0 +1,191 @@
+#include "runtime/verifier.hh"
+
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "ir/verify.hh"
+
+namespace vp::runtime
+{
+
+using namespace ir;
+
+const Liveness &
+PackageVerifier::livenessOf(FuncId f) const
+{
+    auto it = liveness_.find(f);
+    if (it == liveness_.end())
+        it = liveness_.emplace(f, Liveness(pristine_.func(f))).first;
+    return it->second;
+}
+
+Status
+PackageVerifier::verify(const PackageBundle &bundle) const
+{
+    const Program &scratch = bundle.packaged.program;
+    std::vector<std::string> bad;
+    const auto complain = [&bad](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        bad.push_back(os.str());
+    };
+
+    // --- Generic IR well-formedness first; the shape checks below
+    // assume arcs at least point at existing blocks.
+    if (Status st = verifyProgram(scratch, "bundle"); !st)
+        return st;
+
+    const FuncId base = static_cast<FuncId>(pristine_.numFunctions());
+    if (scratch.numFunctions() < base)
+        return Status::error("bundle lost original functions");
+
+    // --- Original code: pristine block structure, and every diverted
+    // arc/callee provably redirected onto a package copy of its pristine
+    // target (the LivePatcher re-applies exactly this diff).
+    for (FuncId f = 0; f < base; ++f) {
+        const Function &sfn = scratch.func(f);
+        const Function &pfn = pristine_.func(f);
+        if (sfn.numBlocks() != pfn.numBlocks()) {
+            complain("func ", f, ": original block structure changed (",
+                     sfn.numBlocks(), " blocks, pristine ",
+                     pfn.numBlocks(), ")");
+            continue;
+        }
+        for (BlockId b = 0; b < sfn.numBlocks(); ++b) {
+            const BasicBlock &sb = sfn.block(b);
+            const BasicBlock &pb = pfn.block(b);
+            const auto check_arc = [&](const char *what, BlockRef now,
+                                       BlockRef was) {
+                if (now == was)
+                    return;
+                if (!now.valid() || now.func < base) {
+                    complain("launch point f", f, " b", b, " ", what,
+                             ": redirected outside package code");
+                    return;
+                }
+                if (scratch.block(now).origin != was) {
+                    complain("launch point f", f, " b", b, " ", what,
+                             ": target is not a copy of the pristine "
+                             "successor");
+                }
+            };
+            check_arc("taken", sb.taken, pb.taken);
+            check_arc("fall", sb.fall, pb.fall);
+            if (sb.callee != pb.callee) {
+                if (sb.callee == kInvalidFunc || sb.callee < base) {
+                    complain("launch point f", f, " b", b,
+                             ": callee redirected outside package code");
+                } else {
+                    const Function &cal = scratch.func(sb.callee);
+                    const BlockRef want{pb.callee,
+                                        pristine_.func(pb.callee).entry()};
+                    if (cal.block(cal.entry()).origin != want) {
+                        complain("launch point f", f, " b", b,
+                                 ": callee entry is not a copy of the "
+                                 "pristine callee entry");
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Package code: exit discipline, live-out coverage, link shape.
+    for (FuncId f = base; f < scratch.numFunctions(); ++f) {
+        for (const BasicBlock &bb : scratch.func(f).blocks()) {
+            if (!bb.selectorTargets.empty())
+                complain("pkg f", f, " b", bb.id,
+                         ": selector block in an online bundle");
+
+            if (bb.kind == BlockKind::Exit) {
+                const Instruction *t = bb.terminator();
+                if (!t || t->op != Opcode::Jump) {
+                    complain("exit f", f, " b", bb.id,
+                             ": does not end in a jump");
+                    continue;
+                }
+                if (bb.fall.valid())
+                    complain("exit f", f, " b", bb.id,
+                             ": has a fall-through successor");
+                if (!bb.taken.valid() || bb.taken.func >= base ||
+                    bb.taken.block >=
+                        pristine_.func(bb.taken.func).numBlocks()) {
+                    complain("exit f", f, " b", bb.id,
+                             ": does not jump back to original code");
+                    continue;
+                }
+                for (const BlockRef &frame : bb.exitFrames) {
+                    if (!frame.valid() || frame.func >= base ||
+                        frame.block >=
+                            pristine_.func(frame.func).numBlocks()) {
+                        complain("exit f", f, " b", bb.id,
+                                 ": exit frame outside original code");
+                    }
+                }
+                // Dummy consumers, when present, must cover every
+                // register live into the original target: inlining remaps
+                // registers but preserves the consumer count.
+                std::size_t consumers = 0;
+                for (const Instruction &in : bb.insts)
+                    consumers += in.pseudo ? 1 : 0;
+                if (consumers) {
+                    const std::size_t need =
+                        livenessOf(bb.taken.func)
+                            .liveInRegs(bb.taken.block)
+                            .size();
+                    if (consumers < need) {
+                        complain("exit f", f, " b", bb.id, ": only ",
+                                 consumers, " live-out consumers, target "
+                                 "needs ", need);
+                    }
+                }
+                continue;
+            }
+
+            // Non-exit package blocks never escape to original code.
+            for (const BlockRef &arc : {bb.taken, bb.fall}) {
+                if (arc.valid() && arc.func < base) {
+                    complain("pkg f", f, " b", bb.id,
+                             ": non-exit arc into original code");
+                }
+            }
+
+            // Cross-package arcs are links: from a branch copy, onto a
+            // non-exit block copying a pristine successor of the same
+            // origin branch (direction-agnostic — relayout may have
+            // flipped the branch sense).
+            for (const BlockRef &arc : {bb.taken, bb.fall}) {
+                if (!arc.valid() || arc.func < base || arc.func == f)
+                    continue;
+                if (!bb.endsInCondBr() || !bb.origin.valid()) {
+                    complain("link f", f, " b", bb.id,
+                             ": cross-package arc from a non-branch block");
+                    continue;
+                }
+                const BasicBlock &tb = scratch.block(arc);
+                if (tb.kind == BlockKind::Exit) {
+                    complain("link f", f, " b", bb.id,
+                             ": links to an exit block");
+                    continue;
+                }
+                const BasicBlock &ob = pristine_.block(bb.origin);
+                if (!tb.origin.valid() ||
+                    (tb.origin != ob.taken && tb.origin != ob.fall)) {
+                    complain("link f", f, " b", bb.id,
+                             ": target is not a copy of a pristine "
+                             "successor of the origin branch");
+                }
+            }
+        }
+    }
+
+    if (bad.empty())
+        return Status::ok();
+    std::ostringstream os;
+    os << "bundle rejected:";
+    for (const std::string &b : bad)
+        os << "\n  " << b;
+    return Status::error(os.str());
+}
+
+} // namespace vp::runtime

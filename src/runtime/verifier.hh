@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The install gate: structural admission control for package bundles.
+ *
+ * Every bundle passes through PackageVerifier::verify() before the
+ * LivePatcher may splice it into the live program. The checks extend the
+ * generic IR verifier with package-shape invariants the runtime depends
+ * on — exit discipline, launch-arc provenance, cross-package link
+ * consistency — so a corrupted profile or a buggy synthesis cannot put a
+ * malformed package in front of the engine: the bundle is rejected and
+ * quarantined, and the original code keeps running.
+ */
+
+#ifndef VP_RUNTIME_VERIFIER_HH
+#define VP_RUNTIME_VERIFIER_HH
+
+#include <unordered_map>
+
+#include "ir/liveness.hh"
+#include "ir/program.hh"
+#include "runtime/bundle.hh"
+#include "support/status.hh"
+
+namespace vp::runtime
+{
+
+/**
+ * Verifies bundles against the pristine original they were built from.
+ * One instance per run; liveness of original functions is computed
+ * lazily and cached across bundles.
+ */
+class PackageVerifier
+{
+  public:
+    /** @p pristine must outlive the verifier. */
+    explicit PackageVerifier(const ir::Program &pristine)
+        : pristine_(pristine)
+    {}
+
+    /**
+     * Admission check. Ok, or an error Status listing every violation:
+     *
+     *  - the bundle's scratch program passes the generic IR verifier;
+     *  - original code keeps its pristine block structure (the patch
+     *    diff's precondition);
+     *  - launch-arc patches are provenance-consistent: every redirected
+     *    arc lands on a package copy of its pristine target (a redirected
+     *    callee lands on a package whose entry copies the callee entry);
+     *  - only Exit blocks transfer control back to original code, end in
+     *    a Jump to a valid original block, carry no fall-through, and
+     *    their exit frames address valid original return points;
+     *  - exit-block dummy consumers cover the registers live into the
+     *    original target (data-flow honesty after pruning);
+     *  - cross-package link arcs come from branch copies and land on a
+     *    non-exit block that copies a pristine successor of the same
+     *    origin branch (Section 3.3.4 link discipline).
+     */
+    Status verify(const PackageBundle &bundle) const;
+
+  private:
+    const ir::Liveness &livenessOf(ir::FuncId f) const;
+
+    const ir::Program &pristine_;
+    mutable std::unordered_map<ir::FuncId, ir::Liveness> liveness_;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_VERIFIER_HH

@@ -1,0 +1,138 @@
+#include "support/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace vp::fault
+{
+
+namespace
+{
+
+/** Per-kind stream salts keep the decision streams independent: adding
+ *  events of one kind never perturbs another kind's sequence. */
+constexpr std::uint64_t kKindSalt = 0x5fa17u;
+constexpr std::uint64_t kAuxSalt = 0xa0c5u;
+
+std::uint64_t
+stream(std::uint64_t seed, Kind k, std::uint64_t salt)
+{
+    return seedCombine(seed,
+                       salt * kNumKinds + static_cast<std::uint64_t>(k));
+}
+
+bool
+parseRate(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size() && !text.empty() &&
+           out >= 0.0 && out <= 1.0;
+}
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::DropBranch: return "drop";
+      case Kind::Saturate: return "saturate";
+      case Kind::Alias: return "alias";
+      case Kind::SynthFail: return "synth-fail";
+      case Kind::SynthDelay: return "synth-delay";
+      case Kind::VerifyFlip: return "verify-flip";
+    }
+    return "?";
+}
+
+Expected<FaultConfig>
+FaultConfig::parse(const std::string &spec, std::uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+
+    // A bare rate means "every kind at this rate".
+    double all = 0.0;
+    if (parseRate(spec, all)) {
+        cfg.rate.fill(all);
+        return cfg;
+    }
+
+    std::stringstream ss(spec);
+    std::string item;
+    bool any = false;
+    while (std::getline(ss, item, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            return Status::error("fault spec item '" + item +
+                                 "' is not kind=rate");
+        }
+        const std::string name = item.substr(0, eq);
+        double rate = 0.0;
+        if (!parseRate(item.substr(eq + 1), rate)) {
+            return Status::error("fault rate in '" + item +
+                                 "' is not a number in [0, 1]");
+        }
+        any = true;
+        if (name == "all") {
+            cfg.rate.fill(rate);
+            continue;
+        }
+        bool known = false;
+        for (std::size_t i = 0; i < kNumKinds; ++i) {
+            if (name == kindName(static_cast<Kind>(i))) {
+                cfg.rate[i] = rate;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return Status::error("unknown fault kind '" + name + "'");
+    }
+    if (!any)
+        return Status::error("empty fault spec '" + spec + "'");
+    return cfg;
+}
+
+std::string
+FaultConfig::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < kNumKinds; ++i) {
+        if (rate[i] <= 0.0)
+            continue;
+        os << (first ? "" : ",") << kindName(static_cast<Kind>(i)) << '='
+           << rate[i];
+        first = false;
+    }
+    return first ? "off" : os.str();
+}
+
+bool
+FaultInjector::fire(Kind k)
+{
+    const std::size_t i = static_cast<std::size_t>(k);
+    const std::uint64_t idx = counter_[i]++;
+    if (cfg_.rate[i] <= 0.0)
+        return false;
+    const bool hit =
+        uniform01(stream(cfg_.seed, k, kKindSalt), idx) < cfg_.rate[i];
+    if (hit)
+        ++stats_.fired[i];
+    return hit;
+}
+
+std::uint64_t
+FaultInjector::draw(Kind k, std::uint64_t bound)
+{
+    vp_assert(bound != 0, "FaultInjector::draw with zero bound");
+    const std::size_t i = static_cast<std::size_t>(k);
+    const std::uint64_t idx = auxCounter_[i]++;
+    const std::uint64_t h =
+        splitmix64(splitmix64(stream(cfg_.seed, k, kAuxSalt)) ^ idx);
+    return h % bound;
+}
+
+} // namespace vp::fault

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * The paper's premise is that hardware hot-spot profiles are lossy and
+ * incomplete; this layer makes that lossiness *dialable* so the guarded
+ * synthesis/install path can be exercised under controlled adversity:
+ * corrupt BBB snapshots (dropped branches, saturated or aliased
+ * counters), failed or delayed background synthesis jobs, and spuriously
+ * flipped verifier verdicts.
+ *
+ * Every decision is a counter-based draw — a pure function of
+ * (seed, fault kind, per-kind event index) — so a run with a fixed
+ * `--fault-seed` injects the *identical* fault sequence regardless of
+ * worker-thread count or wall-clock timing, provided all decisions are
+ * made from one thread in a deterministic event order (the runtime makes
+ * them on the controller thread at quantum boundaries).
+ */
+
+#ifndef VP_SUPPORT_FAULT_HH
+#define VP_SUPPORT_FAULT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hh"
+#include "support/status.hh"
+
+namespace vp::fault
+{
+
+/** What can be injected. */
+enum class Kind : std::size_t
+{
+    DropBranch,  ///< drop one branch from a BBB snapshot
+    Saturate,    ///< clamp one branch's exec/taken counters at the cap
+    Alias,       ///< merge one branch's counts under a neighbor's tag
+    SynthFail,   ///< background synthesis job raises an error
+    SynthDelay,  ///< background synthesis job takes extra quanta
+    VerifyFlip,  ///< verifier verdict spuriously flipped to "reject"
+};
+
+inline constexpr std::size_t kNumKinds = 6;
+
+/** Canonical spec name of @p k (what --fault-inject parses). */
+const char *kindName(Kind k);
+
+/** Per-kind injection rates plus the stream seed. All-zero = disabled. */
+struct FaultConfig
+{
+    std::array<double, kNumKinds> rate{};
+    std::uint64_t seed = 0;
+
+    double rateOf(Kind k) const { return rate[static_cast<std::size_t>(k)]; }
+
+    bool
+    enabled() const
+    {
+        for (double r : rate) {
+            if (r > 0.0)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Parse a --fault-inject spec. Either a bare rate applied to every
+     * kind ("0.1") or a comma list of kind=rate pairs
+     * ("drop=0.1,synth-fail=0.5,verify-flip=0.05"). Kind names:
+     * drop, saturate, alias, synth-fail, synth-delay, verify-flip, all.
+     * Rates must be in [0, 1].
+     */
+    static Expected<FaultConfig> parse(const std::string &spec,
+                                       std::uint64_t seed);
+
+    /** Render as a parseable spec string (diagnostics). */
+    std::string toString() const;
+};
+
+/** Count of injections actually fired, per kind. */
+struct FaultStats
+{
+    std::array<std::uint64_t, kNumKinds> fired{};
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t f : fired)
+            t += f;
+        return t;
+    }
+};
+
+/**
+ * The injector. NOT thread-safe: all draws must come from one thread in
+ * a deterministic order (the per-kind event counters are the only
+ * state). Construct once per run.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg) : cfg_(cfg) {}
+
+    bool enabled() const { return cfg_.enabled(); }
+
+    /**
+     * One Bernoulli decision for @p k: true with probability rate(k).
+     * Advances kind @p k's event counter either way, so the decision
+     * stream depends only on how many @p k events preceded this one.
+     */
+    bool fire(Kind k);
+
+    /**
+     * Deterministic uniform draw in [0, @p bound) from kind @p k's
+     * auxiliary stream (used to size a delay or pick a victim index).
+     * @p bound must be nonzero.
+     */
+    std::uint64_t draw(Kind k, std::uint64_t bound);
+
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    FaultConfig cfg_;
+    FaultStats stats_;
+
+    /** Per-kind decision counters; aux draws use an offset stream. */
+    std::array<std::uint64_t, kNumKinds> counter_{};
+    std::array<std::uint64_t, kNumKinds> auxCounter_{};
+};
+
+} // namespace vp::fault
+
+#endif // VP_SUPPORT_FAULT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Recoverable-error primitives.
+ *
+ * The seed pipeline aborted on every malformed artifact (vp_panic inside
+ * verifyOrDie and friends). That is the right contract for a batch tool
+ * but not for the online runtime, where one corrupted hot-spot profile
+ * or one buggy optimizer pass must cost coverage, never uptime. Status
+ * and Expected<T> carry such failures up to a layer that can skip the
+ * offending phase and count it.
+ *
+ * Internal invariant violations (vp_assert) still abort: a Status is for
+ * *inputs and artifacts* that may legitimately be bad, not for broken
+ * library state.
+ */
+
+#ifndef VP_SUPPORT_STATUS_HH
+#define VP_SUPPORT_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace vp
+{
+
+/** Success, or an error with a human-readable message. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    static Status ok() { return Status{}; }
+
+    static Status
+    error(std::string msg)
+    {
+        Status s;
+        s.failed_ = true;
+        s.msg_ = std::move(msg);
+        return s;
+    }
+
+    bool isOk() const { return !failed_; }
+    explicit operator bool() const { return !failed_; }
+
+    /** Empty for success. */
+    const std::string &message() const { return msg_; }
+
+  private:
+    bool failed_ = false;
+    std::string msg_;
+};
+
+/** A T, or the Status explaining why there is none. */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    /* implicit */ Expected(T value) : value_(std::move(value)) {}
+
+    /* implicit */ Expected(Status status) : status_(std::move(status))
+    {
+        vp_assert(!status_.isOk(),
+                  "Expected constructed from an ok Status");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    /** The error; Status::ok() when a value is present. */
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        vp_assert(value_.has_value(), "Expected::value on error: ",
+                  status_.message());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        vp_assert(value_.has_value(), "Expected::value on error: ",
+                  status_.message());
+        return *value_;
+    }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_STATUS_HH

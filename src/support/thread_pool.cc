@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "support/logging.hh"
+
 namespace vp
 {
 
@@ -55,6 +57,13 @@ ThreadPool::wait()
     }
 }
 
+ThreadPool::ErrorStats
+ThreadPool::errorStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return errors_;
+}
+
 void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
@@ -92,10 +101,26 @@ ThreadPool::workerLoop()
         }
         try {
             task();
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++errors_.taskErrors;
+            if (!firstError_) {
+                firstError_ = std::current_exception();
+            } else {
+                ++errors_.droppedErrors;
+                vp_warn("thread pool: dropping subsequent task error: ",
+                        e.what());
+            }
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu_);
-            if (!firstError_)
+            ++errors_.taskErrors;
+            if (!firstError_) {
                 firstError_ = std::current_exception();
+            } else {
+                ++errors_.droppedErrors;
+                vp_warn("thread pool: dropping subsequent task error "
+                        "(non-std exception)");
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mu_);

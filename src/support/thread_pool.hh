@@ -58,6 +58,22 @@ class ThreadPool
 
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+    /** Error accounting over the pool's lifetime. wait() rethrows only
+     *  the *first* task exception of each batch; the rest are logged and
+     *  counted here rather than silently swallowed. */
+    struct ErrorStats
+    {
+        /** Task exceptions caught in workers, total. */
+        std::size_t taskErrors = 0;
+
+        /** Of those, errors beyond the batch's first — observable only
+         *  through these stats (wait() never saw them). */
+        std::size_t droppedErrors = 0;
+    };
+
+    /** Snapshot of the error counters (thread-safe). */
+    ErrorStats errorStats() const;
+
     /** Hardware concurrency, at least 1. */
     static unsigned defaultThreads();
 
@@ -66,11 +82,12 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cvTask_;  ///< signals workers: work or stop
     std::condition_variable cvDone_;  ///< signals waiters: a task finished
     std::size_t pending_ = 0;         ///< queued + running tasks
     std::exception_ptr firstError_;
+    ErrorStats errors_;
     bool stop_ = false;
 };
 

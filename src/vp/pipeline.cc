@@ -30,10 +30,36 @@ VacuumPacker::identify(VpResult &result) const
 void
 VacuumPacker::construct(VpResult &result) const
 {
-    ConstructResult c =
-        constructPackages(workload_.program, result.regions, cfg_);
-    result.packaged = std::move(c.packaged);
-    result.optStats = c.optStats;
+    Expected<ConstructResult> c =
+        tryConstructPackages(workload_.program, result.regions, cfg_);
+    if (!c) {
+        // One bad phase must cost coverage, not the run: find the
+        // regions that fail even in isolation, drop and count them, and
+        // construct from the survivors.
+        std::vector<region::Region> keep;
+        for (const region::Region &r : result.regions) {
+            Expected<ConstructResult> alone =
+                tryConstructPackages(workload_.program, {r}, cfg_);
+            if (alone) {
+                keep.push_back(r);
+            } else {
+                ++result.droppedPhases;
+                result.constructErrors.push_back(alone.status().message());
+            }
+        }
+        c = tryConstructPackages(workload_.program, keep, cfg_);
+        if (!c) {
+            // Phases only fail in combination (e.g. a malformed link
+            // ordering): degrade all the way to an unpackaged clone.
+            result.droppedPhases = result.regions.size();
+            result.constructErrors.push_back(c.status().message());
+            c = tryConstructPackages(workload_.program, {}, cfg_);
+            vp_assert(c.isOk(),
+                      "package construction fails on an empty region set");
+        }
+    }
+    result.packaged = std::move(c->packaged);
+    result.optStats = c->optStats;
 }
 
 } // namespace vp

@@ -47,6 +47,14 @@ struct VpResult
      *  detections, monitor restarts — the hardware-observable side of
      *  phase detection). */
     hsd::HsdStats hsdStats;
+
+    /** Phases dropped because their packages could not be constructed
+     *  or optimized (graceful degradation: a bad phase costs coverage,
+     *  never the run). Zero on every healthy pipeline. */
+    std::size_t droppedPhases = 0;
+
+    /** One error message per dropped phase. */
+    std::vector<std::string> constructErrors;
 };
 
 /**

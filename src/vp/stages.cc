@@ -20,16 +20,34 @@ identifyRegions(const ir::Program &prog,
     return regions;
 }
 
+Expected<ConstructResult>
+tryConstructPackages(const ir::Program &orig,
+                     const std::vector<region::Region> &regions,
+                     const VpConfig &cfg)
+{
+    ConstructResult out;
+    Expected<package::PackagedProgram> built =
+        package::tryBuildPackages(orig, regions, cfg.package);
+    if (!built)
+        return built.status();
+    out.packaged = std::move(built.value());
+    Expected<opt::OptStats> opt = opt::tryOptimizePackages(
+        out.packaged.program, cfg.opt, cfg.machine);
+    if (!opt)
+        return opt.status();
+    out.optStats = opt.value();
+    return out;
+}
+
 ConstructResult
 constructPackages(const ir::Program &orig,
                   const std::vector<region::Region> &regions,
                   const VpConfig &cfg)
 {
-    ConstructResult out;
-    out.packaged = package::buildPackages(orig, regions, cfg.package);
-    out.optStats =
-        opt::optimizePackages(out.packaged.program, cfg.opt, cfg.machine);
-    return out;
+    Expected<ConstructResult> c = tryConstructPackages(orig, regions, cfg);
+    if (!c)
+        vp_panic(c.status().message());
+    return std::move(c.value());
 }
 
 } // namespace vp

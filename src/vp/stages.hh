@@ -17,6 +17,7 @@
 #include "opt/optimizer.hh"
 #include "package/packager.hh"
 #include "region/region.hh"
+#include "support/status.hh"
 #include "vp/config.hh"
 
 namespace vp
@@ -41,8 +42,18 @@ struct ConstructResult
 /**
  * Construct + optimize stage: build, link, deploy and optimize packages
  * for @p regions over @p orig (Section 3.3 + Section 5.4). @p orig is
- * never mutated; the result holds the packaged clone.
+ * never mutated; the result holds the packaged clone. Recoverable entry
+ * point: construction or optimization failures (verifier-detected
+ * malformed output, inconsistent links) come back as an error Status
+ * instead of aborting the process.
  */
+Expected<ConstructResult>
+tryConstructPackages(const ir::Program &orig,
+                     const std::vector<region::Region> &regions,
+                     const VpConfig &cfg);
+
+/** tryConstructPackages() for callers with no recovery path: panics on
+ *  error. */
 ConstructResult
 constructPackages(const ir::Program &orig,
                   const std::vector<region::Region> &regions,

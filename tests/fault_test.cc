@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Fault-injection tests for the guarded online runtime: the spec parser,
+ * graceful degradation under injected faults (the run completes and the
+ * logical instruction stream never diverges from the unpatched program),
+ * determinism of the injected fault sequence across worker counts, and
+ * the thread pool's log-and-count handling of task errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "runtime/controller.hh"
+#include "runtime/stats.hh"
+#include "support/fault.hh"
+#include "support/thread_pool.hh"
+#include "trace/engine.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::runtime;
+
+TEST(FaultConfig, ParsesBareRate)
+{
+    const Expected<fault::FaultConfig> fc =
+        fault::FaultConfig::parse("0.25", 7);
+    ASSERT_TRUE(fc.isOk()) << fc.status().message();
+    for (std::size_t k = 0; k < fault::kNumKinds; ++k)
+        EXPECT_DOUBLE_EQ(fc.value().rate[k], 0.25);
+    EXPECT_EQ(fc.value().seed, 7u);
+    EXPECT_TRUE(fc.value().enabled());
+}
+
+TEST(FaultConfig, ParsesKindList)
+{
+    const Expected<fault::FaultConfig> fc =
+        fault::FaultConfig::parse("drop=0.1,synth-fail=0.5,verify-flip=1",
+                                  0);
+    ASSERT_TRUE(fc.isOk()) << fc.status().message();
+    const fault::FaultConfig &c = fc.value();
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::DropBranch), 0.1);
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::SynthFail), 0.5);
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::VerifyFlip), 1.0);
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::Saturate), 0.0);
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::Alias), 0.0);
+    EXPECT_DOUBLE_EQ(c.rateOf(fault::Kind::SynthDelay), 0.0);
+}
+
+TEST(FaultConfig, ParsesAllKeyword)
+{
+    const Expected<fault::FaultConfig> fc =
+        fault::FaultConfig::parse("all=0.3", 1);
+    ASSERT_TRUE(fc.isOk()) << fc.status().message();
+    for (std::size_t k = 0; k < fault::kNumKinds; ++k)
+        EXPECT_DOUBLE_EQ(fc.value().rate[k], 0.3);
+}
+
+TEST(FaultConfig, RejectsBadSpecs)
+{
+    EXPECT_FALSE(fault::FaultConfig::parse("", 0).isOk());
+    EXPECT_FALSE(fault::FaultConfig::parse("1.5", 0).isOk());
+    EXPECT_FALSE(fault::FaultConfig::parse("drop=-0.1", 0).isOk());
+    EXPECT_FALSE(fault::FaultConfig::parse("typo=0.1", 0).isOk());
+    EXPECT_FALSE(fault::FaultConfig::parse("drop=", 0).isOk());
+    EXPECT_FALSE(fault::FaultConfig::parse("drop=0.1,,", 0).isOk());
+}
+
+TEST(FaultInjector, CounterStreamsAreSeedStable)
+{
+    fault::FaultConfig cfg;
+    cfg.rate.fill(0.5);
+    cfg.seed = 42;
+    fault::FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 200; ++i) {
+        const auto k = static_cast<fault::Kind>(i % fault::kNumKinds);
+        EXPECT_EQ(a.fire(k), b.fire(k));
+        EXPECT_EQ(a.draw(k, 17), b.draw(k, 17));
+    }
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+    EXPECT_GT(a.stats().total(), 0u);
+}
+
+/** Records the logical branch trace: (behavior id, logical direction)
+ *  per retired CondBr. The logical direction XORs out invertSense, so a
+ *  relayouted package copy of a branch records the same event as the
+ *  original — the trace is an observable program result that packaging
+ *  must preserve. */
+struct BranchTraceSink : trace::InstSink
+{
+    std::vector<std::pair<std::uint32_t, bool>> trace;
+
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (ri.inst->op == ir::Opcode::CondBr)
+            trace.emplace_back(ri.inst->behavior,
+                               ri.branchTaken ^ ri.inst->invertSense);
+    }
+};
+
+RuntimeConfig
+faultedConfig(double rate, std::uint64_t seed)
+{
+    RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.budget = 400'000;
+    const Expected<fault::FaultConfig> fc =
+        fault::FaultConfig::parse(std::to_string(rate), seed);
+    EXPECT_TRUE(fc.isOk());
+    cfg.fault = fc.value();
+    cfg.watchdog = true;
+    return cfg;
+}
+
+/** Degradation invariant at @p rate: the run completes without aborting
+ *  and its logical branch trace is a prefix-match of the unpatched
+ *  program's — faults cost coverage, never correctness. */
+void
+checkGracefulDegradation(double rate)
+{
+    workload::Workload w = workload::makeMcf("A");
+
+    // Reference: the pristine program, no packaging at all.
+    BranchTraceSink ref;
+    {
+        trace::ExecutionEngine eng(w.program, w);
+        eng.addSink(&ref);
+        eng.run(2'000'000); // past any packaged run's logical reach
+    }
+    ASSERT_GT(ref.trace.size(), 0u);
+
+    BranchTraceSink got;
+    RuntimeController controller(w, faultedConfig(rate, 7));
+    controller.addSink(&got);
+    const RuntimeStats s = controller.run();
+
+    EXPECT_GT(s.quanta, 0u);
+    EXPECT_GT(got.trace.size(), 0u);
+    ASSERT_LE(got.trace.size(), ref.trace.size());
+    // Find the first divergence (if any) for a readable failure.
+    for (std::size_t i = 0; i < got.trace.size(); ++i) {
+        ASSERT_EQ(got.trace[i], ref.trace[i])
+            << "logical branch " << i << " diverged at fault rate "
+            << rate;
+    }
+
+    // A gate rejection removes the bundle from the cache (a reinstall
+    // attempt can be rejected after an earlier successful install, so
+    // the quarantined bundle must merely end up not resident).
+    for (const BundleStats &b : s.bundles) {
+        if (b.rejected) {
+            EXPECT_TRUE(b.evicted());
+            EXPECT_FALSE(b.residentAtEnd);
+        }
+    }
+}
+
+TEST(FaultRuntime, GracefulDegradationAtTenPercent)
+{
+    checkGracefulDegradation(0.1);
+}
+
+TEST(FaultRuntime, GracefulDegradationAtFiftyPercent)
+{
+    checkGracefulDegradation(0.5);
+}
+
+TEST(FaultRuntime, CoverageDegradesButRunSurvives)
+{
+    workload::Workload w = workload::makeMcf("A");
+
+    RuntimeConfig clean;
+    clean.vp = VpConfig::variant(true, true);
+    clean.budget = 400'000;
+    RuntimeController base(w, clean);
+    const RuntimeStats cs = base.run();
+
+    RuntimeController faulted(w, faultedConfig(0.5, 7));
+    const RuntimeStats fs = faulted.run();
+
+    EXPECT_GT(fs.faults.total(), 0u);
+    EXPECT_LE(fs.packageCoverage(), cs.packageCoverage());
+    // The guarded paths actually engaged: at a 50% rate across every
+    // kind, at least one detection or job must have been deflected.
+    EXPECT_GT(fs.failedBuilds + fs.verifierRejects + fs.quarantines +
+                  fs.quarantineSkips + fs.watchdogDeopts,
+              0u);
+}
+
+TEST(FaultRuntime, FaultSequenceIsIdenticalAcrossWorkerCounts)
+{
+    workload::Workload w = workload::makeMcf("A");
+    std::string texts[3];
+    const unsigned counts[3] = {1, 4, 8};
+    for (int i = 0; i < 3; ++i) {
+        RuntimeConfig cfg = faultedConfig(0.5, 11);
+        cfg.workers = counts[i];
+        RuntimeController controller(w, cfg);
+        texts[i] = toText(controller.run(), w.label());
+    }
+    EXPECT_EQ(texts[0], texts[1]);
+    EXPECT_EQ(texts[0], texts[2]);
+}
+
+TEST(FaultRuntime, DifferentSeedsDifferentFaults)
+{
+    workload::Workload w = workload::makeMcf("A");
+    RuntimeController a(w, faultedConfig(0.5, 1));
+    RuntimeController b(w, faultedConfig(0.5, 2));
+    const RuntimeStats sa = a.run();
+    const RuntimeStats sb = b.run();
+    // Both runs survive; the injected sequences are seed-dependent.
+    EXPECT_GT(sa.faults.total() + sb.faults.total(), 0u);
+}
+
+TEST(ThreadPool, CountsAndDropsSubsequentTaskErrors)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i) {
+        pool.submit([&ran] {
+            ++ran;
+            throw std::runtime_error("task failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 5);
+    const ThreadPool::ErrorStats es = pool.errorStats();
+    EXPECT_EQ(es.taskErrors, 5u);
+    EXPECT_EQ(es.droppedErrors, 4u);
+}
+
+TEST(ThreadPool, ErrorStatsStayZeroOnCleanBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 8);
+    const ThreadPool::ErrorStats es = pool.errorStats();
+    EXPECT_EQ(es.taskErrors, 0u);
+    EXPECT_EQ(es.droppedErrors, 0u);
+}
+
+} // namespace

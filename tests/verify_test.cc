@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Property tests for the runtime install gate (PackageVerifier): a
+ * pristine synthesized bundle is admitted, and randomized structural
+ * mutations of it — dropped exit blocks, retargeted links, orphaned
+ * launch arcs, shaved live-out consumers — are each rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ir/liveness.hh"
+#include "ir/program.hh"
+#include "runtime/bundle.hh"
+#include "runtime/verifier.hh"
+#include "support/rng.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::runtime;
+
+/** Offline-detect one phase of @p w and synthesize its bundle. */
+PackageBundle
+firstBundle(const workload::Workload &w, const VpConfig &cfg)
+{
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    EXPECT_FALSE(r.records.empty());
+    for (const hsd::HotSpotRecord &rec : r.records) {
+        PackageBundle b =
+            synthesizeBundle(w.program, canonicalizeRecord(rec), cfg);
+        if (!b.empty())
+            return b;
+    }
+    return {};
+}
+
+/** Blocks of package functions matching @p pred, as (func, block). */
+std::vector<ir::BlockRef>
+packageBlocks(const PackageBundle &bundle, ir::FuncId base,
+              bool (*pred)(const ir::BasicBlock &))
+{
+    std::vector<ir::BlockRef> out;
+    const ir::Program &prog = bundle.packaged.program;
+    for (ir::FuncId f = base; f < prog.numFunctions(); ++f) {
+        for (const ir::BasicBlock &bb : prog.func(f).blocks()) {
+            if (pred(bb))
+                out.push_back(ir::BlockRef{f, bb.id});
+        }
+    }
+    return out;
+}
+
+/** Launch points of @p bundle: original-code blocks whose arc/callee
+ *  differs from pristine, paired with which field diverged. */
+struct LaunchPoint
+{
+    ir::BlockRef at;
+    enum { Taken, Fall, Callee } field;
+};
+
+std::vector<LaunchPoint>
+launchPoints(const ir::Program &pristine, const PackageBundle &bundle)
+{
+    std::vector<LaunchPoint> out;
+    const ir::Program &scratch = bundle.packaged.program;
+    for (ir::FuncId f = 0; f < pristine.numFunctions(); ++f) {
+        for (ir::BlockId b = 0; b < pristine.func(f).numBlocks(); ++b) {
+            const ir::BasicBlock &sb = scratch.func(f).block(b);
+            const ir::BasicBlock &pb = pristine.func(f).block(b);
+            if (sb.taken != pb.taken)
+                out.push_back({ir::BlockRef{f, b}, LaunchPoint::Taken});
+            if (sb.fall != pb.fall)
+                out.push_back({ir::BlockRef{f, b}, LaunchPoint::Fall});
+            if (sb.callee != pb.callee)
+                out.push_back({ir::BlockRef{f, b}, LaunchPoint::Callee});
+        }
+    }
+    return out;
+}
+
+class PackageVerifierProperty : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        w_ = workload::makeGzip("A");
+        cfg_ = VpConfig::variant(true, true);
+        bundle_ = firstBundle(w_, cfg_);
+        ASSERT_FALSE(bundle_.empty());
+        base_ = static_cast<ir::FuncId>(w_.program.numFunctions());
+    }
+
+    workload::Workload w_;
+    VpConfig cfg_;
+    PackageBundle bundle_;
+    ir::FuncId base_ = 0;
+};
+
+TEST_F(PackageVerifierProperty, PristineBundlePasses)
+{
+    PackageVerifier verifier(w_.program);
+    const Status st = verifier.verify(bundle_);
+    EXPECT_TRUE(st.isOk()) << st.message();
+}
+
+TEST_F(PackageVerifierProperty, DroppedExitBlockIsRejected)
+{
+    PackageVerifier verifier(w_.program);
+    const std::vector<ir::BlockRef> exits =
+        packageBlocks(bundle_, base_, [](const ir::BasicBlock &bb) {
+            return bb.kind == ir::BlockKind::Exit;
+        });
+    ASSERT_FALSE(exits.empty());
+
+    Rng rng(0xE817);
+    for (int round = 0; round < 8; ++round) {
+        PackageBundle mutant = bundle_;
+        const ir::BlockRef victim = exits[rng.below(exits.size())];
+        // "Drop" the exit: empty it into a husk. Arcs that routed cold
+        // control flow through it now dangle on a block that goes
+        // nowhere.
+        ir::BasicBlock &bb = mutant.packaged.program.block(victim);
+        bb.insts.clear();
+        bb.taken = ir::kNoBlockRef;
+        bb.exitFrames.clear();
+        const Status st = verifier.verify(mutant);
+        EXPECT_FALSE(st.isOk())
+            << "dropping exit f" << victim.func << " b" << victim.block
+            << " was not rejected";
+    }
+}
+
+TEST_F(PackageVerifierProperty, RetargetedArcIntoOriginalCodeIsRejected)
+{
+    PackageVerifier verifier(w_.program);
+    const std::vector<ir::BlockRef> branchy =
+        packageBlocks(bundle_, base_, [](const ir::BasicBlock &bb) {
+            return bb.kind != ir::BlockKind::Exit && bb.taken.valid();
+        });
+    ASSERT_FALSE(branchy.empty());
+
+    Rng rng(0x11E7);
+    for (int round = 0; round < 8; ++round) {
+        PackageBundle mutant = bundle_;
+        const ir::BlockRef victim = branchy[rng.below(branchy.size())];
+        // Retarget a package-internal (or link) arc straight into
+        // original code, bypassing the exit discipline.
+        const ir::FuncId of =
+            static_cast<ir::FuncId>(rng.below(base_));
+        ir::BasicBlock &bb = mutant.packaged.program.block(victim);
+        bb.taken = ir::BlockRef{
+            of, static_cast<ir::BlockId>(rng.below(
+                    mutant.packaged.program.func(of).numBlocks()))};
+        const Status st = verifier.verify(mutant);
+        EXPECT_FALSE(st.isOk())
+            << "retargeting f" << victim.func << " b" << victim.block
+            << " into original code was not rejected";
+    }
+}
+
+TEST_F(PackageVerifierProperty, OrphanedLaunchArcIsRejected)
+{
+    PackageVerifier verifier(w_.program);
+    const std::vector<LaunchPoint> lps =
+        launchPoints(w_.program, bundle_);
+    ASSERT_FALSE(lps.empty());
+
+    Rng rng(0x0A7C);
+    for (int round = 0; round < 8; ++round) {
+        PackageBundle mutant = bundle_;
+        ir::Program &prog = mutant.packaged.program;
+        const LaunchPoint lp = lps[rng.below(lps.size())];
+        ir::BasicBlock &bb = prog.block(lp.at);
+        if (lp.field == LaunchPoint::Callee) {
+            // Point the redirected call at the wrong package function
+            // (or, with one package, sever it entirely).
+            bb.callee = bb.callee + 1 < prog.numFunctions()
+                            ? static_cast<ir::FuncId>(bb.callee + 1)
+                            : ir::kInvalidFunc;
+        } else {
+            // Redirect the launch arc at some other package block whose
+            // origin cannot match this arc's pristine target.
+            const ir::BlockRef cur =
+                lp.field == LaunchPoint::Taken ? bb.taken : bb.fall;
+            const ir::Function &pf = prog.func(cur.func);
+            ir::BlockRef wrong = cur;
+            for (std::size_t probe = 0; probe < pf.numBlocks(); ++probe) {
+                const ir::BlockId cand = static_cast<ir::BlockId>(
+                    (cur.block + 1 + probe) % pf.numBlocks());
+                if (pf.block(cand).origin !=
+                    prog.block(cur).origin) {
+                    wrong.block = cand;
+                    break;
+                }
+            }
+            ASSERT_NE(wrong.block, cur.block);
+            if (lp.field == LaunchPoint::Taken)
+                bb.taken = wrong;
+            else
+                bb.fall = wrong;
+        }
+        const Status st = verifier.verify(mutant);
+        EXPECT_FALSE(st.isOk())
+            << "orphaned launch arc at f" << lp.at.func << " b"
+            << lp.at.block << " was not rejected";
+    }
+}
+
+TEST_F(PackageVerifierProperty, ShavedLiveOutConsumersAreRejected)
+{
+    PackageVerifier verifier(w_.program);
+    // Exit blocks whose every pseudo consumer matters: removing one dips
+    // below the pristine live-in count.
+    std::vector<ir::BlockRef> guarded;
+    const ir::Program &prog = bundle_.packaged.program;
+    for (ir::FuncId f = base_; f < prog.numFunctions(); ++f) {
+        for (const ir::BasicBlock &bb : prog.func(f).blocks()) {
+            if (bb.kind != ir::BlockKind::Exit)
+                continue;
+            std::size_t consumers = 0;
+            for (const ir::Instruction &in : bb.insts)
+                consumers += in.pseudo ? 1 : 0;
+            if (consumers) {
+                ir::Liveness live(w_.program.func(bb.taken.func));
+                if (consumers <= live.liveInRegs(bb.taken.block).size())
+                    guarded.push_back(ir::BlockRef{f, bb.id});
+            }
+        }
+    }
+    if (guarded.empty())
+        GTEST_SKIP() << "no exit block with a tight consumer set";
+
+    Rng rng(0x5A5A);
+    for (int round = 0; round < 4; ++round) {
+        PackageBundle mutant = bundle_;
+        const ir::BlockRef victim = guarded[rng.below(guarded.size())];
+        ir::BasicBlock &bb = mutant.packaged.program.block(victim);
+        for (auto it = bb.insts.begin(); it != bb.insts.end(); ++it) {
+            if (it->pseudo) {
+                bb.insts.erase(it);
+                break;
+            }
+        }
+        const Status st = verifier.verify(mutant);
+        EXPECT_FALSE(st.isOk())
+            << "shaving a live-out consumer from f" << victim.func
+            << " b" << victim.block << " was not rejected";
+    }
+}
+
+} // namespace

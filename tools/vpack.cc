@@ -29,6 +29,16 @@
  *   --cache-capacity=N     package-cache weight budget (added insts)
  *   --compare              append the offline {inference, linking}
  *                          pipeline's coverage on the same workload
+ *   --fault-inject=SPEC    deterministic fault injection: a bare rate
+ *                          ("0.1" = every kind at 10%) or kind=rate
+ *                          pairs ("drop=0.1,synth-fail=0.5"); kinds:
+ *                          drop saturate alias synth-fail synth-delay
+ *                          verify-flip all. Enables the watchdog.
+ *   --fault-seed=N         fault stream seed (default 0); a fixed seed
+ *                          injects the identical fault sequence for
+ *                          every --threads value
+ *   --watchdog             enable the post-install health watchdog
+ *                          without injecting faults
  */
 
 #include <cstdio>
@@ -39,6 +49,7 @@
 
 #include "ir/print.hh"
 #include "runtime/controller.hh"
+#include "support/fault.hh"
 #include "vp/evaluate.hh"
 #include "vp/pipeline.hh"
 #include "vp/report.hh"
@@ -62,7 +73,8 @@ usage()
                  "         --unroll=N --bbb=SETSxWAYS --history=N\n"
                  "         --max-blocks=N --budget=N --packages-only\n"
                  "         --threads=N --timing\n"
-                 "         --quantum=N --cache-capacity=N --compare\n");
+                 "         --quantum=N --cache-capacity=N --compare\n"
+                 "         --fault-inject=SPEC --fault-seed=N --watchdog\n");
     return 2;
 }
 
@@ -77,6 +89,8 @@ struct Options
     // runtime subcommand
     runtime::RuntimeConfig rt;
     bool compare = false;
+    std::string faultSpec;
+    std::uint64_t faultSeed = 0;
 };
 
 bool
@@ -136,6 +150,22 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             }
         } else if (a == "--compare") {
             opt.compare = true;
+        } else if (starts("--fault-inject=")) {
+            opt.faultSpec = a.substr(15);
+            if (opt.faultSpec.empty()) {
+                std::fprintf(stderr, "vpack: empty --fault-inject spec\n");
+                return false;
+            }
+        } else if (starts("--fault-seed=")) {
+            char *end = nullptr;
+            opt.faultSeed = std::strtoull(a.c_str() + 13, &end, 10);
+            if (end == a.c_str() + 13 || *end != '\0') {
+                std::fprintf(stderr, "vpack: bad --fault-seed value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (a == "--watchdog") {
+            opt.rt.watchdog = true;
         } else if (starts("--bbb=")) {
             unsigned sets = 0, ways = 0;
             if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
@@ -224,6 +254,19 @@ cmdRuntime(const workload::Workload &w_in, const Options &opt)
     runtime::RuntimeConfig rt = opt.rt;
     rt.vp = opt.cfg;
     rt.workers = opt.threads;
+    if (!opt.faultSpec.empty()) {
+        Expected<fault::FaultConfig> fc =
+            fault::FaultConfig::parse(opt.faultSpec, opt.faultSeed);
+        if (!fc) {
+            std::fprintf(stderr, "vpack: %s\n",
+                         fc.status().message().c_str());
+            return 2;
+        }
+        rt.fault = fc.value();
+        // Injected faults without the watchdog would leave mis-targeted
+        // bundles resident forever; degradation needs the health check.
+        rt.watchdog = true;
+    }
 
     runtime::RuntimeController controller(w, rt);
     const runtime::RuntimeStats stats = controller.run();
