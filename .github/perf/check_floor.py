@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""CI perf smoke: compare BENCH_engine.json aggregates to a checked-in floor.
+
+Usage: check_floor.py <BENCH_engine.json> <engine_floor.json>
+
+Fails (exit 1) when any aggregate insts/sec falls below
+tolerance * floor_ips[scenario]. Release builds only — sanitizer builds
+skew throughput by an order of magnitude and never run this.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        floor = json.load(f)
+
+    tolerance = floor["tolerance"]
+    failed = False
+    for scenario, ref in floor["floor_ips"].items():
+        got = bench["aggregate"][scenario]["ips"]
+        limit = tolerance * ref
+        status = "ok" if got >= limit else "FAIL"
+        print(f"{scenario:8s} {got/1e6:8.1f} Mi/s  "
+              f"(floor {ref/1e6:.1f}, limit {limit/1e6:.1f})  {status}")
+        if got < limit:
+            failed = True
+    if failed:
+        print("engine throughput regressed >30% below the checked-in "
+              "floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Execution-engine throughput baseline: retired instructions per second
+ * for every Table 1 roster row, in three sink configurations —
+ *
+ *   bare  engine alone (the raw CFG-walk + retire loop),
+ *   hsd   engine + HotSpotDetector (the profiling-run shape),
+ *   epic  engine + EPIC pipeline model (the timing-run shape),
+ *
+ * measured with wall clocks around ExecutionEngine::run() and retired
+ * counts from RunStats / totalSimulatedInsts(). Rows always run
+ * serially on the calling thread so per-row numbers are free of
+ * contention; `--reps=N` (default 3) takes the best of N runs per cell.
+ *
+ * `--json[=path]` additionally emits BENCH_engine.json: one object per
+ * roster row plus an "aggregate" section, before/after comparable
+ * across engine changes (the CI perf smoke diffs the aggregate
+ * "overall" insts/sec against a checked-in floor).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "hsd/detector.hh"
+#include "sim/core.hh"
+
+namespace
+{
+
+using namespace vp;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Cell
+{
+    std::uint64_t insts = 0; ///< retired instructions of the best rep
+    double seconds = 0.0;    ///< wall clock of the best rep
+
+    double
+    ips() const
+    {
+        return seconds > 0.0 ? static_cast<double>(insts) / seconds : 0.0;
+    }
+};
+
+/** One timed engine run; @p scenario picks the attached sink. */
+Cell
+runOnce(const workload::Workload &w, const std::string &scenario)
+{
+    trace::ExecutionEngine engine(w.program, w);
+    hsd::HotSpotDetector detector(hsd::HsdConfig{}, &engine.oracle());
+    sim::EpicCore core(w.program, sim::MachineConfig{});
+    if (scenario == "hsd")
+        engine.addSink(&detector);
+    else if (scenario == "epic")
+        engine.addSink(&core);
+
+    Cell c;
+    const double t0 = now();
+    const trace::RunStats stats = engine.run(w.maxDynInsts);
+    c.seconds = now() - t0;
+    c.insts = stats.dynInsts;
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vp;
+    using namespace vp::bench;
+
+    unsigned reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+            const long n = std::strtol(argv[i] + 7, nullptr, 10);
+            if (n >= 1)
+                reps = static_cast<unsigned>(n);
+        }
+    }
+    const auto json_path = benchJsonPath(argc, argv, "BENCH_engine.json");
+    HarnessTimer timer(1);
+
+    const std::vector<std::string> scenarios = {"bare", "hsd", "epic"};
+
+    std::printf("Engine throughput: retired instructions per second "
+                "(best of %u)\n\n", reps);
+
+    TablePrinter table;
+    table.addRow({"benchmark", "insts", "bare Mi/s", "hsd Mi/s",
+                  "epic Mi/s"});
+
+    struct Row
+    {
+        std::string label;
+        std::vector<Cell> cells; ///< one per scenario
+    };
+    std::vector<Row> rows;
+    std::vector<Cell> totals(scenarios.size());
+
+    forEachWorkload([&](workload::Workload &w) {
+        Row row;
+        row.label = rowLabel(w);
+        for (std::size_t si = 0; si < scenarios.size(); ++si) {
+            Cell best;
+            for (unsigned r = 0; r < reps; ++r) {
+                const Cell c = runOnce(w, scenarios[si]);
+                if (best.seconds == 0.0 || c.ips() > best.ips())
+                    best = c;
+            }
+            row.cells.push_back(best);
+            totals[si].insts += best.insts;
+            totals[si].seconds += best.seconds;
+        }
+        table.addRow({row.label, std::to_string(row.cells[0].insts),
+                      TablePrinter::num(row.cells[0].ips() / 1e6, 1),
+                      TablePrinter::num(row.cells[1].ips() / 1e6, 1),
+                      TablePrinter::num(row.cells[2].ips() / 1e6, 1)});
+        rows.push_back(std::move(row));
+    });
+
+    Cell overall;
+    for (const Cell &t : totals) {
+        overall.insts += t.insts;
+        overall.seconds += t.seconds;
+    }
+    table.addRow({"total", std::to_string(overall.insts),
+                  TablePrinter::num(totals[0].ips() / 1e6, 1),
+                  TablePrinter::num(totals[1].ips() / 1e6, 1),
+                  TablePrinter::num(totals[2].ips() / 1e6, 1)});
+    table.print();
+    std::printf("\noverall: %.1f Minst/s over %llu retired insts\n",
+                overall.ips() / 1e6,
+                static_cast<unsigned long long>(overall.insts));
+
+    if (json_path) {
+        std::FILE *f = std::fopen(json_path->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         json_path->c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n"
+                        "  \"reps\": %u,\n  \"rows\": [\n", reps);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            std::fprintf(f, "    {\"workload\": \"%s\"",
+                         jsonEscape(rows[i].label).c_str());
+            for (std::size_t si = 0; si < scenarios.size(); ++si) {
+                const Cell &c = rows[i].cells[si];
+                std::fprintf(
+                    f,
+                    ", \"%s\": {\"insts\": %llu, \"seconds\": %.6f, "
+                    "\"ips\": %.0f}",
+                    scenarios[si].c_str(),
+                    static_cast<unsigned long long>(c.insts), c.seconds,
+                    c.ips());
+            }
+            std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"aggregate\": {\n");
+        for (std::size_t si = 0; si < scenarios.size(); ++si) {
+            std::fprintf(
+                f, "    \"%s\": {\"insts\": %llu, \"seconds\": %.6f, "
+                   "\"ips\": %.0f},\n",
+                scenarios[si].c_str(),
+                static_cast<unsigned long long>(totals[si].insts),
+                totals[si].seconds, totals[si].ips());
+        }
+        std::fprintf(f,
+                     "    \"overall\": {\"insts\": %llu, \"seconds\": "
+                     "%.6f, \"ips\": %.0f}\n  }\n}\n",
+                     static_cast<unsigned long long>(overall.insts),
+                     overall.seconds, overall.ips());
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path->c_str());
+    }
+    return 0;
+}

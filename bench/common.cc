@@ -67,6 +67,47 @@ benchThreads(int argc, char **argv)
     return ThreadPool::defaultThreads();
 }
 
+std::optional<std::string>
+benchJsonPath(int argc, char **argv, const std::string &def)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return def;
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            if (argv[i][7] != '\0')
+                return std::string(argv[i] + 7);
+            std::fprintf(stderr, "bench: empty --json= path, using %s\n",
+                         def.c_str());
+            return def;
+        }
+    }
+    return std::nullopt;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 void
 runOrdered(unsigned threads, std::size_t n,
            const std::function<void(std::size_t)> &compute,

@@ -65,6 +65,18 @@ PaperRef paperTable3(const std::string &label);
 unsigned benchThreads(int argc = 0, char **argv = nullptr);
 
 /**
+ * Machine-readable output request: `--json` or `--json=path` on the
+ * command line. Returns the requested path (@p def for the bare flag),
+ * or nullopt when the flag is absent. Unrelated argv entries are
+ * ignored, like benchThreads().
+ */
+std::optional<std::string> benchJsonPath(int argc, char **argv,
+                                         const std::string &def);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
  * Run compute(0..n-1) on @p threads workers and emit(i) serially, on
  * the calling thread, in index order, streaming as results complete.
  * threads <= 1 degenerates to a strictly serial loop. Rethrows the

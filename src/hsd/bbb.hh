@@ -26,7 +26,7 @@ struct HsdConfig
     unsigned counterBits = 9;             ///< Exec and taken counter size
     std::uint32_t candidateThreshold = 16; ///< Candidate branch threshold
     std::uint64_t refreshInterval = 8192;  ///< Refresh timer interval (br)
-    std::uint64_t clearInterval = 65526;   ///< Clear timer interval (br)
+    std::uint64_t clearInterval = 65536;   ///< Clear timer interval (br)
     unsigned hdcBits = 13;                 ///< Hot spot detection cntr size
     std::uint32_t hdcInc = 2;              ///< HDC increment (non-candidate)
     std::uint32_t hdcDec = 1;              ///< HDC decrement (candidate)

@@ -13,10 +13,24 @@ HotSpotDetector::HotSpotDetector(const HsdConfig &cfg,
 }
 
 void
+HotSpotDetector::onRetireBatch(std::span<const trace::RetiredInst> batch)
+{
+    // Batches are pre-filtered to eventMask(), so no per-event op check.
+    for (const trace::RetiredInst &ri : batch)
+        retireBranch(ri);
+}
+
+void
 HotSpotDetector::onRetire(const trace::RetiredInst &ri)
 {
     if (ri.inst->op != ir::Opcode::CondBr)
         return;
+    retireBranch(ri);
+}
+
+void
+HotSpotDetector::retireBranch(const trace::RetiredInst &ri)
+{
     ++branchesSeen_;
 
     const bool candidate =

@@ -53,6 +53,11 @@ class HotSpotDetector : public trace::InstSink
                              const trace::BranchOracle *oracle = nullptr);
 
     void onRetire(const trace::RetiredInst &ri) override;
+    void onRetireBatch(std::span<const trace::RetiredInst> batch) override;
+
+    /** Branch-only: the engine never delivers (or pays for) the ~80% of
+     *  retirements the detector would discard. */
+    unsigned eventMask() const override { return trace::kEventBranches; }
 
     /**
      * Push-style snapshot delivery: invoked synchronously from within
@@ -96,6 +101,9 @@ class HotSpotDetector : public trace::InstSink
     const BranchBehaviorBuffer &bbb() const { return bbb_; }
 
   private:
+    /** One retired conditional branch (already filtered). */
+    void retireBranch(const trace::RetiredInst &ri);
+
     void detect();
 
     /** BBB clear + HDC reset + timer re-arm: start a fresh monitoring

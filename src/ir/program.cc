@@ -17,6 +17,7 @@ Program::addFunction(Function fn)
 void
 Program::layout()
 {
+    ++epoch_;
     Addr cur = 0x1000; // skip a small null-guard page, like a real binary
     for (auto &fn : functions_) {
         for (BlockId b : fn.layout()) {

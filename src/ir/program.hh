@@ -72,11 +72,24 @@ class Program
     /** Code size in bytes after layout(). */
     Addr codeSize() const { return codeSize_; }
 
+    /**
+     * Monotonic structural-mutation counter. layout() bumps it; mutators
+     * that change structure *without* re-running layout() (arc restores
+     * such as LivePatcher::unpatch) must call noteMutation(). Consumers
+     * that cache per-block derived data (the execution engine's retire
+     * plans) revalidate against this and rebuild on mismatch.
+     */
+    std::uint64_t mutationEpoch() const { return epoch_; }
+
+    /** Record a structural change made without re-running layout(). */
+    void noteMutation() { ++epoch_; }
+
   private:
     std::string name_;
     std::vector<Function> functions_;
     FuncId entryFunc_ = 0;
     Addr codeSize_ = 0;
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace vp::ir

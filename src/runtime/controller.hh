@@ -84,6 +84,15 @@ class RuntimeController
             if (ri.inPackage)
                 ++counts[ri.block.func];
         }
+
+        /** A batch is one block's worth of retirements — one map probe
+         *  covers them all. */
+        void
+        onRetireBatch(std::span<const trace::RetiredInst> batch) override
+        {
+            if (!batch.empty() && batch.front().inPackage)
+                counts[batch.front().block.func] += batch.size();
+        }
     };
 
     /** What a synthesis worker hands back: a bundle, or the error that

@@ -217,6 +217,9 @@ LivePatcher::unpatch(const InstalledBundle &ib)
         }
         undoLog_.erase(it);
     }
+    // Arc restores skip relayout (addresses are unchanged), so stale
+    // engine retire plans must be invalidated explicitly.
+    live_.noteMutation();
 }
 
 void

@@ -99,6 +99,19 @@ EpicCore::reserveBufferSlot(std::vector<std::uint64_t> &buf,
 void
 EpicCore::onRetire(const trace::RetiredInst &ri)
 {
+    retireOne(ri);
+}
+
+void
+EpicCore::onRetireBatch(std::span<const trace::RetiredInst> batch)
+{
+    for (const trace::RetiredInst &ri : batch)
+        retireOne(ri);
+}
+
+void
+EpicCore::retireOne(const trace::RetiredInst &ri)
+{
     const Instruction &inst = *ri.inst;
     ++st_.insts;
 

@@ -62,6 +62,10 @@ class EpicCore : public trace::InstSink
 
     void onRetire(const trace::RetiredInst &ri) override;
 
+    /** Whole-block batches: one virtual call per block, non-virtual
+     *  per-instruction modeling. */
+    void onRetireBatch(std::span<const trace::RetiredInst> batch) override;
+
     /** Finalize and fetch results (drains the last issue group). */
     CoreStats stats() const;
 
@@ -70,6 +74,9 @@ class EpicCore : public trace::InstSink
     const Cache &l2() const { return l2_; }
 
   private:
+    /** Account one retired instruction (the whole pipeline model). */
+    void retireOne(const trace::RetiredInst &ri);
+
     /** Move time forward, resetting issue-group resources. */
     void advanceTo(std::uint64_t c);
 

@@ -18,6 +18,8 @@ std::atomic<std::uint64_t> g_total_insts{0};
 
 constexpr std::uint64_t kBounceInsts = 64;
 
+constexpr std::size_t kNoTerm = std::numeric_limits<std::size_t>::max();
+
 } // namespace
 
 std::uint64_t
@@ -38,7 +40,10 @@ ExecutionEngine::resetWalk()
 {
     cumulative_ = RunStats{};
     callStack_.clear();
-    selectorChoice_.clear();
+    // Dropping every plan resets the per-selector choice slots (each run
+    // starts from the static fallback) and guards against structural
+    // mutations made between runs without an epoch bump.
+    plans_.clear();
     pendingSelector_ = kNoBlockRef;
     selectorEntryInsts_ = 0;
     selectorSawPackage_ = false;
@@ -47,8 +52,6 @@ ExecutionEngine::resetWalk()
     next_ = kNoBlockRef;
     taken_ = false;
     instIdx_ = 0;
-    remainingReal_ = 0;
-    pc_ = kInvalidAddr;
 
     const FuncId entry_fn = prog_.entryFunc();
     cur_ = BlockRef{entry_fn, prog_.func(entry_fn).entry()};
@@ -95,6 +98,111 @@ ExecutionEngine::referencesFunction(FuncId f) const
     return false;
 }
 
+ExecutionEngine::BlockPlan &
+ExecutionEngine::planSlot(BlockRef r)
+{
+    if (r.func >= plans_.size())
+        plans_.resize(prog_.numFunctions());
+    std::vector<BlockPlan> &fplans = plans_[r.func];
+    if (r.block >= fplans.size())
+        fplans.resize(prog_.func(r.func).numBlocks());
+    return fplans[r.block];
+}
+
+void
+ExecutionEngine::buildPlan(BlockPlan &plan, const BasicBlock &bb,
+                           bool in_package, BlockRef ref)
+{
+    plan.insts.clear();
+    plan.mems.clear();
+    plan.branchModel = nullptr;
+    plan.callTerm = false;
+    plan.eventClasses = 0;
+    plan.inPackage = in_package;
+    plan.epoch = prog_.mutationEpoch();
+    // plan.selectorChoice deliberately survives rebuilds: the dynamic
+    // predictor's state is walk state, not program structure.
+
+    Addr ret_addr = kInvalidAddr;
+    if (bb.endsInCall() && bb.fall.valid())
+        ret_addr = prog_.block(bb.fall).addr;
+
+    std::size_t term_at = kNoTerm;
+    Addr pc = bb.addr;
+    for (const Instruction &inst : bb.insts) {
+        if (inst.pseudo)
+            continue;
+        RetiredInst ri;
+        ri.inst = &inst;
+        ri.pc = pc;
+        ri.nextPc = pc + kInstBytes; // final entry patched per execution
+        ri.block = ref;
+        ri.inPackage = in_package;
+        plan.eventClasses |= eventClassOf(inst.op);
+        switch (inst.op) {
+          case Opcode::CondBr:
+            plan.branchModel = &oracle_.behaviors().branch(inst.behavior);
+            term_at = plan.insts.size();
+            break;
+          case Opcode::Call:
+            plan.callTerm = true;
+            ri.retAddr = ret_addr;
+            term_at = plan.insts.size();
+            break;
+          case Opcode::Load:
+          case Opcode::Store:
+            plan.mems.push_back(
+                {static_cast<std::uint32_t>(plan.insts.size()),
+                 inst.behavior,
+                 &oracle_.behaviors().mem(inst.behavior)});
+            break;
+          default:
+            break;
+        }
+        plan.insts.push_back(ri);
+        pc += kInstBytes;
+    }
+
+    // The span retire path credits branch/call counters only when the
+    // final plan entry retires, relying on the IR invariant that a
+    // branch or call is always the block's last instruction.
+    vp_assert(term_at == kNoTerm || term_at + 1 == plan.insts.size(),
+              "branch/call must terminate its block");
+}
+
+void
+ExecutionEngine::dispatch(const BlockPlan &plan, std::size_t begin,
+                          std::size_t end)
+{
+    const std::span<const RetiredInst> span(plan.insts.data() + begin,
+                                            end - begin);
+    const bool term_branch_retires =
+        plan.branchModel != nullptr && end == plan.insts.size();
+
+    for (const SinkEntry &e : sinks_) {
+        if (e.mask == kEventAll) {
+            e.sink->onRetireBatch(span);
+            continue;
+        }
+        if (e.mask == kEventBranches) {
+            // A CondBr is always the final plan entry, so branch-only
+            // sinks (the HSD) skip whole blocks with one test.
+            if (term_branch_retires)
+                e.sink->onRetireBatch(span.last(1));
+            continue;
+        }
+        if ((e.mask & plan.eventClasses) == 0)
+            continue;
+        scratch_.clear();
+        for (const RetiredInst &ri : span) {
+            if (e.mask & eventClassOf(ri.inst->op))
+                scratch_.push_back(ri);
+        }
+        if (!scratch_.empty())
+            e.sink->onRetireBatch({scratch_.data(), scratch_.size()});
+    }
+}
+
 void
 ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
 {
@@ -106,18 +214,20 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
     // completion" budget near UINT64_MAX must not wrap to a tiny step
     // count. Re-armed per stepTo over the instructions it may retire.
     std::uint64_t steps = 0;
-    const std::uint64_t span =
+    const std::uint64_t span_budget =
         max_insts > before ? max_insts - before : 0;
-    const std::uint64_t max_steps = satAdd(satMul(span, 4), 1024);
+    const std::uint64_t max_steps = satAdd(satMul(span_budget, 4), 1024);
 
     while (!done_ && stats.dynInsts < max_insts &&
            stats.dynBranches < max_branches && steps < max_steps) {
         ++steps;
-        const Function &fn = prog_.func(cur_.func);
-        const BasicBlock &bb = fn.block(cur_.block);
-        const bool in_package = fn.isPackage();
+        BlockPlan *plan;
 
         if (!blockActive_) {
+            const Function &fn = prog_.func(cur_.func);
+            const BasicBlock &bb = fn.block(cur_.block);
+            const bool in_package = fn.isPackage();
+
             // Selector feedback: once control has entered a package after
             // a selector jump and then left it again, judge the choice by
             // how long it stayed; an immediate bounce rotates the
@@ -127,7 +237,7 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     selectorSawPackage_ = true;
                 } else if (selectorSawPackage_) {
                     if (stats.dynInsts - selectorEntryInsts_ < kBounceInsts)
-                        ++selectorChoice_[pendingSelector_];
+                        ++planSlot(pendingSelector_).selectorChoice;
                     pendingSelector_ = kNoBlockRef;
                 }
             }
@@ -140,8 +250,14 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     callStack_.push_back(frame);
             }
 
+            plan = &planSlot(cur_);
+            if (plan->epoch != prog_.mutationEpoch())
+                buildPlan(*plan, bb, in_package, cur_);
+
             // Resolve this block's successor up front (there is at most
-            // one terminator and it is last, so no ordering hazard).
+            // one terminator and it is last, so no ordering hazard). Arcs
+            // are read live, never from the plan, so retargets take
+            // effect at the next entry of the patched block.
             next_ = kNoBlockRef;
             taken_ = false;
             const Instruction *term = bb.terminator();
@@ -151,14 +267,15 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     // The oracle speaks in original-branch direction; a
                     // layout-flipped copy inverts it (targets were
                     // swapped).
-                    taken_ = oracle_.decideBranch(term->behavior) ^
+                    taken_ = oracle_.decideBranch(term->behavior,
+                                                  *plan->branchModel) ^
                              term->invertSense;
                     next_ = taken_ ? bb.taken : bb.fall;
                     break;
                   case Opcode::Jump:
                     if (bb.kind == BlockKind::Selector &&
                         !bb.selectorTargets.empty()) {
-                        const std::size_t idx = selectorChoice_[cur_] %
+                        const std::size_t idx = plan->selectorChoice %
                                                 bb.selectorTargets.size();
                         next_ = bb.selectorTargets[idx];
                         pendingSelector_ = cur_;
@@ -188,64 +305,65 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                 next_ = bb.fall;
             }
 
-            pc_ = bb.addr;
-            remainingReal_ = 0;
-            for (const Instruction &inst : bb.insts)
-                remainingReal_ += inst.pseudo ? 0 : 1;
             instIdx_ = 0;
             blockActive_ = true;
+        } else {
+            // Mid-block resume: keep the entry-time plan even across an
+            // epoch bump (the pre-plan engine likewise kept its
+            // entry-time pc); the rebuild happens at the next entry.
+            plan = &planSlot(cur_);
         }
 
-        const Addr next_block_addr =
-            next_.valid() ? prog_.block(next_).addr : kInvalidAddr;
-
-        // Retire the block's real instructions (continuing mid-block
-        // after a budget suspension).
+        // Retire a span of the block's real instructions (continuing
+        // mid-block after a budget suspension): fill the dynamic fields,
+        // bump the counters, then hand the whole span to the sinks.
         bool budget_hit = false;
-        for (; instIdx_ < bb.insts.size(); ++instIdx_) {
-            const Instruction &inst = bb.insts[instIdx_];
-            if (inst.pseudo)
-                continue;
-            --remainingReal_;
+        const std::size_t n = plan->insts.size();
+        if (instIdx_ < n) {
+            RetiredInst *const ri = plan->insts.data();
 
-            RetiredInst ri;
-            ri.inst = &inst;
-            ri.pc = pc_;
-            ri.block = cur_;
-            ri.inPackage = in_package;
-            ri.nextPc = remainingReal_ ? pc_ + kInstBytes : next_block_addr;
+            // The final entry's successor address is re-read every
+            // iteration — a mid-block resume must observe relayouts of
+            // the *next* block, exactly as the pre-plan engine did.
+            ri[n - 1].nextPc =
+                next_.valid() ? prog_.block(next_).addr : kInvalidAddr;
+            if (plan->branchModel != nullptr)
+                ri[n - 1].branchTaken = taken_;
 
-            switch (inst.op) {
-              case Opcode::CondBr:
-                ri.branchTaken = taken_;
-                ++stats.dynBranches;
-                stats.takenBranches += taken_ ? 1 : 0;
-                break;
-              case Opcode::Call:
-                ++stats.dynCalls;
-                if (bb.fall.valid())
-                    ri.retAddr = prog_.block(bb.fall).addr;
-                break;
-              case Opcode::Load:
-              case Opcode::Store:
-                ri.memAddr = oracle_.memAddress(inst.behavior);
-                break;
-              default:
-                break;
+            std::size_t k = n - instIdx_;
+            const std::uint64_t inst_budget = max_insts - stats.dynInsts;
+            if (inst_budget < k)
+                k = static_cast<std::size_t>(inst_budget);
+            const std::size_t end = instIdx_ + k;
+
+            // Consume the oracle's address stream only for entries that
+            // actually retire now — never ahead of a budget suspension.
+            for (const BlockPlan::MemRef &m : plan->mems) {
+                if (m.idx < instIdx_)
+                    continue;
+                if (m.idx >= end)
+                    break;
+                ri[m.idx].memAddr =
+                    oracle_.memAddress(m.behavior, *m.model);
             }
 
-            ++stats.dynInsts;
-            stats.instsInPackages += in_package ? 1 : 0;
-            for (InstSink *s : sinks_)
-                s->onRetire(ri);
-
-            pc_ += kInstBytes;
-            if (stats.dynInsts >= max_insts ||
-                stats.dynBranches >= max_branches) {
-                ++instIdx_;
-                budget_hit = true;
-                break;
+            stats.dynInsts += k;
+            if (plan->inPackage)
+                stats.instsInPackages += k;
+            if (end == n) {
+                if (plan->branchModel != nullptr) {
+                    ++stats.dynBranches;
+                    stats.takenBranches += taken_ ? 1 : 0;
+                } else if (plan->callTerm) {
+                    ++stats.dynCalls;
+                }
             }
+
+            dispatch(*plan, instIdx_, end);
+
+            instIdx_ = end;
+            budget_hit = stats.dynInsts >= max_insts ||
+                         stats.dynBranches >= max_branches;
         }
 
         if (!budget_hit) {

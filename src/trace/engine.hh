@@ -7,6 +7,16 @@
  * during profiling runs, the EPIC pipeline simulator during timing runs,
  * and the coverage/categorization collectors during evaluation runs.
  *
+ * Steady state executes from *block retire plans*: per-block caches that
+ * pre-filter pseudo instructions and pre-fill every static RetiredInst
+ * field (pc offsets, behavior models, return addresses, package
+ * membership), so retiring a block is a linear sweep that only consults
+ * the oracle and the counters. Plans are keyed by the program's
+ * mutationEpoch() and rebuilt lazily at block entry after any structural
+ * change. Sinks receive whole-block batches through onRetireBatch(),
+ * pre-filtered by their eventMask() — a branch-only sink (the HSD) never
+ * sees, or pays a virtual call for, the events it would discard.
+ *
  * The engine is *resumable*: the walk state (current block, call stack,
  * selector feedback, mid-block position) lives in the engine, so the
  * online runtime can execute in fixed instruction-count quanta via
@@ -24,7 +34,14 @@
  *    invalidate already-resolved BlockRefs (appending and retargeting
  *    never do; removal would, and is therefore forbidden);
  *  - callers must not remove or reorder blocks of any function the
- *    engine still references (see referencesFunction()).
+ *    engine still references (see referencesFunction());
+ *  - every structural mutation must bump the program's mutationEpoch()
+ *    so stale retire plans are invalidated: Program::layout() does this
+ *    itself (covering package install and tombstoning), and mutators
+ *    that skip relayout (LivePatcher::unpatch) call noteMutation().
+ *    A block the engine is suspended *inside* keeps its already-built
+ *    plan until it exits — matching the pre-plan engine, which kept its
+ *    entry-time pc across mid-block mutations.
  */
 
 #ifndef VP_TRACE_ENGINE_HH
@@ -32,7 +49,7 @@
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "ir/program.hh"
@@ -75,12 +92,59 @@ struct RetiredInst
     bool inPackage = false;
 };
 
+/** Sink event-interest bits (InstSink::eventMask()). */
+enum : unsigned
+{
+    kEventBranches = 1u << 0, ///< conditional branches
+    kEventMemory = 1u << 1,   ///< loads and stores
+    kEventOther = 1u << 2,    ///< every other opcode
+    kEventAll = kEventBranches | kEventMemory | kEventOther,
+};
+
+/** Event class of one opcode under the eventMask() bits. */
+inline unsigned
+eventClassOf(ir::Opcode op)
+{
+    switch (op) {
+      case ir::Opcode::CondBr:
+        return kEventBranches;
+      case ir::Opcode::Load:
+      case ir::Opcode::Store:
+        return kEventMemory;
+      default:
+        return kEventOther;
+    }
+}
+
 /** Consumer of the retired-instruction stream. */
 class InstSink
 {
   public:
     virtual ~InstSink() = default;
+
+    /** Scalar delivery; the batch default loops over this. */
     virtual void onRetire(const RetiredInst &ri) = 0;
+
+    /**
+     * Batched delivery: consecutively retired instructions of one basic
+     * block, in retire order, already filtered to this sink's
+     * eventMask(). The engine calls only this; the default forwards to
+     * onRetire() one event at a time, so scalar sinks keep working
+     * unchanged.
+     */
+    virtual void
+    onRetireBatch(std::span<const RetiredInst> batch)
+    {
+        for (const RetiredInst &ri : batch)
+            onRetire(ri);
+    }
+
+    /**
+     * Event classes this sink consumes. Sampled once, when the sink is
+     * registered via addSink(); the engine never dispatches events
+     * outside the mask. Defaults to everything.
+     */
+    virtual unsigned eventMask() const { return kEventAll; }
 };
 
 /** Aggregate counts of one run. */
@@ -115,8 +179,12 @@ class ExecutionEngine
      */
     ExecutionEngine(const ir::Program &prog, const workload::Workload &w);
 
-    /** Register a retired-instruction consumer. */
-    void addSink(InstSink *sink) { sinks_.push_back(sink); }
+    /** Register a retired-instruction consumer (samples eventMask()). */
+    void
+    addSink(InstSink *sink)
+    {
+        sinks_.push_back({sink, sink->eventMask()});
+    }
 
     /**
      * Run from the program entry until the entry function returns,
@@ -171,6 +239,52 @@ class ExecutionEngine
     const BranchOracle &oracle() const { return oracle_; }
 
   private:
+    /**
+     * Cached retire plan of one basic block, valid for one program
+     * mutation epoch. `insts` holds one prefilled RetiredInst per *real*
+     * (non-pseudo) instruction; per execution only the dynamic fields
+     * are touched: memAddr of the entries listed in `mems`, and
+     * branchTaken/nextPc of the final entry. The plan doubles as the
+     * dispatch buffer — sinks receive spans into `insts`.
+     */
+    struct BlockPlan
+    {
+        /** Epoch the plan was built at; kNeverBuilt forces a build. */
+        static constexpr std::uint64_t kNeverBuilt =
+            std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t epoch = kNeverBuilt;
+
+        std::vector<RetiredInst> insts;
+
+        /** One entry per Load/Store in `insts`. */
+        struct MemRef
+        {
+            std::uint32_t idx; ///< index into insts
+            ir::BehaviorId behavior;
+            const workload::MemBehavior *model;
+        };
+        std::vector<MemRef> mems;
+
+        /** Resolved branch model of a CondBr terminator (else null). */
+        const workload::BranchBehavior *branchModel = nullptr;
+
+        /** True when the block terminates in a Call. */
+        bool callTerm = false;
+
+        /** OR of eventClassOf() over `insts` (batch filter fast-out). */
+        unsigned eventClasses = 0;
+
+        bool inPackage = false;
+
+        /**
+         * Dynamic-launch selector rotation (BlockKind::Selector):
+         * advanced when the chosen package bounces straight back out
+         * (the "monitoring snippet feeding a dynamic predictor" of
+         * Section 3.3.4). Survives plan rebuilds; cleared per run.
+         */
+        std::size_t selectorChoice = 0;
+    };
+
     /** Reset walk state only (oracle untouched) — what run() does. */
     void resetWalk();
 
@@ -178,9 +292,34 @@ class ExecutionEngine
      *  exits. */
     void stepTo(std::uint64_t max_insts, std::uint64_t max_branches);
 
+    /** Plan slot for @p r, growing the table as functions appear. */
+    BlockPlan &planSlot(ir::BlockRef r);
+
+    /** Rebuild @p plan from the current block contents. */
+    void buildPlan(BlockPlan &plan, const ir::BasicBlock &bb,
+                   bool in_package, ir::BlockRef ref);
+
+    /** Deliver plan entries [begin, end) — one retired run within one
+     *  block — to every sink, honoring each sink's event mask. */
+    void dispatch(const BlockPlan &plan, std::size_t begin,
+                  std::size_t end);
+
     const ir::Program &prog_;
     BranchOracle oracle_;
-    std::vector<InstSink *> sinks_;
+
+    struct SinkEntry
+    {
+        InstSink *sink;
+        unsigned mask;
+    };
+    std::vector<SinkEntry> sinks_;
+
+    /** Retire plans indexed [func][block]; grown lazily, cleared by
+     *  resetWalk(). */
+    std::vector<std::vector<BlockPlan>> plans_;
+
+    /** Scratch gather buffer for partially-masked sinks. */
+    std::vector<RetiredInst> scratch_;
 
     // --- Persistent walk state (valid between resume() calls).
     RunStats cumulative_;
@@ -189,19 +328,12 @@ class ExecutionEngine
     bool done_ = false;
 
     /** True while positioned inside cur_ with next_/taken_ resolved and
-     *  instIdx_ the next instruction to consider. */
+     *  instIdx_ the next *plan entry* to retire. */
     bool blockActive_ = false;
     ir::BlockRef next_;
     bool taken_ = false;
     std::size_t instIdx_ = 0;
-    std::size_t remainingReal_ = 0;
-    ir::Addr pc_ = ir::kInvalidAddr;
 
-    // Dynamic launch selectors (BlockKind::Selector): per-selector choice
-    // index, advanced when the chosen package bounces straight back out
-    // (the "monitoring snippet feeding a dynamic predictor" of
-    // Section 3.3.4).
-    std::unordered_map<ir::BlockRef, std::size_t> selectorChoice_;
     ir::BlockRef pendingSelector_;
     std::uint64_t selectorEntryInsts_ = 0;
     bool selectorSawPackage_ = false;

@@ -14,7 +14,7 @@
 #define VP_TRACE_ORACLE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "ir/types.hh"
 #include "support/rng.hh"
@@ -41,20 +41,42 @@ class BranchOracle
     bool
     decideBranch(ir::BehaviorId id)
     {
+        return decideBranch(id, behaviors_.branch(id));
+    }
+
+    /**
+     * decideBranch() with the behavior model already resolved — the
+     * execution engine caches `&behaviors().branch(id)` in its block
+     * plans to keep the per-branch lookup off the hot path. @p b must be
+     * the model registered for @p id; outcomes are identical to the
+     * one-argument form.
+     */
+    bool
+    decideBranch(ir::BehaviorId id, const workload::BranchBehavior &b)
+    {
         const workload::PhaseId phase = schedule_.phaseAt(branchCount_);
         ++branchCount_;
-        const std::uint64_t occ = occurrence_[id]++;
-        const double p = behaviors_.branch(id).probFor(phase);
-        return uniform01(id, occ) < p;
+        const std::uint64_t occ = occSlot(id)++;
+        return uniform01(id, occ) < b.probFor(phase);
     }
 
     /** Next data address for memory instruction @p id. */
     std::uint64_t
     memAddress(ir::BehaviorId id)
     {
-        const std::uint64_t occ = occurrence_[id]++;
-        return behaviors_.mem(id).addressAt(occ);
+        return memAddress(id, behaviors_.mem(id));
     }
+
+    /** memAddress() with the behavior model already resolved (see the
+     *  two-argument decideBranch()). */
+    std::uint64_t
+    memAddress(ir::BehaviorId id, const workload::MemBehavior &m)
+    {
+        return m.addressAt(occSlot(id)++);
+    }
+
+    /** The behavior models this oracle replays (for plan caching). */
+    const workload::BehaviorMap &behaviors() const { return behaviors_; }
 
     /** Phase currently in effect. */
     workload::PhaseId
@@ -76,10 +98,21 @@ class BranchOracle
     }
 
   private:
+    /** Per-behavior occurrence counter. Behavior ids are allocated
+     *  densely from 1, so a flat array beats the hash map this once was;
+     *  absent entries read 0 either way. */
+    std::uint64_t &
+    occSlot(ir::BehaviorId id)
+    {
+        if (id >= occurrence_.size())
+            occurrence_.resize(id + 1, 0);
+        return occurrence_[static_cast<std::size_t>(id)];
+    }
+
     const workload::BehaviorMap &behaviors_;
     const workload::PhaseSchedule &schedule_;
     std::uint64_t branchCount_ = 0;
-    std::unordered_map<ir::BehaviorId, std::uint64_t> occurrence_;
+    std::vector<std::uint64_t> occurrence_;
 };
 
 } // namespace vp::trace

@@ -60,6 +60,17 @@ class BranchCounter : public trace::InstSink
         }
     }
 
+    void
+    onRetireBatch(std::span<const trace::RetiredInst> batch) override
+    {
+        for (const trace::RetiredInst &ri : batch)
+            ++out_.counts[ri.inst->behavior];
+        out_.total += batch.size();
+    }
+
+    /** Categorization only reads the branch stream. */
+    unsigned eventMask() const override { return trace::kEventBranches; }
+
   private:
     BranchProfile &out_;
 };

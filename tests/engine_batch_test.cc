@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Equivalence tests for the engine's batched, mask-filtered sink
+ * dispatch: a sink consuming whole-block batches must observe the exact
+ * event sequence a scalar sink does, for full runs, for quantum-stepped
+ * runs with mid-block budget suspensions, and across a structural
+ * mutation that invalidates the cached block retire plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::trace;
+
+bool
+sameEvent(const RetiredInst &a, const RetiredInst &b)
+{
+    return a.inst == b.inst && a.pc == b.pc && a.nextPc == b.nextPc &&
+           a.block == b.block && a.branchTaken == b.branchTaken &&
+           a.memAddr == b.memAddr && a.retAddr == b.retAddr &&
+           a.inPackage == b.inPackage;
+}
+
+void
+expectSameStream(const std::vector<RetiredInst> &a,
+                 const std::vector<RetiredInst> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_TRUE(sameEvent(a[i], b[i])) << "event " << i << " differs";
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.dynBranches, b.dynBranches);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.dynCalls, b.dynCalls);
+    EXPECT_EQ(a.instsInPackages, b.instsInPackages);
+    EXPECT_EQ(a.hitBudget, b.hitBudget);
+}
+
+/** Scalar-path recorder: relies on the default onRetireBatch loop. */
+class ScalarRecorder : public InstSink
+{
+  public:
+    void onRetire(const RetiredInst &ri) override { events.push_back(ri); }
+    std::vector<RetiredInst> events;
+};
+
+/** Batch-path recorder: consumes spans directly. */
+class BatchRecorder : public InstSink
+{
+  public:
+    void onRetire(const RetiredInst &ri) override { events.push_back(ri); }
+
+    void
+    onRetireBatch(std::span<const RetiredInst> batch) override
+    {
+        events.insert(events.end(), batch.begin(), batch.end());
+        ++batches;
+    }
+
+    std::vector<RetiredInst> events;
+    std::uint64_t batches = 0;
+};
+
+/** Batch recorder restricted to one event class. */
+class MaskedRecorder : public BatchRecorder
+{
+  public:
+    explicit MaskedRecorder(unsigned mask) : mask_(mask) {}
+    unsigned eventMask() const override { return mask_; }
+
+  private:
+    unsigned mask_;
+};
+
+std::vector<RetiredInst>
+filterByMask(const std::vector<RetiredInst> &events, unsigned mask)
+{
+    std::vector<RetiredInst> out;
+    for (const RetiredInst &ri : events) {
+        if (mask & eventClassOf(ri.inst->op))
+            out.push_back(ri);
+    }
+    return out;
+}
+
+TEST(EventMask, OpcodeClasses)
+{
+    EXPECT_EQ(eventClassOf(Opcode::CondBr), kEventBranches);
+    EXPECT_EQ(eventClassOf(Opcode::Load), kEventMemory);
+    EXPECT_EQ(eventClassOf(Opcode::Store), kEventMemory);
+    EXPECT_EQ(eventClassOf(Opcode::IAlu), kEventOther);
+    EXPECT_EQ(eventClassOf(Opcode::Jump), kEventOther);
+    EXPECT_EQ(eventClassOf(Opcode::Call), kEventOther);
+    EXPECT_EQ(eventClassOf(Opcode::Ret), kEventOther);
+    EXPECT_EQ(kEventAll, kEventBranches | kEventMemory | kEventOther);
+}
+
+TEST(BatchDispatch, MatchesScalarOverFullRoster)
+{
+    // Every Table 1 roster row, budget-capped for test runtime. The four
+    // sinks ride one engine, so all dispatch paths (full batch, scalar
+    // fallback, branch fast path, generic gather) see the same walk.
+    for (workload::Workload &w : workload::makeAllWorkloads()) {
+        const std::uint64_t budget =
+            std::min<std::uint64_t>(w.maxDynInsts, 120'000);
+
+        ExecutionEngine engine(w.program, w);
+        ScalarRecorder scalar;
+        BatchRecorder batch;
+        MaskedRecorder branches(kEventBranches);
+        MaskedRecorder memory(kEventMemory);
+        engine.addSink(&scalar);
+        engine.addSink(&batch);
+        engine.addSink(&branches);
+        engine.addSink(&memory);
+        const RunStats stats = engine.run(budget);
+
+        ASSERT_FALSE(scalar.events.empty()) << w.name;
+        expectSameStream(batch.events, scalar.events);
+        expectSameStream(branches.events,
+                         filterByMask(scalar.events, kEventBranches));
+        expectSameStream(memory.events,
+                         filterByMask(scalar.events, kEventMemory));
+
+        // Batching is real: far fewer virtual calls than events.
+        EXPECT_LT(batch.batches, batch.events.size()) << w.name;
+
+        // Masked sinks only ever saw their class.
+        EXPECT_EQ(stats.dynBranches, branches.events.size()) << w.name;
+        for (const RetiredInst &ri : branches.events)
+            ASSERT_EQ(ri.inst->op, Opcode::CondBr);
+        for (const RetiredInst &ri : memory.events)
+            ASSERT_TRUE(ri.inst->op == Opcode::Load ||
+                        ri.inst->op == Opcode::Store);
+
+        // A sinkless engine produces identical aggregate stats.
+        ExecutionEngine bare(w.program, w);
+        expectSameStats(bare.run(budget), stats);
+    }
+}
+
+TEST(BatchDispatch, QuantumSteppingMatchesSingleRunStream)
+{
+    // Odd quantum sizes force budget suspensions mid-block; the resumed
+    // spans must splice into the identical event stream, including the
+    // oracle's memory-address draw order.
+    test::TinyWorkload a = test::makeTiny();
+    const std::uint64_t budget = 40'000;
+
+    ExecutionEngine whole(a.w.program, a.w);
+    BatchRecorder wholeRec;
+    MaskedRecorder wholeBranches(kEventBranches);
+    whole.addSink(&wholeRec);
+    whole.addSink(&wholeBranches);
+    const RunStats wholeStats = whole.run(budget);
+
+    ExecutionEngine stepped(a.w.program, a.w);
+    BatchRecorder stepRec;
+    MaskedRecorder stepBranches(kEventBranches);
+    stepped.addSink(&stepRec);
+    stepped.addSink(&stepBranches);
+    while (!stepped.finished() && stepped.stats().dynInsts < budget)
+        stepped.resume(std::min<std::uint64_t>(
+            13, budget - stepped.stats().dynInsts));
+
+    expectSameStream(stepRec.events, wholeRec.events);
+    expectSameStream(stepBranches.events, wholeBranches.events);
+    expectSameStats(stepped.stats(), wholeStats);
+    // Suspensions split blocks, so stepping dispatches strictly more
+    // batches for the same events.
+    EXPECT_GT(stepRec.batches, wholeRec.batches);
+}
+
+TEST(BatchDispatch, EpochBumpInvalidatesPlansMidRun)
+{
+    // Install-shaped mutation between quanta: grow a hot block and
+    // relayout (Program::layout() bumps the mutation epoch). The next
+    // entry of that block must retire from a rebuilt plan — new
+    // instruction pointers, new addresses — not the stale cache.
+    test::DiamondLoop d =
+        test::makeDiamondLoop({1.0}, {50.0}, 1'000'000);
+    ir::Program &prog = d.w.program;
+    const BlockRef hot{d.f, d.b2}; // taken arm, prob 1.0 -> revisited
+
+    ExecutionEngine engine(prog, d.w);
+    BatchRecorder rec;
+    engine.addSink(&rec);
+    engine.resume(200);
+    ASSERT_FALSE(engine.finished());
+    const std::size_t before = rec.events.size();
+    const std::uint64_t epoch_before = prog.mutationEpoch();
+
+    // The mutation: a fresh compute instruction at the front of b2.
+    Instruction extra;
+    extra.op = Opcode::IAlu;
+    BasicBlock &bb = prog.func(d.f).block(d.b2);
+    const std::size_t grown = bb.insts.size() + 1;
+    bb.insts.insert(bb.insts.begin(), extra);
+    prog.layout();
+    EXPECT_GT(prog.mutationEpoch(), epoch_before);
+
+    engine.resume(2'000);
+
+    // Find the first post-mutation entry of the hot block and check the
+    // whole visit against the mutated program.
+    const BasicBlock &cur = prog.func(d.f).block(d.b2);
+    std::size_t i = before;
+    while (i < rec.events.size() &&
+           !(rec.events[i].block == hot && rec.events[i].pc == cur.addr))
+        ++i;
+    ASSERT_LT(i + grown, rec.events.size()) << "hot block never re-entered";
+    for (std::size_t k = 0; k < grown; ++k) {
+        const RetiredInst &ri = rec.events[i + k];
+        EXPECT_EQ(ri.block, hot);
+        EXPECT_EQ(ri.inst, &cur.insts[k]);
+        EXPECT_EQ(ri.pc, cur.addr + k * kInstBytes);
+    }
+}
+
+TEST(Program, NoteMutationBumpsEpoch)
+{
+    ir::Program p("epoch");
+    const std::uint64_t e0 = p.mutationEpoch();
+    p.noteMutation();
+    EXPECT_EQ(p.mutationEpoch(), e0 + 1);
+    p.layout();
+    EXPECT_EQ(p.mutationEpoch(), e0 + 2);
+}
+
+} // namespace
