@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""CI perf smoke: compare BENCH_engine.json aggregates to a checked-in floor.
+"""CI perf smoke: compare a bench --json aggregate to a checked-in floor.
 
-Usage: check_floor.py <BENCH_engine.json> <engine_floor.json>
+Usage: check_floor.py <BENCH_*.json> <floor.json>
 
-Fails (exit 1) when any aggregate insts/sec falls below
-tolerance * floor_ips[scenario]. Release builds only — sanitizer builds
-skew throughput by an order of magnitude and never run this.
+Two floor kinds, matched by aggregate-section name and skipped when the
+bench file has no such section (one floor file serves several benches):
+
+  floor_ips:  insts/sec throughputs; fails below tolerance * floor.
+              Release builds only — sanitizer builds skew throughput by
+              an order of magnitude and never run this.
+  floor_min:  exact minimums on deterministic aggregate metrics (win
+              counts, coverage deltas); no tolerance is applied.
 """
 
 import json
@@ -21,19 +26,42 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         floor = json.load(f)
 
-    tolerance = floor["tolerance"]
+    aggregate = bench["aggregate"]
     failed = False
-    for scenario, ref in floor["floor_ips"].items():
-        got = bench["aggregate"][scenario]["ips"]
+    checked = 0
+
+    tolerance = floor.get("tolerance", 1.0)
+    for scenario, ref in floor.get("floor_ips", {}).items():
+        if scenario not in aggregate:
+            continue
+        checked += 1
+        got = aggregate[scenario]["ips"]
         limit = tolerance * ref
         status = "ok" if got >= limit else "FAIL"
         print(f"{scenario:8s} {got/1e6:8.1f} Mi/s  "
               f"(floor {ref/1e6:.1f}, limit {limit/1e6:.1f})  {status}")
         if got < limit:
             failed = True
+
+    for scenario, metrics in floor.get("floor_min", {}).items():
+        if scenario not in aggregate:
+            continue
+        for metric, ref in metrics.items():
+            checked += 1
+            got = aggregate[scenario][metric]
+            status = "ok" if got >= ref else "FAIL"
+            print(f"{scenario}.{metric:20s} {got:10.4f}  "
+                  f"(min {ref})  {status}")
+            if got < ref:
+                failed = True
+
+    if checked == 0:
+        print("no floor section matches the bench aggregates",
+              file=sys.stderr)
+        return 2
     if failed:
-        print("engine throughput regressed >30% below the checked-in "
-              "floor", file=sys.stderr)
+        print("bench aggregate fell below the checked-in floor",
+              file=sys.stderr)
         return 1
     return 0
 

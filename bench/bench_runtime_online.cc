@@ -1,47 +1,123 @@
 /**
  * @file
- * Online repackaging harness: one RuntimeController run per workload —
- * detection, background synthesis, hot-swap install, caching, eviction
- * all inside a single execution — compared against the offline
- * (inference + linking) pipeline's coverage on the same workload. The
- * acceptance bar for the runtime is reaching >= 80% of the offline
- * coverage in that single online pass.
+ * Online repackaging harness: per roster row, a *tiered* run (fast
+ * tier-0 install + background tier-1 promotion), an *untiered* run
+ * (tier-1 only), and the offline (inference + linking) pipeline's
+ * coverage on the same workload. The tiering claim under test: the
+ * tiered run reaches its first installed bundle strictly earlier, and
+ * final coverage does not pay for that head start.
+ *
+ * `--json[=path]` emits BENCH_runtime.json: one object per row (both
+ * runs' coverage, first-install quanta, and a <=64-point
+ * coverage-vs-quantum curve per run) plus a "runtime_online" aggregate
+ * (tiered_win_rows, min/mean coverage delta) for the CI floor check.
+ * `--budget=N` trims every online run to N dynamic instructions (CI
+ * smoke); the offline reference always packs the full workload.
  */
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bench/common.hh"
 #include "runtime/controller.hh"
 
+namespace
+{
+
+using namespace vp;
+using namespace vp::bench;
+
+/** Coverage curve compacted to at most 64 evenly strided samples. */
+struct CurveSample
+{
+    std::uint64_t quantum = 0;
+    std::uint64_t dynInsts = 0;
+    std::uint64_t tierInsts[2] = {0, 0};
+};
+
+std::vector<CurveSample>
+sampleCurve(const std::vector<runtime::RuntimeStats::CurvePoint> &curve)
+{
+    std::vector<CurveSample> out;
+    if (curve.empty())
+        return out;
+    const std::size_t stride = (curve.size() + 63) / 64;
+    for (std::size_t i = 0; i < curve.size(); i += stride) {
+        // Always keep the final point so the curve ends at the run's
+        // true cumulative coverage.
+        const auto &p =
+            curve[i + stride < curve.size() ? i : curve.size() - 1];
+        out.push_back({p.quantum, p.dynInsts, {p.tierInsts[0],
+                                               p.tierInsts[1]}});
+        if (i + stride >= curve.size())
+            break;
+    }
+    return out;
+}
+
+/** First quantum with any bundle installed; kNever when none ever was. */
+std::uint64_t
+firstInstall(const runtime::RuntimeStats &s)
+{
+    return std::min(s.firstInstallQuantum[0], s.firstInstallQuantum[1]);
+}
+
+std::string
+qstr(std::uint64_t q)
+{
+    return q == runtime::BundleStats::kNever ? "-"
+                                             : "q" + std::to_string(q);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    using namespace vp;
-    using namespace vp::bench;
-
     const unsigned threads = benchThreads(argc, argv);
+    std::uint64_t budget = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--budget=", 9) == 0)
+            budget = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+    const auto json_path = benchJsonPath(argc, argv, "BENCH_runtime.json");
     HarnessTimer timer(threads);
 
-    std::printf("Online repackaging: single-run coverage vs the offline "
-                "inf+link pipeline\n");
-    std::printf("(online includes detection + compile latency + cache "
-                "churn; offline packs\nfrom a completed profile run)\n\n");
+    std::printf("Online repackaging: tiered (fast install + promotion) vs "
+                "untiered vs offline\n");
+    std::printf("(first = first quantum with an installed bundle; tiered "
+                "must win it without\nlosing final coverage)\n\n");
 
     struct Row
     {
-        runtime::RuntimeStats online;
+        runtime::RuntimeStats tiered;
+        runtime::RuntimeStats untiered;
         double offline = 0.0;
     };
 
     TablePrinter table;
-    table.addRow({"benchmark", "online", "offline", "of offline", "builds",
-                  "hits", "installs", "displace", "evict"});
+    table.addRow({"benchmark", "tiered", "untiered", "offline", "first t",
+                  "first u", "promos", "builds"});
 
-    Accumulator online_avg, offline_avg, frac_avg;
+    Accumulator tiered_avg, untiered_avg, offline_avg, delta_avg;
+    double min_delta = 1.0;
+    std::size_t win_rows = 0, rows_n = 0;
+
+    struct JsonRow
+    {
+        std::string label;
+        double tiered = 0.0, untiered = 0.0, offline = 0.0;
+        std::uint64_t firstTiered = 0, firstUntiered = 0;
+        std::vector<CurveSample> tieredCurve, untieredCurve;
+    };
+    std::vector<JsonRow> jrows;
 
     forEachWorkload(
         threads,
-        [](workload::Workload &w) {
+        [budget](workload::Workload &w) {
             Row row;
 
             runtime::RuntimeConfig rcfg;
@@ -50,8 +126,13 @@ main(int argc, char **argv)
             // background workers only hide compile wall-clock, so one is
             // enough here (results are identical for any count).
             rcfg.workers = 1;
-            runtime::RuntimeController controller(w, rcfg);
-            row.online = controller.run();
+            rcfg.budget = budget;
+            runtime::RuntimeController tiered(w, rcfg);
+            row.tiered = tiered.run();
+
+            rcfg.tiering = false;
+            runtime::RuntimeController untiered(w, rcfg);
+            row.untiered = untiered.run();
 
             VacuumPacker packer(w, VpConfig::variant(true, true));
             const VpResult r = packer.run();
@@ -60,26 +141,99 @@ main(int argc, char **argv)
             return row;
         },
         [&](const workload::Workload &w, const Row &row) {
-            const double online = row.online.packageCoverage();
-            const double frac =
-                row.offline > 0.0 ? online / row.offline : 0.0;
-            online_avg.add(online);
+            const double tcov = row.tiered.packageCoverage();
+            const double ucov = row.untiered.packageCoverage();
+            const double delta = tcov - ucov;
+            const std::uint64_t ft = firstInstall(row.tiered);
+            const std::uint64_t fu = firstInstall(row.untiered);
+            tiered_avg.add(tcov);
+            untiered_avg.add(ucov);
             offline_avg.add(row.offline);
-            frac_avg.add(frac);
-            table.addRow({rowLabel(w), TablePrinter::pct(online),
-                          TablePrinter::pct(row.offline),
-                          TablePrinter::pct(frac),
-                          std::to_string(row.online.builds),
-                          std::to_string(row.online.cacheHits),
-                          std::to_string(row.online.installs),
-                          std::to_string(row.online.displacements),
-                          std::to_string(row.online.evictions)});
+            delta_avg.add(delta);
+            min_delta = std::min(min_delta, delta);
+            if (ft < fu)
+                ++win_rows;
+            ++rows_n;
+            table.addRow({rowLabel(w), TablePrinter::pct(tcov),
+                          TablePrinter::pct(ucov),
+                          TablePrinter::pct(row.offline), qstr(ft),
+                          qstr(fu),
+                          std::to_string(row.tiered.promotions),
+                          std::to_string(row.tiered.builds +
+                                         row.tiered.tier0Builds)});
             std::fflush(stdout);
+            if (json_path) {
+                JsonRow jr;
+                jr.label = rowLabel(w);
+                jr.tiered = tcov;
+                jr.untiered = ucov;
+                jr.offline = row.offline;
+                jr.firstTiered = ft;
+                jr.firstUntiered = fu;
+                jr.tieredCurve = sampleCurve(row.tiered.curve);
+                jr.untieredCurve = sampleCurve(row.untiered.curve);
+                jrows.push_back(std::move(jr));
+            }
         });
 
-    table.addRow({"average", TablePrinter::pct(online_avg.mean()),
-                  TablePrinter::pct(offline_avg.mean()),
-                  TablePrinter::pct(frac_avg.mean()), "", "", "", "", ""});
+    table.addRow({"average", TablePrinter::pct(tiered_avg.mean()),
+                  TablePrinter::pct(untiered_avg.mean()),
+                  TablePrinter::pct(offline_avg.mean()), "", "", "", ""});
     table.print();
+    std::printf("\ntiered first-install wins: %zu of %zu rows; coverage "
+                "delta mean %+.1f%% / min %+.1f%%\n",
+                win_rows, rows_n, 100.0 * delta_avg.mean(),
+                100.0 * min_delta);
+
+    if (json_path) {
+        std::FILE *f = std::fopen(json_path->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         json_path->c_str());
+            return 1;
+        }
+        const auto emitCurve = [f](const std::vector<CurveSample> &c) {
+            std::fprintf(f, "[");
+            for (std::size_t i = 0; i < c.size(); ++i) {
+                std::fprintf(
+                    f,
+                    "%s{\"q\": %" PRIu64 ", \"dyn\": %" PRIu64
+                    ", \"t0\": %" PRIu64 ", \"t1\": %" PRIu64 "}",
+                    i ? ", " : "", c[i].quantum, c[i].dynInsts,
+                    c[i].tierInsts[0], c[i].tierInsts[1]);
+            }
+            std::fprintf(f, "]");
+        };
+        std::fprintf(f, "{\n  \"bench\": \"runtime_online\",\n"
+                        "  \"budget\": %" PRIu64 ",\n  \"rows\": [\n",
+                     budget);
+        for (std::size_t i = 0; i < jrows.size(); ++i) {
+            const JsonRow &jr = jrows[i];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"%s\", \"tiered\": %.6f, "
+                "\"untiered\": %.6f, \"offline\": %.6f, "
+                "\"first_tiered\": %" PRIu64 ", \"first_untiered\": %"
+                PRIu64 ",\n     \"tiered_curve\": ",
+                jsonEscape(jr.label).c_str(), jr.tiered, jr.untiered,
+                jr.offline, jr.firstTiered, jr.firstUntiered);
+            emitCurve(jr.tieredCurve);
+            std::fprintf(f, ",\n     \"untiered_curve\": ");
+            emitCurve(jr.untieredCurve);
+            std::fprintf(f, "}%s\n", i + 1 < jrows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"aggregate\": {\n"
+                     "    \"runtime_online\": {\"rows\": %zu, "
+                     "\"tiered_win_rows\": %zu, "
+                     "\"min_coverage_delta\": %.6f, "
+                     "\"mean_coverage_delta\": %.6f, "
+                     "\"mean_tiered\": %.6f, \"mean_untiered\": %.6f}\n"
+                     "  }\n}\n",
+                     rows_n, win_rows, min_delta, delta_avg.mean(),
+                     tiered_avg.mean(), untiered_avg.mean());
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path->c_str());
+    }
     return 0;
 }

@@ -9,6 +9,20 @@ namespace vp::opt
 
 using namespace ir;
 
+OptConfig
+budgetedOptConfig(const OptConfig &base, unsigned tier)
+{
+    if (tier >= 1)
+        return base;
+    OptConfig c = base;
+    c.unrollFactor = 1;
+    c.sinkCold = false;
+    c.merge = false;
+    c.relayout = false;
+    c.reschedule = false;
+    return c;
+}
+
 std::size_t
 mergeStraightline(Function &fn, const std::vector<bool> &extern_ref)
 {

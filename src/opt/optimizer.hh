@@ -49,6 +49,17 @@ struct OptStats
 };
 
 /**
+ * Pass selection under a tiered compile budget. Tier 0 is the runtime's
+ * fast-install tier: packaging + linking only — every optimization pass
+ * (unrolling, sinking, merging, relayout, rescheduling) is disabled so
+ * synthesis cost is the packager's and linker's alone. Tier 1 and above
+ * get the full configuration @p base unchanged. Pure function of its
+ * arguments, so a tier's pass set never depends on which worker thread
+ * runs the job.
+ */
+OptConfig budgetedOptConfig(const OptConfig &base, unsigned tier);
+
+/**
  * Merge each block with its fall-through successor when that successor
  * has exactly one predecessor, is not externally referenced, and neither
  * side is an exit block. Emptied blocks remain as dead husks (zero code

@@ -71,14 +71,17 @@ phaseKey(const hsd::HotSpotRecord &record, double bias_high)
 
 Expected<PackageBundle>
 trySynthesizeBundle(const ir::Program &pristine,
-                    const hsd::HotSpotRecord &record, const VpConfig &cfg)
+                    const hsd::HotSpotRecord &record, const VpConfig &cfg,
+                    unsigned tier)
 {
     VpConfig c = cfg;
     c.package.dynamicLaunch = false;
+    c.opt = opt::budgetedOptConfig(c.opt, tier);
 
     PackageBundle bundle;
     bundle.record = record;
     bundle.key = phaseKey(record, c.filter.biasHigh);
+    bundle.tier = tier;
 
     std::vector<region::Region> regions =
         identifyRegions(pristine, {record}, c.region);
@@ -95,10 +98,11 @@ trySynthesizeBundle(const ir::Program &pristine,
 
 PackageBundle
 synthesizeBundle(const ir::Program &pristine,
-                 const hsd::HotSpotRecord &record, const VpConfig &cfg)
+                 const hsd::HotSpotRecord &record, const VpConfig &cfg,
+                 unsigned tier)
 {
     Expected<PackageBundle> bundle =
-        trySynthesizeBundle(pristine, record, cfg);
+        trySynthesizeBundle(pristine, record, cfg, tier);
     if (!bundle)
         vp_panic(bundle.status().message());
     return std::move(bundle.value());

@@ -33,6 +33,15 @@ struct PackageBundle
     /** Stable display/logging key of the phase (behavior + bias hash). */
     std::uint64_t key = 0;
 
+    /**
+     * Synthesis tier. 0 = fast install: packaging + linking only, no
+     * optimization passes (see opt::budgetedOptConfig) — spliced under a
+     * small compile budget while the full build is still in flight.
+     * 1 = fully optimized (the only tier the offline pipeline and the
+     * non-tiered runtime ever produce).
+     */
+    unsigned tier = 1;
+
     /** The identified region (diagnostics; the packages embody it). */
     region::Region region;
 
@@ -83,16 +92,24 @@ std::uint64_t phaseKey(const hsd::HotSpotRecord &record,
  * spliceable). Recoverable entry point: a record whose packages cannot
  * be constructed or optimized returns an error Status (the runtime
  * skips and quarantines the phase instead of dying mid-run).
+ *
+ * @p tier selects the compile budget: tier 0 synthesizes the fast-install
+ * bundle (packaging + linking only; opt passes stripped via
+ * opt::budgetedOptConfig), tier 1 the fully optimized one. Both tiers
+ * build the *same* packages from the same record — only the optimization
+ * applied to them differs — so a tier-0 bundle is empty iff its tier-1
+ * twin is.
  */
 Expected<PackageBundle> trySynthesizeBundle(const ir::Program &pristine,
                                             const hsd::HotSpotRecord &record,
-                                            const VpConfig &cfg);
+                                            const VpConfig &cfg,
+                                            unsigned tier = 1);
 
 /** trySynthesizeBundle() for callers with no recovery path: panics on
  *  error. */
 PackageBundle synthesizeBundle(const ir::Program &pristine,
                                const hsd::HotSpotRecord &record,
-                               const VpConfig &cfg);
+                               const VpConfig &cfg, unsigned tier = 1);
 
 } // namespace vp::runtime
 

@@ -64,6 +64,30 @@ struct RuntimeConfig
     std::size_t hotBranchesPerQuantum = 64;
 
     /**
+     * Two-tier installation. When a new phase needs synthesis the
+     * controller submits *two* jobs: a tier-0 bundle (packaging +
+     * linking only, no optimization passes) under the small
+     * tier0CompileQuanta budget below, hot-swapped in as soon as it is
+     * ready, and the fully optimized tier-1 bundle under the normal
+     * latency model. When the tier-1 bundle later passes the install
+     * gate it *promotes* in place: the tier-0 copy is retired through
+     * the lazy-deopt/tombstone path and the optimized code takes over
+     * the launch arcs. A gate-rejected or failed tier-1 never costs the
+     * healthy tier-0 coverage. Off: exactly the single-tier runtime.
+     */
+    bool tiering = true;
+
+    /**
+     * Tier-0 compile budget in quanta: a tier-0 job submitted at
+     * quantum q installs at q + tier0CompileQuanta (plus any injected
+     * synth delay). 0 means the fast bundle is spliced at the very
+     * boundary that detected the phase. Like the tier-1 model this is a
+     * pure function of the record, so worker count never changes
+     * results.
+     */
+    std::uint64_t tier0CompileQuanta = 0;
+
+    /**
      * A resident bundle is *active* while its packages retired at least
      * this fraction of the last quantum's instructions. A cache hit on
      * an active bundle is served as-is; a hit on a resident-but-cold

@@ -62,6 +62,12 @@ RuntimeController::run()
     // jobs stay counted in builds but never install).
     pool_.wait();
 
+    // Tier-0 bundles are transitional by contract: any still resident
+    // (their tier-1 was abandoned in flight, failed, or was blocked by
+    // quarantine) are retired now, so no run ends serving unpromoted
+    // fast-install code.
+    retireTier0AtEnd();
+
     stats_.run = engine_.stats();
     stats_.hsd = detector_.stats();
     stats_.quanta = quantum_;
@@ -94,6 +100,7 @@ RuntimeController::boundary()
 {
     sweepZombies();
     refreshRecency();
+    recordCurvePoint();
     watchdog();
     drainDetections();
     completeReadyJobs();
@@ -141,7 +148,7 @@ RuntimeController::watchdog()
             e.coldQuanta = 0;
             if (!e.provedHealthy) {
                 e.provedHealthy = true;
-                cache_.absolve(e.bundle.record);
+                stats_.absolutions += cache_.absolve(e.bundle.record);
             }
             continue;
         }
@@ -205,13 +212,32 @@ RuntimeController::refreshRecency()
             if (it != usage_.counts.end())
                 sum += it->second;
         }
+        sum -= std::min(sum, e.usageBias);
         BundleStats &bs = stats_.bundles[e.bundleIndex];
+        e.prevDeltaRetires = e.lastDeltaRetires;
         e.lastDeltaRetires = sum - bs.instsRetired;
+        if (e.resident)
+            e.bestDeltaRetires =
+                std::max(e.bestDeltaRetires, e.lastDeltaRetires);
         if (sum > bs.instsRetired) {
             bs.instsRetired = sum;
             cache_.touch(i, quantum_);
         }
     }
+}
+
+void
+RuntimeController::recordCurvePoint()
+{
+    // Per-tier coverage sample, attributed through the same per-entry
+    // usage totals that drive cache recency. BundleStats survive entry
+    // removal, so a promoted tier-0's retires stay on tier 0.
+    RuntimeStats::CurvePoint p;
+    p.quantum = quantum_;
+    p.dynInsts = engine_.stats().dynInsts;
+    for (const BundleStats &b : stats_.bundles)
+        p.tierInsts[b.tier == 0 ? 0 : 1] += b.instsRetired;
+    stats_.curve.push_back(p);
 }
 
 void
@@ -225,14 +251,32 @@ RuntimeController::drainDetections()
             corruptRecord(raw);
         const hsd::HotSpotRecord rec = canonicalizeRecord(raw);
 
+        // Quarantine first, before the loose cache match may answer:
+        // a quarantined phase must not be served a loose-matched sibling
+        // bundle or trigger a rebuild while its backoff runs.
         if (cache_.quarantined(rec, quantum_)) {
-            // The phase is serving a backoff after an offense; skip the
-            // detection rather than rebuild what just misbehaved.
             ++stats_.quarantineSkips;
             continue;
         }
 
-        const std::size_t hit = cache_.find(rec);
+        // Oldest match wins, except that an actively retiring match
+        // outranks cold ones: the loose predicate lets one record match
+        // several entries, and when a phase variant aliases onto an old
+        // dormant bundle while a sibling is busy serving it, reviving
+        // the old bundle would displace live coverage for a splice the
+        // engine may never enter.
+        std::size_t hit = cache_.find(rec);
+        if (hit != PackageCache::npos && !activeNow(cache_.entry(hit))) {
+            for (std::size_t i = hit + 1; i < cache_.size(); ++i) {
+                if (activeNow(cache_.entry(i)) &&
+                    hsd::sameHotSpot(cache_.entry(i).bundle.record, rec,
+                                     cacheMatch_)) {
+                    hit = i;
+                    ++stats_.aliasedHits;
+                    break;
+                }
+            }
+        }
         if (hit != PackageCache::npos) {
             CacheEntry &e = cache_.entry(hit);
             if (!e.resident || e.bundle.empty() || activeNow(e)) {
@@ -246,6 +290,26 @@ RuntimeController::drainDetections()
                               pendingActivations_.end(),
                               e.id) == pendingActivations_.end()) {
                     pendingActivations_.push_back(e.id);
+                }
+                // A hit on a tier-0 bundle is a promotion trigger, not a
+                // steady state: the phase still owes a full build. If
+                // none is in flight (it failed, was dropped, or its
+                // quarantine just expired) and none is already cached
+                // awaiting a deferred promotion, resubmit the tier-1 job.
+                if (cfg_.tiering && e.bundle.tier == 0 &&
+                    !tierInFlight(rec, 1)) {
+                    bool cached_t1 = false;
+                    for (std::size_t i = 0;
+                         i < cache_.size() && !cached_t1; ++i) {
+                        const CacheEntry &c = cache_.entry(i);
+                        cached_t1 = c.bundle.tier >= 1 &&
+                                    hsd::sameHotSpot(c.bundle.record, rec,
+                                                     cacheMatch_);
+                    }
+                    if (!cached_t1) {
+                        ++stats_.promotionRebuilds;
+                        submitJob(rec, 1);
+                    }
                 }
                 continue;
             }
@@ -264,20 +328,74 @@ RuntimeController::drainDetections()
             continue;
         }
 
-        submitJob(rec);
+        // A stale-hit rebuild widens its record with the cold entry's
+        // branches: the phase aliased back onto that entry, so branches
+        // that served the previous window are still in its working set
+        // even though this BBB snapshot missed them, and the union build
+        // covers both windows where either narrow build leaves recurring
+        // holes. Capped below twice the fresh size so the union still
+        // matches future narrow snapshots of the phase under the
+        // symmetric missing-fraction rule.
+        hsd::HotSpotRecord build = rec;
+        if (hit != PackageCache::npos) {
+            const hsd::HotSpotRecord &old =
+                cache_.entry(hit).bundle.record;
+            const std::size_t cap = 2 * rec.branches.size() - 1;
+            for (const hsd::HotBranch &hb : old.branches) {
+                if (build.branches.size() >= cap)
+                    break;
+                const bool dup = std::any_of(
+                    build.branches.begin(), build.branches.end(),
+                    [&](const hsd::HotBranch &w) {
+                        return w.behavior == hb.behavior;
+                    });
+                if (!dup)
+                    build.branches.push_back(hb);
+            }
+        }
+        submitSynthesis(build);
     }
 }
 
 void
-RuntimeController::submitJob(const hsd::HotSpotRecord &rec)
+RuntimeController::submitSynthesis(const hsd::HotSpotRecord &rec)
 {
-    ++stats_.builds;
+    // Tiered: the fast bundle goes first so its (smaller) ready quantum
+    // wins the completion order against its own tier-1 twin.
+    if (cfg_.tiering)
+        submitJob(rec, 0);
+    submitJob(rec, 1);
+}
+
+bool
+RuntimeController::tierInFlight(const hsd::HotSpotRecord &rec,
+                                unsigned tier) const
+{
+    return std::any_of(jobs_.begin(), jobs_.end(), [&](const Job &j) {
+        return j.tier == tier && hsd::sameHotSpot(j.record, rec, cacheMatch_);
+    });
+}
+
+void
+RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier)
+{
+    if (tier == 0)
+        ++stats_.tier0Builds;
+    else
+        ++stats_.builds;
 
     Job job;
     job.record = rec;
+    job.tier = tier;
+    job.seq = nextJobSeq_++;
     job.submitQuantum = quantum_;
-    std::uint64_t latency = cfg_.baseCompileQuanta;
-    if (cfg_.hotBranchesPerQuantum)
+    // Per-tier deterministic latency model, a pure function of the
+    // record: tier 0 costs its fixed budget alone (packaging + linking
+    // has no optimization tail); tier 1 pays the base plus a term in the
+    // record's size.
+    std::uint64_t latency = tier == 0 ? cfg_.tier0CompileQuanta
+                                      : cfg_.baseCompileQuanta;
+    if (tier != 0 && cfg_.hotBranchesPerQuantum)
         latency += rec.branches.size() / cfg_.hotBranchesPerQuantum;
     if (inject_.fire(fault::Kind::SynthDelay))
         latency += 1 + inject_.draw(fault::Kind::SynthDelay, 4);
@@ -290,13 +408,14 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec)
     const bool inject_fail = inject_.fire(fault::Kind::SynthFail);
 
     pool_.submit([result = job.result, done = job.done, record = rec,
-                  pristine = &pristine_, vcfg = cfg_.vp, inject_fail]() {
+                  pristine = &pristine_, vcfg = cfg_.vp, inject_fail,
+                  tier]() {
         if (inject_fail) {
             result->status = Status::error("injected synthesis fault");
         } else {
             try {
                 Expected<PackageBundle> b =
-                    trySynthesizeBundle(*pristine, record, vcfg);
+                    trySynthesizeBundle(*pristine, record, vcfg, tier);
                 if (b)
                     result->bundle = std::move(b.value());
                 else
@@ -318,11 +437,22 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec)
 void
 RuntimeController::completeReadyJobs()
 {
-    // In submit order: a long job holds later, shorter ones back, so the
-    // install sequence is a pure function of the detection sequence.
-    while (!jobs_.empty() && jobs_.front().readyQuantum <= quantum_) {
-        Job job = std::move(jobs_.front());
-        jobs_.pop_front();
+    // Completion order is (readyQuantum, submission sequence) — still a
+    // pure function of the detection sequence, but a tier-0 fast job is
+    // never held back behind an earlier-submitted, slower tier-1 build.
+    while (!jobs_.empty()) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < jobs_.size(); ++i) {
+            if (jobs_[i].readyQuantum < jobs_[best].readyQuantum ||
+                (jobs_[i].readyQuantum == jobs_[best].readyQuantum &&
+                 jobs_[i].seq < jobs_[best].seq)) {
+                best = i;
+            }
+        }
+        if (jobs_[best].readyQuantum > quantum_)
+            break;
+        Job job = std::move(jobs_[best]);
+        jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(best));
         if (!job.done->load(std::memory_order_acquire))
             pool_.wait(); // wall-clock catch-up; results already fixed
         completeJob(job);
@@ -345,32 +475,65 @@ RuntimeController::completeJob(const Job &job)
         return;
     }
 
+    // Quarantine first: a phase that offended while this job compiled
+    // (watchdog deopt, gate reject) must not re-enter through the build
+    // pipeline. The bundle is dropped — not cached dormant — so the
+    // phase's eventual return goes through a fresh, post-backoff build.
+    if (cache_.quarantined(job.record, quantum_)) {
+        ++stats_.quarantineBlockedInstalls;
+        return;
+    }
+
     const PackageBundle &bundle = job.result->bundle;
     if (bundle.empty())
         ++stats_.emptyBuilds; // cached anyway: re-detections hit, not rebuild
     const std::size_t twin = cache_.find(bundle.record);
     if (twin != PackageCache::npos) {
-        // The job was submitted through a stale hit (or the matching
-        // entry appeared while it compiled). If the twin turned active
-        // again its coverage is adequate — drop the rebuild; otherwise
-        // the fresh bundle replaces it outright.
-        if (activeNow(cache_.entry(twin))) {
+        const CacheEntry &t = cache_.entry(twin);
+        if (bundle.tier == 0 && t.bundle.tier >= 1 && activeNow(t)) {
+            // Tier inversion (an injected delay let the full build land
+            // first, or this rebuild raced a live twin): never displace
+            // optimized code that is covering the quantum with its own
+            // fast-install copy. A *stale* tier-1 twin gets no such
+            // deference — it is the reason the rebuild was submitted,
+            // and the fresh tier-0 takes over immediately below.
             ++stats_.duplicateBuilds;
             return;
         }
-        CacheEntry gone = cache_.remove(twin);
-        if (gone.resident) {
-            patcher_.unpatch(gone.installed);
-            if (engineReferences(gone.installed.funcs))
-                ++stats_.lazyDeopts;
-            zombies_.push_back(gone.installed.funcs);
-            ++stats_.displacements;
+        if (bundle.tier >= 1 && t.bundle.tier == 0) {
+            // Promotion pending. The tier-0 twin keeps serving until the
+            // tier-1 passes the install gate (activate() retires it only
+            // after verification), so a bad full build never costs the
+            // healthy fast bundle. An empty pair (the packager found
+            // nothing for either tier) collapses to the tier-1 record.
+            if (bundle.empty()) {
+                CacheEntry gone = cache_.remove(twin);
+                stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+            }
+        } else if (activeNow(t)) {
+            // The job was submitted through a stale hit (or the matching
+            // entry appeared while it compiled). The twin turned active
+            // again, so its coverage is adequate — drop the rebuild.
+            ++stats_.duplicateBuilds;
+            return;
+        } else {
+            // Same-tier replacement: the fresh bundle displaces the
+            // stale twin outright.
+            CacheEntry gone = cache_.remove(twin);
+            if (gone.resident) {
+                patcher_.unpatch(gone.installed);
+                if (engineReferences(gone.installed.funcs))
+                    ++stats_.lazyDeopts;
+                zombies_.push_back(gone.installed.funcs);
+                ++stats_.displacements;
+            }
+            stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
         }
-        stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
     }
 
     BundleStats bs;
     bs.key = bundle.key;
+    bs.tier = bundle.tier;
     bs.packages = bundle.packaged.packages.size();
     bs.weight = bundle.weight();
     bs.submittedQuantum = job.submitQuantum;
@@ -388,9 +551,14 @@ RuntimeController::completeJob(const Job &job)
 void
 RuntimeController::processActivations()
 {
-    while (!pendingActivations_.empty()) {
-        const std::uint64_t id = pendingActivations_.front();
-        pendingActivations_.pop_front();
+    // Snapshot first: activate() re-queues deferred reinstalls onto
+    // pendingActivations_, and those must wait for the next boundary
+    // rather than spin inside this one.
+    std::deque<std::uint64_t> batch;
+    batch.swap(pendingActivations_);
+    while (!batch.empty()) {
+        const std::uint64_t id = batch.front();
+        batch.pop_front();
         activate(id);
     }
 }
@@ -398,11 +566,90 @@ RuntimeController::processActivations()
 void
 RuntimeController::activate(std::uint64_t entry_id)
 {
-    const std::size_t idx = cache_.findById(entry_id);
+    std::size_t idx = cache_.findById(entry_id);
     if (idx == PackageCache::npos)
         return; // evicted while queued
     if (cache_.entry(idx).resident)
         return;
+
+    // Quarantine first, before anything is spliced: the phase may have
+    // offended after this activation was queued (a same-boundary
+    // watchdog deopt or gate reject). The entry stays dormant; a
+    // detection after the backoff expires re-queues it.
+    if (cache_.quarantined(cache_.entry(idx).bundle.record, quantum_)) {
+        ++stats_.quarantineBlockedInstalls;
+        return;
+    }
+
+    // A *reinstall* yields to a saturated owner of its launch arcs:
+    // dormant entries are revived by loose record matches, and when the
+    // bundle owning the contended arcs covered essentially the whole
+    // previous quantum, the detection was an alias of the phase that
+    // owner is already serving at the coverage ceiling — displacing it
+    // can only lose unless the challenger has proven it can serve a
+    // full quantum itself (bestDeltaRetires at the bar): phase-boundary
+    // ping-pong between two proven bundles is legitimate, but a bundle
+    // that never covered anything while resident is an aliasing artifact
+    // and must not unseat a saturated server. An unproven challenger is
+    // re-queued and only proceeds once the owner has been below the bar
+    // for two consecutive quanta — a one-quantum hiccup of a proven
+    // server does not trip the pending revival, while a genuine fade
+    // releases it within two boundaries. A partial owner never blocks:
+    // the incoming bundle is the better evidence then.
+    if (stats_.bundles[cache_.entry(idx).bundleIndex].installedQuantum !=
+            BundleStats::kNever &&
+        cache_.entry(idx).bestDeltaRetires < cfg_.quantumInsts * 19 / 20) {
+        const CacheEntry &self = cache_.entry(idx);
+        const std::uint64_t saturated = cfg_.quantumInsts * 19 / 20;
+        bool blocked = false;
+        for (const Patch &p : patcher_.launchPointsOf(self.bundle)) {
+            if (!patcher_.diverted(p))
+                continue;
+            for (std::size_t j = 0; j < cache_.size() && !blocked; ++j) {
+                const CacheEntry &o = cache_.entry(j);
+                if (j == idx || !o.resident ||
+                    std::max(o.lastDeltaRetires, o.prevDeltaRetires) <
+                        saturated) {
+                    continue;
+                }
+                blocked = std::any_of(
+                    o.installed.patches.begin(), o.installed.patches.end(),
+                    [&](const Patch &op) {
+                        return op.at == p.at && op.field == p.field;
+                    });
+            }
+            if (blocked)
+                break;
+        }
+        if (blocked) {
+            ++stats_.deferredReinstalls;
+            pendingActivations_.push_back(entry_id);
+            return;
+        }
+    }
+
+    // Promotion waits for the engine to leave the fast bundle: vacuum
+    // packing keeps whole phase loops inside a package, so unpatching a
+    // tier-0 clone the engine currently occupies would strand execution
+    // in an unaccounted zombie for the rest of the occurrence — the
+    // fresh tier-1 would sit resident-but-cold and read as stale. While
+    // the engine is inside, the tier-0 stays resident (serving, active);
+    // the tier-1 re-queues each boundary, before the install gate so a
+    // long wait draws no extra verifier verdicts, and promotes at the
+    // first boundary that finds the engine outside.
+    if (cfg_.tiering && cache_.entry(idx).bundle.tier >= 1) {
+        const hsd::HotSpotRecord &rec = cache_.entry(idx).bundle.record;
+        for (std::size_t j = 0; j < cache_.size(); ++j) {
+            const CacheEntry &o = cache_.entry(j);
+            if (j != idx && o.resident && o.bundle.tier == 0 &&
+                hsd::sameHotSpot(o.bundle.record, rec, cacheMatch_) &&
+                engineReferences(o.installed.funcs)) {
+                ++stats_.promotionDeferrals;
+                pendingActivations_.push_back(entry_id);
+                return;
+            }
+        }
+    }
 
     // Install gate: no bundle reaches the LivePatcher without passing
     // structural admission. Injected verdict flips are fail-safe — they
@@ -418,6 +665,22 @@ RuntimeController::activate(std::uint64_t entry_id)
         if (!gate) {
             if (!injected)
                 vp_warn("install gate: ", gate.message());
+            // A rejected tier-1 never touches its tier-0 twin — the
+            // healthy fast bundle keeps serving the phase through the
+            // quarantine that follows.
+            if (cfg_.tiering && cache_.entry(idx).bundle.tier >= 1) {
+                const hsd::HotSpotRecord &rec =
+                    cache_.entry(idx).bundle.record;
+                for (std::size_t j = 0; j < cache_.size(); ++j) {
+                    const CacheEntry &o = cache_.entry(j);
+                    if (j != idx && o.resident && o.bundle.tier == 0 &&
+                        hsd::sameHotSpot(o.bundle.record, rec,
+                                         cacheMatch_)) {
+                        ++stats_.promotionGateRejects;
+                        break;
+                    }
+                }
+            }
             CacheEntry gone = cache_.remove(idx);
             ++stats_.verifierRejects;
             stats_.bundles[gone.bundleIndex].rejected = true;
@@ -428,6 +691,17 @@ RuntimeController::activate(std::uint64_t entry_id)
             ++stats_.quarantines;
             return;
         }
+    }
+
+    // The gate passed: a tier-1 install is now committed, so retire any
+    // tier-0 twin through the lazy-deopt path before computing launch-arc
+    // owners (the twin holds exactly those arcs; this is a promotion, not
+    // a displacement).
+    if (cfg_.tiering && cache_.entry(idx).bundle.tier >= 1) {
+        retireTier0Twins(entry_id);
+        idx = cache_.findById(entry_id);
+        vp_assert(idx != PackageCache::npos,
+                  "installing entry lost during promotion");
     }
 
     // The bundle being activated is the freshest evidence of what is hot
@@ -494,13 +768,88 @@ RuntimeController::activate(std::uint64_t entry_id)
     bs.weight = e.installed.weight;
     bs.launchPoints = e.installed.launchPoints;
     bs.contendedLaunchPoints = e.installed.contendedLaunchPoints;
+    const unsigned tier_idx = e.bundle.tier == 0 ? 0u : 1u;
+    if (stats_.firstInstallQuantum[tier_idx] == BundleStats::kNever)
+        stats_.firstInstallQuantum[tier_idx] = quantum_;
     if (bs.installedQuantum == BundleStats::kNever) {
         bs.installedQuantum = quantum_;
         ++stats_.installs;
-        stats_.compileLatencyQuanta += quantum_ - bs.submittedQuantum;
+        if (e.bundle.tier == 0) {
+            ++stats_.tier0Installs;
+        } else {
+            // Queue latency is a tier-1 metric: tier-0 exists precisely
+            // to make the wait invisible, so averaging it in would hide
+            // the cost being measured.
+            stats_.compileLatencyQuanta += quantum_ - bs.submittedQuantum;
+        }
     } else {
         ++bs.reinstalls;
         ++stats_.reinstalls;
+    }
+}
+
+void
+RuntimeController::retireTier0Twins(std::uint64_t installing_id)
+{
+    const std::size_t self = cache_.findById(installing_id);
+    if (self == PackageCache::npos)
+        return;
+    const hsd::HotSpotRecord rec = cache_.entry(self).bundle.record;
+
+    // Collect ids first — removal shifts indices under the scan.
+    std::vector<std::uint64_t> twins;
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        const CacheEntry &o = cache_.entry(i);
+        if (o.id != installing_id && o.bundle.tier == 0 &&
+            hsd::sameHotSpot(o.bundle.record, rec, cacheMatch_)) {
+            twins.push_back(o.id);
+        }
+    }
+    for (std::uint64_t id : twins) {
+        const std::size_t i = cache_.findById(id);
+        if (i == PackageCache::npos)
+            continue;
+        CacheEntry gone = cache_.remove(i);
+        if (gone.resident) {
+            patcher_.unpatch(gone.installed);
+            if (engineReferences(gone.installed.funcs))
+                ++stats_.lazyDeopts;
+            zombies_.push_back(gone.installed.funcs);
+        }
+        stats_.bundles[gone.bundleIndex].promotedQuantum = quantum_;
+        stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+        ++stats_.promotions;
+
+        // The phase may finish this occurrence inside the unpatched
+        // tier-0 clone (vacuum-packed loops rarely exit); hand those
+        // funcs to the promoted entry so the tail reads as its activity,
+        // biased by what the twin already charged to its own stats.
+        const std::size_t si = cache_.findById(installing_id);
+        if (si != PackageCache::npos) {
+            CacheEntry &self = cache_.entry(si);
+            self.allFuncs.insert(self.allFuncs.end(),
+                                 gone.allFuncs.begin(),
+                                 gone.allFuncs.end());
+            self.usageBias += gone.usageBias +
+                              stats_.bundles[gone.bundleIndex].instsRetired;
+        }
+    }
+}
+
+void
+RuntimeController::retireTier0AtEnd()
+{
+    if (!cfg_.tiering)
+        return;
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        CacheEntry &e = cache_.entry(i);
+        if (!e.resident || e.bundle.tier != 0)
+            continue;
+        patcher_.unpatch(e.installed);
+        e.resident = false;
+        e.installed = InstalledBundle{};
+        stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
+        ++stats_.tier0EndOfRunRetires;
     }
 }
 

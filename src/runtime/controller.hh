@@ -11,19 +11,34 @@
  *   1. refreshes package-cache recency from the packaged-instruction
  *      usage observed during the quantum,
  *   2. drains queued detections — each is a cache hit (phase already
- *      installed), an in-flight hit (synthesis already queued), or a new
- *      synthesis job handed to the background ThreadPool,
- *   3. installs finished bundles in job-submit order via LivePatcher,
+ *      installed), an in-flight hit (synthesis already queued), or new
+ *      synthesis handed to the background ThreadPool,
+ *   3. installs finished bundles in (readyQuantum, submit-order) via
+ *      LivePatcher,
  *   4. evicts least-recently-used bundles while over the weight
  *      capacity (deopting them back to original code), deferring any
  *      bundle the suspended engine still references.
  *
+ * Tiered installation (cfg.tiering): a fresh phase submits *two* jobs —
+ * a tier-0 bundle (packaging + linking only) under the small
+ * tier0CompileQuanta budget, spliced as soon as it is ready so the phase
+ * sees optimized-ish code almost immediately, and the fully optimized
+ * tier-1 bundle under the normal latency model. When the tier-1 bundle
+ * passes the install gate it *promotes*: the tier-0 copy is retired
+ * through the same lazy-deopt/tombstone path a displacement uses. A
+ * rejected or failed tier-1 leaves the healthy tier-0 resident, and a
+ * later detection hitting that tier-0 re-submits the full build (a
+ * tier-0 hit is a promotion trigger, never a steady state). Any tier-0
+ * still resident at end of run is retired before stats are collected.
+ *
  * Determinism: a job submitted at quantum q installs at quantum
- * q + latency(record), where the latency model is a pure function of the
- * record (RuntimeConfig). If the worker has not finished by then the
- * controller blocks — worker count changes wall-clock only, never
- * results. Every mutation of the live program happens on the controller
- * thread between quanta, under the engine's safe re-entry contract.
+ * q + latency(record, tier), where the per-tier latency model is a pure
+ * function of the record (RuntimeConfig). If the worker has not finished
+ * by then the controller blocks — worker count changes wall-clock only,
+ * never results. Jobs complete in (readyQuantum, submission) order, also
+ * a pure function of the detection sequence. Every mutation of the live
+ * program happens on the controller thread between quanta, under the
+ * engine's safe re-entry contract.
  */
 
 #ifndef VP_RUNTIME_CONTROLLER_HH
@@ -109,6 +124,8 @@ class RuntimeController
     struct Job
     {
         hsd::HotSpotRecord record;
+        unsigned tier = 1;       ///< 0 = fast install, 1 = full build
+        std::uint64_t seq = 0;   ///< submission order (completion tiebreak)
         std::uint64_t submitQuantum = 0;
         std::uint64_t readyQuantum = 0; ///< deterministic install point
         std::shared_ptr<JobResult> result;
@@ -118,14 +135,19 @@ class RuntimeController
     void boundary();
     void sweepZombies();
     void refreshRecency();
+    void recordCurvePoint();
     void watchdog();
     void corruptRecord(hsd::HotSpotRecord &rec);
     void drainDetections();
-    void submitJob(const hsd::HotSpotRecord &rec);
+    void submitSynthesis(const hsd::HotSpotRecord &rec);
+    void submitJob(const hsd::HotSpotRecord &rec, unsigned tier);
+    bool tierInFlight(const hsd::HotSpotRecord &rec, unsigned tier) const;
     void completeReadyJobs();
     void completeJob(const Job &job);
     void processActivations();
     void activate(std::uint64_t entry_id);
+    void retireTier0Twins(std::uint64_t installing_id);
+    void retireTier0AtEnd();
     void displace(std::size_t idx);
     void evictOverCapacity();
     bool engineReferences(const std::vector<ir::FuncId> &funcs) const;
@@ -156,7 +178,8 @@ class RuntimeController
     ThreadPool pool_;
 
     std::vector<hsd::HotSpotRecord> pending_; ///< snapshots this quantum
-    std::deque<Job> jobs_;                    ///< submit-order FIFO
+    std::deque<Job> jobs_;                    ///< in submit order
+    std::uint64_t nextJobSeq_ = 0;
 
     /** Cache-entry ids awaiting (re)install, in request order. */
     std::deque<std::uint64_t> pendingActivations_;

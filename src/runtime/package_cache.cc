@@ -100,15 +100,19 @@ PackageCache::quarantine(const hsd::HotSpotRecord &record, std::uint64_t q,
     return hit->offenses;
 }
 
-void
+std::size_t
 PackageCache::absolve(const hsd::HotSpotRecord &record)
 {
+    std::size_t erased = 0;
     for (auto it = quarantine_.begin(); it != quarantine_.end();) {
-        if (hsd::sameHotSpot(it->record, record, match_))
+        if (hsd::sameHotSpot(it->record, record, match_)) {
             it = quarantine_.erase(it);
-        else
+            ++erased;
+        } else {
             ++it;
+        }
     }
+    return erased;
 }
 
 std::size_t

@@ -59,14 +59,33 @@ struct CacheEntry
      *  displacement policy's activity signal). */
     std::uint64_t lastDeltaRetires = 0;
 
+    /** lastDeltaRetires of the quantum before that — lets policies tell
+     *  a one-quantum hiccup of a serving bundle from a genuine fade. */
+    std::uint64_t prevDeltaRetires = 0;
+
+    /** Best single-quantum retire delta this entry ever achieved while
+     *  resident — its proven serving quality. A dormant entry with a
+     *  poor record does not displace a saturated server on a loose
+     *  match; one that has served a full quantum before may. */
+    std::uint64_t bestDeltaRetires = 0;
+
     /** Quantum of the most recent (re)install; grace period against
      *  evicting a bundle the same boundary that activated it. */
     std::uint64_t lastInstalledQuantum = 0;
 
     /** Every live-program FuncId this entry ever spliced, across all
      *  residencies (FuncIds are never reused, so usage totals sum over
-     *  this list; a displaced residency's tail retires still count). */
+     *  this list; a displaced residency's tail retires still count).
+     *  Promotion appends the retired tier-0 twin's funcs here so the
+     *  lazy-deopt tail — the engine finishing the phase inside the
+     *  unpatched fast bundle — counts as the promoted entry's activity
+     *  rather than reading as a stale install. */
     std::vector<ir::FuncId> allFuncs;
+
+    /** Usage already charged to another bundle's stats before these
+     *  funcs were inherited (subtracted from the allFuncs sum so a
+     *  promoted twin's historic retires are not double-counted). */
+    std::uint64_t usageBias = 0;
 
     /** Index into RuntimeStats::bundles for lifecycle reporting. */
     std::size_t bundleIndex = 0;
@@ -160,8 +179,10 @@ class PackageCache
                            std::uint64_t q, std::uint64_t base_quanta,
                            std::uint64_t cap_quanta);
 
-    /** Erase @p record's quarantine history (the phase proved healthy). */
-    void absolve(const hsd::HotSpotRecord &record);
+    /** Erase @p record's quarantine history (the phase proved healthy);
+     *  the next offense restarts the backoff schedule from the base.
+     *  @return entries erased (0 when the phase was never quarantined). */
+    std::size_t absolve(const hsd::HotSpotRecord &record);
 
     /** Phases currently on the quarantine list. */
     std::size_t quarantineCount() const { return quarantine_.size(); }

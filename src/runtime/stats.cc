@@ -27,18 +27,33 @@ toText(const RuntimeStats &s, const std::string &label)
                   s.hsd.monitorRestarts);
     os << line;
     std::snprintf(line, sizeof(line),
-                  "compile: %zu builds (%zu empty, %zu duplicate), %zu "
-                  "installs, avg queue latency %.1f quanta\n",
-                  s.builds, s.emptyBuilds, s.duplicateBuilds, s.installs,
+                  "compile: %zu tier-1 builds + %zu tier-0 (%zu empty, "
+                  "%zu duplicate), %zu installs (%zu tier-0), avg tier-1 "
+                  "queue latency %.1f quanta\n",
+                  s.builds, s.tier0Builds, s.emptyBuilds,
+                  s.duplicateBuilds, s.installs, s.tier0Installs,
                   s.avgCompileLatency());
     os << line;
+    const auto qstr = [](std::uint64_t q) {
+        return q == BundleStats::kNever ? std::string("-")
+                                        : "q" + std::to_string(q);
+    };
     std::snprintf(line, sizeof(line),
-                  "cache: %zu hits (%zu stale), %zu in-flight hits, "
-                  "%zu reinstalls, %zu displacements (%zu lazy), "
-                  "%zu evictions (%zu deferred)\n",
-                  s.cacheHits, s.staleHits, s.inFlightHits, s.reinstalls,
-                  s.displacements, s.lazyDeopts, s.evictions,
-                  s.deferredEvictions);
+                  "tiering: %zu promotions (%zu deferred, %zu rebuilds, "
+                  "%zu gate-reject keeps), %zu end-of-run retires, first "
+                  "install %s tier-0 / %s tier-1\n",
+                  s.promotions, s.promotionDeferrals, s.promotionRebuilds,
+                  s.promotionGateRejects, s.tier0EndOfRunRetires,
+                  qstr(s.firstInstallQuantum[0]).c_str(),
+                  qstr(s.firstInstallQuantum[1]).c_str());
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "cache: %zu hits (%zu stale, %zu aliased), %zu in-flight "
+                  "hits, %zu reinstalls (%zu deferred), %zu displacements "
+                  "(%zu lazy), %zu evictions (%zu deferred)\n",
+                  s.cacheHits, s.staleHits, s.aliasedHits, s.inFlightHits,
+                  s.reinstalls, s.deferredReinstalls, s.displacements,
+                  s.lazyDeopts, s.evictions, s.deferredEvictions);
     os << line;
     std::snprintf(line, sizeof(line),
                   "resident: %zu insts at end (peak %zu)\n",
@@ -64,11 +79,14 @@ toText(const RuntimeStats &s, const std::string &label)
     }
     std::snprintf(line, sizeof(line),
                   "quarantine: %zu offenses, %zu skipped detections, "
+                  "%zu blocked installs, %zu absolutions, "
                   "%zu phases listed at end; %" PRIu64
                   " faults injected (drop %" PRIu64 ", sat %" PRIu64
                   ", alias %" PRIu64 ", synth-fail %" PRIu64
                   ", synth-delay %" PRIu64 ", verify-flip %" PRIu64 ")\n",
-                  s.quarantines, s.quarantineSkips, s.quarantinedAtEnd,
+                  s.quarantines, s.quarantineSkips,
+                  s.quarantineBlockedInstalls, s.absolutions,
+                  s.quarantinedAtEnd,
                   s.faults.total(), s.faults.fired[0], s.faults.fired[1],
                   s.faults.fired[2], s.faults.fired[3], s.faults.fired[4],
                   s.faults.fired[5]);
@@ -76,10 +94,10 @@ toText(const RuntimeStats &s, const std::string &label)
 
     for (const BundleStats &b : s.bundles) {
         std::snprintf(line, sizeof(line),
-                      "  bundle %016" PRIx64 ": %zu pkgs, %zu insts, "
+                      "  bundle %016" PRIx64 " [t%u]: %zu pkgs, %zu insts, "
                       "%zu launch points (%zu contended), submitted q%"
                       PRIu64,
-                      b.key, b.packages, b.weight, b.launchPoints,
+                      b.key, b.tier, b.packages, b.weight, b.launchPoints,
                       b.contendedLaunchPoints, b.submittedQuantum);
         os << line;
         if (b.rejected)
@@ -90,7 +108,10 @@ toText(const RuntimeStats &s, const std::string &label)
             std::snprintf(line, sizeof(line), ", installed q%" PRIu64,
                           b.installedQuantum);
         os << line;
-        if (b.evicted())
+        if (b.promoted())
+            std::snprintf(line, sizeof(line), ", promoted q%" PRIu64,
+                          b.promotedQuantum);
+        else if (b.evicted())
             std::snprintf(line, sizeof(line), ", evicted q%" PRIu64,
                           b.evictedQuantum);
         else

@@ -30,6 +30,10 @@ struct BundleStats
     std::size_t packages = 0; ///< packages in the bundle
     std::size_t weight = 0;   ///< added static instructions
 
+    /** Synthesis tier: 0 = fast install (packaging + linking only),
+     *  1 = fully optimized. */
+    unsigned tier = 1;
+
     std::uint64_t submittedQuantum = 0;
 
     /** First-install quantum; kNever if the bundle never activated. */
@@ -41,6 +45,11 @@ struct BundleStats
 
     /** Quantum of eviction; kNever while still installed. */
     std::uint64_t evictedQuantum = kNever;
+
+    /** Quantum a tier-1 twin took over this bundle's launch arcs
+     *  (tier-0 bundles only); kNever if never promoted. A promoted
+     *  bundle is also marked evicted at the same quantum. */
+    std::uint64_t promotedQuantum = kNever;
 
     /** Dynamic instructions retired inside this bundle's packages,
      *  summed over all residencies. */
@@ -65,6 +74,7 @@ struct BundleStats
         std::numeric_limits<std::uint64_t>::max();
 
     bool evicted() const { return evictedQuantum != kNever; }
+    bool promoted() const { return promotedQuantum != kNever; }
 };
 
 /** Aggregate counters of one RuntimeController::run(). */
@@ -76,7 +86,7 @@ struct RuntimeStats
     std::uint64_t quanta = 0; ///< execution quanta completed
 
     std::size_t detections = 0;       ///< records delivered to controller
-    std::size_t builds = 0;           ///< synthesis jobs submitted
+    std::size_t builds = 0;           ///< tier-1 (full) synthesis jobs
     std::size_t emptyBuilds = 0;      ///< jobs that produced no packages
     std::size_t duplicateBuilds = 0;  ///< finished jobs beaten by a twin
     std::size_t installs = 0;         ///< bundles patched into the run
@@ -88,13 +98,70 @@ struct RuntimeStats
     std::size_t evictions = 0;        ///< bundles deopted on capacity
     std::size_t deferredEvictions = 0; ///< evictions blocked by live refs
 
+    /** Detections whose record matched several cache entries and were
+     *  served by an actively retiring one in preference to an older
+     *  cold match (loose-match aliasing absorbed without churn). */
+    std::size_t aliasedHits = 0;
+
+    /** Reinstalls re-queued because a resident bundle owning their
+     *  launch arcs covered essentially the whole previous quantum —
+     *  displacing a saturated server for a dormant loose match can only
+     *  lose coverage, so the revival waits until the owner fades. */
+    std::size_t deferredReinstalls = 0;
+
     /** Deopts whose functions were still engine-referenced at unpatch
      *  time: arcs restored immediately, tombstoning deferred until the
      *  engine drained out (lazy deopt). */
     std::size_t lazyDeopts = 0;
 
-    /** Sum over installed bundles of (install - submit) quanta. */
+    /** Sum over tier-1 first installs of (install - submit) quanta. */
     std::uint64_t compileLatencyQuanta = 0;
+
+    // --- Tiered installation (all zero with cfg.tiering off except the
+    // tier-1 firstInstallQuantum slot).
+
+    std::size_t tier0Builds = 0;   ///< tier-0 (fast) synthesis jobs
+    std::size_t tier0Installs = 0; ///< bundles first installed at tier 0
+
+    /** Tier-0 copies retired because their tier-1 twin passed the gate
+     *  and took over (the lazy-deopt path). */
+    std::size_t promotions = 0;
+
+    /** Tier-1 jobs resubmitted because a detection hit an installed
+     *  tier-0 bundle with no tier-1 in flight (a tier-0 hit is a
+     *  promotion trigger, not a steady state). */
+    std::size_t promotionRebuilds = 0;
+
+    /** Tier-1 bundles the gate rejected while a healthy tier-0 twin was
+     *  resident; the twin was left installed. */
+    std::size_t promotionGateRejects = 0;
+
+    /** Promotions re-queued a boundary because the engine was still
+     *  executing inside the tier-0 twin's clones (unpatching then would
+     *  strand the rest of the phase occurrence in a zombie). */
+    std::size_t promotionDeferrals = 0;
+
+    /** Unpromoted tier-0 bundles still resident when the run ended
+     *  (tier-1 abandoned in flight, failed, or quarantine-blocked),
+     *  retired at exit — no run ends serving fast-install code. */
+    std::size_t tier0EndOfRunRetires = 0;
+
+    /** First quantum with a bundle of tier 0 / tier 1 installed;
+     *  BundleStats::kNever while none ever was. */
+    std::uint64_t firstInstallQuantum[2] = {BundleStats::kNever,
+                                            BundleStats::kNever};
+
+    /** One coverage-curve sample per quantum boundary: cumulative
+     *  packaged-instruction retires attributed per tier (via the same
+     *  per-entry usage deltas that drive cache recency). Never rendered
+     *  by toText(); harnesses plot coverage-vs-quantum from it. */
+    struct CurvePoint
+    {
+        std::uint64_t quantum = 0;
+        std::uint64_t dynInsts = 0;          ///< total retired so far
+        std::uint64_t tierInsts[2] = {0, 0}; ///< cumulative, per tier
+    };
+    std::vector<CurvePoint> curve;
 
     // --- Robustness counters (all zero on a fault-free run with the
     // watchdog off).
@@ -127,6 +194,16 @@ struct RuntimeStats
     /** Phases still on the quarantine list at end of run. */
     std::size_t quarantinedAtEnd = 0;
 
+    /** Installs blocked because the phase was quarantined between job
+     *  completion (or activation queueing) and the install itself — the
+     *  quarantine-first rule: backoff state is consulted before the
+     *  loose cache match may serve or splice a bundle. */
+    std::size_t quarantineBlockedInstalls = 0;
+
+    /** Quarantine histories erased by the watchdog after the phase
+     *  proved healthy (absolution resets its backoff schedule). */
+    std::size_t absolutions = 0;
+
     /** Double-deopt attempts the patcher's undo log absorbed. */
     std::size_t redundantRestores = 0;
 
@@ -149,13 +226,14 @@ struct RuntimeStats
      *  the online counterpart of Figure 8's coverage. */
     double packageCoverage() const { return run.packageCoverage(); }
 
-    /** Mean quanta between job submission and install. */
+    /** Mean quanta between tier-1 job submission and install. */
     double
     avgCompileLatency() const
     {
-        return installs ? static_cast<double>(compileLatencyQuanta) /
-                              static_cast<double>(installs)
-                        : 0.0;
+        const std::size_t t1 = installs - tier0Installs;
+        return t1 ? static_cast<double>(compileLatencyQuanta) /
+                        static_cast<double>(t1)
+                  : 0.0;
     }
 };
 

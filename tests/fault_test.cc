@@ -124,9 +124,11 @@ faultedConfig(double rate, std::uint64_t seed)
 
 /** Degradation invariant at @p rate: the run completes without aborting
  *  and its logical branch trace is a prefix-match of the unpatched
- *  program's — faults cost coverage, never correctness. */
+ *  program's — faults cost coverage, never correctness. Runs tiered by
+ *  default; @p tiering false seeds the same faults through the
+ *  single-tier pipeline. */
 void
-checkGracefulDegradation(double rate)
+checkGracefulDegradation(double rate, bool tiering = true)
 {
     workload::Workload w = workload::makeMcf("A");
 
@@ -140,7 +142,9 @@ checkGracefulDegradation(double rate)
     ASSERT_GT(ref.trace.size(), 0u);
 
     BranchTraceSink got;
-    RuntimeController controller(w, faultedConfig(rate, 7));
+    RuntimeConfig cfg = faultedConfig(rate, 7);
+    cfg.tiering = tiering;
+    RuntimeController controller(w, cfg);
     controller.addSink(&got);
     const RuntimeStats s = controller.run();
 
@@ -173,6 +177,67 @@ TEST(FaultRuntime, GracefulDegradationAtTenPercent)
 TEST(FaultRuntime, GracefulDegradationAtFiftyPercent)
 {
     checkGracefulDegradation(0.5);
+}
+
+TEST(FaultRuntime, GracefulDegradationUntiered)
+{
+    checkGracefulDegradation(0.5, /*tiering=*/false);
+}
+
+TEST(FaultRuntime, PromotionGateRejectKeepsTierZeroServing)
+{
+    // Corrupt only the install gate's verdict. When a flipped verdict
+    // hits a tier-1 promotion whose tier-0 twin is healthy and
+    // resident, the controller must reject the tier-1 bundle *without*
+    // deopting the twin (counted as promotionGateRejects) — the phase
+    // keeps being served by fast-install code rather than falling back
+    // to nothing.
+    std::size_t gate_rejects = 0;
+    for (std::uint64_t seed = 1; seed <= 8 && !gate_rejects; ++seed) {
+        // go A has a dozen promotions per run, so a flipped verdict is
+        // all but certain to land on a tier-1 with a live twin.
+        workload::Workload w = workload::makeGo("A");
+        RuntimeConfig cfg;
+        cfg.vp = VpConfig::variant(true, true);
+        const Expected<fault::FaultConfig> fc =
+            fault::FaultConfig::parse("verify-flip=0.5", seed);
+        ASSERT_TRUE(fc.isOk());
+        cfg.fault = fc.value();
+        RuntimeController controller(w, cfg);
+        const RuntimeStats s = controller.run();
+        gate_rejects += s.promotionGateRejects;
+        if (s.promotionGateRejects) {
+            EXPECT_GT(s.tier0Installs, 0u);
+            // The kept twin really served: packaged code still retired.
+            EXPECT_GT(s.packageCoverage(), 0.0);
+            EXPECT_GT(s.verifierRejects, 0u);
+        }
+    }
+    EXPECT_GT(gate_rejects, 0u);
+}
+
+TEST(FaultRuntime, QuarantineBlocksInstallsAndDetections)
+{
+    // Under a broad fault mix the quarantine list must intercept both
+    // ends of the pipeline: fresh detections of an offending phase
+    // (quarantineSkips) and bundles that finished building or queued an
+    // activation before their phase was quarantined
+    // (quarantineBlockedInstalls — the quarantine-before-loose-match
+    // rule: backoff state is consulted again at install time, so a
+    // stale loose match cannot smuggle a blocked phase back in).
+    std::size_t blocked = 0, skips = 0;
+    for (std::uint64_t seed = 1; seed <= 10 && !(blocked && skips);
+         ++seed) {
+        workload::Workload w = workload::makeMcf("A");
+        RuntimeConfig cfg = faultedConfig(0.5, seed);
+        RuntimeController controller(w, cfg);
+        const RuntimeStats s = controller.run();
+        blocked += s.quarantineBlockedInstalls;
+        skips += s.quarantineSkips;
+        EXPECT_GT(s.quanta, 0u);
+    }
+    EXPECT_GT(blocked, 0u);
+    EXPECT_GT(skips, 0u);
 }
 
 TEST(FaultRuntime, CoverageDegradesButRunSurvives)

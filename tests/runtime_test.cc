@@ -8,13 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
+#include "hsd/filter.hh"
+#include "hsd/record.hh"
 #include "ir/verify.hh"
 #include "runtime/bundle.hh"
 #include "runtime/controller.hh"
+#include "runtime/package_cache.hh"
 #include "runtime/patcher.hh"
 #include "runtime/stats.hh"
+#include "support/fault.hh"
 #include "trace/engine.hh"
 #include "vp/evaluate.hh"
 #include "vp/pipeline.hh"
@@ -163,6 +169,99 @@ TEST(RuntimeController, RecurringPhaseHitsCache)
     EXPECT_GT(s.detections, 0u);
     EXPECT_GT(s.cacheHits, 0u);
     EXPECT_LT(s.builds, s.detections);
+}
+
+// ---------------------------------------------------------- PackageCache
+
+/** A record of @p n hot branches with behavior ids starting at @p first. */
+hsd::HotSpotRecord
+phaseRecord(ir::BehaviorId first, std::size_t n = 10)
+{
+    hsd::HotSpotRecord r;
+    for (std::size_t i = 0; i < n; ++i) {
+        hsd::HotBranch h;
+        h.behavior = first + static_cast<ir::BehaviorId>(i);
+        h.pc = 0x1000 + h.behavior * 4;
+        h.exec = 100;
+        h.taken = 50;
+        r.branches.push_back(h);
+    }
+    return r;
+}
+
+TEST(PackageCache, QuarantineBackoffIsCappedExponential)
+{
+    PackageCache cache(0, hsd::FilterConfig{});
+    const hsd::HotSpotRecord rec = phaseRecord(1);
+    const std::uint64_t base = 16, cap = 1024;
+
+    // Offense n blocks for exactly min(base << n, 1024) quanta:
+    // 16, 32, ..., 512, then pinned at the cap.
+    std::uint64_t q = 0;
+    for (std::size_t n = 0; n < 10; ++n) {
+        EXPECT_EQ(cache.quarantine(rec, q, base, cap), n + 1);
+        const std::uint64_t backoff =
+            std::min<std::uint64_t>(cap, base << n);
+        EXPECT_TRUE(cache.quarantined(rec, q));
+        EXPECT_TRUE(cache.quarantined(rec, q + backoff - 1));
+        EXPECT_FALSE(cache.quarantined(rec, q + backoff));
+        q += backoff; // relapse the moment the backoff expires
+    }
+
+    // Absolution erases the history; the next offense restarts the
+    // schedule from the base, not from where the relapses left off.
+    EXPECT_EQ(cache.absolve(rec), 1u);
+    EXPECT_EQ(cache.quarantineCount(), 0u);
+    EXPECT_EQ(cache.quarantine(rec, q, base, cap), 1u);
+    EXPECT_TRUE(cache.quarantined(rec, q + base - 1));
+    EXPECT_FALSE(cache.quarantined(rec, q + base));
+}
+
+TEST(PackageCache, QuarantineMatchesLooselyLikeTheCache)
+{
+    // The quarantine list uses the same sameHotSpot() predicate as cache
+    // lookup, so a near-variant record of a blocked phase — one a loose
+    // cache match would happily serve — is blocked too. This is what
+    // makes the quarantine-before-loose-match rule airtight: there is no
+    // record the cache would match that the backoff check would miss.
+    PackageCache cache(0, hsd::FilterConfig{});
+    const hsd::HotSpotRecord rec = phaseRecord(1);
+    cache.quarantine(rec, 0, 16, 1024);
+
+    hsd::HotSpotRecord variant = rec;
+    variant.branches.pop_back(); // 10% missing: still the same hot spot
+    ASSERT_TRUE(hsd::sameHotSpot(rec, variant));
+    EXPECT_TRUE(cache.quarantined(variant, 0));
+
+    const hsd::HotSpotRecord other = phaseRecord(100);
+    ASSERT_FALSE(hsd::sameHotSpot(rec, other));
+    EXPECT_FALSE(cache.quarantined(other, 0));
+}
+
+TEST(RuntimeController, WatchdogAbsolvesPhaseThatProvesHealthy)
+{
+    // A phase quarantined for a spurious gate reject must not drag that
+    // history forever: once a later install of the same phase serves
+    // actively past the watchdog grace period, its quarantine record is
+    // erased (counted as an absolution) and the backoff restarts from
+    // the base on any future offense.
+    std::size_t absolutions = 0;
+    for (std::uint64_t seed = 1; seed <= 4 && !absolutions; ++seed) {
+        workload::Workload w = workload::makeMcf("A");
+        RuntimeConfig cfg;
+        cfg.vp = VpConfig::variant(true, true);
+        cfg.watchdog = true;
+        const Expected<fault::FaultConfig> fc =
+            fault::FaultConfig::parse("verify-flip=0.5", seed);
+        ASSERT_TRUE(fc.isOk());
+        cfg.fault = fc.value();
+        RuntimeController controller(w, cfg);
+        const RuntimeStats s = controller.run();
+        absolutions += s.absolutions;
+        if (s.absolutions)
+            EXPECT_GT(s.quarantines, 0u);
+    }
+    EXPECT_GT(absolutions, 0u);
 }
 
 TEST(RuntimeController, CoverageApproachesOffline)

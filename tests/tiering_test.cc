@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Properties of two-tier bundle installation: the tiered run retires
+ * the same logical instruction/branch stream as the untiered run (the
+ * fast-install path changes *where* code executes, never *what*), every
+ * installed tier-0 bundle is eventually promoted or retired (no run
+ * ends serving fast-install code), tier 0 reaches its first install
+ * strictly earlier than tier-1-only on every roster row, and
+ * `--no-tiering` really disables the whole machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/verify.hh"
+#include "runtime/controller.hh"
+#include "runtime/stats.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::runtime;
+
+/** Trimmed roster budget: enough for detection + several installs per
+ *  row, small enough that the whole roster stays in unit-test time. */
+constexpr std::uint64_t kBudget = 300'000;
+
+/**
+ * Fingerprint of the first @p limit retired conditional branches, in
+ * *logical* terms: the branch's original BehaviorId and its oracle
+ * outcome (the layout pass may swap a clone's taken/fall targets, which
+ * invertSense undoes). Two runs over the same workload must produce the
+ * same fingerprint no matter what code — original, tier-0 clone, tier-1
+ * optimized package — is serving each retire.
+ */
+class BranchStreamSink final : public trace::InstSink
+{
+  public:
+    explicit BranchStreamSink(std::uint64_t limit) : limit_(limit) {}
+
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (count_ >= limit_)
+            return;
+        ++count_;
+        const bool outcome = ri.branchTaken ^ ri.inst->invertSense;
+        hash_ = (hash_ ^ (ri.inst->behavior * 2 + outcome)) *
+                1099511628211ull;
+    }
+
+    unsigned eventMask() const override { return trace::kEventBranches; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t hash() const { return hash_; }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t count_ = 0;
+    std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+RuntimeStats
+runOnce(workload::Workload &w, bool tiering,
+        std::uint64_t budget = kBudget, unsigned workers = 1,
+        trace::InstSink *sink = nullptr)
+{
+    RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.budget = budget;
+    cfg.workers = workers;
+    cfg.tiering = tiering;
+    RuntimeController controller(w, cfg);
+    if (sink)
+        controller.addSink(sink);
+    return controller.run();
+}
+
+TEST(Tiering, BranchStreamMatchesUntieredAcrossRoster)
+{
+    // Packaging removes jumps and calls, so at an equal instruction
+    // budget the two modes reach different points of the program; the
+    // invariant is the *logical* branch stream — compare the first 10k
+    // conditional branches of each run by BehaviorId + oracle outcome.
+    constexpr std::uint64_t kPrefix = 10'000;
+    for (workload::Workload &w : workload::makeAllWorkloads()) {
+        workload::Workload w2 = w;
+        BranchStreamSink tiered(kPrefix), untiered(kPrefix);
+        runOnce(w, true, kBudget, 1, &tiered);
+        runOnce(w2, false, kBudget, 1, &untiered);
+        ASSERT_EQ(tiered.count(), kPrefix) << w.label();
+        ASSERT_EQ(untiered.count(), kPrefix) << w.label();
+        EXPECT_EQ(tiered.hash(), untiered.hash()) << w.label();
+    }
+}
+
+TEST(Tiering, TierZeroAlwaysPromotedOrRetired)
+{
+    std::size_t tier0_installed = 0, promoted = 0;
+    for (workload::Workload &w : workload::makeAllWorkloads()) {
+        const RuntimeStats s = runOnce(w, true);
+        for (const BundleStats &b : s.bundles) {
+            if (b.tier != 0)
+                continue;
+            // No run ends serving fast-install code: an installed
+            // tier-0 bundle was promoted, displaced/evicted, or retired
+            // by the end-of-run sweep — never left resident.
+            EXPECT_FALSE(b.residentAtEnd) << w.label();
+            if (b.installedQuantum == BundleStats::kNever)
+                continue;
+            ++tier0_installed;
+            EXPECT_TRUE(b.promoted() || b.evicted()) << w.label();
+            if (b.promoted()) {
+                ++promoted;
+                EXPECT_GE(b.promotedQuantum, b.installedQuantum)
+                    << w.label();
+            }
+        }
+        EXPECT_EQ(s.installs == 0,
+                  s.firstInstallQuantum[0] == BundleStats::kNever &&
+                      s.firstInstallQuantum[1] == BundleStats::kNever)
+            << w.label();
+        ir::verifyOrDie(w.program, "workload program after run");
+    }
+    // The roster as a whole must exercise both halves of the lifecycle.
+    EXPECT_GT(tier0_installed, 0u);
+    EXPECT_GT(promoted, 0u);
+}
+
+TEST(Tiering, FirstInstallStrictlyEarlier)
+{
+    // The point of the fast tier: on every roster row where the
+    // untiered run installs anything at all, the tiered run has a
+    // bundle serving at a strictly earlier quantum.
+    std::size_t rows_compared = 0;
+    for (workload::Workload &w : workload::makeAllWorkloads()) {
+        workload::Workload w2 = w;
+        const RuntimeStats tiered = runOnce(w, true);
+        const RuntimeStats untiered = runOnce(w2, false);
+        const std::uint64_t ft = std::min(tiered.firstInstallQuantum[0],
+                                          tiered.firstInstallQuantum[1]);
+        const std::uint64_t fu = untiered.firstInstallQuantum[1];
+        if (fu == BundleStats::kNever)
+            continue;
+        ++rows_compared;
+        EXPECT_LT(ft, fu) << w.label();
+        // And the head start comes from tier 0 itself, not a faster
+        // tier-1 path.
+        EXPECT_EQ(ft, tiered.firstInstallQuantum[0]) << w.label();
+    }
+    EXPECT_GT(rows_compared, 10u);
+}
+
+TEST(Tiering, NoTieringDisablesTierZero)
+{
+    workload::Workload w = workload::makeMcf("A");
+    const RuntimeStats s = runOnce(w, false, 600'000);
+    EXPECT_EQ(s.tier0Builds, 0u);
+    EXPECT_EQ(s.tier0Installs, 0u);
+    EXPECT_EQ(s.promotions, 0u);
+    EXPECT_EQ(s.promotionRebuilds, 0u);
+    EXPECT_EQ(s.tier0EndOfRunRetires, 0u);
+    EXPECT_EQ(s.firstInstallQuantum[0], BundleStats::kNever);
+    for (const BundleStats &b : s.bundles)
+        EXPECT_EQ(b.tier, 1u);
+    EXPECT_GT(s.installs, 0u);
+}
+
+TEST(Tiering, ReportByteIdenticalAcrossWorkerCounts)
+{
+    // The tiered pipeline adds a second in-flight job per phase; the
+    // report must still be byte-identical for every worker count, in
+    // both modes.
+    for (const bool tiering : {true, false}) {
+        workload::Workload w1 = workload::makeGo("A");
+        workload::Workload w8 = workload::makeGo("A");
+        const std::string t1 =
+            toText(runOnce(w1, tiering, 600'000, 1), w1.label());
+        const std::string t8 =
+            toText(runOnce(w8, tiering, 600'000, 8), w8.label());
+        EXPECT_EQ(t1, t8) << (tiering ? "tiered" : "untiered");
+    }
+}
+
+} // namespace

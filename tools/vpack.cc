@@ -39,6 +39,11 @@
  *                          every --threads value
  *   --watchdog             enable the post-install health watchdog
  *                          without injecting faults
+ *   --no-tiering           single-tier installs: every phase waits for
+ *                          its fully optimized bundle
+ *   --tier0-budget=N       tier-0 (fast install) compile latency in
+ *                          quanta (default 0: installs at the boundary
+ *                          that submitted it)
  */
 
 #include <cstdio>
@@ -74,7 +79,8 @@ usage()
                  "         --max-blocks=N --budget=N --packages-only\n"
                  "         --threads=N --timing\n"
                  "         --quantum=N --cache-capacity=N --compare\n"
-                 "         --fault-inject=SPEC --fault-seed=N --watchdog\n");
+                 "         --fault-inject=SPEC --fault-seed=N --watchdog\n"
+                "         --no-tiering --tier0-budget=N\n");
     return 2;
 }
 
@@ -166,6 +172,17 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             }
         } else if (a == "--watchdog") {
             opt.rt.watchdog = true;
+        } else if (a == "--no-tiering") {
+            opt.rt.tiering = false;
+        } else if (starts("--tier0-budget=")) {
+            char *end = nullptr;
+            opt.rt.tier0CompileQuanta = std::strtoull(a.c_str() + 15, &end, 10);
+            if (end == a.c_str() + 15 || *end != '\0') {
+                std::fprintf(stderr,
+                             "vpack: bad --tier0-budget value '%s'\n",
+                             a.c_str());
+                return false;
+            }
         } else if (starts("--bbb=")) {
             unsigned sets = 0, ways = 0;
             if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
