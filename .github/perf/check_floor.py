@@ -3,14 +3,20 @@
 
 Usage: check_floor.py <BENCH_*.json> <floor.json>
 
-Two floor kinds, matched by aggregate-section name and skipped when the
-bench file has no such section (one floor file serves several benches):
+Three floor kinds, matched by aggregate-section name (floor_rows by the
+bench name) and skipped when the bench file has no such section (one
+floor file serves several benches):
 
   floor_ips:  insts/sec throughputs; fails below tolerance * floor.
               Release builds only — sanitizer builds skew throughput by
               an order of magnitude and never run this.
   floor_min:  exact minimums on deterministic aggregate metrics (win
               counts, coverage deltas); no tolerance is applied.
+  floor_rows: per-row exact minimums, keyed bench name -> row label ->
+              metric -> floor, checked against the bench's "rows" list.
+              A pinned row missing from the bench output is a failure —
+              a renamed or dropped workload must not silently drop its
+              floor.
 """
 
 import json
@@ -51,6 +57,24 @@ def main() -> int:
             got = aggregate[scenario][metric]
             status = "ok" if got >= ref else "FAIL"
             print(f"{scenario}.{metric:20s} {got:10.4f}  "
+                  f"(min {ref})  {status}")
+            if got < ref:
+                failed = True
+
+    rows = {r.get("workload"): r for r in bench.get("rows", [])}
+    for label, metrics in floor.get("floor_rows", {}).get(
+            bench.get("bench", ""), {}).items():
+        row = rows.get(label)
+        if row is None:
+            checked += 1
+            print(f"row '{label}': MISSING from bench output  FAIL")
+            failed = True
+            continue
+        for metric, ref in metrics.items():
+            checked += 1
+            got = row[metric]
+            status = "ok" if got >= ref else "FAIL"
+            print(f"row '{label}'.{metric:16s} {got:10.4f}  "
                   f"(min {ref})  {status}")
             if got < ref:
                 failed = True

@@ -7,12 +7,19 @@
  * tiered run reaches its first installed bundle strictly earlier, and
  * final coverage does not pay for that head start.
  *
+ * Each row also runs the overlapping-entry coalescing A/B: a merge-on
+ * and a --no-merge run, both at the workload's *full* budget regardless
+ * of --budget — split-phase detections only accumulate deep into a run,
+ * so a trimmed budget never exercises the merge paths and the A/B would
+ * degenerate to a self-comparison.
+ *
  * `--json[=path]` emits BENCH_runtime.json: one object per row (both
- * runs' coverage, first-install quanta, and a <=64-point
- * coverage-vs-quantum curve per run) plus a "runtime_online" aggregate
- * (tiered_win_rows, min/mean coverage delta) for the CI floor check.
- * `--budget=N` trims every online run to N dynamic instructions (CI
- * smoke); the offline reference always packs the full workload.
+ * runs' coverage, first-install quanta, a <=64-point coverage-vs-quantum
+ * curve per run, and the merge A/B coverages + merge counters) plus a
+ * "runtime_online" aggregate (tiered_win_rows, min/mean coverage delta,
+ * merge_win_rows, min/mean merge delta) for the CI floor check.
+ * `--budget=N` trims the tiered/untiered runs to N dynamic instructions
+ * (CI smoke); the offline reference always packs the full workload.
  */
 
 #include <cinttypes>
@@ -95,21 +102,27 @@ main(int argc, char **argv)
     {
         runtime::RuntimeStats tiered;
         runtime::RuntimeStats untiered;
+        runtime::RuntimeStats merged;
+        runtime::RuntimeStats unmerged;
         double offline = 0.0;
     };
 
     TablePrinter table;
     table.addRow({"benchmark", "tiered", "untiered", "offline", "first t",
-                  "first u", "promos", "builds"});
+                  "first u", "promos", "builds", "merge", "no-mrg",
+                  "merges"});
 
     Accumulator tiered_avg, untiered_avg, offline_avg, delta_avg;
-    double min_delta = 1.0;
-    std::size_t win_rows = 0, rows_n = 0;
+    Accumulator merge_avg, nomerge_avg, mdelta_avg;
+    double min_delta = 1.0, min_mdelta = 1.0;
+    std::size_t win_rows = 0, merge_win_rows = 0, rows_n = 0;
 
     struct JsonRow
     {
         std::string label;
         double tiered = 0.0, untiered = 0.0, offline = 0.0;
+        double merge = 0.0, nomerge = 0.0;
+        std::size_t merges = 0, fragmentsRetired = 0;
         std::uint64_t firstTiered = 0, firstUntiered = 0;
         std::vector<CurveSample> tieredCurve, untieredCurve;
     };
@@ -134,6 +147,20 @@ main(int argc, char **argv)
             runtime::RuntimeController untiered(w, rcfg);
             row.untiered = untiered.run();
 
+            // Merge A/B at the full budget: overlapping detections of a
+            // split phase need the whole run to accumulate, so a trimmed
+            // CI budget would compare two identical merge-free runs.
+            runtime::RuntimeConfig mcfg = rcfg;
+            mcfg.tiering = true;
+            mcfg.budget = 0;
+            mcfg.mergeOverlapping = true;
+            runtime::RuntimeController merged(w, mcfg);
+            row.merged = merged.run();
+
+            mcfg.mergeOverlapping = false;
+            runtime::RuntimeController unmerged(w, mcfg);
+            row.unmerged = unmerged.run();
+
             VacuumPacker packer(w, VpConfig::variant(true, true));
             const VpResult r = packer.run();
             row.offline =
@@ -143,16 +170,25 @@ main(int argc, char **argv)
         [&](const workload::Workload &w, const Row &row) {
             const double tcov = row.tiered.packageCoverage();
             const double ucov = row.untiered.packageCoverage();
+            const double mcov = row.merged.packageCoverage();
+            const double ncov = row.unmerged.packageCoverage();
             const double delta = tcov - ucov;
+            const double mdelta = mcov - ncov;
             const std::uint64_t ft = firstInstall(row.tiered);
             const std::uint64_t fu = firstInstall(row.untiered);
             tiered_avg.add(tcov);
             untiered_avg.add(ucov);
             offline_avg.add(row.offline);
             delta_avg.add(delta);
+            merge_avg.add(mcov);
+            nomerge_avg.add(ncov);
+            mdelta_avg.add(mdelta);
             min_delta = std::min(min_delta, delta);
+            min_mdelta = std::min(min_mdelta, mdelta);
             if (ft < fu)
                 ++win_rows;
+            if (mdelta > 0.0)
+                ++merge_win_rows;
             ++rows_n;
             table.addRow({rowLabel(w), TablePrinter::pct(tcov),
                           TablePrinter::pct(ucov),
@@ -160,7 +196,9 @@ main(int argc, char **argv)
                           qstr(fu),
                           std::to_string(row.tiered.promotions),
                           std::to_string(row.tiered.builds +
-                                         row.tiered.tier0Builds)});
+                                         row.tiered.tier0Builds),
+                          TablePrinter::pct(mcov), TablePrinter::pct(ncov),
+                          std::to_string(row.merged.merges)});
             std::fflush(stdout);
             if (json_path) {
                 JsonRow jr;
@@ -168,6 +206,10 @@ main(int argc, char **argv)
                 jr.tiered = tcov;
                 jr.untiered = ucov;
                 jr.offline = row.offline;
+                jr.merge = mcov;
+                jr.nomerge = ncov;
+                jr.merges = row.merged.merges;
+                jr.fragmentsRetired = row.merged.fragmentsRetired;
                 jr.firstTiered = ft;
                 jr.firstUntiered = fu;
                 jr.tieredCurve = sampleCurve(row.tiered.curve);
@@ -178,12 +220,18 @@ main(int argc, char **argv)
 
     table.addRow({"average", TablePrinter::pct(tiered_avg.mean()),
                   TablePrinter::pct(untiered_avg.mean()),
-                  TablePrinter::pct(offline_avg.mean()), "", "", "", ""});
+                  TablePrinter::pct(offline_avg.mean()), "", "", "", "",
+                  TablePrinter::pct(merge_avg.mean()),
+                  TablePrinter::pct(nomerge_avg.mean()), ""});
     table.print();
     std::printf("\ntiered first-install wins: %zu of %zu rows; coverage "
                 "delta mean %+.1f%% / min %+.1f%%\n",
                 win_rows, rows_n, 100.0 * delta_avg.mean(),
                 100.0 * min_delta);
+    std::printf("merge coverage wins: %zu of %zu rows; merge delta mean "
+                "%+.1f%% / min %+.1f%%\n",
+                merge_win_rows, rows_n, 100.0 * mdelta_avg.mean(),
+                100.0 * min_mdelta);
 
     if (json_path) {
         std::FILE *f = std::fopen(json_path->c_str(), "w");
@@ -213,10 +261,15 @@ main(int argc, char **argv)
                 f,
                 "    {\"workload\": \"%s\", \"tiered\": %.6f, "
                 "\"untiered\": %.6f, \"offline\": %.6f, "
+                "\"merge\": %.6f, \"nomerge\": %.6f, "
+                "\"merge_delta\": %.6f, \"merges\": %zu, "
+                "\"fragments_retired\": %zu, "
                 "\"first_tiered\": %" PRIu64 ", \"first_untiered\": %"
                 PRIu64 ",\n     \"tiered_curve\": ",
                 jsonEscape(jr.label).c_str(), jr.tiered, jr.untiered,
-                jr.offline, jr.firstTiered, jr.firstUntiered);
+                jr.offline, jr.merge, jr.nomerge, jr.merge - jr.nomerge,
+                jr.merges, jr.fragmentsRetired, jr.firstTiered,
+                jr.firstUntiered);
             emitCurve(jr.tieredCurve);
             std::fprintf(f, ",\n     \"untiered_curve\": ");
             emitCurve(jr.untieredCurve);
@@ -228,10 +281,16 @@ main(int argc, char **argv)
                      "\"tiered_win_rows\": %zu, "
                      "\"min_coverage_delta\": %.6f, "
                      "\"mean_coverage_delta\": %.6f, "
-                     "\"mean_tiered\": %.6f, \"mean_untiered\": %.6f}\n"
+                     "\"mean_tiered\": %.6f, \"mean_untiered\": %.6f, "
+                     "\"merge_win_rows\": %zu, "
+                     "\"min_merge_delta\": %.6f, "
+                     "\"mean_merge_delta\": %.6f, "
+                     "\"mean_merge\": %.6f, \"mean_nomerge\": %.6f}\n"
                      "  }\n}\n",
                      rows_n, win_rows, min_delta, delta_avg.mean(),
-                     tiered_avg.mean(), untiered_avg.mean());
+                     tiered_avg.mean(), untiered_avg.mean(),
+                     merge_win_rows, min_mdelta, mdelta_avg.mean(),
+                     merge_avg.mean(), nomerge_avg.mean());
         std::fclose(f);
         std::printf("wrote %s\n", json_path->c_str());
     }

@@ -1,5 +1,6 @@
 #include "hsd/filter.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace vp::hsd
@@ -21,6 +22,36 @@ biasOf(const HotBranch &hb, const FilterConfig &cfg)
     return Bias::None;
 }
 
+/** Intersection size and bias flips of the common branches, in one pass. */
+struct Commonality
+{
+    std::size_t common = 0;
+    unsigned flips = 0;
+};
+
+Commonality
+commonality(const HotSpotRecord &a, const HotSpotRecord &b,
+            const FilterConfig &cfg)
+{
+    std::unordered_map<ir::BehaviorId, const HotBranch *> in_b;
+    in_b.reserve(b.branches.size());
+    for (const auto &hb : b.branches)
+        in_b[hb.behavior] = &hb;
+
+    Commonality c;
+    for (const auto &ha : a.branches) {
+        auto it = in_b.find(ha.behavior);
+        if (it == in_b.end())
+            continue;
+        ++c.common;
+        const Bias ba = biasOf(ha, cfg);
+        const Bias bb = biasOf(*it->second, cfg);
+        if (ba != Bias::None && bb != Bias::None && ba != bb)
+            ++c.flips;
+    }
+    return c;
+}
+
 } // namespace
 
 bool
@@ -30,34 +61,49 @@ sameHotSpot(const HotSpotRecord &a, const HotSpotRecord &b,
     if (a.branches.empty() || b.branches.empty())
         return a.branches.empty() && b.branches.empty();
 
-    std::unordered_map<ir::BehaviorId, const HotBranch *> in_b;
-    in_b.reserve(b.branches.size());
-    for (const auto &hb : b.branches)
-        in_b[hb.behavior] = &hb;
-
-    // Criterion (a): branch-set difference in either direction.
-    std::size_t common = 0;
-    unsigned flips = 0;
-    for (const auto &ha : a.branches) {
-        auto it = in_b.find(ha.behavior);
-        if (it == in_b.end())
-            continue;
-        ++common;
-        // Criterion (b): common biased branch with opposite bias.
-        const Bias ba = biasOf(ha, cfg);
-        const Bias bb = biasOf(*it->second, cfg);
-        if (ba != Bias::None && bb != Bias::None && ba != bb)
-            ++flips;
-    }
+    // Criterion (a): branch-set difference in either direction;
+    // criterion (b): common biased branches with opposite bias.
+    const Commonality c = commonality(a, b, cfg);
     const double missing_from_b =
-        1.0 - static_cast<double>(common) / a.branches.size();
+        1.0 - static_cast<double>(c.common) / a.branches.size();
     const double missing_from_a =
-        1.0 - static_cast<double>(common) / b.branches.size();
+        1.0 - static_cast<double>(c.common) / b.branches.size();
     if (missing_from_b >= cfg.missingFraction ||
         missing_from_a >= cfg.missingFraction) {
         return false;
     }
-    return flips <= cfg.maxBiasFlips;
+    return c.flips <= cfg.maxBiasFlips;
+}
+
+double
+hotSpotOverlap(const HotSpotRecord &a, const HotSpotRecord &b,
+               const FilterConfig &cfg)
+{
+    if (a.branches.empty() || b.branches.empty())
+        return a.branches.empty() && b.branches.empty() ? 1.0 : 0.0;
+    const Commonality c = commonality(a, b, cfg);
+    const std::size_t smaller =
+        std::min(a.branches.size(), b.branches.size());
+    return static_cast<double>(c.common) / static_cast<double>(smaller);
+}
+
+std::size_t
+biasFlips(const HotSpotRecord &a, const HotSpotRecord &b,
+          const FilterConfig &cfg)
+{
+    return commonality(a, b, cfg).flips;
+}
+
+bool
+subsumesHotSpot(const HotSpotRecord &sup, const HotSpotRecord &sub,
+                const FilterConfig &cfg)
+{
+    if (sup.branches.empty() || sub.branches.empty())
+        return sup.branches.empty() && sub.branches.empty();
+    const Commonality c = commonality(sub, sup, cfg);
+    const double missing =
+        1.0 - static_cast<double>(c.common) / sub.branches.size();
+    return missing < cfg.missingFraction && c.flips <= cfg.maxBiasFlips;
 }
 
 std::vector<HotSpotRecord>

@@ -42,6 +42,44 @@ bool sameHotSpot(const HotSpotRecord &a, const HotSpotRecord &b,
                  const FilterConfig &cfg = {});
 
 /**
+ * Working-set overlap of two hot spots: the fraction of the *smaller*
+ * record's branches (by behavior id) present in the other, in [0, 1].
+ * Deliberately asymmetric to sameHotSpot's symmetric missing-fraction
+ * rule — two fragments of one split phase each miss most of the other
+ * (so sameHotSpot calls them different) while still sharing most of the
+ * smaller working set, whereas two sibling phases that only share a
+ * dispatcher skeleton score low in both measures. Bias-agnostic on
+ * purpose: a phase variant that flips branch directions over the same
+ * working set overlaps fully — whether the caller treats that as one
+ * phase to coalesce or two to keep apart is a separate decision, made
+ * with biasFlips(). cfg supplies only the bias threshold.
+ */
+double hotSpotOverlap(const HotSpotRecord &a, const HotSpotRecord &b,
+                      const FilterConfig &cfg = {});
+
+/**
+ * Number of branches common to @p a and @p b (by behavior id) that are
+ * biased in *both* records but in opposite directions (taken fraction on
+ * one side >= cfg.biasHigh, on the other <= 1 - cfg.biasHigh). This is
+ * criterion (b) of the redundancy filter exposed as a count: 0 means the
+ * records agree everywhere both have an opinion; a branch unbiased in
+ * either record never counts as a flip.
+ */
+std::size_t biasFlips(const HotSpotRecord &a, const HotSpotRecord &b,
+                      const FilterConfig &cfg = {});
+
+/**
+ * True when @p sub's working set is contained in @p sup's: less than
+ * cfg.missingFraction of @p sub's branches are missing from @p sup and
+ * no more than cfg.maxBiasFlips common biased branches flip. Asymmetric
+ * on purpose — a merged record subsumes each fragment it unioned even
+ * though the fragment misses half the union and so can never be
+ * sameHotSpot with it.
+ */
+bool subsumesHotSpot(const HotSpotRecord &sup, const HotSpotRecord &sub,
+                     const FilterConfig &cfg = {});
+
+/**
  * Keep only the first occurrence of each unique hot spot, comparing each
  * record against every previously kept one.
  */

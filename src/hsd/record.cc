@@ -24,4 +24,15 @@ HotSpotRecord::maxExec() const
     return m;
 }
 
+std::size_t
+commonBranches(const HotSpotRecord &a, const HotSpotRecord &b)
+{
+    std::size_t common = 0;
+    for (const auto &ha : a.branches) {
+        if (b.find(ha.behavior))
+            ++common;
+    }
+    return common;
+}
+
 } // namespace vp::hsd

@@ -56,6 +56,15 @@ struct HotSpotRecord
     std::uint32_t maxExec() const;
 };
 
+/**
+ * Number of behavior ids present in both records — the raw working-set
+ * intersection that overlap and subsumption predicates build on.
+ * Records are expected to be canonical (one entry per behavior id; see
+ * the runtime's canonicalizeRecord()); duplicate entries inflate the
+ * count.
+ */
+std::size_t commonBranches(const HotSpotRecord &a, const HotSpotRecord &b);
+
 } // namespace vp::hsd
 
 #endif // VP_HSD_RECORD_HH

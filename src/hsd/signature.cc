@@ -56,6 +56,19 @@ HotSpotSignature::similarity(const HotSpotSignature &other) const
     return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
 }
 
+double
+HotSpotSignature::containment(const HotSpotSignature &other) const
+{
+    vp_assert(bits_ == other.bits_, "signature width mismatch");
+    unsigned inter = 0, mine = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        inter += static_cast<unsigned>(
+            __builtin_popcountll(words_[w] & other.words_[w]));
+        mine += static_cast<unsigned>(__builtin_popcountll(words_[w]));
+    }
+    return mine == 0 ? 1.0 : static_cast<double>(inter) / mine;
+}
+
 unsigned
 HotSpotSignature::popcount() const
 {

@@ -56,6 +56,14 @@ class HotSpotSignature
      *  Two empty signatures count as identical. */
     double similarity(const HotSpotSignature &other) const;
 
+    /** Directional containment: |A and B| / |A|, the fraction of this
+     *  signature's set bits also set in @p other — the hardware-cheap
+     *  analogue of record subsumption (~1.0 when this hot spot's working
+     *  set is covered by @p other's, however much bigger @p other is,
+     *  where the symmetric Jaccard index has already collapsed). An
+     *  empty signature counts as contained. */
+    double containment(const HotSpotSignature &other) const;
+
     /** Number of set bits. */
     unsigned popcount() const;
 

@@ -36,6 +36,29 @@ canonicalizeRecord(const hsd::HotSpotRecord &record)
     return out;
 }
 
+hsd::HotSpotRecord
+mergeRecords(hsd::HotSpotRecord base, const hsd::HotSpotRecord &extra,
+             std::size_t cap)
+{
+    for (const hsd::HotBranch &hb : extra.branches) {
+        if (cap && base.branches.size() >= cap)
+            break;
+        if (!base.find(hb.behavior))
+            base.branches.push_back(hb);
+    }
+    return base;
+}
+
+hsd::HotSpotRecord
+unionRecords(const hsd::HotSpotRecord &base, const hsd::HotSpotRecord &extra)
+{
+    hsd::HotSpotRecord cat = base;
+    cat.branches.insert(cat.branches.end(), extra.branches.begin(),
+                        extra.branches.end());
+    // canonicalizeRecord() is exactly the per-behavior summing union.
+    return canonicalizeRecord(cat);
+}
+
 std::uint64_t
 phaseKey(const hsd::HotSpotRecord &record, double bias_high)
 {

@@ -73,6 +73,39 @@ struct PackageBundle
 hsd::HotSpotRecord canonicalizeRecord(const hsd::HotSpotRecord &record);
 
 /**
+ * Widen @p base with @p extra per behavior id: branches of @p extra
+ * whose behavior is missing from @p base are appended (in @p extra's
+ * order) until @p base holds @p cap branches; 0 means uncapped.
+ * Behaviors already present keep @p base's counts — @p base is the
+ * fresher evidence, the union only restores working-set breadth.
+ * Generalizes the stale-hit widening loop the controller used inline:
+ * stale rebuilds and displacement inheritance cap at twice the fresh
+ * record so the union still matches narrow re-detections of the phase
+ * under sameHotSpot's symmetric missing-fraction rule; overlap
+ * coalescing passes 0 and relies on subsumption matching instead.
+ */
+hsd::HotSpotRecord mergeRecords(hsd::HotSpotRecord base,
+                                const hsd::HotSpotRecord &extra,
+                                std::size_t cap = 0);
+
+/**
+ * Profile union of two records: branches of either appear once per
+ * behavior id, and a behavior present in *both* sums its exec/taken
+ * counts (saturating) — unlike mergeRecords, which keeps @p base's
+ * counts for common behaviors. The distinction is what makes coalescing
+ * work on bias-flip phase variants: variant A runs a shared branch
+ * mostly taken, variant B mostly not-taken, and the summed counts land
+ * the union near 50% — region inference then sees heat on *both* arc
+ * directions and the merged bundle packages both variants' paths, where
+ * either variant's own counts would have specialized the layout to one
+ * side and left the other uncovered. Branch order is @p base's followed
+ * by @p extra's unseen behaviors, so the result is deterministic in the
+ * argument order.
+ */
+hsd::HotSpotRecord unionRecords(const hsd::HotSpotRecord &base,
+                                const hsd::HotSpotRecord &extra);
+
+/**
  * Stable phase key of a record: order-independent hash of the candidate
  * branches' behavior ids and quantized biases (taken / not-taken /
  * unbiased at @p bias_high). Unlike the hardware HotSpotSignature it

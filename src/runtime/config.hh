@@ -111,6 +111,62 @@ struct RuntimeConfig
     double cacheMissingFraction = 0.5;
     unsigned cacheMaxBiasFlips = 4;
 
+    /**
+     * Overlapping-entry coalescing. Deep call chains split one logical
+     * phase across several detections whose records pairwise fail even
+     * the loose cache match (each fragment misses too much of the
+     * other), so the runtime would displace between the fragments
+     * forever and no single bundle ever covers the real working set.
+     * When a detection misses the cache but its record shares at least
+     * mergeOverlapFraction of the smaller working set with existing
+     * entries (hsd::hotSpotOverlap under the *strict* filter's bias-flip
+     * rule — sibling phases that share a dispatcher skeleton but flip
+     * its branches must not collapse into an aggregate profile), the
+     * records are unioned per behavior id, one merged bundle is
+     * synthesized for the combined working set, and the fragments are
+     * retired when it passes the install gate. Fragment re-detections
+     * then hit the merged entry by subsumption (a union of two
+     * half-sized fragments can never be sameHotSpot with either one).
+     * Off: the pre-merge displace-between-siblings behavior, kept for
+     * A/B comparison (vpack runtime --no-merge).
+     */
+    bool mergeOverlapping = true;
+
+    /** Minimum hotSpotOverlap() for an existing entry to be coalesced
+     *  into a detection's build (fraction of the smaller record's
+     *  branches shared, in (0, 1]). */
+    double mergeOverlapFraction = 0.5;
+
+    /**
+     * Serving-quality bar for diverting a loose *hit* into the merge
+     * path. A hit whose record flips biases against the matched entry is
+     * coalesced only while the entry's packages retired less than this
+     * fraction of the last quantum — a bundle nominally active (above
+     * activeRetireFraction) yet covering under half the quantum while
+     * the detector keeps firing flipped variants at it is serving the
+     * wrong variant's paths. An entry above the bar keeps serving: its
+     * coverage is adequate, and phases whose working set merely *evolves*
+     * (each snapshot extending the last, biases drifting within the
+     * loose-match slack) are best handled by the stale-rebuild widening,
+     * not a union rebuild that would displace a bundle covering most of
+     * the quantum.
+     */
+    double mergeDivertRetireFraction = 0.5;
+
+    /**
+     * Containment slack for *serving* a detection by subsumption: an
+     * entry covers a smaller record only while fewer than this fraction
+     * of the record's branches are absent from the entry's. Much tighter
+     * than the filter's 0.30 missing-fraction on purpose — a merged
+     * union contains its fragments' branches by construction, so real
+     * fragment re-detections sit at or near zero missing, while an
+     * ordinary sibling bundle that happens to cover 70% of a small
+     * record does NOT serve its phase (the absent branches are usually
+     * exactly the hot loop the sibling never packaged). The same config
+     * gates fragment retirement and the quarantine/absolution extension.
+     */
+    double mergeContainFraction = 0.10;
+
     /** Re-verify the live program after every install/deopt. */
     bool verifyAfterPatch = true;
 

@@ -20,15 +20,29 @@ cacheMatchConfig(const RuntimeConfig &cfg)
     return m;
 }
 
+hsd::FilterConfig
+subsumeConfig(const RuntimeConfig &cfg)
+{
+    // Strict bias-flip rule from the filter, but containment tightened
+    // to mergeContainFraction: subsumption is a destructive signal
+    // (entries are served past, retired, quarantine-extended on it).
+    hsd::FilterConfig m = cfg.vp.filter;
+    m.missingFraction = cfg.mergeContainFraction;
+    return m;
+}
+
 } // namespace
 
 RuntimeController::RuntimeController(const workload::Workload &w,
                                      const RuntimeConfig &cfg)
     : workload_(w), cfg_(cfg), cacheMatch_(cacheMatchConfig(cfg)),
+      subsume_(subsumeConfig(cfg)),
       pristine_(w.program), live_(w.program), engine_(live_, w),
       detector_(cfg_.vp.hsd, &engine_.oracle()),
       patcher_(live_, pristine_),
-      cache_(cfg_.cacheCapacityInsts, cacheMatch_), verifier_(pristine_),
+      cache_(cfg_.cacheCapacityInsts, cacheMatch_, cfg.mergeOverlapping,
+             subsume_),
+      verifier_(pristine_),
       inject_(cfg_.fault), pool_(cfg_.workers)
 {
     engine_.addSink(&detector_);
@@ -277,7 +291,114 @@ RuntimeController::drainDetections()
                 }
             }
         }
-        if (hit != PackageCache::npos) {
+
+        // Subsumption rescue: a fragment-sized re-detection of a merged
+        // phase can never pass the symmetric sameHotSpot rule against the
+        // union record (half the union is "missing" from the fragment),
+        // so without this check it would rebuild — and the fresh fragment
+        // bundle would displace the merged bundle's launch arcs, undoing
+        // the coalescing. Serve it from the superset entry instead. The
+        // same rule keeps loose-match slack from reviving a dormant
+        // fragment whose record is a strict subset of a resident entry's:
+        // the resident superset is preferred over any dormant match.
+        if (cfg_.mergeOverlapping) {
+            if (hit == PackageCache::npos) {
+                // Unmerged supersets answer too, but only while they
+                // are *actively serving*: sameHotSpot's symmetric
+                // missing-fraction rule rejects a small subset of a big
+                // record from either side, so without this a
+                // fragment-sized detection of a phase a live bundle is
+                // demonstrably covering would rebuild and displace it.
+                // A merged superset is served even when cold — its
+                // union record was the synthesis input, so the bundle
+                // packages the fragment by construction.
+                const std::size_t sup = cache_.findSuperset(rec, true);
+                if (sup != PackageCache::npos &&
+                    (!cache_.entry(sup).mergedFrom.empty() ||
+                     activeNow(cache_.entry(sup)))) {
+                    hit = sup;
+                    ++stats_.subsumptionHits;
+                }
+            } else if (!cache_.entry(hit).resident) {
+                // Same bar as the aliased-hit redirect above: only an
+                // *actively serving* superset absorbs the detection. A
+                // resident-but-fading superset means the phase is
+                // handing over — the dormant entry's revival is the
+                // right response, not a redirect that would strand it.
+                const std::size_t sup = cache_.findSuperset(rec, true);
+                if (sup != PackageCache::npos && sup != hit &&
+                    activeNow(cache_.entry(sup))) {
+                    hit = sup;
+                    ++stats_.subsumptionHits;
+                }
+            }
+            // Saturated-server absorption: a still-unmatched detection
+            // that merely *overlaps* a resident entry retiring at least
+            // mergeDivertRetireFraction of the quantum is served by it.
+            // The entry is demonstrably covering the program's hot
+            // paths right now; what the detector reported is a
+            // fragment-sized slice of the working set the server
+            // already owns (flips included — a variant the bundle
+            // covers this well is not frozen coverage, it is the mixed
+            // profile working). Building a rival would trample the
+            // server's launch arcs with a narrower bundle, and a union
+            // rebuild would displace it for a near-identical record;
+            // both lose live coverage. The same quality bar gates the
+            // hit-divert below, so a fading server (the parser freeze)
+            // still reaches the coalescing paths.
+            if (hit == PackageCache::npos) {
+                for (std::size_t i = 0; i < cache_.size(); ++i) {
+                    const CacheEntry &e = cache_.entry(i);
+                    if (!e.resident || e.bundle.empty())
+                        continue;
+                    const double served =
+                        static_cast<double>(e.lastDeltaRetires) /
+                        static_cast<double>(cfg_.quantumInsts);
+                    if (served >= cfg_.mergeDivertRetireFraction &&
+                        hsd::hotSpotOverlap(e.bundle.record, rec,
+                                            cfg_.vp.filter) >=
+                            cfg_.mergeOverlapFraction) {
+                        hit = i;
+                        ++stats_.absorbedDetections;
+                        break;
+                    }
+                }
+            }
+        }
+        // A loose hit whose record *flips biases* against the entry is
+        // not a re-detection to absorb: the entry packaged the other
+        // direction of those branches, so serving this variant from it
+        // freezes coverage at the first variant's paths forever — the
+        // shared skeleton keeps the wrong bundle just active enough that
+        // the cold-bundle safety net below never fires. Divert it into
+        // the coalescing path instead: unionRecords() sums both
+        // variants' counts, the flipped branches land unbiased, and the
+        // merged bundle packages both directions. A hit that merely
+        // wobbles the working set *without* flipping (a branch
+        // appearing or dropping at the record's edge) is served as-is —
+        // rebuilding on wobble is exactly the churn the loose match
+        // exists to absorb.
+        bool merge_hit = false;
+        if (cfg_.mergeOverlapping && hit != PackageCache::npos) {
+            const CacheEntry &e = cache_.entry(hit);
+            const double served =
+                static_cast<double>(e.lastDeltaRetires) /
+                static_cast<double>(cfg_.quantumInsts);
+            // Only intercept hits the serve block below would absorb
+            // (dormant revival or an active entry). A resident-but-cold
+            // hit is already falling through to the stale rebuild, whose
+            // record widening handles a phase handover better than a
+            // union would — the fading entry's paths are history, not a
+            // variant to keep packaged.
+            merge_hit =
+                !e.bundle.empty() &&
+                (!e.resident || activeNow(e)) &&
+                served < cfg_.mergeDivertRetireFraction &&
+                hsd::biasFlips(e.bundle.record, rec, cfg_.vp.filter) > 0 &&
+                hsd::hotSpotOverlap(e.bundle.record, rec, cfg_.vp.filter) >=
+                    cfg_.mergeOverlapFraction;
+        }
+        if (hit != PackageCache::npos && !merge_hit) {
             CacheEntry &e = cache_.entry(hit);
             if (!e.resident || e.bundle.empty() || activeNow(e)) {
                 ++stats_.cacheHits;
@@ -308,7 +429,7 @@ RuntimeController::drainDetections()
                     }
                     if (!cached_t1) {
                         ++stats_.promotionRebuilds;
-                        submitJob(rec, 1);
+                        submitJob(rec, 1, false, {});
                     }
                 }
                 continue;
@@ -337,34 +458,96 @@ RuntimeController::drainDetections()
         // matches future narrow snapshots of the phase under the
         // symmetric missing-fraction rule.
         hsd::HotSpotRecord build = rec;
-        if (hit != PackageCache::npos) {
-            const hsd::HotSpotRecord &old =
-                cache_.entry(hit).bundle.record;
-            const std::size_t cap = 2 * rec.branches.size() - 1;
-            for (const hsd::HotBranch &hb : old.branches) {
-                if (build.branches.size() >= cap)
-                    break;
-                const bool dup = std::any_of(
-                    build.branches.begin(), build.branches.end(),
-                    [&](const hsd::HotBranch &w) {
-                        return w.behavior == hb.behavior;
+        bool merged = false;
+        std::vector<std::uint64_t> merged_from;
+        if (hit != PackageCache::npos && !merge_hit) {
+            if (cfg_.mergeOverlapping) {
+                // Sum-widening: the cold entry's counts fold into the
+                // rebuild instead of being dropped for the fresh
+                // snapshot's. A phase that oscillates between variants
+                // faster than the detector samples defeats append-only
+                // widening — every rebuild re-specializes to the last
+                // snapshot's one-sided counts and covers next to nothing
+                // — while the profile union walks the record toward the
+                // phase's true mixed distribution, at which point the
+                // bundle packages every variant's paths and the rebuild
+                // cycle stops. At a genuine phase handover the overlap
+                // is small, so the dying entry's counts barely perturb
+                // the fresh record.
+                merged_from.push_back(cache_.entry(hit).id);
+                build = unionRecords(build, cache_.entry(hit).bundle.record);
+                merged = true;
+                ++stats_.merges;
+            } else {
+                build = mergeRecords(std::move(build),
+                                     cache_.entry(hit).bundle.record,
+                                     2 * rec.branches.size() - 1);
+            }
+        } else if (cfg_.mergeOverlapping) {
+            // This record either matched nothing, or loosely hit an
+            // entry whose packaging contradicts it (merge_hit). Either
+            // way the detector has been handing us *fragments* of one
+            // logical phase: partial working-set slices split across
+            // conflict-lossy BBB snapshots, or bias-flip variants of a
+            // shared working set. Installing the fragment as its own
+            // bundle would displace its siblings' launch arcs and
+            // ping-pong forever; coalesce instead: synthesize one
+            // bundle from the profile union of every entry sharing at
+            // least mergeOverlapFraction of the smaller working set,
+            // and retire the fragments once it passes the gate.
+            for (std::size_t i = 0; i < cache_.size(); ++i) {
+                const CacheEntry &e = cache_.entry(i);
+                if (hsd::hotSpotOverlap(e.bundle.record, rec,
+                                        cfg_.vp.filter) <
+                    cfg_.mergeOverlapFraction) {
+                    continue;
+                }
+                // An entry that already contains this record — same
+                // branches, agreeing biases — is not a fragment to
+                // coalesce: the union would add nothing the entry
+                // lacks, and replacing it with an identical rebuild
+                // only churns. The detection is a *subphase* of that
+                // entry's working set and earns its own dedicated
+                // bundle through the ordinary build below (a merged
+                // containing entry never reaches here — findSuperset
+                // served the detection above).
+                if (hsd::subsumesHotSpot(e.bundle.record, rec, subsume_))
+                    continue;
+                merged_from.push_back(e.id);
+                build = unionRecords(build, e.bundle.record);
+            }
+            if (!merged_from.empty()) {
+                // The union may itself match a job already in flight
+                // (a previous detection of another fragment coalesced to
+                // the same union); don't submit a rival.
+                const bool union_in_flight = std::any_of(
+                    jobs_.begin(), jobs_.end(), [&](const Job &j) {
+                        return hsd::sameHotSpot(j.record, build,
+                                                cacheMatch_);
                     });
-                if (!dup)
-                    build.branches.push_back(hb);
+                if (union_in_flight) {
+                    ++stats_.inFlightHits;
+                    continue;
+                }
+                merged = true;
+                ++stats_.merges;
             }
         }
-        submitSynthesis(build);
+        submitSynthesis(build, merged, std::move(merged_from));
     }
 }
 
 void
-RuntimeController::submitSynthesis(const hsd::HotSpotRecord &rec)
+RuntimeController::submitSynthesis(const hsd::HotSpotRecord &rec, bool merged,
+                                   std::vector<std::uint64_t> merged_from)
 {
     // Tiered: the fast bundle goes first so its (smaller) ready quantum
-    // wins the completion order against its own tier-1 twin.
+    // wins the completion order against its own tier-1 twin. Both tiers
+    // carry the merge provenance — whichever installs first may retire
+    // the fragments (the survivor of the twin race inherits the job).
     if (cfg_.tiering)
-        submitJob(rec, 0);
-    submitJob(rec, 1);
+        submitJob(rec, 0, merged, merged_from);
+    submitJob(rec, 1, merged, merged_from);
 }
 
 bool
@@ -377,7 +560,9 @@ RuntimeController::tierInFlight(const hsd::HotSpotRecord &rec,
 }
 
 void
-RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier)
+RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier,
+                             bool merged,
+                             const std::vector<std::uint64_t> &merged_from)
 {
     if (tier == 0)
         ++stats_.tier0Builds;
@@ -387,6 +572,8 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier)
     Job job;
     job.record = rec;
     job.tier = tier;
+    job.merged = merged;
+    job.mergedFrom = merged_from;
     job.seq = nextJobSeq_++;
     job.submitQuantum = quantum_;
     // Per-tier deterministic latency model, a pure function of the
@@ -488,9 +675,34 @@ RuntimeController::completeJob(const Job &job)
     if (bundle.empty())
         ++stats_.emptyBuilds; // cached anyway: re-detections hit, not rebuild
     const std::size_t twin = cache_.find(bundle.record);
+    if (twin == PackageCache::npos && cfg_.mergeOverlapping &&
+        cache_.findSuperset(bundle.record) != PackageCache::npos) {
+        // A straggler fragment build: while this job compiled, a merged
+        // bundle subsuming its record entered the cache (and has already
+        // retired — or will retire — this job's phase fragments).
+        // Installing the fragment now would carve its launch arcs back
+        // out of the merged bundle; drop it. Re-detections of the
+        // fragment are served by the superset entry via subsumption.
+        ++stats_.duplicateBuilds;
+        return;
+    }
     if (twin != PackageCache::npos) {
         const CacheEntry &t = cache_.entry(twin);
-        if (bundle.tier == 0 && t.bundle.tier >= 1 && activeNow(t)) {
+        // A merged union loosely matches the very fragment it was built
+        // to replace (same behavior ids; the union's balanced branches
+        // count zero flips against anything), so the duplicate-drop
+        // rules below would discard every coalesced bundle on arrival.
+        // The phase key tells a true duplicate from a replacement: it
+        // quantizes per-branch bias, so a union whose flipped branches
+        // landed unbiased keys differently from the one-sided fragment
+        // still serving, while a rival build of the same union keys
+        // identically and is dropped as before.
+        const bool same_phase =
+            !job.merged ||
+            phaseKey(t.bundle.record, cfg_.vp.filter.biasHigh) ==
+                phaseKey(bundle.record, cfg_.vp.filter.biasHigh);
+        if (bundle.tier == 0 && t.bundle.tier >= 1 && activeNow(t) &&
+            same_phase) {
             // Tier inversion (an injected delay let the full build land
             // first, or this rebuild raced a live twin): never displace
             // optimized code that is covering the quantum with its own
@@ -510,7 +722,7 @@ RuntimeController::completeJob(const Job &job)
                 CacheEntry gone = cache_.remove(twin);
                 stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
             }
-        } else if (activeNow(t)) {
+        } else if (activeNow(t) && same_phase) {
             // The job was submitted through a stale hit (or the matching
             // entry appeared while it compiled). The twin turned active
             // again, so its coverage is adequate — drop the rebuild.
@@ -518,15 +730,25 @@ RuntimeController::completeJob(const Job &job)
             return;
         } else {
             // Same-tier replacement: the fresh bundle displaces the
-            // stale twin outright.
+            // stale twin outright. When the twin is a source fragment of
+            // this merged build, its removal is the coalescing's
+            // fragment retirement, not a sibling displacement — the
+            // merged bundle replaces it by construction.
             CacheEntry gone = cache_.remove(twin);
+            const bool fragment =
+                job.merged &&
+                std::find(job.mergedFrom.begin(), job.mergedFrom.end(),
+                          gone.id) != job.mergedFrom.end();
             if (gone.resident) {
                 patcher_.unpatch(gone.installed);
                 if (engineReferences(gone.installed.funcs))
                     ++stats_.lazyDeopts;
                 zombies_.push_back(gone.installed.funcs);
-                ++stats_.displacements;
+                if (!fragment)
+                    ++stats_.displacements;
             }
+            if (fragment)
+                ++stats_.fragmentsRetired;
             stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
         }
     }
@@ -534,6 +756,7 @@ RuntimeController::completeJob(const Job &job)
     BundleStats bs;
     bs.key = bundle.key;
     bs.tier = bundle.tier;
+    bs.merged = job.merged;
     bs.packages = bundle.packaged.packages.size();
     bs.weight = bundle.weight();
     bs.submittedQuantum = job.submitQuantum;
@@ -541,6 +764,7 @@ RuntimeController::completeJob(const Job &job)
 
     CacheEntry e;
     e.bundle = job.result->bundle;
+    e.mergedFrom = job.mergedFrom;
     e.lastUsedQuantum = quantum_;
     e.bundleIndex = stats_.bundles.size() - 1;
     const std::size_t idx = cache_.add(std::move(e));
@@ -579,6 +803,35 @@ RuntimeController::activate(std::uint64_t entry_id)
     if (cache_.quarantined(cache_.entry(idx).bundle.record, quantum_)) {
         ++stats_.quarantineBlockedInstalls;
         return;
+    }
+
+    // A dormant fragment whose working set a resident merged bundle now
+    // covers has nothing left to serve: activating it would carve its
+    // launch arcs back out of the bundle that replaced it, and deferring
+    // it (the reinstall-yield below) would leave a phantom revival
+    // looping in the queue. Retire it instead — this is the merge
+    // absorbing its fragment, not a displacement. Entries that match the
+    // loose cache predicate are exempt: a tier-1 activating beside its
+    // resident tier-0 twin (identical records, mutually subsuming) must
+    // reach the promotion path below, not die here.
+    if (cfg_.mergeOverlapping) {
+        const CacheEntry &self = cache_.entry(idx);
+        for (std::size_t j = 0; j < cache_.size(); ++j) {
+            const CacheEntry &o = cache_.entry(j);
+            if (j == idx || !o.resident || o.mergedFrom.empty() ||
+                o.bundle.record.branches.size() <
+                    self.bundle.record.branches.size() ||
+                !hsd::subsumesHotSpot(o.bundle.record, self.bundle.record,
+                                      subsume_) ||
+                hsd::sameHotSpot(o.bundle.record, self.bundle.record,
+                                 cacheMatch_)) {
+                continue;
+            }
+            CacheEntry gone = cache_.remove(idx);
+            stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+            ++stats_.fragmentsRetired;
+            return;
+        }
     }
 
     // A *reinstall* yields to a saturated owner of its launch arcs:
@@ -704,6 +957,20 @@ RuntimeController::activate(std::uint64_t entry_id)
                   "installing entry lost during promotion");
     }
 
+    // A merged bundle past the gate retires the fragments it coalesced,
+    // before launch-arc owners are computed: the fragments hold exactly
+    // the arcs the merged bundle is about to claim, and retiring them
+    // here (merge absorption, with usage inheritance) keeps them out of
+    // the displacement count below. Ordering with promotion: tier-0
+    // twins go first — a merged tier-1 retires its own fast twin as a
+    // promotion, then the phase's fragments as a merge.
+    if (cfg_.mergeOverlapping && !cache_.entry(idx).mergedFrom.empty()) {
+        retireMergedFragments(entry_id);
+        idx = cache_.findById(entry_id);
+        vp_assert(idx != PackageCache::npos,
+                  "installing entry lost during fragment retirement");
+    }
+
     // The bundle being activated is the freshest evidence of what is hot
     // right now: it displaces whatever resident bundle holds its launch
     // arcs. (Near-variant wobble does not reach this point — the loose
@@ -730,6 +997,37 @@ RuntimeController::activate(std::uint64_t entry_id)
                 }
                 break;
             }
+        }
+    }
+    // A displaced victim goes dormant, but its branch history must not
+    // go with it when the winner already covers the victim's working
+    // set: the victim's record is proven evidence for the arcs the
+    // winner is taking over, and dropping its few extra branches means
+    // the next window that touches them re-detects the phase as "new"
+    // and churns. Widen the winner's record with such a victim's — the
+    // same union a stale-hit rebuild applies — under the same below-2x
+    // cap so the widened record still matches narrow re-detections.
+    // Gated on strict subsumption, not mere overlap: the widened record
+    // describes a bundle that was built *without* the victim's view, so
+    // inheritance is only safe when the winner's packages already serve
+    // nearly all of it. A genuinely different sibling phase displaced
+    // off shared dispatcher arcs must NOT leak its branches into the
+    // winner's identity, or later detections of the sibling alias onto
+    // the winner and its own bundle goes cold.
+    if (!owners.empty()) {
+        CacheEntry &winner = cache_.entry(idx);
+        const std::size_t cap =
+            2 * winner.bundle.record.branches.size() - 1;
+        for (std::size_t j : owners) {
+            const CacheEntry &victim = cache_.entry(j);
+            if (!hsd::subsumesHotSpot(winner.bundle.record,
+                                      victim.bundle.record,
+                                      cfg_.vp.filter)) {
+                continue;
+            }
+            winner.bundle.record =
+                mergeRecords(std::move(winner.bundle.record),
+                             victim.bundle.record, cap);
         }
     }
     for (std::size_t j : owners)
@@ -824,6 +1122,53 @@ RuntimeController::retireTier0Twins(std::uint64_t installing_id)
         // tier-0 clone (vacuum-packed loops rarely exit); hand those
         // funcs to the promoted entry so the tail reads as its activity,
         // biased by what the twin already charged to its own stats.
+        const std::size_t si = cache_.findById(installing_id);
+        if (si != PackageCache::npos) {
+            CacheEntry &self = cache_.entry(si);
+            self.allFuncs.insert(self.allFuncs.end(),
+                                 gone.allFuncs.begin(),
+                                 gone.allFuncs.end());
+            self.usageBias += gone.usageBias +
+                              stats_.bundles[gone.bundleIndex].instsRetired;
+        }
+    }
+}
+
+void
+RuntimeController::retireMergedFragments(std::uint64_t installing_id)
+{
+    const std::size_t self_idx = cache_.findById(installing_id);
+    if (self_idx == PackageCache::npos)
+        return;
+
+    // Snapshot the id list — removal shifts indices under findById, and
+    // the installing entry itself moves. Ids are never reused, so a
+    // fragment evicted or displaced since the merge was submitted
+    // resolves to npos and is skipped (its record is already inside the
+    // merged bundle's; nothing is lost).
+    const std::vector<std::uint64_t> frags =
+        cache_.entry(self_idx).mergedFrom;
+    for (std::uint64_t id : frags) {
+        if (id == installing_id)
+            continue;
+        const std::size_t i = cache_.findById(id);
+        if (i == PackageCache::npos)
+            continue;
+        CacheEntry gone = cache_.remove(i);
+        if (gone.resident) {
+            patcher_.unpatch(gone.installed);
+            if (engineReferences(gone.installed.funcs))
+                ++stats_.lazyDeopts;
+            zombies_.push_back(gone.installed.funcs);
+        }
+        stats_.bundles[gone.bundleIndex].evictedQuantum = quantum_;
+        ++stats_.fragmentsRetired;
+
+        // The engine may finish this occurrence inside the unpatched
+        // fragment clone; hand its funcs to the merged entry — exactly
+        // the promotion inheritance — so the lazy-deopt tail counts as
+        // the merged bundle's activity, biased by what the fragment
+        // already charged to its own stats.
         const std::size_t si = cache_.findById(installing_id);
         if (si != PackageCache::npos) {
             CacheEntry &self = cache_.entry(si);

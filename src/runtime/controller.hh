@@ -128,6 +128,12 @@ class RuntimeController
         std::uint64_t seq = 0;   ///< submission order (completion tiebreak)
         std::uint64_t submitQuantum = 0;
         std::uint64_t readyQuantum = 0; ///< deterministic install point
+
+        /** The record is a coalesced union of overlapping cache entries;
+         *  mergedFrom holds their ids (retired once the bundle installs). */
+        bool merged = false;
+        std::vector<std::uint64_t> mergedFrom;
+
         std::shared_ptr<JobResult> result;
         std::shared_ptr<std::atomic<bool>> done;
     };
@@ -139,14 +145,17 @@ class RuntimeController
     void watchdog();
     void corruptRecord(hsd::HotSpotRecord &rec);
     void drainDetections();
-    void submitSynthesis(const hsd::HotSpotRecord &rec);
-    void submitJob(const hsd::HotSpotRecord &rec, unsigned tier);
+    void submitSynthesis(const hsd::HotSpotRecord &rec, bool merged = false,
+                         std::vector<std::uint64_t> merged_from = {});
+    void submitJob(const hsd::HotSpotRecord &rec, unsigned tier, bool merged,
+                   const std::vector<std::uint64_t> &merged_from);
     bool tierInFlight(const hsd::HotSpotRecord &rec, unsigned tier) const;
     void completeReadyJobs();
     void completeJob(const Job &job);
     void processActivations();
     void activate(std::uint64_t entry_id);
     void retireTier0Twins(std::uint64_t installing_id);
+    void retireMergedFragments(std::uint64_t installing_id);
     void retireTier0AtEnd();
     void displace(std::size_t idx);
     void evictOverCapacity();
@@ -159,6 +168,7 @@ class RuntimeController
     const workload::Workload &workload_;
     RuntimeConfig cfg_;
     hsd::FilterConfig cacheMatch_; ///< vp.filter + cache slack
+    hsd::FilterConfig subsume_;    ///< vp.filter + containment tightness
 
     const ir::Program &pristine_; ///< workload_.program
     ir::Program live_;            ///< mutated clone the engine executes

@@ -16,6 +16,40 @@ PackageCache::find(const hsd::HotSpotRecord &record) const
 }
 
 std::size_t
+PackageCache::findSuperset(const hsd::HotSpotRecord &record,
+                           bool include_unmerged) const
+{
+    if (!subsumeMatch_)
+        return npos;
+    std::size_t dormant = npos;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const CacheEntry &e = entries_[i];
+        // By default only *merged* entries answer: their union record
+        // was the synthesis input, so the bundle demonstrably packages
+        // the contained fragment's working set. An ordinary sibling
+        // whose record happens to contain a smaller one gives no such
+        // guarantee — its packaging was shaped by a different phase's
+        // profile, and serving the small phase from it loses coverage
+        // against a dedicated build. When the caller opts unmerged
+        // entries in, they answer only while resident: a live install
+        // can prove itself by retiring instructions (the caller gates
+        // on that), a dormant record cannot.
+        const bool eligible =
+            !e.mergedFrom.empty() || (include_unmerged && e.resident);
+        if (!eligible ||
+            e.bundle.record.branches.size() < record.branches.size() ||
+            !hsd::subsumesHotSpot(e.bundle.record, record, subsume_)) {
+            continue;
+        }
+        if (e.resident)
+            return i;
+        if (dormant == npos)
+            dormant = i;
+    }
+    return dormant;
+}
+
+std::size_t
 PackageCache::findById(std::uint64_t id) const
 {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -64,8 +98,15 @@ PackageCache::quarantined(const hsd::HotSpotRecord &record,
                           std::uint64_t q) const
 {
     for (const QuarantineEntry &e : quarantine_) {
-        if (q < e.untilQuantum &&
-            hsd::sameHotSpot(e.record, record, match_)) {
+        if (q >= e.untilQuantum)
+            continue;
+        if (hsd::sameHotSpot(e.record, record, match_))
+            return true;
+        // A quarantined merged phase blocks its fragments too: a
+        // fragment-sized record the merged bundle would have served by
+        // subsumption must not slip past the backoff into a rebuild.
+        if (subsumeMatch_ &&
+            hsd::subsumesHotSpot(e.record, record, subsume_)) {
             return true;
         }
     }
@@ -105,7 +146,13 @@ PackageCache::absolve(const hsd::HotSpotRecord &record)
 {
     std::size_t erased = 0;
     for (auto it = quarantine_.begin(); it != quarantine_.end();) {
-        if (hsd::sameHotSpot(it->record, record, match_)) {
+        // A merged phase proving healthy also absolves its fragments'
+        // histories (records the healthy bundle subsumes): the fragments
+        // no longer exist as phases of their own, so dragging their
+        // offense counts forward would only inflate a future backoff.
+        if (hsd::sameHotSpot(it->record, record, match_) ||
+            (subsumeMatch_ &&
+             hsd::subsumesHotSpot(record, it->record, subsume_))) {
             it = quarantine_.erase(it);
             ++erased;
         } else {

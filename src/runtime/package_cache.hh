@@ -87,6 +87,14 @@ struct CacheEntry
      *  promoted twin's historic retires are not double-counted). */
     std::uint64_t usageBias = 0;
 
+    /** Ids of the cache entries whose records were coalesced into this
+     *  bundle's (empty for ordinary builds). The controller retires
+     *  them — fragments of the one logical phase this merged bundle now
+     *  covers — when the bundle passes the install gate; ids are never
+     *  reused, so stale ids after an interim eviction resolve to npos
+     *  and are skipped. */
+    std::vector<std::uint64_t> mergedFrom;
+
     /** Index into RuntimeStats::bundles for lifecycle reporting. */
     std::size_t bundleIndex = 0;
 
@@ -118,14 +126,48 @@ class PackageCache
   public:
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    /** @param capacity_insts Resident-weight budget; 0 means unbounded. */
-    PackageCache(std::size_t capacity_insts, hsd::FilterConfig match)
-        : capacity_(capacity_insts), match_(match)
+    /**
+     * @param capacity_insts Resident-weight budget; 0 means unbounded.
+     * @param match Loose similarity config for find()/quarantined().
+     * @param subsume_match Enable subsumption-aware matching: lets
+     *        findSuperset() answer, and extends quarantined()/absolve()
+     *        so a merged phase's quarantine state covers its fragments
+     *        (the quarantine-before-loose-match rule stays airtight —
+     *        there is no record the merged entry would serve that the
+     *        backoff check could miss).
+     * @param subsume Similarity config for subsumption checks; the
+     *        default FilterConfig{} is the paper's strict thresholds —
+     *        containment is a destructive signal (entries are retired on
+     *        it), so it does not get the loose cache slack.
+     */
+    PackageCache(std::size_t capacity_insts, hsd::FilterConfig match,
+                 bool subsume_match = false, hsd::FilterConfig subsume = {})
+        : capacity_(capacity_insts), match_(match),
+          subsumeMatch_(subsume_match), subsume_(subsume)
     {}
 
     /** @return index of the entry matching @p record, or npos. Scans in
      *  insert order so the oldest matching entry wins. */
     std::size_t find(const hsd::HotSpotRecord &record) const;
+
+    /**
+     * @return index of the entry whose record subsumes @p record (and
+     * is at least as large), preferring the oldest *resident* such
+     * entry, then the oldest dormant one; npos when none, or when
+     * subsumption matching is off. This is how a fragment-sized
+     * re-detection of a merged phase finds the merged bundle that
+     * covers it: the union of two half-sized fragments fails
+     * sameHotSpot against either fragment alone, so find() can never
+     * serve it. By default only *merged* entries answer, because only a
+     * union record was itself the synthesis input for every branch it
+     * lists; see the comment in the implementation. With
+     * @p include_unmerged, an ordinary entry may answer too — but only
+     * while resident (never as the dormant fallback), since the only
+     * evidence it covers the contained record is that it is serving
+     * right now; the caller is expected to gate on activity.
+     */
+    std::size_t findSuperset(const hsd::HotSpotRecord &record,
+                             bool include_unmerged = false) const;
 
     /** @return index of the entry with handle @p id, or npos. */
     std::size_t findById(std::uint64_t id) const;
@@ -192,6 +234,8 @@ class PackageCache
     std::vector<QuarantineEntry> quarantine_;
     std::size_t capacity_;
     hsd::FilterConfig match_;
+    bool subsumeMatch_ = false;
+    hsd::FilterConfig subsume_;
     std::uint64_t nextId_ = 0;
 };
 

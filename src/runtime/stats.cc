@@ -56,6 +56,13 @@ toText(const RuntimeStats &s, const std::string &label)
                   s.lazyDeopts, s.evictions, s.deferredEvictions);
     os << line;
     std::snprintf(line, sizeof(line),
+                  "merge: %zu coalesced builds, %zu fragments retired, "
+                  "%zu subsumption hits, %zu absorbed, %" PRIu64
+                  " insts retired in merged bundles\n",
+                  s.merges, s.fragmentsRetired, s.subsumptionHits,
+                  s.absorbedDetections, s.mergedInstsRetired());
+    os << line;
+    std::snprintf(line, sizeof(line),
                   "resident: %zu insts at end (peak %zu)\n",
                   s.residentWeight, s.peakResidentWeight);
     os << line;
@@ -94,11 +101,12 @@ toText(const RuntimeStats &s, const std::string &label)
 
     for (const BundleStats &b : s.bundles) {
         std::snprintf(line, sizeof(line),
-                      "  bundle %016" PRIx64 " [t%u]: %zu pkgs, %zu insts, "
+                      "  bundle %016" PRIx64 " [t%u%s]: %zu pkgs, %zu insts, "
                       "%zu launch points (%zu contended), submitted q%"
                       PRIu64,
-                      b.key, b.tier, b.packages, b.weight, b.launchPoints,
-                      b.contendedLaunchPoints, b.submittedQuantum);
+                      b.key, b.tier, b.merged ? " merged" : "", b.packages,
+                      b.weight, b.launchPoints, b.contendedLaunchPoints,
+                      b.submittedQuantum);
         os << line;
         if (b.rejected)
             std::snprintf(line, sizeof(line), ", rejected at gate");

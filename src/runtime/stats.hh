@@ -34,6 +34,10 @@ struct BundleStats
      *  1 = fully optimized. */
     unsigned tier = 1;
 
+    /** Built from a coalesced union of overlapping cache entries (the
+     *  record covers a working set several fragment detections split). */
+    bool merged = false;
+
     std::uint64_t submittedQuantum = 0;
 
     /** First-install quantum; kNever if the bundle never activated. */
@@ -108,6 +112,29 @@ struct RuntimeStats
      *  displacing a saturated server for a dormant loose match can only
      *  lose coverage, so the revival waits until the owner fades. */
     std::size_t deferredReinstalls = 0;
+
+    /** Detections whose record was coalesced with overlapping cache
+     *  entries into one merged synthesis (split-phase fragments unioned
+     *  instead of displacing between rival bundles). */
+    std::size_t merges = 0;
+
+    /** Cache entries retired because a merged bundle covering their
+     *  working set passed the install gate. Deliberately not counted as
+     *  displacements: a fragment absorbed by its own phase's merged
+     *  bundle lost no coverage. */
+    std::size_t fragmentsRetired = 0;
+
+    /** Detections served by an entry whose record strictly subsumes
+     *  theirs (fragment-sized re-detections of a merged phase; the
+     *  symmetric sameHotSpot rule can never match those). */
+    std::size_t subsumptionHits = 0;
+
+    /** Cache-missing detections absorbed by an overlapping resident
+     *  entry that retired at least mergeDivertRetireFraction of the
+     *  last quantum: the program's hot paths are demonstrably covered,
+     *  so neither a rival build nor a union rebuild may displace the
+     *  server over a fragment-sized working-set report. */
+    std::size_t absorbedDetections = 0;
 
     /** Deopts whose functions were still engine-referenced at unpatch
      *  time: arcs restored immediately, tombstoning deferred until the
@@ -225,6 +252,19 @@ struct RuntimeStats
     /** Fraction of dynamic instructions retired inside packages —
      *  the online counterpart of Figure 8's coverage. */
     double packageCoverage() const { return run.packageCoverage(); }
+
+    /** Dynamic instructions retired inside merged (coalesced) bundles'
+     *  packages — the share of coverage the split-phase merge recovered. */
+    std::uint64_t
+    mergedInstsRetired() const
+    {
+        std::uint64_t sum = 0;
+        for (const BundleStats &b : bundles) {
+            if (b.merged)
+                sum += b.instsRetired;
+        }
+        return sum;
+    }
 
     /** Mean quanta between tier-1 job submission and install. */
     double

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Overlapping-entry coalescing: split-phase detections (bias-flip
+ * variants of one working set, reported through a deep call chain) must
+ * be unioned into one merged bundle instead of displacing between rival
+ * fragment bundles. Covers the controller policy end-to-end on a
+ * synthetic flip-variant workload — merges fire, fragments retire,
+ * coverage beats --no-merge, the logical instruction stream and the
+ * report text are invariant across merge mode and worker count — plus
+ * the unit seams: bias-agnostic overlap, flip counting, record union,
+ * phase keys, superset lookup, and quarantine-by-subsumption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hsd/filter.hh"
+#include "hsd/record.hh"
+#include "runtime/bundle.hh"
+#include "runtime/controller.hh"
+#include "runtime/package_cache.hh"
+#include "runtime/stats.hh"
+#include "workload/benchmarks.hh"
+#include "workload/builder.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::runtime;
+
+/**
+ * A phase whose detections split into bias-flip variants: main drives a
+ * call chain (main -> f -> g) whose leaf runs a chain of diamonds.
+ * Half the diamond branches keep one bias in both phases (the shared
+ * skeleton), half flip from taken-biased in phase 0 to not-taken-biased
+ * in phase 1. Both variants execute the *same* branch set, so a
+ * re-detection of variant B loosely matches variant A's cache entry
+ * (missing fraction 0, flips within the loose slack) — the freeze the
+ * coalescing path exists to break.
+ */
+workload::Workload
+makeFlipVariantWorkload()
+{
+    workload::ProgramBuilder b("flipvar", 17);
+
+    const ir::FuncId g = b.function("g", 24);
+    const int kDiamonds = 8;
+    std::vector<ir::BlockId> head(kDiamonds), taken(kDiamonds),
+        fall(kDiamonds);
+    const ir::BlockId gexit = b.block(g);
+    for (int i = 0; i < kDiamonds; ++i) {
+        head[i] = b.block(g);
+        taken[i] = b.block(g);
+        fall[i] = b.block(g);
+    }
+    b.entry(g, head[0]);
+    for (int i = 0; i < kDiamonds; ++i) {
+        b.compute(g, head[i], 2);
+        // First half: skeleton branches, same bias in both phases.
+        // Second half: flip branches, bias inverts with the phase. The
+        // minor arm must stay under both hot-arc tests (fraction 0.02 <
+        // 0.25; weight 0.02 * 511-saturated exec ~ 10 < 16) so each
+        // variant's bundle really excludes it, and the flip arms carry
+        // most of the lap so serving collapses when the phase flips.
+        const bool flip = i >= kDiamonds / 2;
+        const std::vector<double> probs =
+            flip ? std::vector<double>{0.98, 0.02}
+                 : std::vector<double>{0.98, 0.98};
+        b.condbr(g, head[i], taken[i], fall[i], probs);
+        b.compute(g, taken[i], flip ? 40 : 10);
+        b.compute(g, fall[i], flip ? 40 : 10);
+        const ir::BlockId next = i + 1 < kDiamonds ? head[i + 1] : gexit;
+        b.jump(g, taken[i], next);
+        b.jump(g, fall[i], next);
+    }
+    b.compute(g, gexit, 1);
+    b.ret(g, gexit);
+
+    const ir::FuncId f = b.function("f", 12);
+    const ir::BlockId f0 = b.block(f), f1 = b.block(f);
+    b.entry(f, f0);
+    b.compute(f, f0, 2);
+    b.call(f, f0, g, f1);
+    b.compute(f, f1, 1);
+    b.ret(f, f1);
+
+    const ir::FuncId m = b.function("main", 12);
+    const ir::BlockId m0 = b.block(m), m1 = b.block(m), m2 = b.block(m);
+    b.entry(m, m0);
+    b.compute(m, m0, 2);
+    b.call(m, m0, f, m1);
+    // Never falls out: the dynamic-instruction budget ends the run.
+    b.condbr(m, m1, m0, m2, {1.0, 1.0});
+    b.ret(m, m2);
+    b.entryFunc(m);
+
+    // ~9 branches and ~225 insts per lap: 8k branches per segment is
+    // ~20 quanta, so the detector snapshots each variant repeatedly
+    // before the schedule hands over; cyclic so the variants keep
+    // alternating (~10 segments inside the budget).
+    return b.finish("flipvar", "A",
+                    workload::PhaseSchedule({{0, 8'000}, {1, 8'000}},
+                                            true),
+                    2'000'000);
+}
+
+RuntimeStats
+runFlipVariant(bool merge, unsigned workers = 1,
+               trace::InstSink *sink = nullptr)
+{
+    workload::Workload w = makeFlipVariantWorkload();
+    RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.workers = workers;
+    cfg.mergeOverlapping = merge;
+    RuntimeController controller(w, cfg);
+    if (sink)
+        controller.addSink(sink);
+    return controller.run();
+}
+
+/** Logical branch-stream fingerprint of the first @p limit retired
+ *  conditional branches (BehaviorId + oracle outcome, with invertSense
+ *  undoing layout swaps); identical no matter what code — original,
+ *  fragment bundle, merged bundle — serves each retire. */
+class BranchStreamSink final : public trace::InstSink
+{
+  public:
+    explicit BranchStreamSink(std::uint64_t limit) : limit_(limit) {}
+
+    void
+    onRetire(const trace::RetiredInst &ri) override
+    {
+        if (count_ >= limit_)
+            return;
+        ++count_;
+        const bool outcome = ri.branchTaken ^ ri.inst->invertSense;
+        hash_ = (hash_ ^ (ri.inst->behavior * 2 + outcome)) *
+                1099511628211ull;
+    }
+
+    unsigned eventMask() const override { return trace::kEventBranches; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t hash() const { return hash_; }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t count_ = 0;
+    std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+// ------------------------------------------------------ end-to-end runs
+
+TEST(MergeRuntime, FlipVariantsCoalesceIntoMergedBundle)
+{
+    const RuntimeStats on = runFlipVariant(true);
+    ASSERT_GT(on.detections, 0u);
+    EXPECT_GT(on.merges, 0u);
+    EXPECT_GT(on.fragmentsRetired, 0u);
+
+    // At least one merged bundle was synthesized, installed, and did
+    // real work; the fragments it absorbed were retired as merges, not
+    // displacements.
+    bool merged_served = false;
+    for (const BundleStats &bs : on.bundles)
+        merged_served |= bs.merged && bs.instsRetired > 0;
+    EXPECT_TRUE(merged_served);
+    EXPECT_GT(on.mergedInstsRetired(), 0u);
+
+    const RuntimeStats off = runFlipVariant(false);
+    EXPECT_EQ(off.merges, 0u);
+    EXPECT_EQ(off.fragmentsRetired, 0u);
+    for (const BundleStats &bs : off.bundles)
+        EXPECT_FALSE(bs.merged);
+}
+
+TEST(MergeRuntime, MergedCoverageAtLeastNoMerge)
+{
+    const RuntimeStats on = runFlipVariant(true);
+    const RuntimeStats off = runFlipVariant(false);
+    EXPECT_GE(on.packageCoverage(), off.packageCoverage());
+
+    // The variants keep re-detecting; without coalescing they churn
+    // rival rebuilds forever. The merged run must spend strictly fewer
+    // bundles displacing each other.
+    EXPECT_LE(on.displacements, off.displacements);
+}
+
+TEST(MergeRuntime, LogicalStreamInvariantAcrossMergeModeAndWorkers)
+{
+    // Packaging removes jumps/calls, so at an equal instruction budget
+    // merge-on and merge-off reach different program points; the
+    // invariant across *modes* is a common prefix of the logical branch
+    // stream. Across *worker counts* the whole run must be identical.
+    constexpr std::uint64_t kPrefix = 50'000;
+    BranchStreamSink base(kPrefix);
+    runFlipVariant(true, 1, &base);
+    ASSERT_EQ(base.count(), kPrefix);
+
+    BranchStreamSink nomerge(kPrefix);
+    runFlipVariant(false, 1, &nomerge);
+    ASSERT_EQ(nomerge.count(), kPrefix);
+    EXPECT_EQ(base.hash(), nomerge.hash());
+
+    BranchStreamSink full(BundleStats::kNever), wide(BundleStats::kNever);
+    runFlipVariant(true, 1, &full);
+    runFlipVariant(true, 8, &wide);
+    ASSERT_GT(full.count(), kPrefix);
+    EXPECT_EQ(full.count(), wide.count());
+    EXPECT_EQ(full.hash(), wide.hash());
+}
+
+TEST(MergeRuntime, ReportByteIdenticalAcrossWorkerCounts)
+{
+    std::string texts[2];
+    const unsigned counts[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+        workload::Workload w = workload::makeParser("A");
+        RuntimeConfig cfg;
+        cfg.vp = VpConfig::variant(true, true);
+        cfg.budget = 600'000;
+        cfg.workers = counts[i];
+        RuntimeController controller(w, cfg);
+        texts[i] = toText(controller.run(), w.label());
+    }
+    EXPECT_EQ(texts[0], texts[1]);
+}
+
+// ------------------------------------------------------------ unit seams
+
+hsd::HotSpotRecord
+makeRecord(const std::vector<std::pair<ir::BehaviorId, double>> &branches,
+           std::uint32_t exec = 1000)
+{
+    hsd::HotSpotRecord r;
+    for (const auto &[behavior, taken_fraction] : branches) {
+        hsd::HotBranch hb;
+        hb.behavior = behavior;
+        hb.exec = exec;
+        hb.taken = static_cast<std::uint32_t>(exec * taken_fraction);
+        r.branches.push_back(hb);
+    }
+    return r;
+}
+
+TEST(MergeFilter, OverlapIsBiasAgnostic)
+{
+    // Same branch set, every bias flipped: full overlap. Whether that
+    // is one phase to coalesce or two to keep apart is the caller's
+    // decision, made with biasFlips().
+    const auto a = makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}});
+    const auto b = makeRecord({{1, 0.1}, {2, 0.1}, {3, 0.1}});
+    EXPECT_DOUBLE_EQ(hsd::hotSpotOverlap(a, b), 1.0);
+
+    // Overlap is measured against the smaller record.
+    const auto big =
+        makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}, {4, 0.9}, {5, 0.9},
+                    {6, 0.9}});
+    const auto half = makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}, {7, 0.9}});
+    EXPECT_DOUBLE_EQ(hsd::hotSpotOverlap(big, half), 0.75);
+    EXPECT_DOUBLE_EQ(hsd::hotSpotOverlap(half, big), 0.75);
+}
+
+TEST(MergeFilter, BiasFlipsCountsOnlyBiasedDisagreements)
+{
+    const auto a = makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.5}, {4, 0.9}});
+    const auto b = makeRecord({{1, 0.1}, {2, 0.9}, {3, 0.9}, {5, 0.1}});
+    // 1 flips; 2 agrees; 3 is unbiased on one side (no flip); 4/5 are
+    // not common.
+    EXPECT_EQ(hsd::biasFlips(a, b), 1u);
+    EXPECT_EQ(hsd::biasFlips(b, a), 1u);
+    EXPECT_EQ(hsd::biasFlips(a, a), 0u);
+}
+
+TEST(MergeBundle, UnionRecordsSumsCommonCounts)
+{
+    const auto a = makeRecord({{1, 0.9}, {2, 0.9}}, 1000);
+    const auto b = makeRecord({{2, 0.1}, {3, 0.1}}, 1000);
+    const auto u = unionRecords(a, b);
+    ASSERT_EQ(u.branches.size(), 3u);
+
+    // Behavior 2 flipped between the variants: summed counts land the
+    // union near 50% so region inference heats both arc directions.
+    const hsd::HotBranch *common = u.find(2);
+    ASSERT_NE(common, nullptr);
+    EXPECT_EQ(common->exec, 2000u);
+    EXPECT_EQ(common->taken, 1000u);
+    const double f = common->takenFraction();
+    EXPECT_GT(f, 0.3);
+    EXPECT_LT(f, 0.7);
+
+    // mergeRecords, by contrast, keeps the base's counts for common
+    // behaviors (it only restores working-set breadth).
+    const auto m = mergeRecords(a, b);
+    const hsd::HotBranch *kept = m.find(2);
+    ASSERT_NE(kept, nullptr);
+    EXPECT_EQ(kept->exec, 1000u);
+    EXPECT_EQ(kept->taken, 900u);
+}
+
+TEST(MergeBundle, PhaseKeySeparatesBiasVariantsAndIgnoresOrder)
+{
+    const auto a = makeRecord({{1, 0.9}, {2, 0.9}});
+    const auto b = makeRecord({{2, 0.9}, {1, 0.9}});
+    const auto flipped = makeRecord({{1, 0.1}, {2, 0.9}});
+    EXPECT_EQ(phaseKey(a), phaseKey(b));
+    EXPECT_NE(phaseKey(a), phaseKey(flipped));
+
+    // A balanced union hashes differently from either one-sided
+    // fragment — how completeJob tells a coalesced bundle from the
+    // active fragment it replaces.
+    const auto u = unionRecords(a, flipped);
+    EXPECT_NE(phaseKey(u), phaseKey(a));
+    EXPECT_NE(phaseKey(u), phaseKey(flipped));
+}
+
+class MergeCacheTest : public ::testing::Test
+{
+  protected:
+    MergeCacheTest()
+        : subsume_([] {
+              hsd::FilterConfig s;
+              s.missingFraction = 0.10;
+              s.maxBiasFlips = 0;
+              return s;
+          }()),
+          cache_(0, hsd::FilterConfig{}, true, subsume_)
+    {}
+
+    std::size_t
+    addEntry(const hsd::HotSpotRecord &rec, bool resident, bool merged)
+    {
+        CacheEntry e;
+        e.bundle.record = rec;
+        e.resident = resident;
+        if (merged)
+            e.mergedFrom.push_back(9999);
+        return cache_.add(std::move(e));
+    }
+
+    hsd::FilterConfig subsume_;
+    PackageCache cache_;
+};
+
+TEST_F(MergeCacheTest, FindSupersetServesMergedEntriesByDefault)
+{
+    const auto uni =
+        makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}, {4, 0.9}});
+    const auto frag = makeRecord({{1, 0.9}, {2, 0.9}});
+    const std::size_t dormant_union = addEntry(uni, false, true);
+
+    // A dormant merged union answers; a fragment-sized record finds it
+    // even though the symmetric sameHotSpot rule can never match it.
+    EXPECT_EQ(cache_.findSuperset(frag), dormant_union);
+
+    // A resident merged union is preferred over the dormant one.
+    const std::size_t resident_union = addEntry(uni, true, true);
+    EXPECT_EQ(cache_.findSuperset(frag), resident_union);
+
+    // Bias flips break containment: the superset covers the fragment's
+    // branches, not its opposite-direction variant.
+    const auto flipped = makeRecord({{1, 0.1}, {2, 0.1}});
+    EXPECT_EQ(cache_.findSuperset(flipped), PackageCache::npos);
+}
+
+TEST_F(MergeCacheTest, UnmergedSupersetsAnswerOnlyWhenOptedInAndResident)
+{
+    const auto sup =
+        makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}, {4, 0.9}});
+    const auto frag = makeRecord({{1, 0.9}, {2, 0.9}});
+
+    // Dormant + unmerged: never answers, even when opted in — the only
+    // evidence an ordinary entry covers the fragment is live serving.
+    addEntry(sup, false, false);
+    EXPECT_EQ(cache_.findSuperset(frag), PackageCache::npos);
+    EXPECT_EQ(cache_.findSuperset(frag, true), PackageCache::npos);
+
+    // Resident + unmerged: answers only on request.
+    const std::size_t resident = addEntry(sup, true, false);
+    EXPECT_EQ(cache_.findSuperset(frag), PackageCache::npos);
+    EXPECT_EQ(cache_.findSuperset(frag, true), resident);
+}
+
+TEST_F(MergeCacheTest, QuarantineOfMergedPhaseCoversItsFragments)
+{
+    const auto uni =
+        makeRecord({{1, 0.9}, {2, 0.9}, {3, 0.9}, {4, 0.9}});
+    const auto frag = makeRecord({{1, 0.9}, {2, 0.9}});
+    const auto unrelated = makeRecord({{7, 0.9}, {8, 0.9}});
+
+    cache_.quarantine(uni, 10, 16, 1024);
+    EXPECT_TRUE(cache_.quarantined(uni, 11));
+    // The fragment would have been served by the union's bundle, so the
+    // union's backoff must block its rebuild too.
+    EXPECT_TRUE(cache_.quarantined(frag, 11));
+    EXPECT_FALSE(cache_.quarantined(unrelated, 11));
+    // Backoff expiry releases both.
+    EXPECT_FALSE(cache_.quarantined(frag, 10 + 16));
+}
+
+} // namespace

@@ -44,6 +44,12 @@
  *   --tier0-budget=N       tier-0 (fast install) compile latency in
  *                          quanta (default 0: installs at the boundary
  *                          that submitted it)
+ *   --no-merge             disable overlapping-entry coalescing: split
+ *                          detections of one phase displace between
+ *                          rival fragment bundles instead of merging
+ *   --merge-overlap=F      working-set overlap fraction (of the smaller
+ *                          record) at which a new detection coalesces
+ *                          with a cache entry (default 0.5)
  */
 
 #include <cstdio>
@@ -80,7 +86,8 @@ usage()
                  "         --threads=N --timing\n"
                  "         --quantum=N --cache-capacity=N --compare\n"
                  "         --fault-inject=SPEC --fault-seed=N --watchdog\n"
-                "         --no-tiering --tier0-budget=N\n");
+                 "         --no-tiering --tier0-budget=N\n"
+                 "         --no-merge --merge-overlap=F\n");
     return 2;
 }
 
@@ -174,6 +181,19 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             opt.rt.watchdog = true;
         } else if (a == "--no-tiering") {
             opt.rt.tiering = false;
+        } else if (a == "--no-merge") {
+            opt.rt.mergeOverlapping = false;
+        } else if (starts("--merge-overlap=")) {
+            char *end = nullptr;
+            opt.rt.mergeOverlapFraction = std::strtod(a.c_str() + 16, &end);
+            if (end == a.c_str() + 16 || *end != '\0' ||
+                opt.rt.mergeOverlapFraction <= 0.0 ||
+                opt.rt.mergeOverlapFraction > 1.0) {
+                std::fprintf(stderr,
+                             "vpack: bad --merge-overlap value '%s'\n",
+                             a.c_str());
+                return false;
+            }
         } else if (starts("--tier0-budget=")) {
             char *end = nullptr;
             opt.rt.tier0CompileQuanta = std::strtoull(a.c_str() + 15, &end, 10);
