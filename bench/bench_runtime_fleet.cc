@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Fleet runtime harness: tenant-count x shard-count sweep of the
+ * multi-tenant FleetController, each configuration run twice against a
+ * fresh persistent store — a *cold* run that populates it and a *warm*
+ * run that rehydrates it. The sharing claims under test: the warm run
+ * reaches the same per-tenant coverage with measurably fewer synthesis
+ * jobs executed (the rest served by the shared cache), and every
+ * tenant's report is byte-identical cold vs warm and across shard
+ * counts.
+ *
+ * `--json[=path]` emits BENCH_fleet.json: one object per configuration
+ * (cold/warm executed-job counts, job savings, coverage, report
+ * equality, wall seconds, store counters) plus a "runtime_fleet"
+ * aggregate (coverage_equal_rows, min/mean job savings, warm coverage)
+ * for the CI floor check. `--budget=N` trims every tenant to N dynamic
+ * instructions (CI smoke).
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "fleet/controller.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::bench;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Per-tenant reports, concatenated — the byte-equality subject. */
+std::string
+tenantReports(const fleet::FleetStats &stats)
+{
+    std::string out;
+    for (const fleet::TenantStats &t : stats.tenants)
+        out += runtime::toText(t.stats, t.label);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned threads = benchThreads(argc, argv);
+    std::uint64_t budget = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--budget=", 9) == 0)
+            budget = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+    const auto json_path = benchJsonPath(argc, argv, "BENCH_fleet.json");
+    HarnessTimer timer(threads);
+
+    std::printf("Fleet runtime: tenant x shard sweep, cold store "
+                "population vs warm start\n");
+    std::printf("(warm must match cold coverage byte-for-byte while "
+                "executing fewer synthesis jobs)\n\n");
+
+    struct Config
+    {
+        std::size_t tenants;
+        std::size_t shards;
+    };
+    const std::vector<Config> configs = {
+        {4, 1}, {4, 8}, {20, 1}, {20, 8}};
+
+    struct Row
+    {
+        fleet::FleetStats cold;
+        fleet::FleetStats warm;
+        bool coverageEqual = false;
+        double coldSeconds = 0.0;
+        double warmSeconds = 0.0;
+    };
+
+    const std::filesystem::path store_base = "fleet-bench-store";
+    std::filesystem::remove_all(store_base);
+
+    TablePrinter table;
+    table.addRow({"tenants", "shards", "coverage", "cold exec",
+                  "warm exec", "from cache", "saved", "loaded", "equal",
+                  "savings"});
+
+    Accumulator savings_avg, warm_cov_avg;
+    double min_savings = 1.0, min_warm_cov = 1.0;
+    std::size_t equal_rows = 0;
+    std::vector<Row> rows;
+
+    // Serial over configurations: each FleetController parallelizes its
+    // tenants internally, so the harness threads are already saturated.
+    for (const Config &c : configs) {
+        Row row;
+
+        fleet::FleetConfig fc;
+        fc.rt.vp = VpConfig::variant(true, true);
+        // One synthesis worker per tenant: workers only hide compile
+        // wall-clock, results are identical for any count.
+        fc.rt.workers = 1;
+        fc.rt.budget = budget;
+        fc.tenants = c.tenants;
+        fc.shards = c.shards;
+        fc.storeDir =
+            (store_base / ("t" + std::to_string(c.tenants) + "s" +
+                           std::to_string(c.shards)))
+                .string();
+        fc.threads = threads;
+
+        double t0 = now();
+        row.cold = fleet::FleetController(fc).run();
+        row.coldSeconds = now() - t0;
+
+        fc.warmStart = true;
+        t0 = now();
+        row.warm = fleet::FleetController(fc).run();
+        row.warmSeconds = now() - t0;
+
+        row.coverageEqual =
+            tenantReports(row.cold) == tenantReports(row.warm);
+
+        const double savings =
+            row.cold.jobsExecuted
+                ? 1.0 - static_cast<double>(row.warm.jobsExecuted) /
+                            static_cast<double>(row.cold.jobsExecuted)
+                : 0.0;
+        savings_avg.add(savings);
+        warm_cov_avg.add(row.warm.meanCoverage);
+        min_savings = std::min(min_savings, savings);
+        min_warm_cov = std::min(min_warm_cov, row.warm.minCoverage);
+        if (row.coverageEqual)
+            ++equal_rows;
+
+        char pct[32];
+        std::snprintf(pct, sizeof pct, "%.0f%%", 100.0 * savings);
+        table.addRow({std::to_string(c.tenants),
+                      std::to_string(c.shards),
+                      TablePrinter::pct(row.warm.meanCoverage),
+                      std::to_string(row.cold.jobsExecuted),
+                      std::to_string(row.warm.jobsExecuted),
+                      std::to_string(row.warm.jobsFromCache),
+                      std::to_string(row.cold.storeSaved),
+                      std::to_string(row.warm.storeLoaded),
+                      row.coverageEqual ? "yes" : "NO", pct});
+        std::fflush(stdout);
+        rows.push_back(std::move(row));
+    }
+
+    table.print();
+    std::printf("\nwarm-vs-cold report equality: %zu of %zu configs; "
+                "job savings mean %.0f%% / min %.0f%%\n",
+                equal_rows, configs.size(), 100.0 * savings_avg.mean(),
+                100.0 * min_savings);
+
+    if (json_path) {
+        std::FILE *f = std::fopen(json_path->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         json_path->c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"runtime_fleet\",\n"
+                        "  \"budget\": %" PRIu64 ",\n  \"rows\": [\n",
+                     budget);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            const Config &c = configs[i];
+            const double savings =
+                r.cold.jobsExecuted
+                    ? 1.0 - static_cast<double>(r.warm.jobsExecuted) /
+                                static_cast<double>(r.cold.jobsExecuted)
+                    : 0.0;
+            std::fprintf(
+                f,
+                "    {\"workload\": \"t%zu s%zu\", "
+                "\"tenants\": %zu, \"shards\": %zu, "
+                "\"cold_executed\": %" PRIu64 ", "
+                "\"warm_executed\": %" PRIu64 ", "
+                "\"warm_from_cache\": %" PRIu64 ", "
+                "\"job_savings\": %.6f, "
+                "\"coverage_equal\": %s, "
+                "\"cold_coverage\": %.6f, \"warm_coverage\": %.6f, "
+                "\"min_warm_coverage\": %.6f, "
+                "\"store_saved\": %" PRIu64 ", "
+                "\"store_loaded\": %" PRIu64 ", "
+                "\"store_rejected\": %" PRIu64 ", "
+                "\"store_corrupt\": %" PRIu64 ", "
+                "\"cold_seconds\": %.3f, \"warm_seconds\": %.3f}%s\n",
+                c.tenants, c.shards, c.tenants, c.shards,
+                r.cold.jobsExecuted, r.warm.jobsExecuted,
+                r.warm.jobsFromCache, savings,
+                r.coverageEqual ? "true" : "false",
+                r.cold.meanCoverage, r.warm.meanCoverage,
+                r.warm.minCoverage, r.cold.storeSaved,
+                r.warm.storeLoaded, r.warm.storeRejected,
+                r.warm.storeCorrupt, r.coldSeconds, r.warmSeconds,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"aggregate\": {\n"
+                     "    \"runtime_fleet\": {\"rows\": %zu, "
+                     "\"coverage_equal_rows\": %zu, "
+                     "\"min_job_savings\": %.6f, "
+                     "\"mean_job_savings\": %.6f, "
+                     "\"mean_warm_coverage\": %.6f, "
+                     "\"min_warm_coverage\": %.6f}\n"
+                     "  }\n}\n",
+                     rows.size(), equal_rows, min_savings,
+                     savings_avg.mean(), warm_cov_avg.mean(),
+                     min_warm_cov);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path->c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,243 @@
+#include "fleet/controller.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "fleet/serialize.hh"
+#include "fleet/store.hh"
+#include "runtime/controller.hh"
+#include "runtime/synth_cache.hh"
+#include "runtime/verifier.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+#include "vp/run_cache.hh"
+#include "workload/benchmarks.hh"
+
+namespace vp::fleet
+{
+
+namespace
+{
+
+/**
+ * Per-tenant adapter from the runtime's SynthesisCache hook to the
+ * fleet's shared cache: scopes every lookup/publish to the tenant's
+ * namespace and keys by record content hash. Thread-safe because the
+ * shared cache is; each tenant's controller calls its own view only.
+ */
+class TenantView final : public runtime::SynthesisCache
+{
+  public:
+    TenantView(ShardedBundleCache &cache, std::uint64_t ns)
+        : cache_(cache), ns_(ns)
+    {}
+
+    std::shared_ptr<const runtime::PackageBundle>
+    lookup(const hsd::HotSpotRecord &record, unsigned tier) override
+    {
+        return cache_.lookup(ns_, recordKey(record, tier));
+    }
+
+    void
+    publish(const hsd::HotSpotRecord &record, unsigned tier,
+            const runtime::PackageBundle &bundle, bool merged) override
+    {
+        cache_.insert(ns_, recordKey(record, tier), bundle, merged,
+                      /*from_store=*/false);
+    }
+
+  private:
+    ShardedBundleCache &cache_;
+    std::uint64_t ns_;
+};
+
+} // namespace
+
+std::uint64_t
+FleetController::namespaceOf(const workload::Workload &w,
+                             const runtime::RuntimeConfig &rt)
+{
+    const std::uint64_t fp = RunCache::fingerprint(w);
+    const std::uint64_t mh = RunCache::machineHash(rt.vp.machine);
+    // splitmix64-style combine; either hash alone is 64 bits already,
+    // the mix just decorrelates the pair.
+    std::uint64_t x = fp ^ (mh * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+FleetController::FleetController(FleetConfig cfg) : cfg_(std::move(cfg)) {}
+
+FleetStats
+FleetController::run()
+{
+    FleetStats fleet;
+
+    // Tenant roster: the full Table 1 set by default, cycled when more
+    // tenants than rows are requested. Workloads are built up front and
+    // never reallocated — each RuntimeController holds a reference for
+    // the whole run.
+    std::vector<workload::Workload> roster = workload::makeAllWorkloads();
+    const std::size_t n =
+        cfg_.tenants ? cfg_.tenants : roster.size();
+    std::vector<const workload::Workload *> tenants;
+    std::vector<std::uint64_t> nsOf;
+    tenants.reserve(n);
+    nsOf.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const workload::Workload &w = roster[i % roster.size()];
+        tenants.push_back(&w);
+        nsOf.push_back(i < roster.size()
+                           ? namespaceOf(w, cfg_.rt)
+                           : nsOf[i % roster.size()]);
+    }
+
+    ShardedBundleCache cache(cfg_.shards, cfg_.shardCapacity);
+
+    // Warm start: rehydrate each distinct namespace once, in tenant
+    // order (deterministic), gating every stored bundle through the
+    // namespace owner's verifier against its pristine program. A
+    // rejected or corrupt image costs a counter, never an install.
+    if (cfg_.warmStart && !cfg_.storeDir.empty()) {
+        BundleStore store(cfg_.storeDir);
+        std::vector<std::uint64_t> seen;
+        for (std::size_t i = 0; i < tenants.size(); ++i) {
+            if (std::find(seen.begin(), seen.end(), nsOf[i]) != seen.end())
+                continue;
+            seen.push_back(nsOf[i]);
+            NamespaceLoad load = store.loadNamespace(nsOf[i]);
+            fleet.storeCorrupt += load.corrupt;
+            runtime::PackageVerifier gate(tenants[i]->program);
+            for (StoredBundle &sb : load.bundles) {
+                if (Status st = gate.verify(sb.bundle); !st) {
+                    vp_warn("fleet store: rejected stored bundle: ",
+                            st.message());
+                    ++fleet.storeRejected;
+                    continue;
+                }
+                cache.insert(nsOf[i], sb.key, std::move(sb.bundle),
+                             /*merged=*/false, /*from_store=*/true);
+                ++fleet.storeLoaded;
+            }
+        }
+    }
+
+    // Run the tenants. Each is an ordinary RuntimeController with the
+    // shared cache attached; per-tenant results are independent of the
+    // thread count by the runtime's own determinism contract plus the
+    // hook's no-result-change property.
+    std::vector<TenantView> views;
+    views.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+        views.emplace_back(cache, nsOf[i]);
+
+    std::vector<runtime::RuntimeStats> results(tenants.size());
+    ThreadPool pool(cfg_.threads);
+    pool.parallelFor(tenants.size(), [&](std::size_t i) {
+        runtime::RuntimeController controller(*tenants[i], cfg_.rt);
+        controller.setSynthesisCache(&views[i]);
+        results[i] = controller.run();
+    });
+
+    // End-of-run flush: persist every bundle this fleet synthesized.
+    // forEach() walks shards in index order and keys ascending, so the
+    // store is written deterministically.
+    if (!cfg_.storeDir.empty()) {
+        BundleStore store(cfg_.storeDir);
+        cache.forEach([&](std::uint64_t ns, std::uint64_t key,
+                          const runtime::PackageBundle &b,
+                          bool from_store) {
+            if (from_store)
+                return;
+            Expected<bool> wrote = store.put(ns, key, b);
+            if (!wrote) {
+                vp_warn("fleet store: ", wrote.status().message());
+                return;
+            }
+            if (wrote.value())
+                ++fleet.storeSaved;
+        });
+    }
+
+    fleet.tenants.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        TenantStats ts;
+        ts.label = tenants[i]->label();
+        ts.ns = nsOf[i];
+        ts.stats = std::move(results[i]);
+        fleet.jobsSubmitted +=
+            ts.stats.builds + ts.stats.tier0Builds;
+        fleet.jobsExecuted += ts.stats.synthJobsExecuted;
+        fleet.jobsFromCache += ts.stats.sharedCacheHits;
+        fleet.publishes += ts.stats.sharedCachePublishes;
+        fleet.tenants.push_back(std::move(ts));
+    }
+    fleet.shards = cache.stats();
+
+    double sum = 0.0;
+    double min = 1.0;
+    for (const TenantStats &t : fleet.tenants) {
+        const double c = t.stats.packageCoverage();
+        sum += c;
+        min = std::min(min, c);
+    }
+    fleet.meanCoverage =
+        fleet.tenants.empty() ? 0.0
+                              : sum / static_cast<double>(
+                                          fleet.tenants.size());
+    fleet.minCoverage = fleet.tenants.empty() ? 0.0 : min;
+    return fleet;
+}
+
+std::string
+toText(const FleetStats &stats, bool timing)
+{
+    std::string out;
+    char buf[256];
+
+    for (const TenantStats &t : stats.tenants)
+        out += runtime::toText(t.stats, t.label);
+
+    std::snprintf(buf, sizeof buf, "fleet: %zu tenants\n",
+                  stats.tenants.size());
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "synthesis: %" PRIu64 " jobs submitted, %" PRIu64
+                  " executed, %" PRIu64 " served from shared cache\n",
+                  stats.jobsSubmitted, stats.jobsExecuted,
+                  stats.jobsFromCache);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "store: %" PRIu64 " loaded, %" PRIu64 " rejected, %" PRIu64
+                  " corrupt, %" PRIu64 " saved\n",
+                  stats.storeLoaded, stats.storeRejected,
+                  stats.storeCorrupt, stats.storeSaved);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "fleet coverage: mean %.1f%%, min %.1f%%\n",
+                  100.0 * stats.meanCoverage, 100.0 * stats.minCoverage);
+    out += buf;
+
+    if (timing) {
+        // Same shape as the report --timing run-cache line: one line
+        // per shard, counters in fixed order.
+        for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+            const ShardStats &s = stats.shards[i];
+            std::snprintf(buf, sizeof buf,
+                          "cache shard %zu: %" PRIu64 " hits, %" PRIu64
+                          " misses, %" PRIu64 " merges, %" PRIu64
+                          " evictions\n",
+                          i, s.hits, s.misses, s.merges, s.evictions);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+} // namespace vp::fleet

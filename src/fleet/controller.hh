@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fleet runtime service: many concurrent engine+HSD tenants over one
+ * shared, sharded synthesis cache and one persistent bundle store.
+ *
+ * The tenancy model is BOLT's data-center deployment applied to the
+ * online runtime: each tenant is a full RuntimeController — its own
+ * live program, detector, package cache and synthesis queue — and the
+ * only shared state is the ShardedBundleCache the controllers consult
+ * through the SynthesisCache hook. Sharing is sound because synthesis
+ * is a pure function of (pristine program, record, config, tier) and
+ * lookups are namespaced by (workload fingerprint x machine hash): a
+ * tenant only ever receives bundles another run of its *own* workload
+ * produced, bit-identical to what its own worker would have built.
+ *
+ * Determinism: a shared-cache hit fills a job's result early but the
+ * bundle still installs at the controller's deterministic readyQuantum,
+ * so each tenant's RuntimeStats — and its toText() report — are
+ * byte-identical whether the fleet ran on 1 thread or 16, over 1 shard
+ * or 8, cold or warm-started. What sharing changes is only how many
+ * synthesis jobs actually execute (FleetStats::jobsExecuted vs
+ * jobsFromCache).
+ *
+ * Warm start: with a store directory configured, run() first rehydrates
+ * every bundle stored under each tenant namespace, gating each through
+ * the tenant's PackageVerifier against its pristine program — a stale
+ * or corrupt image is counted and dropped, never installed. At end of
+ * run every bundle this fleet synthesized (not ones it loaded) is
+ * flushed back, so a second fleet run starts where the first ended.
+ */
+
+#ifndef VP_FLEET_CONTROLLER_HH
+#define VP_FLEET_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/sharded_cache.hh"
+#include "runtime/config.hh"
+#include "runtime/stats.hh"
+#include "workload/workload.hh"
+
+namespace vp::fleet
+{
+
+/** Fleet-level knobs on top of the per-tenant RuntimeConfig. */
+struct FleetConfig
+{
+    /** Per-tenant runtime knobs (every tenant runs the same config). */
+    runtime::RuntimeConfig rt;
+
+    /** Tenants to run; 0 = the full Table 1 roster (20). Counts above
+     *  the roster size cycle through it. */
+    std::size_t tenants = 0;
+
+    /** Shared-cache shard count. */
+    std::size_t shards = 4;
+
+    /** Max bundles per shard; 0 = unbounded. */
+    std::size_t shardCapacity = 0;
+
+    /** Persistent store directory; empty = no persistence. */
+    std::string storeDir;
+
+    /** Rehydrate the store before running (requires storeDir). */
+    bool warmStart = false;
+
+    /** Concurrent tenant executions (per-tenant results are identical
+     *  for every value; wall-clock only). */
+    unsigned threads = 1;
+};
+
+/** One tenant's outcome. */
+struct TenantStats
+{
+    std::string label;     ///< workload label (roster row)
+    std::uint64_t ns = 0;  ///< store/cache namespace
+    runtime::RuntimeStats stats;
+};
+
+/** Aggregate outcome of one FleetController::run(). */
+struct FleetStats
+{
+    std::vector<TenantStats> tenants; ///< in tenant-index order
+
+    // Synthesis-sharing economics (sums over tenants).
+    std::uint64_t jobsSubmitted = 0;  ///< tier-0 + tier-1 jobs queued
+    std::uint64_t jobsExecuted = 0;   ///< ran on a worker
+    std::uint64_t jobsFromCache = 0;  ///< served by the shared cache
+    std::uint64_t publishes = 0;      ///< bundles offered to the cache
+
+    // Persistent-store lifecycle.
+    std::uint64_t storeLoaded = 0;   ///< rehydrated + verifier-accepted
+    std::uint64_t storeRejected = 0; ///< rehydrated, failed the gate
+    std::uint64_t storeCorrupt = 0;  ///< undecodable images skipped
+    std::uint64_t storeSaved = 0;    ///< new bundles flushed at end
+
+    std::vector<ShardStats> shards; ///< per-shard counters, by index
+
+    /** Mean / min per-tenant package coverage. */
+    double meanCoverage = 0.0;
+    double minCoverage = 0.0;
+};
+
+/** The fleet service. Single-shot, like the tenant controller. */
+class FleetController
+{
+  public:
+    explicit FleetController(FleetConfig cfg);
+
+    /** Run every tenant; @return the fleet's counters. */
+    FleetStats run();
+
+    /** The store/cache namespace of @p w under machine config @p rt
+     *  (RunCache fingerprint x machine hash, mixed). */
+    static std::uint64_t namespaceOf(const workload::Workload &w,
+                                     const runtime::RuntimeConfig &rt);
+
+  private:
+    FleetConfig cfg_;
+};
+
+/**
+ * Render @p stats: each tenant's runtime report (byte-identical to its
+ * single-tenant `vpack runtime` output) followed by the fleet summary.
+ * @p timing appends the per-shard cache-stats lines.
+ */
+std::string toText(const FleetStats &stats, bool timing = false);
+
+} // namespace vp::fleet
+
+#endif // VP_FLEET_CONTROLLER_HH

@@ -1,0 +1,514 @@
+#include "fleet/serialize.hh"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace vp::fleet
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x42505656;  // "VVPB"
+constexpr std::uint32_t kVersion = 1;
+
+/** Canonical little-endian appender. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+    void
+    blockRef(const ir::BlockRef &r)
+    {
+        u32(r.func);
+        u32(r.block);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  private:
+    std::vector<std::uint8_t> out_;
+};
+
+/** Bounds-checked little-endian cursor. Every read checks remaining
+ *  bytes first; ok() latches false on the first overrun. Element counts
+ *  are validated against the remaining byte budget before any loop (each
+ *  element consumes at least one byte), so a corrupt length field fails
+ *  fast instead of driving a giant allocation. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *p, std::size_t n) : p_(p), n_(n) {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return n_ - i_; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return p_[i_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (static_cast<std::uint16_t>(u8())
+                                           << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (static_cast<std::uint32_t>(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (static_cast<std::uint64_t>(u32()) << 32);
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t len = u64();
+        if (!ok_ || len > remaining()) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(p_ + i_),
+                      static_cast<std::size_t>(len));
+        i_ += static_cast<std::size_t>(len);
+        return s;
+    }
+
+    ir::BlockRef
+    blockRef()
+    {
+        ir::BlockRef r;
+        r.func = u32();
+        r.block = u32();
+        return r;
+    }
+
+    /** A leading element count, rejected when it cannot possibly fit in
+     *  the remaining bytes (elements are at least @p min_bytes each). */
+    std::size_t
+    count(std::size_t min_bytes = 1)
+    {
+        const std::uint64_t c = u64();
+        if (!ok_ || c > remaining() / (min_bytes ? min_bytes : 1)) {
+            ok_ = false;
+            return 0;
+        }
+        return static_cast<std::size_t>(c);
+    }
+
+  private:
+    bool
+    take(std::size_t k)
+    {
+        if (!ok_ || k > remaining()) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *p_;
+    std::size_t n_;
+    std::size_t i_ = 0;
+    bool ok_ = true;
+};
+
+void
+putRecord(Writer &w, const hsd::HotSpotRecord &rec)
+{
+    w.u64(rec.detectedAtBranch);
+    w.u32(rec.truePhase);
+    w.u64(rec.branches.size());
+    for (const hsd::HotBranch &b : rec.branches) {
+        w.u64(b.pc);
+        w.u64(b.behavior);
+        w.u32(b.exec);
+        w.u32(b.taken);
+    }
+}
+
+hsd::HotSpotRecord
+getRecord(Reader &r)
+{
+    hsd::HotSpotRecord rec;
+    rec.detectedAtBranch = r.u64();
+    rec.truePhase = r.u32();
+    const std::size_t n = r.count(24);
+    rec.branches.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+        hsd::HotBranch b;
+        b.pc = r.u64();
+        b.behavior = r.u64();
+        b.exec = r.u32();
+        b.taken = r.u32();
+        rec.branches.push_back(b);
+    }
+    return rec;
+}
+
+void
+putRefVec(Writer &w, const std::vector<ir::BlockRef> &v)
+{
+    w.u64(v.size());
+    for (const ir::BlockRef &r : v)
+        w.blockRef(r);
+}
+
+std::vector<ir::BlockRef>
+getRefVec(Reader &r)
+{
+    const std::size_t n = r.count(8);
+    std::vector<ir::BlockRef> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i)
+        v.push_back(r.blockRef());
+    return v;
+}
+
+void
+putInst(Writer &w, const ir::Instruction &in)
+{
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u8(in.pseudo ? 1 : 0);
+    w.u8(in.invertSense ? 1 : 0);
+    w.u64(in.behavior);
+    w.f64(in.profProb);
+    w.u64(in.dsts.size());
+    for (ir::RegId d : in.dsts)
+        w.u16(d);
+    w.u64(in.srcs.size());
+    for (ir::RegId s : in.srcs)
+        w.u16(s);
+}
+
+ir::Instruction
+getInst(Reader &r)
+{
+    ir::Instruction in;
+    const std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(ir::Opcode::Nop))
+        return in; // caller checks r.ok(); out-of-range decodes as Nop
+    in.op = static_cast<ir::Opcode>(op);
+    in.pseudo = r.u8() != 0;
+    in.invertSense = r.u8() != 0;
+    in.behavior = r.u64();
+    in.profProb = r.f64();
+    const std::size_t nd = r.count(2);
+    in.dsts.reserve(nd);
+    for (std::size_t i = 0; i < nd && r.ok(); ++i)
+        in.dsts.push_back(r.u16());
+    const std::size_t ns = r.count(2);
+    in.srcs.reserve(ns);
+    for (std::size_t i = 0; i < ns && r.ok(); ++i)
+        in.srcs.push_back(r.u16());
+    return in;
+}
+
+void
+putProgram(Writer &w, const ir::Program &p)
+{
+    w.str(p.name());
+    w.u32(p.entryFunc());
+    w.u64(p.numFunctions());
+    for (const ir::Function &f : p.functions()) {
+        w.str(f.name());
+        w.u32(f.entry());
+        w.u16(f.regCount());
+        w.u8(f.isPackage() ? 1 : 0);
+        w.u64(f.layout().size());
+        for (ir::BlockId b : f.layout())
+            w.u32(b);
+        w.u64(f.numBlocks());
+        for (const ir::BasicBlock &bb : f.blocks()) {
+            w.u8(static_cast<std::uint8_t>(bb.kind));
+            w.blockRef(bb.taken);
+            w.blockRef(bb.fall);
+            w.u32(bb.callee);
+            w.blockRef(bb.origin);
+            putRefVec(w, bb.exitFrames);
+            putRefVec(w, bb.selectorTargets);
+            w.u64(bb.insts.size());
+            for (const ir::Instruction &in : bb.insts)
+                putInst(w, in);
+        }
+    }
+}
+
+Status
+getProgram(Reader &r, ir::Program &out)
+{
+    const std::string name = r.str();
+    out = ir::Program(name);
+    const ir::FuncId entry_func = r.u32();
+    const std::size_t nfuncs = r.count(16);
+    for (std::size_t fi = 0; fi < nfuncs && r.ok(); ++fi) {
+        const std::string fname = r.str();
+        const ir::FuncId fid = out.addFunction(fname);
+        ir::Function &f = out.func(fid);
+        const ir::BlockId fentry = r.u32();
+        f.setRegCount(r.u16());
+        f.setIsPackage(r.u8() != 0);
+        const std::size_t nlayout = r.count(4);
+        std::vector<ir::BlockId> layout;
+        layout.reserve(nlayout);
+        for (std::size_t i = 0; i < nlayout && r.ok(); ++i)
+            layout.push_back(r.u32());
+        const std::size_t nblocks = r.count(1);
+        if (r.ok() && nlayout != nblocks)
+            return Status::error("bundle image: layout/block count skew in " +
+                                 fname);
+        for (std::size_t bi = 0; bi < nblocks && r.ok(); ++bi) {
+            const std::uint8_t kind = r.u8();
+            if (kind > static_cast<std::uint8_t>(ir::BlockKind::Selector))
+                return Status::error("bundle image: bad block kind");
+            const ir::BlockId bid =
+                f.addBlock(static_cast<ir::BlockKind>(kind));
+            ir::BasicBlock &bb = f.block(bid);
+            bb.taken = r.blockRef();
+            bb.fall = r.blockRef();
+            bb.callee = r.u32();
+            bb.origin = r.blockRef();
+            bb.exitFrames = getRefVec(r);
+            bb.selectorTargets = getRefVec(r);
+            const std::size_t ninsts = r.count(1);
+            bb.insts.reserve(ninsts);
+            for (std::size_t ii = 0; ii < ninsts && r.ok(); ++ii)
+                bb.insts.push_back(getInst(r));
+        }
+        if (!r.ok())
+            break;
+        // addBlock() grew the layout in id order; install the stored
+        // permutation. setLayout asserts it is one, so validate here and
+        // fail soft instead.
+        if (layout.size() != f.numBlocks())
+            return Status::error("bundle image: layout size mismatch");
+        std::vector<bool> seen(f.numBlocks(), false);
+        for (ir::BlockId b : layout) {
+            if (b >= f.numBlocks() || seen[b])
+                return Status::error("bundle image: layout not a "
+                                     "permutation");
+            seen[b] = true;
+        }
+        f.setLayout(std::move(layout));
+        if (fentry >= f.numBlocks())
+            return Status::error("bundle image: entry block out of range");
+        f.setEntry(fentry);
+    }
+    if (!r.ok())
+        return Status::error("bundle image: truncated program");
+    if (entry_func >= out.numFunctions())
+        return Status::error("bundle image: entry function out of range");
+    out.setEntryFunc(entry_func);
+    return Status::ok();
+}
+
+void
+putPackages(Writer &w, const package::PackagedProgram &pp)
+{
+    w.u64(pp.originalInsts);
+    w.u64(pp.addedInsts);
+    w.u64(pp.selectedOrigInsts);
+    w.u64(pp.numLaunchPoints);
+    w.u64(pp.numLinks);
+    w.u64(pp.packages.size());
+    for (const package::PackageInfo &pi : pp.packages) {
+        w.u32(pi.func);
+        w.u32(pi.rootOrig);
+        w.u64(pi.regionIndex);
+        w.u64(pi.entryBlocks.size());
+        for (ir::BlockId b : pi.entryBlocks)
+            w.u32(b);
+        w.u64(pi.ctx.size());
+        for (const std::vector<ir::BlockRef> &c : pi.ctx)
+            putRefVec(w, c);
+        w.u64(pi.numBranches);
+        w.u64(pi.incomingLinks);
+        w.u64(pi.outgoingLinks);
+    }
+}
+
+void
+getPackages(Reader &r, package::PackagedProgram &pp)
+{
+    pp.originalInsts = static_cast<std::size_t>(r.u64());
+    pp.addedInsts = static_cast<std::size_t>(r.u64());
+    pp.selectedOrigInsts = static_cast<std::size_t>(r.u64());
+    pp.numLaunchPoints = static_cast<std::size_t>(r.u64());
+    pp.numLinks = static_cast<std::size_t>(r.u64());
+    const std::size_t n = r.count(48);
+    pp.packages.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+        package::PackageInfo pi;
+        pi.func = r.u32();
+        pi.rootOrig = r.u32();
+        pi.regionIndex = static_cast<std::size_t>(r.u64());
+        const std::size_t ne = r.count(4);
+        pi.entryBlocks.reserve(ne);
+        for (std::size_t j = 0; j < ne && r.ok(); ++j)
+            pi.entryBlocks.push_back(r.u32());
+        const std::size_t nc = r.count(8);
+        pi.ctx.reserve(nc);
+        for (std::size_t j = 0; j < nc && r.ok(); ++j)
+            pi.ctx.push_back(getRefVec(r));
+        pi.numBranches = static_cast<std::size_t>(r.u64());
+        pi.incomingLinks = static_cast<std::size_t>(r.u64());
+        pi.outgoingLinks = static_cast<std::size_t>(r.u64());
+        pp.packages.push_back(std::move(pi));
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv64(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+recordKey(const hsd::HotSpotRecord &record, unsigned tier)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(tier);
+    mix(record.branches.size());
+    for (const hsd::HotBranch &b : record.branches) {
+        mix(b.pc);
+        mix(b.behavior);
+        mix(b.exec);
+        mix(b.taken);
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+serializeBundle(const runtime::PackageBundle &b)
+{
+    Writer payload;
+    putRecord(payload, b.record);
+    payload.u64(b.key);
+    payload.u32(b.tier);
+    putPackages(payload, b.packaged);
+    putProgram(payload, b.packaged.program);
+    const std::vector<std::uint8_t> body = payload.take();
+
+    Writer framed;
+    framed.u32(kMagic);
+    framed.u32(kVersion);
+    framed.u64(body.size());
+    std::vector<std::uint8_t> out = framed.take();
+    out.insert(out.end(), body.begin(), body.end());
+    Writer sum;
+    sum.u64(fnv64(body.data(), body.size()));
+    const std::vector<std::uint8_t> tail = sum.take();
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
+}
+
+Expected<runtime::PackageBundle>
+deserializeBundle(const std::uint8_t *data, std::size_t size)
+{
+    Reader frame(data, size);
+    if (frame.u32() != kMagic)
+        return Status::error("bundle image: bad magic");
+    if (frame.u32() != kVersion)
+        return Status::error("bundle image: unsupported version");
+    const std::uint64_t body_size = frame.u64();
+    if (!frame.ok() || body_size + 8 != frame.remaining())
+        return Status::error("bundle image: bad payload size");
+    const std::uint8_t *body = data + (size - frame.remaining());
+
+    Reader tail(body + body_size, 8);
+    // Checksum sits after the payload; verify before decoding anything.
+    if (tail.u64() != fnv64(body, static_cast<std::size_t>(body_size)))
+        return Status::error("bundle image: checksum mismatch");
+
+    Reader r(body, static_cast<std::size_t>(body_size));
+    runtime::PackageBundle b;
+    b.record = getRecord(r);
+    b.key = r.u64();
+    b.tier = r.u32();
+    getPackages(r, b.packaged);
+    if (Status st = getProgram(r, b.packaged.program); !st)
+        return st;
+    if (!r.ok())
+        return Status::error("bundle image: truncated payload");
+    if (r.remaining() != 0)
+        return Status::error("bundle image: trailing bytes in payload");
+    for (const package::PackageInfo &pi : b.packaged.packages) {
+        if (pi.func >= b.packaged.program.numFunctions())
+            return Status::error("bundle image: package func out of range");
+    }
+    // Addresses are not stored; assign them exactly as synthesis did.
+    b.packaged.program.layout();
+    return b;
+}
+
+} // namespace vp::fleet

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary serialization of synthesized package bundles for the fleet's
+ * persistent store.
+ *
+ * The on-disk image carries exactly what a warm-started tenant needs to
+ * re-judge and install a bundle: the triggering record (the cache match
+ * identity), the tier/key scalars, the packaged program (full IR: the
+ * LivePatcher splices functions out of it) and the package bookkeeping.
+ * Diagnostic-only fields nothing downstream reads — the identified
+ * Region and the OptStats — are deliberately not stored, and block
+ * addresses are recomputed by Program::layout() after load, so the
+ * format stays insensitive to incidental in-memory state.
+ *
+ * Framing: [u32 magic][u32 version][u64 payload size][payload]
+ * [u64 fnv64(payload)]. All integers little-endian fixed-width; doubles
+ * are stored as their IEEE-754 bit patterns. The encoder is canonical
+ * (no map iteration, no padding), so serialize(deserialize(bytes)) is
+ * byte-identical to bytes — the round-trip property the store tests pin.
+ *
+ * deserializeBundle() is fully bounds-checked and returns an error
+ * Status — never crashes, never over-allocates — on truncated input,
+ * bad magic/version, or a checksum mismatch (a single flipped bit
+ * anywhere in the payload fails). Structural validity beyond that is
+ * *not* this layer's job: a decoded bundle still faces the
+ * PackageVerifier install gate before any tenant splices it.
+ */
+
+#ifndef VP_FLEET_SERIALIZE_HH
+#define VP_FLEET_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hsd/record.hh"
+#include "runtime/bundle.hh"
+#include "support/status.hh"
+
+namespace vp::fleet
+{
+
+/** FNV-1a over @p n bytes (the payload checksum). */
+std::uint64_t fnv64(const std::uint8_t *p, std::size_t n);
+
+/**
+ * Content hash of a hot-spot record at a synthesis tier — the sharded
+ * cache's and the store's key. Hashes exactly the fields synthesis
+ * reads (tier; each branch's pc, behavior, exec, taken) and skips the
+ * detection-time incidentals (detectedAtBranch, truePhase), so two
+ * detections of the same phase content key identically across tenants
+ * and runs.
+ */
+std::uint64_t recordKey(const hsd::HotSpotRecord &record, unsigned tier);
+
+/** Encode @p bundle into the framed on-disk image. */
+std::vector<std::uint8_t> serializeBundle(const runtime::PackageBundle &b);
+
+/** Decode a framed image; error Status on any corruption. */
+Expected<runtime::PackageBundle> deserializeBundle(const std::uint8_t *data,
+                                                   std::size_t size);
+
+} // namespace vp::fleet
+
+#endif // VP_FLEET_SERIALIZE_HH

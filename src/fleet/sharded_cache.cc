@@ -1,0 +1,138 @@
+#include "fleet/sharded_cache.hh"
+
+#include <algorithm>
+
+namespace vp::fleet
+{
+
+ShardedBundleCache::ShardedBundleCache(std::size_t shards,
+                                       std::size_t capacity_per_shard)
+    : capacityPerShard_(capacity_per_shard)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t
+ShardedBundleCache::shardOf(std::uint64_t key) const
+{
+    // splitmix64 finisher: recordKey is FNV over structured fields, so
+    // re-mix before the modulus to keep low-shard-count distributions
+    // from keying on FNV's low bits.
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards_.size());
+}
+
+std::shared_ptr<const runtime::PackageBundle>
+ShardedBundleCache::lookup(std::uint64_t ns, std::uint64_t key)
+{
+    Shard &s = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.entries.find(MapKey{ns, key});
+    if (it == s.entries.end()) {
+        ++s.stats.misses;
+        return nullptr;
+    }
+    ++s.stats.hits;
+    it->second.lastUse = ++s.useClock;
+    return it->second.bundle;
+}
+
+bool
+ShardedBundleCache::insert(std::uint64_t ns, std::uint64_t key,
+                           runtime::PackageBundle bundle, bool merged,
+                           bool from_store)
+{
+    Shard &s = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    const MapKey mk{ns, key};
+    if (s.entries.contains(mk))
+        return false; // first producer won; the bundles are identical
+
+    if (capacityPerShard_ != 0 && s.entries.size() >= capacityPerShard_) {
+        // LRU by shard-local use clock; key order breaks ties so the
+        // victim never depends on map iteration order.
+        auto victim = s.entries.end();
+        for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
+            if (victim == s.entries.end() ||
+                it->second.lastUse < victim->second.lastUse ||
+                (it->second.lastUse == victim->second.lastUse &&
+                 (it->first.ns < victim->first.ns ||
+                  (it->first.ns == victim->first.ns &&
+                   it->first.key < victim->first.key)))) {
+                victim = it;
+            }
+        }
+        s.entries.erase(victim);
+        ++s.stats.evictions;
+    }
+
+    Entry e;
+    e.bundle = std::make_shared<const runtime::PackageBundle>(
+        std::move(bundle));
+    e.fromStore = from_store;
+    e.lastUse = ++s.useClock;
+    s.entries.emplace(mk, std::move(e));
+    ++s.stats.inserts;
+    if (merged)
+        ++s.stats.merges;
+    return true;
+}
+
+std::size_t
+ShardedBundleCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        n += s->entries.size();
+    }
+    return n;
+}
+
+void
+ShardedBundleCache::forEach(
+    const std::function<void(std::uint64_t, std::uint64_t,
+                             const runtime::PackageBundle &, bool)> &fn)
+    const
+{
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        std::vector<const std::pair<const MapKey, Entry> *> items;
+        items.reserve(s->entries.size());
+        for (const auto &kv : s->entries)
+            items.push_back(&kv);
+        std::sort(items.begin(), items.end(),
+                  [](const auto *a, const auto *b) {
+                      if (a->first.ns != b->first.ns)
+                          return a->first.ns < b->first.ns;
+                      return a->first.key < b->first.key;
+                  });
+        for (const auto *kv : items) {
+            fn(kv->first.ns, kv->first.key, *kv->second.bundle,
+               kv->second.fromStore);
+        }
+    }
+}
+
+std::vector<ShardStats>
+ShardedBundleCache::stats() const
+{
+    std::vector<ShardStats> out;
+    out.reserve(shards_.size());
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        out.push_back(s->stats);
+    }
+    return out;
+}
+
+} // namespace vp::fleet

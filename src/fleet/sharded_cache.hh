@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Sharded, cross-tenant synthesis cache — the fleet's shared memory.
+ *
+ * One map of (namespace, recordKey) -> immutable bundle, split into S
+ * shards by the hot-spot identity hash, each shard behind its own
+ * mutex: tenants only contend when their phases land in the same shard,
+ * and the lock covers a map probe plus a shared_ptr copy — never
+ * synthesis, never I/O. Bundles are immutable once inserted (synthesis
+ * is pure; every producer of a key builds identical bytes), so a first
+ * writer wins and later inserts of the key are no-ops.
+ *
+ * Namespacing: lookups are scoped by the tenant's (workload fingerprint
+ * x machine hash) namespace — the same scheme the persistent store uses
+ * — so sharing happens only between tenants running the same workload
+ * on the same machine model, where the pristine-program purity argument
+ * holds. The shard index deliberately hashes only the record key, not
+ * the namespace: a phase's identity picks its shard, which is what the
+ * per-shard stats in `--timing` attribute contention to.
+ *
+ * Optional per-shard capacity bounds the resident bundle count with
+ * LRU over a monotonic use clock (never wall time). Entries loaded from
+ * the persistent store are marked, so the end-of-run flush writes back
+ * only bundles this fleet run synthesized.
+ */
+
+#ifndef VP_FLEET_SHARDED_CACHE_HH
+#define VP_FLEET_SHARDED_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/bundle.hh"
+
+namespace vp::fleet
+{
+
+/** Per-shard counters (reported via `vpack fleet --timing`). */
+struct ShardStats
+{
+    std::uint64_t hits = 0;      ///< lookups served
+    std::uint64_t misses = 0;    ///< lookups that found nothing
+    std::uint64_t inserts = 0;   ///< new keys admitted
+    std::uint64_t merges = 0;    ///< merged-bundle keys admitted
+    std::uint64_t evictions = 0; ///< LRU capacity evictions
+};
+
+/** The shared cache. Thread-safe; all methods may race freely. */
+class ShardedBundleCache
+{
+  public:
+    /**
+     * @param shards Shard count (>=1; forced to 1 when 0).
+     * @param capacity_per_shard Max entries per shard; 0 = unbounded.
+     */
+    explicit ShardedBundleCache(std::size_t shards,
+                                std::size_t capacity_per_shard = 0);
+
+    std::size_t numShards() const { return shards_.size(); }
+
+    /** Shard owning @p key (exposed so tests can pin the distribution). */
+    std::size_t shardOf(std::uint64_t key) const;
+
+    /** The bundle at (@p ns, @p key), or nullptr. Counts a hit/miss. */
+    std::shared_ptr<const runtime::PackageBundle>
+    lookup(std::uint64_t ns, std::uint64_t key);
+
+    /**
+     * Admit @p bundle at (@p ns, @p key); no-op when present (the racing
+     * producers built identical bundles). @p from_store marks warm-start
+     * rehydrations, excluded from the end-of-run flush.
+     * @return true when the entry was admitted.
+     */
+    bool insert(std::uint64_t ns, std::uint64_t key,
+                runtime::PackageBundle bundle, bool merged,
+                bool from_store);
+
+    /** Entries across all shards. */
+    std::size_t size() const;
+
+    /**
+     * Visit every entry in deterministic order — shards by index, keys
+     * ascending within a shard — under the shard locks. @p fn must not
+     * reenter the cache.
+     */
+    void forEach(const std::function<void(std::uint64_t ns,
+                                          std::uint64_t key,
+                                          const runtime::PackageBundle &b,
+                                          bool from_store)> &fn) const;
+
+    /** Snapshot of each shard's counters, by shard index. */
+    std::vector<ShardStats> stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const runtime::PackageBundle> bundle;
+        bool fromStore = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct MapKey
+    {
+        std::uint64_t ns = 0;
+        std::uint64_t key = 0;
+        bool operator==(const MapKey &o) const = default;
+    };
+
+    struct MapKeyHash
+    {
+        std::size_t
+        operator()(const MapKey &k) const noexcept
+        {
+            // splitmix64 over the xor; either half alone is already a
+            // good hash, the mix guards against structured ns ^ key.
+            std::uint64_t x = k.ns ^ (k.key * 0x9e3779b97f4a7c15ull);
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ull;
+            x ^= x >> 27;
+            x *= 0x94d049bb133111ebull;
+            x ^= x >> 31;
+            return static_cast<std::size_t>(x);
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<MapKey, Entry, MapKeyHash> entries;
+        ShardStats stats;
+        std::uint64_t useClock = 0; ///< monotonic LRU clock, per shard
+    };
+
+    std::size_t capacityPerShard_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace vp::fleet
+
+#endif // VP_FLEET_SHARDED_CACHE_HH

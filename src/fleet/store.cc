@@ -1,0 +1,141 @@
+#include "fleet/store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "fleet/serialize.hh"
+
+namespace vp::fleet
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+BundleStore::namespaceDir(std::uint64_t ns) const
+{
+    return dir_ + "/" + hex16(ns);
+}
+
+Expected<bool>
+BundleStore::put(std::uint64_t ns, std::uint64_t key,
+                 const runtime::PackageBundle &bundle)
+{
+    std::error_code ec;
+    const fs::path nsdir = namespaceDir(ns);
+    fs::create_directories(nsdir, ec);
+    if (ec)
+        return Status::error("bundle store: cannot create " +
+                             nsdir.string() + ": " + ec.message());
+
+    const fs::path final_path = nsdir / (hex16(key) + ".vpb");
+    if (fs::exists(final_path, ec))
+        return false; // first writer won; contents are identical anyway
+
+    const std::vector<std::uint8_t> image = serializeBundle(bundle);
+    // Temp-then-rename: a crashed or raced writer never leaves a
+    // half-written .vpb where loadNamespace() would pick it up. The
+    // temp name is keyed, so two processes racing the same key collide
+    // only with each other — and rename() then just makes the identical
+    // bytes visible twice.
+    const fs::path tmp_path = nsdir / (hex16(key) + ".tmp");
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return Status::error("bundle store: cannot open " +
+                                 tmp_path.string());
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+        if (!out)
+            return Status::error("bundle store: short write to " +
+                                 tmp_path.string());
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return Status::error("bundle store: rename failed for " +
+                             final_path.string());
+    }
+    return true;
+}
+
+NamespaceLoad
+BundleStore::loadNamespace(std::uint64_t ns) const
+{
+    NamespaceLoad result;
+    std::error_code ec;
+    const fs::path nsdir = namespaceDir(ns);
+    if (!fs::is_directory(nsdir, ec))
+        return result;
+
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(nsdir, ec)) {
+        if (de.path().extension() == ".vpb")
+            files.push_back(de.path());
+    }
+    // Directory enumeration order is filesystem-dependent; key order is
+    // not. Everything downstream (shared-cache insertion, stats) must be
+    // deterministic, so sort first.
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &p : files) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            ++result.corrupt;
+            continue;
+        }
+        std::vector<std::uint8_t> image(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        Expected<runtime::PackageBundle> b =
+            deserializeBundle(image.data(), image.size());
+        if (!b) {
+            ++result.corrupt;
+            continue;
+        }
+        StoredBundle sb;
+        sb.key = recordKey(b->record, b->tier);
+        sb.bundle = std::move(b.value());
+        result.bundles.push_back(std::move(sb));
+    }
+    std::sort(result.bundles.begin(), result.bundles.end(),
+              [](const StoredBundle &a, const StoredBundle &b) {
+                  return a.key < b.key;
+              });
+    return result;
+}
+
+std::size_t
+BundleStore::countNamespace(std::uint64_t ns) const
+{
+    std::error_code ec;
+    const fs::path nsdir = namespaceDir(ns);
+    if (!fs::is_directory(nsdir, ec))
+        return 0;
+    std::size_t n = 0;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(nsdir, ec)) {
+        if (de.path().extension() == ".vpb")
+            ++n;
+    }
+    return n;
+}
+
+} // namespace vp::fleet

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Persistent bundle store: the fleet's on-disk package warehouse.
+ *
+ * Bundles are namespaced by the RunCache keying scheme — a namespace is
+ * fnv(workload fingerprint, machine hash), so a stored bundle is only
+ * ever offered to a tenant running the *same* workload on the *same*
+ * machine model — and keyed within a namespace by recordKey(record,
+ * tier), the content hash of the synthesis input. Layout:
+ *
+ *     <dir>/<namespace:016x>/<key:016x>.vpb
+ *
+ * put() writes via a temp file + rename so a crashed writer never
+ * leaves a half-written .vpb visible, and skips keys already present
+ * (first writer wins; every writer of a key serializes the identical
+ * bundle anyway, synthesis being pure). loadNamespace() decodes every
+ * .vpb in a namespace in sorted key order — deterministic regardless of
+ * directory enumeration order — counting corrupt images (bad frame or
+ * checksum) instead of failing the warm start. Rehydrated bundles are
+ * *candidates*: the FleetController re-verifies each against the
+ * tenant's pristine program before admitting it to the shared cache.
+ */
+
+#ifndef VP_FLEET_STORE_HH
+#define VP_FLEET_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/bundle.hh"
+#include "support/status.hh"
+
+namespace vp::fleet
+{
+
+/** One rehydrated store entry. */
+struct StoredBundle
+{
+    std::uint64_t key = 0; ///< recordKey(bundle.record, bundle.tier)
+    runtime::PackageBundle bundle;
+};
+
+/** Result of scanning one namespace. */
+struct NamespaceLoad
+{
+    std::vector<StoredBundle> bundles; ///< sorted by key
+    std::size_t corrupt = 0; ///< images rejected by the decoder
+};
+
+/** Filesystem-backed bundle store rooted at one directory. */
+class BundleStore
+{
+  public:
+    explicit BundleStore(std::string dir) : dir_(std::move(dir)) {}
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Persist @p bundle under (@p ns, @p key) unless that key already
+     * exists. @return true when a new file was written; error Status
+     * only for I/O failures (an existing key is a false ok()).
+     */
+    Expected<bool> put(std::uint64_t ns, std::uint64_t key,
+                       const runtime::PackageBundle &bundle);
+
+    /** Decode every bundle stored under @p ns (missing namespace = empty
+     *  result, not an error). */
+    NamespaceLoad loadNamespace(std::uint64_t ns) const;
+
+    /** Files present under @p ns (cheap existence probe for harnesses). */
+    std::size_t countNamespace(std::uint64_t ns) const;
+
+  private:
+    std::string namespaceDir(std::uint64_t ns) const;
+
+    std::string dir_;
+};
+
+} // namespace vp::fleet
+
+#endif // VP_FLEET_STORE_HH

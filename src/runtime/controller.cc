@@ -177,8 +177,7 @@ RuntimeController::watchdog()
         if (engineReferences(e.installed.funcs))
             ++stats_.lazyDeopts;
         zombies_.push_back(e.installed.funcs);
-        e.resident = false;
-        e.installed = InstalledBundle{};
+        cache_.clearResident(i);
         cache_.quarantine(e.bundle.record, quantum_,
                           cfg_.quarantineBaseQuanta,
                           cfg_.quarantineMaxQuanta);
@@ -594,29 +593,50 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier,
     // fixed seed fails the same jobs for every worker count.
     const bool inject_fail = inject_.fire(fault::Kind::SynthFail);
 
-    pool_.submit([result = job.result, done = job.done, record = rec,
-                  pristine = &pristine_, vcfg = cfg_.vp, inject_fail,
-                  tier]() {
-        if (inject_fail) {
-            result->status = Status::error("injected synthesis fault");
-        } else {
-            try {
-                Expected<PackageBundle> b =
-                    trySynthesizeBundle(*pristine, record, vcfg, tier);
-                if (b)
-                    result->bundle = std::move(b.value());
-                else
-                    result->status = b.status();
-            } catch (const std::exception &e) {
-                result->status = Status::error(
-                    std::string("synthesis threw: ") + e.what());
-            } catch (...) {
-                result->status =
-                    Status::error("synthesis threw a non-std exception");
+    // Fleet shared-synthesis memo: a job whose record was already built
+    // anywhere in the fleet is served without running a worker. The
+    // bundle is bit-identical to what the worker would have produced
+    // (synthesis is pure in the record), and it still installs at the
+    // same readyQuantum computed above, so results cannot change. An
+    // injected failure skips the lookup — the fault must fire exactly as
+    // it would standalone, not be masked by another tenant's success.
+    std::shared_ptr<const PackageBundle> cached;
+    if (synthCache_ && !inject_fail)
+        cached = synthCache_->lookup(rec, tier);
+    if (cached) {
+        job.result->bundle = *cached;
+        // Re-anchor the detection-specific fields (detectedAtBranch,
+        // truePhase) to *this* detection; trySynthesizeBundle stores the
+        // input record verbatim, so the rest is already identical.
+        job.result->bundle.record = rec;
+        job.done->store(true, std::memory_order_release);
+        ++stats_.sharedCacheHits;
+    } else {
+        ++stats_.synthJobsExecuted;
+        pool_.submit([result = job.result, done = job.done, record = rec,
+                      pristine = &pristine_, vcfg = cfg_.vp, inject_fail,
+                      tier]() {
+            if (inject_fail) {
+                result->status = Status::error("injected synthesis fault");
+            } else {
+                try {
+                    Expected<PackageBundle> b =
+                        trySynthesizeBundle(*pristine, record, vcfg, tier);
+                    if (b)
+                        result->bundle = std::move(b.value());
+                    else
+                        result->status = b.status();
+                } catch (const std::exception &e) {
+                    result->status = Status::error(
+                        std::string("synthesis threw: ") + e.what());
+                } catch (...) {
+                    result->status =
+                        Status::error("synthesis threw a non-std exception");
+                }
             }
-        }
-        done->store(true, std::memory_order_release);
-    });
+            done->store(true, std::memory_order_release);
+        });
+    }
 
     jobs_.push_back(std::move(job));
 }
@@ -660,6 +680,18 @@ RuntimeController::completeJob(const Job &job)
                           cfg_.quarantineMaxQuanta);
         ++stats_.quarantines;
         return;
+    }
+
+    // Publish every successful build to the fleet memo before any
+    // tenant-local admission decision: the install gate runs per tenant
+    // at activation, so a bundle this tenant ends up rejecting or
+    // quarantining is still a valid synthesis product for the next
+    // consumer (which re-judges it). Empty bundles are published too —
+    // a warm tenant then skips even the no-op build.
+    if (synthCache_) {
+        synthCache_->publish(job.record, job.tier, job.result->bundle,
+                             job.merged);
+        ++stats_.sharedCachePublishes;
     }
 
     // Quarantine first: a phase that offended while this job compiled
@@ -1033,28 +1065,30 @@ RuntimeController::activate(std::uint64_t entry_id)
     for (std::size_t j : owners)
         displace(j);
 
-    CacheEntry &e = cache_.entry(idx);
-    e.installed = patcher_.install(e.bundle);
+    InstalledBundle ib = patcher_.install(cache_.entry(idx).bundle);
     if (cfg_.verifyAfterPatch) {
         if (Status st = ir::verifyProgram(live_, "runtime install"); !st) {
             // The splice broke the live program: roll it back through
             // the undo log, quarantine the phase, keep running on
-            // original code.
+            // original code. The entry never became resident, so no
+            // weight was ever charged.
             vp_warn("install rolled back: ", st.message());
-            patcher_.unpatch(e.installed);
-            zombies_.push_back(e.installed.funcs);
+            patcher_.unpatch(ib);
+            zombies_.push_back(ib.funcs);
             ++stats_.installRollbacks;
-            cache_.quarantine(e.bundle.record, quantum_,
+            const CacheEntry &bad = cache_.entry(idx);
+            cache_.quarantine(bad.bundle.record, quantum_,
                               cfg_.quarantineBaseQuanta,
                               cfg_.quarantineMaxQuanta);
             ++stats_.quarantines;
-            stats_.bundles[e.bundleIndex].rejected = true;
-            stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
+            stats_.bundles[bad.bundleIndex].rejected = true;
+            stats_.bundles[bad.bundleIndex].evictedQuantum = quantum_;
             cache_.remove(idx);
             return;
         }
     }
-    e.resident = true;
+    cache_.setResident(idx, std::move(ib));
+    CacheEntry &e = cache_.entry(idx);
     e.coldQuanta = 0;
     e.provedHealthy = false;
     e.lastInstalledQuantum = quantum_;
@@ -1191,8 +1225,7 @@ RuntimeController::retireTier0AtEnd()
         if (!e.resident || e.bundle.tier != 0)
             continue;
         patcher_.unpatch(e.installed);
-        e.resident = false;
-        e.installed = InstalledBundle{};
+        cache_.clearResident(i);
         stats_.bundles[e.bundleIndex].evictedQuantum = quantum_;
         ++stats_.tier0EndOfRunRetires;
     }
@@ -1206,8 +1239,7 @@ RuntimeController::displace(std::size_t idx)
     if (engineReferences(e.installed.funcs))
         ++stats_.lazyDeopts; // tombstoned later, once the engine drains
     zombies_.push_back(e.installed.funcs);
-    e.resident = false;
-    e.installed = InstalledBundle{};
+    cache_.clearResident(idx);
     ++stats_.displacements;
 }
 

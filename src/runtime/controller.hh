@@ -57,6 +57,7 @@
 #include "runtime/package_cache.hh"
 #include "runtime/patcher.hh"
 #include "runtime/stats.hh"
+#include "runtime/synth_cache.hh"
 #include "runtime/verifier.hh"
 #include "support/fault.hh"
 #include "support/thread_pool.hh"
@@ -84,6 +85,15 @@ class RuntimeController
      *  Must be called before run(); tests use this to compare the
      *  logical instruction stream against an unpatched reference run. */
     void addSink(trace::InstSink *sink) { engine_.addSink(sink); }
+
+    /**
+     * Attach a fleet-level synthesis memo; must be set before run() and
+     * outlive it. Serving a job from the cache never changes results —
+     * the bundle is bit-identical to a fresh build (synthesis is pure)
+     * and installs at the same deterministic readyQuantum — it only
+     * skips the worker execution. Unset: the standalone runtime.
+     */
+    void setSynthesisCache(SynthesisCache *c) { synthCache_ = c; }
 
     const RuntimeStats &stats() const { return stats_; }
 
@@ -184,6 +194,8 @@ class RuntimeController
      *  deterministic event order — a fixed seed injects the identical
      *  sequence for every worker count. */
     fault::FaultInjector inject_;
+
+    SynthesisCache *synthCache_ = nullptr;
 
     ThreadPool pool_;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/logging.hh"
+
 namespace vp::runtime
 {
 
@@ -63,6 +65,8 @@ std::size_t
 PackageCache::add(CacheEntry e)
 {
     e.id = nextId_++;
+    if (e.resident)
+        residentWeight_ += e.installed.weight;
     entries_.push_back(std::move(e));
     return entries_.size() - 1;
 }
@@ -78,19 +82,55 @@ CacheEntry
 PackageCache::remove(std::size_t i)
 {
     CacheEntry e = std::move(entries_.at(i));
+    if (e.resident) {
+        vp_assert(residentWeight_ >= e.installed.weight,
+                  "resident-weight underflow on remove");
+        residentWeight_ -= e.installed.weight;
+    }
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
     return e;
+}
+
+void
+PackageCache::setResident(std::size_t i, InstalledBundle installed)
+{
+    CacheEntry &e = entries_.at(i);
+    vp_assert(!e.resident, "setResident on an already-resident entry");
+    e.installed = std::move(installed);
+    e.resident = true;
+    residentWeight_ += e.installed.weight;
+}
+
+void
+PackageCache::clearResident(std::size_t i)
+{
+    CacheEntry &e = entries_.at(i);
+    if (!e.resident)
+        return;
+    vp_assert(residentWeight_ >= e.installed.weight,
+              "resident-weight underflow on clearResident");
+    residentWeight_ -= e.installed.weight;
+    e.resident = false;
+    e.installed = InstalledBundle{};
 }
 
 std::size_t
 PackageCache::weight() const
 {
+    // Incremental counter, audited unconditionally against the ground
+    // truth: any residency flip that bypassed setResident/clearResident
+    // (or a direct e.resident= mutation, the historical source of
+    // lingering merged-fragment weight) trips here, not as a silent
+    // capacity distortion quanta later.
     std::size_t w = 0;
     for (const CacheEntry &e : entries_) {
         if (e.resident)
             w += e.installed.weight;
     }
-    return w;
+    vp_assert(w == residentWeight_,
+              "resident-weight audit failed: counter=", residentWeight_,
+              " rescan=", w);
+    return residentWeight_;
 }
 
 bool

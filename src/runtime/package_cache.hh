@@ -172,16 +172,34 @@ class PackageCache
     /** @return index of the entry with handle @p id, or npos. */
     std::size_t findById(std::uint64_t id) const;
 
-    /** Append @p e, assigning its id; @return its index. */
+    /** Append @p e, assigning its id; @return its index. An entry added
+     *  already resident (tests build such fixtures) is charged against
+     *  the weight budget on entry. */
     std::size_t add(CacheEntry e);
 
     /** Refresh recency: entry @p i was used at quantum @p q. */
     void touch(std::size_t i, std::uint64_t q);
 
-    /** Remove and return entry @p i (caller deopts it if resident). */
+    /** Remove and return entry @p i (caller deopts it if resident); a
+     *  resident entry's weight is released immediately. */
     CacheEntry remove(std::size_t i);
 
-    /** Sum of resident weights. */
+    /**
+     * Mark entry @p i resident with its live-program bookkeeping
+     * @p installed, charging its weight. All residency flips go through
+     * here / clearResident() so the weight counter is exact at every
+     * point of an entry's lifecycle — in particular, mergedFrom
+     * fragments retired at a merged bundle's activation release their
+     * weight at that instant, not when a later displacement rescans.
+     */
+    void setResident(std::size_t i, InstalledBundle installed);
+
+    /** Undo setResident(): release entry @p i's weight, drop its
+     *  bookkeeping, keep the bundle dormant for cheap re-install. */
+    void clearResident(std::size_t i);
+
+    /** Sum of resident weights (O(1): maintained incrementally at every
+     *  residency flip, audited against a full rescan). */
     std::size_t weight() const;
 
     /** True while weight() exceeds the capacity (and one is set). */
@@ -232,6 +250,7 @@ class PackageCache
   private:
     std::vector<CacheEntry> entries_;
     std::vector<QuarantineEntry> quarantine_;
+    std::size_t residentWeight_ = 0; ///< invariant: == rescan of entries_
     std::size_t capacity_;
     hsd::FilterConfig match_;
     bool subsumeMatch_ = false;

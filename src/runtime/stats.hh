@@ -144,6 +144,24 @@ struct RuntimeStats
     /** Sum over tier-1 first installs of (install - submit) quanta. */
     std::uint64_t compileLatencyQuanta = 0;
 
+    // --- Fleet shared-synthesis counters (all zero without a
+    // SynthesisCache attached). Deliberately never rendered by toText():
+    // whether a job is served from the fleet cache depends on tenant
+    // scheduling (which tenant published first) and on warm-start, while
+    // the per-tenant report must stay byte-identical across thread
+    // counts, shard counts and cold/warm runs — a hit changes worker
+    // wall-clock only, never the bundle content or its install quantum.
+
+    /** Synthesis jobs served from the shared cache (no worker ran). */
+    std::size_t sharedCacheHits = 0;
+
+    /** Synthesis jobs actually executed on a worker
+     *  (builds + tier0Builds == synthJobsExecuted + sharedCacheHits). */
+    std::size_t synthJobsExecuted = 0;
+
+    /** Completed bundles offered to the shared cache. */
+    std::size_t sharedCachePublishes = 0;
+
     // --- Tiered installation (all zero with cfg.tiering off except the
     // tier-1 firstInstallQuantum slot).
 

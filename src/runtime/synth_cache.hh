@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hook for a fleet-level synthesis memo.
+ *
+ * trySynthesizeBundle() is a pure function of (pristine program, record,
+ * config, tier), so two jobs with bit-identical records produce
+ * bit-identical bundles on any thread of any process. A SynthesisCache
+ * exploits that: before handing a job to a worker the controller asks
+ * the cache, and a hit fills the job's result immediately — the bundle
+ * still installs at the same deterministic readyQuantum, so serving from
+ * the cache changes worker wall-clock only, never results. The fleet
+ * layer implements this interface over a sharded, cross-tenant cache
+ * backed by a persistent store; the single-tenant runtime leaves it
+ * unset and behaves exactly as before.
+ */
+
+#ifndef VP_RUNTIME_SYNTH_CACHE_HH
+#define VP_RUNTIME_SYNTH_CACHE_HH
+
+#include <memory>
+
+#include "hsd/record.hh"
+#include "runtime/bundle.hh"
+
+namespace vp::runtime
+{
+
+/** Cross-run / cross-tenant bundle memo consulted around synthesis. */
+class SynthesisCache
+{
+  public:
+    virtual ~SynthesisCache() = default;
+
+    /**
+     * A bundle previously synthesized from a record content-identical to
+     * @p record at @p tier, or nullptr. Called on the controller thread;
+     * implementations must be safe against concurrent calls from other
+     * tenants' controllers.
+     */
+    virtual std::shared_ptr<const PackageBundle>
+    lookup(const hsd::HotSpotRecord &record, unsigned tier) = 0;
+
+    /**
+     * Offer a successfully synthesized bundle (published on completion,
+     * before any tenant-local admission decisions — the install gate
+     * runs per tenant at activation, so a locally rejected bundle is
+     * re-judged by every consumer). Re-offering an already-published
+     * key is a no-op.
+     */
+    virtual void publish(const hsd::HotSpotRecord &record, unsigned tier,
+                         const PackageBundle &bundle, bool merged) = 0;
+};
+
+} // namespace vp::runtime
+
+#endif // VP_RUNTIME_SYNTH_CACHE_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fleet runtime service tests: ShardedBundleCache unit behavior
+ * (namespace isolation, first-writer-wins, LRU eviction, deterministic
+ * iteration), PackageCache resident-weight accounting across residency
+ * flips, and FleetController end-to-end properties — per-tenant reports
+ * byte-identical across thread counts, shard counts and cold/warm
+ * starts, single-tenant parity with a bare RuntimeController, and
+ * warm-start job savings through the persistent store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fleet/controller.hh"
+#include "fleet/sharded_cache.hh"
+#include "runtime/controller.hh"
+#include "runtime/package_cache.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::fleet;
+
+// ---------------------------------------------------------------------
+// ShardedBundleCache
+
+TEST(ShardedBundleCache, NamespacesAreIsolated)
+{
+    ShardedBundleCache cache(4);
+    EXPECT_TRUE(cache.insert(/*ns=*/1, /*key=*/42,
+                             runtime::PackageBundle{}, false, false));
+    EXPECT_NE(cache.lookup(1, 42), nullptr);
+    EXPECT_EQ(cache.lookup(2, 42), nullptr);
+    EXPECT_EQ(cache.lookup(1, 43), nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+
+    const std::vector<ShardStats> stats = cache.stats();
+    std::uint64_t hits = 0, misses = 0;
+    for (const ShardStats &s : stats) {
+        hits += s.hits;
+        misses += s.misses;
+    }
+    EXPECT_EQ(hits, 1u);
+    EXPECT_EQ(misses, 2u);
+}
+
+TEST(ShardedBundleCache, FirstWriterWins)
+{
+    ShardedBundleCache cache(2);
+    EXPECT_TRUE(cache.insert(7, 9, runtime::PackageBundle{}, false, false));
+    const auto first = cache.lookup(7, 9);
+    ASSERT_NE(first, nullptr);
+    // A racing producer of the same key built an identical bundle; the
+    // second insert must be a no-op, not a replacement.
+    EXPECT_FALSE(
+        cache.insert(7, 9, runtime::PackageBundle{}, false, false));
+    EXPECT_EQ(cache.lookup(7, 9), first);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedBundleCache, KeysSpreadAcrossShards)
+{
+    ShardedBundleCache cache(8);
+    std::vector<std::size_t> perShard(8, 0);
+    for (std::uint64_t k = 0; k < 256; ++k) {
+        const std::size_t s = cache.shardOf(k);
+        ASSERT_LT(s, 8u);
+        // shardOf is a pure function of the key.
+        EXPECT_EQ(cache.shardOf(k), s);
+        ++perShard[s];
+    }
+    for (std::size_t s = 0; s < 8; ++s)
+        EXPECT_GT(perShard[s], 0u) << "shard " << s << " never chosen";
+}
+
+TEST(ShardedBundleCache, EvictsLeastRecentlyUsedAtCapacity)
+{
+    ShardedBundleCache cache(1, /*capacity_per_shard=*/2);
+    cache.insert(1, 10, runtime::PackageBundle{}, false, false);
+    cache.insert(1, 20, runtime::PackageBundle{}, false, false);
+    // Touch key 10 so key 20 is the LRU victim.
+    EXPECT_NE(cache.lookup(1, 10), nullptr);
+    cache.insert(1, 30, runtime::PackageBundle{}, false, false);
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NE(cache.lookup(1, 10), nullptr);
+    EXPECT_EQ(cache.lookup(1, 20), nullptr);
+    EXPECT_NE(cache.lookup(1, 30), nullptr);
+    EXPECT_EQ(cache.stats()[0].evictions, 1u);
+}
+
+TEST(ShardedBundleCache, ForEachVisitsKeysInDeterministicOrder)
+{
+    ShardedBundleCache cache(1);
+    for (const std::uint64_t k : {50u, 10u, 40u, 20u, 30u})
+        cache.insert(3, k, runtime::PackageBundle{}, false, false);
+
+    std::vector<std::uint64_t> seen;
+    cache.forEach([&](std::uint64_t ns, std::uint64_t key,
+                      const runtime::PackageBundle &, bool) {
+        EXPECT_EQ(ns, 3u);
+        seen.push_back(key);
+    });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 30, 40, 50}));
+}
+
+// ---------------------------------------------------------------------
+// PackageCache resident-weight accounting
+
+TEST(PackageCacheWeight, TracksResidencyFlipsExactly)
+{
+    runtime::PackageCache cache(/*capacity_insts=*/0, hsd::FilterConfig{});
+    EXPECT_EQ(cache.weight(), 0u);
+
+    // Dormant entry: holds a bundle but no code space.
+    const std::size_t a = cache.add(runtime::CacheEntry{});
+    EXPECT_EQ(cache.weight(), 0u);
+
+    runtime::InstalledBundle ib;
+    ib.weight = 100;
+    cache.setResident(a, ib);
+    EXPECT_EQ(cache.weight(), 100u);
+
+    // Entries added already resident (test fixtures do this) are charged
+    // on entry.
+    runtime::CacheEntry pre;
+    pre.resident = true;
+    pre.installed.weight = 50;
+    const std::size_t b = cache.add(std::move(pre));
+    EXPECT_EQ(cache.weight(), 150u);
+
+    // Deopt releases the weight at the flip, not at some later rescan.
+    cache.clearResident(a);
+    EXPECT_EQ(cache.weight(), 50u);
+    EXPECT_FALSE(cache.entry(a).resident);
+
+    // clearResident on a dormant entry is a no-op.
+    cache.clearResident(a);
+    EXPECT_EQ(cache.weight(), 50u);
+
+    // Removing a resident entry releases immediately too.
+    cache.remove(b);
+    EXPECT_EQ(cache.weight(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// FleetController end-to-end
+
+fleet::FleetConfig
+smallFleet(std::size_t tenants, std::size_t shards, unsigned threads)
+{
+    fleet::FleetConfig fc;
+    fc.rt.vp = VpConfig::variant(true, true);
+    fc.rt.workers = 1;
+    fc.rt.budget = 200000;
+    fc.tenants = tenants;
+    fc.shards = shards;
+    fc.threads = threads;
+    return fc;
+}
+
+std::string
+tenantReports(const FleetStats &stats)
+{
+    std::string out;
+    for (const TenantStats &t : stats.tenants)
+        out += runtime::toText(t.stats, t.label);
+    return out;
+}
+
+TEST(FleetController, ReportsAreThreadCountInvariant)
+{
+    FleetStats one = FleetController(smallFleet(4, 4, 1)).run();
+    FleetStats eight = FleetController(smallFleet(4, 4, 8)).run();
+    // Full report including the fleet summary and per-shard counters:
+    // distinct workloads own disjoint namespaces, so even the shared
+    // counters are schedule-independent.
+    EXPECT_EQ(toText(one, true), toText(eight, true));
+}
+
+TEST(FleetController, ReportsAreShardCountInvariant)
+{
+    FleetStats narrow = FleetController(smallFleet(4, 1, 4)).run();
+    FleetStats wide = FleetController(smallFleet(4, 8, 4)).run();
+    EXPECT_EQ(tenantReports(narrow), tenantReports(wide));
+    EXPECT_EQ(narrow.jobsSubmitted, wide.jobsSubmitted);
+    EXPECT_EQ(narrow.jobsExecuted, wide.jobsExecuted);
+    EXPECT_EQ(narrow.jobsFromCache, wide.jobsFromCache);
+}
+
+TEST(FleetController, SingleTenantMatchesBareRuntimeController)
+{
+    const FleetConfig fc = smallFleet(1, 1, 1);
+    FleetStats fleet = FleetController(fc).run();
+    ASSERT_EQ(fleet.tenants.size(), 1u);
+
+    std::vector<workload::Workload> roster = workload::makeAllWorkloads();
+    runtime::RuntimeController bare(roster[0], fc.rt);
+    const runtime::RuntimeStats direct = bare.run();
+
+    EXPECT_EQ(runtime::toText(fleet.tenants[0].stats,
+                              fleet.tenants[0].label),
+              runtime::toText(direct, roster[0].label()));
+}
+
+TEST(FleetController, WarmStartServesJobsFromTheStore)
+{
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "fleet-warm")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    FleetConfig fc = smallFleet(4, 2, 2);
+    fc.storeDir = dir;
+    FleetStats cold = FleetController(fc).run();
+    EXPECT_GT(cold.storeSaved, 0u);
+    EXPECT_GT(cold.jobsExecuted, 0u);
+
+    fc.warmStart = true;
+    FleetStats warm = FleetController(fc).run();
+    EXPECT_GT(warm.storeLoaded, 0u);
+    EXPECT_EQ(warm.storeRejected, 0u);
+    EXPECT_EQ(warm.storeCorrupt, 0u);
+    EXPECT_GT(warm.jobsFromCache, cold.jobsFromCache);
+    EXPECT_LT(warm.jobsExecuted, cold.jobsExecuted);
+    // Nothing new to save: everything the warm run needed came back out
+    // of the store.
+    EXPECT_EQ(warm.storeSaved, 0u);
+
+    // Sharing changes who computes a bundle, never what a tenant runs.
+    EXPECT_EQ(tenantReports(cold), tenantReports(warm));
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

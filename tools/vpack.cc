@@ -8,6 +8,9 @@
  *   vpack dump <bench> [input] [options]    dump the packaged program IR
  *   vpack runtime <bench> [input] [options] run online: detect, package
  *                                           and hot-swap in one execution
+ *   vpack fleet [options]                   run N roster tenants over one
+ *                                           shared synthesis cache and
+ *                                           persistent bundle store
  *
  * Options (run/dump):
  *   --no-inference         disable Figure 4 temperature inference
@@ -50,6 +53,19 @@
  *   --merge-overlap=F      working-set overlap fraction (of the smaller
  *                          record) at which a new detection coalesces
  *                          with a cache entry (default 0.5)
+ *
+ * Options (fleet):
+ *   --tenants=N            concurrent tenants (0/default: the full
+ *                          20-row roster; larger values cycle it)
+ *   --shards=N             shared synthesis-cache shard count
+ *   --shard-capacity=N     max bundles per shard (0 = unbounded)
+ *   --store-dir=PATH       persistent bundle store directory
+ *   --warm-start           rehydrate the store before running
+ *                          (verifier-gated; stale/corrupt images are
+ *                          counted and dropped, never installed)
+ *   --threads=N            concurrent tenant executions (per-tenant
+ *                          reports are identical for every value)
+ *   --timing               append per-shard cache-stats lines
  */
 
 #include <cstdio>
@@ -58,6 +74,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/controller.hh"
 #include "ir/print.hh"
 #include "runtime/controller.hh"
 #include "support/fault.hh"
@@ -80,6 +97,7 @@ usage()
                  "       vpack report  <bench> [input]\n"
                  "       vpack dump    <bench> [input] [options]\n"
                  "       vpack runtime <bench> [input] [options]\n"
+                 "       vpack fleet   [options]\n"
                  "options: --no-inference --no-linking --dynamic-launch\n"
                  "         --unroll=N --bbb=SETSxWAYS --history=N\n"
                  "         --max-blocks=N --budget=N --packages-only\n"
@@ -87,7 +105,9 @@ usage()
                  "         --quantum=N --cache-capacity=N --compare\n"
                  "         --fault-inject=SPEC --fault-seed=N --watchdog\n"
                  "         --no-tiering --tier0-budget=N\n"
-                 "         --no-merge --merge-overlap=F\n");
+                 "         --no-merge --merge-overlap=F\n"
+                 "         --tenants=N --shards=N --shard-capacity=N\n"
+                 "         --store-dir=PATH --warm-start\n");
     return 2;
 }
 
@@ -104,6 +124,13 @@ struct Options
     bool compare = false;
     std::string faultSpec;
     std::uint64_t faultSeed = 0;
+
+    // fleet subcommand
+    std::size_t tenants = 0; // 0 = full roster
+    std::size_t shards = 4;
+    std::size_t shardCapacity = 0;
+    std::string storeDir;
+    bool warmStart = false;
 };
 
 bool
@@ -203,6 +230,42 @@ parseOptions(int argc, char **argv, int first, Options &opt)
                              a.c_str());
                 return false;
             }
+        } else if (starts("--tenants=")) {
+            char *end = nullptr;
+            opt.tenants = static_cast<std::size_t>(
+                std::strtoull(a.c_str() + 10, &end, 10));
+            if (end == a.c_str() + 10 || *end != '\0') {
+                std::fprintf(stderr, "vpack: bad --tenants value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (starts("--shards=")) {
+            char *end = nullptr;
+            opt.shards = static_cast<std::size_t>(
+                std::strtoull(a.c_str() + 9, &end, 10));
+            if (end == a.c_str() + 9 || *end != '\0' || opt.shards == 0) {
+                std::fprintf(stderr, "vpack: bad --shards value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (starts("--shard-capacity=")) {
+            char *end = nullptr;
+            opt.shardCapacity = static_cast<std::size_t>(
+                std::strtoull(a.c_str() + 17, &end, 10));
+            if (end == a.c_str() + 17 || *end != '\0') {
+                std::fprintf(stderr,
+                             "vpack: bad --shard-capacity value '%s'\n",
+                             a.c_str());
+                return false;
+            }
+        } else if (starts("--store-dir=")) {
+            opt.storeDir = a.substr(12);
+            if (opt.storeDir.empty()) {
+                std::fprintf(stderr, "vpack: empty --store-dir path\n");
+                return false;
+            }
+        } else if (a == "--warm-start") {
+            opt.warmStart = true;
         } else if (starts("--bbb=")) {
             unsigned sets = 0, ways = 0;
             if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
@@ -326,6 +389,32 @@ cmdRuntime(const workload::Workload &w_in, const Options &opt)
 }
 
 int
+cmdFleet(const Options &opt)
+{
+    if (opt.warmStart && opt.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "vpack: --warm-start requires --store-dir\n");
+        return 2;
+    }
+
+    fleet::FleetConfig fc;
+    fc.rt = opt.rt;
+    fc.rt.vp = opt.cfg;
+    fc.rt.budget = opt.budget;
+    fc.tenants = opt.tenants;
+    fc.shards = opt.shards;
+    fc.shardCapacity = opt.shardCapacity;
+    fc.storeDir = opt.storeDir;
+    fc.warmStart = opt.warmStart;
+    fc.threads = opt.threads;
+
+    fleet::FleetController controller(std::move(fc));
+    const fleet::FleetStats stats = controller.run();
+    std::printf("%s", toText(stats, opt.timing).c_str());
+    return 0;
+}
+
+int
 cmdDump(const workload::Workload &w, const Options &opt)
 {
     VacuumPacker packer(w, opt.cfg);
@@ -352,6 +441,12 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "list")
         return cmdList();
+    if (cmd == "fleet") {
+        Options opt;
+        if (!parseOptions(argc, argv, 2, opt))
+            return 2;
+        return cmdFleet(opt);
+    }
     if (argc < 3)
         return usage();
 
