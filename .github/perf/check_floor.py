@@ -16,7 +16,9 @@ floor file serves several benches):
               metric -> floor, checked against the bench's "rows" list.
               A pinned row missing from the bench output is a failure —
               a renamed or dropped workload must not silently drop its
-              floor.
+              floor. A row carrying a truthy "degraded" value is skipped
+              with a notice: a chaos run that deliberately degraded a
+              tenant must not trip floors that describe healthy rows.
 """
 
 import json
@@ -69,6 +71,10 @@ def main() -> int:
             checked += 1
             print(f"row '{label}': MISSING from bench output  FAIL")
             failed = True
+            continue
+        if row.get("degraded"):
+            checked += 1
+            print(f"row '{label}': degraded run, floors skipped")
             continue
         for metric, ref in metrics.items():
             checked += 1

@@ -9,14 +9,28 @@
  * tenant's report is byte-identical cold vs warm and across shard
  * counts.
  *
+ * Chaos mode rides behind the sweep: fault rate x tenant count at a
+ * fixed shard count, every fault kind enabled — tenant crashes with
+ * supervised restart, poisoned and torn store images at the flush. The
+ * degradation claim under test: faults cost coverage (degraded rows,
+ * fewer shared bundles), never correctness — non-degraded per-tenant
+ * reports stay byte-identical across thread counts, and a zero-fault
+ * warm start over the poisoned store quarantines or gate-rejects every
+ * injected corruption without installing one.
+ *
  * `--json[=path]` emits BENCH_fleet.json: one object per configuration
  * (cold/warm executed-job counts, job savings, coverage, report
- * equality, wall seconds, store counters) plus a "runtime_fleet"
- * aggregate (coverage_equal_rows, min/mean job savings, warm coverage)
- * for the CI floor check. `--budget=N` trims every tenant to N dynamic
- * instructions (CI smoke).
+ * equality, wall seconds, store counters) plus "chaos_rows" degradation
+ * curves, a "runtime_fleet" aggregate (coverage_equal_rows, min/mean
+ * job savings, warm coverage) and a "fleet_chaos" aggregate
+ * (deterministic/contained row counts) for the CI floor check.
+ * `--budget=N` trims every tenant to N dynamic instructions (CI smoke).
+ * `--duration=S` switches to a time-based stop mode instead: every
+ * harness thread drives independent small chaos fleets until the stop
+ * flag trips after S seconds (throughput smoke, not a gate).
  */
 
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -24,10 +38,12 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hh"
 #include "fleet/controller.hh"
+#include "support/fault.hh"
 
 namespace
 {
@@ -53,6 +69,64 @@ tenantReports(const fleet::FleetStats &stats)
     return out;
 }
 
+/**
+ * `--duration=S` continuous stop mode, the membench time-based-run
+ * idiom: workers spin up behind a start gate, poll an atomic stop flag
+ * between iterations, and the main thread owns the clock. Each harness
+ * thread drives independent small chaos fleets (seed varied per
+ * iteration) so the fault paths stay hot for the whole window; a fleet
+ * in flight when the flag trips finishes its bounded run, so the window
+ * overshoots by at most one fleet per thread.
+ */
+int
+runDurationMode(unsigned threads, std::uint64_t budget, double seconds)
+{
+    std::atomic<bool> start{false};
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> iterations(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!start.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            std::uint64_t n = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                fleet::FleetConfig fc;
+                fc.rt.vp = VpConfig::variant(true, true);
+                fc.rt.workers = 1;
+                fc.rt.budget = budget ? budget : 200000;
+                fc.tenants = 4;
+                fc.shards = 4;
+                fc.threads = 1; // the harness threads are the fleet axis
+                for (std::size_t k = 0; k < fault::kNumKinds; ++k)
+                    fc.fault.rate[k] = 0.1;
+                fc.fault.seed =
+                    0x9e3779b97f4a7c15ull * (t + 1) + n;
+                (void)fleet::FleetController(fc).run();
+                ++n;
+            }
+            iterations[t] = n;
+        });
+    }
+    const double t0 = now();
+    start.store(true, std::memory_order_release);
+    while (now() - t0 < seconds)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &w : workers)
+        w.join();
+    const double wall = now() - t0;
+    std::uint64_t total = 0;
+    for (std::uint64_t n : iterations)
+        total += n;
+    std::printf("duration mode: %" PRIu64 " chaos fleets in %.1fs on "
+                "%u threads (%.2f fleets/s)\n",
+                total, wall, threads,
+                wall > 0.0 ? static_cast<double>(total) / wall : 0.0);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -60,12 +134,18 @@ main(int argc, char **argv)
 {
     const unsigned threads = benchThreads(argc, argv);
     std::uint64_t budget = 0;
+    double duration = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--budget=", 9) == 0)
             budget = std::strtoull(argv[i] + 9, nullptr, 10);
+        else if (std::strncmp(argv[i], "--duration=", 11) == 0)
+            duration = std::strtod(argv[i] + 11, nullptr);
     }
     const auto json_path = benchJsonPath(argc, argv, "BENCH_fleet.json");
     HarnessTimer timer(threads);
+
+    if (duration > 0.0)
+        return runDurationMode(threads, budget, duration);
 
     std::printf("Fleet runtime: tenant x shard sweep, cold store "
                 "population vs warm start\n");
@@ -166,6 +246,121 @@ main(int argc, char **argv)
                 equal_rows, configs.size(), 100.0 * savings_avg.mean(),
                 100.0 * min_savings);
 
+    // --- Chaos sweep: fault rate x tenant count at 4 shards. The cold
+    // pass enables the full fault menu and runs twice (1 thread, then
+    // 8) — every per-tenant report, degraded rows included, must be
+    // byte-identical, because crash schedules and fault streams are
+    // functions of the tenant index, never of scheduling. The warm pass
+    // re-opens the now-poisoned store with faults off: the recovery
+    // scan must quarantine torn images and the verifier gate must
+    // reject tampered ones — exactly as many as were injected, none
+    // installed — with zero crashes. Degradation costs coverage, never
+    // correctness.
+    struct ChaosConfig
+    {
+        double rate;
+        std::size_t tenants;
+    };
+    const std::vector<ChaosConfig> chaos_configs = {
+        {0.1, 4}, {0.1, 20}, {0.5, 4}, {0.5, 20}};
+
+    struct ChaosRow
+    {
+        fleet::FleetStats cold;
+        fleet::FleetStats warm;
+        bool reportsEqual = false;
+        bool contained = false;
+        double coldSeconds = 0.0;
+        double warmSeconds = 0.0;
+    };
+    std::vector<ChaosRow> chaos_rows;
+
+    std::printf("\nChaos sweep: fault rate x tenants at 4 shards "
+                "(graceful degradation under injected faults)\n");
+    TablePrinter chaos_table;
+    chaos_table.addRow({"rate", "tenants", "crashes", "restarts",
+                        "degraded", "coverage", "poisoned", "torn",
+                        "quarantined", "rejected", "equal",
+                        "contained"});
+
+    bool chaos_ok = true;
+    for (const ChaosConfig &c : chaos_configs) {
+        ChaosRow row;
+
+        fleet::FleetConfig fc;
+        fc.rt.vp = VpConfig::variant(true, true);
+        fc.rt.workers = 1;
+        fc.rt.budget = budget;
+        fc.tenants = c.tenants;
+        fc.shards = 4;
+        fc.tenantRetries = 1;
+        for (std::size_t k = 0; k < fault::kNumKinds; ++k)
+            fc.fault.rate[k] = c.rate;
+        fc.fault.seed = 0xc4a05;
+        char dir[64];
+        std::snprintf(dir, sizeof dir, "chaos-r%02.0f-t%zu",
+                      100.0 * c.rate, c.tenants);
+        fc.storeDir = (store_base / dir).string();
+
+        fc.threads = 1;
+        double t0 = now();
+        row.cold = fleet::FleetController(fc).run();
+        row.coldSeconds = now() - t0;
+
+        // Same config on 8 threads. The store flush is a no-op rerun
+        // (first writer won), so the on-disk corruption stays exactly
+        // what the 1-thread pass injected.
+        fc.threads = 8;
+        const fleet::FleetStats cold8 = fleet::FleetController(fc).run();
+        row.reportsEqual =
+            tenantReports(row.cold) == tenantReports(cold8);
+
+        // Containment: zero-fault warm start over the poisoned store.
+        fc.fault = fault::FaultConfig{};
+        fc.warmStart = true;
+        fc.threads = threads;
+        t0 = now();
+        row.warm = fleet::FleetController(fc).run();
+        row.warmSeconds = now() - t0;
+        row.contained =
+            row.warm.storeQuarantined + row.warm.storeRejected ==
+                row.cold.storePoisonInjected +
+                    row.cold.tornWriteInjected &&
+            row.warm.storeCorrupt == 0 &&
+            row.warm.tenantCrashes == 0 &&
+            row.warm.degradedTenants == 0;
+        if (!row.reportsEqual || !row.contained)
+            chaos_ok = false;
+
+        char ratebuf[16];
+        std::snprintf(ratebuf, sizeof ratebuf, "%.0f%%",
+                      100.0 * c.rate);
+        chaos_table.addRow(
+            {ratebuf, std::to_string(c.tenants),
+             std::to_string(row.cold.tenantCrashes),
+             std::to_string(row.cold.tenantRestarts),
+             std::to_string(row.cold.degradedTenants),
+             TablePrinter::pct(row.cold.meanCoverage),
+             std::to_string(row.cold.storePoisonInjected),
+             std::to_string(row.cold.tornWriteInjected),
+             std::to_string(row.warm.storeQuarantined),
+             std::to_string(row.warm.storeRejected),
+             row.reportsEqual ? "yes" : "NO",
+             row.contained ? "yes" : "NO"});
+        std::fflush(stdout);
+        chaos_rows.push_back(std::move(row));
+    }
+    chaos_table.print();
+    std::size_t deterministic_rows = 0, contained_rows = 0;
+    for (const ChaosRow &r : chaos_rows) {
+        deterministic_rows += r.reportsEqual ? 1 : 0;
+        contained_rows += r.contained ? 1 : 0;
+    }
+    std::printf("\nchaos: %zu of %zu rows deterministic across thread "
+                "counts, %zu contained every injected corruption\n",
+                deterministic_rows, chaos_configs.size(),
+                contained_rows);
+
     if (json_path) {
         std::FILE *f = std::fopen(json_path->c_str(), "w");
         if (!f) {
@@ -210,6 +405,39 @@ main(int argc, char **argv)
                 r.warm.storeCorrupt, r.coldSeconds, r.warmSeconds,
                 i + 1 < rows.size() ? "," : "");
         }
+        std::fprintf(f, "  ],\n  \"chaos_rows\": [\n");
+        for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
+            const ChaosRow &r = chaos_rows[i];
+            const ChaosConfig &c = chaos_configs[i];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"chaos r%.0f t%zu\", "
+                "\"fault_rate\": %.2f, \"tenants\": %zu, "
+                "\"crashes\": %" PRIu64 ", "
+                "\"restarts\": %" PRIu64 ", "
+                "\"degraded\": %" PRIu64 ", "
+                "\"mean_coverage\": %.6f, "
+                "\"min_coverage\": %.6f, "
+                "\"tenant_taints\": %" PRIu64 ", "
+                "\"store_poison_injected\": %" PRIu64 ", "
+                "\"torn_write_injected\": %" PRIu64 ", "
+                "\"warm_quarantined\": %" PRIu64 ", "
+                "\"warm_rejected\": %" PRIu64 ", "
+                "\"warm_loaded\": %" PRIu64 ", "
+                "\"reports_equal\": %s, \"contained\": %s, "
+                "\"cold_seconds\": %.3f, \"warm_seconds\": %.3f}%s\n",
+                100.0 * c.rate, c.tenants, c.rate, c.tenants,
+                r.cold.tenantCrashes, r.cold.tenantRestarts,
+                r.cold.degradedTenants, r.cold.meanCoverage,
+                r.cold.minCoverage, r.cold.tenantTaints,
+                r.cold.storePoisonInjected, r.cold.tornWriteInjected,
+                r.warm.storeQuarantined, r.warm.storeRejected,
+                r.warm.storeLoaded,
+                r.reportsEqual ? "true" : "false",
+                r.contained ? "true" : "false", r.coldSeconds,
+                r.warmSeconds,
+                i + 1 < chaos_rows.size() ? "," : "");
+        }
         std::fprintf(f,
                      "  ],\n  \"aggregate\": {\n"
                      "    \"runtime_fleet\": {\"rows\": %zu, "
@@ -217,13 +445,17 @@ main(int argc, char **argv)
                      "\"min_job_savings\": %.6f, "
                      "\"mean_job_savings\": %.6f, "
                      "\"mean_warm_coverage\": %.6f, "
-                     "\"min_warm_coverage\": %.6f}\n"
+                     "\"min_warm_coverage\": %.6f},\n"
+                     "    \"fleet_chaos\": {\"rows\": %zu, "
+                     "\"deterministic_rows\": %zu, "
+                     "\"contained_rows\": %zu}\n"
                      "  }\n}\n",
                      rows.size(), equal_rows, min_savings,
                      savings_avg.mean(), warm_cov_avg.mean(),
-                     min_warm_cov);
+                     min_warm_cov, chaos_rows.size(),
+                     deterministic_rows, contained_rows);
         std::fclose(f);
         std::printf("wrote %s\n", json_path->c_str());
     }
-    return 0;
+    return chaos_ok ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include "runtime/synth_cache.hh"
 #include "runtime/verifier.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
 #include "support/thread_pool.hh"
 #include "vp/run_cache.hh"
 #include "workload/benchmarks.hh"
@@ -48,10 +49,54 @@ class TenantView final : public runtime::SynthesisCache
                       /*from_store=*/false);
     }
 
+    void
+    taint(const hsd::HotSpotRecord &record, unsigned tier) override
+    {
+        cache_.taint(ns_, recordKey(record, tier));
+    }
+
   private:
     ShardedBundleCache &cache_;
     std::uint64_t ns_;
 };
+
+/** Restart backoff: the same min(base << n, cap) shape the package
+ *  cache's quarantine uses, shift-guarded against saturation. */
+std::uint64_t
+restartBackoff(std::size_t restart_index, std::uint64_t base,
+               std::uint64_t cap)
+{
+    if (base == 0)
+        return 0;
+    if (restart_index >= 63)
+        return cap;
+    const std::uint64_t shifted = base << restart_index;
+    return (shifted >> restart_index) != base ? cap : std::min(shifted, cap);
+}
+
+/**
+ * StorePoison: structurally tamper @p b the way verify_test's
+ * TamperedStoredBundleFailsTheGate does — retarget a package-internal
+ * arc straight into original code. The image serializes with a valid
+ * checksum and decodes cleanly, but the PackageVerifier *must* reject
+ * it (a proven rejection class), so a poisoned store image can never be
+ * installed on warm start. @return false when the bundle has no
+ * eligible block (caller falls back to truncation, which fails decode).
+ */
+bool
+tamperBundle(runtime::PackageBundle &b)
+{
+    for (const auto &pkg : b.packaged.packages) {
+        for (ir::BasicBlock &bb :
+             b.packaged.program.func(pkg.func).blocks()) {
+            if (bb.kind != ir::BlockKind::Exit && bb.taken.valid()) {
+                bb.taken = ir::BlockRef{0, 0};
+                return true;
+            }
+        }
+    }
+    return false;
+}
 
 } // namespace
 
@@ -100,10 +145,12 @@ FleetController::run()
 
     ShardedBundleCache cache(cfg_.shards, cfg_.shardCapacity);
 
-    // Warm start: rehydrate each distinct namespace once, in tenant
-    // order (deterministic), gating every stored bundle through the
-    // namespace owner's verifier against its pristine program. A
-    // rejected or corrupt image costs a counter, never an install.
+    // Warm start: run the crash-recovery scan first (orphaned temps
+    // deleted, undecodable images quarantined into the sidecar), then
+    // rehydrate each distinct namespace once, in tenant order
+    // (deterministic), gating every stored bundle through the namespace
+    // owner's verifier against its pristine program. A rejected or
+    // corrupt image costs a counter, never an install.
     if (cfg_.warmStart && !cfg_.storeDir.empty()) {
         BundleStore store(cfg_.storeDir);
         std::vector<std::uint64_t> seen;
@@ -111,6 +158,9 @@ FleetController::run()
             if (std::find(seen.begin(), seen.end(), nsOf[i]) != seen.end())
                 continue;
             seen.push_back(nsOf[i]);
+            const RecoveryStats rec = store.recoverNamespace(nsOf[i]);
+            fleet.storeQuarantined += rec.quarantined;
+            fleet.storeTmpCleaned += rec.tmpCleaned;
             NamespaceLoad load = store.loadNamespace(nsOf[i]);
             fleet.storeCorrupt += load.corrupt;
             runtime::PackageVerifier gate(tenants[i]->program);
@@ -128,34 +178,176 @@ FleetController::run()
         }
     }
 
-    // Run the tenants. Each is an ordinary RuntimeController with the
-    // shared cache attached; per-tenant results are independent of the
-    // thread count by the runtime's own determinism contract plus the
-    // hook's no-result-change property.
+    // Run the tenants, each inside a supervised fault domain. A tenant
+    // is an ordinary RuntimeController with the shared cache attached;
+    // per-tenant results are independent of the thread count by the
+    // runtime's own determinism contract plus the hook's
+    // no-result-change property. An exception escaping run() tears down
+    // only that tenant: the supervisor deopts its residents (the
+    // controller destructor), carries its quarantine list into a
+    // clean-engine restart with exponential accounting backoff, and
+    // after tenantRetries failed restarts marks the row degraded — the
+    // rest of the fleet always completes.
     std::vector<TenantView> views;
     views.reserve(tenants.size());
     for (std::size_t i = 0; i < tenants.size(); ++i)
         views.emplace_back(cache, nsOf[i]);
 
-    std::vector<runtime::RuntimeStats> results(tenants.size());
+    // Per-tenant runtime config: the fleet fault spec hands the runtime
+    // kinds to each tenant with a per-tenant-index seed (any --threads /
+    // --tenants value injects the identical per-tenant sequence) and
+    // forces the watchdog on, exactly as `vpack runtime --fault-inject`
+    // does; the fleet-only kinds are stripped — tenants never draw them.
+    const bool fleetFaults = cfg_.fault.enabled();
+    const auto tenantRtFor = [&](std::size_t i) {
+        runtime::RuntimeConfig rt = cfg_.rt;
+        if (fleetFaults) {
+            fault::FaultConfig f = cfg_.fault;
+            f.rate[static_cast<std::size_t>(fault::Kind::TenantCrash)] = 0.0;
+            f.rate[static_cast<std::size_t>(fault::Kind::StorePoison)] = 0.0;
+            f.rate[static_cast<std::size_t>(fault::Kind::TornWrite)] = 0.0;
+            f.seed = seedCombine(cfg_.fault.seed,
+                                 static_cast<std::uint64_t>(i));
+            rt.fault = f;
+            if (f.enabled())
+                rt.watchdog = true;
+        }
+        return rt;
+    };
+
+    struct TenantOutcome
+    {
+        runtime::RuntimeStats stats;
+        std::size_t crashes = 0;
+        std::size_t restarts = 0;
+        std::uint64_t backoffQuanta = 0;
+        bool degraded = false;
+        std::string lastError;
+    };
+
+    std::vector<TenantOutcome> results(tenants.size());
     ThreadPool pool(cfg_.threads);
     pool.parallelFor(tenants.size(), [&](std::size_t i) {
-        runtime::RuntimeController controller(*tenants[i], cfg_.rt);
-        controller.setSynthesisCache(&views[i]);
-        results[i] = controller.run();
+        TenantOutcome &out = results[i];
+        const runtime::RuntimeConfig tenantRt = tenantRtFor(i);
+
+        // The crash schedule is drawn per tenant per attempt from a
+        // dedicated injector seeded by the tenant *index*, never by
+        // thread or wall-clock state: any --threads value sees the
+        // identical crash sequence.
+        fault::FaultConfig crashCfg;
+        crashCfg.rate[static_cast<std::size_t>(fault::Kind::TenantCrash)] =
+            cfg_.fault.rateOf(fault::Kind::TenantCrash);
+        crashCfg.seed = seedCombine(cfg_.fault.seed,
+                                    static_cast<std::uint64_t>(i));
+        fault::FaultInjector crashInject(crashCfg);
+        const std::uint64_t budget = tenantRt.budget
+                                         ? tenantRt.budget
+                                         : tenants[i]->maxDynInsts;
+        const std::uint64_t quantum =
+            tenantRt.quantumInsts ? tenantRt.quantumInsts : budget;
+        const std::uint64_t quantaBound =
+            std::max<std::uint64_t>(1, budget / quantum);
+
+        std::vector<runtime::QuarantineEntry> carried;
+        const std::size_t attempts = 1 + cfg_.tenantRetries;
+        for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+            runtime::RuntimeConfig rt = tenantRt;
+            if (crashInject.enabled() &&
+                crashInject.fire(fault::Kind::TenantCrash)) {
+                rt.crashAtQuantum =
+                    1 + crashInject.draw(fault::Kind::TenantCrash,
+                                         quantaBound);
+            }
+            runtime::RuntimeController controller(*tenants[i], rt);
+            controller.setSynthesisCache(&views[i]);
+            if (!carried.empty())
+                controller.seedQuarantine(carried);
+            bool crashed = false;
+            try {
+                out.stats = controller.run();
+                out.degraded = false;
+                return; // healthy attempt: the tenant's final report
+            } catch (const std::exception &e) {
+                crashed = true;
+                out.lastError = e.what();
+            } catch (...) {
+                crashed = true;
+                out.lastError = "non-standard exception";
+            }
+            if (crashed) {
+                ++out.crashes;
+                out.degraded = true;
+                out.stats = runtime::RuntimeStats{};
+                // The offense history survives the crash: the restarted
+                // incarnation must not re-synthesize phases the dead one
+                // already proved misbehaving.
+                carried = controller.quarantineSnapshot();
+                if (attempt + 1 < attempts) {
+                    ++out.restarts;
+                    out.backoffQuanta +=
+                        restartBackoff(attempt,
+                                       cfg_.tenantBackoffBaseQuanta,
+                                       cfg_.tenantBackoffMaxQuanta);
+                }
+            }
+        }
     });
+    const ThreadPool::ErrorStats fleetPoolErr = pool.errorStats();
 
     // End-of-run flush: persist every bundle this fleet synthesized.
     // forEach() walks shards in index order and keys ascending, so the
-    // store is written deterministically.
+    // store is written — and the chaos injector below drawn — in a
+    // deterministic order for any --threads / shard count. StorePoison
+    // tampers the image structurally (valid checksum, decodes cleanly,
+    // the verifier gate *must* reject it on warm start); TornWrite
+    // truncates it (fails decode; the recovery scan quarantines it).
+    // Both fire() draws happen for every flushed bundle so the decision
+    // stream depends only on the flush sequence.
     if (!cfg_.storeDir.empty()) {
         BundleStore store(cfg_.storeDir);
+        fault::FaultConfig storeCfg;
+        storeCfg.rate[static_cast<std::size_t>(fault::Kind::StorePoison)] =
+            cfg_.fault.rateOf(fault::Kind::StorePoison);
+        storeCfg.rate[static_cast<std::size_t>(fault::Kind::TornWrite)] =
+            cfg_.fault.rateOf(fault::Kind::TornWrite);
+        storeCfg.seed = seedCombine(cfg_.fault.seed, 0xf1ee7u);
+        fault::FaultInjector storeInject(storeCfg);
         cache.forEach([&](std::uint64_t ns, std::uint64_t key,
                           const runtime::PackageBundle &b,
                           bool from_store) {
             if (from_store)
                 return;
-            Expected<bool> wrote = store.put(ns, key, b);
+            const bool poison =
+                storeInject.enabled() &&
+                storeInject.fire(fault::Kind::StorePoison);
+            const bool torn = storeInject.enabled() &&
+                              storeInject.fire(fault::Kind::TornWrite);
+            std::vector<std::uint8_t> image = serializeBundle(b);
+            if (poison) {
+                runtime::PackageBundle bad = b;
+                if (tamperBundle(bad)) {
+                    image = serializeBundle(bad);
+                } else if (image.size() > 1) {
+                    // No branchy package block to retarget (empty or
+                    // trivial bundle): degrade to truncation, which the
+                    // decoder rejects outright.
+                    image.resize(1 + storeInject.draw(
+                                         fault::Kind::StorePoison,
+                                         image.size() - 1));
+                }
+                ++fleet.storePoisonInjected;
+            } else if (torn) {
+                if (image.size() > 1) {
+                    image.resize(1 + storeInject.draw(
+                                         fault::Kind::TornWrite,
+                                         image.size() - 1));
+                } else {
+                    image.clear();
+                }
+                ++fleet.tornWriteInjected;
+            }
+            Expected<bool> wrote = store.putImage(ns, key, image);
             if (!wrote) {
                 vp_warn("fleet store: ", wrote.status().message());
                 return;
@@ -170,14 +362,28 @@ FleetController::run()
         TenantStats ts;
         ts.label = tenants[i]->label();
         ts.ns = nsOf[i];
-        ts.stats = std::move(results[i]);
+        ts.stats = std::move(results[i].stats);
+        ts.crashes = results[i].crashes;
+        ts.restarts = results[i].restarts;
+        ts.backoffQuanta = results[i].backoffQuanta;
+        ts.degraded = results[i].degraded;
+        ts.lastError = std::move(results[i].lastError);
         fleet.jobsSubmitted +=
             ts.stats.builds + ts.stats.tier0Builds;
         fleet.jobsExecuted += ts.stats.synthJobsExecuted;
         fleet.jobsFromCache += ts.stats.sharedCacheHits;
         fleet.publishes += ts.stats.sharedCachePublishes;
+        fleet.tenantTaints += ts.stats.sharedCacheTaints;
+        fleet.tenantCrashes += ts.crashes;
+        fleet.tenantRestarts += ts.restarts;
+        if (ts.degraded)
+            ++fleet.degradedTenants;
+        fleet.poolTaskErrors += ts.stats.poolTaskErrors;
+        fleet.poolDroppedErrors += ts.stats.poolDroppedErrors;
         fleet.tenants.push_back(std::move(ts));
     }
+    fleet.poolTaskErrors += fleetPoolErr.taskErrors;
+    fleet.poolDroppedErrors += fleetPoolErr.droppedErrors;
     fleet.shards = cache.stats();
 
     double sum = 0.0;
@@ -201,11 +407,30 @@ toText(const FleetStats &stats, bool timing)
     std::string out;
     char buf[256];
 
-    for (const TenantStats &t : stats.tenants)
+    for (const TenantStats &t : stats.tenants) {
+        if (t.degraded) {
+            // A degraded row gets a marker instead of a zeroed report:
+            // the tenant ran out of restart retries, so there is no
+            // healthy run to report — and no misleading zeros to parse.
+            std::snprintf(buf, sizeof buf,
+                          "tenant %s: DEGRADED after %zu crashes, "
+                          "%zu restarts (%s)\n",
+                          t.label.c_str(), t.crashes, t.restarts,
+                          t.lastError.c_str());
+            out += buf;
+            continue;
+        }
         out += runtime::toText(t.stats, t.label);
+    }
 
     std::snprintf(buf, sizeof buf, "fleet: %zu tenants\n",
                   stats.tenants.size());
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "supervision: %" PRIu64 " crashes, %" PRIu64
+                  " restarts, %" PRIu64 " degraded\n",
+                  stats.tenantCrashes, stats.tenantRestarts,
+                  stats.degradedTenants);
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "synthesis: %" PRIu64 " jobs submitted, %" PRIu64
@@ -215,9 +440,11 @@ toText(const FleetStats &stats, bool timing)
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "store: %" PRIu64 " loaded, %" PRIu64 " rejected, %" PRIu64
-                  " corrupt, %" PRIu64 " saved\n",
+                  " corrupt, %" PRIu64 " saved, %" PRIu64
+                  " quarantined\n",
                   stats.storeLoaded, stats.storeRejected,
-                  stats.storeCorrupt, stats.storeSaved);
+                  stats.storeCorrupt, stats.storeSaved,
+                  stats.storeQuarantined);
     out += buf;
     std::snprintf(buf, sizeof buf,
                   "fleet coverage: mean %.1f%%, min %.1f%%\n",
@@ -236,6 +463,36 @@ toText(const FleetStats &stats, bool timing)
                           i, s.hits, s.misses, s.merges, s.evictions);
             out += buf;
         }
+        // Poisoning epidemiology, summed over shards: how many bad
+        // publishes were refused, how many live entries were evicted on
+        // a consumer's report, and how many consumers the embargo
+        // saved from the poisoned copy.
+        std::uint64_t pp = 0;
+        std::uint64_t te = 0;
+        std::uint64_t ct = 0;
+        for (const ShardStats &s : stats.shards) {
+            pp += s.poisonedPublishes;
+            te += s.taintEvictions;
+            ct += s.containedTenants;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "containment: %" PRIu64 " poisoned publishes, %" PRIu64
+                      " taint evictions, %" PRIu64
+                      " contained tenants, %" PRIu64 " tenant taints\n",
+                      pp, te, ct, stats.tenantTaints);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "chaos: %" PRIu64 " store poisons injected, %" PRIu64
+                      " torn writes injected, %" PRIu64
+                      " tmp files cleaned\n",
+                      stats.storePoisonInjected, stats.tornWriteInjected,
+                      stats.storeTmpCleaned);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      "workers: %" PRIu64 " task errors, %" PRIu64
+                      " dropped\n",
+                      stats.poolTaskErrors, stats.poolDroppedErrors);
+        out += buf;
     }
     return out;
 }

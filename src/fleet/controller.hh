@@ -21,12 +21,25 @@
  * synthesis jobs actually execute (FleetStats::jobsExecuted vs
  * jobsFromCache).
  *
- * Warm start: with a store directory configured, run() first rehydrates
- * every bundle stored under each tenant namespace, gating each through
- * the tenant's PackageVerifier against its pristine program — a stale
- * or corrupt image is counted and dropped, never installed. At end of
- * run every bundle this fleet synthesized (not ones it loaded) is
- * flushed back, so a second fleet run starts where the first ended.
+ * Warm start: with a store directory configured, run() first runs the
+ * store's crash-recovery scan (orphaned temps deleted, undecodable
+ * images quarantined into the sidecar), then rehydrates every surviving
+ * bundle under each tenant namespace, gating each through the tenant's
+ * PackageVerifier against its pristine program — a stale or corrupt
+ * image is counted and dropped, never installed. At end of run every
+ * bundle this fleet synthesized (not ones it loaded) is flushed back,
+ * so a second fleet run starts where the first ended.
+ *
+ * Fault domains: each tenant's run() executes inside a supervised
+ * domain — an escaping Status/exception tears down only that tenant
+ * (counted as a crash), and the restart policy re-runs it from a clean
+ * engine up to tenantRetries times with exponential backoff in quanta
+ * (the quarantine-backoff shape, accounting-only — no wall sleep),
+ * carrying the crashed incarnation's quarantine list forward. A tenant
+ * out of retries is marked *degraded*: its report row is zeroed and
+ * flagged, and the rest of the fleet always completes. Shared-state
+ * poisoning is contained through ShardedBundleCache::taint() (see
+ * sharded_cache.hh) and proven by the chaos counters in --timing.
  */
 
 #ifndef VP_FLEET_CONTROLLER_HH
@@ -69,6 +82,28 @@ struct FleetConfig
     /** Concurrent tenant executions (per-tenant results are identical
      *  for every value; wall-clock only). */
     unsigned threads = 1;
+
+    /**
+     * Fleet-level fault spec. The runtime kinds (drop/saturate/alias/
+     * synth-fail/synth-delay/verify-flip) are handed to each tenant
+     * with the seed combined with its tenant index — any --threads or
+     * --tenants value injects the identical per-tenant sequence — and
+     * force the tenant watchdog on, exactly as `vpack runtime
+     * --fault-inject` does. The fleet-only kinds: TenantCrash draws a
+     * per-tenant, per-attempt crash quantum; StorePoison/TornWrite
+     * corrupt images at the deterministic end-of-run store flush.
+     */
+    fault::FaultConfig fault;
+
+    /** Restarts granted to a crashed tenant before it is marked
+     *  degraded (so a tenant runs at most 1 + tenantRetries times). */
+    std::size_t tenantRetries = 1;
+
+    /** Restart backoff: the n-th restart of a tenant charges
+     *  min(base << n, cap) quanta of accounting backoff (no wall-clock
+     *  sleep — the fleet is deterministic; the charge is reported). */
+    std::uint64_t tenantBackoffBaseQuanta = 16;
+    std::uint64_t tenantBackoffMaxQuanta = 1024;
 };
 
 /** One tenant's outcome. */
@@ -77,6 +112,23 @@ struct TenantStats
     std::string label;     ///< workload label (roster row)
     std::uint64_t ns = 0;  ///< store/cache namespace
     runtime::RuntimeStats stats;
+
+    // --- Supervision outcome.
+
+    /** Attempts torn down by an escaping exception. */
+    std::size_t crashes = 0;
+
+    /** Clean-engine re-runs granted after a crash. */
+    std::size_t restarts = 0;
+
+    /** Accounting backoff charged across restarts (quanta). */
+    std::uint64_t backoffQuanta = 0;
+
+    /** Out of retries: stats is zeroed and the report row flagged. */
+    bool degraded = false;
+
+    /** What the last escaping exception said (diagnostics). */
+    std::string lastError;
 };
 
 /** Aggregate outcome of one FleetController::run(). */
@@ -96,9 +148,29 @@ struct FleetStats
     std::uint64_t storeCorrupt = 0;  ///< undecodable images skipped
     std::uint64_t storeSaved = 0;    ///< new bundles flushed at end
 
+    // Crash-recovery scan (warm start with a store configured).
+    std::uint64_t storeQuarantined = 0; ///< images moved to quarantine/
+    std::uint64_t storeTmpCleaned = 0;  ///< orphaned temps deleted
+
+    // --- Fault-domain outcome (sums over tenants + flush injection).
+    std::uint64_t tenantCrashes = 0;   ///< supervised teardowns
+    std::uint64_t tenantRestarts = 0;  ///< clean-engine re-runs
+    std::uint64_t degradedTenants = 0; ///< rows out of retries
+    std::uint64_t tenantTaints = 0;    ///< taint() reports from tenants
+
+    /** Images deliberately corrupted at the flush (chaos mode). */
+    std::uint64_t storePoisonInjected = 0;
+    std::uint64_t tornWriteInjected = 0;
+
+    /** Worker-pool error stats: tenant synthesis pools summed, plus the
+     *  fleet's own tenant-execution pool. */
+    std::uint64_t poolTaskErrors = 0;
+    std::uint64_t poolDroppedErrors = 0;
+
     std::vector<ShardStats> shards; ///< per-shard counters, by index
 
-    /** Mean / min per-tenant package coverage. */
+    /** Mean / min per-tenant package coverage (degraded rows count as
+     *  zero coverage — degradation costs coverage, never correctness). */
     double meanCoverage = 0.0;
     double minCoverage = 0.0;
 };

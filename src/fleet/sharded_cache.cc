@@ -36,7 +36,14 @@ ShardedBundleCache::lookup(std::uint64_t ns, std::uint64_t key)
 {
     Shard &s = *shards_[shardOf(key)];
     std::lock_guard<std::mutex> lock(s.mu);
-    auto it = s.entries.find(MapKey{ns, key});
+    const MapKey mk{ns, key};
+    if (s.tainted.contains(mk)) {
+        // A poisoned key is *contained*, not merely missing: the caller
+        // falls back to local synthesis and must not re-learn the entry.
+        ++s.stats.containedTenants;
+        return nullptr;
+    }
+    auto it = s.entries.find(mk);
     if (it == s.entries.end()) {
         ++s.stats.misses;
         return nullptr;
@@ -54,6 +61,10 @@ ShardedBundleCache::insert(std::uint64_t ns, std::uint64_t key,
     Shard &s = *shards_[shardOf(key)];
     std::lock_guard<std::mutex> lock(s.mu);
     const MapKey mk{ns, key};
+    if (s.tainted.contains(mk)) {
+        ++s.stats.poisonedPublishes;
+        return false; // embargoed: a consumer proved this key poisoned
+    }
     if (s.entries.contains(mk))
         return false; // first producer won; the bundles are identical
 
@@ -85,6 +96,28 @@ ShardedBundleCache::insert(std::uint64_t ns, std::uint64_t key,
     if (merged)
         ++s.stats.merges;
     return true;
+}
+
+void
+ShardedBundleCache::taint(std::uint64_t ns, std::uint64_t key)
+{
+    Shard &s = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    const MapKey mk{ns, key};
+    if (s.entries.erase(mk) != 0)
+        ++s.stats.taintEvictions;
+    s.tainted.emplace(mk, true);
+}
+
+std::size_t
+ShardedBundleCache::taintedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        n += s->tainted.size();
+    }
+    return n;
 }
 
 std::size_t

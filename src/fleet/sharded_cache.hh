@@ -47,6 +47,20 @@ struct ShardStats
     std::uint64_t inserts = 0;   ///< new keys admitted
     std::uint64_t merges = 0;    ///< merged-bundle keys admitted
     std::uint64_t evictions = 0; ///< LRU capacity evictions
+
+    // --- Poisoning epidemiology (the containment counters).
+
+    /** taint() calls that evicted a live entry fleet-wide. */
+    std::uint64_t taintEvictions = 0;
+
+    /** Inserts refused because the key is embargoed — a tenant tried to
+     *  (re-)publish a bundle some consumer already proved poisoned. */
+    std::uint64_t poisonedPublishes = 0;
+
+    /** Lookups of an embargoed key — each one a tenant that would have
+     *  been served the poisoned copy and instead fell back to local
+     *  synthesis (the containment working, per consumer). */
+    std::uint64_t containedTenants = 0;
 };
 
 /** The shared cache. Thread-safe; all methods may race freely. */
@@ -78,6 +92,21 @@ class ShardedBundleCache
     bool insert(std::uint64_t ns, std::uint64_t key,
                 runtime::PackageBundle bundle, bool merged,
                 bool from_store);
+
+    /**
+     * Poisoned-bundle containment: a consumer's install gate rejected
+     * (or its watchdog deopted) the bundle at (@p ns, @p key). Evict the
+     * entry fleet-wide and embargo the key — later lookups miss (counted
+     * as containedTenants; the tenant falls back to local synthesis,
+     * which installs at the same deterministic quantum) and later
+     * inserts are refused (poisonedPublishes). Idempotent; tainting an
+     * absent key still embargoes it, so a publish racing the taint
+     * cannot resurrect the bundle.
+     */
+    void taint(std::uint64_t ns, std::uint64_t key);
+
+    /** Keys currently embargoed, across all shards. */
+    std::size_t taintedCount() const;
 
     /** Entries across all shards. */
     std::size_t size() const;
@@ -131,6 +160,12 @@ class ShardedBundleCache
     {
         mutable std::mutex mu;
         std::unordered_map<MapKey, Entry, MapKeyHash> entries;
+
+        /** Embargoed keys: proven-poisoned, never served or re-admitted
+         *  for the rest of this fleet run (a set, not a flag on Entry —
+         *  the embargo must outlive the eviction). */
+        std::unordered_map<MapKey, bool, MapKeyHash> tainted;
+
         ShardStats stats;
         std::uint64_t useClock = 0; ///< monotonic LRU clock, per shard
     };

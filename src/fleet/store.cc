@@ -1,10 +1,16 @@
 #include "fleet/store.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "fleet/serialize.hh"
 
@@ -25,6 +31,25 @@ hex16(std::uint64_t v)
     return buf;
 }
 
+/** Monotonic per-process temp-name discriminator: two tenants of one
+ *  fleet racing the same key get distinct temp files even though they
+ *  share a pid. */
+std::atomic<std::uint64_t> tempSeq{0};
+
+/** fsync a directory so a just-renamed entry survives a crash; best
+ *  effort (some filesystems refuse O_RDONLY directory fds — the data
+ *  fsync already happened, so the worst case is a lost rename, which
+ *  the recovery scan treats as an ordinary missing key). */
+void
+syncDir(const fs::path &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
 } // namespace
 
 std::string
@@ -37,6 +62,13 @@ Expected<bool>
 BundleStore::put(std::uint64_t ns, std::uint64_t key,
                  const runtime::PackageBundle &bundle)
 {
+    return putImage(ns, key, serializeBundle(bundle));
+}
+
+Expected<bool>
+BundleStore::putImage(std::uint64_t ns, std::uint64_t key,
+                      const std::vector<std::uint8_t> &image)
+{
     std::error_code ec;
     const fs::path nsdir = namespaceDir(ns);
     fs::create_directories(nsdir, ec);
@@ -48,31 +80,145 @@ BundleStore::put(std::uint64_t ns, std::uint64_t key,
     if (fs::exists(final_path, ec))
         return false; // first writer won; contents are identical anyway
 
-    const std::vector<std::uint8_t> image = serializeBundle(bundle);
-    // Temp-then-rename: a crashed or raced writer never leaves a
-    // half-written .vpb where loadNamespace() would pick it up. The
-    // temp name is keyed, so two processes racing the same key collide
-    // only with each other — and rename() then just makes the identical
-    // bytes visible twice.
-    const fs::path tmp_path = nsdir / (hex16(key) + ".tmp");
-    {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!out)
+    // Unique temp + O_EXCL: the name carries the pid and a per-process
+    // sequence so no two writers — same-process tenants or separate
+    // processes sharing the store dir — ever open the same temp file.
+    // O_EXCL turns any residual collision (pid reuse across a crash)
+    // into a retry instead of interleaved bytes.
+    int fd = -1;
+    fs::path tmp_path;
+    for (int attempt = 0; attempt < 16 && fd < 0; ++attempt) {
+        tmp_path = nsdir / (hex16(key) + "." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tempSeq.fetch_add(1)) + ".tmp");
+        fd = ::open(tmp_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd < 0 && errno != EEXIST) {
             return Status::error("bundle store: cannot open " +
-                                 tmp_path.string());
-        out.write(reinterpret_cast<const char *>(image.data()),
-                  static_cast<std::streamsize>(image.size()));
-        if (!out)
-            return Status::error("bundle store: short write to " +
-                                 tmp_path.string());
+                                 tmp_path.string() + ": " +
+                                 std::strerror(errno));
+        }
     }
+    if (fd < 0)
+        return Status::error("bundle store: cannot create unique temp for " +
+                             final_path.string());
+
+    // Durability ordering: data bytes reach the disk before the rename
+    // makes them visible, and the directory entry is synced after — a
+    // crash at any point leaves either no file, an orphaned .tmp (the
+    // recovery scan deletes it), or the complete image. Never a torn
+    // .vpb that was ever *acknowledged* as durable.
+    std::size_t off = 0;
+    while (off < image.size()) {
+        const ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            fs::remove(tmp_path, ec);
+            return Status::error("bundle store: short write to " +
+                                 tmp_path.string() + ": " +
+                                 std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fs::remove(tmp_path, ec);
+        return Status::error("bundle store: fsync failed for " +
+                             tmp_path.string() + ": " +
+                             std::strerror(errno));
+    }
+    ::close(fd);
+
     fs::rename(tmp_path, final_path, ec);
     if (ec) {
         fs::remove(tmp_path, ec);
         return Status::error("bundle store: rename failed for " +
                              final_path.string());
     }
+    syncDir(nsdir);
     return true;
+}
+
+RecoveryStats
+BundleStore::recoverNamespace(std::uint64_t ns)
+{
+    RecoveryStats stats;
+    std::error_code ec;
+    const fs::path nsdir = namespaceDir(ns);
+    if (!fs::is_directory(nsdir, ec))
+        return stats;
+
+    std::vector<fs::path> tmps;
+    std::vector<fs::path> images;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(nsdir, ec)) {
+        if (de.path().extension() == ".tmp")
+            tmps.push_back(de.path());
+        else if (de.path().extension() == ".vpb")
+            images.push_back(de.path());
+    }
+    std::sort(tmps.begin(), tmps.end());
+    std::sort(images.begin(), images.end());
+
+    // Orphaned temps are writers that died before rename: by the
+    // durability ordering their data was never visible, so deleting is
+    // the whole recovery.
+    for (const fs::path &p : tmps) {
+        if (fs::remove(p, ec))
+            ++stats.tmpCleaned;
+    }
+
+    for (const fs::path &p : images) {
+        ++stats.scanned;
+        std::ifstream in(p, std::ios::binary);
+        std::vector<std::uint8_t> image(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        if (in.good() || in.eof()) {
+            if (deserializeBundle(image.data(), image.size()))
+                continue; // healthy
+        }
+        // Undecodable: torn final write, bit rot, or tampering. Move it
+        // aside (never delete — the image is evidence) so the next warm
+        // start cannot re-offer it. The sidecar name is keyed by
+        // namespace + filename and the rename replaces, so re-running
+        // after a crash mid-recovery converges to the same state.
+        const fs::path qdir = quarantineDir();
+        fs::create_directories(qdir, ec);
+        const fs::path qpath =
+            qdir / (hex16(ns) + "-" + p.filename().string());
+        fs::rename(p, qpath, ec);
+        if (ec) {
+            // Cross-device or permission trouble: fall back to
+            // copy+remove so the poisoned image still leaves the scan
+            // path even on exotic setups.
+            ec.clear();
+            fs::copy_file(p, qpath, fs::copy_options::overwrite_existing,
+                          ec);
+            fs::remove(p, ec);
+        }
+        ++stats.quarantined;
+    }
+    if (stats.quarantined != 0 || stats.tmpCleaned != 0)
+        syncDir(nsdir);
+    return stats;
+}
+
+std::size_t
+BundleStore::quarantineCount() const
+{
+    std::error_code ec;
+    const fs::path qdir = quarantineDir();
+    if (!fs::is_directory(qdir, ec))
+        return 0;
+    std::size_t n = 0;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(qdir, ec)) {
+        if (de.path().extension() == ".vpb")
+            ++n;
+    }
+    return n;
 }
 
 NamespaceLoad

@@ -10,15 +10,29 @@
  *
  *     <dir>/<namespace:016x>/<key:016x>.vpb
  *
- * put() writes via a temp file + rename so a crashed writer never
- * leaves a half-written .vpb visible, and skips keys already present
- * (first writer wins; every writer of a key serializes the identical
- * bundle anyway, synthesis being pure). loadNamespace() decodes every
- * .vpb in a namespace in sorted key order — deterministic regardless of
- * directory enumeration order — counting corrupt images (bad frame or
- * checksum) instead of failing the warm start. Rehydrated bundles are
- * *candidates*: the FleetController re-verifies each against the
- * tenant's pristine program before admitting it to the shared cache.
+ * Durability ordering: put() writes a *unique* temp file (key + pid +
+ * per-process sequence, opened O_CREAT|O_EXCL so two writers — even two
+ * processes sharing the store directory — can never interleave bytes in
+ * one file), fsyncs the data, renames it over the final name, then
+ * fsyncs the namespace directory so the rename itself survives a crash.
+ * Keys already present are skipped (first writer wins; every writer of
+ * a key serializes the identical bundle anyway, synthesis being pure).
+ *
+ * recoverNamespace() is the startup recovery scan: orphaned .tmp files
+ * (a writer died before rename) are deleted, and any .vpb whose image
+ * no longer decodes — torn final write, bit rot, tampering — is *moved*
+ * into a <dir>/quarantine/ sidecar rather than merely counted, so a
+ * corrupt image can never be re-offered on the next warm start and the
+ * evidence survives for inspection. Both actions are idempotent: a
+ * crash mid-recovery re-runs to the same end state (quarantine moves
+ * use a replacing rename keyed by namespace + filename).
+ *
+ * loadNamespace() decodes every .vpb in a namespace in sorted key order
+ * — deterministic regardless of directory enumeration order — counting
+ * corrupt images (bad frame or checksum) instead of failing the warm
+ * start. Rehydrated bundles are *candidates*: the FleetController
+ * re-verifies each against the tenant's pristine program before
+ * admitting it to the shared cache.
  */
 
 #ifndef VP_FLEET_STORE_HH
@@ -48,6 +62,23 @@ struct NamespaceLoad
     std::size_t corrupt = 0; ///< images rejected by the decoder
 };
 
+/** Result of a recoverNamespace() startup scan. */
+struct RecoveryStats
+{
+    std::size_t scanned = 0;     ///< .vpb images examined
+    std::size_t quarantined = 0; ///< undecodable images moved aside
+    std::size_t tmpCleaned = 0;  ///< orphaned .tmp files deleted
+
+    RecoveryStats &
+    operator+=(const RecoveryStats &o)
+    {
+        scanned += o.scanned;
+        quarantined += o.quarantined;
+        tmpCleaned += o.tmpCleaned;
+        return *this;
+    }
+};
+
 /** Filesystem-backed bundle store rooted at one directory. */
 class BundleStore
 {
@@ -64,12 +95,36 @@ class BundleStore
     Expected<bool> put(std::uint64_t ns, std::uint64_t key,
                        const runtime::PackageBundle &bundle);
 
+    /**
+     * put() with a caller-supplied serialized image — the seam the
+     * fleet's chaos flush uses to persist a deliberately poisoned or
+     * truncated image (containment is then proven by the recovery scan
+     * and the verifier gate, not by the write path refusing). Same
+     * durability ordering and first-writer-wins semantics as put().
+     */
+    Expected<bool> putImage(std::uint64_t ns, std::uint64_t key,
+                            const std::vector<std::uint8_t> &image);
+
+    /**
+     * Startup recovery scan of @p ns: delete orphaned .tmp files, move
+     * every .vpb that fails to decode into the quarantine/ sidecar.
+     * Idempotent — double-crash (including mid-recovery) converges to
+     * the same end state. Call before loadNamespace() on warm start.
+     */
+    RecoveryStats recoverNamespace(std::uint64_t ns);
+
     /** Decode every bundle stored under @p ns (missing namespace = empty
      *  result, not an error). */
     NamespaceLoad loadNamespace(std::uint64_t ns) const;
 
     /** Files present under @p ns (cheap existence probe for harnesses). */
     std::size_t countNamespace(std::uint64_t ns) const;
+
+    /** The quarantine sidecar directory (may not exist yet). */
+    std::string quarantineDir() const { return dir_ + "/quarantine"; }
+
+    /** Images currently in the quarantine sidecar. */
+    std::size_t quarantineCount() const;
 
   private:
     std::string namespaceDir(std::uint64_t ns) const;

@@ -180,6 +180,19 @@ struct RuntimeConfig
     fault::FaultConfig fault;
 
     /**
+     * Injected tenant crash: when nonzero, boundary processing at this
+     * quantum throws fault::TenantCrashError out of run() mid-quantum —
+     * after the structural work of the boundary, with bundles still
+     * resident — exercising the fleet supervisor's teardown/restart
+     * path. 0 (the default) never crashes. The fleet controller draws
+     * this per tenant per attempt from its TenantCrash fault stream;
+     * setting it directly makes a tenant crash unconditionally (every
+     * restart included), which is the deterministic way to force a
+     * degraded row.
+     */
+    std::uint64_t crashAtQuantum = 0;
+
+    /**
      * Post-install health watchdog. Predicted behavior of an installed
      * bundle is that its packages retire at least activeRetireFraction
      * of each quantum; a bundle that stays below that for

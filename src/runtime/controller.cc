@@ -1,6 +1,7 @@
 #include "runtime/controller.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "ir/verify.hh"
 #include "support/logging.hh"
@@ -49,6 +50,20 @@ RuntimeController::RuntimeController(const workload::Workload &w,
     engine_.addSink(&usage_);
     detector_.setSnapshotCallback(
         [this](const hsd::HotSpotRecord &rec) { pending_.push_back(rec); });
+}
+
+RuntimeController::~RuntimeController()
+{
+    // Drain the undo log even when run() was abandoned by an exception:
+    // ~LivePatcher asserts it empty, and a supervised tenant teardown
+    // must never escalate to a process abort. unpatch() is idempotent,
+    // so after a normal run() (which already unpatched everything) this
+    // loop only bumps redundantRestores on an already-dead object.
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+        CacheEntry &e = cache_.entry(i);
+        if (e.resident)
+            patcher_.unpatch(e.installed);
+    }
 }
 
 RuntimeStats
@@ -122,6 +137,15 @@ RuntimeController::boundary()
     evictOverCapacity();
     stats_.peakResidentWeight =
         std::max(stats_.peakResidentWeight, cache_.weight());
+
+    // Injected tenant crash: thrown after the boundary's structural work
+    // so bundles are typically resident and jobs in flight — the worst
+    // realistic state for the fleet supervisor to tear down. The
+    // destructor unpatches residents; the pool joins in ~ThreadPool.
+    if (cfg_.crashAtQuantum && quantum_ == cfg_.crashAtQuantum) {
+        throw fault::TenantCrashError("injected tenant crash at quantum " +
+                                      std::to_string(quantum_));
+    }
 }
 
 void
@@ -184,6 +208,7 @@ RuntimeController::watchdog()
         ++stats_.quarantines;
         ++stats_.watchdogDeopts;
         ++stats_.bundles[e.bundleIndex].watchdogDeopts;
+        taintShared(e);
     }
 }
 
@@ -609,6 +634,7 @@ RuntimeController::submitJob(const hsd::HotSpotRecord &rec, unsigned tier,
         // truePhase) to *this* detection; trySynthesizeBundle stores the
         // input record verbatim, so the rest is already identical.
         job.result->bundle.record = rec;
+        job.fromSharedCache = true;
         job.done->store(true, std::memory_order_release);
         ++stats_.sharedCacheHits;
     } else {
@@ -797,6 +823,7 @@ RuntimeController::completeJob(const Job &job)
     CacheEntry e;
     e.bundle = job.result->bundle;
     e.mergedFrom = job.mergedFrom;
+    e.fromSharedCache = job.fromSharedCache;
     e.lastUsedQuantum = quantum_;
     e.bundleIndex = stats_.bundles.size() - 1;
     const std::size_t idx = cache_.add(std::move(e));
@@ -974,6 +1001,11 @@ RuntimeController::activate(std::uint64_t entry_id)
                               cfg_.quarantineBaseQuanta,
                               cfg_.quarantineMaxQuanta);
             ++stats_.quarantines;
+            // A shared-cache bundle the gate rejected is poisoned for
+            // every consumer (the gate is deterministic in the bundle);
+            // an injected flip taints too — conservative, the copy is
+            // merely re-synthesized elsewhere.
+            taintShared(gone);
             return;
         }
     }
@@ -1083,6 +1115,7 @@ RuntimeController::activate(std::uint64_t entry_id)
             ++stats_.quarantines;
             stats_.bundles[bad.bundleIndex].rejected = true;
             stats_.bundles[bad.bundleIndex].evictedQuantum = quantum_;
+            taintShared(bad);
             cache_.remove(idx);
             return;
         }
@@ -1281,6 +1314,15 @@ RuntimeController::engineReferences(const std::vector<ir::FuncId> &funcs) const
     return std::any_of(funcs.begin(), funcs.end(), [&](ir::FuncId f) {
         return engine_.referencesFunction(f);
     });
+}
+
+void
+RuntimeController::taintShared(const CacheEntry &e)
+{
+    if (!synthCache_ || !e.fromSharedCache)
+        return;
+    synthCache_->taint(e.bundle.record, e.bundle.tier);
+    ++stats_.sharedCacheTaints;
 }
 
 bool

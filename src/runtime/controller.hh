@@ -75,6 +75,16 @@ class RuntimeController
      *  synthesis input and the deopt baseline). */
     RuntimeController(const workload::Workload &w, const RuntimeConfig &cfg);
 
+    /**
+     * Crash-unwind safety: if an exception escapes run() mid-quantum
+     * (an injected TenantCrash, or a genuine defect) bundles may still
+     * be resident, and ~LivePatcher asserts a drained undo log. Deopt
+     * every resident entry here so a supervised teardown never turns
+     * into a process abort. On the normal path run() already unpatched
+     * everything and unpatch() is idempotent, so this is a no-op then.
+     */
+    ~RuntimeController();
+
     /** Execute the workload online; @return the run's counters. */
     RuntimeStats run();
 
@@ -94,6 +104,22 @@ class RuntimeController
      * skips the worker execution. Unset: the standalone runtime.
      */
     void setSynthesisCache(SynthesisCache *c) { synthCache_ = c; }
+
+    /** Carry quarantine state from a crashed incarnation into this one;
+     *  must be called before run(). See PackageCache::seedQuarantine()
+     *  for the clock semantics. */
+    void seedQuarantine(std::vector<QuarantineEntry> seed)
+    {
+        cache_.seedQuarantine(std::move(seed));
+    }
+
+    /** The quarantine list as it stands — readable after run() returns
+     *  *or* throws (the supervisor snapshots it from a crashed tenant
+     *  before destroying the controller). */
+    const std::vector<QuarantineEntry> &quarantineSnapshot() const
+    {
+        return cache_.quarantineEntries();
+    }
 
     const RuntimeStats &stats() const { return stats_; }
 
@@ -144,6 +170,11 @@ class RuntimeController
         bool merged = false;
         std::vector<std::uint64_t> mergedFrom;
 
+        /** Result was served by the shared SynthesisCache (propagated
+         *  into the cache entry so later misbehavior taints the shared
+         *  copy instead of only this tenant's profile). */
+        bool fromSharedCache = false;
+
         std::shared_ptr<JobResult> result;
         std::shared_ptr<std::atomic<bool>> done;
     };
@@ -170,6 +201,11 @@ class RuntimeController
     void displace(std::size_t idx);
     void evictOverCapacity();
     bool engineReferences(const std::vector<ir::FuncId> &funcs) const;
+
+    /** Entry @p e misbehaved (gate reject, install rollback, watchdog
+     *  deopt): if its bundle came from the shared cache, report the
+     *  poisoning so the fleet evicts and embargoes the shared copy. */
+    void taintShared(const CacheEntry &e);
 
     /** True while @p e is resident and retired a meaningful share of the
      *  last quantum inside its packages. */

@@ -104,6 +104,13 @@ struct CacheEntry
     /** The entry retired actively at least once since its last install
      *  (watchdog absolves the phase's quarantine history on this). */
     bool provedHealthy = false;
+
+    /** The bundle was served by the fleet's shared SynthesisCache
+     *  rather than synthesized locally. A gate reject / install
+     *  rollback / watchdog deopt of such an entry taints the shared
+     *  copy fleet-wide (locally synthesized bundles implicate only this
+     *  tenant's profile, not the shared state). */
+    bool fromSharedCache = false;
 };
 
 /** Quarantine record of one misbehaving phase. */
@@ -246,6 +253,26 @@ class PackageCache
 
     /** Phases currently on the quarantine list. */
     std::size_t quarantineCount() const { return quarantine_.size(); }
+
+    /** Snapshot of the quarantine list (offense history + backoff
+     *  deadlines) — what a supervisor carries across a tenant restart. */
+    const std::vector<QuarantineEntry> &quarantineEntries() const
+    {
+        return quarantine_;
+    }
+
+    /**
+     * Pre-load quarantine state from an earlier incarnation (must be
+     * called before any offense of this run). Deadlines stay in the
+     * donor's quantum clock: a restarted tenant begins at quantum 0, so
+     * a carried entry keeps blocking until the *original* untilQuantum
+     * passes — deliberately conservative, the offense evidence does not
+     * reset just because the process did.
+     */
+    void seedQuarantine(std::vector<QuarantineEntry> seed)
+    {
+        quarantine_ = std::move(seed);
+    }
 
   private:
     std::vector<CacheEntry> entries_;

@@ -162,6 +162,13 @@ struct RuntimeStats
     /** Completed bundles offered to the shared cache. */
     std::size_t sharedCachePublishes = 0;
 
+    /** Shared-cache-served bundles this tenant's gate rejected or its
+     *  watchdog deopted — each reported back via SynthesisCache::taint()
+     *  to evict the poisoned copy fleet-wide. Never rendered for the
+     *  same reason as the counters above: whether *this* tenant was the
+     *  one served the poisoned copy depends on tenant scheduling. */
+    std::size_t sharedCacheTaints = 0;
+
     // --- Tiered installation (all zero with cfg.tiering off except the
     // tier-1 firstInstallQuantum slot).
 

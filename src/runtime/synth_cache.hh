@@ -49,6 +49,19 @@ class SynthesisCache
      */
     virtual void publish(const hsd::HotSpotRecord &record, unsigned tier,
                          const PackageBundle &bundle, bool merged) = 0;
+
+    /**
+     * Report that a bundle this cache served was rejected by the
+     * consumer's install gate or deopted by its watchdog — evidence the
+     * shared copy is poisoned. Implementations evict the entry and
+     * embargo its key so no further tenant is served or re-publishes it
+     * (consumers fall back to local synthesis, which installs at the
+     * same deterministic quantum). Default: no-op, so the single-tenant
+     * runtime and test mocks are unaffected.
+     */
+    virtual void taint(const hsd::HotSpotRecord & /*record*/,
+                       unsigned /*tier*/)
+    {}
 };
 
 } // namespace vp::runtime

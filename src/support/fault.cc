@@ -42,6 +42,9 @@ kindName(Kind k)
       case Kind::SynthFail: return "synth-fail";
       case Kind::SynthDelay: return "synth-delay";
       case Kind::VerifyFlip: return "verify-flip";
+      case Kind::TenantCrash: return "tenant-crash";
+      case Kind::StorePoison: return "store-poison";
+      case Kind::TornWrite: return "torn-write";
     }
     return "?";
 }

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "support/rng.hh"
@@ -31,7 +32,14 @@
 namespace vp::fault
 {
 
-/** What can be injected. */
+/**
+ * What can be injected. The first six kinds are drawn by the runtime
+ * controller (per tenant, on its controller thread); the last three are
+ * *fleet-level* faults: the FleetController draws TenantCrash schedules
+ * per tenant (seed combined with the tenant index, so any --threads or
+ * --tenants value sees the identical sequence) and StorePoison/TornWrite
+ * at the deterministic end-of-run store flush.
+ */
 enum class Kind : std::size_t
 {
     DropBranch,  ///< drop one branch from a BBB snapshot
@@ -40,9 +48,20 @@ enum class Kind : std::size_t
     SynthFail,   ///< background synthesis job raises an error
     SynthDelay,  ///< background synthesis job takes extra quanta
     VerifyFlip,  ///< verifier verdict spuriously flipped to "reject"
+    TenantCrash, ///< exception escapes a tenant's run() mid-quantum
+    StorePoison, ///< stored image structurally tampered (valid checksum)
+    TornWrite,   ///< stored image truncated (simulated torn final write)
 };
 
-inline constexpr std::size_t kNumKinds = 6;
+inline constexpr std::size_t kNumKinds = 9;
+
+/** Thrown out of RuntimeController::run() when an injected TenantCrash
+ *  fires — deliberately an *escaping* exception, so the fleet's
+ *  supervision path is exercised exactly as a genuine defect would. */
+struct TenantCrashError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /** Canonical spec name of @p k (what --fault-inject parses). */
 const char *kindName(Kind k);
@@ -69,7 +88,8 @@ struct FaultConfig
      * Parse a --fault-inject spec. Either a bare rate applied to every
      * kind ("0.1") or a comma list of kind=rate pairs
      * ("drop=0.1,synth-fail=0.5,verify-flip=0.05"). Kind names:
-     * drop, saturate, alias, synth-fail, synth-delay, verify-flip, all.
+     * drop, saturate, alias, synth-fail, synth-delay, verify-flip,
+     * tenant-crash, store-poison, torn-write, all.
      * Rates must be in [0, 1].
      */
     static Expected<FaultConfig> parse(const std::string &spec,

@@ -75,6 +75,99 @@ TEST(FaultConfig, RejectsBadSpecs)
     EXPECT_FALSE(fault::FaultConfig::parse("drop=0.1,,", 0).isOk());
 }
 
+TEST(FaultConfig, ParsesFleetKinds)
+{
+    const Expected<fault::FaultConfig> fc = fault::FaultConfig::parse(
+        "tenant-crash=0.2,store-poison=0.1,torn-write=0.3", 3);
+    ASSERT_TRUE(fc.isOk()) << fc.status().message();
+    EXPECT_DOUBLE_EQ(fc.value().rateOf(fault::Kind::TenantCrash), 0.2);
+    EXPECT_DOUBLE_EQ(fc.value().rateOf(fault::Kind::StorePoison), 0.1);
+    EXPECT_DOUBLE_EQ(fc.value().rateOf(fault::Kind::TornWrite), 0.3);
+    EXPECT_DOUBLE_EQ(fc.value().rateOf(fault::Kind::DropBranch), 0.0);
+    EXPECT_TRUE(fc.value().enabled());
+}
+
+// ---------------------------------------------------------------------
+// Quarantine backoff boundaries
+
+/** A small self-matching phase record for quarantine bookkeeping. */
+hsd::HotSpotRecord
+quarantinePhase()
+{
+    hsd::HotSpotRecord rec;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        hsd::HotBranch hb;
+        hb.behavior = 100 + i;
+        hb.exec = 400;
+        hb.taken = (i % 2) ? 390 : 10;
+        rec.branches.push_back(hb);
+    }
+    return rec;
+}
+
+TEST(PackageCacheQuarantine, BackoffExpiresAtExactQuantum)
+{
+    PackageCache cache(0, hsd::FilterConfig{});
+    const hsd::HotSpotRecord rec = quarantinePhase();
+    EXPECT_FALSE(cache.quarantined(rec, 0));
+
+    // First offense at quantum 10 charges min(16 << 0, 1024) = 16:
+    // blocked through quantum 25, free again at exactly 26.
+    EXPECT_EQ(cache.quarantine(rec, 10, 16, 1024), 1u);
+    EXPECT_TRUE(cache.quarantined(rec, 10));
+    EXPECT_TRUE(cache.quarantined(rec, 25));
+    EXPECT_FALSE(cache.quarantined(rec, 26));
+
+    // Expiry keeps the offense history: the second offense doubles the
+    // charge (32 quanta from its own clock).
+    EXPECT_EQ(cache.quarantine(rec, 30, 16, 1024), 2u);
+    EXPECT_TRUE(cache.quarantined(rec, 61));
+    EXPECT_FALSE(cache.quarantined(rec, 62));
+    EXPECT_EQ(cache.quarantineCount(), 1u);
+}
+
+TEST(PackageCacheQuarantine, BackoffSaturatesAtCap)
+{
+    PackageCache cache(0, hsd::FilterConfig{});
+    const hsd::HotSpotRecord rec = quarantinePhase();
+
+    // Drive the doubling past the cap; the deadline pins at q + cap.
+    for (int i = 0; i < 12; ++i)
+        cache.quarantine(rec, 0, 16, 1024);
+    EXPECT_TRUE(cache.quarantined(rec, 1023));
+    EXPECT_FALSE(cache.quarantined(rec, 1024));
+
+    // A later relapse still charges exactly the cap, never more.
+    cache.quarantine(rec, 5000, 16, 1024);
+    EXPECT_TRUE(cache.quarantined(rec, 5000 + 1023));
+    EXPECT_FALSE(cache.quarantined(rec, 5000 + 1024));
+}
+
+TEST(PackageCacheQuarantine, SeededStateSurvivesRestart)
+{
+    PackageCache first(0, hsd::FilterConfig{});
+    const hsd::HotSpotRecord rec = quarantinePhase();
+    first.quarantine(rec, 10, 16, 1024); // until 26
+    first.quarantine(rec, 20, 16, 1024); // until 52, offenses 2
+
+    // Supervisor restart: the snapshot seeds a fresh incarnation whose
+    // clock restarts at 0 while deadlines stay in the donor's clock —
+    // deliberately conservative, the evidence does not reset just
+    // because the process did.
+    PackageCache second(0, hsd::FilterConfig{});
+    second.seedQuarantine(first.quarantineEntries());
+    EXPECT_EQ(second.quarantineCount(), 1u);
+    EXPECT_TRUE(second.quarantined(rec, 0));
+    EXPECT_TRUE(second.quarantined(rec, 51));
+    EXPECT_FALSE(second.quarantined(rec, 52));
+
+    // Offense history carried across the restart: the next offense is
+    // the third, charging min(16 << 2, 1024) = 64 quanta.
+    EXPECT_EQ(second.quarantine(rec, 60, 16, 1024), 3u);
+    EXPECT_TRUE(second.quarantined(rec, 123));
+    EXPECT_FALSE(second.quarantined(rec, 124));
+}
+
 TEST(FaultInjector, CounterStreamsAreSeedStable)
 {
     fault::FaultConfig cfg;

@@ -7,19 +7,36 @@
  * byte-identical across thread counts, shard counts and cold/warm
  * starts, single-tenant parity with a bare RuntimeController, and
  * warm-start job savings through the persistent store.
+ *
+ * Fault-domain coverage: taint containment in the shared cache (evict +
+ * embargo + epidemiology counters), a poisoning SynthesisCache mock
+ * proving a tampered shared bundle is gate-rejected and reported rather
+ * than installed, supervised tenant crashes (degraded marking, crash
+ * isolation, restart convergence), BundleStore same-key writer
+ * collisions, and the idempotent crash-recovery scan.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "fleet/controller.hh"
+#include "fleet/serialize.hh"
 #include "fleet/sharded_cache.hh"
+#include "fleet/store.hh"
+#include "ir/function.hh"
 #include "runtime/controller.hh"
 #include "runtime/package_cache.hh"
+#include "runtime/synth_cache.hh"
+#include "support/fault.hh"
 #include "workload/benchmarks.hh"
 
 namespace
@@ -109,6 +126,44 @@ TEST(ShardedBundleCache, ForEachVisitsKeysInDeterministicOrder)
         seen.push_back(key);
     });
     EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(ShardedBundleCache, TaintEvictsAndEmbargoes)
+{
+    ShardedBundleCache cache(2);
+    ASSERT_TRUE(cache.insert(1, 42, runtime::PackageBundle{}, false, false));
+    ASSERT_NE(cache.lookup(1, 42), nullptr);
+
+    // Tainting a present key evicts it and leaves an embargo behind.
+    cache.taint(1, 42);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.taintedCount(), 1u);
+    EXPECT_EQ(cache.lookup(1, 42), nullptr);
+
+    // The embargo outlives the eviction: re-publishing the poisoned key
+    // is refused, so no later tenant can be served it.
+    EXPECT_FALSE(
+        cache.insert(1, 42, runtime::PackageBundle{}, false, false));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Tainting an absent key (the consumer noticed after an LRU
+    // eviction) still embargoes without counting an eviction.
+    cache.taint(1, 43);
+    EXPECT_EQ(cache.taintedCount(), 2u);
+
+    std::uint64_t evictions = 0, publishes = 0, contained = 0;
+    for (const ShardStats &s : cache.stats()) {
+        evictions += s.taintEvictions;
+        publishes += s.poisonedPublishes;
+        contained += s.containedTenants;
+    }
+    EXPECT_EQ(evictions, 1u);
+    EXPECT_EQ(publishes, 1u);
+    EXPECT_EQ(contained, 1u); // the post-taint lookup of key 42
+
+    // Other keys in the namespace are untouched.
+    ASSERT_TRUE(cache.insert(1, 44, runtime::PackageBundle{}, false, false));
+    EXPECT_NE(cache.lookup(1, 44), nullptr);
 }
 
 // ---------------------------------------------------------------------
@@ -238,6 +293,304 @@ TEST(FleetController, WarmStartServesJobsFromTheStore)
     EXPECT_EQ(tenantReports(cold), tenantReports(warm));
 
     std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Supervised tenant fault domains
+
+TEST(FleetSupervision, OutOfRetriesTenantDegradesButFleetCompletes)
+{
+    FleetConfig fc = smallFleet(3, 2, 2);
+    // An unconditional crash quantum survives every restart, so each
+    // tenant burns its whole retry budget and degrades.
+    fc.rt.crashAtQuantum = 1;
+    fc.tenantRetries = 2;
+    FleetStats s = FleetController(fc).run();
+
+    EXPECT_EQ(s.degradedTenants, 3u);
+    EXPECT_EQ(s.tenantCrashes, 9u);  // 3 attempts x 3 tenants
+    EXPECT_EQ(s.tenantRestarts, 6u); // 2 restarts granted per tenant
+    for (const TenantStats &t : s.tenants) {
+        EXPECT_TRUE(t.degraded);
+        EXPECT_EQ(t.crashes, 3u);
+        EXPECT_EQ(t.restarts, 2u);
+        // Exponential accounting backoff: 16 + 32 quanta.
+        EXPECT_EQ(t.backoffQuanta, 48u);
+        EXPECT_FALSE(t.lastError.empty());
+        // A degraded row is zeroed, never a partial report.
+        EXPECT_EQ(t.stats.quanta, 0u);
+        EXPECT_EQ(t.stats.installs, 0u);
+    }
+
+    const std::string text = toText(s, true);
+    EXPECT_NE(text.find("DEGRADED"), std::string::npos);
+    EXPECT_NE(text.find("supervision:"), std::string::npos);
+    EXPECT_NE(text.find("containment:"), std::string::npos);
+    EXPECT_NE(text.find("workers:"), std::string::npos);
+}
+
+TEST(FleetSupervision, CrashIsolationAndRestartConvergence)
+{
+    const FleetConfig clean = smallFleet(4, 2, 2);
+    FleetStats base = FleetController(clean).run();
+
+    // Only the tenant-crash kind fires: tenants otherwise run clean, so
+    // a restarted tenant's successful attempt must converge to its
+    // fault-free report, and untouched tenants must not see the crash
+    // at all.
+    FleetConfig fc = clean;
+    fc.tenantRetries = 6;
+    fc.fault.rate[static_cast<std::size_t>(fault::Kind::TenantCrash)] =
+        0.6;
+    fc.fault.seed = 11;
+    FleetStats chaos = FleetController(fc).run();
+
+    EXPECT_GT(chaos.tenantCrashes, 0u);
+    EXPECT_EQ(chaos.degradedTenants, 0u);
+    ASSERT_EQ(chaos.tenants.size(), base.tenants.size());
+    for (std::size_t i = 0; i < chaos.tenants.size(); ++i) {
+        EXPECT_EQ(runtime::toText(chaos.tenants[i].stats,
+                                  chaos.tenants[i].label),
+                  runtime::toText(base.tenants[i].stats,
+                                  base.tenants[i].label))
+            << "tenant " << i << " diverged ("
+            << chaos.tenants[i].crashes << " crashes)";
+    }
+
+    // Identical crash schedule on 8 threads: supervision is a function
+    // of the tenant index, never of scheduling.
+    fc.threads = 8;
+    FleetStats chaos8 = FleetController(fc).run();
+    EXPECT_EQ(chaos8.tenantCrashes, chaos.tenantCrashes);
+    EXPECT_EQ(chaos8.tenantRestarts, chaos.tenantRestarts);
+    EXPECT_EQ(tenantReports(chaos8), tenantReports(chaos));
+}
+
+// ---------------------------------------------------------------------
+// Poisoned-bundle containment through the SynthesisCache hook
+
+/** SynthesisCache mock that stores a structurally tampered copy of
+ *  every bundle published to it and serves that copy back — the
+ *  poisoned-shared-state scenario — recording taint() reports. */
+struct PoisoningCache final : runtime::SynthesisCache
+{
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const runtime::PackageBundle>>
+        entries;
+    std::size_t taints = 0;
+
+    std::shared_ptr<const runtime::PackageBundle>
+    lookup(const hsd::HotSpotRecord &record, unsigned tier) override
+    {
+        const auto it = entries.find(recordKey(record, tier));
+        return it == entries.end() ? nullptr : it->second;
+    }
+
+    void
+    publish(const hsd::HotSpotRecord &record, unsigned tier,
+            const runtime::PackageBundle &bundle, bool) override
+    {
+        runtime::PackageBundle bad = bundle;
+        for (const auto &pkg : bad.packaged.packages) {
+            for (ir::BasicBlock &bb :
+                 bad.packaged.program.func(pkg.func).blocks()) {
+                if (bb.kind != ir::BlockKind::Exit && bb.taken.valid()) {
+                    // Redirect a package arc into original code: valid
+                    // frame, decodes fine, must fail the install gate.
+                    bb.taken = ir::BlockRef{0, 0};
+                    entries.emplace(
+                        recordKey(record, tier),
+                        std::make_shared<runtime::PackageBundle>(
+                            std::move(bad)));
+                    return;
+                }
+            }
+        }
+    }
+
+    void
+    taint(const hsd::HotSpotRecord &record, unsigned tier) override
+    {
+        ++taints;
+        entries.erase(recordKey(record, tier));
+    }
+};
+
+TEST(FleetContainment, TaintedSharedBundleIsRejectedAndReported)
+{
+    std::vector<workload::Workload> roster = workload::makeAllWorkloads();
+    runtime::RuntimeConfig rt;
+    rt.vp = VpConfig::variant(true, true);
+    rt.workers = 1;
+    rt.budget = 200000;
+
+    PoisoningCache cache;
+    {
+        // First incarnation populates the mock, which keeps tampered
+        // copies of everything published.
+        runtime::RuntimeController first(roster[0], rt);
+        first.setSynthesisCache(&cache);
+        (void)first.run();
+    }
+    ASSERT_FALSE(cache.entries.empty());
+    const std::size_t poisoned = cache.entries.size();
+
+    // Second incarnation is served the tampered copies. Every one must
+    // be thrown out by its install gate and reported back via taint();
+    // the tenant falls back to local synthesis and completes.
+    runtime::RuntimeController second(roster[0], rt);
+    second.setSynthesisCache(&cache);
+    const runtime::RuntimeStats s = second.run();
+
+    EXPECT_GT(s.quanta, 0u);
+    EXPECT_GT(cache.taints, 0u);
+    EXPECT_EQ(s.sharedCacheTaints, cache.taints);
+    // Nothing poisoned survives in the shared state: each served copy
+    // was either tainted away or never looked up again.
+    EXPECT_LE(cache.entries.size(), poisoned);
+}
+
+// ---------------------------------------------------------------------
+// BundleStore: writer collisions and crash recovery
+
+TEST(BundleStore, SameKeyWritersNeverInterleave)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::path(::testing::TempDir()) / "store-race").string();
+    fs::remove_all(dir);
+
+    // Two store handles over one directory — the two-process sharing
+    // setup — plus same-process thread races within each.
+    BundleStore a(dir), b(dir);
+    std::vector<std::uint8_t> image(4096);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        image[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+    std::atomic<int> errors{0}, wrote{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t) {
+        writers.emplace_back([&, t] {
+            BundleStore &s = (t % 2) ? b : a;
+            const Expected<bool> r = s.putImage(5, 99, image);
+            if (!r.isOk())
+                ++errors;
+            else if (r.value())
+                ++wrote;
+        });
+    }
+    for (std::thread &w : writers)
+        w.join();
+
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_GE(wrote.load(), 1);
+    EXPECT_EQ(a.countNamespace(5), 1u);
+
+    // Exactly one final image with exactly the written bytes, and no
+    // orphaned temps: unique O_EXCL temp names make interleaving
+    // impossible and rename keeps the final file atomic.
+    std::size_t finals = 0, tmps = 0;
+    for (const fs::directory_entry &de :
+         fs::recursive_directory_iterator(dir)) {
+        if (de.path().extension() == ".tmp")
+            ++tmps;
+        if (de.path().extension() != ".vpb")
+            continue;
+        ++finals;
+        std::ifstream in(de.path(), std::ios::binary);
+        const std::vector<std::uint8_t> got(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(got, image);
+    }
+    EXPECT_EQ(finals, 1u);
+    EXPECT_EQ(tmps, 0u);
+
+    fs::remove_all(dir);
+}
+
+TEST(BundleStore, RecoveryScanQuarantinesUndecodableImagesIdempotently)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::path(::testing::TempDir()) / "store-recover").string();
+    fs::remove_all(dir);
+    BundleStore store(dir);
+
+    // An undecodable image under a real key — what a torn final write
+    // or bit rot leaves behind.
+    const Expected<bool> put =
+        store.putImage(7, 1, std::vector<std::uint8_t>{0xde, 0xad});
+    ASSERT_TRUE(put.isOk());
+    ASSERT_TRUE(put.value());
+    // An orphaned temp from a writer that died before its rename.
+    {
+        std::ofstream orphan(fs::path(dir) / "0000000000000007" /
+                             "00000000000000ff.1234.0.tmp");
+        orphan << "partial";
+    }
+
+    const RecoveryStats r1 = store.recoverNamespace(7);
+    EXPECT_EQ(r1.scanned, 1u);
+    EXPECT_EQ(r1.quarantined, 1u);
+    EXPECT_EQ(r1.tmpCleaned, 1u);
+    EXPECT_EQ(store.countNamespace(7), 0u);
+    EXPECT_EQ(store.quarantineCount(), 1u);
+
+    // Double crash: a second scan finds a converged directory.
+    const RecoveryStats r2 = store.recoverNamespace(7);
+    EXPECT_EQ(r2.scanned, 0u);
+    EXPECT_EQ(r2.quarantined, 0u);
+    EXPECT_EQ(r2.tmpCleaned, 0u);
+    EXPECT_EQ(store.quarantineCount(), 1u);
+
+    // A relapse at the same key replaces the sidecar entry instead of
+    // erroring or accumulating duplicates.
+    const Expected<bool> again =
+        store.putImage(7, 1, std::vector<std::uint8_t>{0x01});
+    ASSERT_TRUE(again.isOk());
+    const RecoveryStats r3 = store.recoverNamespace(7);
+    EXPECT_EQ(r3.quarantined, 1u);
+    EXPECT_EQ(store.quarantineCount(), 1u);
+
+    fs::remove_all(dir);
+}
+
+TEST(FleetController, WarmStartQuarantinesTornStoreImages)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::path(::testing::TempDir()) / "fleet-torn").string();
+    fs::remove_all(dir);
+
+    FleetConfig fc = smallFleet(2, 2, 2);
+    fc.storeDir = dir;
+    FleetStats cold = FleetController(fc).run();
+    ASSERT_GT(cold.storeSaved, 0u);
+
+    // Tear one stored image down to a prefix, as a crash mid-write
+    // would have before the fsync+rename ordering existed.
+    for (const fs::directory_entry &de :
+         fs::recursive_directory_iterator(dir)) {
+        if (de.path().extension() == ".vpb") {
+            fs::resize_file(de.path(), 3);
+            break;
+        }
+    }
+
+    fc.warmStart = true;
+    FleetStats warm = FleetController(fc).run();
+    // The recovery scan shields the loader: the torn image is moved to
+    // the sidecar, never even counted as a decoder-level corruption.
+    EXPECT_EQ(warm.storeQuarantined, 1u);
+    EXPECT_EQ(warm.storeCorrupt, 0u);
+    EXPECT_EQ(warm.storeRejected, 0u);
+    EXPECT_EQ(warm.degradedTenants, 0u);
+    // The lost bundle is simply re-synthesized and re-flushed.
+    EXPECT_EQ(warm.storeSaved, 1u);
+    EXPECT_EQ(tenantReports(cold), tenantReports(warm));
+
+    fs::remove_all(dir);
 }
 
 } // namespace

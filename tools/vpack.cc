@@ -36,7 +36,14 @@
  *                          ("0.1" = every kind at 10%) or kind=rate
  *                          pairs ("drop=0.1,synth-fail=0.5"); kinds:
  *                          drop saturate alias synth-fail synth-delay
- *                          verify-flip all. Enables the watchdog.
+ *                          verify-flip tenant-crash store-poison
+ *                          torn-write all. Enables the watchdog. The
+ *                          last three are fleet-level (ignored by
+ *                          `vpack runtime`): tenant-crash tears a
+ *                          tenant down mid-run (supervised restart),
+ *                          store-poison/torn-write corrupt images at
+ *                          the store flush (contained by the verifier
+ *                          gate / recovery scan on warm start).
  *   --fault-seed=N         fault stream seed (default 0); a fixed seed
  *                          injects the identical fault sequence for
  *                          every --threads value
@@ -65,7 +72,10 @@
  *                          counted and dropped, never installed)
  *   --threads=N            concurrent tenant executions (per-tenant
  *                          reports are identical for every value)
- *   --timing               append per-shard cache-stats lines
+ *   --tenant-retries=N     restarts granted to a crashed tenant before
+ *                          its row is marked DEGRADED (default 1)
+ *   --timing               append per-shard cache-stats lines plus the
+ *                          containment / chaos / worker-error lines
  */
 
 #include <cstdio>
@@ -107,7 +117,8 @@ usage()
                  "         --no-tiering --tier0-budget=N\n"
                  "         --no-merge --merge-overlap=F\n"
                  "         --tenants=N --shards=N --shard-capacity=N\n"
-                 "         --store-dir=PATH --warm-start\n");
+                 "         --store-dir=PATH --warm-start\n"
+                 "         --tenant-retries=N\n");
     return 2;
 }
 
@@ -131,6 +142,7 @@ struct Options
     std::size_t shardCapacity = 0;
     std::string storeDir;
     bool warmStart = false;
+    std::size_t tenantRetries = 1;
 };
 
 bool
@@ -266,6 +278,16 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             }
         } else if (a == "--warm-start") {
             opt.warmStart = true;
+        } else if (starts("--tenant-retries=")) {
+            char *end = nullptr;
+            opt.tenantRetries = static_cast<std::size_t>(
+                std::strtoull(a.c_str() + 17, &end, 10));
+            if (end == a.c_str() + 17 || *end != '\0') {
+                std::fprintf(stderr,
+                             "vpack: bad --tenant-retries value '%s'\n",
+                             a.c_str());
+                return false;
+            }
         } else if (starts("--bbb=")) {
             unsigned sets = 0, ways = 0;
             if (std::sscanf(a.c_str() + 6, "%ux%u", &sets, &ways) != 2 ||
@@ -407,6 +429,21 @@ cmdFleet(const Options &opt)
     fc.storeDir = opt.storeDir;
     fc.warmStart = opt.warmStart;
     fc.threads = opt.threads;
+    fc.tenantRetries = opt.tenantRetries;
+    if (!opt.faultSpec.empty()) {
+        // The fleet controller splits the spec itself: runtime kinds go
+        // to each tenant (per-tenant-index seed, watchdog forced on,
+        // matching `vpack runtime --fault-inject`), fleet kinds drive
+        // the supervisor's crash schedule and the store-flush chaos.
+        Expected<fault::FaultConfig> fspec =
+            fault::FaultConfig::parse(opt.faultSpec, opt.faultSeed);
+        if (!fspec) {
+            std::fprintf(stderr, "vpack: %s\n",
+                         fspec.status().message().c_str());
+            return 2;
+        }
+        fc.fault = fspec.value();
+    }
 
     fleet::FleetController controller(std::move(fc));
     const fleet::FleetStats stats = controller.run();
