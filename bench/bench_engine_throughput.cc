@@ -3,19 +3,27 @@
  * Execution-engine throughput baseline: retired instructions per second
  * for every Table 1 roster row, in three sink configurations —
  *
- *   bare  engine alone (the raw CFG-walk + retire loop),
- *   hsd   engine + HotSpotDetector (the profiling-run shape),
- *   epic  engine + EPIC pipeline model (the timing-run shape),
+ *   bare          engine alone (the raw CFG-walk + retire loop),
+ *   bare_notrace  engine alone with superblock traces disabled
+ *                 (the BlockPlan path — the trace A/B baseline),
+ *   hsd           engine + HotSpotDetector (the profiling-run shape),
+ *   epic          engine + EPIC pipeline model (the timing-run shape),
  *
  * measured with wall clocks around ExecutionEngine::run() and retired
- * counts from RunStats / totalSimulatedInsts(). Rows always run
- * serially on the calling thread so per-row numbers are free of
- * contention; `--reps=N` (default 3) takes the best of N runs per cell.
+ * counts from RunStats / totalSimulatedInsts(). The printed table adds
+ * a "trace x" column (bare over bare_notrace — the superblock speedup)
+ * and "tcov%" (share of instructions retired inside traces, from
+ * TraceStats). Rows always run serially on the calling thread so
+ * per-row numbers are free of contention; `--reps=N` (default 3) takes
+ * the best of N runs per cell. `--no-traces` disables trace formation
+ * process-wide (every scenario then runs the BlockPlan path).
  *
  * `--json[=path]` additionally emits BENCH_engine.json: one object per
  * roster row plus an "aggregate" section, before/after comparable
  * across engine changes (the CI perf smoke diffs the aggregate
- * "overall" insts/sec against a checked-in floor).
+ * "overall" insts/sec against a checked-in floor). The aggregate
+ * "overall" spans bare/hsd/epic only, so it stays comparable with
+ * pre-trace baselines.
  */
 
 #include <chrono>
@@ -44,6 +52,9 @@ struct Cell
     std::uint64_t insts = 0; ///< retired instructions of the best rep
     double seconds = 0.0;    ///< wall clock of the best rep
 
+    /** Share of instructions retired inside traces (best rep). */
+    double traceCov = 0.0;
+
     double
     ips() const
     {
@@ -51,7 +62,8 @@ struct Cell
     }
 };
 
-/** One timed engine run; @p scenario picks the attached sink. */
+/** One timed engine run; @p scenario picks the attached sink (and, for
+ *  bare_notrace, forces the BlockPlan path). */
 Cell
 runOnce(const workload::Workload &w, const std::string &scenario)
 {
@@ -62,12 +74,20 @@ runOnce(const workload::Workload &w, const std::string &scenario)
         engine.addSink(&detector);
     else if (scenario == "epic")
         engine.addSink(&core);
+    else if (scenario == "bare_notrace") {
+        trace::TraceConfig cfg = trace::defaultTraceConfig();
+        cfg.enabled = false;
+        engine.setTraceConfig(cfg);
+    }
 
     Cell c;
     const double t0 = now();
     const trace::RunStats stats = engine.run(w.maxDynInsts);
     c.seconds = now() - t0;
     c.insts = stats.dynInsts;
+    if (stats.dynInsts > 0)
+        c.traceCov = static_cast<double>(engine.traceStats().insts) /
+                     static_cast<double>(stats.dynInsts);
     return c;
 }
 
@@ -85,19 +105,22 @@ main(int argc, char **argv)
             const long n = std::strtol(argv[i] + 7, nullptr, 10);
             if (n >= 1)
                 reps = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--no-traces") == 0) {
+            trace::defaultTraceConfig().enabled = false;
         }
     }
     const auto json_path = benchJsonPath(argc, argv, "BENCH_engine.json");
     HarnessTimer timer(1);
 
-    const std::vector<std::string> scenarios = {"bare", "hsd", "epic"};
+    const std::vector<std::string> scenarios = {"bare", "bare_notrace",
+                                                "hsd", "epic"};
 
     std::printf("Engine throughput: retired instructions per second "
                 "(best of %u)\n\n", reps);
 
     TablePrinter table;
-    table.addRow({"benchmark", "insts", "bare Mi/s", "hsd Mi/s",
-                  "epic Mi/s"});
+    table.addRow({"benchmark", "insts", "bare Mi/s", "notrace Mi/s",
+                  "trace x", "tcov%", "hsd Mi/s", "epic Mi/s"});
 
     struct Row
     {
@@ -121,22 +144,38 @@ main(int argc, char **argv)
             totals[si].insts += best.insts;
             totals[si].seconds += best.seconds;
         }
+        const double speedup =
+            row.cells[1].ips() > 0.0 ? row.cells[0].ips() /
+                                           row.cells[1].ips()
+                                     : 0.0;
         table.addRow({row.label, std::to_string(row.cells[0].insts),
                       TablePrinter::num(row.cells[0].ips() / 1e6, 1),
                       TablePrinter::num(row.cells[1].ips() / 1e6, 1),
-                      TablePrinter::num(row.cells[2].ips() / 1e6, 1)});
+                      TablePrinter::num(speedup, 2),
+                      TablePrinter::num(row.cells[0].traceCov * 100.0, 1),
+                      TablePrinter::num(row.cells[2].ips() / 1e6, 1),
+                      TablePrinter::num(row.cells[3].ips() / 1e6, 1)});
         rows.push_back(std::move(row));
     });
 
+    // "overall" spans bare/hsd/epic only — the trace A/B baseline column
+    // is diagnostic, and folding it in would skew comparisons against
+    // pre-trace baselines.
     Cell overall;
-    for (const Cell &t : totals) {
-        overall.insts += t.insts;
-        overall.seconds += t.seconds;
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        if (scenarios[si] == "bare_notrace")
+            continue;
+        overall.insts += totals[si].insts;
+        overall.seconds += totals[si].seconds;
     }
+    const double agg_speedup =
+        totals[1].ips() > 0.0 ? totals[0].ips() / totals[1].ips() : 0.0;
     table.addRow({"total", std::to_string(overall.insts),
                   TablePrinter::num(totals[0].ips() / 1e6, 1),
                   TablePrinter::num(totals[1].ips() / 1e6, 1),
-                  TablePrinter::num(totals[2].ips() / 1e6, 1)});
+                  TablePrinter::num(agg_speedup, 2), "",
+                  TablePrinter::num(totals[2].ips() / 1e6, 1),
+                  TablePrinter::num(totals[3].ips() / 1e6, 1)});
     table.print();
     std::printf("\noverall: %.1f Minst/s over %llu retired insts\n",
                 overall.ips() / 1e6,
@@ -159,10 +198,10 @@ main(int argc, char **argv)
                 std::fprintf(
                     f,
                     ", \"%s\": {\"insts\": %llu, \"seconds\": %.6f, "
-                    "\"ips\": %.0f}",
+                    "\"ips\": %.0f, \"trace_cov\": %.4f}",
                     scenarios[si].c_str(),
                     static_cast<unsigned long long>(c.insts), c.seconds,
-                    c.ips());
+                    c.ips(), c.traceCov);
             }
             std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
         }
@@ -175,6 +214,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(totals[si].insts),
                 totals[si].seconds, totals[si].ips());
         }
+        std::fprintf(f, "    \"trace_speedup\": %.4f,\n", agg_speedup);
         std::fprintf(f,
                      "    \"overall\": {\"insts\": %llu, \"seconds\": "
                      "%.6f, \"ips\": %.0f}\n  }\n}\n",

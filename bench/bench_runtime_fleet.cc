@@ -18,11 +18,19 @@
  * warm start over the poisoned store quarantines or gate-rejects every
  * injected corruption without installing one.
  *
+ * The sweep also reports install-latency curves: for every bundle that
+ * activated, the quanta between synthesis submission and first install
+ * (the window a detected phase keeps running unoptimized). Each config
+ * row carries cold/warm pooled p50/p95 plus the worst single tenant's
+ * p95; the "fleet_latency" aggregate pools every cold install across
+ * the sweep.
+ *
  * `--json[=path]` emits BENCH_fleet.json: one object per configuration
  * (cold/warm executed-job counts, job savings, coverage, report
- * equality, wall seconds, store counters) plus "chaos_rows" degradation
- * curves, a "runtime_fleet" aggregate (coverage_equal_rows, min/mean
- * job savings, warm coverage) and a "fleet_chaos" aggregate
+ * equality, install-latency percentiles, wall seconds, store counters)
+ * plus "chaos_rows" degradation curves, a "runtime_fleet" aggregate
+ * (coverage_equal_rows, min/mean job savings, warm coverage), the
+ * "fleet_latency" aggregate above, and a "fleet_chaos" aggregate
  * (deterministic/contained row counts) for the CI floor check.
  * `--budget=N` trims every tenant to N dynamic instructions (CI smoke).
  * `--duration=S` switches to a time-based stop mode instead: every
@@ -30,9 +38,11 @@
  * flag trips after S seconds (throughput smoke, not a gate).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +77,60 @@ tenantReports(const fleet::FleetStats &stats)
     for (const fleet::TenantStats &t : stats.tenants)
         out += runtime::toText(t.stats, t.label);
     return out;
+}
+
+/** Nearest-rank percentile of an unsorted sample (sorts in place). */
+std::uint64_t
+percentile(std::vector<std::uint64_t> &v, double p)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(v.size())));
+    if (rank == 0)
+        rank = 1;
+    return v[std::min(rank, v.size()) - 1];
+}
+
+/**
+ * Install-latency curve of a fleet run: for every bundle that activated,
+ * quanta between synthesis submission and first install (the window a
+ * detected phase runs unoptimized while its package is in flight). The
+ * pooled p50/p95 track the fleet-wide experience; maxTenantP95 is the
+ * worst single tenant's p95, which a fleet-wide pool would average away.
+ */
+struct LatencySummary
+{
+    std::size_t installs = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t maxTenantP95 = 0;
+};
+
+LatencySummary
+installLatency(const fleet::FleetStats &stats,
+               std::vector<std::uint64_t> *pool_out = nullptr)
+{
+    LatencySummary s;
+    std::vector<std::uint64_t> pooled;
+    for (const fleet::TenantStats &t : stats.tenants) {
+        std::vector<std::uint64_t> tenant;
+        for (const runtime::BundleStats &b : t.stats.bundles) {
+            if (b.installedQuantum == runtime::BundleStats::kNever)
+                continue;
+            tenant.push_back(b.installedQuantum - b.submittedQuantum);
+        }
+        pooled.insert(pooled.end(), tenant.begin(), tenant.end());
+        s.maxTenantP95 =
+            std::max(s.maxTenantP95, percentile(tenant, 0.95));
+    }
+    s.installs = pooled.size();
+    if (pool_out)
+        pool_out->insert(pool_out->end(), pooled.begin(), pooled.end());
+    s.p50 = percentile(pooled, 0.50);
+    s.p95 = percentile(pooled, 0.95);
+    return s;
 }
 
 /**
@@ -164,6 +228,8 @@ main(int argc, char **argv)
     {
         fleet::FleetStats cold;
         fleet::FleetStats warm;
+        LatencySummary coldLat;
+        LatencySummary warmLat;
         bool coverageEqual = false;
         double coldSeconds = 0.0;
         double warmSeconds = 0.0;
@@ -175,12 +241,14 @@ main(int argc, char **argv)
     TablePrinter table;
     table.addRow({"tenants", "shards", "coverage", "cold exec",
                   "warm exec", "from cache", "saved", "loaded", "equal",
-                  "savings"});
+                  "savings", "lat p50/p95"});
 
     Accumulator savings_avg, warm_cov_avg;
     double min_savings = 1.0, min_warm_cov = 1.0;
     std::size_t equal_rows = 0;
     std::vector<Row> rows;
+    std::vector<std::uint64_t> latency_pool; ///< cold installs, all configs
+    std::uint64_t max_tenant_p95 = 0;
 
     // Serial over configurations: each FleetController parallelizes its
     // tenants internally, so the harness threads are already saturated.
@@ -212,6 +280,10 @@ main(int argc, char **argv)
 
         row.coverageEqual =
             tenantReports(row.cold) == tenantReports(row.warm);
+        row.coldLat = installLatency(row.cold, &latency_pool);
+        row.warmLat = installLatency(row.warm);
+        max_tenant_p95 =
+            std::max(max_tenant_p95, row.coldLat.maxTenantP95);
 
         const double savings =
             row.cold.jobsExecuted
@@ -227,6 +299,9 @@ main(int argc, char **argv)
 
         char pct[32];
         std::snprintf(pct, sizeof pct, "%.0f%%", 100.0 * savings);
+        char lat[32];
+        std::snprintf(lat, sizeof lat, "%" PRIu64 "/%" PRIu64,
+                      row.coldLat.p50, row.coldLat.p95);
         table.addRow({std::to_string(c.tenants),
                       std::to_string(c.shards),
                       TablePrinter::pct(row.warm.meanCoverage),
@@ -235,7 +310,7 @@ main(int argc, char **argv)
                       std::to_string(row.warm.jobsFromCache),
                       std::to_string(row.cold.storeSaved),
                       std::to_string(row.warm.storeLoaded),
-                      row.coverageEqual ? "yes" : "NO", pct});
+                      row.coverageEqual ? "yes" : "NO", pct, lat});
         std::fflush(stdout);
         rows.push_back(std::move(row));
     }
@@ -245,6 +320,13 @@ main(int argc, char **argv)
                 "job savings mean %.0f%% / min %.0f%%\n",
                 equal_rows, configs.size(), 100.0 * savings_avg.mean(),
                 100.0 * min_savings);
+    const std::uint64_t fleet_p50 = percentile(latency_pool, 0.50);
+    const std::uint64_t fleet_p95 = percentile(latency_pool, 0.95);
+    std::printf("install latency (quanta, cold runs pooled): "
+                "p50 %" PRIu64 " / p95 %" PRIu64
+                " over %zu installs; worst tenant p95 %" PRIu64 "\n",
+                fleet_p50, fleet_p95, latency_pool.size(),
+                max_tenant_p95);
 
     // --- Chaos sweep: fault rate x tenant count at 4 shards. The cold
     // pass enables the full fault menu and runs twice (1 thread, then
@@ -394,6 +476,12 @@ main(int argc, char **argv)
                 "\"store_loaded\": %" PRIu64 ", "
                 "\"store_rejected\": %" PRIu64 ", "
                 "\"store_corrupt\": %" PRIu64 ", "
+                "\"cold_installs\": %zu, "
+                "\"cold_latency_p50\": %" PRIu64 ", "
+                "\"cold_latency_p95\": %" PRIu64 ", "
+                "\"cold_max_tenant_p95\": %" PRIu64 ", "
+                "\"warm_latency_p50\": %" PRIu64 ", "
+                "\"warm_latency_p95\": %" PRIu64 ", "
                 "\"cold_seconds\": %.3f, \"warm_seconds\": %.3f}%s\n",
                 c.tenants, c.shards, c.tenants, c.shards,
                 r.cold.jobsExecuted, r.warm.jobsExecuted,
@@ -402,7 +490,9 @@ main(int argc, char **argv)
                 r.cold.meanCoverage, r.warm.meanCoverage,
                 r.warm.minCoverage, r.cold.storeSaved,
                 r.warm.storeLoaded, r.warm.storeRejected,
-                r.warm.storeCorrupt, r.coldSeconds, r.warmSeconds,
+                r.warm.storeCorrupt, r.coldLat.installs, r.coldLat.p50,
+                r.coldLat.p95, r.coldLat.maxTenantP95, r.warmLat.p50,
+                r.warmLat.p95, r.coldSeconds, r.warmSeconds,
                 i + 1 < rows.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n  \"chaos_rows\": [\n");
@@ -446,13 +536,17 @@ main(int argc, char **argv)
                      "\"mean_job_savings\": %.6f, "
                      "\"mean_warm_coverage\": %.6f, "
                      "\"min_warm_coverage\": %.6f},\n"
+                     "    \"fleet_latency\": {\"installs\": %zu, "
+                     "\"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", "
+                     "\"max_tenant_p95\": %" PRIu64 "},\n"
                      "    \"fleet_chaos\": {\"rows\": %zu, "
                      "\"deterministic_rows\": %zu, "
                      "\"contained_rows\": %zu}\n"
                      "  }\n}\n",
                      rows.size(), equal_rows, min_savings,
                      savings_avg.mean(), warm_cov_avg.mean(),
-                     min_warm_cov, chaos_rows.size(),
+                     min_warm_cov, latency_pool.size(), fleet_p50,
+                     fleet_p95, max_tenant_p95, chaos_rows.size(),
                      deterministic_rows, contained_rows);
         std::fclose(f);
         std::printf("wrote %s\n", json_path->c_str());

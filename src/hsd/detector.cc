@@ -68,8 +68,12 @@ HotSpotDetector::detect()
 {
     HotSpotRecord rec;
     rec.detectedAtBranch = branchesSeen_;
+    // Keyed to the detector's own branch count, not currentPhase(): with
+    // trace-length dispatch the oracle clock may have advanced past the
+    // branch this event describes, and truePhase must not depend on how
+    // the stream was batched.
     if (oracle_)
-        rec.truePhase = oracle_->currentPhase();
+        rec.truePhase = oracle_->phaseAtBranch(branchesSeen_);
     rec.branches = bbb_.snapshotCandidates();
 
     // Detection-time filtering (Section 3.1): a hot spot whose signature

@@ -136,13 +136,23 @@ class RuntimeController
                 ++counts[ri.block.func];
         }
 
-        /** A batch is one block's worth of retirements — one map probe
-         *  covers them all. */
+        /** A batch is a run of consecutively retired instructions — a
+         *  whole trace under superblock dispatch — so walk it in
+         *  same-function runs: one map probe per function crossed. */
         void
         onRetireBatch(std::span<const trace::RetiredInst> batch) override
         {
-            if (!batch.empty() && batch.front().inPackage)
-                counts[batch.front().block.func] += batch.size();
+            std::size_t i = 0;
+            while (i < batch.size()) {
+                const trace::RetiredInst &head = batch[i];
+                std::size_t j = i + 1;
+                while (j < batch.size() &&
+                       batch[j].block.func == head.block.func)
+                    ++j;
+                if (head.inPackage)
+                    counts[head.block.func] += j - i;
+                i = j;
+            }
         }
     };
 

@@ -16,6 +16,10 @@ namespace
 /** Process-wide retired-instruction tally across every engine run. */
 std::atomic<std::uint64_t> g_total_insts{0};
 
+/** Engines fold their private tally into g_total_insts at this grain,
+ *  so twenty fleet tenants never contend on one cache line per step. */
+constexpr std::uint64_t kTotalsFlushChunk = 1u << 20;
+
 constexpr std::uint64_t kBounceInsts = 64;
 
 constexpr std::size_t kNoTerm = std::numeric_limits<std::size_t>::max();
@@ -28,22 +32,64 @@ totalSimulatedInsts()
     return g_total_insts.load(std::memory_order_relaxed);
 }
 
+TraceConfig &
+defaultTraceConfig()
+{
+    static TraceConfig cfg;
+    return cfg;
+}
+
 ExecutionEngine::ExecutionEngine(const Program &prog,
                                  const workload::Workload &w)
-    : prog_(prog), oracle_(w.behaviors, w.schedule)
+    : prog_(prog), oracle_(w.behaviors, w.schedule),
+      traceCfg_(defaultTraceConfig())
 {
     resetWalk();
+}
+
+ExecutionEngine::~ExecutionEngine()
+{
+    flushTotalInsts();
+}
+
+void
+ExecutionEngine::setTraceConfig(const TraceConfig &cfg)
+{
+    vp_assert(!traceActive_, "trace config change mid-walk");
+    traceCfg_ = cfg;
+    for (std::vector<BlockPlan> &fplans : plans_) {
+        for (BlockPlan &plan : fplans) {
+            plan.tracePlans.clear();
+            plan.headEntries = 0;
+            plan.traceDecisionEpoch = kNeverBuilt;
+            plan.traceDecisionUntil = 0;
+            plan.traceIdx = -1;
+        }
+    }
+}
+
+void
+ExecutionEngine::flushTotalInsts()
+{
+    if (pendingInsts_ == 0)
+        return;
+    g_total_insts.fetch_add(pendingInsts_, std::memory_order_relaxed);
+    pendingInsts_ = 0;
 }
 
 void
 ExecutionEngine::resetWalk()
 {
     cumulative_ = RunStats{};
+    traceStats_ = TraceStats{};
     callStack_.clear();
-    // Dropping every plan resets the per-selector choice slots (each run
-    // starts from the static fallback) and guards against structural
-    // mutations made between runs without an epoch bump.
-    plans_.clear();
+    // Plans and traces are epoch-keyed, so the tables (and their
+    // allocations) survive across run() calls — a multi-run bench must
+    // not rebuild every plan per rep. Only the per-run dynamic-predictor
+    // state resets: each run starts selectors from the static fallback.
+    for (std::vector<BlockPlan> &fplans : plans_)
+        for (BlockPlan &plan : fplans)
+            plan.selectorChoice = 0;
     pendingSelector_ = kNoBlockRef;
     selectorEntryInsts_ = 0;
     selectorSawPackage_ = false;
@@ -52,6 +98,10 @@ ExecutionEngine::resetWalk()
     next_ = kNoBlockRef;
     taken_ = false;
     instIdx_ = 0;
+    traceActive_ = false;
+    traceHead_ = kNoBlockRef;
+    traceBlockIdx_ = 0;
+    activeTrace_ = nullptr;
 
     const FuncId entry_fn = prog_.entryFunc();
     cur_ = BlockRef{entry_fn, prog_.func(entry_fn).entry()};
@@ -60,8 +110,15 @@ ExecutionEngine::resetWalk()
 void
 ExecutionEngine::reset()
 {
+    flushTotalInsts();
     resetWalk();
     oracle_.reset();
+    phaseValidUntil_ = 0; // oracle clock rewound; re-derive the phase
+    // Cached enter/skip decisions are keyed to the old clock; a horizon
+    // taken before the rewind would wrongly validate against the new one.
+    for (std::vector<BlockPlan> &fplans : plans_)
+        for (BlockPlan &plan : fplans)
+            plan.traceDecisionUntil = 0;
 }
 
 RunStats
@@ -69,6 +126,9 @@ ExecutionEngine::run(std::uint64_t max_insts, std::uint64_t max_branches)
 {
     resetWalk();
     stepTo(max_insts, max_branches);
+    // The bench harness samples totalSimulatedInsts() right after run()
+    // returns, so a whole run is always fully flushed.
+    flushTotalInsts();
     return cumulative_;
 }
 
@@ -109,19 +169,35 @@ ExecutionEngine::planSlot(BlockRef r)
     return fplans[r.block];
 }
 
-void
-ExecutionEngine::buildPlan(BlockPlan &plan, const BasicBlock &bb,
-                           bool in_package, BlockRef ref)
+ExecutionEngine::TracePlan *
+ExecutionEngine::findTrace(BlockPlan &head, workload::PhaseId phase)
 {
-    plan.insts.clear();
-    plan.mems.clear();
-    plan.branchModel = nullptr;
-    plan.callTerm = false;
-    plan.eventClasses = 0;
-    plan.inPackage = in_package;
-    plan.epoch = prog_.mutationEpoch();
-    // plan.selectorChoice deliberately survives rebuilds: the dynamic
-    // predictor's state is walk state, not program structure.
+    for (TracePlan &plan : head.tracePlans) {
+        if (plan.phase == phase)
+            return &plan;
+    }
+    return nullptr;
+}
+
+workload::PhaseId
+ExecutionEngine::currentPhaseCached()
+{
+    const std::uint64_t bc = oracle_.branchCount();
+    if (bc >= phaseValidUntil_) {
+        cachedPhase_ = oracle_.currentPhase();
+        phaseValidUntil_ = oracle_.schedule().phaseSpanEnd(bc);
+    }
+    return cachedPhase_;
+}
+
+const workload::BranchBehavior *
+ExecutionEngine::scanBlock(const BasicBlock &bb, BlockRef ref,
+                           bool in_package, std::vector<RetiredInst> &insts,
+                           std::vector<MemRef> &mems,
+                           unsigned &event_classes, bool &call_term)
+{
+    const workload::BranchBehavior *branch_model = nullptr;
+    call_term = false;
 
     Addr ret_addr = kInvalidAddr;
     if (bb.endsInCall() && bb.fall.valid())
@@ -138,36 +214,149 @@ ExecutionEngine::buildPlan(BlockPlan &plan, const BasicBlock &bb,
         ri.nextPc = pc + kInstBytes; // final entry patched per execution
         ri.block = ref;
         ri.inPackage = in_package;
-        plan.eventClasses |= eventClassOf(inst.op);
+        event_classes |= eventClassOf(inst.op);
         switch (inst.op) {
           case Opcode::CondBr:
-            plan.branchModel = &oracle_.behaviors().branch(inst.behavior);
-            term_at = plan.insts.size();
+            branch_model = &oracle_.behaviors().branch(inst.behavior);
+            term_at = insts.size();
             break;
           case Opcode::Call:
-            plan.callTerm = true;
+            call_term = true;
             ri.retAddr = ret_addr;
-            term_at = plan.insts.size();
+            term_at = insts.size();
             break;
           case Opcode::Load:
           case Opcode::Store:
-            plan.mems.push_back(
-                {static_cast<std::uint32_t>(plan.insts.size()),
-                 inst.behavior,
-                 &oracle_.behaviors().mem(inst.behavior)});
+            mems.push_back({static_cast<std::uint32_t>(insts.size()),
+                            inst.behavior,
+                            &oracle_.behaviors().mem(inst.behavior)});
             break;
           default:
             break;
         }
-        plan.insts.push_back(ri);
+        insts.push_back(ri);
         pc += kInstBytes;
     }
 
-    // The span retire path credits branch/call counters only when the
+    // The span retire paths credit branch/call counters only when the
     // final plan entry retires, relying on the IR invariant that a
     // branch or call is always the block's last instruction.
-    vp_assert(term_at == kNoTerm || term_at + 1 == plan.insts.size(),
+    vp_assert(term_at == kNoTerm || term_at + 1 == insts.size(),
               "branch/call must terminate its block");
+    return branch_model;
+}
+
+void
+ExecutionEngine::buildPlan(BlockPlan &plan, const BasicBlock &bb,
+                           bool in_package, BlockRef ref)
+{
+    plan.insts.clear();
+    plan.mems.clear();
+    plan.eventClasses = 0;
+    plan.inPackage = in_package;
+    plan.epoch = prog_.mutationEpoch();
+    // plan.selectorChoice deliberately survives rebuilds: the dynamic
+    // predictor's state is walk state, not program structure.
+    plan.branchModel = scanBlock(bb, ref, in_package, plan.insts,
+                                 plan.mems, plan.eventClasses,
+                                 plan.callTerm);
+}
+
+void
+ExecutionEngine::buildTrace(TracePlan &plan, BlockRef head,
+                            workload::PhaseId phase)
+{
+    ++traceStats_.builds;
+    plan.epoch = prog_.mutationEpoch();
+    plan.phase = phase;
+    plan.viable = false;
+    plan.insts.clear();
+    plan.blocks.clear();
+    plan.mems.clear();
+    plan.branchIdxs.clear();
+    plan.eventClasses = 0;
+    plan.uses = 0;
+    plan.blocksRun = 0;
+
+    BlockRef cur = head;
+    while (plan.blocks.size() < traceCfg_.maxBlocks &&
+           plan.insts.size() < traceCfg_.maxInsts) {
+        const Function &fn = prog_.func(cur.func);
+        const BasicBlock &bb = fn.block(cur.block);
+        // Exit blocks materialize call frames and selector blocks rotate
+        // dynamic-predictor state at entry — both need the block-path
+        // entry sequence, so neither joins a trace.
+        if (bb.kind == BlockKind::Exit || bb.kind == BlockKind::Selector)
+            break;
+        const Instruction *term = bb.terminator();
+        // Calls and returns manipulate the stack: the trace stops short
+        // of them and the block path takes over at the boundary.
+        if (term != nullptr &&
+            (term->op == Opcode::Call || term->op == Opcode::Ret))
+            break;
+
+        TraceBlock tb;
+        tb.ref = cur;
+        tb.inPackage = fn.isPackage();
+        tb.begin = static_cast<std::uint32_t>(plan.insts.size());
+        tb.memBegin = static_cast<std::uint32_t>(plan.mems.size());
+        bool call_term = false;
+        tb.branchModel = scanBlock(bb, cur, tb.inPackage, plan.insts,
+                                   plan.mems, plan.eventClasses, call_term);
+        tb.end = static_cast<std::uint32_t>(plan.insts.size());
+        tb.memEnd = static_cast<std::uint32_t>(plan.mems.size());
+
+        bool follow = false;
+        BlockRef next;
+        if (term != nullptr && term->op == Opcode::CondBr) {
+            tb.branchBehavior = term->behavior;
+            tb.invertSense = term->invertSense;
+            tb.onTaken = bb.taken;
+            tb.onFall = bb.fall;
+            if (tb.end > tb.begin)
+                plan.branchIdxs.push_back(tb.end - 1);
+            // Model probability of the *taken arc* at the build phase:
+            // the model speaks in original-branch direction, and a
+            // layout-flipped copy inverts it.
+            double p = tb.branchModel->probFor(plan.phase);
+            if (term->invertSense)
+                p = 1.0 - p;
+            if (p >= traceCfg_.biasThreshold) {
+                tb.expectTaken = true;
+                next = bb.taken;
+                follow = true;
+            } else if (1.0 - p >= traceCfg_.biasThreshold) {
+                tb.expectTaken = false;
+                next = bb.fall;
+                follow = true;
+            }
+            // An unbiased branch still joins as the trace's final block:
+            // both outcomes leave through its resolved arcs.
+        } else if (term != nullptr && term->op == Opcode::Jump) {
+            tb.succ = bb.taken;
+            next = tb.succ;
+            follow = true;
+        } else {
+            tb.succ = bb.fall;
+            next = tb.succ;
+            follow = true;
+        }
+
+        if (!follow || !next.valid()) {
+            tb.last = true;
+            plan.blocks.push_back(tb);
+            break;
+        }
+        plan.blocks.push_back(tb);
+        // Revisits are allowed — a biased loop unrolls into the trace up
+        // to the formation caps.
+        cur = next;
+    }
+
+    if (!plan.blocks.empty())
+        plan.blocks.back().last = true;
+    // A single block gains nothing over its block plan.
+    plan.viable = plan.blocks.size() >= 2;
 }
 
 void
@@ -204,6 +393,181 @@ ExecutionEngine::dispatch(const BlockPlan &plan, std::size_t begin,
 }
 
 void
+ExecutionEngine::dispatchTrace(const TracePlan &plan, std::size_t begin,
+                               std::size_t end)
+{
+    const std::span<const RetiredInst> span(plan.insts.data() + begin,
+                                            end - begin);
+
+    for (const SinkEntry &e : sinks_) {
+        if (e.mask == kEventAll) {
+            e.sink->onRetireBatch(span);
+            continue;
+        }
+        if (e.mask == kEventBranches) {
+            // CondBrs are block-final, so a branch entry retired iff its
+            // index falls inside the segment: gather straight from the
+            // plan's ascending branch-index list.
+            scratch_.clear();
+            for (std::uint32_t idx : plan.branchIdxs) {
+                if (idx < begin)
+                    continue;
+                if (idx >= end)
+                    break;
+                scratch_.push_back(plan.insts[idx]);
+            }
+            if (!scratch_.empty())
+                e.sink->onRetireBatch({scratch_.data(), scratch_.size()});
+            continue;
+        }
+        if ((e.mask & plan.eventClasses) == 0)
+            continue;
+        scratch_.clear();
+        for (const RetiredInst &ri : span) {
+            if (e.mask & eventClassOf(ri.inst->op))
+                scratch_.push_back(ri);
+        }
+        if (!scratch_.empty())
+            e.sink->onRetireBatch({scratch_.data(), scratch_.size()});
+    }
+}
+
+void
+ExecutionEngine::runTrace(std::uint64_t max_insts,
+                          std::uint64_t max_branches, RunStats &stats)
+{
+    vp_assert(activeTrace_ != nullptr, "active trace must have a plan");
+    TracePlan &tp = *activeTrace_;
+    // A mutation while the walk was suspended mid-trace invalidates the
+    // tail: finish only the block we are inside from the stale buffer
+    // (the block-plan rule), then abandon the trace so the next entry
+    // goes through live arcs and fresh plans.
+    const bool stale = tp.epoch != prog_.mutationEpoch();
+
+    const std::size_t seg_begin = instIdx_;
+    std::size_t seg_end = instIdx_;
+
+    while (true) {
+        const TraceBlock &b = tp.blocks[traceBlockIdx_];
+
+        if (!blockActive_) {
+            // --- Constituent-block entry: mirrors the block path. The
+            // selector-feedback judgement runs at every block boundary,
+            // and the side-exit branch is decided up front — the oracle
+            // sees the exact consultation order of block-plan stepping.
+            cur_ = b.ref;
+            if (pendingSelector_.valid()) {
+                if (b.inPackage) {
+                    selectorSawPackage_ = true;
+                } else if (selectorSawPackage_) {
+                    if (stats.dynInsts - selectorEntryInsts_ < kBounceInsts)
+                        ++planSlot(pendingSelector_).selectorChoice;
+                    pendingSelector_ = kNoBlockRef;
+                }
+            }
+            if (b.branchModel != nullptr) {
+                taken_ = oracle_.decideBranch(b.branchBehavior,
+                                              *b.branchModel) ^
+                         b.invertSense;
+                next_ = taken_ ? b.onTaken : b.onFall;
+            } else {
+                taken_ = false;
+                next_ = b.succ;
+            }
+            instIdx_ = b.begin;
+            blockActive_ = true;
+            ++traceStats_.blocks;
+            ++tp.blocksRun;
+        }
+
+        // --- Retire [instIdx_, budget-capped end) of the block's span.
+        if (instIdx_ < b.end) {
+            RetiredInst *const ri = tp.insts.data();
+
+            // The final entry's successor address is read live, so a
+            // mid-block resume observes relayouts of the *next* block.
+            ri[b.end - 1].nextPc =
+                next_.valid() ? prog_.block(next_).addr : kInvalidAddr;
+            if (b.branchModel != nullptr)
+                ri[b.end - 1].branchTaken = taken_;
+
+            std::size_t k = b.end - instIdx_;
+            const std::uint64_t inst_budget = max_insts - stats.dynInsts;
+            if (inst_budget < k)
+                k = static_cast<std::size_t>(inst_budget);
+            const std::size_t end = instIdx_ + k;
+
+            // Consume the oracle's address stream only for entries that
+            // retire now — never ahead of a budget suspension.
+            for (std::uint32_t mi = b.memBegin; mi < b.memEnd; ++mi) {
+                const MemRef &m = tp.mems[mi];
+                if (m.idx < instIdx_)
+                    continue;
+                if (m.idx >= end)
+                    break;
+                ri[m.idx].memAddr = oracle_.memAddress(m.behavior, *m.model);
+            }
+
+            stats.dynInsts += k;
+            traceStats_.insts += k;
+            if (b.inPackage)
+                stats.instsInPackages += k;
+            if (end == b.end && b.branchModel != nullptr) {
+                ++stats.dynBranches;
+                stats.takenBranches += taken_ ? 1 : 0;
+            }
+            instIdx_ = end;
+            seg_end = end;
+        }
+
+        if (instIdx_ < b.end || stats.dynInsts >= max_insts ||
+            stats.dynBranches >= max_branches) {
+            // Budget suspension. The trace stays active at the recorded
+            // position; a completed block's transfer commits on resume —
+            // the exact shape of block-plan suspension.
+            break;
+        }
+
+        // --- Commit the transfer.
+        blockActive_ = false;
+        const bool off_trace =
+            b.branchModel != nullptr && taken_ != b.expectTaken;
+        if (b.last || off_trace || stale) {
+            // Side exit, trace tail, or stale abandon: fall back to the
+            // resolved successor (the bail-out arc for a mispredicted
+            // side exit) and leave trace mode.
+            traceActive_ = false;
+            activeTrace_ = nullptr;
+            if (!next_.valid())
+                done_ = true;
+            else
+                cur_ = next_;
+            // Probation verdict: demote a plan whose executed segments
+            // average too few blocks to beat plain block stepping. The
+            // walk is deterministic, so the verdict is too. Zeroing the
+            // head's cached horizon makes demotion take effect at its
+            // very next entry instead of at the phase boundary.
+            if (traceCfg_.probationEntries != 0 &&
+                tp.uses >= traceCfg_.probationEntries &&
+                static_cast<double>(tp.blocksRun) <
+                    traceCfg_.minAvgBlocks * static_cast<double>(tp.uses)) {
+                tp.viable = false;
+                planSlot(traceHead_).traceDecisionUntil = 0;
+            }
+            break;
+        }
+        ++traceBlockIdx_;
+        vp_assert(next_ == tp.blocks[traceBlockIdx_].ref,
+                  "trace continuation must follow the resolved arc");
+        instIdx_ = tp.blocks[traceBlockIdx_].begin;
+    }
+
+    // One masked span per sink covers the whole retired segment.
+    if (seg_end > seg_begin)
+        dispatchTrace(tp, seg_begin, seg_end);
+}
+
+void
 ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
 {
     RunStats &stats = cumulative_;
@@ -223,7 +587,71 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
         ++steps;
         BlockPlan *plan;
 
+        if (traceActive_) {
+            // Resume inside a suspended trace.
+            runTrace(max_insts, max_branches, stats);
+            continue;
+        }
+
         if (!blockActive_) {
+            // One slot walk serves both the trace attempt and the block
+            // path. The reference stays valid across the selector
+            // feedback below: planSlot() only reallocates a function's
+            // plans on that function's first visit, which for cur_.func
+            // is this very call.
+            plan = &planSlot(cur_);
+            if (traceCfg_.enabled) {
+                // Try to enter (or form) the trace headed here. Bias is
+                // phase-dependent, so plans are keyed (epoch, phase);
+                // formation waits for the head to prove itself hot. The
+                // common cases — cold head, or a head whose decision is
+                // already cached for this (epoch, phase segment) — never
+                // leave the BlockPlan's cache line.
+                BlockPlan &hp = *plan;
+                TracePlan *enter = nullptr;
+                if (hp.traceDecisionEpoch == prog_.mutationEpoch() &&
+                    oracle_.branchCount() < hp.traceDecisionUntil) {
+                    if (hp.traceIdx >= 0)
+                        enter = &hp.tracePlans[static_cast<std::size_t>(
+                            hp.traceIdx)];
+                } else if (hp.headEntries >= traceCfg_.minHeadEntries) {
+                    // Slow path, once per head per phase segment (or
+                    // mutation): resolve the phase, (re)form the plan if
+                    // needed, and cache the verdict.
+                    const workload::PhaseId phase = currentPhaseCached();
+                    TracePlan *tp = findTrace(hp, phase);
+                    if (tp == nullptr) {
+                        hp.tracePlans.emplace_back();
+                        tp = &hp.tracePlans.back();
+                        buildTrace(*tp, cur_, phase);
+                    } else if (tp->epoch != prog_.mutationEpoch()) {
+                        buildTrace(*tp, cur_, phase);
+                    }
+                    hp.traceDecisionEpoch = prog_.mutationEpoch();
+                    hp.traceDecisionUntil = phaseValidUntil_;
+                    hp.traceIdx =
+                        tp->viable ? static_cast<std::int32_t>(
+                                         tp - hp.tracePlans.data())
+                                   : -1;
+                    if (tp->viable)
+                        enter = tp;
+                } else {
+                    ++hp.headEntries;
+                }
+                if (enter != nullptr) {
+                    ++traceStats_.entries;
+                    ++enter->uses;
+                    traceActive_ = true;
+                    traceHead_ = cur_;
+                    tracePhase_ = enter->phase;
+                    traceBlockIdx_ = 0;
+                    instIdx_ = 0;
+                    activeTrace_ = enter;
+                    runTrace(max_insts, max_branches, stats);
+                    continue;
+                }
+            }
+
             const Function &fn = prog_.func(cur_.func);
             const BasicBlock &bb = fn.block(cur_.block);
             const bool in_package = fn.isPackage();
@@ -250,7 +678,6 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     callStack_.push_back(frame);
             }
 
-            plan = &planSlot(cur_);
             if (plan->epoch != prog_.mutationEpoch())
                 buildPlan(*plan, bb, in_package, cur_);
 
@@ -338,7 +765,7 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
 
             // Consume the oracle's address stream only for entries that
             // actually retire now — never ahead of a budget suspension.
-            for (const BlockPlan::MemRef &m : plan->mems) {
+            for (const MemRef &m : plan->mems) {
                 if (m.idx < instIdx_)
                     continue;
                 if (m.idx >= end)
@@ -380,8 +807,9 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
     }
 
     stats.hitBudget = !done_;
-    g_total_insts.fetch_add(stats.dynInsts - before,
-                            std::memory_order_relaxed);
+    pendingInsts_ += stats.dynInsts - before;
+    if (done_ || pendingInsts_ >= kTotalsFlushChunk)
+        flushTotalInsts();
 }
 
 } // namespace vp::trace

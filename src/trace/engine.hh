@@ -17,6 +17,21 @@
  * pre-filtered by their eventMask() — a branch-only sink (the HSD) never
  * sees, or pays a virtual call for, the events it would discard.
  *
+ * On top of block plans sit *trace plans* (superblocks): starting from a
+ * block it enters, the engine greedily extends a plan across
+ * strongly-biased CondBr arcs (bias read from the resolved
+ * BranchBehavior model at the build-time phase), unconditional
+ * taken/fall arcs, and intra-package links, concatenating the prefilled
+ * RetiredInsts of every constituent block into one contiguous buffer.
+ * Each constituent block carries a side-exit record: the oracle-checked
+ * branch, its expected direction, the bail-out successor, and its
+ * cumulative inst/mem/branch offsets into the buffer. One engine step
+ * retires the whole trace — the oracle is still consulted once per
+ * block, and the walk falls off at the first mispredicted side exit to
+ * the recorded bail-out block — and each sink receives the retired
+ * segment as a single masked span. Traces are keyed by (mutationEpoch,
+ * build phase) and rebuilt lazily, exactly like block plans.
+ *
  * The engine is *resumable*: the walk state (current block, call stack,
  * selector feedback, mid-block position) lives in the engine, so the
  * online runtime can execute in fixed instruction-count quanta via
@@ -42,6 +57,21 @@
  *    A block the engine is suspended *inside* keeps its already-built
  *    plan until it exits — matching the pre-plan engine, which kept its
  *    entry-time pc across mid-block mutations.
+ *
+ * Trace amendment to the contract: arcs are baked into a trace at build
+ * time, which is sound because they are re-read at every trace *entry*
+ * (the epoch key forces a rebuild after any retarget) and an epoch
+ * cannot change while a stepTo() is in flight (mutations happen between
+ * resume() calls). A quantum budget may suspend the walk mid-trace; the
+ * next resume() continues at the recorded position, and if the epoch
+ * moved while suspended the engine finishes only the block it is
+ * currently inside from the stale buffer (the block-plan rule above)
+ * and then abandons the trace, re-entering through live arcs. Because a
+ * suspended trace never survives a mutation, referencesFunction() —
+ * which reports the current block, resolved successor, call frames, and
+ * pending selector — already accounts for every function a trace can
+ * still touch: blocks the abandoned tail would have spanned are
+ * re-reached only through fresh plans.
  */
 
 #ifndef VP_TRACE_ENGINE_HH
@@ -65,6 +95,53 @@ namespace vp::trace
  * run to report simulation throughput.
  */
 std::uint64_t totalSimulatedInsts();
+
+/** Superblock (trace) formation knobs. */
+struct TraceConfig
+{
+    /** Master switch; disabled, the engine runs pure block plans. */
+    bool enabled = true;
+
+    /**
+     * Minimum model probability of the on-trace arc for a CondBr to be
+     * extended through. Matches the HSD's taken-bias cut: an arc the
+     * filter would call biased is an arc a trace may follow.
+     */
+    double biasThreshold = 0.70;
+
+    /** Formation caps per trace (revisits unroll loops up to these). */
+    std::size_t maxBlocks = 64;
+    std::size_t maxInsts = 512;
+
+    /**
+     * Entries a head block must accumulate before the engine attempts
+     * trace formation there — cold blocks (sprawling call graphs, error
+     * paths) never pay the formation cost or the buffer footprint, while
+     * loop heads clear the gate almost immediately.
+     */
+    std::uint32_t minHeadEntries = 8;
+
+    /**
+     * Adaptive bail-out: once a plan has been entered this many times,
+     * its measured blocks-per-entry average is checked against
+     * minAvgBlocks, and a plan whose side exits fire too early to pay
+     * for the trace machinery is demoted to the block path for the rest
+     * of the epoch. Bias that looks strong per-arc still compounds —
+     * eight 0.75 arcs keep only ~10% of entries on-trace to the tail —
+     * so the executed average, not the formed length, is what decides.
+     * 0 disables demotion.
+     */
+    std::uint32_t probationEntries = 32;
+    double minAvgBlocks = 3.0;
+};
+
+/**
+ * Process-wide TraceConfig sampled by every subsequently constructed
+ * ExecutionEngine (the `vpack --no-traces` seam: tools flip it during
+ * argument parsing, before any engine exists). Not synchronized — mutate
+ * only before engines start running.
+ */
+TraceConfig &defaultTraceConfig();
 
 /** One retired instruction event. */
 struct RetiredInst
@@ -147,6 +224,15 @@ class InstSink
     virtual unsigned eventMask() const { return kEventAll; }
 };
 
+/** Superblock engagement counters of one run (perf diagnostics). */
+struct TraceStats
+{
+    std::uint64_t builds = 0;  ///< buildTrace() invocations
+    std::uint64_t entries = 0; ///< traces entered (fresh, not resumes)
+    std::uint64_t blocks = 0;  ///< constituent blocks entered on-trace
+    std::uint64_t insts = 0;   ///< instructions retired inside traces
+};
+
 /** Aggregate counts of one run. */
 struct RunStats
 {
@@ -178,6 +264,17 @@ class ExecutionEngine
      *             the workload's behavior ids.
      */
     ExecutionEngine(const ir::Program &prog, const workload::Workload &w);
+
+    ~ExecutionEngine();
+
+    /**
+     * Override this engine's trace formation config (defaults to
+     * defaultTraceConfig() at construction). Invalidates cached traces;
+     * call between runs, not mid-walk.
+     */
+    void setTraceConfig(const TraceConfig &cfg);
+
+    const TraceConfig &traceConfig() const { return traceCfg_; }
 
     /** Register a retired-instruction consumer (samples eventMask()). */
     void
@@ -229,6 +326,9 @@ class ExecutionEngine
     /** Cumulative stats since the last reset()/run(). */
     const RunStats &stats() const { return cumulative_; }
 
+    /** Superblock engagement since the last reset()/run(). */
+    const TraceStats &traceStats() const { return traceStats_; }
+
     /**
      * True if the suspended walk still references function @p f: the
      * current block, the resolved successor, a pending call frame, or a
@@ -239,6 +339,89 @@ class ExecutionEngine
     const BranchOracle &oracle() const { return oracle_; }
 
   private:
+    /** Epoch value that forces a (re)build of any cached plan. */
+    static constexpr std::uint64_t kNeverBuilt =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** One prefilled Load/Store slot of a plan's `insts` buffer. */
+    struct MemRef
+    {
+        std::uint32_t idx; ///< index into insts
+        ir::BehaviorId behavior;
+        const workload::MemBehavior *model;
+    };
+
+    /**
+     * Side-exit record of one constituent block of a trace: cumulative
+     * offsets of the block's retire span, the oracle-checked branch with
+     * its expected on-trace direction, and the resolved successors the
+     * walk commits to (on-trace continuation or bail-out). Arc targets
+     * are baked at build time — see the trace amendment to the re-entry
+     * contract in the file comment.
+     */
+    struct TraceBlock
+    {
+        ir::BlockRef ref;
+
+        /** Retire span [begin, end) in TracePlan::insts. */
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+
+        /** Slice [memBegin, memEnd) of TracePlan::mems. */
+        std::uint32_t memBegin = 0;
+        std::uint32_t memEnd = 0;
+
+        /** CondBr terminator (side exit); null for Jump/fallthrough. */
+        const workload::BranchBehavior *branchModel = nullptr;
+        ir::BehaviorId branchBehavior = 0;
+        bool invertSense = false;
+
+        /** Arc-sense direction that stays on the trace (CondBr only). */
+        bool expectTaken = false;
+
+        /** No on-trace continuation even on the expected direction. */
+        bool last = false;
+
+        bool inPackage = false;
+
+        /** Resolved successors: CondBr uses onTaken/onFall by outcome,
+         *  everything else transfers to succ. */
+        ir::BlockRef onTaken, onFall, succ;
+    };
+
+    /**
+     * A superblock: ≥ 2 blocks' prefilled RetiredInsts concatenated in
+     * retire order, one TraceBlock side-exit record each. Valid for one
+     * (mutationEpoch, build phase) pair — branch bias is phase-dependent,
+     * so each phase gets its own plan (a cyclic schedule revisiting a
+     * phase reuses the plan instead of re-forming it). `viable == false`
+     * is cached too: heads that cannot seed a trace fall back to block
+     * plans without re-attempting formation every entry.
+     */
+    struct TracePlan
+    {
+        std::uint64_t epoch = kNeverBuilt;
+        workload::PhaseId phase = 0;
+        bool viable = false;
+
+        std::vector<RetiredInst> insts;
+        std::vector<TraceBlock> blocks;
+        std::vector<MemRef> mems;
+
+        /** Indices into `insts` of CondBr entries, ascending (one per
+         *  conditional block; used by branch-only sink gather). */
+        std::vector<std::uint32_t> branchIdxs;
+
+        /** OR of eventClassOf() over `insts`. */
+        unsigned eventClasses = 0;
+
+        /** Demotion counters (TraceConfig::probationEntries): fresh
+         *  entries into this plan and constituent blocks executed across
+         *  all of them. */
+        std::uint64_t uses = 0;
+        std::uint64_t blocksRun = 0;
+    };
+
     /**
      * Cached retire plan of one basic block, valid for one program
      * mutation epoch. `insts` holds one prefilled RetiredInst per *real*
@@ -246,23 +429,19 @@ class ExecutionEngine
      * are touched: memAddr of the entries listed in `mems`, and
      * branchTaken/nextPc of the final entry. The plan doubles as the
      * dispatch buffer — sinks receive spans into `insts`.
+     *
+     * The plan also carries the block's *trace-head* state: the
+     * formation gate, the per-phase trace plans, and a cached enter/skip
+     * decision. Keeping these on the struct the block path loads anyway
+     * makes the steady-state trace check two compares on a hot cache
+     * line — a separate head table costs a second sparse walk per block
+     * entry, which benchmarked as a double-digit tax on trace-poor code.
      */
     struct BlockPlan
     {
-        /** Epoch the plan was built at; kNeverBuilt forces a build. */
-        static constexpr std::uint64_t kNeverBuilt =
-            std::numeric_limits<std::uint64_t>::max();
         std::uint64_t epoch = kNeverBuilt;
 
         std::vector<RetiredInst> insts;
-
-        /** One entry per Load/Store in `insts`. */
-        struct MemRef
-        {
-            std::uint32_t idx; ///< index into insts
-            ir::BehaviorId behavior;
-            const workload::MemBehavior *model;
-        };
         std::vector<MemRef> mems;
 
         /** Resolved branch model of a CondBr terminator (else null). */
@@ -283,6 +462,26 @@ class ExecutionEngine
          * Section 3.3.4). Survives plan rebuilds; cleared per run.
          */
         std::size_t selectorChoice = 0;
+
+        /** Head entries seen while below the formation gate (saturates
+         *  there — steady-state cold heads never write). */
+        std::uint32_t headEntries = 0;
+
+        /**
+         * Cached enter/skip decision: valid while the program is still
+         * at traceDecisionEpoch *and* the oracle clock is below
+         * traceDecisionUntil (the phase-segment horizon — bias is
+         * phase-dependent, so a decision never outlives its phase).
+         * traceIdx indexes tracePlans; -1 means stay on the block path.
+         * Demotion zeroes the horizon to force re-evaluation.
+         */
+        std::uint64_t traceDecisionEpoch = kNeverBuilt;
+        std::uint64_t traceDecisionUntil = 0;
+        std::int32_t traceIdx = -1;
+
+        /** One trace plan per build phase, in first-use order (schedules
+         *  have a handful of phases, so linear search wins). */
+        std::vector<TracePlan> tracePlans;
     };
 
     /** Reset walk state only (oracle untouched) — what run() does. */
@@ -295,14 +494,49 @@ class ExecutionEngine
     /** Plan slot for @p r, growing the table as functions appear. */
     BlockPlan &planSlot(ir::BlockRef r);
 
+    /** The head's trace plan for @p phase, or null if never built. */
+    static TracePlan *findTrace(BlockPlan &head, workload::PhaseId phase);
+
+    /** Phase at the oracle's clock, revalidated with one comparison
+     *  against the cached segment horizon. */
+    workload::PhaseId currentPhaseCached();
+
     /** Rebuild @p plan from the current block contents. */
     void buildPlan(BlockPlan &plan, const ir::BasicBlock &bb,
                    bool in_package, ir::BlockRef ref);
+
+    /** (Re)form the trace headed at @p head for the current epoch and
+     *  @p phase; leaves plan.viable false when no trace forms. */
+    void buildTrace(TracePlan &plan, ir::BlockRef head,
+                    workload::PhaseId phase);
+
+    /** Append prefilled RetiredInsts for @p bb's real instructions to
+     *  @p insts / @p mems; returns the CondBr model (null if none) and
+     *  sets @p call_term / ORs @p event_classes. */
+    const workload::BranchBehavior *
+    scanBlock(const ir::BasicBlock &bb, ir::BlockRef ref, bool in_package,
+              std::vector<RetiredInst> &insts, std::vector<MemRef> &mems,
+              unsigned &event_classes, bool &call_term);
+
+    /** Execute from inside the trace the walk is positioned in until it
+     *  exits (side exit, tail, stale abandon, program end) or the budget
+     *  suspends it; dispatches the retired segment as one span. */
+    void runTrace(std::uint64_t max_insts, std::uint64_t max_branches,
+                  RunStats &stats);
 
     /** Deliver plan entries [begin, end) — one retired run within one
      *  block — to every sink, honoring each sink's event mask. */
     void dispatch(const BlockPlan &plan, std::size_t begin,
                   std::size_t end);
+
+    /** Deliver trace entries [begin, end) — one retired trace segment,
+     *  possibly spanning blocks and functions — to every sink. */
+    void dispatchTrace(const TracePlan &plan, std::size_t begin,
+                       std::size_t end);
+
+    /** Fold this engine's pending retire tally into the process-wide
+     *  counter (totalSimulatedInsts()). */
+    void flushTotalInsts();
 
     const ir::Program &prog_;
     BranchOracle oracle_;
@@ -314,15 +548,28 @@ class ExecutionEngine
     };
     std::vector<SinkEntry> sinks_;
 
-    /** Retire plans indexed [func][block]; grown lazily, cleared by
-     *  resetWalk(). */
+    /** Retire plans (and trace-head state) indexed [func][block]; grown
+     *  lazily. Epoch-keyed, so allocations survive across run() calls —
+     *  resetWalk() clears only the per-run selectorChoice slots. */
     std::vector<std::vector<BlockPlan>> plans_;
+
+    TraceConfig traceCfg_;
+
+    /** Cached phaseAt(branchCount): valid until the oracle's clock
+     *  reaches phaseValidUntil_. */
+    workload::PhaseId cachedPhase_ = 0;
+    std::uint64_t phaseValidUntil_ = 0;
 
     /** Scratch gather buffer for partially-masked sinks. */
     std::vector<RetiredInst> scratch_;
 
+    /** Retired insts not yet folded into the process-wide counter —
+     *  keeps the hot path off the shared atomic cache line. */
+    std::uint64_t pendingInsts_ = 0;
+
     // --- Persistent walk state (valid between resume() calls).
     RunStats cumulative_;
+    TraceStats traceStats_;
     ir::BlockRef cur_;
     std::vector<ir::BlockRef> callStack_;
     bool done_ = false;
@@ -333,6 +580,25 @@ class ExecutionEngine
     ir::BlockRef next_;
     bool taken_ = false;
     std::size_t instIdx_ = 0;
+
+    /**
+     * True while the walk is inside the trace headed at traceHead_, at
+     * constituent block traceBlockIdx_; instIdx_ then indexes
+     * TracePlan::insts (absolute). cur_/next_/taken_ mirror the block
+     * walk exactly — referencesFunction() and mid-trace suspension
+     * behave as if the engine were stepping block plans.
+     */
+    bool traceActive_ = false;
+    ir::BlockRef traceHead_;
+    workload::PhaseId tracePhase_ = 0; ///< build phase of the active plan
+    std::size_t traceBlockIdx_ = 0;
+
+    /** Plan of the active trace, cached across suspensions so resumes
+     *  skip the head lookup. Stable while traceActive_: the head's
+     *  tracePlans cannot grow while its own trace is running (the
+     *  attempt path is bypassed), and container moves never relocate
+     *  TracePlan elements. */
+    TracePlan *activeTrace_ = nullptr;
 
     ir::BlockRef pendingSelector_;
     std::uint64_t selectorEntryInsts_ = 0;

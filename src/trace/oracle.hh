@@ -78,11 +78,27 @@ class BranchOracle
     /** The behavior models this oracle replays (for plan caching). */
     const workload::BehaviorMap &behaviors() const { return behaviors_; }
 
+    /** The phase schedule driving the outcome stream. */
+    const workload::PhaseSchedule &schedule() const { return schedule_; }
+
     /** Phase currently in effect. */
     workload::PhaseId
     currentPhase() const
     {
         return schedule_.phaseAt(branchCount_);
+    }
+
+    /**
+     * Phase in effect once @p n branches have retired. Consumers that
+     * observe the branch stream through a batched sink (the HSD) key
+     * phase queries to their *own* retired-branch count rather than
+     * currentPhase(): the engine may decide branches ahead of delivering
+     * them, so the live clock can lead the delivered stream.
+     */
+    workload::PhaseId
+    phaseAtBranch(std::uint64_t n) const
+    {
+        return schedule_.phaseAt(n);
     }
 
     /** Conditional branches retired so far. */

@@ -37,4 +37,21 @@ PhaseSchedule::phaseAt(std::uint64_t branch_count) const
     return segments_[static_cast<std::size_t>(it - prefix_.begin())].phase;
 }
 
+std::uint64_t
+PhaseSchedule::phaseSpanEnd(std::uint64_t branch_count) const
+{
+    constexpr std::uint64_t kForever =
+        std::numeric_limits<std::uint64_t>::max();
+    if (segments_.empty())
+        return kForever;
+    std::uint64_t pos = branch_count;
+    if (pos >= total_) {
+        if (!cyclic_)
+            return kForever;
+        pos %= total_;
+    }
+    const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), pos);
+    return branch_count + (*it - pos);
+}
+
 } // namespace vp::workload

@@ -53,6 +53,14 @@ class PhaseSchedule
     /** Phase in effect after @p branch_count retired branches. */
     PhaseId phaseAt(std::uint64_t branch_count) const;
 
+    /**
+     * First branch count > @p branch_count at which the segment
+     * containing @p branch_count ends (UINT64_MAX when the schedule has
+     * run out). Lets a consumer cache phaseAt() and revalidate with one
+     * comparison per query instead of a binary search.
+     */
+    std::uint64_t phaseSpanEnd(std::uint64_t branch_count) const;
+
     /** Number of distinct phase ids (max id + 1). */
     PhaseId numPhases() const { return numPhases_; }
 

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Equivalence tests for superblock (trace) execution: an engine running
+ * trace plans must produce the byte-identical sink stream, stats, and
+ * suspended-walk footprint (referencesFunction) of an engine stepping
+ * block plans — over full roster runs, mid-trace quantum suspensions,
+ * program mutations landing while a walk is suspended inside a trace,
+ * and side exits throughout a biased chain. Traces may only ever change
+ * speed, never results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tests/helpers.hh"
+#include "trace/engine.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using namespace vp::ir;
+using namespace vp::trace;
+
+bool
+sameEvent(const RetiredInst &a, const RetiredInst &b)
+{
+    return a.inst == b.inst && a.pc == b.pc && a.nextPc == b.nextPc &&
+           a.block == b.block && a.branchTaken == b.branchTaken &&
+           a.memAddr == b.memAddr && a.retAddr == b.retAddr &&
+           a.inPackage == b.inPackage;
+}
+
+void
+expectSameStream(const std::vector<RetiredInst> &a,
+                 const std::vector<RetiredInst> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_TRUE(sameEvent(a[i], b[i])) << "event " << i << " differs";
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.dynBranches, b.dynBranches);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.dynCalls, b.dynCalls);
+    EXPECT_EQ(a.instsInPackages, b.instsInPackages);
+    EXPECT_EQ(a.hitBudget, b.hitBudget);
+}
+
+class BatchRecorder : public InstSink
+{
+  public:
+    void onRetire(const RetiredInst &ri) override { events.push_back(ri); }
+
+    void
+    onRetireBatch(std::span<const RetiredInst> batch) override
+    {
+        events.insert(events.end(), batch.begin(), batch.end());
+        ++batches;
+    }
+
+    std::vector<RetiredInst> events;
+    std::uint64_t batches = 0;
+};
+
+class MaskedRecorder : public BatchRecorder
+{
+  public:
+    explicit MaskedRecorder(unsigned mask) : mask_(mask) {}
+    unsigned eventMask() const override { return mask_; }
+
+  private:
+    unsigned mask_;
+};
+
+std::vector<RetiredInst>
+filterByMask(const std::vector<RetiredInst> &events, unsigned mask)
+{
+    std::vector<RetiredInst> out;
+    for (const RetiredInst &ri : events) {
+        if (mask & eventClassOf(ri.inst->op))
+            out.push_back(ri);
+    }
+    return out;
+}
+
+/** Eager trace formation: no warm-up gate, no demotion — maximum trace
+ *  exposure for the equivalence checks. */
+TraceConfig
+eagerTraces()
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.minHeadEntries = 0;
+    cfg.probationEntries = 0;
+    return cfg;
+}
+
+TraceConfig
+noTraces()
+{
+    TraceConfig cfg;
+    cfg.enabled = false;
+    return cfg;
+}
+
+TEST(Superblock, RosterStreamsMatchBlockPath)
+{
+    // Every Table 1 roster row, budget-capped for test runtime: the
+    // trace engine's full/branch-only/memory-only streams must equal the
+    // block engine's, and so must the aggregate stats.
+    for (workload::Workload &w : workload::makeAllWorkloads()) {
+        const std::uint64_t budget =
+            std::min<std::uint64_t>(w.maxDynInsts, 120'000);
+
+        ExecutionEngine traced(w.program, w);
+        traced.setTraceConfig(eagerTraces());
+        BatchRecorder tAll;
+        MaskedRecorder tBranches(kEventBranches);
+        MaskedRecorder tMemory(kEventMemory);
+        traced.addSink(&tAll);
+        traced.addSink(&tBranches);
+        traced.addSink(&tMemory);
+        const RunStats tStats = traced.run(budget);
+
+        ExecutionEngine blocks(w.program, w);
+        blocks.setTraceConfig(noTraces());
+        BatchRecorder bAll;
+        blocks.addSink(&bAll);
+        const RunStats bStats = blocks.run(budget);
+
+        ASSERT_FALSE(bAll.events.empty()) << w.name;
+        expectSameStream(tAll.events, bAll.events);
+        expectSameStream(tBranches.events,
+                         filterByMask(bAll.events, kEventBranches));
+        expectSameStream(tMemory.events,
+                         filterByMask(bAll.events, kEventMemory));
+        expectSameStats(tStats, bStats);
+
+        // The block engine never forms traces; the trace engine must
+        // actually engage on these loopy workloads to make the streams
+        // above a meaningful A/B.
+        EXPECT_EQ(blocks.traceStats().entries, 0u) << w.name;
+        EXPECT_GT(traced.traceStats().entries, 0u) << w.name;
+
+        // Multi-block spans mean strictly fewer sink calls for the same
+        // event count.
+        EXPECT_LT(tAll.batches, bAll.batches) << w.name;
+    }
+}
+
+TEST(Superblock, SideExitsThroughoutBiasedChain)
+{
+    // A 0.75-biased diamond inside a latch loop whose trip count dwarfs
+    // the budget (so the run length is the budget, not the loop exit):
+    // the trace follows the biased arm and unrolls the loop, and the
+    // oracle's 25%-per-iteration diamond breaks force side exits at
+    // every trace position over the run. The stream must match the
+    // block path regardless of where the walk leaves the trace. Both
+    // engines share the program so RetiredInst::inst pointers compare.
+    test::DiamondLoop d = test::makeDiamondLoop({0.75}, {500'000.0}, 150'000);
+
+    ExecutionEngine traced(d.w.program, d.w);
+    traced.setTraceConfig(eagerTraces());
+    BatchRecorder tRec;
+    traced.addSink(&tRec);
+    const RunStats tStats = traced.run(d.w.maxDynInsts);
+
+    ExecutionEngine blocks(d.w.program, d.w);
+    blocks.setTraceConfig(noTraces());
+    BatchRecorder bRec;
+    blocks.addSink(&bRec);
+    const RunStats bStats = blocks.run(d.w.maxDynInsts);
+
+    expectSameStream(tRec.events, bRec.events);
+    expectSameStats(tStats, bStats);
+
+    const TraceStats &ts = traced.traceStats();
+    ASSERT_GT(ts.entries, 100u);
+    // Side exits are real: the average executed segment is strictly
+    // shorter than a full unrolled plan, yet longer than one block.
+    EXPECT_GT(ts.blocks, ts.entries);
+    EXPECT_LT(ts.blocks, ts.entries * 64);
+}
+
+TEST(Superblock, QuantumSuspensionInsideTraces)
+{
+    // Odd quanta land budget suspensions inside trace segments (the
+    // diamond's blocks are 3-4 instructions; a 7-instruction quantum
+    // suspends mid-block and at block boundaries alike). Resumed
+    // segments must splice into the identical stream, including the
+    // oracle's memory-address draw order.
+    test::TinyWorkload tiny = test::makeTiny();
+    const std::uint64_t budget = 40'000;
+
+    ExecutionEngine wholeEng(tiny.w.program, tiny.w);
+    wholeEng.setTraceConfig(eagerTraces());
+    BatchRecorder wholeRec;
+    wholeEng.addSink(&wholeRec);
+    const RunStats wholeStats = wholeEng.run(budget);
+
+    ExecutionEngine stepEng(tiny.w.program, tiny.w);
+    stepEng.setTraceConfig(eagerTraces());
+    BatchRecorder stepRec;
+    stepEng.addSink(&stepRec);
+    while (!stepEng.finished() && stepEng.stats().dynInsts < budget)
+        stepEng.resume(
+            std::min<std::uint64_t>(7, budget - stepEng.stats().dynInsts));
+
+    expectSameStream(stepRec.events, wholeRec.events);
+    expectSameStats(stepEng.stats(), wholeStats);
+    EXPECT_GT(stepEng.traceStats().entries, 0u);
+}
+
+TEST(Superblock, MutationWhileSuspendedMidTrace)
+{
+    // Install-shaped mutations landing between quanta while the walk is
+    // suspended inside a trace: the stale tail must be abandoned after
+    // the current block, and the stream must stay byte-identical to a
+    // block engine driven through the same quanta and the same
+    // mutations. Both engines share one program so the mutations hit
+    // them at exactly the same walk position.
+    test::DiamondLoop d = test::makeDiamondLoop({1.0}, {50.0}, 1'000'000);
+    ir::Program &prog = d.w.program;
+
+    ExecutionEngine traced(prog, d.w);
+    traced.setTraceConfig(eagerTraces());
+    BatchRecorder tRec;
+    traced.addSink(&tRec);
+
+    ExecutionEngine blocks(prog, d.w);
+    blocks.setTraceConfig(noTraces());
+    BatchRecorder bRec;
+    blocks.addSink(&bRec);
+
+    auto step = [&](std::uint64_t quantum) {
+        traced.resume(quantum);
+        blocks.resume(quantum);
+    };
+
+    // Warm up into steady trace execution, suspending mid-segment.
+    for (int i = 0; i < 40; ++i)
+        step(7);
+    ASSERT_GT(traced.traceStats().entries, 0u);
+
+    // Mutation shape 1: content change + relayout (grow the hot taken
+    // arm). Plans and traces for the old epoch must not retire a single
+    // stale instruction beyond the block the walk is inside.
+    {
+        Instruction extra;
+        extra.op = Opcode::IAlu;
+        BasicBlock &bb = prog.func(d.f).block(d.b2);
+        bb.insts.insert(bb.insts.begin(), extra);
+        prog.layout();
+    }
+    for (int i = 0; i < 40; ++i)
+        step(7);
+
+    // Mutation shape 2: a bare epoch bump with unchanged content (the
+    // unpatch/retarget shape) — must invalidate cached traces without
+    // perturbing the stream.
+    prog.noteMutation();
+    for (int i = 0; i < 40; ++i)
+        step(7);
+
+    expectSameStream(tRec.events, bRec.events);
+    expectSameStats(traced.stats(), blocks.stats());
+}
+
+TEST(Superblock, ReferencesFunctionParityAcrossSpannedFunctions)
+{
+    // Wire an intra-package-link-shaped CFG: main's loop body jumps into
+    // a helper function and the helper jumps straight back, so a single
+    // trace spans both functions. A suspended trace walk must report the
+    // exact referencesFunction() footprint of the block walk at every
+    // quantum boundary — the runtime's tombstone gate keys off it.
+    workload::ProgramBuilder pb("xfunc", 23);
+    const FuncId aux = pb.function("aux", 8);
+    const BlockId x0 = pb.block(aux), x1 = pb.block(aux);
+    pb.entry(aux, x0);
+    pb.compute(aux, x0, 2);
+    pb.fallthrough(aux, x0, x1);
+    pb.compute(aux, x1, 3);
+    pb.jump(aux, x1, x1); // placeholder; retargeted to main below
+
+    const FuncId mainF = pb.function("xmain", 8);
+    const BlockId m0 = pb.block(mainF), m1 = pb.block(mainF);
+    const BlockId m2 = pb.block(mainF), m3 = pb.block(mainF);
+    const BlockId epi = pb.block(mainF);
+    pb.entry(mainF, m0);
+    pb.compute(mainF, m0, 2);
+    pb.fallthrough(mainF, m0, m1);
+    pb.compute(mainF, m1, 3);
+    pb.jump(mainF, m1, m2); // placeholder; retargeted to aux below
+    pb.compute(mainF, m2, 2);
+    pb.fallthrough(mainF, m2, m3);
+    pb.compute(mainF, m3, 2);
+    pb.condbr(mainF, m3, m1, epi, {0.98});
+    pb.compute(mainF, epi, 1);
+    pb.ret(mainF, epi);
+    pb.entryFunc(mainF);
+
+    workload::Workload w = pb.finish(
+        "xfunc", "A", workload::PhaseSchedule({{0, 1'000'000}}, false),
+        60'000);
+    // Cross-function links, the package-linker shape: m1 jumps into
+    // aux's entry, aux's tail jumps back to m2.
+    w.program.func(mainF).block(m1).taken = BlockRef{aux, x0};
+    w.program.func(aux).block(x1).taken = BlockRef{mainF, m2};
+    w.program.layout();
+
+    ExecutionEngine traced(w.program, w);
+    traced.setTraceConfig(eagerTraces());
+    BatchRecorder tRec;
+    traced.addSink(&tRec);
+
+    ExecutionEngine blocks(w.program, w);
+    blocks.setTraceConfig(noTraces());
+    BatchRecorder bRec;
+    blocks.addSink(&bRec);
+
+    bool sawAuxReferenced = false;
+    while (!traced.finished()) {
+        traced.resume(7);
+        blocks.resume(7);
+        for (FuncId f = 0; f < w.program.numFunctions(); ++f)
+            ASSERT_EQ(traced.referencesFunction(f),
+                      blocks.referencesFunction(f))
+                << "func " << f << " at inst " << traced.stats().dynInsts;
+        if (traced.referencesFunction(aux))
+            sawAuxReferenced = true;
+    }
+    EXPECT_TRUE(blocks.finished());
+    expectSameStream(tRec.events, bRec.events);
+
+    // The walk really was suspended inside the helper at some boundary,
+    // and the trace engine really spanned functions inside one trace.
+    EXPECT_TRUE(sawAuxReferenced);
+    EXPECT_GT(traced.traceStats().entries, 0u);
+    EXPECT_GT(traced.traceStats().blocks, 4 * traced.traceStats().entries);
+}
+
+TEST(Superblock, RunTwiceReusesPlansIdentically)
+{
+    // run() twice on one engine: resetWalk() keeps the plan and trace
+    // tables (allocations and formed traces survive), and the second
+    // run's stream is byte-identical to the first because the oracle
+    // clock is the only walk input and run() does not rewind it — but
+    // reset() does, and must then reproduce the first run exactly.
+    test::TinyWorkload t = test::makeTiny();
+    const std::uint64_t budget = 30'000;
+
+    ExecutionEngine engine(t.w.program, t.w);
+    engine.setTraceConfig(eagerTraces());
+    BatchRecorder rec;
+    engine.addSink(&rec);
+    engine.run(budget);
+    const std::uint64_t builds_after_first = engine.traceStats().builds;
+    const std::size_t first_run_events = rec.events.size();
+
+    engine.reset();
+    engine.run(budget);
+
+    ASSERT_EQ(rec.events.size(), 2 * first_run_events);
+    const std::vector<RetiredInst> first(rec.events.begin(),
+                                         rec.events.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 first_run_events));
+    const std::vector<RetiredInst> second(rec.events.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  first_run_events),
+                                          rec.events.end());
+    expectSameStream(second, first);
+    // The phase schedule repeated identically, so every trace the second
+    // run needed already existed: no re-formation churn.
+    EXPECT_EQ(engine.traceStats().builds, 0u)
+        << "first run formed " << builds_after_first;
+}
+
+TEST(Superblock, TotalSimulatedInstsFlushedPerRun)
+{
+    // The de-contended process-wide retire counter: per-engine tallies
+    // must be fully folded in by the time run() returns, for the trace
+    // path and the block path alike.
+    test::TinyWorkload t = test::makeTiny();
+
+    ExecutionEngine traced(t.w.program, t.w);
+    traced.setTraceConfig(eagerTraces());
+    const std::uint64_t before = totalSimulatedInsts();
+    const RunStats stats = traced.run(25'000);
+    EXPECT_EQ(totalSimulatedInsts() - before, stats.dynInsts);
+
+    ExecutionEngine blocks(t.w.program, t.w);
+    blocks.setTraceConfig(noTraces());
+    const std::uint64_t mid = totalSimulatedInsts();
+    const RunStats bStats = blocks.run(25'000);
+    EXPECT_EQ(totalSimulatedInsts() - mid, bStats.dynInsts);
+    expectSameStats(stats, bStats);
+}
+
+} // namespace

@@ -26,6 +26,10 @@
  *                          worker threads (results are identical)
  *                          (runtime) background synthesis workers
  *   --timing               (report) append per-stage wall-clock costs
+ *   --no-traces            disable superblock trace execution in every
+ *                          engine of this process (pure BlockPlan
+ *                          stepping; all outputs are byte-identical —
+ *                          traces change speed, never results)
  *
  * Options (runtime):
  *   --quantum=N            execution quantum in instructions
@@ -111,7 +115,7 @@ usage()
                  "options: --no-inference --no-linking --dynamic-launch\n"
                  "         --unroll=N --bbb=SETSxWAYS --history=N\n"
                  "         --max-blocks=N --budget=N --packages-only\n"
-                 "         --threads=N --timing\n"
+                 "         --threads=N --timing --no-traces\n"
                  "         --quantum=N --cache-capacity=N --compare\n"
                  "         --fault-inject=SPEC --fault-seed=N --watchdog\n"
                  "         --no-tiering --tier0-budget=N\n"
@@ -163,6 +167,12 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             opt.packagesOnly = true;
         } else if (a == "--timing") {
             opt.timing = true;
+        } else if (a == "--no-traces") {
+            // Flip the process-wide default before any engine exists:
+            // every subsequent walk runs the pure BlockPlan path.
+            // Reports are byte-identical either way; this is the A/B
+            // seam for isolating the superblock fast path.
+            trace::defaultTraceConfig().enabled = false;
         } else if (starts("--threads=")) {
             const long n = std::atol(a.c_str() + 10);
             if (n < 1) {
