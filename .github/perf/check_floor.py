@@ -3,7 +3,7 @@
 
 Usage: check_floor.py <BENCH_*.json> <floor.json>
 
-Three floor kinds, matched by aggregate-section name (floor_rows by the
+Four floor kinds, matched by aggregate-section name (floor_rows by the
 bench name) and skipped when the bench file has no such section (one
 floor file serves several benches):
 
@@ -12,6 +12,10 @@ floor file serves several benches):
               an order of magnitude and never run this.
   floor_min:  exact minimums on deterministic aggregate metrics (win
               counts, coverage deltas); no tolerance is applied.
+  floor_max:  exact maximums (ceilings) on deterministic aggregate
+              metrics — ratchets on costs that an optimization drove
+              down (install-stall quanta) and must not creep back up;
+              no tolerance is applied.
   floor_rows: per-row exact minimums, keyed bench name -> row label ->
               metric -> floor, checked against the bench's "rows" list.
               A pinned row missing from the bench output is a failure —
@@ -61,6 +65,18 @@ def main() -> int:
             print(f"{scenario}.{metric:20s} {got:10.4f}  "
                   f"(min {ref})  {status}")
             if got < ref:
+                failed = True
+
+    for scenario, metrics in floor.get("floor_max", {}).items():
+        if scenario not in aggregate:
+            continue
+        for metric, ref in metrics.items():
+            checked += 1
+            got = aggregate[scenario][metric]
+            status = "ok" if got <= ref else "FAIL"
+            print(f"{scenario}.{metric:20s} {got:10.4f}  "
+                  f"(max {ref})  {status}")
+            if got > ref:
                 failed = True
 
     rows = {r.get("workload"): r for r in bench.get("rows", [])}

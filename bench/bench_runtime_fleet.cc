@@ -18,6 +18,14 @@
  * warm start over the poisoned store quarantines or gate-rejects every
  * injected corruption without installing one.
  *
+ * An epoch A/B pass reruns the 20-tenant configurations with
+ * epoch-based reclamation disabled (`epochReclaim=false`, the fully
+ * serialized publication path). The claims: every per-tenant report is
+ * byte-identical across the two modes — epochs change when memory is
+ * reclaimed, never which bundle serves which quantum — while the epoch
+ * fleet absorbs the same installs with fewer stalled quantum
+ * boundaries, worst single tenant included.
+ *
  * The sweep also reports install-latency curves: for every bundle that
  * activated, the quanta between synthesis submission and first install
  * (the window a detected phase keeps running unoptimized). Each config
@@ -28,10 +36,12 @@
  * `--json[=path]` emits BENCH_fleet.json: one object per configuration
  * (cold/warm executed-job counts, job savings, coverage, report
  * equality, install-latency percentiles, wall seconds, store counters)
- * plus "chaos_rows" degradation curves, a "runtime_fleet" aggregate
- * (coverage_equal_rows, min/mean job savings, warm coverage), the
- * "fleet_latency" aggregate above, and a "fleet_chaos" aggregate
- * (deterministic/contained row counts) for the CI floor check.
+ * plus "epoch_rows" (stall/identity A/B), "chaos_rows" degradation
+ * curves, a "runtime_fleet" aggregate (coverage_equal_rows, min/mean
+ * job savings, warm coverage), the "fleet_latency" aggregate above, a
+ * "fleet_epoch" aggregate (identical rows, stall quanta per mode,
+ * worst-tenant stalls) and a "fleet_chaos" aggregate (deterministic/
+ * contained row counts) for the CI floor check.
  * `--budget=N` trims every tenant to N dynamic instructions (CI smoke).
  * `--duration=S` switches to a time-based stop mode instead: every
  * harness thread drives independent small chaos fleets until the stop
@@ -328,6 +338,96 @@ main(int argc, char **argv)
                 fleet_p50, fleet_p95, latency_pool.size(),
                 max_tenant_p95);
 
+    // --- Epoch A/B: the 20-tenant configurations rerun with
+    // epoch-based reclamation disabled (every plan retirement
+    // serialized against the stepping engines). The sweep rows above
+    // ran in epoch mode, so their cold stats carry the epoch side of
+    // the comparison; the serialized twins below must reproduce every
+    // tenant report byte-for-byte — reclamation changes when memory is
+    // freed, never which bundle serves which quantum — while stalling
+    // more quantum boundaries, worst single tenant included.
+    struct EpochRow
+    {
+        std::size_t tenants = 0;
+        std::size_t shards = 0;
+        const fleet::FleetStats *epoch = nullptr;
+        fleet::FleetStats serialized;
+        bool identical = false;
+        double seconds = 0.0;
+    };
+    std::vector<EpochRow> epoch_rows;
+
+    std::printf("\nEpoch A/B at 20 tenants: install-stall quanta, "
+                "epoch reclamation vs serialized publication\n");
+    TablePrinter epoch_table;
+    epoch_table.addRow({"tenants", "shards", "stall e", "stall s",
+                        "worst e", "worst s", "retired", "reclaimed",
+                        "identical"});
+    std::size_t epoch_identical_rows = 0, epoch_stall_wins = 0;
+    std::uint64_t fleet_stall_epoch = 0, fleet_stall_serialized = 0;
+    std::uint64_t worst_stall_epoch = 0, worst_stall_serialized = 0;
+    std::uint64_t fleet_plans_retired = 0, fleet_plans_reclaimed = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (configs[i].tenants < 20)
+            continue;
+        EpochRow er;
+        er.tenants = configs[i].tenants;
+        er.shards = configs[i].shards;
+        er.epoch = &rows[i].cold;
+
+        fleet::FleetConfig fc;
+        fc.rt.vp = VpConfig::variant(true, true);
+        fc.rt.workers = 1;
+        fc.rt.budget = budget;
+        fc.rt.epochReclaim = false;
+        fc.tenants = er.tenants;
+        fc.shards = er.shards;
+        fc.storeDir =
+            (store_base / ("ser-t" + std::to_string(er.tenants) + "s" +
+                           std::to_string(er.shards)))
+                .string();
+        fc.threads = threads;
+        const double t0 = now();
+        er.serialized = fleet::FleetController(fc).run();
+        er.seconds = now() - t0;
+
+        er.identical =
+            tenantReports(*er.epoch) == tenantReports(er.serialized);
+        epoch_identical_rows += er.identical ? 1 : 0;
+        if (er.epoch->stallQuanta < er.serialized.stallQuanta)
+            ++epoch_stall_wins;
+        fleet_stall_epoch += er.epoch->stallQuanta;
+        fleet_stall_serialized += er.serialized.stallQuanta;
+        worst_stall_epoch = std::max(worst_stall_epoch,
+                                     er.epoch->maxTenantStallQuanta);
+        worst_stall_serialized =
+            std::max(worst_stall_serialized,
+                     er.serialized.maxTenantStallQuanta);
+        fleet_plans_retired += er.epoch->plansRetired;
+        fleet_plans_reclaimed += er.epoch->plansReclaimed;
+
+        epoch_table.addRow(
+            {std::to_string(er.tenants), std::to_string(er.shards),
+             std::to_string(er.epoch->stallQuanta),
+             std::to_string(er.serialized.stallQuanta),
+             std::to_string(er.epoch->maxTenantStallQuanta),
+             std::to_string(er.serialized.maxTenantStallQuanta),
+             std::to_string(er.epoch->plansRetired),
+             std::to_string(er.epoch->plansReclaimed),
+             er.identical ? "yes" : "NO"});
+        std::fflush(stdout);
+        epoch_rows.push_back(std::move(er));
+    }
+    epoch_table.print();
+    std::printf("\nepoch A/B: reports identical on %zu of %zu rows; "
+                "stalled boundaries %" PRIu64 " (epoch) vs %" PRIu64
+                " (serialized); worst tenant %" PRIu64 " vs %" PRIu64
+                "\n",
+                epoch_identical_rows, epoch_rows.size(),
+                fleet_stall_epoch, fleet_stall_serialized,
+                worst_stall_epoch, worst_stall_serialized);
+    const bool epoch_ok = epoch_identical_rows == epoch_rows.size();
+
     // --- Chaos sweep: fault rate x tenant count at 4 shards. The cold
     // pass enables the full fault menu and runs twice (1 thread, then
     // 8) — every per-tenant report, degraded rows included, must be
@@ -495,6 +595,29 @@ main(int argc, char **argv)
                 r.warmLat.p95, r.coldSeconds, r.warmSeconds,
                 i + 1 < rows.size() ? "," : "");
         }
+        std::fprintf(f, "  ],\n  \"epoch_rows\": [\n");
+        for (std::size_t i = 0; i < epoch_rows.size(); ++i) {
+            const EpochRow &r = epoch_rows[i];
+            std::fprintf(
+                f,
+                "    {\"workload\": \"epoch t%zu s%zu\", "
+                "\"tenants\": %zu, \"shards\": %zu, "
+                "\"stall_epoch\": %" PRIu64 ", "
+                "\"stall_serialized\": %" PRIu64 ", "
+                "\"max_tenant_stall_epoch\": %" PRIu64 ", "
+                "\"max_tenant_stall_serialized\": %" PRIu64 ", "
+                "\"plans_retired\": %" PRIu64 ", "
+                "\"plans_reclaimed\": %" PRIu64 ", "
+                "\"identical\": %s, "
+                "\"serialized_seconds\": %.3f}%s\n",
+                r.tenants, r.shards, r.tenants, r.shards,
+                r.epoch->stallQuanta, r.serialized.stallQuanta,
+                r.epoch->maxTenantStallQuanta,
+                r.serialized.maxTenantStallQuanta,
+                r.epoch->plansRetired, r.epoch->plansReclaimed,
+                r.identical ? "true" : "false", r.seconds,
+                i + 1 < epoch_rows.size() ? "," : "");
+        }
         std::fprintf(f, "  ],\n  \"chaos_rows\": [\n");
         for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
             const ChaosRow &r = chaos_rows[i];
@@ -539,6 +662,15 @@ main(int argc, char **argv)
                      "    \"fleet_latency\": {\"installs\": %zu, "
                      "\"p50\": %" PRIu64 ", \"p95\": %" PRIu64 ", "
                      "\"max_tenant_p95\": %" PRIu64 "},\n"
+                     "    \"fleet_epoch\": {\"rows\": %zu, "
+                     "\"identical_rows\": %zu, "
+                     "\"stall_win_rows\": %zu, "
+                     "\"stall_quanta_epoch\": %" PRIu64 ", "
+                     "\"stall_quanta_serialized\": %" PRIu64 ", "
+                     "\"max_tenant_stall_epoch\": %" PRIu64 ", "
+                     "\"max_tenant_stall_serialized\": %" PRIu64 ", "
+                     "\"plans_retired\": %" PRIu64 ", "
+                     "\"plans_reclaimed\": %" PRIu64 "},\n"
                      "    \"fleet_chaos\": {\"rows\": %zu, "
                      "\"deterministic_rows\": %zu, "
                      "\"contained_rows\": %zu}\n"
@@ -546,10 +678,15 @@ main(int argc, char **argv)
                      rows.size(), equal_rows, min_savings,
                      savings_avg.mean(), warm_cov_avg.mean(),
                      min_warm_cov, latency_pool.size(), fleet_p50,
-                     fleet_p95, max_tenant_p95, chaos_rows.size(),
-                     deterministic_rows, contained_rows);
+                     fleet_p95, max_tenant_p95, epoch_rows.size(),
+                     epoch_identical_rows, epoch_stall_wins,
+                     fleet_stall_epoch, fleet_stall_serialized,
+                     worst_stall_epoch, worst_stall_serialized,
+                     fleet_plans_retired, fleet_plans_reclaimed,
+                     chaos_rows.size(), deterministic_rows,
+                     contained_rows);
         std::fclose(f);
         std::printf("wrote %s\n", json_path->c_str());
     }
-    return chaos_ok ? 0 : 1;
+    return chaos_ok && epoch_ok ? 0 : 1;
 }

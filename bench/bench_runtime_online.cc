@@ -13,6 +13,14 @@
  * so a trimmed budget never exercises the merge paths and the A/B would
  * degenerate to a self-comparison.
  *
+ * And the epoch-reclamation A/B: the tiered run (epoch mode, the
+ * default) against a --no-epoch twin (serialized stop-the-world plan
+ * invalidation). The claim under test is twofold: the rendered reports
+ * are byte-identical (epochs change when plan memory is reclaimed,
+ * never which bundle serves which quantum), and the epoch run stalls
+ * the engine on strictly fewer boundaries (installStallQuanta — quanta
+ * whose boundary invalidated the engine's block-plan working set).
+ *
  * `--json[=path]` emits BENCH_runtime.json: one object per row (both
  * runs' coverage, first-install quanta, a <=64-point coverage-vs-quantum
  * curve per run, and the merge A/B coverages + merge counters) plus a
@@ -104,18 +112,23 @@ main(int argc, char **argv)
         runtime::RuntimeStats untiered;
         runtime::RuntimeStats merged;
         runtime::RuntimeStats unmerged;
+        runtime::RuntimeStats serialized; ///< tiered twin, --no-epoch
+        bool epochIdentical = false; ///< tiered/serialized toText equal
         double offline = 0.0;
     };
 
     TablePrinter table;
     table.addRow({"benchmark", "tiered", "untiered", "offline", "first t",
                   "first u", "promos", "builds", "merge", "no-mrg",
-                  "merges"});
+                  "merges", "stall e", "stall s"});
 
     Accumulator tiered_avg, untiered_avg, offline_avg, delta_avg;
     Accumulator merge_avg, nomerge_avg, mdelta_avg;
+    Accumulator stall_epoch_avg, stall_ser_avg;
     double min_delta = 1.0, min_mdelta = 1.0;
     std::size_t win_rows = 0, merge_win_rows = 0, rows_n = 0;
+    std::size_t stall_win_rows = 0, stall_tie_rows = 0;
+    std::size_t epoch_identical_rows = 0;
 
     struct JsonRow
     {
@@ -124,6 +137,9 @@ main(int argc, char **argv)
         double merge = 0.0, nomerge = 0.0;
         std::size_t merges = 0, fragmentsRetired = 0;
         std::uint64_t firstTiered = 0, firstUntiered = 0;
+        std::uint64_t stallEpoch = 0, stallSerialized = 0;
+        std::uint64_t rebuildsEpoch = 0, rebuildsSerialized = 0;
+        bool epochIdentical = false;
         std::vector<CurveSample> tieredCurve, untieredCurve;
     };
     std::vector<JsonRow> jrows;
@@ -142,6 +158,16 @@ main(int argc, char **argv)
             rcfg.budget = budget;
             runtime::RuntimeController tiered(w, rcfg);
             row.tiered = tiered.run();
+
+            // Epoch A/B: the serialized twin of the tiered run. The
+            // reports must be byte-identical — only the never-rendered
+            // stall/rebuild counters may differ.
+            runtime::RuntimeConfig scfg = rcfg;
+            scfg.epochReclaim = false;
+            runtime::RuntimeController serialized(w, scfg);
+            row.serialized = serialized.run();
+            row.epochIdentical = toText(row.tiered, w.label()) ==
+                                 toText(row.serialized, w.label());
 
             rcfg.tiering = false;
             runtime::RuntimeController untiered(w, rcfg);
@@ -189,6 +215,16 @@ main(int argc, char **argv)
                 ++win_rows;
             if (mdelta > 0.0)
                 ++merge_win_rows;
+            const std::uint64_t se = row.tiered.installStallQuanta;
+            const std::uint64_t ss = row.serialized.installStallQuanta;
+            stall_epoch_avg.add(static_cast<double>(se));
+            stall_ser_avg.add(static_cast<double>(ss));
+            if (se < ss)
+                ++stall_win_rows;
+            else if (se == ss)
+                ++stall_tie_rows;
+            if (row.epochIdentical)
+                ++epoch_identical_rows;
             ++rows_n;
             table.addRow({rowLabel(w), TablePrinter::pct(tcov),
                           TablePrinter::pct(ucov),
@@ -198,7 +234,10 @@ main(int argc, char **argv)
                           std::to_string(row.tiered.builds +
                                          row.tiered.tier0Builds),
                           TablePrinter::pct(mcov), TablePrinter::pct(ncov),
-                          std::to_string(row.merged.merges)});
+                          std::to_string(row.merged.merges),
+                          std::to_string(row.tiered.installStallQuanta),
+                          std::to_string(
+                              row.serialized.installStallQuanta)});
             std::fflush(stdout);
             if (json_path) {
                 JsonRow jr;
@@ -212,6 +251,11 @@ main(int argc, char **argv)
                 jr.fragmentsRetired = row.merged.fragmentsRetired;
                 jr.firstTiered = ft;
                 jr.firstUntiered = fu;
+                jr.stallEpoch = row.tiered.installStallQuanta;
+                jr.stallSerialized = row.serialized.installStallQuanta;
+                jr.rebuildsEpoch = row.tiered.planRebuilds;
+                jr.rebuildsSerialized = row.serialized.planRebuilds;
+                jr.epochIdentical = row.epochIdentical;
                 jr.tieredCurve = sampleCurve(row.tiered.curve);
                 jr.untieredCurve = sampleCurve(row.untiered.curve);
                 jrows.push_back(std::move(jr));
@@ -222,7 +266,7 @@ main(int argc, char **argv)
                   TablePrinter::pct(untiered_avg.mean()),
                   TablePrinter::pct(offline_avg.mean()), "", "", "", "",
                   TablePrinter::pct(merge_avg.mean()),
-                  TablePrinter::pct(nomerge_avg.mean()), ""});
+                  TablePrinter::pct(nomerge_avg.mean()), "", "", ""});
     table.print();
     std::printf("\ntiered first-install wins: %zu of %zu rows; coverage "
                 "delta mean %+.1f%% / min %+.1f%%\n",
@@ -232,6 +276,12 @@ main(int argc, char **argv)
                 "%+.1f%% / min %+.1f%%\n",
                 merge_win_rows, rows_n, 100.0 * mdelta_avg.mean(),
                 100.0 * min_mdelta);
+    std::printf("epoch install-stall wins: %zu of %zu rows (%zu ties); "
+                "mean stalls %.1f (epoch) vs %.1f (serialized); "
+                "reports identical on %zu rows\n",
+                stall_win_rows, rows_n, stall_tie_rows,
+                stall_epoch_avg.mean(), stall_ser_avg.mean(),
+                epoch_identical_rows);
 
     if (json_path) {
         std::FILE *f = std::fopen(json_path->c_str(), "w");
@@ -265,11 +315,17 @@ main(int argc, char **argv)
                 "\"merge_delta\": %.6f, \"merges\": %zu, "
                 "\"fragments_retired\": %zu, "
                 "\"first_tiered\": %" PRIu64 ", \"first_untiered\": %"
-                PRIu64 ",\n     \"tiered_curve\": ",
+                PRIu64 ",\n     \"stall_epoch\": %" PRIu64
+                ", \"stall_serialized\": %" PRIu64
+                ", \"rebuilds_epoch\": %" PRIu64
+                ", \"rebuilds_serialized\": %" PRIu64
+                ", \"epoch_identical\": %s,\n     \"tiered_curve\": ",
                 jsonEscape(jr.label).c_str(), jr.tiered, jr.untiered,
                 jr.offline, jr.merge, jr.nomerge, jr.merge - jr.nomerge,
                 jr.merges, jr.fragmentsRetired, jr.firstTiered,
-                jr.firstUntiered);
+                jr.firstUntiered, jr.stallEpoch, jr.stallSerialized,
+                jr.rebuildsEpoch, jr.rebuildsSerialized,
+                jr.epochIdentical ? "true" : "false");
             emitCurve(jr.tieredCurve);
             std::fprintf(f, ",\n     \"untiered_curve\": ");
             emitCurve(jr.untieredCurve);
@@ -285,12 +341,19 @@ main(int argc, char **argv)
                      "\"merge_win_rows\": %zu, "
                      "\"min_merge_delta\": %.6f, "
                      "\"mean_merge_delta\": %.6f, "
-                     "\"mean_merge\": %.6f, \"mean_nomerge\": %.6f}\n"
+                     "\"mean_merge\": %.6f, \"mean_nomerge\": %.6f, "
+                     "\"epoch_identical_rows\": %zu, "
+                     "\"stall_win_rows\": %zu, "
+                     "\"stall_tie_rows\": %zu, "
+                     "\"mean_stall_epoch\": %.6f, "
+                     "\"mean_stall_serialized\": %.6f}\n"
                      "  }\n}\n",
                      rows_n, win_rows, min_delta, delta_avg.mean(),
                      tiered_avg.mean(), untiered_avg.mean(),
                      merge_win_rows, min_mdelta, mdelta_avg.mean(),
-                     merge_avg.mean(), nomerge_avg.mean());
+                     merge_avg.mean(), nomerge_avg.mean(),
+                     epoch_identical_rows, stall_win_rows, stall_tie_rows,
+                     stall_epoch_avg.mean(), stall_ser_avg.mean());
         std::fclose(f);
         std::printf("wrote %s\n", json_path->c_str());
     }

@@ -380,6 +380,11 @@ FleetController::run()
             ++fleet.degradedTenants;
         fleet.poolTaskErrors += ts.stats.poolTaskErrors;
         fleet.poolDroppedErrors += ts.stats.poolDroppedErrors;
+        fleet.stallQuanta += ts.stats.installStallQuanta;
+        fleet.maxTenantStallQuanta = std::max(fleet.maxTenantStallQuanta,
+                                              ts.stats.installStallQuanta);
+        fleet.plansRetired += ts.stats.plansRetired;
+        fleet.plansReclaimed += ts.stats.plansReclaimed;
         fleet.tenants.push_back(std::move(ts));
     }
     fleet.poolTaskErrors += fleetPoolErr.taskErrors;

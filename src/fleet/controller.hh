@@ -173,6 +173,16 @@ struct FleetStats
      *  zero coverage — degradation costs coverage, never correctness). */
     double meanCoverage = 0.0;
     double minCoverage = 0.0;
+
+    // --- Epoch-reclamation aggregates (sums / max over tenants).
+    // Deliberately never rendered by toText(): the epoch and serialized
+    // runtimes must produce byte-identical tenant reports, and these are
+    // exactly what differs between them (bench_runtime_fleet reads them
+    // straight off the struct for the worst-tenant stall curve).
+    std::uint64_t stallQuanta = 0;        ///< sum of installStallQuanta
+    std::uint64_t maxTenantStallQuanta = 0; ///< worst tenant's stalls
+    std::uint64_t plansRetired = 0;       ///< plan tables sent to limbo
+    std::uint64_t plansReclaimed = 0;     ///< limbo items freed
 };
 
 /** The fleet service. Single-shot, like the tenant controller. */

@@ -5,6 +5,30 @@
 namespace vp::ir
 {
 
+Program::Program(const Program &other)
+    : name_(other.name_), functions_(other.functions_),
+      entryFunc_(other.entryFunc_), codeSize_(other.codeSize_),
+      layoutFuncs_(other.layoutFuncs_),
+      domain_(std::make_unique<epoch::EpochDomain>(
+          other.domain_->mutationEpoch(), other.domain_->codeEpoch()))
+{
+}
+
+Program &
+Program::operator=(const Program &other)
+{
+    if (this == &other)
+        return *this;
+    name_ = other.name_;
+    functions_ = other.functions_;
+    entryFunc_ = other.entryFunc_;
+    codeSize_ = other.codeSize_;
+    layoutFuncs_ = other.layoutFuncs_;
+    domain_ = std::make_unique<epoch::EpochDomain>(
+        other.domain_->mutationEpoch(), other.domain_->codeEpoch());
+    return *this;
+}
+
 FuncId
 Program::addFunction(Function fn)
 {
@@ -17,11 +41,19 @@ Program::addFunction(Function fn)
 void
 Program::layout()
 {
-    ++epoch_;
     Addr cur = 0x1000; // skip a small null-guard page, like a real binary
+    bool moved = false;
+    std::size_t idx = 0;
     for (auto &fn : functions_) {
+        const bool covered = idx++ < layoutFuncs_;
         for (BlockId b : fn.layout()) {
             BasicBlock &bb = fn.block(b);
+            // Code motion = a block the previous layout placed lands
+            // somewhere else now. Freshly appended functions always lay
+            // out past every covered one (id order), so installs alone
+            // never count as motion.
+            if (covered && bb.addr != cur)
+                moved = true;
             bb.addr = cur;
             // Pseudo instructions (optimizer bookkeeping) occupy no code
             // space in the deployed binary.
@@ -32,6 +64,10 @@ Program::layout()
         }
     }
     codeSize_ = cur - 0x1000;
+    layoutFuncs_ = functions_.size();
+    domain_->advanceMutation();
+    if (moved)
+        domain_->advanceCode();
 }
 
 std::size_t

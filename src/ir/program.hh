@@ -6,11 +6,13 @@
 #ifndef VP_IR_PROGRAM_HH
 #define VP_IR_PROGRAM_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/function.hh"
 #include "ir/types.hh"
+#include "support/epoch.hh"
 
 namespace vp::ir
 {
@@ -27,6 +29,15 @@ class Program
   public:
     Program() = default;
     explicit Program(std::string name) : name_(std::move(name)) {}
+
+    /** Copies get a fresh epoch domain seeded with the source's
+     *  counters: derived-state keys stay comparable across the copy,
+     *  but participants and retired garbage never follow it. */
+    Program(const Program &other);
+    Program &operator=(const Program &other);
+    Program(Program &&other) noexcept = default;
+    Program &operator=(Program &&other) noexcept = default;
+    ~Program() = default;
 
     const std::string &name() const { return name_; }
 
@@ -76,20 +87,40 @@ class Program
      * Monotonic structural-mutation counter. layout() bumps it; mutators
      * that change structure *without* re-running layout() (arc restores
      * such as LivePatcher::unpatch) must call noteMutation(). Consumers
-     * that cache per-block derived data (the execution engine's retire
-     * plans) revalidate against this and rebuild on mismatch.
+     * that cache per-block derived data keyed on arcs (the execution
+     * engine's trace plans and trace decisions) revalidate against this
+     * and rebuild on mismatch.
      */
-    std::uint64_t mutationEpoch() const { return epoch_; }
+    std::uint64_t mutationEpoch() const { return domain_->mutationEpoch(); }
+
+    /**
+     * Monotonic code-motion counter: advanced by layout() only when a
+     * block covered by the *previous* layout changed address (husk
+     * compaction after a tombstone). Append-only layouts (package
+     * installs land after every existing function) and arc restores
+     * leave it untouched, so consumers keyed on addresses/contents only
+     * (the engine's block plans in epoch mode) survive installs and
+     * unpatches without invalidation.
+     */
+    std::uint64_t codeEpoch() const { return domain_->codeEpoch(); }
 
     /** Record a structural change made without re-running layout(). */
-    void noteMutation() { ++epoch_; }
+    void noteMutation() { domain_->advanceMutation(); }
+
+    /** The program's reclamation domain: epoch publication, reader
+     *  pinning and the grace-period limbo list live here. */
+    epoch::EpochDomain &epochDomain() const { return *domain_; }
 
   private:
     std::string name_;
     std::vector<Function> functions_;
     FuncId entryFunc_ = 0;
     Addr codeSize_ = 0;
-    std::uint64_t epoch_ = 0;
+    /** Functions covered by the previous layout(); blocks of functions
+     *  below this index moving is what advances the code epoch. */
+    std::size_t layoutFuncs_ = 0;
+    std::unique_ptr<epoch::EpochDomain> domain_ =
+        std::make_unique<epoch::EpochDomain>();
 };
 
 } // namespace vp::ir

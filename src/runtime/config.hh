@@ -167,6 +167,22 @@ struct RuntimeConfig
      */
     double mergeContainFraction = 0.10;
 
+    /**
+     * Epoch-based reclamation around the engine's plan snapshot. On:
+     * block plans are keyed on the live program's codeEpoch() (installs
+     * and arc restores leave the engine's plan working set intact), the
+     * controller publishes each boundary's structural work as one
+     * batched epoch transition, and tombstoned functions' plan tables
+     * are retired through the program's grace-period limbo instead of
+     * lingering until engine teardown. Off: the serialized
+     * stop-the-world behavior (every mutation invalidates every plan),
+     * kept as the A/B reference (vpack runtime --no-epoch). Results are
+     * byte-identical either way — epochs change when memory is
+     * reclaimed and how often plans rebuild, never which bundle serves
+     * which quantum.
+     */
+    bool epochReclaim = true;
+
     /** Re-verify the live program after every install/deopt. */
     bool verifyAfterPatch = true;
 

@@ -48,6 +48,7 @@ RuntimeController::RuntimeController(const workload::Workload &w,
 {
     engine_.addSink(&detector_);
     engine_.addSink(&usage_);
+    engine_.setEpochPlans(cfg_.epochReclaim);
     detector_.setSnapshotCallback(
         [this](const hsd::HotSpotRecord &rec) { pending_.push_back(rec); });
 }
@@ -97,6 +98,19 @@ RuntimeController::run()
     // fast-install code.
     retireTier0AtEnd();
 
+    // Shutdown drain: the engine is quiescent, so every limbo item is
+    // past its grace period — the run must end with an empty retire
+    // list, not lean on the domain destructor's unconditional sweep.
+    {
+        epoch::EpochDomain &dom = live_.epochDomain();
+        dom.reclaim();
+        vp_assert(dom.drained(), "epoch limbo not drained at end of run");
+        const epoch::EpochDomain::Stats es = dom.stats();
+        stats_.plansReclaimed = es.reclaimed;
+        stats_.peakLimbo = es.peakLimbo;
+    }
+    stats_.planRebuilds = engine_.blockPlanBuilds();
+
     stats_.run = engine_.stats();
     stats_.hsd = detector_.stats();
     stats_.quanta = quantum_;
@@ -127,14 +141,44 @@ RuntimeController::run()
 void
 RuntimeController::boundary()
 {
-    sweepZombies();
-    refreshRecency();
-    recordCurvePoint();
-    watchdog();
-    drainDetections();
-    completeReadyJobs();
-    processActivations();
-    evictOverCapacity();
+    // The engine is suspended between quanta (unpinned, quiescent), so
+    // everything tagged at or before the current epoch is reclaimable
+    // right now — limbo never outlives the boundary after its last
+    // reader could have touched it.
+    epoch::EpochDomain &dom = live_.epochDomain();
+    dom.reclaim();
+    if (boundaryProbe_)
+        boundaryProbe_(quantum_);
+
+    const std::uint64_t me0 = live_.mutationEpoch();
+    const std::uint64_t ce0 = live_.codeEpoch();
+    {
+        // One boundary = at most one published transition per counter:
+        // every install/unpatch/deopt/tombstone this boundary performs
+        // coalesces into a single epoch advance, so the engine re-keys
+        // its plan working set once, not once per structural edit.
+        // Serialized mode publishes each mutation individually — that
+        // is the stop-the-world reference the A/B measures against.
+        const epoch::EpochDomain::BatchGuard batch(
+            cfg_.epochReclaim ? &dom : nullptr);
+        sweepZombies();
+        refreshRecency();
+        recordCurvePoint();
+        watchdog();
+        drainDetections();
+        completeReadyJobs();
+        processActivations();
+        evictOverCapacity();
+    }
+    // Install-stall accounting: a boundary "stalls" the engine when the
+    // next quantum must rebuild its block-plan working set. In epoch
+    // mode only code motion (husk compaction) re-keys block plans; in
+    // serialized mode any published mutation does. Never rendered by
+    // toText(), so the A/B stays byte-identical.
+    if (cfg_.epochReclaim ? live_.codeEpoch() != ce0
+                          : live_.mutationEpoch() != me0) {
+        ++stats_.installStallQuanta;
+    }
     stats_.peakResidentWeight =
         std::max(stats_.peakResidentWeight, cache_.weight());
 
@@ -157,6 +201,13 @@ RuntimeController::sweepZombies()
             ++it;
             continue;
         }
+        // The husks' block plans can never be entered again (tombstoned
+        // code has no successors and the engine provably drained out);
+        // push them onto the grace-period limbo instead of letting them
+        // sit in the plan table until engine teardown. The suspended
+        // trace head is exempt inside retireFunctionPlans.
+        if (cfg_.epochReclaim)
+            stats_.plansRetired += engine_.retireFunctionPlans(*it);
         patcher_.tombstone(*it);
         it = zombies_.erase(it);
         swept = true;

@@ -47,6 +47,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -122,6 +123,28 @@ class RuntimeController
     }
 
     const RuntimeStats &stats() const { return stats_; }
+
+    /**
+     * Deterministic quantum clock: the number of completed quanta. The
+     * boundary at which any structural event (install, deopt, epoch
+     * publication, limbo reclaim) lands is a pure function of the
+     * detection sequence, so tests pin epoch-drain edge cases to exact
+     * quantum counts instead of sleeping and hoping.
+     */
+    std::uint64_t quantumClock() const { return quantum_; }
+
+    /**
+     * Test seam: invoked at the top of every quantum boundary — after
+     * the engine suspends (unpinned, quiescent) and after the limbo
+     * reclaim for this boundary, before any structural work — with the
+     * current quantum count. Observations made inside the probe see the
+     * live program and epoch domain at a deterministic instant. Must be
+     * set before run(); the probe must not mutate the program.
+     */
+    void setBoundaryProbe(std::function<void(std::uint64_t)> probe)
+    {
+        boundaryProbe_ = std::move(probe);
+    }
 
   private:
     /** Per-func packaged-instruction counter (cache recency signal). */
@@ -259,6 +282,9 @@ class RuntimeController
     std::uint64_t quantum_ = 0;
     bool ran_ = false;
     RuntimeStats stats_;
+
+    /** Boundary test probe (quantum clock seam); empty = no-op. */
+    std::function<void(std::uint64_t)> boundaryProbe_;
 };
 
 } // namespace vp::runtime

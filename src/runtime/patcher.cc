@@ -245,6 +245,12 @@ LivePatcher::tombstone(const std::vector<ir::FuncId> &funcs)
 void
 LivePatcher::deopt(const InstalledBundle &ib)
 {
+    // One deopt = one structural transition. Without the batch, the
+    // unpatch's noteMutation() and the tombstone's layout() would bump
+    // the mutation epoch twice for what the engine observes as a single
+    // change, doubling plan/trace invalidations on the deopt path (the
+    // unpatch→layout double-bump).
+    const epoch::EpochDomain::BatchGuard batch(&live_.epochDomain());
     unpatch(ib);
     tombstone(ib.funcs);
 }

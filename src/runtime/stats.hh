@@ -144,6 +144,33 @@ struct RuntimeStats
     /** Sum over tier-1 first installs of (install - submit) quanta. */
     std::uint64_t compileLatencyQuanta = 0;
 
+    // --- Epoch-reclamation counters. Deliberately never rendered by
+    // toText(): the epoch and serialized modes must produce
+    // byte-identical reports, and these counters are exactly what
+    // differs between them (that difference is the bench's subject —
+    // bench_runtime_online reads them straight off the struct).
+
+    /** Quanta whose boundary invalidated the engine's block-plan
+     *  snapshot: in epoch mode, boundaries that moved the code epoch
+     *  (husk compaction); in serialized mode, every boundary that
+     *  published any mutation. The install-stall metric — each such
+     *  quantum the engine re-enters through plan rebuilds instead of
+     *  its warm working set. */
+    std::uint64_t installStallQuanta = 0;
+
+    /** Block-plan (re)builds the engine performed over the run. */
+    std::uint64_t planRebuilds = 0;
+
+    /** Plan tables pushed onto the epoch domain's grace-period limbo
+     *  (epoch mode only; serialized mode never frees plans early). */
+    std::uint64_t plansRetired = 0;
+
+    /** Limbo items freed after their grace period elapsed. */
+    std::uint64_t plansReclaimed = 0;
+
+    /** High-water limbo length (bounded garbage backlog). */
+    std::size_t peakLimbo = 0;
+
     // --- Fleet shared-synthesis counters (all zero without a
     // SynthesisCache attached). Deliberately never rendered by toText():
     // whether a job is served from the fleet cache depends on tenant

@@ -1,0 +1,145 @@
+#include "support/epoch.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vp::epoch
+{
+
+EpochDomain::~EpochDomain()
+{
+    // Whatever is still in limbo can no longer be referenced: readers
+    // hold references only into structures owned by the domain's owner,
+    // which is being destroyed.
+    reclaimAll();
+}
+
+void
+EpochDomain::advance(std::atomic<std::uint64_t> &counter,
+                     std::atomic<bool> &pending)
+{
+    if (batchDepth_.load(std::memory_order_acquire) > 0) {
+        pending.store(true, std::memory_order_release);
+        return;
+    }
+    counter.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void
+EpochDomain::endBatch()
+{
+    if (batchDepth_.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    // Outermost close: publish at most one transition per counter.
+    if (pendingMutation_.exchange(false, std::memory_order_acq_rel))
+        mutation_.fetch_add(1, std::memory_order_seq_cst);
+    if (pendingCode_.exchange(false, std::memory_order_acq_rel))
+        code_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+EpochDomain::Participant *
+EpochDomain::registerParticipant()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    participants_.push_back(std::make_unique<Participant>());
+    return participants_.back().get();
+}
+
+void
+EpochDomain::unregisterParticipant(Participant *p)
+{
+    if (!p)
+        return;
+    vp_assert(p->pinned_.load(std::memory_order_seq_cst) == kQuiescent,
+              "participant unregistered while pinned");
+    p->active_.store(false, std::memory_order_seq_cst);
+}
+
+void
+EpochDomain::retire(std::function<void()> reclaimer)
+{
+    const std::uint64_t tag =
+        mutation_.load(std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(mu_);
+    limbo_.push_back({tag, std::move(reclaimer)});
+    ++retired_;
+    peakLimbo_ = std::max(peakLimbo_, limbo_.size());
+}
+
+std::uint64_t
+EpochDomain::minActiveEpoch() const
+{
+    std::uint64_t min = kQuiescent;
+    for (const auto &p : participants_) {
+        if (!p->active_.load(std::memory_order_seq_cst))
+            continue;
+        min = std::min(min, p->pinned_.load(std::memory_order_seq_cst));
+    }
+    return min;
+}
+
+std::size_t
+EpochDomain::reclaim()
+{
+    std::vector<LimboItem> ready;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // An item tagged E is safe once every active reader is
+        // quiescent or pinned at >= E: such a reader pinned after the
+        // unlink was published and re-resolved past the garbage.
+        const std::uint64_t min = minActiveEpoch();
+        auto it = limbo_.begin();
+        while (it != limbo_.end()) {
+            if (it->tag <= min) {
+                ready.push_back(std::move(*it));
+                it = limbo_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        reclaimed_ += ready.size();
+    }
+    // Run the reclaimers outside the lock: they free arbitrary memory
+    // and may be nontrivial.
+    for (LimboItem &item : ready)
+        if (item.free)
+            item.free();
+    return ready.size();
+}
+
+std::size_t
+EpochDomain::reclaimAll()
+{
+    std::vector<LimboItem> ready;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ready = std::move(limbo_);
+        limbo_.clear();
+        reclaimed_ += ready.size();
+    }
+    for (LimboItem &item : ready)
+        if (item.free)
+            item.free();
+    return ready.size();
+}
+
+std::size_t
+EpochDomain::limboSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return limbo_.size();
+}
+
+EpochDomain::Stats
+EpochDomain::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.retired = retired_;
+    s.reclaimed = reclaimed_;
+    s.peakLimbo = peakLimbo_;
+    return s;
+}
+
+} // namespace vp::epoch

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Epoch-based reclamation domain: a pair of monotonic epoch counters
+ * (structural mutations and code-address motion), a registry of reader
+ * participants that pin the mutation epoch while they hold references
+ * into epoch-keyed state, and a grace-period limbo list of retired
+ * garbage that is only freed once every pinned reader has crossed the
+ * retiring epoch.
+ *
+ * Protocol:
+ *  - Readers: pin() publishes the current mutation epoch into the
+ *    participant slot (with a re-check loop so a concurrent advance is
+ *    never missed), the reader works against whatever epoch-keyed
+ *    snapshot it resolves, then unpin() restores the quiescent
+ *    sentinel. pin/unpin are wait-free — a handful of atomic ops, no
+ *    locks, never blocked by writers.
+ *  - Writers: mutate the guarded structure (unlink/replace), then
+ *    advanceMutation()/advanceCode() to publish, then retire() the
+ *    unlinked garbage. retire tags the item with the *post-advance*
+ *    mutation epoch E: any reader that could still hold a reference
+ *    pinned before the advance and therefore carries a pinned epoch
+ *    < E.
+ *  - Reclaim: an item tagged E is freed once every active participant
+ *    is quiescent or pinned at an epoch >= E (it pinned after the
+ *    unlink was published, so it re-resolved and cannot hold the
+ *    garbage). reclaim() is called from writer context at a natural
+ *    grace boundary (the runtime controller calls it at each quantum
+ *    boundary, when its engine is unpinned).
+ *
+ * Batching: a writer that performs several mutations it wants published
+ * as one epoch transition (the controller's quantum boundary performs
+ * sweep + install + unpatch + deopt back-to-back) brackets them in
+ * beginBatch()/endBatch(); pending advances coalesce into at most one
+ * published bump per counter. Batches are a single-writer construct —
+ * the epoch counters themselves stay safe under concurrent advance, but
+ * two threads batching concurrently would merge their transitions.
+ *
+ * Participants are registered once per long-lived reader (an execution
+ * engine) and their nodes are never freed before the domain itself —
+ * unregister only marks the slot inactive, so a racing reclaim can
+ * still safely scan it.
+ */
+
+#ifndef VP_SUPPORT_EPOCH_HH
+#define VP_SUPPORT_EPOCH_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace vp::epoch
+{
+
+class EpochDomain
+{
+  public:
+    /** Pinned-slot sentinel: the participant holds no references. */
+    static constexpr std::uint64_t kQuiescent = ~0ull;
+
+    /**
+     * One long-lived reader's epoch slot. Obtained from
+     * registerParticipant(); the node outlives unregister (it is only
+     * marked inactive) and is owned by the domain.
+     */
+    class Participant
+    {
+        friend class EpochDomain;
+        std::atomic<std::uint64_t> pinned_{kQuiescent};
+        std::atomic<bool> active_{true};
+    };
+
+    /** Reclamation accounting (monotonic over the domain's life). */
+    struct Stats
+    {
+        std::uint64_t retired = 0;   ///< items pushed to limbo
+        std::uint64_t reclaimed = 0; ///< items freed past their grace
+        std::size_t peakLimbo = 0;   ///< high-water limbo length
+    };
+
+    EpochDomain() = default;
+
+    /** Seed the counters (program copies carry their source's epochs so
+     *  derived-state keys stay comparable across the copy). */
+    EpochDomain(std::uint64_t mutationSeed, std::uint64_t codeSeed)
+        : mutation_(mutationSeed), code_(codeSeed)
+    {
+    }
+
+    EpochDomain(const EpochDomain &) = delete;
+    EpochDomain &operator=(const EpochDomain &) = delete;
+
+    ~EpochDomain();
+
+    /** Every structural change publishes here (arc patches, splices,
+     *  relayouts). Keys trace plans and trace decisions. */
+    std::uint64_t
+    mutationEpoch() const
+    {
+        return mutation_.load(std::memory_order_acquire);
+    }
+
+    /** Advanced only when a pre-existing block's address moved (husk
+     *  compaction). Keys block plans in epoch mode: installs and arc
+     *  restores leave it untouched, so the engine's block-plan working
+     *  set survives them. */
+    std::uint64_t
+    codeEpoch() const
+    {
+        return code_.load(std::memory_order_acquire);
+    }
+
+    void advanceMutation() { advance(mutation_, pendingMutation_); }
+    void advanceCode() { advance(code_, pendingCode_); }
+
+    // --- Batched publication (single writer at a time).
+
+    void beginBatch() { batchDepth_.fetch_add(1, std::memory_order_acq_rel); }
+    void endBatch();
+
+    /** RAII batch bracket (exception-safe around controller work). */
+    class BatchGuard
+    {
+      public:
+        explicit BatchGuard(EpochDomain *d) : domain_(d)
+        {
+            if (domain_)
+                domain_->beginBatch();
+        }
+        ~BatchGuard()
+        {
+            if (domain_)
+                domain_->endBatch();
+        }
+        BatchGuard(const BatchGuard &) = delete;
+        BatchGuard &operator=(const BatchGuard &) = delete;
+
+      private:
+        EpochDomain *domain_;
+    };
+
+    // --- Reader participation.
+
+    Participant *registerParticipant();
+    void unregisterParticipant(Participant *p);
+
+    /**
+     * Publish the current mutation epoch into @p p's slot. The re-check
+     * loop closes the window where a writer advances between our load
+     * and our store — without it the writer could tag garbage with an
+     * epoch this reader appears to have already passed.
+     */
+    void
+    pin(Participant *p)
+    {
+        for (;;) {
+            const std::uint64_t e =
+                mutation_.load(std::memory_order_seq_cst);
+            p->pinned_.store(e, std::memory_order_seq_cst);
+            if (mutation_.load(std::memory_order_seq_cst) == e)
+                return;
+        }
+    }
+
+    void
+    unpin(Participant *p)
+    {
+        p->pinned_.store(kQuiescent, std::memory_order_seq_cst);
+    }
+
+    /** RAII pin for the duration of a reader's critical section. */
+    class PinGuard
+    {
+      public:
+        PinGuard(EpochDomain *d, Participant *p) : domain_(d), part_(p)
+        {
+            if (domain_ && part_)
+                domain_->pin(part_);
+        }
+        ~PinGuard()
+        {
+            if (domain_ && part_)
+                domain_->unpin(part_);
+        }
+        PinGuard(const PinGuard &) = delete;
+        PinGuard &operator=(const PinGuard &) = delete;
+
+      private:
+        EpochDomain *domain_;
+        Participant *part_;
+    };
+
+    // --- Grace-period reclamation.
+
+    /**
+     * Queue @p reclaimer to run once every reader pinned before now has
+     * unpinned or re-pinned. Call *after* the mutation that unlinked
+     * the garbage was published (advance / endBatch).
+     */
+    void retire(std::function<void()> reclaimer);
+
+    /** Free every limbo item past its grace period; @return how many. */
+    std::size_t reclaim();
+
+    /**
+     * Shutdown drain: frees the entire limbo unconditionally. Only
+     * legal once no reader can still hold references (the controller
+     * calls it after its engine finished its last quantum).
+     */
+    std::size_t reclaimAll();
+
+    std::size_t limboSize() const;
+    bool drained() const { return limboSize() == 0; }
+
+    Stats stats() const;
+
+  private:
+    struct LimboItem
+    {
+        std::uint64_t tag; ///< mutation epoch at retire time
+        std::function<void()> free;
+    };
+
+    void advance(std::atomic<std::uint64_t> &counter,
+                 std::atomic<bool> &pending);
+
+    /** Min pinned epoch over active participants; kQuiescent if none
+     *  is pinned. Caller holds mu_. */
+    std::uint64_t minActiveEpoch() const;
+
+    std::atomic<std::uint64_t> mutation_{0};
+    std::atomic<std::uint64_t> code_{0};
+
+    std::atomic<int> batchDepth_{0};
+    std::atomic<bool> pendingMutation_{false};
+    std::atomic<bool> pendingCode_{false};
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Participant>> participants_;
+    std::vector<LimboItem> limbo_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t reclaimed_ = 0;
+    std::size_t peakLimbo_ = 0;
+};
+
+} // namespace vp::epoch
+
+#endif // VP_SUPPORT_EPOCH_HH

@@ -44,12 +44,14 @@ ExecutionEngine::ExecutionEngine(const Program &prog,
     : prog_(prog), oracle_(w.behaviors, w.schedule),
       traceCfg_(defaultTraceConfig())
 {
+    participant_ = prog_.epochDomain().registerParticipant();
     resetWalk();
 }
 
 ExecutionEngine::~ExecutionEngine()
 {
     flushTotalInsts();
+    prog_.epochDomain().unregisterParticipant(participant_);
 }
 
 void
@@ -158,6 +160,31 @@ ExecutionEngine::referencesFunction(FuncId f) const
     return false;
 }
 
+std::size_t
+ExecutionEngine::retireFunctionPlans(const std::vector<FuncId> &funcs)
+{
+    auto garbage =
+        std::make_shared<std::vector<std::vector<BlockPlan>>>();
+    std::size_t n = 0;
+    for (FuncId f : funcs) {
+        // A suspended trace keeps reading its head's buffers until it
+        // is abandoned (stale-epoch rule); that head's table stays.
+        if (traceActive_ && traceHead_.valid() && traceHead_.func == f)
+            continue;
+        if (f >= plans_.size() || plans_[f].empty())
+            continue;
+        n += plans_[f].size();
+        garbage->push_back(std::move(plans_[f]));
+        plans_[f].clear();
+        plans_[f].shrink_to_fit();
+    }
+    if (!garbage->empty()) {
+        prog_.epochDomain().retire(
+            [garbage]() mutable { garbage->clear(); });
+    }
+    return n;
+}
+
 ExecutionEngine::BlockPlan &
 ExecutionEngine::planSlot(BlockRef r)
 {
@@ -199,10 +226,6 @@ ExecutionEngine::scanBlock(const BasicBlock &bb, BlockRef ref,
     const workload::BranchBehavior *branch_model = nullptr;
     call_term = false;
 
-    Addr ret_addr = kInvalidAddr;
-    if (bb.endsInCall() && bb.fall.valid())
-        ret_addr = prog_.block(bb.fall).addr;
-
     std::size_t term_at = kNoTerm;
     Addr pc = bb.addr;
     for (const Instruction &inst : bb.insts) {
@@ -221,8 +244,9 @@ ExecutionEngine::scanBlock(const BasicBlock &bb, BlockRef ref,
             term_at = insts.size();
             break;
           case Opcode::Call:
+            // retAddr is filled live at block entry (the fall arc may
+            // be retargeted without the plan rebuilding in epoch mode).
             call_term = true;
-            ri.retAddr = ret_addr;
             term_at = insts.size();
             break;
           case Opcode::Load:
@@ -250,11 +274,12 @@ void
 ExecutionEngine::buildPlan(BlockPlan &plan, const BasicBlock &bb,
                            bool in_package, BlockRef ref)
 {
+    ++planBuilds_;
     plan.insts.clear();
     plan.mems.clear();
     plan.eventClasses = 0;
     plan.inPackage = in_package;
-    plan.epoch = prog_.mutationEpoch();
+    plan.epoch = planKey();
     // plan.selectorChoice deliberately survives rebuilds: the dynamic
     // predictor's state is walk state, not program structure.
     plan.branchModel = scanBlock(bb, ref, in_package, plan.insts,
@@ -570,6 +595,13 @@ ExecutionEngine::runTrace(std::uint64_t max_insts,
 void
 ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
 {
+    // Epoch participation: the whole step is one reader critical
+    // section. Writers retiring plan memory through the program's
+    // domain cannot have it reclaimed while we are pinned before their
+    // epoch; between steps the engine is quiescent and reclamation
+    // proceeds wait-free for us.
+    const epoch::EpochDomain::PinGuard pin(&prog_.epochDomain(),
+                                           participant_);
     RunStats &stats = cumulative_;
     const std::uint64_t before = stats.dynInsts;
 
@@ -678,7 +710,7 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     callStack_.push_back(frame);
             }
 
-            if (plan->epoch != prog_.mutationEpoch())
+            if (plan->epoch != planKey())
                 buildPlan(*plan, bb, in_package, cur_);
 
             // Resolve this block's successor up front (there is at most
@@ -713,6 +745,13 @@ ExecutionEngine::stepTo(std::uint64_t max_insts, std::uint64_t max_branches)
                     }
                     break;
                   case Opcode::Call:
+                    // Return address read live: the fall arc may have
+                    // been retargeted since the plan was built (block
+                    // plans are keyed on code motion, not arcs).
+                    if (!plan->insts.empty())
+                        plan->insts.back().retAddr =
+                            bb.fall.valid() ? prog_.block(bb.fall).addr
+                                            : kInvalidAddr;
                     callStack_.push_back(bb.fall);
                     next_ =
                         BlockRef{bb.callee, prog_.func(bb.callee).entry()};

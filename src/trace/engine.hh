@@ -51,12 +51,28 @@
  *  - callers must not remove or reorder blocks of any function the
  *    engine still references (see referencesFunction());
  *  - every structural mutation must bump the program's mutationEpoch()
- *    so stale retire plans are invalidated: Program::layout() does this
+ *    so stale derived state is invalidated: Program::layout() does this
  *    itself (covering package install and tombstoning), and mutators
  *    that skip relayout (LivePatcher::unpatch) call noteMutation().
  *    A block the engine is suspended *inside* keeps its already-built
  *    plan until it exits — matching the pre-plan engine, which kept its
  *    entry-time pc across mid-block mutations.
+ *
+ * Epoch-keying amendment: in epoch mode (the default, see
+ * setEpochPlans()) block plans are keyed on Program::codeEpoch() — the
+ * counter that moves only when a previously laid-out block changed
+ * address — instead of mutationEpoch(). Every value a block plan bakes
+ * is arc-independent (pcs, behavior models, event classes; the
+ * successor address, branch outcome and call return address are filled
+ * live at entry/retire), so arc patches and unpatches no longer wipe
+ * the engine's block-plan working set; only husk compaction, which
+ * moves code, does. Trace plans and cached trace decisions bake arcs
+ * and stay keyed on mutationEpoch() in both modes. The engine is also
+ * an epoch *participant*: every stepTo() pins the program's
+ * EpochDomain, and retireFunctionPlans() pushes dead functions' plan
+ * tables onto the domain's grace-period limbo instead of freeing them
+ * in place — memory is reclaimed only once every pinned reader has
+ * crossed the retiring epoch.
  *
  * Trace amendment to the contract: arcs are baked into a trace at build
  * time, which is sound because they are re-read at every trace *entry*
@@ -336,6 +352,28 @@ class ExecutionEngine
      */
     bool referencesFunction(ir::FuncId f) const;
 
+    /**
+     * Key block plans on codeEpoch() (true, the default) or on
+     * mutationEpoch() (the pre-epoch stop-the-world behavior, the
+     * serialized A/B reference). Call between runs, not mid-walk.
+     */
+    void setEpochPlans(bool on) { epochPlans_ = on; }
+
+    /** Block-plan (re)builds since construction (monotonic; the
+     *  double-bump regression test compares this against the epoch). */
+    std::uint64_t blockPlanBuilds() const { return planBuilds_; }
+
+    /**
+     * Retire the cached plan tables of @p funcs through the program's
+     * epoch domain: the vectors are moved onto the grace-period limbo
+     * and freed by a later EpochDomain::reclaim(), never while a reader
+     * is still pinned before the retiring epoch. Callers pass functions
+     * that are dead to the walk (tombstoned, !referencesFunction());
+     * the head of a suspended trace is skipped — its buffers must stay
+     * live until the stale trace is abandoned. @return plans retired.
+     */
+    std::size_t retireFunctionPlans(const std::vector<ir::FuncId> &funcs);
+
     const BranchOracle &oracle() const { return oracle_; }
 
   private:
@@ -538,8 +576,25 @@ class ExecutionEngine
      *  counter (totalSimulatedInsts()). */
     void flushTotalInsts();
 
+    /** Key a block plan is valid for under the current mode. */
+    std::uint64_t
+    planKey() const
+    {
+        return epochPlans_ ? prog_.codeEpoch() : prog_.mutationEpoch();
+    }
+
     const ir::Program &prog_;
     BranchOracle oracle_;
+
+    /** This engine's reader slot in the program's epoch domain; pinned
+     *  for the duration of every stepTo(). */
+    epoch::EpochDomain::Participant *participant_ = nullptr;
+
+    /** Block plans keyed on codeEpoch (true) or mutationEpoch. */
+    bool epochPlans_ = true;
+
+    /** Monotonic buildPlan() count. */
+    std::uint64_t planBuilds_ = 0;
 
     struct SinkEntry
     {

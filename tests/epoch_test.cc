@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Epoch-based reclamation battery: the EpochDomain primitive under
+ * racing readers and writers (no garbage freed while a reader is
+ * pinned, epochs monotone under concurrent advance, limbo drained on
+ * shutdown), and the runtime controller on top of it (epoch and
+ * serialized modes byte-identical at every worker count, deopt
+ * publishes a single mutation, the boundary probe pins epoch-drain
+ * edge cases to exact quanta).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hsd/record.hh"
+#include "ir/program.hh"
+#include "runtime/bundle.hh"
+#include "runtime/controller.hh"
+#include "runtime/patcher.hh"
+#include "runtime/stats.hh"
+#include "support/epoch.hh"
+#include "support/fault.hh"
+#include "vp/evaluate.hh"
+#include "vp/pipeline.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+using namespace vp;
+using vp::epoch::EpochDomain;
+
+// ------------------------------------------------------------ EpochDomain
+
+TEST(EpochDomain, AdvancePublishesImmediatelyOutsideBatch)
+{
+    EpochDomain d;
+    EXPECT_EQ(d.mutationEpoch(), 0u);
+    EXPECT_EQ(d.codeEpoch(), 0u);
+    d.advanceMutation();
+    EXPECT_EQ(d.mutationEpoch(), 1u);
+    EXPECT_EQ(d.codeEpoch(), 0u);
+    d.advanceCode();
+    EXPECT_EQ(d.codeEpoch(), 1u);
+    EXPECT_EQ(d.mutationEpoch(), 1u);
+}
+
+TEST(EpochDomain, SeededCountersStartWhereTheSourceLeftOff)
+{
+    EpochDomain d(7, 3);
+    EXPECT_EQ(d.mutationEpoch(), 7u);
+    EXPECT_EQ(d.codeEpoch(), 3u);
+}
+
+TEST(EpochDomain, BatchCoalescesAdvancesIntoOnePublishedBump)
+{
+    EpochDomain d;
+    {
+        const EpochDomain::BatchGuard batch(&d);
+        d.advanceMutation();
+        d.advanceMutation();
+        d.advanceMutation();
+        d.advanceCode();
+        d.advanceCode();
+        // Nothing published while the batch is open.
+        EXPECT_EQ(d.mutationEpoch(), 0u);
+        EXPECT_EQ(d.codeEpoch(), 0u);
+    }
+    EXPECT_EQ(d.mutationEpoch(), 1u);
+    EXPECT_EQ(d.codeEpoch(), 1u);
+}
+
+TEST(EpochDomain, NestedBatchesPublishAtOutermostCloseOnly)
+{
+    EpochDomain d;
+    {
+        const EpochDomain::BatchGuard outer(&d);
+        d.advanceMutation();
+        {
+            const EpochDomain::BatchGuard inner(&d);
+            d.advanceMutation();
+        }
+        // The inner close must not publish: the outer batch still owns
+        // the transition.
+        EXPECT_EQ(d.mutationEpoch(), 0u);
+    }
+    EXPECT_EQ(d.mutationEpoch(), 1u);
+}
+
+TEST(EpochDomain, EmptyBatchPublishesNothing)
+{
+    EpochDomain d;
+    {
+        const EpochDomain::BatchGuard batch(&d);
+    }
+    EXPECT_EQ(d.mutationEpoch(), 0u);
+    EXPECT_EQ(d.codeEpoch(), 0u);
+}
+
+TEST(EpochDomain, NoGarbageFreedWhileAReaderIsPinned)
+{
+    EpochDomain d;
+    EpochDomain::Participant *p = d.registerParticipant();
+
+    bool freed = false;
+    d.pin(p); // reader enters at epoch 0, holding references
+    d.advanceMutation();
+    d.retire([&freed] { freed = true; });
+
+    // The reader pinned before the advance: its snapshot may still
+    // reference the garbage, so reclaim must not touch it.
+    EXPECT_EQ(d.reclaim(), 0u);
+    EXPECT_FALSE(freed);
+    EXPECT_EQ(d.limboSize(), 1u);
+
+    d.unpin(p);
+    EXPECT_EQ(d.reclaim(), 1u);
+    EXPECT_TRUE(freed);
+    EXPECT_TRUE(d.drained());
+    d.unregisterParticipant(p);
+}
+
+TEST(EpochDomain, ReaderPinnedAfterThePublicationDoesNotBlock)
+{
+    EpochDomain d;
+    EpochDomain::Participant *p = d.registerParticipant();
+
+    bool freed = false;
+    d.advanceMutation();
+    d.retire([&freed] { freed = true; });
+    d.pin(p); // pinned at the retire epoch: re-resolved past the unlink
+
+    EXPECT_EQ(d.reclaim(), 1u);
+    EXPECT_TRUE(freed);
+    d.unpin(p);
+    d.unregisterParticipant(p);
+}
+
+TEST(EpochDomain, QuiescentDomainReclaimsImmediately)
+{
+    EpochDomain d;
+    int freed = 0;
+    for (int i = 0; i < 4; ++i) {
+        d.advanceMutation();
+        d.retire([&freed] { ++freed; });
+    }
+    EXPECT_EQ(d.reclaim(), 4u);
+    EXPECT_EQ(freed, 4);
+    const EpochDomain::Stats s = d.stats();
+    EXPECT_EQ(s.retired, 4u);
+    EXPECT_EQ(s.reclaimed, 4u);
+    EXPECT_EQ(s.peakLimbo, 4u);
+}
+
+TEST(EpochDomain, ReclaimAllDrainsUnconditionallyOnShutdown)
+{
+    EpochDomain d;
+    EpochDomain::Participant *p = d.registerParticipant();
+    bool freed = false;
+    d.pin(p);
+    d.advanceMutation();
+    d.retire([&freed] { freed = true; });
+    d.unpin(p);
+    d.unregisterParticipant(p);
+
+    EXPECT_FALSE(d.drained());
+    EXPECT_EQ(d.reclaimAll(), 1u);
+    EXPECT_TRUE(freed);
+    EXPECT_TRUE(d.drained());
+}
+
+TEST(EpochDomain, DestructorRunsPendingReclaimers)
+{
+    bool freed = false;
+    {
+        EpochDomain d;
+        d.advanceMutation();
+        d.retire([&freed] { freed = true; });
+    }
+    EXPECT_TRUE(freed);
+}
+
+TEST(EpochDomain, EpochsAreMonotoneUnderConcurrentAdvance)
+{
+    EpochDomain d;
+    constexpr int kWriters = 4;
+    constexpr int kAdvancesPerWriter = 5000;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> regression{false};
+
+    std::thread sampler([&] {
+        std::uint64_t last = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const std::uint64_t e = d.mutationEpoch();
+            if (e < last)
+                regression.store(true, std::memory_order_release);
+            last = e;
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int i = 0; i < kWriters; ++i) {
+        writers.emplace_back([&] {
+            for (int j = 0; j < kAdvancesPerWriter; ++j)
+                d.advanceMutation();
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    sampler.join();
+
+    EXPECT_FALSE(regression.load());
+    EXPECT_EQ(d.mutationEpoch(),
+              static_cast<std::uint64_t>(kWriters) * kAdvancesPerWriter);
+}
+
+/**
+ * The full protocol under fire: stepping-engine-shaped readers race
+ * installer/promoter/deopt-shaped writers. Each writer unlinks the
+ * published node, advances, retires the old node with a canary-killing
+ * reclaimer, and periodically runs reclaim; each reader pins, resolves
+ * the published node, and verifies the canary is alive for everything
+ * it can still reach. Any canary death inside a pinned window is a
+ * use-after-free the grace period failed to prevent — under
+ * VP_SANITIZE=thread the delete itself would also trip TSan/ASan.
+ */
+TEST(EpochDomain, RacingWritersNeverFreeANodeAReaderHolds)
+{
+    static constexpr std::uint64_t kLive = 0xfeedc0deull;
+
+    struct Node
+    {
+        std::atomic<std::uint64_t> canary{kLive};
+    };
+
+    EpochDomain d;
+    std::atomic<Node *> published{new Node};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> corruption{false};
+
+    constexpr int kReaders = 4;
+    // Installer, promoter, deopt — the three runtime writer roles.
+    constexpr int kWriters = 3;
+    constexpr int kSwapsPerWriter = 4000;
+
+    std::vector<EpochDomain::Participant *> parts;
+    for (int i = 0; i < kReaders; ++i)
+        parts.push_back(d.registerParticipant());
+
+    std::vector<std::thread> readers;
+    for (int i = 0; i < kReaders; ++i) {
+        readers.emplace_back([&, i] {
+            EpochDomain::Participant *p = parts[static_cast<std::size_t>(i)];
+            while (!stop.load(std::memory_order_acquire)) {
+                const EpochDomain::PinGuard pin(&d, p);
+                // Pinned: the node resolved now cannot be freed until
+                // we unpin, however many swaps the writers publish.
+                Node *n = published.load(std::memory_order_acquire);
+                for (int k = 0; k < 8; ++k) {
+                    if (n->canary.load(std::memory_order_acquire) != kLive)
+                        corruption.store(true, std::memory_order_release);
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&] {
+            for (int j = 0; j < kSwapsPerWriter; ++j) {
+                Node *fresh = new Node;
+                Node *old = published.exchange(fresh,
+                                               std::memory_order_acq_rel);
+                d.advanceMutation();
+                d.retire([old] {
+                    old->canary.store(0, std::memory_order_release);
+                    delete old;
+                });
+                if ((j & 63) == 0)
+                    d.reclaim();
+            }
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    for (std::thread &t : readers)
+        t.join();
+
+    EXPECT_FALSE(corruption.load());
+    for (EpochDomain::Participant *p : parts)
+        d.unregisterParticipant(p);
+
+    // Shutdown drain: everything retired must be reclaimed exactly once.
+    d.reclaimAll();
+    delete published.load();
+    EXPECT_TRUE(d.drained());
+    const EpochDomain::Stats s = d.stats();
+    EXPECT_EQ(s.retired,
+              static_cast<std::uint64_t>(kWriters) * kSwapsPerWriter);
+    EXPECT_EQ(s.retired, s.reclaimed);
+}
+
+// -------------------------------------------------- Program epoch carry
+
+TEST(ProgramEpochs, CopySeedsCountersButNotParticipants)
+{
+    workload::Workload w = workload::makeGzip("A");
+    ir::Program a = w.program;
+    a.noteMutation();
+    a.noteMutation();
+    const std::uint64_t me = a.mutationEpoch();
+
+    ir::Program b = a; // fresh domain, seeded counters
+    EXPECT_EQ(b.mutationEpoch(), me);
+    EXPECT_EQ(b.codeEpoch(), a.codeEpoch());
+    // The copy's domain is its own: advancing one never moves the other.
+    b.noteMutation();
+    EXPECT_EQ(b.mutationEpoch(), me + 1);
+    EXPECT_EQ(a.mutationEpoch(), me);
+}
+
+// ------------------------------------------------------ RuntimeController
+
+/** Run @p w online and render its report. */
+std::string
+runReport(const workload::Workload &w, bool epoch, unsigned workers,
+          const fault::FaultConfig *fault = nullptr)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.budget = 600'000;
+    cfg.workers = workers;
+    cfg.epochReclaim = epoch;
+    if (fault) {
+        cfg.fault = *fault;
+        cfg.watchdog = true;
+    }
+    runtime::RuntimeController controller(w, cfg);
+    return toText(controller.run(), w.label());
+}
+
+TEST(EpochRuntime, ReportsByteIdenticalToSerializedPath)
+{
+    // The whole point of the epoch machinery: it changes when plan
+    // memory is reclaimed and how often plans rebuild, never which
+    // bundle serves which quantum — at any worker count.
+    const workload::Workload w = workload::makeMcf("A");
+    const std::string base = runReport(w, /*epoch=*/true, 1);
+    EXPECT_EQ(base, runReport(w, /*epoch=*/false, 1));
+    EXPECT_EQ(base, runReport(w, /*epoch=*/true, 8));
+    EXPECT_EQ(base, runReport(w, /*epoch=*/false, 8));
+}
+
+TEST(EpochRuntime, FaultInjectedReportsByteIdenticalAcrossModes)
+{
+    // Fault injection drives the deopt/quarantine paths the grace
+    // period protects; the A/B must survive them too.
+    const Expected<fault::FaultConfig> fc =
+        fault::FaultConfig::parse("0.2", 7);
+    ASSERT_TRUE(fc.isOk());
+    const workload::Workload w = workload::makeGzip("A");
+    const std::string base = runReport(w, true, 1, &fc.value());
+    EXPECT_EQ(base, runReport(w, false, 1, &fc.value()));
+    EXPECT_EQ(base, runReport(w, true, 8, &fc.value()));
+    EXPECT_EQ(base, runReport(w, false, 8, &fc.value()));
+}
+
+TEST(EpochRuntime, EpochModeNeverStallsOrRebuildsMoreThanSerialized)
+{
+    const workload::Workload w = workload::makeMpeg2dec("A");
+    runtime::RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.budget = 600'000;
+
+    cfg.epochReclaim = true;
+    runtime::RuntimeController ec(w, cfg);
+    const runtime::RuntimeStats es = ec.run();
+
+    cfg.epochReclaim = false;
+    runtime::RuntimeController sc(w, cfg);
+    const runtime::RuntimeStats ss = sc.run();
+
+    // Identical execution...
+    EXPECT_EQ(toText(es, w.label()), toText(ss, w.label()));
+    // ...but the epoch path must not invalidate the engine's plan
+    // working set more often than the stop-the-world reference.
+    EXPECT_LE(es.installStallQuanta, ss.installStallQuanta);
+    EXPECT_LE(es.planRebuilds, ss.planRebuilds);
+    // An install-heavy run stalls the serialized engine at least once.
+    ASSERT_GT(ss.installs, 0u);
+    EXPECT_GT(ss.installStallQuanta, 0u);
+    // Serialized mode never frees plans early; only the epoch path
+    // pushes retired plan tables through the limbo.
+    EXPECT_EQ(ss.plansRetired, 0u);
+}
+
+TEST(EpochRuntime, DeoptPublishesExactlyOneMutationEpoch)
+{
+    // Regression for the unpatch→layout double-bump: a deopt is one
+    // structural transition, so the engine must observe exactly one
+    // published mutation — not one for the arc restores and a second
+    // for the tombstone relayout.
+    workload::Workload w = workload::makeGzip("A");
+    const VpConfig cfg = VpConfig::variant(true, true);
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    ASSERT_FALSE(r.records.empty());
+    runtime::PackageBundle bundle;
+    for (const hsd::HotSpotRecord &rec : r.records) {
+        bundle = runtime::synthesizeBundle(
+            w.program, runtime::canonicalizeRecord(rec), cfg);
+        if (!bundle.empty())
+            break;
+    }
+    ASSERT_FALSE(bundle.empty());
+
+    ir::Program live = w.program;
+    runtime::LivePatcher patcher(live, w.program);
+    const runtime::InstalledBundle ib = patcher.install(bundle);
+    ASSERT_GT(ib.launchPoints, 0u);
+
+    const std::uint64_t before = live.mutationEpoch();
+    patcher.deopt(ib);
+    EXPECT_EQ(live.mutationEpoch(), before + 1);
+}
+
+TEST(EpochRuntime, InstallDoesNotMoveTheCodeEpoch)
+{
+    // Installs splice *appended* functions and retarget arcs; no
+    // pre-existing block changes address, so the engine's block-plan
+    // working set (keyed on the code epoch) must survive untouched.
+    workload::Workload w = workload::makeGzip("A");
+    const VpConfig cfg = VpConfig::variant(true, true);
+    VacuumPacker packer(w, cfg);
+    const VpResult r = packer.run();
+    ASSERT_FALSE(r.records.empty());
+    runtime::PackageBundle bundle;
+    for (const hsd::HotSpotRecord &rec : r.records) {
+        bundle = runtime::synthesizeBundle(
+            w.program, runtime::canonicalizeRecord(rec), cfg);
+        if (!bundle.empty())
+            break;
+    }
+    ASSERT_FALSE(bundle.empty());
+
+    ir::Program live = w.program;
+    runtime::LivePatcher patcher(live, w.program);
+    const std::uint64_t code0 = live.codeEpoch();
+    const runtime::InstalledBundle ib = patcher.install(bundle);
+    EXPECT_EQ(live.codeEpoch(), code0) << "append-only install compacted";
+
+    // The deopt's tombstone empties the husks and relayout moves every
+    // block behind them: that IS code motion and must re-key.
+    patcher.deopt(ib);
+    EXPECT_GT(live.codeEpoch(), code0);
+}
+
+// ------------------------------------------- deterministic quantum clock
+
+TEST(EpochRuntime, BoundaryProbePinsDrainToExactQuanta)
+{
+    const workload::Workload w = workload::makeMcf("A");
+    runtime::RuntimeConfig cfg;
+    cfg.vp = VpConfig::variant(true, true);
+    cfg.budget = 600'000;
+
+    std::vector<std::uint64_t> quanta;
+    std::vector<std::size_t> limbo;
+    runtime::RuntimeController controller(w, cfg);
+    controller.setBoundaryProbe([&](std::uint64_t q) {
+        quanta.push_back(q);
+        limbo.push_back(controller.liveProgram().epochDomain().limboSize());
+    });
+    const runtime::RuntimeStats s = controller.run();
+
+    // The probe fires at every boundary, on the deterministic quantum
+    // clock: 1, 2, ..., quanta — no sleeps, no wall-clock slack.
+    ASSERT_EQ(quanta.size(), s.quanta);
+    for (std::size_t i = 0; i < quanta.size(); ++i)
+        EXPECT_EQ(quanta[i], i + 1);
+    EXPECT_EQ(controller.quantumClock(), s.quanta);
+
+    // The engine is quiescent between quanta, so the boundary reclaim
+    // preceding the probe frees everything retired earlier: the grace
+    // period never spans more than one quantum, at every boundary.
+    for (std::size_t i = 0; i < limbo.size(); ++i)
+        EXPECT_EQ(limbo[i], 0u) << "limbo backlog at quantum " << quanta[i];
+
+    // Shutdown contract: the run ends with a drained retire list.
+    EXPECT_TRUE(controller.liveProgram().epochDomain().drained());
+    if (s.plansReclaimed > 0) {
+        EXPECT_GT(s.peakLimbo, 0u);
+    }
+}
+
+} // namespace

@@ -64,6 +64,13 @@
  *   --merge-overlap=F      working-set overlap fraction (of the smaller
  *                          record) at which a new detection coalesces
  *                          with a cache entry (default 0.5)
+ *   --no-epoch             disable epoch-based plan reclamation: every
+ *                          published mutation invalidates every engine
+ *                          plan (the serialized stop-the-world
+ *                          reference; reports are byte-identical —
+ *                          epochs change reclamation timing and rebuild
+ *                          counts, never results). Applies to fleet
+ *                          tenants too.
  *
  * Options (fleet):
  *   --tenants=N            concurrent tenants (0/default: the full
@@ -119,7 +126,7 @@ usage()
                  "         --quantum=N --cache-capacity=N --compare\n"
                  "         --fault-inject=SPEC --fault-seed=N --watchdog\n"
                  "         --no-tiering --tier0-budget=N\n"
-                 "         --no-merge --merge-overlap=F\n"
+                 "         --no-merge --merge-overlap=F --no-epoch\n"
                  "         --tenants=N --shards=N --shard-capacity=N\n"
                  "         --store-dir=PATH --warm-start\n"
                  "         --tenant-retries=N\n");
@@ -232,6 +239,8 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             opt.rt.tiering = false;
         } else if (a == "--no-merge") {
             opt.rt.mergeOverlapping = false;
+        } else if (a == "--no-epoch") {
+            opt.rt.epochReclaim = false;
         } else if (starts("--merge-overlap=")) {
             char *end = nullptr;
             opt.rt.mergeOverlapFraction = std::strtod(a.c_str() + 16, &end);
